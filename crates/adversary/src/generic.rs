@@ -1,0 +1,214 @@
+//! Protocol-agnostic fault wrappers.
+
+use bft_types::{Effect, NodeId, Process};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A node that never sends anything — a crash at time zero (equivalently,
+/// a fully omissive node).
+///
+/// Generic over the protocol's message/output types, so it slots into any
+/// world.
+///
+/// # Example
+///
+/// ```
+/// use bft_adversary::Silent;
+/// use bft_types::{NodeId, Process};
+///
+/// let mut node: Silent<String, u8> = Silent::new(NodeId::new(3));
+/// assert!(node.on_start().is_empty());
+/// assert!(node.on_message(NodeId::new(0), "hi".into()).is_empty());
+/// ```
+pub struct Silent<M, O> {
+    id: NodeId,
+    _types: PhantomData<fn() -> (M, O)>,
+}
+
+impl<M, O> Silent<M, O> {
+    /// Creates a silent node.
+    pub fn new(id: NodeId) -> Self {
+        Silent { id, _types: PhantomData }
+    }
+}
+
+impl<M, O> fmt::Debug for Silent<M, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Silent({})", self.id)
+    }
+}
+
+impl<M, O> Process for Silent<M, O>
+where
+    M: Clone + fmt::Debug,
+    O: Clone + fmt::Debug,
+{
+    type Msg = M;
+    type Output = O;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<M, O>> {
+        Vec::new()
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: M) -> Vec<Effect<M, O>> {
+        Vec::new()
+    }
+}
+
+/// Runs the wrapped (correct) process faithfully for a budget of events,
+/// then crashes — the classic mid-protocol crash fault.
+///
+/// The budget counts handled events (`on_start` plus deliveries). With
+/// `after = 0` the node crashes before taking a single step.
+///
+/// # Example
+///
+/// ```
+/// use bft_adversary::{CrashAfter, Silent};
+/// use bft_types::{NodeId, Process};
+///
+/// // Wrap any process; here a trivially silent one.
+/// let inner: Silent<u8, u8> = Silent::new(NodeId::new(1));
+/// let mut node = CrashAfter::new(inner, 0); // crash before the first step
+/// let effects = node.on_start();
+/// assert!(node.is_halted());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CrashAfter<P> {
+    inner: P,
+    remaining: u64,
+    crashed: bool,
+}
+
+impl<P: Process> CrashAfter<P> {
+    /// Wraps `inner`, crashing it after `after` handled events.
+    pub fn new(inner: P, after: u64) -> Self {
+        CrashAfter { inner, remaining: after, crashed: false }
+    }
+
+    /// Whether the crash has occurred.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn spend(&mut self) -> bool {
+        if self.crashed {
+            return false;
+        }
+        if self.remaining == 0 {
+            self.crashed = true;
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+}
+
+impl<P: Process> Process for CrashAfter<P> {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<P::Msg, P::Output>> {
+        if !self.spend() {
+            return vec![Effect::Halt];
+        }
+        self.inner.on_start()
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: P::Msg) -> Vec<Effect<P::Msg, P::Output>> {
+        if !self.spend() {
+            return vec![Effect::Halt];
+        }
+        self.inner.on_message(from, msg)
+    }
+
+    fn output(&self) -> Option<P::Output> {
+        self.inner.output()
+    }
+
+    fn is_halted(&self) -> bool {
+        self.crashed || self.inner.is_halted()
+    }
+
+    fn round(&self) -> u64 {
+        self.inner.round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A chatty process for wrapping.
+    #[derive(Clone, Debug)]
+    struct Chatty {
+        id: NodeId,
+        sent: u32,
+    }
+
+    impl Process for Chatty {
+        type Msg = u32;
+        type Output = u32;
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_start(&mut self) -> Vec<Effect<u32, u32>> {
+            self.sent += 1;
+            vec![Effect::Broadcast { msg: self.sent }]
+        }
+        fn on_message(&mut self, _f: NodeId, _m: u32) -> Vec<Effect<u32, u32>> {
+            self.sent += 1;
+            vec![Effect::Broadcast { msg: self.sent }]
+        }
+        fn round(&self) -> u64 {
+            self.sent as u64
+        }
+    }
+
+    #[test]
+    fn silent_says_nothing() {
+        let mut s: Silent<u32, u32> = Silent::new(NodeId::new(0));
+        assert_eq!(s.id(), NodeId::new(0));
+        assert!(s.on_start().is_empty());
+        assert!(s.on_message(NodeId::new(1), 5).is_empty());
+        assert!(!s.is_halted());
+        assert_eq!(s.output(), None);
+    }
+
+    #[test]
+    fn crash_after_budget_is_respected() {
+        let mut c = CrashAfter::new(Chatty { id: NodeId::new(2), sent: 0 }, 2);
+        assert_eq!(c.on_start().len(), 1);
+        assert!(!c.crashed());
+        assert_eq!(c.on_message(NodeId::new(0), 9).len(), 1);
+        // Budget exhausted: third event crashes.
+        let effects = c.on_message(NodeId::new(0), 9);
+        assert_eq!(effects, vec![Effect::Halt]);
+        assert!(c.crashed());
+        assert!(c.is_halted());
+        // Subsequent events produce nothing further.
+        assert_eq!(c.on_message(NodeId::new(0), 9), vec![Effect::Halt]);
+    }
+
+    #[test]
+    fn crash_at_zero_never_speaks() {
+        let mut c = CrashAfter::new(Chatty { id: NodeId::new(2), sent: 0 }, 0);
+        assert_eq!(c.on_start(), vec![Effect::Halt]);
+        assert!(c.crashed());
+    }
+
+    #[test]
+    fn delegation_passes_metadata_through() {
+        let c = CrashAfter::new(Chatty { id: NodeId::new(7), sent: 3 }, 10);
+        assert_eq!(c.id(), NodeId::new(7));
+        assert_eq!(c.round(), 3);
+    }
+}

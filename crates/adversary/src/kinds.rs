@@ -1,0 +1,167 @@
+//! A catalogue of Byzantine behaviours for the experiment matrix.
+
+use crate::{CrashAfter, LyingBracha, Mutator, Silent};
+use bft_coin::LocalCoin;
+use bft_types::{Config, NodeId, Process, Value};
+use bracha::{BrachaOptions, BrachaProcess, Wire};
+
+/// The fault classes exercised by experiment T1's matrix (and reused by
+/// T2/T5/T8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Participate correctly, then crash after handling `after` events.
+    Crash {
+        /// Events handled before the crash.
+        after: u64,
+    },
+    /// Never send anything.
+    Mute,
+    /// Run the protocol but flip every originated value.
+    FlipValue,
+    /// Run the protocol but randomise every originated value.
+    RandomValue,
+    /// Run the protocol but forge a D-flag on every Ready.
+    AlwaysFlag,
+    /// Run the protocol but see-saw the originated value with round
+    /// parity.
+    Seesaw,
+}
+
+impl FaultKind {
+    /// All kinds, for iterating the experiment matrix.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Crash { after: 40 },
+        FaultKind::Mute,
+        FaultKind::FlipValue,
+        FaultKind::RandomValue,
+        FaultKind::AlwaysFlag,
+        FaultKind::Seesaw,
+    ];
+
+    /// Short label for experiment tables.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Mute => "mute",
+            FaultKind::FlipValue => "flip-value",
+            FaultKind::RandomValue => "random-value",
+            FaultKind::AlwaysFlag => "always-flag",
+            FaultKind::Seesaw => "seesaw",
+        }
+    }
+}
+
+/// Builds a Byzantine participant of the Bracha consensus wire protocol.
+///
+/// `seed` feeds any randomness the behaviour needs; `input` is the value
+/// the (corrupted) node starts from.
+///
+/// # Example
+///
+/// ```
+/// use bft_adversary::{make_bracha_adversary, FaultKind};
+/// use bft_types::{Config, NodeId, Value};
+///
+/// # fn main() -> Result<(), bft_types::ConfigError> {
+/// let cfg = Config::new(4, 1)?;
+/// let evil = make_bracha_adversary(FaultKind::Mute, cfg, NodeId::new(3), Value::Zero, 7);
+/// assert_eq!(evil.id(), NodeId::new(3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn make_bracha_adversary(
+    kind: FaultKind,
+    config: Config,
+    id: NodeId,
+    input: Value,
+    seed: u64,
+) -> Box<dyn Process<Msg = Wire, Output = Value> + Send> {
+    let coin = LocalCoin::new(seed ^ 0xdead_beef, id);
+    match kind {
+        FaultKind::Crash { after } => {
+            // Correct behaviour that stops mid-protocol.
+            let inner =
+                BrachaProcess::new(config, id, input, coin, BrachaOptions::default());
+            Box::new(CrashAfter::new(inner, after))
+        }
+        FaultKind::Mute => Box::new(Silent::new(id)),
+        FaultKind::FlipValue => {
+            Box::new(LyingBracha::new(config, id, input, coin, Mutator::FlipValue))
+        }
+        FaultKind::RandomValue => Box::new(LyingBracha::new(
+            config,
+            id,
+            input,
+            coin,
+            Mutator::random(seed.wrapping_mul(0x9e37_79b9)),
+        )),
+        FaultKind::AlwaysFlag => {
+            Box::new(LyingBracha::new(config, id, input, coin, Mutator::AlwaysFlag))
+        }
+        FaultKind::Seesaw => {
+            Box::new(LyingBracha::new(config, id, input, coin, Mutator::Seesaw))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::LocalCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+
+    /// The T1 matrix in miniature: every fault kind, at full strength
+    /// (f = max), must leave agreement + validity + termination intact.
+    #[test]
+    fn every_fault_kind_is_tolerated_at_full_strength() {
+        for kind in FaultKind::ALL {
+            for seed in 0..5 {
+                let n = 7;
+                let cfg = Config::max_resilience(n).unwrap();
+                let f = cfg.f();
+                let mut world =
+                    World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
+                for id in cfg.nodes() {
+                    if id.index() < f {
+                        world.add_faulty_process(make_bracha_adversary(
+                            kind,
+                            cfg,
+                            id,
+                            Value::One, // liars corrupt from the correct value
+                            seed,
+                        ));
+                    } else {
+                        // All correct nodes share input One → validity
+                        // pins the decision.
+                        world.add_process(Box::new(BrachaProcess::new(
+                            cfg,
+                            id,
+                            Value::One,
+                            LocalCoin::new(seed, id),
+                            BrachaOptions::default(),
+                        )));
+                    }
+                }
+                let report = world.run();
+                assert!(
+                    report.all_correct_decided(),
+                    "{}: termination failed (seed {seed})",
+                    kind.describe()
+                );
+                assert_eq!(
+                    report.unanimous_output(),
+                    Some(Value::One),
+                    "{}: agreement/validity failed (seed {seed})",
+                    kind.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            FaultKind::ALL.iter().map(|k| k.describe()).collect();
+        assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+}

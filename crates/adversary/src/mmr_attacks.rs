@@ -1,0 +1,138 @@
+//! Attacks on the MMR-style modern ABA (`bracha::mmr`).
+
+use bft_types::{Effect, NodeId, Process, Round, Value};
+use bracha::mmr::MmrMessage;
+use rand::Rng;
+use rand_chacha::{rand_core::SeedableRng, ChaCha8Rng};
+use std::collections::HashSet;
+
+/// A Byzantine MMR participant throwing everything it has: both `BVAL`
+/// values every round (to pollute `bin_values`), a random `AUX`, and a
+/// forged `Finish` on a value of its choosing (trying to trick the
+/// `f + 1` adoption threshold of the termination gadget).
+///
+/// With at most `f` such nodes, none of it works: BVAL needs `f + 1`
+/// supporters to propagate and `2f + 1` to be accepted; AUX values not in
+/// `bin_values` are ignored; and `f` forged Finishes never reach the
+/// `f + 1` adoption bar.
+#[derive(Clone, Debug)]
+pub struct MmrSaboteur {
+    id: NodeId,
+    forged_value: Value,
+    rng: ChaCha8Rng,
+    lied_in: HashSet<Round>,
+    finish_sent: bool,
+}
+
+impl MmrSaboteur {
+    /// Creates the saboteur; it forges `Finish(forged_value)` and floods
+    /// rounds with conflicting votes.
+    pub fn new(id: NodeId, forged_value: Value, seed: u64) -> Self {
+        MmrSaboteur {
+            id,
+            forged_value,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5ab0_7a9e),
+            lied_in: HashSet::new(),
+            finish_sent: false,
+        }
+    }
+
+    fn flood(&mut self, round: Round) -> Vec<Effect<MmrMessage, Value>> {
+        if !self.lied_in.insert(round) {
+            return Vec::new();
+        }
+        let mut out = vec![
+            Effect::Broadcast { msg: MmrMessage::Bval { round, value: Value::Zero } },
+            Effect::Broadcast { msg: MmrMessage::Bval { round, value: Value::One } },
+            Effect::Broadcast {
+                msg: MmrMessage::Aux { round, value: Value::from_bool(self.rng.gen()) },
+            },
+        ];
+        if !self.finish_sent {
+            self.finish_sent = true;
+            out.push(Effect::Broadcast {
+                msg: MmrMessage::Finish { value: self.forged_value },
+            });
+        }
+        out
+    }
+}
+
+impl Process for MmrSaboteur {
+    type Msg = MmrMessage;
+    type Output = Value;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<MmrMessage, Value>> {
+        self.flood(Round::FIRST)
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
+        self.flood(msg.round())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::CommonCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+    use bft_types::Config;
+    use bracha::mmr::MmrProcess;
+
+    /// f saboteurs forging Finish(0) against a unanimous-One cluster:
+    /// validity and agreement must survive.
+    #[test]
+    fn saboteurs_cannot_forge_decisions() {
+        for seed in 0..10 {
+            let n = 7;
+            let cfg = Config::new(n, 2).unwrap();
+            let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
+            for id in cfg.nodes() {
+                if id.index() < 2 {
+                    world.add_faulty_process(Box::new(MmrSaboteur::new(
+                        id,
+                        Value::Zero,
+                        seed,
+                    )));
+                } else {
+                    world.add_process(Box::new(MmrProcess::new(
+                        cfg,
+                        id,
+                        Value::One,
+                        CommonCoin::new(seed, 0),
+                        10_000,
+                    )));
+                }
+            }
+            let report = world.run();
+            assert!(report.all_correct_decided(), "seed {seed}: termination");
+            assert_eq!(
+                report.unanimous_output(),
+                Some(Value::One),
+                "seed {seed}: forged Finish must not flip validity"
+            );
+        }
+    }
+
+    #[test]
+    fn saboteur_floods_once_per_round() {
+        let mut s = MmrSaboteur::new(NodeId::new(6), Value::Zero, 1);
+        let first = s.on_start();
+        assert_eq!(first.len(), 4, "2 bvals + aux + finish");
+        assert!(s
+            .on_message(
+                NodeId::new(0),
+                MmrMessage::Bval { round: Round::FIRST, value: Value::One }
+            )
+            .is_empty());
+        let r2 = s.on_message(
+            NodeId::new(0),
+            MmrMessage::Bval { round: Round::new(2), value: Value::One },
+        );
+        assert_eq!(r2.len(), 3, "finish already sent; 2 bvals + aux remain");
+    }
+}

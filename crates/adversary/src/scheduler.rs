@@ -1,0 +1,208 @@
+//! Content-aware adversarial schedulers (the asynchrony half of the
+//! adversary).
+
+use bft_sim::{Scheduler, SimTime};
+use bft_types::Envelope;
+use bracha::Wire;
+
+/// The anti-coin scheduler: inspects consensus values in flight and
+/// delivers each value quickly to "its" half of the nodes and slowly to
+/// the other half, trying to keep the two halves' quorums disagreeing so
+/// that no value ever reaches a majority lock.
+///
+/// Against *local* coins this measurably inflates the round count
+/// (experiment F3); against a *common* coin it is powerless (F4) — which
+/// is exactly the paper's narrative arc.
+#[derive(Clone, Debug)]
+pub struct SplitDelay {
+    /// Nodes with index < `boundary` form group A (fed `One` quickly).
+    boundary: usize,
+    fast: u64,
+    slow: u64,
+}
+
+impl SplitDelay {
+    /// Creates the scheduler with the given group boundary and delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast > slow` (the attack would be inverted).
+    pub fn new(boundary: usize, fast: u64, slow: u64) -> Self {
+        assert!(fast <= slow, "fast delay must not exceed slow delay");
+        SplitDelay { boundary, fast, slow }
+    }
+}
+
+impl Scheduler<Wire> for SplitDelay {
+    fn delay(&mut self, envelope: &Envelope<Wire>, _now: SimTime) -> u64 {
+        let value_is_one = envelope.msg.msg.payload().value() == bft_types::Value::One;
+        let to_group_a = envelope.to.index() < self.boundary;
+        // Group A is fed One-messages fast, Zero-messages slow; group B
+        // the other way round. First-quorum sets then skew per group.
+        if value_is_one == to_group_a {
+            self.fast
+        } else {
+            self.slow
+        }
+    }
+}
+
+/// Starves one node: everything addressed to `victim` is delayed by
+/// `slow`, everything else delivered after `fast`. Consensus must still
+/// terminate (the victim is simply treated like an omitted node until its
+/// messages catch up) — a liveness stressor used by the integration
+/// tests.
+#[derive(Clone, Copy, Debug)]
+pub struct LaggardDelay {
+    victim: usize,
+    fast: u64,
+    slow: u64,
+}
+
+impl LaggardDelay {
+    /// Creates the scheduler starving node `victim`.
+    pub fn new(victim: usize, fast: u64, slow: u64) -> Self {
+        LaggardDelay { victim, fast, slow }
+    }
+}
+
+impl<M> Scheduler<M> for LaggardDelay {
+    fn delay(&mut self, envelope: &Envelope<M>, _now: SimTime) -> u64 {
+        if envelope.to.index() == self.victim || envelope.from.index() == self.victim {
+            self.slow
+        } else {
+            self.fast
+        }
+    }
+}
+
+/// Favours the traffic of a set of (presumably Byzantine) senders:
+/// messages from nodes with index < `favored_below` are delivered after
+/// `fast` ticks, everything else after `slow`. This maximises the chance
+/// that the favoured nodes' payloads land inside every correct node's
+/// first quorum — the delivery pattern that makes lying most effective
+/// (used by the T8 validation ablation).
+#[derive(Clone, Copy, Debug)]
+pub struct FavorSenders {
+    favored_below: usize,
+    fast: u64,
+    slow: u64,
+}
+
+impl FavorSenders {
+    /// Creates the scheduler favouring senders `0..favored_below`.
+    pub fn new(favored_below: usize, fast: u64, slow: u64) -> Self {
+        FavorSenders { favored_below, fast, slow }
+    }
+}
+
+impl<M> Scheduler<M> for FavorSenders {
+    fn delay(&mut self, envelope: &Envelope<M>, _now: SimTime) -> u64 {
+        if envelope.from.index() < self.favored_below {
+            self.fast
+        } else {
+            self.slow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::{CommonCoin, LocalCoin};
+    use bft_sim::{World, WorldConfig};
+    use bft_types::{Config, NodeId, Value};
+    use bracha::{BrachaOptions, BrachaProcess};
+
+    fn run_split(n: usize, coin_common: bool, seed: u64) -> bft_sim::Report<Value> {
+        let cfg = Config::max_resilience(n).unwrap();
+        let mut world = World::new(WorldConfig::new(n), SplitDelay::new(n / 2, 1, 8));
+        for id in cfg.nodes() {
+            // Inputs split along the scheduler's boundary: worst case.
+            let input = if id.index() < n / 2 { Value::One } else { Value::Zero };
+            if coin_common {
+                world.add_process(Box::new(BrachaProcess::new(
+                    cfg,
+                    id,
+                    input,
+                    CommonCoin::new(seed, 0),
+                    BrachaOptions::default(),
+                )));
+            } else {
+                world.add_process(Box::new(BrachaProcess::new(
+                    cfg,
+                    id,
+                    input,
+                    LocalCoin::new(seed, id),
+                    BrachaOptions::default(),
+                )));
+            }
+        }
+        world.run()
+    }
+
+    /// Safety and probability-1 termination hold even under the anti-coin
+    /// scheduler (it can slow the protocol, not stop or corrupt it).
+    #[test]
+    fn split_scheduler_cannot_break_safety_or_liveness() {
+        for seed in 0..10 {
+            let report = run_split(4, false, seed);
+            assert!(report.all_correct_decided(), "seed {seed}");
+            assert!(report.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    /// With a common coin the split scheduler loses its leverage: rounds
+    /// stay small.
+    #[test]
+    fn common_coin_defeats_the_split_scheduler() {
+        let mut max_rounds = 0;
+        for seed in 0..10 {
+            let report = run_split(7, true, seed);
+            assert!(report.all_correct_decided(), "seed {seed}");
+            max_rounds = max_rounds.max(report.decision_round().unwrap());
+        }
+        assert!(
+            max_rounds <= 6,
+            "common coin should decide in few rounds, worst seen {max_rounds}"
+        );
+    }
+
+    #[test]
+    fn laggard_delay_targets_the_victim() {
+        let mut s = LaggardDelay::new(2, 1, 50);
+        let env = |from: usize, to: usize| Envelope {
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            msg: 0u8,
+        };
+        assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 2), SimTime::ZERO), 50);
+        assert_eq!(Scheduler::<u8>::delay(&mut s, &env(2, 0), SimTime::ZERO), 50);
+        assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 1), SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn consensus_survives_a_starved_node() {
+        let cfg = Config::new(4, 1).unwrap();
+        let mut world = World::new(WorldConfig::new(4), LaggardDelay::new(3, 1, 100));
+        for id in cfg.nodes() {
+            let input = if id.index() % 2 == 0 { Value::One } else { Value::Zero };
+            world.add_process(Box::new(BrachaProcess::new(
+                cfg,
+                id,
+                input,
+                LocalCoin::new(9, id),
+                BrachaOptions::default(),
+            )));
+        }
+        let report = world.run();
+        assert!(report.all_correct_decided());
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "fast delay")]
+    fn split_delay_rejects_inverted_delays() {
+        let _ = SplitDelay::new(2, 10, 1);
+    }
+}

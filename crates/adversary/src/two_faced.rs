@@ -1,0 +1,135 @@
+//! The double-talking attack on protocols without reliable broadcast.
+
+use bft_types::{Effect, NodeId, Process, Round, Value};
+use bracha::benor::BenOrMessage;
+use std::collections::HashSet;
+
+/// A Byzantine participant in **Ben-Or's** protocol that tells each half
+/// of the network a different story: `Report(r, 1)` and `Proposal(r, 1)`
+/// to nodes `0..n/2`, the `0`-versions to the rest, every round.
+///
+/// This is the attack that pins Ben-Or's resilience at `n > 5f` — and the
+/// attack that Bracha's reliable broadcast makes *impossible by
+/// construction* (a node physically cannot deliver two different payloads
+/// for the same instance). Experiment T5 runs both protocols against it.
+///
+/// The double-talker is reactive: it emits its round-`r` lies the first
+/// time it sees any round-`r` message, so it keeps pace with whatever
+/// round the correct nodes are in.
+#[derive(Clone, Debug)]
+pub struct DoubleTalker {
+    config: bft_types::Config,
+    id: NodeId,
+    lied_in: HashSet<Round>,
+}
+
+impl DoubleTalker {
+    /// Creates the double-talker.
+    pub fn new(config: bft_types::Config, id: NodeId) -> Self {
+        DoubleTalker { config, id, lied_in: HashSet::new() }
+    }
+
+    fn lies_for(&mut self, round: Round) -> Vec<Effect<BenOrMessage, Value>> {
+        if !self.lied_in.insert(round) {
+            return Vec::new();
+        }
+        let half = self.config.n() / 2;
+        let mut out = Vec::new();
+        for to in self.config.nodes() {
+            let v = if to.index() < half { Value::One } else { Value::Zero };
+            out.push(Effect::Send { to, msg: BenOrMessage::Report { round, value: v } });
+            out.push(Effect::Send {
+                to,
+                msg: BenOrMessage::Proposal { round, value: Some(v) },
+            });
+        }
+        out
+    }
+}
+
+impl Process for DoubleTalker {
+    type Msg = BenOrMessage;
+    type Output = Value;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<BenOrMessage, Value>> {
+        self.lies_for(Round::FIRST)
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
+        self.lies_for(msg.round())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::LocalCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+    use bft_types::Config;
+    use bracha::benor::BenOrProcess;
+
+    /// Within Ben-Or's resilience bound (n > 5f) the double-talker is
+    /// harmless.
+    #[test]
+    fn benor_survives_double_talk_below_its_bound() {
+        for seed in 0..10 {
+            let n = 6; // f = 1, n > 5f ✓
+            let cfg = Config::new(n, 1).unwrap();
+            let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
+            for id in cfg.nodes() {
+                if id.index() == n - 1 {
+                    world.add_faulty_process(Box::new(DoubleTalker::new(cfg, id)));
+                } else {
+                    let input =
+                        if id.index() % 2 == 0 { Value::One } else { Value::Zero };
+                    world.add_process(Box::new(BenOrProcess::new(
+                        cfg,
+                        id,
+                        input,
+                        LocalCoin::new(seed, id),
+                        2_000,
+                    )));
+                }
+            }
+            let report = world.run();
+            assert!(report.all_correct_decided(), "seed {seed}");
+            assert!(report.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn double_talker_lies_once_per_round() {
+        let cfg = Config::new(6, 1).unwrap();
+        let mut dt = DoubleTalker::new(cfg, NodeId::new(5));
+        let first = dt.on_start();
+        assert_eq!(first.len(), 2 * 6, "report + proposal per node");
+        // Round 1 again: silent.
+        let again = dt.on_message(
+            NodeId::new(0),
+            BenOrMessage::Report { round: Round::FIRST, value: Value::One },
+        );
+        assert!(again.is_empty());
+        // A round-2 message elicits fresh lies.
+        let r2 = dt.on_message(
+            NodeId::new(0),
+            BenOrMessage::Report { round: Round::new(2), value: Value::One },
+        );
+        assert_eq!(r2.len(), 12);
+    }
+
+    #[test]
+    fn lies_are_value_split_by_half() {
+        let cfg = Config::new(4, 1).unwrap();
+        let mut dt = DoubleTalker::new(cfg, NodeId::new(3));
+        for e in dt.on_start() {
+            if let Effect::Send { to, msg: BenOrMessage::Report { value, .. } } = e {
+                let expect = if to.index() < 2 { Value::One } else { Value::Zero };
+                assert_eq!(value, expect);
+            }
+        }
+    }
+}

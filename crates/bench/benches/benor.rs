@@ -1,0 +1,27 @@
+//! Criterion bench backing T5: wall-clock cost of a Ben-Or decision
+//! (the baseline's lighter O(n²)-per-round message load vs its weaker
+//! resilience).
+
+use bft_bench::common::run_benor;
+use bft_types::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_benor_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("benor_decision");
+    group.sample_size(15);
+    for n in [6usize, 11, 16] {
+        let f = (n - 1) / 5;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report = run_benor(n, f, 0, Value::One, seed, 1_000);
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_benor_decision);
+criterion_main!(benches);

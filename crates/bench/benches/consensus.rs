@@ -1,0 +1,114 @@
+//! Criterion bench backing experiments T1/F2/F3: wall-clock cost of a
+//! full consensus decision under the simulator, local vs common coin,
+//! benign vs adversarial schedule.
+
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_decision_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_decision_local_coin");
+    group.sample_size(15);
+    for n in [4usize, 7, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report = Cluster::new(n)
+                    .unwrap()
+                    .seed(seed)
+                    .split_inputs(n / 2)
+                    .coin(CoinChoice::Local)
+                    .schedule(Schedule::Uniform { min: 1, max: 20 })
+                    .run();
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision_common(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_decision_common_coin");
+    group.sample_size(15);
+    for n in [4usize, 7, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report = Cluster::new(n)
+                    .unwrap()
+                    .seed(seed)
+                    .split_inputs(n / 2)
+                    .coin(CoinChoice::Common)
+                    .schedule(Schedule::Split { fast: 1, slow: 8 })
+                    .run();
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision_with_liars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_decision_with_liars");
+    group.sample_size(15);
+    let n = 7;
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = Cluster::new(n)
+                .unwrap()
+                .seed(seed)
+                .coin(CoinChoice::Local)
+                .faults(2, FaultKind::FlipValue)
+                .run();
+            assert!(report.all_correct_decided());
+        });
+    });
+    group.finish();
+}
+
+/// T9's wall-clock counterpart: the modern MMR ABA vs Bracha at equal n.
+fn bench_decision_mmr(c: &mut Criterion) {
+    use bft_coin::CommonCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+    use bft_types::{Config, Value};
+    use bracha::mmr::MmrProcess;
+
+    let mut group = c.benchmark_group("consensus_decision_mmr");
+    group.sample_size(15);
+    for n in [4usize, 7, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = Config::max_resilience(n).unwrap();
+                let mut world =
+                    World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
+                for id in cfg.nodes() {
+                    let input = Value::from_bool(id.index() < n / 2);
+                    world.add_process(Box::new(MmrProcess::new(
+                        cfg,
+                        id,
+                        input,
+                        CommonCoin::new(seed, 0),
+                        10_000,
+                    )));
+                }
+                let report = world.run();
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decision_local,
+    bench_decision_common,
+    bench_decision_with_liars,
+    bench_decision_mmr
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! F2 — expected rounds vs system size: local coins pay for scale, a
+//! common coin does not (the paper's common-coin observation).
+
+use crate::common::{ExperimentReport, Mode};
+use async_bft::{Cluster, CoinChoice, Schedule};
+use bft_stats::{Samples, Table};
+
+fn mean_rounds(n: usize, coin: CoinChoice, seeds: usize) -> (Samples, usize) {
+    let mut rounds = Samples::new();
+    let mut undecided = 0usize;
+    for seed in 0..seeds as u64 {
+        let report = Cluster::new(n)
+            .expect("n >= 1")
+            .seed(seed)
+            .split_inputs(n / 2)
+            .coin(coin)
+            // The anti-coin scheduler is what separates the coins: under
+            // benign schedules both decide in ~1 round via the adoption
+            // path and the coin never matters.
+            .schedule(Schedule::Split { fast: 1, slow: 8 })
+            .run();
+        match report.decision_round() {
+            Some(r) => rounds.add(r as f64),
+            None => undecided += 1,
+        }
+    }
+    (rounds, undecided)
+}
+
+/// Runs the F2 sweep.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let seeds = mode.seeds(25, 80);
+    let sizes = match mode {
+        Mode::Quick => vec![4usize, 7, 10],
+        Mode::Full => vec![4, 7, 10, 13, 16],
+    };
+
+    let mut table = Table::new(vec![
+        "n",
+        "local: mean rounds",
+        "local: p95",
+        "common: mean rounds",
+        "common: p95",
+    ]);
+
+    for &n in &sizes {
+        let (mut local, lu) = mean_rounds(n, CoinChoice::Local, seeds);
+        let (mut common, cu) = mean_rounds(n, CoinChoice::Common, seeds);
+        assert_eq!(lu + cu, 0, "all F2 runs must decide within budget");
+        table.row(vec![
+            n.to_string(),
+            format!("{:.2}", local.mean()),
+            format!("{:.1}", local.percentile(95.0).unwrap_or(0.0)),
+            format!("{:.2}", common.mean()),
+            format!("{:.1}", common.percentile(95.0).unwrap_or(0.0)),
+        ]);
+    }
+
+    ExperimentReport {
+        id: "F2",
+        title: "expected rounds: local vs common coin".into(),
+        claim: "with local coins expected rounds grow with the number of flipping nodes; a \
+                common coin keeps them O(1)"
+            .into(),
+        table,
+        notes: "expected shape: the local columns drift upward with n; the common columns stay \
+                flat around 2"
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_coin_stays_flat() {
+        let report = run(Mode::Quick);
+        // Parse the common-coin mean column and check it stays small.
+        for line in report.table.render().lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            let common_mean: f64 = cells[3].parse().unwrap();
+            assert!(common_mean <= 5.0, "common coin rounds blew up: {line}");
+        }
+    }
+}

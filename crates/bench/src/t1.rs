@@ -1,0 +1,80 @@
+//! T1 — correctness at full resilience: agreement, validity and
+//! probability-1 termination hold for every `f ≤ ⌊(n−1)/3⌋` against every
+//! adversary class.
+
+use crate::common::{fmt_mean, ExperimentReport, Mode, Tally};
+use async_bft::types::Value;
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+use bft_stats::Table;
+
+/// Runs the T1 matrix.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let seeds = mode.seeds(8, 30);
+    let sizes = match mode {
+        Mode::Quick => vec![4usize, 7, 10],
+        Mode::Full => vec![4, 7, 10, 13, 16, 19],
+    };
+
+    let mut table = Table::new(vec![
+        "n", "f", "adversary", "runs", "terminated", "agreement", "validity", "mean rounds",
+        "mean msgs",
+    ]);
+
+    for &n in &sizes {
+        for kind in FaultKind::ALL {
+            let mut tally = Tally::default();
+            for seed in 0..seeds as u64 {
+                let cluster = Cluster::new(n).expect("n >= 1");
+                let f = cluster.config().f();
+                // All correct nodes hold One so validity pins the outcome;
+                // the adversaries push other values.
+                let report = cluster
+                    .seed(seed)
+                    .coin(CoinChoice::Local)
+                    .schedule(Schedule::Uniform { min: 1, max: 20 })
+                    .faults(f, kind)
+                    .run();
+                tally.add(&report, Some(Value::One));
+            }
+            let f = (n - 1) / 3;
+            table.row(vec![
+                n.to_string(),
+                f.to_string(),
+                kind.describe().to_string(),
+                tally.runs.to_string(),
+                tally.term_pct(),
+                tally.agree_pct(),
+                tally.valid_pct(),
+                fmt_mean(&tally.rounds),
+                fmt_mean(&tally.msgs),
+            ]);
+        }
+    }
+
+    ExperimentReport {
+        id: "T1",
+        title: "correctness at optimal resilience (n ≥ 3f + 1)".into(),
+        claim: "agreement, validity and termination hold for every adversary class at full f"
+            .into(),
+        table,
+        notes: "expected shape: 100% / 100% / 100% on every row".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_t1_is_perfect() {
+        let report = run(Mode::Quick);
+        // Every row must read 100% / 100% / 100%.
+        let rendered = report.table.render();
+        for line in rendered.lines().skip(2) {
+            assert!(
+                line.matches("100%").count() == 3,
+                "imperfect row in T1: {line}"
+            );
+        }
+    }
+}

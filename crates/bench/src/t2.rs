@@ -1,0 +1,75 @@
+//! T2 — tightness of the resilience bound: with `3f ≥ n` actual Byzantine
+//! nodes the protocol loses its guarantees, while `n = 3f + 1` keeps them.
+
+use crate::common::{ExperimentReport, Mode, Tally};
+use async_bft::types::{Config, Value};
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+use bft_stats::Table;
+use bracha::BrachaOptions;
+
+/// Runs the T2 boundary scan.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let seeds = mode.seeds(5, 25);
+    // (n, f): pairs straddling the bound. n = 3f is beyond it; n = 3f + 1
+    // exactly on it.
+    let cells: Vec<(usize, usize)> = vec![(7, 2), (6, 2), (10, 3), (9, 3)];
+
+    let mut table =
+        Table::new(vec!["n", "f", "within bound", "terminated", "agreement", "validity"]);
+
+    for (n, f) in cells {
+        let within = n >= 3 * f + 1;
+        let mut tally = Tally::default();
+        for seed in 0..seeds as u64 {
+            let config = Config::new_unchecked_resilience(n, f).expect("f < n");
+            let report = Cluster::with_config(config)
+                .seed(seed)
+                .coin(CoinChoice::Local)
+                // Favour the liars so their payloads dominate quorums —
+                // the strongest schedule for the attack.
+                .schedule(Schedule::FavorFaulty { favored: f, fast: 1, slow: 15 })
+                .faults(f, FaultKind::FlipValue)
+                .options(BrachaOptions { max_rounds: 30, ..BrachaOptions::default() })
+                .max_delivered(400_000)
+                .run();
+            tally.add(&report, Some(Value::One));
+        }
+        table.row(vec![
+            n.to_string(),
+            f.to_string(),
+            if within { "yes" } else { "NO" }.to_string(),
+            tally.term_pct(),
+            tally.agree_pct(),
+            tally.valid_pct(),
+        ]);
+    }
+
+    ExperimentReport {
+        id: "T2",
+        title: "the n ≥ 3f + 1 bound is tight".into(),
+        claim: "beyond the bound (n = 3f) some guarantee fails; at the bound all hold".into(),
+        table,
+        notes: "expected shape: 'yes' rows perfect; 'NO' rows lose termination and/or validity"
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_bound_rows_are_perfect_and_beyond_rows_are_not() {
+        let report = run(Mode::Quick);
+        let rendered = report.table.render();
+        let mut saw_beyond_failure = false;
+        for line in rendered.lines().skip(2) {
+            if line.contains("yes") {
+                assert_eq!(line.matches("100%").count(), 3, "within-bound row failed: {line}");
+            } else if line.matches("100%").count() < 3 {
+                saw_beyond_failure = true;
+            }
+        }
+        assert!(saw_beyond_failure, "some beyond-bound row must fail:\n{rendered}");
+    }
+}

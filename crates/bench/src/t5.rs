@@ -1,0 +1,113 @@
+//! T5 — optimal resilience vs the prior art: Ben-Or (1983) needs
+//! `n > 5f`; Bracha reaches `n ≥ 3f + 1`. The separating attack is
+//! double-talk, which reliable broadcast makes impossible.
+
+use crate::common::{fmt_mean, run_benor, ExperimentReport, Mode, Tally};
+use async_bft::types::{Config, Value};
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+use bft_stats::Table;
+use bracha::BrachaOptions;
+
+/// Runs the T5 comparison.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let seeds = mode.seeds(8, 30);
+    let n = 16;
+    // f = 3: both protocols inside their bounds (16 > 15 and 16 ≥ 10).
+    // f = 5: Bracha exactly at its bound (16 ≥ 16); Ben-Or far beyond
+    // (16 < 25).
+    let fault_counts = [3usize, 5];
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "n",
+        "f",
+        "within bound",
+        "terminated",
+        "agreement",
+        "validity",
+        "mean rounds",
+    ]);
+
+    for &f in &fault_counts {
+        // --- Ben-Or under f double-talkers ---
+        let mut tally = Tally::default();
+        for seed in 0..seeds as u64 {
+            let report = run_benor(n, f, f, Value::One, seed, 60);
+            tally.add(&report, Some(Value::One));
+        }
+        table.row(vec![
+            "ben-or".into(),
+            n.to_string(),
+            f.to_string(),
+            if n > 5 * f { "yes" } else { "NO" }.to_string(),
+            tally.term_pct(),
+            tally.agree_pct(),
+            tally.valid_pct(),
+            fmt_mean(&tally.rounds),
+        ]);
+
+        // --- Bracha under f liars (double-talk impossible under RBC;
+        // flip-value is the strongest remaining analogue) ---
+        let mut tally = Tally::default();
+        for seed in 0..seeds as u64 {
+            let config = Config::new_unchecked_resilience(n, f).expect("f < n");
+            let report = Cluster::with_config(config)
+                .seed(seed)
+                .coin(CoinChoice::Local)
+                .schedule(Schedule::FavorFaulty { favored: f, fast: 1, slow: 15 })
+                .faults(f, FaultKind::FlipValue)
+                .options(BrachaOptions { max_rounds: 60, ..BrachaOptions::default() })
+                .max_delivered(3_000_000)
+                .run();
+            tally.add(&report, Some(Value::One));
+        }
+        table.row(vec![
+            "bracha".into(),
+            n.to_string(),
+            f.to_string(),
+            if n >= 3 * f + 1 { "yes" } else { "NO" }.to_string(),
+            tally.term_pct(),
+            tally.agree_pct(),
+            tally.valid_pct(),
+            fmt_mean(&tally.rounds),
+        ]);
+    }
+
+    ExperimentReport {
+        id: "T5",
+        title: "resilience vs Ben-Or 1983".into(),
+        claim: "Ben-Or breaks between n/5 and n/3 faults; Bracha holds up to ⌊(n−1)/3⌋".into(),
+        table,
+        notes: "expected shape: at f = 3 both rows perfect; at f = 5 Ben-Or degrades while \
+                Bracha stays perfect"
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bracha_rows_stay_perfect() {
+        let report = run(Mode::Quick);
+        for line in report.table.render().lines().skip(2) {
+            if line.contains("bracha") {
+                assert_eq!(line.matches("100%").count(), 3, "bracha row failed: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn benor_degrades_beyond_its_bound() {
+        let report = run(Mode::Quick);
+        let mut degraded = false;
+        for line in report.table.render().lines().skip(2) {
+            if line.contains("ben-or") && line.contains("NO") && line.matches("100%").count() < 3
+            {
+                degraded = true;
+            }
+        }
+        assert!(degraded, "ben-or must fail beyond n > 5f:\n{}", report.table.render());
+    }
+}

@@ -1,0 +1,71 @@
+//! T7 — communication cost per decision, broken down by message kind
+//! (`<rbc phase>/<consensus step>`).
+
+use crate::common::{ExperimentReport, Mode};
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+use bft_stats::Table;
+
+/// Runs the T7 breakdown.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let seeds = mode.seeds(5, 20);
+    let n = 7;
+
+    // Aggregate per-kind counts across seeds.
+    let mut agg: std::collections::BTreeMap<&'static str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut total_msgs = 0u64;
+    let mut total_bytes = 0u64;
+    for seed in 0..seeds as u64 {
+        let report = Cluster::new(n)
+            .expect("n >= 1")
+            .seed(seed)
+            .split_inputs(4)
+            .coin(CoinChoice::Local)
+            .schedule(Schedule::Uniform { min: 1, max: 20 })
+            .fault(0, FaultKind::Crash { after: 40 })
+            .run();
+        for (kind, &(count, bytes)) in &report.metrics.by_kind {
+            let slot = agg.entry(kind).or_insert((0, 0));
+            slot.0 += count;
+            slot.1 += bytes;
+        }
+        total_msgs += report.metrics.sent;
+        total_bytes += report.metrics.bytes_sent;
+    }
+
+    let mut table = Table::new(vec!["message kind", "msgs/decision", "bytes/decision"]);
+    for (kind, (count, bytes)) in agg {
+        table.row(vec![
+            kind.to_string(),
+            format!("{:.0}", count as f64 / seeds as f64),
+            format!("{:.0}", bytes as f64 / seeds as f64),
+        ]);
+    }
+    table.row(vec![
+        "TOTAL".into(),
+        format!("{:.0}", total_msgs as f64 / seeds as f64),
+        format!("{:.0}", total_bytes as f64 / seeds as f64),
+    ]);
+
+    ExperimentReport {
+        id: "T7",
+        title: format!("communication cost per decision (n = {n}, one crash fault)"),
+        claim: "the echo phase of RBC dominates the O(n³) cost".into(),
+        table,
+        notes: "expected shape: echo/* and ready/* rows ≈ n× the send/* rows".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_contains_all_phases_and_total() {
+        let report = run(Mode::Quick);
+        let rendered = report.table.render();
+        for needle in ["send/initial", "echo/initial", "ready/ready", "TOTAL"] {
+            assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+        }
+    }
+}

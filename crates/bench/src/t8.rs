@@ -1,0 +1,87 @@
+//! T8 — ablation: message validation is load-bearing. The same liar
+//! adversary that is harmless under full validation breaks the protocol
+//! when validation is disabled (reliable broadcast alone is not enough).
+
+use crate::common::{ExperimentReport, Mode, Tally};
+use async_bft::types::Value;
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+use bft_stats::Table;
+use bracha::BrachaOptions;
+
+/// Runs the T8 ablation grid.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let seeds = mode.seeds(10, 40);
+    let n = 7;
+    let f = 2;
+
+    let mut table = Table::new(vec![
+        "validation",
+        "adversary",
+        "runs",
+        "terminated",
+        "agreement",
+        "validity",
+    ]);
+
+    for validate in [true, false] {
+        for kind in [FaultKind::FlipValue, FaultKind::Seesaw] {
+            let mut tally = Tally::default();
+            for seed in 0..seeds as u64 {
+                let report = Cluster::new(n)
+                    .expect("n >= 1")
+                    .seed(seed)
+                    .coin(CoinChoice::Local)
+                    // Liar traffic first: the schedule that maximises the
+                    // corrupted payloads' presence in every quorum.
+                    .schedule(Schedule::FavorFaulty { favored: f, fast: 1, slow: 15 })
+                    .faults(f, kind)
+                    .options(BrachaOptions {
+                        validate,
+                        max_rounds: 60,
+                        ..BrachaOptions::default()
+                    })
+                    .max_delivered(1_000_000)
+                    .run();
+                tally.add(&report, Some(Value::One));
+            }
+            table.row(vec![
+                if validate { "on" } else { "OFF" }.to_string(),
+                kind.describe().to_string(),
+                tally.runs.to_string(),
+                tally.term_pct(),
+                tally.agree_pct(),
+                tally.valid_pct(),
+            ]);
+        }
+    }
+
+    ExperimentReport {
+        id: "T8",
+        title: "ablation: reliable broadcast without validation".into(),
+        claim: "validation (not just RBC) is what reduces Byzantine nodes to omission faults"
+            .into(),
+        table,
+        notes: "expected shape: 'on' rows perfect; 'OFF' rows lose termination and/or validity"
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_on_is_perfect_and_off_is_not() {
+        let report = run(Mode::Quick);
+        let rendered = report.table.render();
+        let mut off_failed = false;
+        for line in rendered.lines().skip(2) {
+            if line.trim_start().starts_with("on") {
+                assert_eq!(line.matches("100%").count(), 3, "validated row failed: {line}");
+            } else if line.trim_start().starts_with("OFF") && line.matches("100%").count() < 3 {
+                off_failed = true;
+            }
+        }
+        assert!(off_failed, "validation-off must fail somewhere:\n{rendered}");
+    }
+}

@@ -1,0 +1,106 @@
+//! T9 — from 1984 to modern async BFT: Bracha's RBC-based consensus vs
+//! the MMR-style ABA that descends from it. Same guarantees (`n ≥ 3f+1`,
+//! probability-1 termination), ~n× cheaper rounds.
+
+use crate::common::{fmt_mean, ExperimentReport, Mode, Tally};
+use async_bft::{Cluster, CoinChoice, Schedule};
+use bft_coin::CommonCoin;
+use bft_sim::{Report, UniformDelay, World, WorldConfig};
+use bft_stats::Table;
+use bft_types::{Config, Value};
+use bracha::mmr::MmrProcess;
+
+fn run_mmr(n: usize, seed: u64) -> Report<Value> {
+    let cfg = Config::max_resilience(n).expect("n >= 1");
+    let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
+    for id in cfg.nodes() {
+        let input = Value::from_bool(id.index() < n / 2);
+        world.add_process(Box::new(MmrProcess::new(
+            cfg,
+            id,
+            input,
+            CommonCoin::new(seed, 0),
+            10_000,
+        )));
+    }
+    world.run()
+}
+
+/// Runs the T9 comparison.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let seeds = mode.seeds(10, 40);
+    let sizes = match mode {
+        Mode::Quick => vec![4usize, 7, 10],
+        Mode::Full => vec![4, 7, 10, 13, 16],
+    };
+
+    let mut table = Table::new(vec![
+        "n",
+        "bracha'84: rounds",
+        "bracha'84: msgs",
+        "mmr'14: rounds",
+        "mmr'14: msgs",
+        "msg ratio",
+    ]);
+
+    for &n in &sizes {
+        let mut bracha = Tally::default();
+        let mut mmr = Tally::default();
+        for seed in 0..seeds as u64 {
+            let report = Cluster::new(n)
+                .expect("n >= 1")
+                .seed(seed)
+                .split_inputs(n / 2)
+                .coin(CoinChoice::Common)
+                .schedule(Schedule::Uniform { min: 1, max: 20 })
+                .run();
+            bracha.add(&report, None);
+            let report = run_mmr(n, seed);
+            mmr.add(&report, None);
+        }
+        assert_eq!(bracha.terminated, seeds, "bracha runs must all decide");
+        assert_eq!(mmr.terminated, seeds, "mmr runs must all decide");
+        let ratio = bracha.msgs.mean() / mmr.msgs.mean();
+        table.row(vec![
+            n.to_string(),
+            fmt_mean(&bracha.rounds),
+            format!("{:.0}", bracha.msgs.mean()),
+            fmt_mean(&mmr.rounds),
+            format!("{:.0}", mmr.msgs.mean()),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+
+    ExperimentReport {
+        id: "T9",
+        title: "Bracha 1984 vs modern ABA (MMR 2014), both with a common coin".into(),
+        claim: "the descendant keeps the guarantees at ~n× fewer messages (O(n²) vs O(n³) per \
+                round)"
+            .into(),
+        table,
+        notes: "expected shape: similar round counts; the message ratio grows roughly linearly \
+                with n"
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmr_is_cheaper_and_the_gap_grows() {
+        let report = run(Mode::Quick);
+        let mut ratios = Vec::new();
+        for line in report.table.render().lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            let ratio: f64 = cells.last().unwrap().trim_end_matches('x').parse().unwrap();
+            assert!(ratio > 1.0, "MMR must be cheaper: {line}");
+            ratios.push(ratio);
+        }
+        assert!(
+            ratios.last().unwrap() > ratios.first().unwrap(),
+            "the gap should grow with n: {ratios:?}"
+        );
+    }
+}

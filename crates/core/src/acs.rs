@@ -1,0 +1,370 @@
+//! Asynchronous Common Subset (ACS) — the bridge from Bracha's primitives
+//! to modern asynchronous BFT.
+//!
+//! The calibration note for this reproduction ("basis of modern async
+//! BFT; HoneyBadgerBFT implements variants") refers to exactly this
+//! construction: HoneyBadgerBFT's core is `n` reliable broadcasts plus
+//! `n` binary Byzantine agreements, both of which are Bracha's 1984
+//! primitives. ACS lets `n` nodes agree on a *set* of at least `n − f`
+//! proposals despite `f` Byzantine nodes:
+//!
+//! 1. Every node reliably broadcasts its proposal (one RBC instance per
+//!    proposer).
+//! 2. For each proposer `i` there is one binary agreement instance
+//!    `ABA_i` deciding "is `i`'s proposal in the set?". A node inputs `1`
+//!    to `ABA_i` when it delivers `i`'s RBC.
+//! 3. Once `n − f` instances have decided `1`, the node inputs `0` to all
+//!    instances it has not yet voted in (so the set closes).
+//! 4. When every instance has decided, the output is the set of proposals
+//!    whose instance decided `1` (waiting for any still-missing RBC
+//!    deliveries — totality guarantees they arrive).
+//!
+//! Properties: all correct nodes output the same set; the set contains at
+//! least `n − f` proposals; every proposal in the set was actually
+//! broadcast by its proposer (RBC agreement).
+//!
+//! # Example
+//!
+//! ```
+//! use bft_coin::CommonCoin;
+//! use bft_sim::{UniformDelay, World, WorldConfig};
+//! use bft_types::{Config, NodeId};
+//! use bracha::acs::AcsProcess;
+//!
+//! # fn main() -> Result<(), bft_types::ConfigError> {
+//! let cfg = Config::new(4, 1)?;
+//! let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 5, 9));
+//! for id in cfg.nodes() {
+//!     let proposal = format!("tx-batch-from-{id}").into_bytes();
+//!     let coins = (0..4).map(|i| CommonCoin::new(9, i as u64)).collect();
+//!     world.add_process(Box::new(AcsProcess::new(cfg, id, proposal, coins)));
+//! }
+//! let report = world.run();
+//! assert!(report.all_correct_decided());
+//! assert!(report.agreement_holds());
+//! // The agreed set contains at least n − f proposals.
+//! let set = report.output_of(NodeId::new(0)).unwrap();
+//! assert!(set.len() >= 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{BrachaNode, BrachaOptions, Transition, Wire};
+use bft_coin::CoinScheme;
+use bft_rbc::{RbcMux, RbcMuxAction, RbcMuxMessage};
+use bft_types::{Config, Effect, NodeId, Process, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The agreed set: `(proposer, proposal)` pairs, sorted by proposer.
+pub type AcsOutput = Vec<(NodeId, Vec<u8>)>;
+
+/// A wire message of the ACS protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AcsMessage {
+    /// A reliable-broadcast message carrying a proposal. The RBC tag is
+    /// unused (one instance per proposer), fixed to `0`.
+    Proposal(RbcMuxMessage<u8, Vec<u8>>),
+    /// A message of the binary agreement instance for proposer `index`.
+    Aba {
+        /// Which proposer's inclusion is being agreed on.
+        index: usize,
+        /// The inner Bracha-consensus wire message.
+        wire: Wire,
+    },
+}
+
+impl fmt::Display for AcsMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcsMessage::Proposal(m) => write!(f, "proposal from {}", m.sender),
+            AcsMessage::Aba { index, .. } => write!(f, "aba[{index}]"),
+        }
+    }
+}
+
+/// One node of the ACS protocol, packaged as a [`Process`].
+///
+/// Internally: one [`RbcMux`] for the `n` proposal broadcasts and `n`
+/// [`BrachaNode`] binary-agreement instances, one per proposer, each with
+/// its own injected coin (use [`bft_coin::CommonCoin`] with the instance
+/// index for constant expected latency).
+#[derive(Clone, Debug)]
+pub struct AcsProcess<C> {
+    config: Config,
+    me: NodeId,
+    proposal: Option<Vec<u8>>,
+    rbc: RbcMux<u8, Vec<u8>>,
+    abas: Vec<BrachaNode<C>>,
+    aba_started: Vec<bool>,
+    delivered: BTreeMap<NodeId, Vec<u8>>,
+    output: Option<AcsOutput>,
+    output_emitted: bool,
+    halted: bool,
+}
+
+impl<C: CoinScheme> AcsProcess<C> {
+    /// Creates a participant proposing `proposal`.
+    ///
+    /// `coins` supplies the coin for each of the `n` agreement instances
+    /// (index `i` decides proposer `i`'s inclusion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coins.len() != config.n()`.
+    pub fn new(config: Config, me: NodeId, proposal: Vec<u8>, coins: Vec<C>) -> Self {
+        assert_eq!(coins.len(), config.n(), "one coin per agreement instance");
+        let abas = coins
+            .into_iter()
+            .map(|coin| BrachaNode::new(config, me, coin, BrachaOptions::default()))
+            .collect();
+        AcsProcess {
+            config,
+            me,
+            proposal: Some(proposal),
+            rbc: RbcMux::new(config, me),
+            abas,
+            aba_started: vec![false; config.n()],
+            delivered: BTreeMap::new(),
+            output: None,
+            output_emitted: false,
+            halted: false,
+        }
+    }
+
+    /// The agreed set, once computed.
+    pub fn output(&self) -> Option<&AcsOutput> {
+        self.output.as_ref()
+    }
+
+    fn lift_rbc(
+        actions: Vec<RbcMuxAction<u8, Vec<u8>>>,
+        out: &mut Vec<Effect<AcsMessage, AcsOutput>>,
+        delivered: &mut BTreeMap<NodeId, Vec<u8>>,
+    ) {
+        for a in actions {
+            match a {
+                RbcMuxAction::Broadcast(m) => {
+                    out.push(Effect::Broadcast { msg: AcsMessage::Proposal(m) });
+                }
+                RbcMuxAction::Deliver { sender, payload, .. } => {
+                    delivered.entry(sender).or_insert(payload);
+                }
+            }
+        }
+    }
+
+    fn lift_aba(
+        index: usize,
+        transitions: Vec<Transition>,
+        out: &mut Vec<Effect<AcsMessage, AcsOutput>>,
+    ) {
+        for t in transitions {
+            if let Transition::Broadcast(wire) = t {
+                out.push(Effect::Broadcast { msg: AcsMessage::Aba { index, wire } });
+            }
+            // Decide/Halt are consumed internally via the node's getters.
+        }
+    }
+
+    /// Drives the ACS wiring rules to a fixpoint.
+    fn progress(&mut self, out: &mut Vec<Effect<AcsMessage, AcsOutput>>) {
+        loop {
+            let mut changed = false;
+
+            // Rule 1: vote 1 for every delivered proposal.
+            for i in 0..self.config.n() {
+                if !self.aba_started[i] && self.delivered.contains_key(&NodeId::new(i)) {
+                    self.aba_started[i] = true;
+                    let ts = self.abas[i].start(Value::One);
+                    Self::lift_aba(i, ts, out);
+                    changed = true;
+                }
+            }
+
+            // Rule 2: once n − f instances decided 1, vote 0 everywhere
+            // else.
+            let ones = self.abas.iter().filter(|a| a.decided() == Some(Value::One)).count();
+            if ones >= self.config.quorum() {
+                for i in 0..self.config.n() {
+                    if !self.aba_started[i] {
+                        self.aba_started[i] = true;
+                        let ts = self.abas[i].start(Value::Zero);
+                        Self::lift_aba(i, ts, out);
+                        changed = true;
+                    }
+                }
+            }
+
+            // Rule 3: output when every instance has decided and every
+            // accepted proposal has been delivered.
+            if self.output.is_none() && self.abas.iter().all(|a| a.decided().is_some()) {
+                let accepted: Vec<NodeId> = (0..self.config.n())
+                    .filter(|&i| self.abas[i].decided() == Some(Value::One))
+                    .map(NodeId::new)
+                    .collect();
+                if accepted.iter().all(|id| self.delivered.contains_key(id)) {
+                    let set: AcsOutput = accepted
+                        .into_iter()
+                        .map(|id| (id, self.delivered[&id].clone()))
+                        .collect();
+                    self.output = Some(set);
+                    changed = true;
+                }
+            }
+
+            if let Some(set) = &self.output {
+                if !self.output_emitted {
+                    self.output_emitted = true;
+                    out.push(Effect::Output(set.clone()));
+                }
+                // Halt once all agreement instances have wound down.
+                if !self.halted && self.abas.iter().all(|a| a.is_halted()) {
+                    self.halted = true;
+                    out.push(Effect::Halt);
+                }
+            }
+
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+impl<C: CoinScheme> Process for AcsProcess<C> {
+    type Msg = AcsMessage;
+    type Output = AcsOutput;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<AcsMessage, AcsOutput>> {
+        let mut out = Vec::new();
+        if let Some(p) = self.proposal.take() {
+            let actions = self.rbc.broadcast(0, p);
+            Self::lift_rbc(actions, &mut out, &mut self.delivered);
+        }
+        self.progress(&mut out);
+        out
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AcsMessage) -> Vec<Effect<AcsMessage, AcsOutput>> {
+        if self.halted {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match msg {
+            AcsMessage::Proposal(m) => {
+                let actions = self.rbc.on_message(from, m);
+                Self::lift_rbc(actions, &mut out, &mut self.delivered);
+            }
+            AcsMessage::Aba { index, wire } => {
+                if index < self.abas.len() {
+                    let ts = self.abas[index].on_message(from, wire);
+                    Self::lift_aba(index, ts, &mut out);
+                }
+            }
+        }
+        self.progress(&mut out);
+        out
+    }
+
+    fn output(&self) -> Option<AcsOutput> {
+        self.output.clone()
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn round(&self) -> u64 {
+        self.abas.iter().map(|a| a.round().get()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::CommonCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+
+    fn coins(n: usize, seed: u64) -> Vec<CommonCoin> {
+        (0..n).map(|i| CommonCoin::new(seed, i as u64)).collect()
+    }
+
+    fn run_acs(n: usize, f: usize, seed: u64, faulty: &[usize]) -> bft_sim::Report<AcsOutput> {
+        let cfg = Config::new(n, f).unwrap();
+        let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 10, seed));
+        for id in cfg.nodes() {
+            let proposal = format!("proposal-{}", id.index()).into_bytes();
+            let p = Box::new(AcsProcess::new(cfg, id, proposal, coins(n, seed)));
+            if faulty.contains(&id.index()) {
+                // A crashed proposer: installed as a silent process.
+                world.add_faulty_process(Box::new(SilentAcs { id }));
+            } else {
+                world.add_process(p);
+            }
+        }
+        world.run()
+    }
+
+    struct SilentAcs {
+        id: NodeId,
+    }
+
+    impl Process for SilentAcs {
+        type Msg = AcsMessage;
+        type Output = AcsOutput;
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_start(&mut self) -> Vec<Effect<AcsMessage, AcsOutput>> {
+            Vec::new()
+        }
+        fn on_message(&mut self, _f: NodeId, _m: AcsMessage) -> Vec<Effect<AcsMessage, AcsOutput>> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn all_correct_nodes_agree_on_a_full_set() {
+        let report = run_acs(4, 1, 3, &[]);
+        assert!(report.all_correct_decided());
+        assert!(report.agreement_holds());
+        let set = report.output_of(NodeId::new(0)).unwrap();
+        assert!(set.len() >= 3, "set must contain at least n − f proposals");
+        for (id, payload) in &set {
+            assert_eq!(payload, format!("proposal-{}", id.index()).as_bytes());
+        }
+    }
+
+    #[test]
+    fn crashed_proposer_is_excluded_but_acs_completes() {
+        let report = run_acs(4, 1, 7, &[3]);
+        assert!(report.all_correct_decided());
+        assert!(report.agreement_holds());
+        let set = report.output_of(NodeId::new(0)).unwrap();
+        assert!(set.len() >= 3);
+        assert!(
+            set.iter().all(|(id, _)| id.index() != 3),
+            "silent node's proposal cannot be delivered, hence not included"
+        );
+    }
+
+    #[test]
+    fn larger_cluster_completes() {
+        let report = run_acs(7, 2, 1, &[6]);
+        assert!(report.all_correct_decided());
+        assert!(report.agreement_holds());
+        assert!(report.output_of(NodeId::new(0)).unwrap().len() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one coin per agreement instance")]
+    fn coin_count_must_match_n() {
+        let cfg = Config::new(4, 1).unwrap();
+        let _ = AcsProcess::new(cfg, NodeId::new(0), vec![], coins(3, 0));
+    }
+}

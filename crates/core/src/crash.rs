@@ -1,0 +1,331 @@
+//! The crash-fault baseline: randomized consensus tolerating `f < n/2`
+//! *fail-stop* faults (Ben-Or 1983, crash variant; cf. Bracha & Toueg's
+//! companion resilience analysis).
+//!
+//! Byzantine tolerance is expensive: Bracha's protocol pays reliable
+//! broadcast and validation to get `n ≥ 3f + 1`. If nodes can only
+//! *crash* (stop permanently, never lie), a much simpler and cheaper
+//! protocol reaches `n ≥ 2f + 1`:
+//!
+//! 1. **Report** — send `(report, r, x)` to all; wait for `n − f`
+//!    round-`r` reports; if more than `n/2` carry the same `v`, propose
+//!    `v`, else propose `⊥`.
+//! 2. **Proposal** — send `(proposal, r, ·)`; wait for `n − f`; with
+//!    `f + 1` proposals for `v` **decide** `v`; with at least one
+//!    proposal adopt `v`; otherwise flip the coin.
+//!
+//! Safety rests on counting *distinct senders*: a crashed node never
+//! reports two values, so two different values can never both exceed
+//! `n/2`. A single Byzantine node voids that argument — the experiments
+//! contrast the fault models.
+//!
+//! # Example
+//!
+//! ```
+//! use bft_coin::LocalCoin;
+//! use bft_sim::{UniformDelay, World, WorldConfig};
+//! use bft_types::{Config, Value};
+//! use bracha::crash::CrashConsensus;
+//!
+//! # fn main() -> Result<(), bft_types::ConfigError> {
+//! let n = 5;
+//! let cfg = Config::new_unchecked_resilience(n, 2)?; // f < n/2 !
+//! let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 10, 1));
+//! for id in cfg.nodes() {
+//!     world.add_process(Box::new(CrashConsensus::new(
+//!         cfg, id, Value::One, LocalCoin::new(1, id), 10_000,
+//!     )));
+//! }
+//! let report = world.run();
+//! assert_eq!(report.unanimous_output(), Some(Value::One));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::benor::BenOrMessage;
+use bft_coin::CoinScheme;
+use bft_types::{Config, Effect, NodeId, Process, Round, Value};
+use std::collections::BTreeMap;
+
+/// Per-round message bookkeeping (first message per sender per phase).
+#[derive(Clone, Debug, Default)]
+struct RoundMsgs {
+    reports: BTreeMap<NodeId, Value>,
+    proposals: BTreeMap<NodeId, Option<Value>>,
+}
+
+/// Which phase of a round the node is waiting in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Report,
+    Proposal,
+}
+
+/// One node of the crash-fault consensus protocol (`f < n/2`), packaged
+/// as a [`Process`]. Shares [`BenOrMessage`] on the wire with the
+/// Byzantine Ben-Or baseline.
+#[derive(Clone, Debug)]
+pub struct CrashConsensus<C> {
+    config: Config,
+    me: NodeId,
+    coin: C,
+    input: Value,
+    estimate: Value,
+    round: Round,
+    phase: Phase,
+    started: bool,
+    decided: Option<Value>,
+    decided_round: Option<Round>,
+    halted: bool,
+    max_rounds: u64,
+    msgs: BTreeMap<Round, RoundMsgs>,
+}
+
+impl<C: CoinScheme> CrashConsensus<C> {
+    /// Creates a participant.
+    ///
+    /// Note the resilience contract differs from the Byzantine
+    /// protocols: `config` may carry `f` up to `⌈n/2⌉ − 1` (construct it
+    /// with [`Config::new_unchecked_resilience`]); the *fault model* must
+    /// be crash-only for the guarantees to hold.
+    pub fn new(config: Config, me: NodeId, input: Value, coin: C, max_rounds: u64) -> Self {
+        CrashConsensus {
+            config,
+            me,
+            coin,
+            input,
+            estimate: input,
+            round: Round::FIRST,
+            phase: Phase::Report,
+            started: false,
+            decided: None,
+            decided_round: None,
+            halted: false,
+            max_rounds,
+            msgs: BTreeMap::new(),
+        }
+    }
+
+    /// The decided value, once any.
+    pub fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    /// The round this node decided in, if it has.
+    pub fn decided_round(&self) -> Option<Round> {
+        self.decided_round
+    }
+
+    fn try_advance(&mut self, out: &mut Vec<Effect<BenOrMessage, Value>>) {
+        let q = self.config.quorum();
+        let majority = self.config.majority_threshold();
+        loop {
+            if self.halted {
+                return;
+            }
+            let round = self.round;
+            let Some(rm) = self.msgs.get(&round) else { return };
+            match self.phase {
+                Phase::Report => {
+                    if rm.reports.len() < q {
+                        return;
+                    }
+                    let mut counts = [0usize; 2];
+                    for v in rm.reports.values().take(q) {
+                        counts[v.index()] += 1;
+                    }
+                    let proposal =
+                        Value::BOTH.into_iter().find(|v| counts[v.index()] >= majority);
+                    self.phase = Phase::Proposal;
+                    out.push(Effect::Broadcast {
+                        msg: BenOrMessage::Proposal { round, value: proposal },
+                    });
+                }
+                Phase::Proposal => {
+                    if rm.proposals.len() < q {
+                        return;
+                    }
+                    let mut counts = [0usize; 2];
+                    for v in rm.proposals.values().take(q).flatten() {
+                        counts[v.index()] += 1;
+                    }
+                    let (w, c) = if counts[1] >= counts[0] {
+                        (Value::One, counts[1])
+                    } else {
+                        (Value::Zero, counts[0])
+                    };
+                    if c >= self.config.f() + 1 {
+                        self.estimate = w;
+                        if self.decided.is_none() {
+                            self.decided = Some(w);
+                            self.decided_round = Some(round);
+                            out.push(Effect::Output(w));
+                        }
+                    } else if c >= 1 {
+                        self.estimate = w;
+                    } else {
+                        self.estimate = self.coin.flip(round.get());
+                    }
+                    let done = self
+                        .decided_round
+                        .map(|dr| round.get() >= dr.get() + 2)
+                        .unwrap_or(false);
+                    if done || round.get() >= self.max_rounds {
+                        self.halted = true;
+                        out.push(Effect::Halt);
+                        return;
+                    }
+                    self.round = round.next();
+                    self.phase = Phase::Report;
+                    self.msgs.retain(|r, _| *r >= round);
+                    out.push(Effect::Broadcast {
+                        msg: BenOrMessage::Report { round: self.round, value: self.estimate },
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl<C: CoinScheme> Process for CrashConsensus<C> {
+    type Msg = BenOrMessage;
+    type Output = Value;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<BenOrMessage, Value>> {
+        if self.started {
+            return Vec::new();
+        }
+        self.started = true;
+        let mut out = vec![Effect::Broadcast {
+            msg: BenOrMessage::Report { round: self.round, value: self.input },
+        }];
+        self.try_advance(&mut out);
+        out
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
+        if self.halted || !self.config.contains(from) {
+            return Vec::new();
+        }
+        let rm = self.msgs.entry(msg.round()).or_default();
+        match msg {
+            BenOrMessage::Report { value, .. } => {
+                rm.reports.entry(from).or_insert(value);
+            }
+            BenOrMessage::Proposal { value, .. } => {
+                rm.proposals.entry(from).or_insert(value);
+            }
+        }
+        let mut out = Vec::new();
+        self.try_advance(&mut out);
+        out
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.decided
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn round(&self) -> u64 {
+        self.decided_round.map(|r| r.get()).unwrap_or_else(|| self.round.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::LocalCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+
+    struct Crashed {
+        id: NodeId,
+    }
+    impl Process for Crashed {
+        type Msg = BenOrMessage;
+        type Output = Value;
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_start(&mut self) -> Vec<Effect<BenOrMessage, Value>> {
+            Vec::new()
+        }
+        fn on_message(&mut self, _f: NodeId, _m: BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
+            Vec::new()
+        }
+    }
+
+    fn run(
+        n: usize,
+        f: usize,
+        crashed: usize,
+        inputs: &[Value],
+        seed: u64,
+    ) -> bft_sim::Report<Value> {
+        let cfg = Config::new_unchecked_resilience(n, f).unwrap();
+        let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
+        for id in cfg.nodes() {
+            if id.index() < crashed {
+                world.add_faulty_process(Box::new(Crashed { id }));
+            } else {
+                world.add_process(Box::new(CrashConsensus::new(
+                    cfg,
+                    id,
+                    inputs[id.index()],
+                    LocalCoin::new(seed, id),
+                    5_000,
+                )));
+            }
+        }
+        world.run()
+    }
+
+    /// f = 2 of n = 5 — far beyond the Byzantine bound (⌊4/3⌋ = 1), fine
+    /// for crash faults.
+    #[test]
+    fn tolerates_minority_crashes() {
+        for seed in 0..10 {
+            let inputs =
+                [Value::One, Value::Zero, Value::One, Value::Zero, Value::One];
+            let report = run(5, 2, 2, &inputs, seed);
+            assert!(report.all_correct_decided(), "seed {seed}");
+            assert!(report.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unanimity_decides_round_one() {
+        let report = run(5, 2, 0, &[Value::Zero; 5], 3);
+        assert_eq!(report.unanimous_output(), Some(Value::Zero));
+        assert_eq!(report.decision_round(), Some(1));
+    }
+
+    #[test]
+    fn validity_with_crashes() {
+        for seed in 0..10 {
+            let report = run(7, 3, 3, &[Value::One; 7], seed);
+            assert_eq!(
+                report.unanimous_output(),
+                Some(Value::One),
+                "seed {seed}: crashed minority must not affect validity"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree_with_crashes() {
+        for seed in 0..10 {
+            let inputs: Vec<Value> =
+                (0..7).map(|i| Value::from_bool(i % 2 == 0)).collect();
+            let report = run(7, 3, 2, &inputs, seed);
+            assert!(report.all_correct_decided(), "seed {seed}");
+            assert!(report.agreement_holds(), "seed {seed}");
+        }
+    }
+}

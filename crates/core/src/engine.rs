@@ -1,0 +1,500 @@
+//! The consensus state machine: validated three-step rounds over reliable
+//! broadcast.
+
+use crate::validation::Validator;
+use crate::{StepPayload, StepTag, Wire};
+use bft_coin::CoinScheme;
+use bft_rbc::{RbcMux, RbcMuxAction};
+use bft_types::{Config, NodeId, Round, Step, Value};
+
+/// Tunables of a [`BrachaNode`].
+#[derive(Clone, Copy, Debug)]
+pub struct BrachaOptions {
+    /// Enforce message validation (the paper's protocol). Setting this to
+    /// `false` is the T8 ablation: reliable broadcast without validation,
+    /// which loses safety under lying adversaries.
+    pub validate: bool,
+    /// Safety valve: halt (undecided) if this round is exceeded. Randomized
+    /// termination has probability 1, but a worst-case experiment with a
+    /// fixed adversarial coin would otherwise spin forever.
+    pub max_rounds: u64,
+    /// How many rounds to keep participating after deciding, so that
+    /// slower nodes can still collect quorums. One round suffices for the
+    /// protocol's proof; two adds margin at negligible cost.
+    pub extra_rounds: u64,
+    /// Garbage-collect validator and RBC state for rounds that are more
+    /// than two behind the current round.
+    pub prune: bool,
+}
+
+impl Default for BrachaOptions {
+    fn default() -> Self {
+        BrachaOptions { validate: true, max_rounds: 10_000, extra_rounds: 2, prune: true }
+    }
+}
+
+/// An instruction produced by a [`BrachaNode`] for its host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// Send this wire message to every node (including ourselves).
+    Broadcast(Wire),
+    /// The node decided `value`. Emitted at most once.
+    Decide(Value),
+    /// The node has finished participating (decided plus
+    /// [`BrachaOptions::extra_rounds`], or the `max_rounds` valve fired).
+    Halt,
+}
+
+/// One node of Bracha's randomized Byzantine consensus protocol.
+///
+/// The node is a pure state machine: feed wire messages with
+/// [`BrachaNode::on_message`], kick it off with [`BrachaNode::start`], and
+/// execute the returned [`Transition`]s. Randomness comes only from the
+/// injected [`CoinScheme`], so executions are reproducible.
+///
+/// See the [crate-level documentation](crate) for the protocol itself.
+#[derive(Clone, Debug)]
+pub struct BrachaNode<C> {
+    config: Config,
+    me: NodeId,
+    coin: C,
+    options: BrachaOptions,
+    rbc: RbcMux<StepTag, StepPayload>,
+    validator: Validator,
+    round: Round,
+    step: Step,
+    estimate: Value,
+    started: bool,
+    decided: Option<Value>,
+    decided_round: Option<Round>,
+    halted: bool,
+}
+
+impl<C: CoinScheme> BrachaNode<C> {
+    /// Creates a node with the given coin scheme and options.
+    pub fn new(config: Config, me: NodeId, coin: C, options: BrachaOptions) -> Self {
+        BrachaNode {
+            config,
+            me,
+            coin,
+            options,
+            rbc: RbcMux::new(config, me),
+            validator: Validator::new(config, options.validate),
+            round: Round::FIRST,
+            step: Step::Initial,
+            estimate: Value::Zero,
+            started: false,
+            decided: None,
+            decided_round: None,
+            halted: false,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The decided value, once any.
+    pub fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    /// The round in which this node decided, if it has.
+    pub fn decided_round(&self) -> Option<Round> {
+        self.decided_round
+    }
+
+    /// The node's current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The node's current estimate.
+    pub fn estimate(&self) -> Value {
+        self.estimate
+    }
+
+    /// Whether the node has stopped participating.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The step the node is currently waiting in (diagnostics).
+    pub fn step(&self) -> Step {
+        self.step
+    }
+
+    /// Number of validated messages for `(round, step)` (diagnostics).
+    pub fn validated_count(&self, round: Round, step: Step) -> usize {
+        self.validator.validated(round, step).len()
+    }
+
+    /// Number of delivered-but-unvalidated payloads buffered for `round`
+    /// (diagnostics).
+    pub fn pending_count(&self, round: Round) -> usize {
+        self.validator.pending_count(round)
+    }
+
+    /// Number of rounds with live validator state — bounded when
+    /// [`BrachaOptions::prune`] is on (diagnostics / leak detection).
+    pub fn tracked_rounds(&self) -> usize {
+        self.validator.round_count()
+    }
+
+    /// Starts the protocol with `input` as this node's initial value.
+    ///
+    /// May be called after messages have already been received (they are
+    /// buffered); calling it twice is a no-op.
+    pub fn start(&mut self, input: Value) -> Vec<Transition> {
+        if self.started || self.halted {
+            return Vec::new();
+        }
+        self.started = true;
+        self.estimate = input;
+        let mut out = Vec::new();
+        self.broadcast_current(StepPayload::Initial(input), &mut out);
+        self.try_advance(&mut out);
+        out
+    }
+
+    /// Processes one wire message from (authenticated) peer `from`.
+    pub fn on_message(&mut self, from: NodeId, msg: Wire) -> Vec<Transition> {
+        if self.halted {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for action in self.rbc.on_message(from, msg) {
+            match action {
+                RbcMuxAction::Broadcast(wire) => out.push(Transition::Broadcast(wire)),
+                RbcMuxAction::Deliver { sender, tag, payload } => {
+                    // A Byzantine origin could broadcast a payload whose
+                    // step contradicts the instance tag; reject it here so
+                    // the validator's bookkeeping stays per-(round, step).
+                    if payload.step() != tag.step {
+                        continue;
+                    }
+                    let _ = self.validator.ingest(tag.round, sender, payload);
+                }
+            }
+        }
+        self.try_advance(&mut out);
+        out
+    }
+
+    /// Reliably broadcasts our payload for the current `(round, step)`.
+    fn broadcast_current(&mut self, payload: StepPayload, out: &mut Vec<Transition>) {
+        let tag = StepTag::new(self.round, self.step);
+        for action in self.rbc.broadcast(tag, payload) {
+            match action {
+                RbcMuxAction::Broadcast(wire) => out.push(Transition::Broadcast(wire)),
+                RbcMuxAction::Deliver { sender, tag, payload } => {
+                    let _ = self.validator.ingest(tag.round, sender, payload);
+                }
+            }
+        }
+    }
+
+    /// Runs protocol transitions while the current step's quorum is
+    /// satisfied.
+    fn try_advance(&mut self, out: &mut Vec<Transition>) {
+        if !self.started || self.halted {
+            return;
+        }
+        let q = self.config.quorum();
+        loop {
+            let msgs = self.validator.validated(self.round, self.step);
+            if msgs.len() < q {
+                return;
+            }
+            let quorum: Vec<StepPayload> = msgs[..q].iter().map(|&(_, p)| p).collect();
+            match self.step {
+                Step::Initial => {
+                    self.estimate = weak_majority(&quorum, self.estimate);
+                    self.step = Step::Echo;
+                    self.broadcast_current(StepPayload::Echo(self.estimate), out);
+                }
+                Step::Echo => {
+                    let m = self.config.majority_threshold();
+                    let counts = value_counts(&quorum);
+                    let flagged = Value::BOTH.into_iter().find(|v| counts[v.index()] >= m);
+                    if let Some(w) = flagged {
+                        self.estimate = w;
+                    }
+                    self.step = Step::Ready;
+                    self.broadcast_current(
+                        StepPayload::Ready { value: self.estimate, flagged: flagged.is_some() },
+                        out,
+                    );
+                }
+                Step::Ready => {
+                    let f = self.config.f();
+                    let dcounts = flag_counts(&quorum);
+                    // At most one value can carry validated D-flags (quorum
+                    // intersection); prefer One deterministically if the
+                    // ablation (validation off) ever lets both through.
+                    let (w, d) = if dcounts[1] >= dcounts[0] {
+                        (Value::One, dcounts[1])
+                    } else {
+                        (Value::Zero, dcounts[0])
+                    };
+                    if d >= self.config.decide_threshold() {
+                        self.estimate = w;
+                        if self.decided.is_none() {
+                            self.decided = Some(w);
+                            self.decided_round = Some(self.round);
+                            out.push(Transition::Decide(w));
+                        }
+                    } else if d >= f + 1 {
+                        self.estimate = w;
+                    } else {
+                        self.estimate = self.coin.flip(self.round.get());
+                    }
+                    if !self.enter_next_round(out) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves to the next round (or halts). Returns false when halted.
+    fn enter_next_round(&mut self, out: &mut Vec<Transition>) -> bool {
+        let done_participating = self
+            .decided_round
+            .map(|dr| self.round.get() >= dr.get() + self.options.extra_rounds)
+            .unwrap_or(false);
+        let out_of_rounds = self.round.get() >= self.options.max_rounds;
+        if done_participating || out_of_rounds {
+            self.halted = true;
+            out.push(Transition::Halt);
+            return false;
+        }
+        self.round = self.round.next();
+        self.step = Step::Initial;
+        if self.options.prune {
+            if let Some(keep_from) = self.round.get().checked_sub(2) {
+                if keep_from >= 1 {
+                    let keep = Round::new(keep_from);
+                    self.validator.prune_before(keep);
+                    self.rbc.retain(|_, tag| tag.round >= keep);
+                }
+            }
+        }
+        self.broadcast_current(StepPayload::Initial(self.estimate), out);
+        true
+    }
+}
+
+/// The value held by strictly more than half of `quorum`, or `tiebreak`
+/// on an exact tie (possible only for even quorum sizes).
+fn weak_majority(quorum: &[StepPayload], tiebreak: Value) -> Value {
+    let counts = value_counts(quorum);
+    match counts[1].cmp(&counts[0]) {
+        std::cmp::Ordering::Greater => Value::One,
+        std::cmp::Ordering::Less => Value::Zero,
+        std::cmp::Ordering::Equal => tiebreak,
+    }
+}
+
+fn value_counts(quorum: &[StepPayload]) -> [usize; 2] {
+    let mut counts = [0usize; 2];
+    for p in quorum {
+        counts[p.value().index()] += 1;
+    }
+    counts
+}
+
+fn flag_counts(quorum: &[StepPayload]) -> [usize; 2] {
+    let mut counts = [0usize; 2];
+    for p in quorum {
+        if p.is_flagged() {
+            counts[p.value().index()] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::FixedCoin;
+
+    fn cfg() -> Config {
+        Config::new(4, 1).unwrap()
+    }
+
+    fn node(i: usize) -> BrachaNode<FixedCoin> {
+        BrachaNode::new(cfg(), NodeId::new(i), FixedCoin::new(Value::Zero), BrachaOptions::default())
+    }
+
+    /// Starts every node with its input and returns the queued broadcasts
+    /// with correct sender attribution.
+    fn start_all(nodes: &mut [BrachaNode<FixedCoin>], inputs: &[Value]) -> Vec<(NodeId, Wire)> {
+        let mut queue = Vec::new();
+        for (n, &v) in nodes.iter_mut().zip(inputs) {
+            let me = n.me();
+            for t in n.start(v) {
+                if let Transition::Broadcast(w) = t {
+                    queue.push((me, w));
+                }
+            }
+        }
+        queue
+    }
+
+    /// Delivers every queued broadcast to every node until quiescence.
+    /// Returns the decisions.
+    fn pump(
+        nodes: &mut [BrachaNode<FixedCoin>],
+        mut queue: Vec<(NodeId, Wire)>,
+    ) -> Vec<Option<Value>> {
+        let mut safety = 0;
+        while !queue.is_empty() {
+            safety += 1;
+            assert!(safety < 1_000_000, "pump did not quiesce");
+            let (from, wire) = queue.remove(0);
+            for node in nodes.iter_mut() {
+                let ts = node.on_message(from, wire.clone());
+                let me = node.me();
+                for t in ts {
+                    if let Transition::Broadcast(w) = t {
+                        queue.push((me, w));
+                    }
+                }
+            }
+        }
+        nodes.iter().map(|n| n.decided()).collect()
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_in_round_one() {
+        let mut nodes: Vec<_> = (0..4).map(node).collect();
+        let queue = start_all(&mut nodes, &[Value::One; 4]);
+        let decisions = pump(&mut nodes, queue);
+        assert!(decisions.iter().all(|d| *d == Some(Value::One)));
+        for n in &nodes {
+            assert_eq!(n.decided_round(), Some(Round::FIRST));
+        }
+    }
+
+    #[test]
+    fn validity_unanimous_zero() {
+        let mut nodes: Vec<_> = (0..4).map(node).collect();
+        let queue = start_all(&mut nodes, &[Value::Zero; 4]);
+        let decisions = pump(&mut nodes, queue);
+        assert!(decisions.iter().all(|d| *d == Some(Value::Zero)));
+    }
+
+    #[test]
+    fn mixed_inputs_agree() {
+        let mut nodes: Vec<_> = (0..4).map(node).collect();
+        let queue =
+            start_all(&mut nodes, &[Value::Zero, Value::Zero, Value::One, Value::One]);
+        let decisions = pump(&mut nodes, queue);
+        let first = decisions[0].expect("all must decide");
+        assert!(decisions.iter().all(|d| *d == Some(first)));
+    }
+
+    #[test]
+    fn start_is_idempotent_and_messages_buffer_before_start() {
+        let mut a = node(0);
+        let mut b = node(1);
+        let ts = a.start(Value::One);
+        assert!(!ts.is_empty());
+        assert!(a.start(Value::Zero).is_empty(), "second start ignored");
+        // b receives a's Send before starting: buffered, no crash.
+        for t in ts {
+            if let Transition::Broadcast(w) = t {
+                let _ = b.on_message(NodeId::new(0), w);
+            }
+        }
+        assert_eq!(b.round(), Round::FIRST);
+        assert!(!b.is_halted());
+    }
+
+    #[test]
+    fn mismatched_tag_and_payload_step_is_rejected() {
+        use bft_rbc::RbcMessage;
+        let mut a = node(0);
+        let _ = a.start(Value::One);
+        // Byzantine node 1 reliably broadcasts an Echo payload under an
+        // Initial tag; the delivery must be discarded. Drive the RBC to
+        // delivery with 3 Readys.
+        let tag = StepTag::new(Round::FIRST, Step::Initial);
+        let payload = StepPayload::Echo(Value::One);
+        for i in 1..4 {
+            let _ = a.on_message(
+                NodeId::new(i),
+                Wire { sender: NodeId::new(1), tag, msg: RbcMessage::Ready(payload) },
+            );
+        }
+        // The echo payload must not appear among validated Initials...
+        assert!(a
+            .validator
+            .validated(Round::FIRST, Step::Initial)
+            .iter()
+            .all(|&(from, _)| from != NodeId::new(1)));
+        // ...nor among Echoes (wrong tag).
+        assert!(a
+            .validator
+            .validated(Round::FIRST, Step::Echo)
+            .iter()
+            .all(|&(from, _)| from != NodeId::new(1)));
+    }
+
+    #[test]
+    fn max_rounds_valve_halts_undecided() {
+        // Fixed opposing coins + adversarially split inputs cannot decide
+        // when... actually with 4 honest nodes inputs 2-2 and a fixed coin
+        // the protocol *does* decide; to exercise the valve we set
+        // max_rounds = 0 so the first round-end halts.
+        let opts = BrachaOptions { max_rounds: 1, ..BrachaOptions::default() };
+        let mut nodes: Vec<_> = (0..4)
+            .map(|i| BrachaNode::new(cfg(), NodeId::new(i), FixedCoin::new(Value::Zero), opts))
+            .collect();
+        let queue =
+            start_all(&mut nodes, &[Value::Zero, Value::Zero, Value::One, Value::One]);
+        let _ = pump(&mut nodes, queue);
+        for n in &nodes {
+            assert!(n.is_halted(), "valve must halt node {}", n.me());
+        }
+    }
+
+    #[test]
+    fn decided_nodes_halt_after_extra_rounds() {
+        let mut nodes: Vec<_> = (0..4).map(node).collect();
+        let queue = start_all(&mut nodes, &[Value::One; 4]);
+        let _ = pump(&mut nodes, queue);
+        for n in &nodes {
+            assert_eq!(n.decided(), Some(Value::One));
+            assert!(n.is_halted(), "decided nodes must eventually halt");
+            // Decided in round 1, participates through rounds 2 and 3.
+            assert!(n.round().get() <= 1 + 2);
+        }
+    }
+
+    #[test]
+    fn weak_majority_tiebreak() {
+        let q = [StepPayload::Initial(Value::One), StepPayload::Initial(Value::Zero)];
+        assert_eq!(weak_majority(&q, Value::One), Value::One);
+        assert_eq!(weak_majority(&q, Value::Zero), Value::Zero);
+        let q = [
+            StepPayload::Initial(Value::One),
+            StepPayload::Initial(Value::One),
+            StepPayload::Initial(Value::Zero),
+        ];
+        assert_eq!(weak_majority(&q, Value::Zero), Value::One);
+    }
+
+    #[test]
+    fn counts_helpers() {
+        let q = [
+            StepPayload::Ready { value: Value::One, flagged: true },
+            StepPayload::Ready { value: Value::One, flagged: false },
+            StepPayload::Ready { value: Value::Zero, flagged: true },
+        ];
+        assert_eq!(value_counts(&q), [1, 2]);
+        assert_eq!(flag_counts(&q), [1, 1]);
+    }
+}

@@ -1,0 +1,510 @@
+//! The modern descendant: signature-free binary Byzantine agreement in
+//! the style of Mostéfaoui–Moumen–Raynal (PODC 2014) — the ABA used by
+//! HoneyBadgerBFT-era systems.
+//!
+//! Bracha's 1984 protocol pays O(n³) messages per round because every
+//! step travels by reliable broadcast. Thirty years later, MMR showed the
+//! same optimal resilience (`n ≥ 3f + 1`) with **O(n²)** messages per
+//! round and expected O(1) rounds given a common coin, by replacing
+//! "reliable broadcast + validation" with a lighter primitive that only
+//! enforces what binary agreement actually needs:
+//!
+//! * **BV-broadcast** — broadcast `BVAL(r, est)`; re-broadcast a value on
+//!   `f + 1` supporting receipts (so if any correct node accepts it, all
+//!   do); *accept* a value into `bin_values` on `2f + 1` receipts (so
+//!   every accepted value was proposed by a correct node — the validation
+//!   idea, specialised to two values).
+//! * **AUX exchange** — announce one accepted value; wait for `n − f`
+//!   announcements all of which are accepted locally; let `vals` be the
+//!   set announced.
+//! * **Coin** — draw `s = coin(r)`. If `vals = {v}`: decide `v` when
+//!   `v = s`, else adopt `v`. If `vals = {0, 1}`: adopt `s`.
+//!
+//! The experiment harness (T9) runs this protocol head-to-head with the
+//! 1984 one: same guarantees, ~n× fewer messages — the line from the
+//! paper to modern asynchronous BFT, measured.
+//!
+//! # Example
+//!
+//! ```
+//! use bft_coin::CommonCoin;
+//! use bft_sim::{UniformDelay, World, WorldConfig};
+//! use bft_types::{Config, Value};
+//! use bracha::mmr::MmrProcess;
+//!
+//! # fn main() -> Result<(), bft_types::ConfigError> {
+//! let cfg = Config::new(4, 1)?;
+//! let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 10, 3));
+//! for id in cfg.nodes() {
+//!     let input = if id.index() % 2 == 0 { Value::One } else { Value::Zero };
+//!     world.add_process(Box::new(MmrProcess::new(
+//!         cfg, id, input, CommonCoin::new(3, 0), 10_000,
+//!     )));
+//! }
+//! let report = world.run();
+//! assert!(report.all_correct_decided());
+//! assert!(report.agreement_holds());
+//! # Ok(())
+//! # }
+//! ```
+
+use bft_coin::CoinScheme;
+use bft_types::{Config, Effect, NodeId, Process, Round, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A wire message of the MMR protocol (plain point-to-point broadcast, no
+/// reliable broadcast needed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MmrMessage {
+    /// A binary-value broadcast vote.
+    Bval {
+        /// The round.
+        round: Round,
+        /// The supported value.
+        value: Value,
+    },
+    /// An announcement of one accepted (`bin_values`) value.
+    Aux {
+        /// The round.
+        round: Round,
+        /// The announced value.
+        value: Value,
+    },
+    /// The termination gadget: "I have decided `value`". On `f + 1`
+    /// matching receipts a node decides too; on `2f + 1` it halts. This
+    /// decouples halting from the coin (a decider cannot simply stop
+    /// after a fixed number of rounds — followers only decide when the
+    /// coin matches, which has an unbounded tail).
+    Finish {
+        /// The decided value.
+        value: Value,
+    },
+}
+
+impl MmrMessage {
+    /// The round this message belongs to ([`MmrMessage::Finish`] is
+    /// round-less and reports round 0's placeholder, `Round::FIRST`).
+    pub fn round(&self) -> Round {
+        match *self {
+            MmrMessage::Bval { round, .. } | MmrMessage::Aux { round, .. } => round,
+            MmrMessage::Finish { .. } => Round::FIRST,
+        }
+    }
+
+    /// Short label of the message kind, for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MmrMessage::Bval { .. } => "bval",
+            MmrMessage::Aux { .. } => "aux",
+            MmrMessage::Finish { .. } => "finish",
+        }
+    }
+}
+
+impl fmt::Display for MmrMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmrMessage::Bval { round, value } => write!(f, "bval({round}, {value})"),
+            MmrMessage::Aux { round, value } => write!(f, "aux({round}, {value})"),
+            MmrMessage::Finish { value } => write!(f, "finish({value})"),
+        }
+    }
+}
+
+/// Per-round bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct RoundState {
+    /// Distinct senders of `BVAL(r, v)`, per value.
+    bval_from: [BTreeSet<NodeId>; 2],
+    /// Whether we have (re-)broadcast `BVAL(r, v)`, per value.
+    bval_sent: [bool; 2],
+    /// Values accepted into `bin_values` (2f+1 BVAL supporters).
+    bin_values: [bool; 2],
+    /// First AUX value per sender.
+    aux_from: BTreeMap<NodeId, Value>,
+    /// Whether we have broadcast our AUX for this round.
+    aux_sent: bool,
+}
+
+/// One node of the MMR binary agreement protocol, packaged as a
+/// [`Process`].
+///
+/// Use a [`bft_coin::CommonCoin`] for the documented expected-O(1)
+/// latency; with purely local coins the adversary can delay (though never
+/// corrupt) termination.
+#[derive(Clone, Debug)]
+pub struct MmrProcess<C> {
+    config: Config,
+    me: NodeId,
+    coin: C,
+    input: Value,
+    estimate: Value,
+    round: Round,
+    started: bool,
+    decided: Option<Value>,
+    decided_round: Option<Round>,
+    halted: bool,
+    max_rounds: u64,
+    rounds: BTreeMap<Round, RoundState>,
+    finish_from: BTreeMap<NodeId, Value>,
+    finish_sent: bool,
+}
+
+impl<C: CoinScheme> MmrProcess<C> {
+    /// Creates a participant with the given input. `max_rounds` is the
+    /// liveness safety valve.
+    pub fn new(config: Config, me: NodeId, input: Value, coin: C, max_rounds: u64) -> Self {
+        MmrProcess {
+            config,
+            me,
+            coin,
+            input,
+            estimate: input,
+            round: Round::FIRST,
+            started: false,
+            decided: None,
+            decided_round: None,
+            halted: false,
+            max_rounds,
+            rounds: BTreeMap::new(),
+            finish_from: BTreeMap::new(),
+            finish_sent: false,
+        }
+    }
+
+    /// The decided value, once any.
+    pub fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    /// The round this node decided in, if it has.
+    pub fn decided_round(&self) -> Option<Round> {
+        self.decided_round
+    }
+
+    fn broadcast_bval(
+        &mut self,
+        round: Round,
+        value: Value,
+        out: &mut Vec<Effect<MmrMessage, Value>>,
+    ) {
+        let state = self.rounds.entry(round).or_default();
+        if !state.bval_sent[value.index()] {
+            state.bval_sent[value.index()] = true;
+            out.push(Effect::Broadcast { msg: MmrMessage::Bval { round, value } });
+        }
+    }
+
+    /// Records a decision and starts the Finish gadget.
+    fn decide(&mut self, v: Value, round: Round, out: &mut Vec<Effect<MmrMessage, Value>>) {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+            self.decided_round = Some(round);
+            out.push(Effect::Output(v));
+        }
+        if !self.finish_sent {
+            self.finish_sent = true;
+            out.push(Effect::Broadcast { msg: MmrMessage::Finish { value: v } });
+        }
+    }
+
+    /// Processes the Finish tallies: adopt on f+1, halt on 2f+1.
+    fn check_finish(&mut self, out: &mut Vec<Effect<MmrMessage, Value>>) {
+        let f = self.config.f();
+        for v in Value::BOTH {
+            let count = self.finish_from.values().filter(|x| **x == v).count();
+            if count >= f + 1 && self.decided.is_none() {
+                // At least one correct node decided v: safe to adopt.
+                let round = self.round;
+                self.decide(v, round, out);
+            }
+            if count >= 2 * f + 1 && !self.halted {
+                // Enough correct nodes have decided (and broadcast
+                // Finish) that everyone will reach this threshold too.
+                self.halted = true;
+                out.push(Effect::Halt);
+            }
+        }
+    }
+
+    /// Drives the current round as far as the received messages allow.
+    fn try_advance(&mut self, out: &mut Vec<Effect<MmrMessage, Value>>) {
+        if !self.started || self.halted {
+            return;
+        }
+        let f = self.config.f();
+        let q = self.config.quorum();
+        loop {
+            let round = self.round;
+            // BV-broadcast amplification and acceptance for the current
+            // round (buffered future-round messages are handled when we
+            // get there).
+            let state = self.rounds.entry(round).or_default();
+            let mut amplify: Vec<Value> = Vec::new();
+            for v in Value::BOTH {
+                let supporters = state.bval_from[v.index()].len();
+                if supporters >= f + 1 && !state.bval_sent[v.index()] {
+                    amplify.push(v);
+                }
+                if supporters >= 2 * f + 1 {
+                    state.bin_values[v.index()] = true;
+                }
+            }
+            for v in amplify {
+                self.broadcast_bval(round, v, out);
+            }
+
+            let state = self.rounds.entry(round).or_default();
+            // Announce the first accepted value once.
+            if !state.aux_sent {
+                if let Some(v) = Value::BOTH.into_iter().find(|v| state.bin_values[v.index()]) {
+                    state.aux_sent = true;
+                    out.push(Effect::Broadcast { msg: MmrMessage::Aux { round, value: v } });
+                }
+            }
+
+            // Round completion: n − f AUX messages whose values are all
+            // locally accepted.
+            let accepted = state.bin_values;
+            let supporting: Vec<Value> = state
+                .aux_from
+                .values()
+                .copied()
+                .filter(|v| accepted[v.index()])
+                .collect();
+            if supporting.len() < q {
+                return;
+            }
+            let mut vals: BTreeSet<Value> = supporting.into_iter().collect();
+            // Keep exactly the announced-and-accepted values (vals is
+            // non-empty because supporting.len() ≥ q ≥ 1).
+            debug_assert!(!vals.is_empty());
+
+            let s = self.coin.flip(round.get());
+            if vals.len() == 1 {
+                let v = vals.pop_first().expect("non-empty");
+                self.estimate = v;
+                if v == s && self.decided.is_none() {
+                    self.decide(v, round, out);
+                }
+            } else {
+                self.estimate = s;
+            }
+            if self.halted {
+                return;
+            }
+
+            if round.get() >= self.max_rounds {
+                self.halted = true;
+                out.push(Effect::Halt);
+                return;
+            }
+            self.round = round.next();
+            self.rounds.retain(|r, _| *r >= round); // GC old rounds
+            let est = self.estimate;
+            self.broadcast_bval(self.round, est, out);
+        }
+    }
+}
+
+impl<C: CoinScheme> Process for MmrProcess<C> {
+    type Msg = MmrMessage;
+    type Output = Value;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<MmrMessage, Value>> {
+        if self.started {
+            return Vec::new();
+        }
+        self.started = true;
+        let mut out = Vec::new();
+        let input = self.input;
+        self.broadcast_bval(Round::FIRST, input, &mut out);
+        self.try_advance(&mut out);
+        out
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
+        if self.halted || !self.config.contains(from) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match msg {
+            MmrMessage::Bval { value, .. } => {
+                let state = self.rounds.entry(msg.round()).or_default();
+                state.bval_from[value.index()].insert(from);
+            }
+            MmrMessage::Aux { value, .. } => {
+                let state = self.rounds.entry(msg.round()).or_default();
+                state.aux_from.entry(from).or_insert(value);
+            }
+            MmrMessage::Finish { value } => {
+                self.finish_from.entry(from).or_insert(value);
+                self.check_finish(&mut out);
+            }
+        }
+        self.try_advance(&mut out);
+        out
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.decided
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn round(&self) -> u64 {
+        self.decided_round.map(|r| r.get()).unwrap_or_else(|| self.round.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::{CommonCoin, LocalCoin};
+    use bft_sim::{StopReason, UniformDelay, World, WorldConfig};
+
+    fn run(n: usize, inputs: &[Value], seed: u64) -> bft_sim::Report<Value> {
+        let cfg = Config::max_resilience(n).unwrap();
+        let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
+        for id in cfg.nodes() {
+            world.add_process(Box::new(MmrProcess::new(
+                cfg,
+                id,
+                inputs[id.index()],
+                CommonCoin::new(seed, 0),
+                10_000,
+            )));
+        }
+        world.run()
+    }
+
+    #[test]
+    fn unanimous_inputs_decide() {
+        for seed in 0..10 {
+            let report = run(4, &[Value::One; 4], seed);
+            assert_eq!(report.stop, StopReason::Completed, "seed {seed}");
+            assert_eq!(report.unanimous_output(), Some(Value::One), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree() {
+        for seed in 0..10 {
+            let inputs: Vec<Value> =
+                (0..7).map(|i| Value::from_bool(i % 2 == 0)).collect();
+            let report = run(7, &inputs, seed);
+            assert!(report.all_correct_decided(), "seed {seed}");
+            assert!(report.agreement_holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn validity_under_unanimity_zero() {
+        let report = run(7, &[Value::Zero; 7], 3);
+        assert_eq!(report.unanimous_output(), Some(Value::Zero));
+    }
+
+    #[test]
+    fn decides_in_few_rounds_with_common_coin() {
+        let mut worst = 0;
+        for seed in 0..10 {
+            let inputs: Vec<Value> =
+                (0..7).map(|i| Value::from_bool(i < 3)).collect();
+            let report = run(7, &inputs, seed);
+            worst = worst.max(report.decision_round().expect("decided"));
+        }
+        assert!(worst <= 6, "common-coin MMR should be fast, worst {worst}");
+    }
+
+    #[test]
+    fn message_complexity_is_quadratic_per_round() {
+        // Unanimous inputs, one round to decide: total messages must be
+        // O(n²) — BVAL + AUX broadcasts only.
+        let r4 = run(4, &[Value::One; 4], 1);
+        let r8 = run(8, &[Value::One; 8], 1);
+        let m4 = r4.metrics.sent as f64;
+        let m8 = r8.metrics.sent as f64;
+        let rounds4 = r4.max_round.max(1) as f64;
+        let rounds8 = r8.max_round.max(1) as f64;
+        let exponent = ((m8 / rounds8) / (m4 / rounds4)).ln() / 2f64.ln();
+        assert!(
+            (1.5..=2.6).contains(&exponent),
+            "MMR per-round exponent should be ≈2, got {exponent:.2}"
+        );
+    }
+
+    #[test]
+    fn local_coin_still_safe() {
+        // With local coins MMR may be slow but must stay safe whenever it
+        // does decide.
+        let cfg = Config::new(4, 1).unwrap();
+        let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 10, 9));
+        for id in cfg.nodes() {
+            let input = Value::from_bool(id.index() < 2);
+            world.add_process(Box::new(MmrProcess::new(
+                cfg,
+                id,
+                input,
+                LocalCoin::new(9, id),
+                200,
+            )));
+        }
+        let report = world.run();
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn tolerates_silent_faults() {
+        let cfg = Config::new(7, 2).unwrap();
+        struct SilentMmr {
+            id: NodeId,
+        }
+        impl Process for SilentMmr {
+            type Msg = MmrMessage;
+            type Output = Value;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<MmrMessage, Value>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: NodeId, _m: MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
+                Vec::new()
+            }
+        }
+        let mut world = World::new(WorldConfig::new(7), UniformDelay::new(1, 15, 5));
+        for id in cfg.nodes() {
+            if id.index() < 2 {
+                world.add_faulty_process(Box::new(SilentMmr { id }));
+            } else {
+                world.add_process(Box::new(MmrProcess::new(
+                    cfg,
+                    id,
+                    Value::One,
+                    CommonCoin::new(5, 0),
+                    10_000,
+                )));
+            }
+        }
+        let report = world.run();
+        assert_eq!(report.unanimous_output(), Some(Value::One));
+    }
+
+    #[test]
+    fn message_accessors() {
+        let m = MmrMessage::Bval { round: Round::new(2), value: Value::One };
+        assert_eq!(m.round(), Round::new(2));
+        assert_eq!(m.kind(), "bval");
+        assert_eq!(m.to_string(), "bval(r2, 1)");
+        let a = MmrMessage::Aux { round: Round::FIRST, value: Value::Zero };
+        assert_eq!(a.kind(), "aux");
+        assert_eq!(a.to_string(), "aux(r1, 0)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Wire types of the consensus protocol.
+
+use bft_rbc::RbcMuxMessage;
+use bft_types::{Round, Step, Value};
+use std::fmt;
+
+/// Classification of a wire message: kind label plus approximate bytes.
+///
+/// This mirrors `bft_sim::MsgClass` without depending on the simulator
+/// (protocol code is transport-agnostic); harnesses convert at the
+/// boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireClass {
+    /// Protocol-level message kind, `"<rbc phase>/<step>"`.
+    pub kind: &'static str,
+    /// Approximate serialized size in bytes.
+    pub bytes: usize,
+}
+
+/// The tag identifying one reliable-broadcast instance of the consensus
+/// protocol: each node broadcasts exactly one payload per `(round, step)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StepTag {
+    /// The consensus round.
+    pub round: Round,
+    /// The step within the round.
+    pub step: Step,
+}
+
+impl StepTag {
+    /// Creates a tag.
+    pub const fn new(round: Round, step: Step) -> Self {
+        StepTag { round, step }
+    }
+}
+
+impl fmt::Display for StepTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.round, self.step)
+    }
+}
+
+/// The payload a node reliably broadcasts in one protocol step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StepPayload {
+    /// Step 1: the node's current estimate.
+    Initial(Value),
+    /// Step 2: the majority value of the node's Initial quorum.
+    Echo(Value),
+    /// Step 3: the node's Echo outcome. `flagged` is the *D-flag*: true
+    /// iff more than `n/2` of the node's Echo quorum carried `value`.
+    Ready {
+        /// The carried value.
+        value: Value,
+        /// Whether the value is locked (D-flagged).
+        flagged: bool,
+    },
+}
+
+impl StepPayload {
+    /// The value carried by the payload.
+    pub fn value(&self) -> Value {
+        match *self {
+            StepPayload::Initial(v) | StepPayload::Echo(v) => v,
+            StepPayload::Ready { value, .. } => value,
+        }
+    }
+
+    /// The step this payload belongs to.
+    pub fn step(&self) -> Step {
+        match self {
+            StepPayload::Initial(_) => Step::Initial,
+            StepPayload::Echo(_) => Step::Echo,
+            StepPayload::Ready { .. } => Step::Ready,
+        }
+    }
+
+    /// Whether this is a D-flagged Ready payload.
+    pub fn is_flagged(&self) -> bool {
+        matches!(self, StepPayload::Ready { flagged: true, .. })
+    }
+}
+
+impl fmt::Display for StepPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepPayload::Initial(v) => write!(f, "initial({v})"),
+            StepPayload::Echo(v) => write!(f, "echo({v})"),
+            StepPayload::Ready { value, flagged: true } => write!(f, "ready({value}*)"),
+            StepPayload::Ready { value, flagged: false } => write!(f, "ready({value})"),
+        }
+    }
+}
+
+/// The wire message of the consensus protocol: a reliable-broadcast
+/// message for instance `(origin node, round, step)`.
+pub type Wire = RbcMuxMessage<StepTag, StepPayload>;
+
+/// Classifies a [`Wire`] message for the simulator's metrics: kind label
+/// `"<rbc phase>/<step>"` and an approximate wire size (tag + payload +
+/// phase byte).
+pub fn classify_wire(msg: &Wire) -> WireClass {
+    let step = match msg.msg.payload().step() {
+        Step::Initial => "initial",
+        Step::Echo => "echo",
+        Step::Ready => "ready",
+    };
+    let kind = match (&msg.msg, step) {
+        (bft_rbc::RbcMessage::Send(_), "initial") => "send/initial",
+        (bft_rbc::RbcMessage::Send(_), "echo") => "send/echo",
+        (bft_rbc::RbcMessage::Send(_), _) => "send/ready",
+        (bft_rbc::RbcMessage::Echo(_), "initial") => "echo/initial",
+        (bft_rbc::RbcMessage::Echo(_), "echo") => "echo/echo",
+        (bft_rbc::RbcMessage::Echo(_), _) => "echo/ready",
+        (bft_rbc::RbcMessage::Ready(_), "initial") => "ready/initial",
+        (bft_rbc::RbcMessage::Ready(_), "echo") => "ready/echo",
+        (bft_rbc::RbcMessage::Ready(_), _) => "ready/ready",
+    };
+    // sender id (4) + round (8) + step (1) + rbc phase (1) + value/flag (2)
+    WireClass { kind, bytes: 16 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_rbc::RbcMessage;
+    use bft_types::NodeId;
+
+    #[test]
+    fn payload_accessors() {
+        let p = StepPayload::Ready { value: Value::One, flagged: true };
+        assert_eq!(p.value(), Value::One);
+        assert_eq!(p.step(), Step::Ready);
+        assert!(p.is_flagged());
+        assert!(!StepPayload::Initial(Value::Zero).is_flagged());
+        assert_eq!(StepPayload::Echo(Value::Zero).step(), Step::Echo);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StepPayload::Initial(Value::One).to_string(), "initial(1)");
+        assert_eq!(
+            StepPayload::Ready { value: Value::Zero, flagged: true }.to_string(),
+            "ready(0*)"
+        );
+        assert_eq!(StepTag::new(Round::new(3), Step::Echo).to_string(), "r3/echo");
+    }
+
+    #[test]
+    fn classifier_distinguishes_phases_and_steps() {
+        let mk = |msg: RbcMessage<StepPayload>| Wire {
+            sender: NodeId::new(0),
+            tag: StepTag::new(Round::FIRST, msg.payload().step()),
+            msg,
+        };
+        let kinds: Vec<&str> = [
+            mk(RbcMessage::Send(StepPayload::Initial(Value::One))),
+            mk(RbcMessage::Echo(StepPayload::Initial(Value::One))),
+            mk(RbcMessage::Ready(StepPayload::Echo(Value::One))),
+            mk(RbcMessage::Ready(StepPayload::Ready { value: Value::One, flagged: false })),
+        ]
+        .iter()
+        .map(|m| classify_wire(m).kind)
+        .collect();
+        assert_eq!(kinds, vec!["send/initial", "echo/initial", "ready/echo", "ready/ready"]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-value consensus layered on the [ACS](crate::acs) extension.
+//!
+//! Bracha's 1984 protocol is binary. The standard route to agreeing on an
+//! arbitrary byte string in the same asynchronous Byzantine model is to
+//! run an [asynchronous common subset](crate::acs) over everyone's
+//! proposals and then apply a deterministic choice function to the agreed
+//! set — all correct nodes hold the same set, so they pick the same value.
+//!
+//! The choice function here is "the proposal of the smallest proposer id
+//! in the set". Validity (the decided value was proposed by *some* node —
+//! though possibly a Byzantine one, which is the standard *weak* validity
+//! of multi-value Byzantine consensus) follows from RBC agreement: every
+//! payload in the set was actually broadcast by its proposer.
+//!
+//! # Example
+//!
+//! ```
+//! use bft_coin::CommonCoin;
+//! use bft_sim::{UniformDelay, World, WorldConfig};
+//! use bft_types::{Config, NodeId};
+//! use bracha::multivalue::MultiValueProcess;
+//!
+//! # fn main() -> Result<(), bft_types::ConfigError> {
+//! let cfg = Config::new(4, 1)?;
+//! let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 5, 2));
+//! for id in cfg.nodes() {
+//!     let coins = (0..4).map(|i| CommonCoin::new(2, i as u64)).collect();
+//!     world.add_process(Box::new(MultiValueProcess::new(
+//!         cfg, id, format!("value-{id}").into_bytes(), coins,
+//!     )));
+//! }
+//! let report = world.run();
+//! assert!(report.all_correct_decided());
+//! assert!(report.agreement_holds());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::acs::{AcsMessage, AcsOutput, AcsProcess};
+use bft_coin::CoinScheme;
+use bft_types::{Config, Effect, NodeId, Process};
+
+/// Multi-value consensus: agree on one byte string out of the `n`
+/// proposals, despite `f < n/3` Byzantine nodes.
+///
+/// Wraps an [`AcsProcess`] and projects its set output through a
+/// deterministic choice function.
+#[derive(Clone, Debug)]
+pub struct MultiValueProcess<C> {
+    inner: AcsProcess<C>,
+    decided: Option<Vec<u8>>,
+}
+
+impl<C: CoinScheme> MultiValueProcess<C> {
+    /// Creates a participant proposing `proposal`. See
+    /// [`AcsProcess::new`] for the `coins` contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coins.len() != config.n()`.
+    pub fn new(config: Config, me: NodeId, proposal: Vec<u8>, coins: Vec<C>) -> Self {
+        MultiValueProcess { inner: AcsProcess::new(config, me, proposal, coins), decided: None }
+    }
+
+    /// The deterministic choice function: the payload of the smallest
+    /// proposer id in the agreed set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty — ACS guarantees at least `n − f` entries.
+    pub fn choose(set: &AcsOutput) -> Vec<u8> {
+        set.iter()
+            .min_by_key(|(id, _)| *id)
+            .map(|(_, payload)| payload.clone())
+            .expect("ACS output contains at least n − f entries")
+    }
+
+    fn project(
+        &mut self,
+        effects: Vec<Effect<AcsMessage, AcsOutput>>,
+    ) -> Vec<Effect<AcsMessage, Vec<u8>>> {
+        effects
+            .into_iter()
+            .map(|e| match e {
+                Effect::Send { to, msg } => Effect::Send { to, msg },
+                Effect::Broadcast { msg } => Effect::Broadcast { msg },
+                Effect::Halt => Effect::Halt,
+                Effect::Output(set) => {
+                    let value = Self::choose(&set);
+                    self.decided = Some(value.clone());
+                    Effect::Output(value)
+                }
+            })
+            .collect()
+    }
+}
+
+impl<C: CoinScheme> Process for MultiValueProcess<C> {
+    type Msg = AcsMessage;
+    type Output = Vec<u8>;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<AcsMessage, Vec<u8>>> {
+        let effects = self.inner.on_start();
+        self.project(effects)
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AcsMessage) -> Vec<Effect<AcsMessage, Vec<u8>>> {
+        let effects = self.inner.on_message(from, msg);
+        self.project(effects)
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.decided.clone().or_else(|| self.inner.output().map(|s| Self::choose(s)))
+    }
+
+    fn is_halted(&self) -> bool {
+        self.inner.is_halted()
+    }
+
+    fn round(&self) -> u64 {
+        self.inner.round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::CommonCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+
+    fn coins(n: usize, seed: u64) -> Vec<CommonCoin> {
+        (0..n).map(|i| CommonCoin::new(seed, i as u64)).collect()
+    }
+
+    #[test]
+    fn all_nodes_decide_the_same_byte_string() {
+        for seed in 0..5 {
+            let cfg = Config::new(4, 1).unwrap();
+            let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 8, seed));
+            for id in cfg.nodes() {
+                world.add_process(Box::new(MultiValueProcess::new(
+                    cfg,
+                    id,
+                    format!("v{}", id.index()).into_bytes(),
+                    coins(4, seed),
+                )));
+            }
+            let report = world.run();
+            assert!(report.all_correct_decided(), "seed {seed}");
+            assert!(report.agreement_holds(), "seed {seed}");
+            let v = report.output_of(NodeId::new(0)).unwrap();
+            // The decided value is one of the actual proposals.
+            assert!((0..4).any(|i| v == format!("v{i}").into_bytes()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn choose_picks_smallest_proposer() {
+        let set: AcsOutput = vec![
+            (NodeId::new(2), b"c".to_vec()),
+            (NodeId::new(0), b"a".to_vec()),
+            (NodeId::new(1), b"b".to_vec()),
+        ];
+        assert_eq!(MultiValueProcess::<CommonCoin>::choose(&set), b"a".to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least n − f entries")]
+    fn choose_rejects_empty_set() {
+        let _ = MultiValueProcess::<CommonCoin>::choose(&Vec::new());
+    }
+}

@@ -1,0 +1,830 @@
+//! Message validation — the second key idea of Bracha's paper.
+//!
+//! Reliable broadcast stops a Byzantine node from *equivocating*, but not
+//! from *lying*: it can still broadcast a single well-formed payload whose
+//! value no correct node could ever have computed (e.g. an `Echo(1)` when
+//! every correct node echoed `0`). Bracha's validation discipline closes
+//! this gap: a received payload is **accepted** (validated) only when the
+//! receiver can exhibit a quorum-sized set `S` of *previously validated*
+//! messages of the preceding step under which a correct node could have
+//! produced that payload. Together with reliable broadcast this reduces
+//! Byzantine behaviour to omission at the protocol level — the crux of the
+//! resilience proof.
+//!
+//! Concretely, with `q = n − f`, `m = ⌊n/2⌋ + 1` and binary values:
+//!
+//! * `Initial(1, v)` — always legal.
+//! * `Initial(k+1, v)` — legal iff there is a `q`-subset `S` of the
+//!   receiver's validated `Ready(k)` messages from which the step-3 rule
+//!   could produce `v`: either `S` has at least `f + 1` D-flags on `v`
+//!   ("forced"), or `S` has at most `f` D-flags on every value (the coin
+//!   makes any `v` possible).
+//! * `Echo(k, u)` — legal iff some `q`-subset of validated `Initial(k)`
+//!   messages has `u` as a (weak) majority, i.e. at least `⌈q/2⌉` copies.
+//! * `Ready(k, u, D)` — legal iff some `q`-subset of validated `Echo(k)`
+//!   messages contains more than `n/2` copies of `u`.
+//! * `Ready(k, u, ¬D)` — legal iff some `q`-subset of validated `Echo(k)`
+//!   messages has `u` as a weak majority *without* any value exceeding
+//!   `n/2` (otherwise a correct sender would have flagged).
+//!
+//! All predicates are existential over subsets of a growing set, hence
+//! *monotone*: once legal, always legal. The [`Validator`] therefore
+//! buffers illegal-so-far payloads and re-examines them whenever a new
+//! message of the preceding step is validated, cascading across steps and
+//! rounds until a fixpoint.
+//!
+//! Because messages are multiset-like (only value/flag matter, senders are
+//! distinct), each existential check reduces to count arithmetic; the
+//! property tests at the bottom verify every predicate against brute-force
+//! subset enumeration.
+
+use crate::StepPayload;
+use bft_types::{Config, NodeId, Round, Step, Value};
+use std::collections::BTreeMap;
+
+/// Per-value counters for one step's validated messages.
+#[derive(Clone, Copy, Debug, Default)]
+struct ValueCounts {
+    /// Non-flagged messages carrying each value (all Initial/Echo
+    /// messages, plus non-D Ready messages).
+    plain: [usize; 2],
+    /// D-flagged Ready messages carrying each value.
+    flagged: [usize; 2],
+}
+
+impl ValueCounts {
+    fn total(&self) -> usize {
+        self.plain[0] + self.plain[1] + self.flagged[0] + self.flagged[1]
+    }
+
+    fn have(&self, v: Value) -> usize {
+        self.plain[v.index()] + self.flagged[v.index()]
+    }
+
+    fn record(&mut self, payload: &StepPayload) {
+        match payload {
+            StepPayload::Ready { value, flagged: true } => self.flagged[value.index()] += 1,
+            p => self.plain[p.value().index()] += 1,
+        }
+    }
+}
+
+/// State of one round at one node.
+#[derive(Clone, Debug, Default)]
+struct RoundState {
+    /// Validated messages per step, in validation (arrival) order.
+    validated: [Vec<(NodeId, StepPayload)>; 3],
+    /// Senders already validated per step (defence in depth; the RBC mux
+    /// already delivers at most once per instance).
+    seen: [Vec<NodeId>; 3],
+    /// Count summaries per step.
+    counts: [ValueCounts; 3],
+    /// Payloads delivered but not yet legal, per step.
+    pending: [Vec<(NodeId, StepPayload)>; 3],
+}
+
+impl RoundState {
+    fn has_seen(&self, step: Step, from: NodeId) -> bool {
+        self.seen[step.index()].contains(&from)
+    }
+}
+
+/// A newly validated message, as reported by [`Validator::ingest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidatedMsg {
+    /// The round the message belongs to.
+    pub round: Round,
+    /// The originating node (the RBC designated sender).
+    pub from: NodeId,
+    /// The validated payload.
+    pub payload: StepPayload,
+}
+
+/// The validation engine of one node.
+///
+/// Feed every reliably-delivered `(round, origin, payload)` triple to
+/// [`Validator::ingest`]; read quorum progress with
+/// [`Validator::validated`].
+///
+/// # Example
+///
+/// ```
+/// use bft_types::{Config, NodeId, Round, Value};
+/// use bracha::validation::Validator;
+/// use bracha::StepPayload;
+///
+/// # fn main() -> Result<(), bft_types::ConfigError> {
+/// let mut val = Validator::new(Config::new(4, 1)?, true);
+/// // First-round Initial messages are always legal.
+/// let newly = val.ingest(Round::FIRST, NodeId::new(1), StepPayload::Initial(Value::One));
+/// assert_eq!(newly.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Validator {
+    config: Config,
+    /// When false, every payload is accepted immediately (the T8 ablation:
+    /// reliable broadcast without validation).
+    enforce: bool,
+    rounds: BTreeMap<Round, RoundState>,
+}
+
+impl Validator {
+    /// Creates a validator. `enforce = false` disables legality checking
+    /// (every payload validates immediately) for ablation experiments.
+    pub fn new(config: Config, enforce: bool) -> Self {
+        Validator { config, enforce, rounds: BTreeMap::new() }
+    }
+
+    /// The validated messages of `(round, step)`, in validation order.
+    pub fn validated(&self, round: Round, step: Step) -> &[(NodeId, StepPayload)] {
+        self.rounds
+            .get(&round)
+            .map(|r| r.validated[step.index()].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of payloads currently buffered as delivered-but-not-legal in
+    /// `round` (all steps). Diagnostic hook for experiments.
+    pub fn pending_count(&self, round: Round) -> usize {
+        self.rounds
+            .get(&round)
+            .map(|r| r.pending.iter().map(Vec::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Ingests a reliably-delivered payload from `from` for `round`.
+    ///
+    /// Returns every message that *became validated* as a consequence —
+    /// the ingested one (if legal now) plus any buffered messages unlocked
+    /// by the cascade, across steps and rounds, in validation order.
+    ///
+    /// Duplicate `(round, step, sender)` triples are ignored (the RBC
+    /// layer already guarantees at-most-once per instance; this is defence
+    /// in depth against a buggy host).
+    pub fn ingest(
+        &mut self,
+        round: Round,
+        from: NodeId,
+        payload: StepPayload,
+    ) -> Vec<ValidatedMsg> {
+        let step = payload.step();
+        let state = self.rounds.entry(round).or_default();
+        if state.has_seen(step, from) {
+            return Vec::new();
+        }
+        state.seen[step.index()].push(from);
+        state.pending[step.index()].push((from, payload));
+        self.drain(round)
+    }
+
+    /// Re-examines pending payloads starting at `round`, cascading
+    /// forward, until a fixpoint.
+    fn drain(&mut self, start: Round) -> Vec<ValidatedMsg> {
+        let mut out = Vec::new();
+        let mut round = start;
+        loop {
+            let mut progressed = false;
+            for step in Step::ALL {
+                // Not a `while let`: the loop needs a second mutable
+                // lookup after the immutable scan below.
+                #[allow(clippy::while_let_loop)]
+                loop {
+                    let Some(state) = self.rounds.get(&round) else { break };
+                    let idx = state.pending[step.index()]
+                        .iter()
+                        .position(|(_, p)| self.is_legal(round, p));
+                    let Some(idx) = idx else { break };
+                    let state = self.rounds.get_mut(&round).expect("state exists");
+                    let (from, payload) = state.pending[step.index()].remove(idx);
+                    state.counts[step.index()].record(&payload);
+                    state.validated[step.index()].push((from, payload));
+                    out.push(ValidatedMsg { round, from, payload });
+                    progressed = true;
+                }
+            }
+            if progressed {
+                // New validations may unlock the *next* round's pending
+                // Initials; restart the scan there, then come back if that
+                // cascades further (rounds before `start` can never be
+                // affected — legality only looks backward).
+                round = start;
+                continue;
+            }
+            // Advance to the next round that has any state, skipping gaps
+            // (a Byzantine node may send messages for far-future rounds).
+            let max = self.max_round();
+            let mut next = round.next();
+            while next <= max && !self.rounds.contains_key(&next) {
+                next = next.next();
+            }
+            if next <= max {
+                round = next;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn max_round(&self) -> Round {
+        self.rounds.keys().next_back().copied().unwrap_or(Round::FIRST)
+    }
+
+    /// Whether `payload` for `round` is legal given the currently
+    /// validated messages.
+    fn is_legal(&self, round: Round, payload: &StepPayload) -> bool {
+        if !self.enforce {
+            return true;
+        }
+        match *payload {
+            StepPayload::Initial(v) => self.legal_initial(round, v),
+            StepPayload::Echo(v) => self.legal_echo(round, v),
+            StepPayload::Ready { value, flagged } => self.legal_ready(round, value, flagged),
+        }
+    }
+
+    /// `Initial(k, v)`: legal in round 1; otherwise justified by a
+    /// `q`-subset of the previous round's validated Ready messages.
+    fn legal_initial(&self, round: Round, v: Value) -> bool {
+        let Some(prev) = round.prev() else { return true };
+        let Some(state) = self.rounds.get(&prev) else { return false };
+        let c = &state.counts[Step::Ready.index()];
+        let q = self.config.quorum();
+        let f = self.config.f();
+        let d_v = c.flagged[v.index()];
+        let d_o = c.flagged[v.flipped().index()];
+        let plain = c.plain[0] + c.plain[1];
+
+        // Forced: a subset with ≥ f+1 D-flags on v adopts (or decides) v.
+        let forced = d_v >= f + 1 && c.total() >= q;
+        // Coin: a subset with ≤ f D-flags on every value flips a coin, so
+        // any v is possible.
+        let coin = d_v.min(f) + d_o.min(f) + plain >= q;
+        forced || coin
+    }
+
+    /// `Echo(k, u)`: justified by a `q`-subset of validated `Initial(k)`
+    /// messages in which `u` is a weak majority (`≥ ⌈q/2⌉` copies).
+    fn legal_echo(&self, round: Round, u: Value) -> bool {
+        let Some(state) = self.rounds.get(&round) else { return false };
+        let c = &state.counts[Step::Initial.index()];
+        let q = self.config.quorum();
+        c.have(u) >= q.div_ceil(2) && c.total() >= q
+    }
+
+    /// `Ready(k, u, flagged)`.
+    ///
+    /// * Flagged: the sender claims `u` exceeded `n/2` in its Echo quorum
+    ///   — justified by a `q`-subset of validated `Echo(k)` messages with
+    ///   at least `m = ⌊n/2⌋ + 1` copies of `u`.
+    /// * Not flagged: the carried value is the sender's *step-1* value
+    ///   (the Echo step leaves the estimate untouched when nothing
+    ///   locks), so two separate conditions apply — the value `u` must be
+    ///   a possible Initial-quorum majority (same predicate as
+    ///   [`Validator::legal_echo`]), and there must be a `q`-subset of
+    ///   validated `Echo(k)` messages in which *no* value exceeds `n/2`
+    ///   (otherwise a correct sender would have flagged).
+    fn legal_ready(&self, round: Round, u: Value, flagged: bool) -> bool {
+        let Some(state) = self.rounds.get(&round) else { return false };
+        let echo = &state.counts[Step::Echo.index()];
+        let q = self.config.quorum();
+        let m = self.config.majority_threshold();
+        if flagged {
+            return echo.have(u) >= m && echo.total() >= q;
+        }
+        // (a) value justified by the Initial set.
+        if !self.legal_echo(round, u) {
+            return false;
+        }
+        // (b) "nothing locked" justified by the Echo set: a q-subset with
+        // every per-value count ≤ m − 1 exists iff the capped counts can
+        // fill q slots.
+        echo.have(Value::Zero).min(m - 1) + echo.have(Value::One).min(m - 1) >= q
+    }
+
+    /// Drops all state for rounds strictly before `round` — garbage
+    /// collection for long runs.
+    ///
+    /// Note: legality of `Initial(k+1)` consults round `k`, so only prune
+    /// rounds the host has fully left behind (at least two behind the
+    /// current round).
+    pub fn prune_before(&mut self, round: Round) {
+        self.rounds.retain(|r, _| *r >= round);
+    }
+
+    /// Number of rounds with live state.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg(n: usize, f: usize) -> Config {
+        Config::new(n, f).unwrap()
+    }
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    const R1: Round = Round::FIRST;
+
+    fn r2() -> Round {
+        Round::FIRST.next()
+    }
+
+    #[test]
+    fn round_one_initials_always_validate() {
+        let mut val = Validator::new(cfg(4, 1), true);
+        for i in 0..4 {
+            let v = if i % 2 == 0 { Value::Zero } else { Value::One };
+            let newly = val.ingest(R1, nid(i), StepPayload::Initial(v));
+            assert_eq!(newly.len(), 1, "initial from n{i} must validate immediately");
+        }
+        assert_eq!(val.validated(R1, Step::Initial).len(), 4);
+    }
+
+    #[test]
+    fn duplicate_sender_per_step_is_ignored() {
+        let mut val = Validator::new(cfg(4, 1), true);
+        assert_eq!(val.ingest(R1, nid(0), StepPayload::Initial(Value::One)).len(), 1);
+        assert!(val.ingest(R1, nid(0), StepPayload::Initial(Value::Zero)).is_empty());
+        assert_eq!(val.validated(R1, Step::Initial).len(), 1);
+    }
+
+    #[test]
+    fn echo_requires_quorum_of_initials_supporting_it() {
+        // n=4, f=1, q=3, ⌈q/2⌉ = 2.
+        let mut val = Validator::new(cfg(4, 1), true);
+        // Echo(1) arrives before any Initial: buffered.
+        assert!(val.ingest(R1, nid(3), StepPayload::Echo(Value::One)).is_empty());
+        assert_eq!(val.pending_count(R1), 1);
+
+        let _ = val.ingest(R1, nid(0), StepPayload::Initial(Value::One));
+        let _ = val.ingest(R1, nid(1), StepPayload::Initial(Value::Zero));
+        // Two initials so far (1 one, 1 zero): total < q, still pending.
+        assert_eq!(val.validated(R1, Step::Echo).len(), 0);
+
+        // Third initial gives total = q = 3 and have(1) = 2 ≥ 2 → cascade.
+        let newly = val.ingest(R1, nid(2), StepPayload::Initial(Value::One));
+        assert_eq!(newly.len(), 2, "initial + unlocked echo");
+        assert_eq!(val.validated(R1, Step::Echo).len(), 1);
+        assert_eq!(val.pending_count(R1), 0);
+    }
+
+    #[test]
+    fn echo_for_unsupported_value_stays_pending() {
+        // All correct initials are One; a lone faulty Initial(Zero) cannot
+        // legitimise Echo(Zero): have(0) = 1 < ⌈q/2⌉ = 2.
+        let mut val = Validator::new(cfg(4, 1), true);
+        for i in 0..3 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::One));
+        }
+        let _ = val.ingest(R1, nid(3), StepPayload::Initial(Value::Zero));
+        assert!(val.ingest(R1, nid(3), StepPayload::Echo(Value::Zero)).is_empty());
+        assert_eq!(val.pending_count(R1), 1);
+        // …while Echo(One) validates fine.
+        assert_eq!(val.ingest(R1, nid(0), StepPayload::Echo(Value::One)).len(), 1);
+    }
+
+    #[test]
+    fn flagged_ready_needs_majority_of_echoes() {
+        // n=4: m = 3. Three Echo(One) → Ready(One, D) legal.
+        let mut val = Validator::new(cfg(4, 1), true);
+        for i in 0..3 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::One));
+        }
+        for i in 0..2 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::One));
+        }
+        // Only 2 echoes: flagged ready pending (needs have ≥ 3).
+        assert!(val
+            .ingest(R1, nid(0), StepPayload::Ready { value: Value::One, flagged: true })
+            .is_empty());
+        let newly = val.ingest(R1, nid(2), StepPayload::Echo(Value::One));
+        // Echo + unlocked flagged Ready.
+        assert_eq!(newly.len(), 2);
+    }
+
+    #[test]
+    fn unflagged_ready_illegal_under_unanimous_echoes() {
+        // The unanimity lemma: when every validated Echo carries One, a
+        // correct node must flag, so Ready(·, ¬D) must not validate.
+        let mut val = Validator::new(cfg(4, 1), true);
+        for i in 0..4 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::One));
+        }
+        for i in 0..4 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::One));
+        }
+        assert!(val
+            .ingest(R1, nid(3), StepPayload::Ready { value: Value::One, flagged: false })
+            .is_empty());
+        assert!(val
+            .ingest(R1, nid(2), StepPayload::Ready { value: Value::Zero, flagged: false })
+            .is_empty());
+        assert_eq!(val.pending_count(R1), 2);
+    }
+
+    #[test]
+    fn unflagged_ready_legal_under_split_echoes() {
+        // n=7, f=2, q=5, m=4. Initials 4×One + 3×Zero (both values are
+        // possible step-1 majorities); echoes 3×One + 2×Zero (no value
+        // can reach m=4 in any 5-subset). Plain Readys for both values
+        // are therefore legal; a flagged Ready is not.
+        let mut val = Validator::new(cfg(7, 2), true);
+        for i in 0..4 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::One));
+        }
+        for i in 4..7 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::Zero));
+        }
+        for i in 0..3 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::One));
+        }
+        for i in 3..5 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::Zero));
+        }
+        let newly =
+            val.ingest(R1, nid(5), StepPayload::Ready { value: Value::One, flagged: false });
+        assert_eq!(newly.len(), 1);
+        let newly =
+            val.ingest(R1, nid(6), StepPayload::Ready { value: Value::Zero, flagged: false });
+        assert_eq!(newly.len(), 1);
+        // No value reached an echo majority, so a D-flag is a forgery.
+        assert!(val
+            .ingest(R1, nid(0), StepPayload::Ready { value: Value::One, flagged: true })
+            .is_empty());
+    }
+
+    #[test]
+    fn unflagged_ready_value_must_be_a_possible_initial_majority() {
+        // n=7: initials 6×One + 1×Zero. Zero can never be a weak
+        // majority of a 5-subset of initials (at most 1 of 5), so a plain
+        // Ready(0) is unjustifiable even though the echo set is split
+        // enough for plain Readys in general.
+        let mut val = Validator::new(cfg(7, 2), true);
+        for i in 0..6 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::One));
+        }
+        let _ = val.ingest(R1, nid(6), StepPayload::Initial(Value::Zero));
+        assert!(val
+            .ingest(R1, nid(6), StepPayload::Ready { value: Value::Zero, flagged: false })
+            .is_empty());
+        assert_eq!(val.pending_count(R1), 1);
+    }
+
+    #[test]
+    fn next_round_initial_forced_by_d_flags() {
+        // n=4, f=1: two D(One) readys (≥ f+1) with a third ready (total ≥ q)
+        // force Initial(r2, One) and keep the coin impossible → Initial(r2,
+        // Zero) illegal.
+        let mut val = Validator::new(cfg(4, 1), true);
+        for i in 0..4 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::One));
+        }
+        for i in 0..4 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::One));
+        }
+        for i in 0..3 {
+            let _ =
+                val.ingest(R1, nid(i), StepPayload::Ready { value: Value::One, flagged: true });
+        }
+        assert_eq!(
+            val.ingest(r2(), nid(0), StepPayload::Initial(Value::One)).len(),
+            1,
+            "forced value must validate"
+        );
+        assert!(
+            val.ingest(r2(), nid(3), StepPayload::Initial(Value::Zero)).is_empty(),
+            "contrary value must stay pending"
+        );
+    }
+
+    #[test]
+    fn next_round_initial_free_when_coin_possible() {
+        // n=4, f=1: three plain readys → any next-round initial is legal.
+        let mut val = Validator::new(cfg(7, 2), true);
+        for i in 0..7 {
+            let v = if i < 4 { Value::One } else { Value::Zero };
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(v));
+        }
+        for i in 0..3 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::One));
+        }
+        for i in 3..5 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::Zero));
+        }
+        for i in 0..5 {
+            let _ =
+                val.ingest(R1, nid(i), StepPayload::Ready { value: Value::One, flagged: false });
+        }
+        assert_eq!(val.ingest(r2(), nid(0), StepPayload::Initial(Value::One)).len(), 1);
+        assert_eq!(val.ingest(r2(), nid(1), StepPayload::Initial(Value::Zero)).len(), 1);
+    }
+
+    #[test]
+    fn cascade_spans_rounds() {
+        // Deliver everything out of order: round-2 messages first, then
+        // round-1; one final round-1 ingest must unlock the whole chain.
+        let mut val = Validator::new(cfg(4, 1), true);
+        let r2 = r2();
+        assert!(val.ingest(r2, nid(0), StepPayload::Initial(Value::One)).is_empty());
+        assert!(val.ingest(r2, nid(1), StepPayload::Initial(Value::One)).is_empty());
+
+        for i in 0..4 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::One));
+        }
+        for i in 0..4 {
+            let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::One));
+        }
+        let _ = val.ingest(R1, nid(0), StepPayload::Ready { value: Value::One, flagged: true });
+        let _ = val.ingest(R1, nid(1), StepPayload::Ready { value: Value::One, flagged: true });
+        let newly =
+            val.ingest(R1, nid(2), StepPayload::Ready { value: Value::One, flagged: true });
+        // The third D-ready validates AND unlocks both round-2 initials.
+        assert_eq!(newly.len(), 3);
+        assert_eq!(val.validated(r2, Step::Initial).len(), 2);
+    }
+
+    #[test]
+    fn enforcement_off_validates_everything_instantly() {
+        let mut val = Validator::new(cfg(4, 1), false);
+        let newly =
+            val.ingest(r2(), nid(0), StepPayload::Ready { value: Value::Zero, flagged: true });
+        assert_eq!(newly.len(), 1);
+    }
+
+    #[test]
+    fn prune_drops_old_rounds() {
+        let mut val = Validator::new(cfg(4, 1), true);
+        let _ = val.ingest(R1, nid(0), StepPayload::Initial(Value::One));
+        let _ = val.ingest(r2(), nid(0), StepPayload::Initial(Value::One));
+        assert_eq!(val.round_count(), 2);
+        val.prune_before(r2());
+        assert_eq!(val.round_count(), 1);
+        assert!(val.validated(R1, Step::Initial).is_empty());
+    }
+
+    // ---- brute-force cross-checks of the legality predicates ----
+
+    /// A message for the brute-force model: (value index, flagged).
+    type Msg = (usize, bool);
+
+    /// Enumerates all q-subsets of `msgs` and returns whether any
+    /// satisfies `pred` over (count of value-0, count of value-1,
+    /// d-count-0, d-count-1).
+    fn exists_subset(
+        msgs: &[Msg],
+        q: usize,
+        pred: impl Fn(usize, usize, usize, usize) -> bool,
+    ) -> bool {
+        let n = msgs.len();
+        if n < q {
+            return false;
+        }
+        // Iterate over bitmasks with exactly q bits (n ≤ 12 in tests).
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != q {
+                continue;
+            }
+            let (mut c0, mut c1, mut d0, mut d1) = (0, 0, 0, 0);
+            for (i, &(v, fl)) in msgs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    if v == 0 {
+                        c0 += 1;
+                        if fl {
+                            d0 += 1;
+                        }
+                    } else {
+                        c1 += 1;
+                        if fl {
+                            d1 += 1;
+                        }
+                    }
+                }
+            }
+            if pred(c0, c1, d0, d1) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Builds a validator whose round-1 step `step` contains exactly
+    /// `msgs` as validated messages (bypassing legality by toggling
+    /// enforcement while loading).
+    fn loaded_validator(config: Config, step: Step, msgs: &[Msg]) -> Validator {
+        let mut val = Validator::new(config, false);
+        for (i, &(v, fl)) in msgs.iter().enumerate() {
+            let value = Value::from_bit(v as u8);
+            let payload = match step {
+                Step::Initial => StepPayload::Initial(value),
+                Step::Echo => StepPayload::Echo(value),
+                Step::Ready => StepPayload::Ready { value, flagged: fl },
+            };
+            let _ = val.ingest(R1, nid(i), payload);
+        }
+        val.enforce = true;
+        val
+    }
+
+    fn arb_msgs(max_len: usize, with_flags: bool) -> impl Strategy<Value = Vec<Msg>> {
+        proptest::collection::vec(
+            (0usize..2, if with_flags { proptest::bool::ANY.boxed() } else { Just(false).boxed() }),
+            0..max_len,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// `legal_echo` equals brute-force subset enumeration.
+        #[test]
+        fn echo_legality_matches_bruteforce(
+            msgs in arb_msgs(10, false),
+            n in 4usize..9,
+        ) {
+            let config = Config::max_resilience(n).unwrap();
+            prop_assume!(msgs.len() <= n);
+            let q = config.quorum();
+            let val = loaded_validator(config, Step::Initial, &msgs);
+            for v in Value::BOTH {
+                let fast = val.legal_echo(R1, v);
+                let slow = exists_subset(&msgs, q, |c0, c1, _, _| {
+                    let cu = if v == Value::Zero { c0 } else { c1 };
+                    cu >= q.div_ceil(2)
+                });
+                prop_assert_eq!(fast, slow, "echo({}) n={} msgs={:?}", v, n, msgs);
+            }
+        }
+
+        /// `legal_ready` (both flag states) equals brute-force over the
+        /// two relevant message sets (Initials for the carried value,
+        /// Echoes for the lock condition).
+        #[test]
+        fn ready_legality_matches_bruteforce(
+            initials in arb_msgs(8, false),
+            echoes in arb_msgs(8, false),
+            n in 4usize..9,
+        ) {
+            let config = Config::max_resilience(n).unwrap();
+            prop_assume!(initials.len() <= n && echoes.len() <= n);
+            let q = config.quorum();
+            let m = config.majority_threshold();
+            // Load both steps (enforcement off while loading).
+            let mut val = Validator::new(config, false);
+            for (i, &(v, _)) in initials.iter().enumerate() {
+                let _ = val.ingest(R1, nid(i), StepPayload::Initial(Value::from_bit(v as u8)));
+            }
+            for (i, &(v, _)) in echoes.iter().enumerate() {
+                let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::from_bit(v as u8)));
+            }
+            val.enforce = true;
+            for v in Value::BOTH {
+                for flagged in [false, true] {
+                    let fast = val.legal_ready(R1, v, flagged);
+                    let slow = if flagged {
+                        exists_subset(&echoes, q, |c0, c1, _, _| {
+                            let cu = if v == Value::Zero { c0 } else { c1 };
+                            cu >= m
+                        })
+                    } else {
+                        let value_ok = exists_subset(&initials, q, |c0, c1, _, _| {
+                            let cu = if v == Value::Zero { c0 } else { c1 };
+                            cu >= q.div_ceil(2)
+                        });
+                        let no_lock = exists_subset(&echoes, q, |c0, c1, _, _| {
+                            c0 < m && c1 < m
+                        });
+                        value_ok && no_lock
+                    };
+                    prop_assert_eq!(
+                        fast, slow,
+                        "ready({}, {}) n={} initials={:?} echoes={:?}",
+                        v, flagged, n, initials, echoes
+                    );
+                }
+            }
+        }
+
+        /// `legal_initial` for round 2 equals brute-force over Ready
+        /// messages of round 1.
+        #[test]
+        fn initial_legality_matches_bruteforce(
+            msgs in arb_msgs(10, true),
+            n in 4usize..9,
+        ) {
+            let config = Config::max_resilience(n).unwrap();
+            prop_assume!(msgs.len() <= n);
+            let q = config.quorum();
+            let f = config.f();
+            let val = loaded_validator(config, Step::Ready, &msgs);
+            for v in Value::BOTH {
+                let fast = val.legal_initial(r2(), v);
+                let slow = exists_subset(&msgs, q, |_, _, d0, d1| {
+                    let dv = if v == Value::Zero { d0 } else { d1 };
+                    let forced = dv >= f + 1;
+                    let coin = d0 <= f && d1 <= f;
+                    forced || coin
+                });
+                prop_assert_eq!(fast, slow, "initial({}) n={} msgs={:?}", v, n, msgs);
+            }
+        }
+
+        /// Confluence: the final validated set is independent of the
+        /// ingestion order (the cascade always reaches the same fixpoint).
+        /// This is what makes per-node validation well-defined despite
+        /// adversarial delivery reordering.
+        #[test]
+        fn validation_is_order_independent(
+            n in 4usize..8,
+            // A batch of messages across two rounds and all steps, from
+            // distinct (sender, round, step) slots.
+            picks in proptest::collection::vec((0usize..8, 0u8..2, 0u8..2, 0u8..3, proptest::bool::ANY), 1..20),
+            order_seed in 0u64..1000,
+        ) {
+            let config = Config::max_resilience(n).unwrap();
+            // Deduplicate (round, step, sender) to respect the at-most-once
+            // contract of the RBC layer.
+            let mut seen = std::collections::HashSet::new();
+            let mut msgs: Vec<(Round, NodeId, StepPayload)> = Vec::new();
+            for (sender, round_sel, value, step_sel, flag) in picks {
+                let sender = sender % n;
+                let round = if round_sel == 0 { R1 } else { r2() };
+                let value = Value::from_bit(value);
+                let payload = match step_sel {
+                    0 => StepPayload::Initial(value),
+                    1 => StepPayload::Echo(value),
+                    _ => StepPayload::Ready { value, flagged: flag },
+                };
+                if seen.insert((round, payload.step(), sender)) {
+                    msgs.push((round, nid(sender), payload));
+                }
+            }
+
+            // Reference order.
+            let mut a = Validator::new(config, true);
+            for &(round, from, payload) in &msgs {
+                let _ = a.ingest(round, from, payload);
+            }
+
+            // Shuffled order (cheap LCG permutation).
+            let mut shuffled = msgs.clone();
+            let mut state = order_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for i in (1..shuffled.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                shuffled.swap(i, j);
+            }
+            let mut b = Validator::new(config, true);
+            for &(round, from, payload) in &shuffled {
+                let _ = b.ingest(round, from, payload);
+            }
+
+            for round in [R1, r2()] {
+                for step in Step::ALL {
+                    let mut va: Vec<_> = a.validated(round, step).to_vec();
+                    let mut vb: Vec<_> = b.validated(round, step).to_vec();
+                    va.sort_by_key(|&(id, _)| id);
+                    vb.sort_by_key(|&(id, _)| id);
+                    prop_assert_eq!(
+                        va, vb,
+                        "validated sets diverged at {}/{:?}", round, step
+                    );
+                }
+            }
+        }
+
+        /// Validation is monotone: ingesting more messages never reduces
+        /// the validated set.
+        #[test]
+        fn validation_is_monotone(
+            seed_msgs in arb_msgs(8, true),
+            extra in arb_msgs(4, true),
+            n in 4usize..8,
+        ) {
+            let config = Config::max_resilience(n).unwrap();
+            prop_assume!(seed_msgs.len() + extra.len() <= n);
+            let mut val = Validator::new(config, true);
+            let mut total_validated = 0usize;
+            for (i, &(v, fl)) in seed_msgs.iter().chain(extra.iter()).enumerate() {
+                let payload = StepPayload::Ready {
+                    value: Value::from_bit(v as u8),
+                    flagged: fl,
+                };
+                let newly = val.ingest(R1, nid(i), payload);
+                total_validated += newly.len();
+                // Counts reported must match stored state.
+                let stored = val.validated(R1, Step::Ready).len();
+                prop_assert_eq!(stored, total_validated);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! A single reliable-broadcast instance.
+
+use crate::RbcMessage;
+use bft_types::{Config, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// An instruction produced by an [`RbcInstance`] for its host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RbcAction<P> {
+    /// Send this message to every node (including ourselves).
+    Broadcast(RbcMessage<P>),
+    /// The payload has been reliably delivered — at most once per
+    /// instance, and (for correct hosts) with the agreement and totality
+    /// guarantees of the protocol.
+    Deliver(P),
+}
+
+/// The state machine of one Bracha reliable-broadcast instance at one node.
+///
+/// An instance is identified by its designated sender (plus, when
+/// multiplexed by [`RbcMux`](crate::RbcMux), an application tag). The host
+/// feeds every incoming instance message to [`RbcInstance::on_message`] and
+/// executes the returned actions; if this node is the designated sender it
+/// kicks the instance off with [`RbcInstance::start`].
+///
+/// Byzantine-resistance notes:
+///
+/// * A `Send` is honoured only if it arrives from the designated sender
+///   (channels are authenticated), and only the first one counts.
+/// * At most one `Echo` and one `Ready` per peer are counted; later
+///   (possibly conflicting) ones from the same peer are ignored.
+#[derive(Clone, Debug)]
+pub struct RbcInstance<P> {
+    config: Config,
+    me: NodeId,
+    sender: NodeId,
+    /// Nodes whose Echo we have counted, per payload.
+    echoes: HashMap<P, HashSet<NodeId>>,
+    /// Nodes whose Ready we have counted, per payload.
+    readies: HashMap<P, HashSet<NodeId>>,
+    /// Nodes we've already counted an Echo from (any payload).
+    echoed_peers: HashSet<NodeId>,
+    /// Nodes we've already counted a Ready from (any payload).
+    readied_peers: HashSet<NodeId>,
+    sent_echo: bool,
+    sent_ready: bool,
+    started: bool,
+    delivered: Option<P>,
+}
+
+impl<P> RbcInstance<P>
+where
+    P: Clone + Eq + Hash + fmt::Debug,
+{
+    /// Creates the instance state for node `me` with designated `sender`.
+    pub fn new(config: Config, me: NodeId, sender: NodeId) -> Self {
+        RbcInstance {
+            config,
+            me,
+            sender,
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+            echoed_peers: HashSet::new(),
+            readied_peers: HashSet::new(),
+            sent_echo: false,
+            sent_ready: false,
+            started: false,
+            delivered: None,
+        }
+    }
+
+    /// The designated sender of this instance.
+    pub fn sender(&self) -> NodeId {
+        self.sender
+    }
+
+    /// The delivered payload, if delivery has occurred.
+    pub fn delivered(&self) -> Option<&P> {
+        self.delivered.as_ref()
+    }
+
+    /// Starts the broadcast. Only meaningful at the designated sender.
+    ///
+    /// Returns the initial `Send` broadcast. Calling it again (or at a
+    /// non-sender node) returns no actions — the instance ignores the
+    /// attempt rather than equivocating.
+    pub fn start(&mut self, payload: P) -> Vec<RbcAction<P>> {
+        if self.me != self.sender || self.started {
+            return Vec::new();
+        }
+        self.started = true;
+        vec![RbcAction::Broadcast(RbcMessage::Send(payload))]
+    }
+
+    /// Processes one instance message from (authenticated) peer `from`.
+    pub fn on_message(&mut self, from: NodeId, msg: RbcMessage<P>) -> Vec<RbcAction<P>> {
+        if !self.config.contains(from) {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match msg {
+            RbcMessage::Send(payload) => {
+                // Only the designated sender's first Send triggers an Echo.
+                if from == self.sender && !self.sent_echo {
+                    self.sent_echo = true;
+                    actions.push(RbcAction::Broadcast(RbcMessage::Echo(payload)));
+                }
+            }
+            RbcMessage::Echo(payload) => {
+                if self.echoed_peers.insert(from) {
+                    let supporters = self.echoes.entry(payload.clone()).or_default();
+                    supporters.insert(from);
+                    if supporters.len() >= self.config.echo_threshold() {
+                        self.maybe_send_ready(payload, &mut actions);
+                    }
+                }
+            }
+            RbcMessage::Ready(payload) => {
+                if self.readied_peers.insert(from) {
+                    let supporters = self.readies.entry(payload.clone()).or_default();
+                    supporters.insert(from);
+                    let count = supporters.len();
+                    if count >= self.config.ready_threshold() {
+                        self.maybe_send_ready(payload.clone(), &mut actions);
+                    }
+                    if count >= self.config.decide_threshold() && self.delivered.is_none() {
+                        self.delivered = Some(payload.clone());
+                        actions.push(RbcAction::Deliver(payload));
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    fn maybe_send_ready(&mut self, payload: P, actions: &mut Vec<RbcAction<P>>) {
+        if !self.sent_ready {
+            self.sent_ready = true;
+            actions.push(RbcAction::Broadcast(RbcMessage::Ready(payload)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::new(4, 1).unwrap()
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn sender_starts_once() {
+        let mut inst = RbcInstance::new(cfg(), n(0), n(0));
+        let a = inst.start("m");
+        assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Send("m"))]);
+        assert!(inst.start("m2").is_empty(), "second start must be ignored");
+    }
+
+    #[test]
+    fn non_sender_cannot_start() {
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        assert!(inst.start("m").is_empty());
+    }
+
+    #[test]
+    fn echo_only_for_designated_sender() {
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(2), RbcMessage::Send("evil")).is_empty());
+        let a = inst.on_message(n(0), RbcMessage::Send("m"));
+        assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Echo("m"))]);
+    }
+
+    #[test]
+    fn first_send_wins() {
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        let a = inst.on_message(n(0), RbcMessage::Send("m1"));
+        assert_eq!(a.len(), 1);
+        assert!(inst.on_message(n(0), RbcMessage::Send("m2")).is_empty());
+    }
+
+    #[test]
+    fn echo_quorum_triggers_ready() {
+        // n=4, f=1: echo threshold = ⌈6/2⌉ = 3.
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(0), RbcMessage::Echo("m")).is_empty());
+        assert!(inst.on_message(n(2), RbcMessage::Echo("m")).is_empty());
+        let a = inst.on_message(n(3), RbcMessage::Echo("m"));
+        assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Ready("m"))]);
+    }
+
+    #[test]
+    fn duplicate_echoes_from_same_peer_ignored() {
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(2), RbcMessage::Echo("m")).is_empty());
+        assert!(inst.on_message(n(2), RbcMessage::Echo("m")).is_empty());
+        assert!(inst.on_message(n(2), RbcMessage::Echo("other")).is_empty());
+        // Only one distinct echoer so far; two more are needed.
+        assert!(inst.on_message(n(3), RbcMessage::Echo("m")).is_empty());
+        let a = inst.on_message(n(0), RbcMessage::Echo("m"));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn ready_amplification_at_f_plus_one() {
+        // f+1 = 2 Readys make us Ready without any Echo quorum.
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(2), RbcMessage::Ready("m")).is_empty());
+        let a = inst.on_message(n(3), RbcMessage::Ready("m"));
+        assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Ready("m"))]);
+    }
+
+    #[test]
+    fn delivery_at_two_f_plus_one_readys() {
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(0), RbcMessage::Ready("m")).is_empty());
+        let a = inst.on_message(n(2), RbcMessage::Ready("m"));
+        assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Ready("m"))]);
+        let a = inst.on_message(n(3), RbcMessage::Ready("m"));
+        assert_eq!(a, vec![RbcAction::Deliver("m")]);
+        assert_eq!(inst.delivered(), Some(&"m"));
+    }
+
+    #[test]
+    fn delivery_happens_once() {
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), RbcMessage::Ready("m"));
+        }
+        assert_eq!(inst.delivered(), Some(&"m"));
+        // A fourth Ready must not deliver again.
+        assert!(inst.on_message(n(1), RbcMessage::Ready("m")).is_empty());
+    }
+
+    #[test]
+    fn conflicting_readies_cannot_both_deliver() {
+        // Readys are counted once per peer, so even a fully Byzantine set
+        // of senders cannot push two payloads to 2f+1 distinct supporters
+        // with only n = 4 peers.
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        let _ = inst.on_message(n(0), RbcMessage::Ready("a"));
+        let _ = inst.on_message(n(2), RbcMessage::Ready("b"));
+        let _ = inst.on_message(n(3), RbcMessage::Ready("a"));
+        let _ = inst.on_message(n(1), RbcMessage::Ready("b"));
+        assert_eq!(inst.delivered(), None);
+    }
+
+    #[test]
+    fn messages_from_unknown_nodes_are_dropped() {
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(7), RbcMessage::Ready("m")).is_empty());
+        assert!(inst.readied_peers.is_empty());
+    }
+}

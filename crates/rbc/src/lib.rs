@@ -1,0 +1,64 @@
+//! Bracha's reliable broadcast — the Send/Echo/Ready primitive of the
+//! PODC 1984 paper, now universally known as *Bracha broadcast*.
+//!
+//! Reliable broadcast lets a designated **sender** disseminate one payload
+//! such that, despite up to `f < n/3` Byzantine nodes (possibly including
+//! the sender itself):
+//!
+//! * **Validity** — if the sender is correct, every correct node
+//!   eventually delivers its payload.
+//! * **Agreement** — no two correct nodes deliver different payloads.
+//! * **Totality** (all-or-none) — if any correct node delivers, every
+//!   correct node eventually delivers.
+//!
+//! The protocol (per instance, at node `p`):
+//!
+//! 1. The sender sends `Send(m)` to everyone.
+//! 2. On the first `Send(m)` *from the designated sender*: broadcast
+//!    `Echo(m)`.
+//! 3. On `Echo(m)` from `⌈(n+f+1)/2⌉` distinct nodes, or `Ready(m)` from
+//!    `f+1` distinct nodes: broadcast `Ready(m)` (once).
+//! 4. On `Ready(m)` from `2f+1` distinct nodes: **deliver** `m`.
+//!
+//! The Echo quorum is big enough that two different payloads can never both
+//! reach it (any two such quorums intersect in a correct node, which echoes
+//! only once), so a Byzantine sender cannot make correct nodes deliver
+//! different values. The `f+1` Ready amplification makes delivery total.
+//!
+//! The state machine here is sans-io: it consumes messages and returns
+//! [`RbcAction`]s. Use [`RbcProcess`] to run one instance under `bft-sim`
+//! or `bft-runtime`, or [`RbcMux`] to run many concurrent instances (as the
+//! consensus protocol in the `bracha` crate does).
+//!
+//! # Example
+//!
+//! ```
+//! use bft_rbc::{RbcAction, RbcInstance};
+//! use bft_types::{Config, NodeId};
+//!
+//! # fn main() -> Result<(), bft_types::ConfigError> {
+//! let cfg = Config::new(4, 1)?;
+//! let sender = NodeId::new(0);
+//!
+//! // The sender starts an instance…
+//! let mut s = RbcInstance::new(cfg, sender, sender);
+//! let actions = s.start("hello".to_string());
+//! assert!(matches!(actions[0], RbcAction::Broadcast(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instance;
+mod msg;
+mod mux;
+mod process;
+pub mod simple;
+
+pub use instance::{RbcAction, RbcInstance};
+pub use msg::RbcMessage;
+pub use mux::{RbcMux, RbcMuxAction, RbcMuxMessage};
+pub use process::RbcProcess;
+pub use simple::EchoBroadcast;

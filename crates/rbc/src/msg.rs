@@ -1,0 +1,68 @@
+//! Wire messages of one reliable-broadcast instance.
+
+use std::fmt;
+
+/// A message of Bracha's reliable broadcast protocol.
+///
+/// The payload type `P` is generic; the consensus layer instantiates it
+/// with its own (round, step, value) records, the examples with byte
+/// strings.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RbcMessage<P> {
+    /// The designated sender's initial dissemination of the payload.
+    Send(P),
+    /// "I have seen the sender's payload `m`." Sent at most once per node.
+    Echo(P),
+    /// "I am convinced the payload is `m`." Sent at most once per node,
+    /// triggered by an Echo quorum or by `f + 1` Readys.
+    Ready(P),
+}
+
+impl<P> RbcMessage<P> {
+    /// The payload carried by this message.
+    pub fn payload(&self) -> &P {
+        match self {
+            RbcMessage::Send(p) | RbcMessage::Echo(p) | RbcMessage::Ready(p) => p,
+        }
+    }
+
+    /// Short label of the message kind, for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RbcMessage::Send(_) => "rbc-send",
+            RbcMessage::Echo(_) => "rbc-echo",
+            RbcMessage::Ready(_) => "rbc-ready",
+        }
+    }
+}
+
+impl<P: fmt::Display> fmt::Display for RbcMessage<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbcMessage::Send(p) => write!(f, "send({p})"),
+            RbcMessage::Echo(p) => write!(f, "echo({p})"),
+            RbcMessage::Ready(p) => write!(f, "ready({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_and_kind() {
+        assert_eq!(RbcMessage::Send(5).payload(), &5);
+        assert_eq!(RbcMessage::Echo(5).payload(), &5);
+        assert_eq!(RbcMessage::Ready(5).payload(), &5);
+        assert_eq!(RbcMessage::Send(5).kind(), "rbc-send");
+        assert_eq!(RbcMessage::Echo(5).kind(), "rbc-echo");
+        assert_eq!(RbcMessage::Ready(5).kind(), "rbc-ready");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RbcMessage::Send("m").to_string(), "send(m)");
+        assert_eq!(RbcMessage::Ready("m").to_string(), "ready(m)");
+    }
+}

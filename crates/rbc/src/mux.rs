@@ -1,0 +1,285 @@
+//! Multiplexing many reliable-broadcast instances over one channel.
+//!
+//! Higher-level protocols run one RBC instance per (designated sender,
+//! application tag). In Bracha's consensus, for example, the tag is the
+//! (round, step) pair, so each node reliably broadcasts exactly one payload
+//! per protocol step and equivocation is structurally impossible.
+
+use crate::{RbcAction, RbcInstance, RbcMessage};
+use bft_types::{Config, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A multiplexed instance message: the inner RBC message plus the instance
+/// coordinates (designated sender and application tag).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RbcMuxMessage<T, P> {
+    /// The designated sender of the instance this message belongs to.
+    pub sender: NodeId,
+    /// The application tag of the instance.
+    pub tag: T,
+    /// The inner protocol message.
+    pub msg: RbcMessage<P>,
+}
+
+impl<T: fmt::Display, P: fmt::Display> fmt::Display for RbcMuxMessage<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}#{}] {}", self.sender, self.tag, self.msg)
+    }
+}
+
+/// An instruction produced by the [`RbcMux`] for its host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RbcMuxAction<T, P> {
+    /// Send this multiplexed message to every node (including ourselves).
+    Broadcast(RbcMuxMessage<T, P>),
+    /// Instance `(sender, tag)` reliably delivered `payload`.
+    Deliver {
+        /// The designated sender of the delivering instance.
+        sender: NodeId,
+        /// The application tag of the delivering instance.
+        tag: T,
+        /// The delivered payload.
+        payload: P,
+    },
+}
+
+/// A collection of reliable-broadcast instances keyed by
+/// `(designated sender, tag)`, sharing one node identity.
+///
+/// # Example
+///
+/// ```
+/// use bft_rbc::{RbcMux, RbcMuxAction};
+/// use bft_types::{Config, NodeId};
+///
+/// # fn main() -> Result<(), bft_types::ConfigError> {
+/// let cfg = Config::new(4, 1)?;
+/// let me = NodeId::new(2);
+/// let mut mux: RbcMux<u64, String> = RbcMux::new(cfg, me);
+///
+/// // Reliably broadcast our round-1 payload.
+/// let actions = mux.broadcast(1, "proposal".to_string());
+/// assert_eq!(actions.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RbcMux<T, P> {
+    config: Config,
+    me: NodeId,
+    instances: HashMap<(NodeId, T), RbcInstance<P>>,
+}
+
+impl<T, P> RbcMux<T, P>
+where
+    T: Clone + Eq + Hash + fmt::Debug,
+    P: Clone + Eq + Hash + fmt::Debug,
+{
+    /// Creates an empty multiplexer for node `me`.
+    pub fn new(config: Config, me: NodeId) -> Self {
+        RbcMux { config, me, instances: HashMap::new() }
+    }
+
+    /// This node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of instances with any state.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    fn instance(&mut self, sender: NodeId, tag: T) -> &mut RbcInstance<P> {
+        let config = self.config;
+        let me = self.me;
+        self.instances
+            .entry((sender, tag))
+            .or_insert_with(|| RbcInstance::new(config, me, sender))
+    }
+
+    /// Starts reliably broadcasting `payload` under `tag`, with this node
+    /// as the designated sender.
+    pub fn broadcast(&mut self, tag: T, payload: P) -> Vec<RbcMuxAction<T, P>> {
+        let me = self.me;
+        let actions = self.instance(me, tag.clone()).start(payload);
+        Self::lift(me, tag, actions)
+    }
+
+    /// Processes one multiplexed message from (authenticated) peer `from`.
+    pub fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: RbcMuxMessage<T, P>,
+    ) -> Vec<RbcMuxAction<T, P>> {
+        let RbcMuxMessage { sender, tag, msg } = msg;
+        if !self.config.contains(sender) {
+            return Vec::new();
+        }
+        let actions = self.instance(sender, tag.clone()).on_message(from, msg);
+        Self::lift(sender, tag, actions)
+    }
+
+    /// The payload delivered by instance `(sender, tag)`, if any.
+    pub fn delivered(&self, sender: NodeId, tag: &T) -> Option<&P> {
+        self.instances.get(&(sender, tag.clone())).and_then(|i| i.delivered())
+    }
+
+    /// Iterates over all delivered `(sender, tag, payload)` triples.
+    pub fn deliveries(&self) -> impl Iterator<Item = (NodeId, &T, &P)> {
+        self.instances
+            .iter()
+            .filter_map(|((sender, tag), inst)| inst.delivered().map(|p| (*sender, tag, p)))
+    }
+
+    /// Drops all instance state for instances matching `predicate` —
+    /// garbage collection for long-lived protocols (e.g. consensus rounds
+    /// that have completed).
+    pub fn retain(&mut self, mut predicate: impl FnMut(NodeId, &T) -> bool) {
+        self.instances.retain(|(sender, tag), _| predicate(*sender, tag));
+    }
+
+    fn lift(sender: NodeId, tag: T, actions: Vec<RbcAction<P>>) -> Vec<RbcMuxAction<T, P>> {
+        actions
+            .into_iter()
+            .map(|a| match a {
+                RbcAction::Broadcast(msg) => RbcMuxAction::Broadcast(RbcMuxMessage {
+                    sender,
+                    tag: tag.clone(),
+                    msg,
+                }),
+                RbcAction::Deliver(payload) => {
+                    RbcMuxAction::Deliver { sender, tag: tag.clone(), payload }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::new(4, 1).unwrap()
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Runs a full 4-node broadcast "by hand" through four muxes, with a
+    /// simple synchronous message pump, and checks everyone delivers.
+    #[test]
+    fn four_muxes_deliver_the_senders_payload() {
+        let mut muxes: Vec<RbcMux<u8, &str>> =
+            (0..4).map(|i| RbcMux::new(cfg(), n(i))).collect();
+        let mut inbox: Vec<(NodeId, RbcMuxMessage<u8, &str>)> = Vec::new();
+
+        fn dispatch(
+            from: NodeId,
+            actions: Vec<RbcMuxAction<u8, &'static str>>,
+            inbox: &mut Vec<(NodeId, RbcMuxMessage<u8, &'static str>)>,
+            delivered: &mut Vec<(NodeId, &'static str)>,
+        ) {
+            for a in actions {
+                match a {
+                    RbcMuxAction::Broadcast(m) => {
+                        for _ in 0..4 {
+                            inbox.push((from, m.clone()));
+                        }
+                    }
+                    RbcMuxAction::Deliver { payload, .. } => delivered.push((from, payload)),
+                }
+            }
+        }
+
+        let mut delivered = Vec::new();
+        let start = muxes[0].broadcast(9, "m");
+        dispatch(n(0), start, &mut inbox, &mut delivered);
+
+        // Pump: each broadcast fans out to all four muxes (the `to` target
+        // rotates through 0..4 in push order).
+        let mut target = 0usize;
+        while let Some((from, msg)) = inbox.pop() {
+            let acts = muxes[target % 4].on_message(from, msg);
+            let at = n(target % 4);
+            target += 1;
+            dispatch(at, acts, &mut inbox, &mut delivered);
+        }
+
+        let mut nodes: Vec<usize> = delivered.iter().map(|(id, _)| id.index()).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes, vec![0, 1, 2, 3], "every node must deliver");
+        assert!(delivered.iter().all(|&(_, p)| p == "m"));
+    }
+
+    #[test]
+    fn instances_are_isolated_by_tag() {
+        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        // Echoes for tag 1 must not count toward tag 2.
+        for i in [0usize, 2, 3] {
+            let _ = mux.on_message(
+                n(i),
+                RbcMuxMessage { sender: n(0), tag: 1, msg: RbcMessage::Ready("m") },
+            );
+        }
+        assert_eq!(mux.delivered(n(0), &1), Some(&"m"));
+        assert_eq!(mux.delivered(n(0), &2), None);
+        assert_eq!(mux.instance_count(), 1);
+    }
+
+    #[test]
+    fn instances_are_isolated_by_sender() {
+        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        let _ = mux.on_message(
+            n(2),
+            RbcMuxMessage { sender: n(2), tag: 1, msg: RbcMessage::Ready("a") },
+        );
+        let _ = mux.on_message(
+            n(3),
+            RbcMuxMessage { sender: n(3), tag: 1, msg: RbcMessage::Ready("a") },
+        );
+        // Two Readys but for *different* instances: no amplification.
+        assert_eq!(mux.delivered(n(2), &1), None);
+        assert_eq!(mux.delivered(n(3), &1), None);
+        assert_eq!(mux.instance_count(), 2);
+    }
+
+    #[test]
+    fn messages_for_out_of_range_senders_are_dropped() {
+        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        let acts = mux.on_message(
+            n(2),
+            RbcMuxMessage { sender: n(9), tag: 1, msg: RbcMessage::Ready("a") },
+        );
+        assert!(acts.is_empty());
+        assert_eq!(mux.instance_count(), 0);
+    }
+
+    #[test]
+    fn retain_garbage_collects() {
+        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(0));
+        let _ = mux.broadcast(1, "a");
+        let _ = mux.broadcast(2, "b");
+        assert_eq!(mux.instance_count(), 2);
+        mux.retain(|_, tag| *tag >= 2);
+        assert_eq!(mux.instance_count(), 1);
+    }
+
+    #[test]
+    fn deliveries_iterates_completed_instances() {
+        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        for i in [0usize, 2, 3] {
+            let _ = mux.on_message(
+                n(i),
+                RbcMuxMessage { sender: n(0), tag: 5, msg: RbcMessage::Ready("m") },
+            );
+        }
+        let all: Vec<_> = mux.deliveries().collect();
+        assert_eq!(all, vec![(n(0), &5, &"m")]);
+    }
+}

@@ -1,0 +1,466 @@
+//! A thread-per-node actor runtime for the sans-io protocol processes.
+//!
+//! The discrete-event simulator (`bft-sim`) gives deterministic,
+//! adversarially-scheduled executions; this runtime gives the complement:
+//! the *same* [`Process`] implementations running on real OS threads with
+//! real (nondeterministic) interleavings, demonstrating that the protocol
+//! code is genuinely transport-agnostic. The integration tests run every
+//! protocol under both and check the same correctness properties.
+//!
+//! Topology matches the paper's model: a fully connected network of
+//! authenticated, reliable, FIFO links — realised as one unbounded
+//! crossbeam channel per node, with envelopes stamped by the trusted
+//! router (a process cannot forge its sender identity). Optional
+//! per-message jitter widens the space of interleavings.
+//!
+//! # Example
+//!
+//! ```
+//! use bft_runtime::Runtime;
+//! use bft_types::{Effect, NodeId, Process};
+//! use std::time::Duration;
+//!
+//! struct Echo { id: NodeId, n: usize, heard: usize }
+//!
+//! impl Process for Echo {
+//!     type Msg = ();
+//!     type Output = usize;
+//!     fn id(&self) -> NodeId { self.id }
+//!     fn on_start(&mut self) -> Vec<Effect<(), usize>> {
+//!         vec![Effect::Broadcast { msg: () }]
+//!     }
+//!     fn on_message(&mut self, _from: NodeId, _msg: ()) -> Vec<Effect<(), usize>> {
+//!         self.heard += 1;
+//!         if self.heard == self.n {
+//!             vec![Effect::Output(self.heard), Effect::Halt]
+//!         } else {
+//!             Vec::new()
+//!         }
+//!     }
+//! }
+//!
+//! let n = 3;
+//! let mut rt = Runtime::new(n).timeout(Duration::from_secs(5));
+//! for id in NodeId::all(n) {
+//!     rt.add_process(Box::new(Echo { id, n, heard: 0 }));
+//! }
+//! let report = rt.run();
+//! assert!(report.all_correct_decided());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bft_types::{Effect, Envelope, NodeId, Process};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A boxed, thread-movable process.
+pub type BoxedProcess<M, O> = Box<dyn Process<Msg = M, Output = O> + Send>;
+
+/// Control messages on a node's channel.
+enum Ctrl<M> {
+    Deliver(Envelope<M>),
+    Stop,
+}
+
+/// The result of a [`Runtime::run`].
+#[derive(Clone, Debug)]
+pub struct RuntimeReport<O> {
+    /// First output of each node that produced one.
+    pub outputs: BTreeMap<NodeId, O>,
+    /// The correct (non-faulty) nodes.
+    pub correct: Vec<NodeId>,
+    /// Whether the run hit the timeout before all correct nodes produced
+    /// an output.
+    pub timed_out: bool,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl<O: Clone + PartialEq> RuntimeReport<O> {
+    /// Whether every correct node produced an output.
+    pub fn all_correct_decided(&self) -> bool {
+        self.correct.iter().all(|id| self.outputs.contains_key(id))
+    }
+
+    /// Whether all correct nodes that produced an output agree.
+    pub fn agreement_holds(&self) -> bool {
+        let mut first: Option<&O> = None;
+        for id in &self.correct {
+            if let Some(o) = self.outputs.get(id) {
+                match first {
+                    None => first = Some(o),
+                    Some(f) if f == o => {}
+                    Some(_) => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// The unanimous output of the correct nodes, if all decided and
+    /// agree.
+    pub fn unanimous_output(&self) -> Option<O> {
+        if !self.all_correct_decided() || !self.agreement_holds() {
+            return None;
+        }
+        self.correct.first().and_then(|id| self.outputs.get(id)).cloned()
+    }
+}
+
+/// A thread-per-node runtime over crossbeam channels.
+///
+/// Build it with [`Runtime::new`], install one process per node id, then
+/// call [`Runtime::run`], which blocks until every correct node has
+/// produced an output (or the timeout fires) and then shuts the actors
+/// down.
+pub struct Runtime<M, O> {
+    n: usize,
+    procs: Vec<Option<(BoxedProcess<M, O>, bool)>>,
+    timeout: Duration,
+    jitter_us: u64,
+}
+
+impl<M, O> fmt::Debug for Runtime<M, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Runtime(n={}, timeout={:?})", self.n, self.timeout)
+    }
+}
+
+impl<M, O> Runtime<M, O>
+where
+    M: Clone + fmt::Debug + Send + 'static,
+    O: Clone + fmt::Debug + PartialEq + Send + 'static,
+{
+    /// Creates an empty runtime for `n` nodes (default timeout: 30 s, no
+    /// jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a runtime needs at least one node");
+        Runtime {
+            n,
+            procs: (0..n).map(|_| None).collect(),
+            timeout: Duration::from_secs(30),
+            jitter_us: 0,
+        }
+    }
+
+    /// Sets the run timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Adds up to `max_us` microseconds of pseudo-random sleep before each
+    /// message is processed, to widen the interleaving space.
+    pub fn jitter_us(mut self, max_us: u64) -> Self {
+        self.jitter_us = max_us;
+        self
+    }
+
+    /// Installs a correct process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the slot is occupied.
+    pub fn add_process(&mut self, proc_: BoxedProcess<M, O>) {
+        self.install(proc_, false);
+    }
+
+    /// Installs a Byzantine (faulty) process, excluded from the completion
+    /// condition and correctness checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the slot is occupied.
+    pub fn add_faulty_process(&mut self, proc_: BoxedProcess<M, O>) {
+        self.install(proc_, true);
+    }
+
+    fn install(&mut self, proc_: BoxedProcess<M, O>, faulty: bool) {
+        let idx = proc_.id().index();
+        assert!(idx < self.n, "process id {idx} out of range");
+        assert!(self.procs[idx].is_none(), "slot {idx} already occupied");
+        self.procs[idx] = Some((proc_, faulty));
+    }
+
+    /// Runs the actors to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node slot was never populated.
+    pub fn run(mut self) -> RuntimeReport<O> {
+        for (i, p) in self.procs.iter().enumerate() {
+            assert!(p.is_some(), "node slot {i} was never populated");
+        }
+        let started = Instant::now();
+        let n = self.n;
+        let jitter_us = self.jitter_us;
+
+        let mut senders: Vec<Sender<Ctrl<M>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Ctrl<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let outputs: Arc<Mutex<BTreeMap<NodeId, O>>> = Arc::new(Mutex::new(BTreeMap::new()));
+
+        let correct: Vec<NodeId> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.as_ref().expect("slot populated").1)
+            .map(|(i, _)| NodeId::new(i))
+            .collect();
+
+        let mut timed_out = false;
+        std::thread::scope(|scope| {
+            for (idx, slot) in self.procs.iter_mut().enumerate() {
+                let (mut proc_, _) = slot.take().expect("slot populated");
+                let rx = receivers[idx].clone();
+                let senders = Arc::clone(&senders);
+                let outputs = Arc::clone(&outputs);
+                scope.spawn(move || {
+                    actor_loop(&mut proc_, rx, &senders, &outputs, jitter_us);
+                });
+            }
+
+            // Completion monitor: poll until all correct nodes decided or
+            // the timeout fires, then stop all actors.
+            loop {
+                {
+                    let outs = outputs.lock();
+                    if correct.iter().all(|id| outs.contains_key(id)) {
+                        break;
+                    }
+                }
+                if started.elapsed() > self.timeout {
+                    timed_out = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            for tx in senders.iter() {
+                let _ = tx.send(Ctrl::Stop);
+            }
+        });
+
+        let outputs = Arc::try_unwrap(outputs)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        RuntimeReport { outputs, correct, timed_out, elapsed: started.elapsed() }
+    }
+}
+
+/// The body of one actor thread.
+fn actor_loop<M, O>(
+    proc_: &mut BoxedProcess<M, O>,
+    rx: Receiver<Ctrl<M>>,
+    senders: &[Sender<Ctrl<M>>],
+    outputs: &Mutex<BTreeMap<NodeId, O>>,
+    jitter_us: u64,
+) where
+    M: Clone + fmt::Debug + Send + 'static,
+    O: Clone + fmt::Debug + PartialEq + Send + 'static,
+{
+    let me = proc_.id();
+    // Cheap per-node xorshift for jitter; determinism is not a goal here.
+    let mut rng_state = 0x9e37_79b9_7f4a_7c15u64 ^ (me.index() as u64 + 1);
+    let mut jitter = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        if jitter_us > 0 {
+            std::thread::sleep(Duration::from_micros(rng_state % jitter_us));
+        }
+    };
+
+    let mut halted = false;
+    let effects = proc_.on_start();
+    apply(me, effects, senders, outputs, &mut halted);
+
+    // One loop until Stop: while the protocol is live, deliveries are
+    // processed; after it halts, deliveries are drained and ignored. The
+    // runtime sends exactly one Stop per actor, so the loop must consume
+    // everything else without a second waiting point. (Not a `while let`:
+    // Stop and closed-channel both exit via the same arm.)
+    #[allow(clippy::while_let_loop)]
+    loop {
+        match rx.recv() {
+            Ok(Ctrl::Deliver(env)) => {
+                if halted || proc_.is_halted() {
+                    continue;
+                }
+                jitter();
+                let effects = proc_.on_message(env.from, env.msg);
+                apply(me, effects, senders, outputs, &mut halted);
+            }
+            Ok(Ctrl::Stop) | Err(_) => break,
+        }
+    }
+}
+
+fn apply<M, O>(
+    me: NodeId,
+    effects: Vec<Effect<M, O>>,
+    senders: &[Sender<Ctrl<M>>],
+    outputs: &Mutex<BTreeMap<NodeId, O>>,
+    halted: &mut bool,
+) where
+    M: Clone,
+{
+    for effect in effects {
+        match effect {
+            Effect::Send { to, msg } => {
+                if let Some(tx) = senders.get(to.index()) {
+                    let _ = tx.send(Ctrl::Deliver(Envelope { from: me, to, msg }));
+                }
+            }
+            Effect::Broadcast { msg } => {
+                for (i, tx) in senders.iter().enumerate() {
+                    let _ = tx.send(Ctrl::Deliver(Envelope {
+                        from: me,
+                        to: NodeId::new(i),
+                        msg: msg.clone(),
+                    }));
+                }
+            }
+            Effect::Output(o) => {
+                outputs.lock().entry(me).or_insert(o);
+            }
+            Effect::Halt => *halted = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        id: NodeId,
+        n: usize,
+        heard: usize,
+    }
+
+    impl Process for Echo {
+        type Msg = ();
+        type Output = usize;
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_start(&mut self) -> Vec<Effect<(), usize>> {
+            vec![Effect::Broadcast { msg: () }]
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: ()) -> Vec<Effect<(), usize>> {
+            self.heard += 1;
+            if self.heard == self.n {
+                vec![Effect::Output(self.heard), Effect::Halt]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_echo_completes() {
+        let n = 4;
+        let mut rt = Runtime::new(n).timeout(Duration::from_secs(10));
+        for id in NodeId::all(n) {
+            rt.add_process(Box::new(Echo { id, n, heard: 0 }));
+        }
+        let report = rt.run();
+        assert!(!report.timed_out);
+        assert!(report.all_correct_decided());
+        assert_eq!(report.unanimous_output(), Some(n));
+    }
+
+    #[test]
+    fn timeout_fires_for_stalled_protocols() {
+        struct Stuck {
+            id: NodeId,
+        }
+        impl Process for Stuck {
+            type Msg = ();
+            type Output = usize;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<(), usize>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: NodeId, _m: ()) -> Vec<Effect<(), usize>> {
+                Vec::new()
+            }
+        }
+        let mut rt = Runtime::new(2).timeout(Duration::from_millis(50));
+        rt.add_process(Box::new(Stuck { id: NodeId::new(0) }));
+        rt.add_process(Box::new(Stuck { id: NodeId::new(1) }));
+        let report = rt.run();
+        assert!(report.timed_out);
+        assert!(!report.all_correct_decided());
+    }
+
+    #[test]
+    fn faulty_nodes_do_not_gate_completion() {
+        struct Silent {
+            id: NodeId,
+        }
+        impl Process for Silent {
+            type Msg = ();
+            type Output = usize;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<(), usize>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: NodeId, _m: ()) -> Vec<Effect<(), usize>> {
+                Vec::new()
+            }
+        }
+        let n = 3;
+        let mut rt = Runtime::new(n).timeout(Duration::from_secs(10));
+        // The echoers expect n−1 = 2 messages (the silent node never
+        // broadcasts, but loopback plus one peer suffices).
+        for id in NodeId::all(n) {
+            if id.index() == 2 {
+                rt.add_faulty_process(Box::new(Silent { id }));
+            } else {
+                rt.add_process(Box::new(Echo { id, n: 2, heard: 0 }));
+            }
+        }
+        let report = rt.run();
+        assert!(!report.timed_out);
+        assert!(report.all_correct_decided());
+        assert_eq!(report.correct.len(), 2);
+    }
+
+    #[test]
+    fn jitter_does_not_break_completion() {
+        let n = 3;
+        let mut rt = Runtime::new(n).timeout(Duration::from_secs(10)).jitter_us(200);
+        for id in NodeId::all(n) {
+            rt.add_process(Box::new(Echo { id, n, heard: 0 }));
+        }
+        let report = rt.run();
+        assert!(report.all_correct_decided());
+    }
+
+    #[test]
+    #[should_panic(expected = "never populated")]
+    fn run_requires_all_slots() {
+        let rt: Runtime<(), usize> = Runtime::new(2);
+        let _ = rt.run();
+    }
+}

@@ -1,0 +1,98 @@
+//! Internal event representation and optional tracing.
+
+use crate::SimTime;
+use bft_types::{Envelope, NodeId};
+use std::cmp::Ordering;
+
+/// What happens at a scheduled instant.
+#[derive(Clone, Debug)]
+pub(crate) enum EventKind<M> {
+    /// A process takes its initial step.
+    Start(NodeId),
+    /// A message is delivered.
+    Deliver(Envelope<M>),
+}
+
+/// A scheduled event. Ordered by `(time, seq)` so that the run order is a
+/// deterministic function of the schedule; `seq` is a global enqueue
+/// counter breaking ties.
+#[derive(Clone, Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// One line of a captured execution trace.
+///
+/// Traces are off by default (they allocate); enable them with
+/// [`WorldConfig::capture_trace`](crate::WorldConfig::capture_trace) when
+/// debugging a protocol interleaving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event fired.
+    pub time: SimTime,
+    /// The node the event was applied to.
+    pub at: NodeId,
+    /// Human-readable description (`start`, `deliver n2: <msg>` …).
+    pub what: String,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.at, self.what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: u64, seq: u64) -> Event<()> {
+        Event { time: SimTime::from_ticks(time), seq, kind: EventKind::Start(NodeId::new(0)) }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first_with_seq_tiebreak() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(5, 0));
+        heap.push(ev(1, 2));
+        heap.push(ev(1, 1));
+        heap.push(ev(3, 3));
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| heap.pop()).map(|e| (e.time.ticks(), e.seq)).collect();
+        assert_eq!(order, vec![(1, 1), (1, 2), (3, 3), (5, 0)]);
+    }
+
+    #[test]
+    fn trace_entry_displays() {
+        let t = TraceEntry {
+            time: SimTime::from_ticks(9),
+            at: NodeId::new(2),
+            what: "start".into(),
+        };
+        assert_eq!(t.to_string(), "[t9] n2: start");
+    }
+}

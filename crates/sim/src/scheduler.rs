@@ -1,0 +1,297 @@
+//! Message-delay schedulers: the simulator's model of the network
+//! adversary.
+//!
+//! In the asynchronous model the adversary picks, for every message, an
+//! arbitrary finite delay, and may inspect message contents to do so. A
+//! [`Scheduler`] is exactly that adversary: the simulator asks it for a
+//! delay (in ticks) for each message as it is sent. The simulator then
+//! clamps delivery times so that each directed link stays FIFO.
+//!
+//! Benign schedulers live here; *malicious* content-aware schedulers (e.g.
+//! the anti-coin adversary that tries to keep correct nodes split) live in
+//! `bft-adversary` because they need to understand protocol messages.
+
+use bft_types::Envelope;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::SimTime;
+
+/// The network adversary: chooses a delivery delay for every message.
+///
+/// Implementations may keep state (e.g. per-link counters) and randomness
+/// (seed it from the run seed for reproducibility). Returned delays are in
+/// simulated ticks; `0` is allowed and is clamped to the FIFO constraint by
+/// the simulator.
+pub trait Scheduler<M> {
+    /// Chooses the delay for `envelope`, sent at time `now`.
+    fn delay(&mut self, envelope: &Envelope<M>, now: SimTime) -> u64;
+}
+
+/// A boxed scheduler, for heterogeneous harness code.
+pub type BoxedScheduler<M> = Box<dyn Scheduler<M> + Send>;
+
+impl<M> Scheduler<M> for BoxedScheduler<M> {
+    fn delay(&mut self, envelope: &Envelope<M>, now: SimTime) -> u64 {
+        (**self).delay(envelope, now)
+    }
+}
+
+/// Delivers every message after the same fixed delay — the most benign
+/// schedule (effectively a synchronous network).
+///
+/// # Example
+///
+/// ```
+/// use bft_sim::{FixedDelay, Scheduler, SimTime};
+/// use bft_types::{Envelope, NodeId};
+///
+/// let mut s = FixedDelay::new(3);
+/// let env = Envelope { from: NodeId::new(0), to: NodeId::new(1), msg: () };
+/// assert_eq!(s.delay(&env, SimTime::ZERO), 3);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FixedDelay {
+    delay: u64,
+}
+
+impl FixedDelay {
+    /// Creates a scheduler delivering after exactly `delay` ticks.
+    pub const fn new(delay: u64) -> Self {
+        FixedDelay { delay }
+    }
+}
+
+impl<M> Scheduler<M> for FixedDelay {
+    fn delay(&mut self, _envelope: &Envelope<M>, _now: SimTime) -> u64 {
+        self.delay
+    }
+}
+
+/// Delivers each message after an independent uniform random delay in
+/// `[min, max]` — the canonical "random asynchrony" schedule used by most
+/// experiments.
+#[derive(Clone, Debug)]
+pub struct UniformDelay {
+    min: u64,
+    max: u64,
+    rng: ChaCha8Rng,
+}
+
+impl UniformDelay {
+    /// Creates a uniform scheduler with delays in `[min, max]`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u64, max: u64, seed: u64) -> Self {
+        assert!(min <= max, "min delay must not exceed max delay");
+        UniformDelay { min, max, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+}
+
+impl<M> Scheduler<M> for UniformDelay {
+    fn delay(&mut self, _envelope: &Envelope<M>, _now: SimTime) -> u64 {
+        self.rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Delivers each message after a geometrically distributed delay: each
+/// tick the message "arrives" with probability `p_per_mille / 1000`,
+/// capped at `max`. A heavy-tailed model closer to real network
+/// asynchrony than uniform delays — most messages are fast, a few
+/// straggle badly.
+#[derive(Clone, Debug)]
+pub struct GeometricDelay {
+    p_per_mille: u32,
+    max: u64,
+    rng: ChaCha8Rng,
+}
+
+impl GeometricDelay {
+    /// Creates a geometric scheduler with per-tick arrival probability
+    /// `p_per_mille / 1000`, capped at `max` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_per_mille` is 0 or greater than 1000, or `max` is 0.
+    pub fn new(p_per_mille: u32, max: u64, seed: u64) -> Self {
+        assert!(
+            (1..=1000).contains(&p_per_mille),
+            "arrival probability must be in (0, 1]"
+        );
+        assert!(max > 0, "max delay must be positive");
+        GeometricDelay { p_per_mille, max, rng: ChaCha8Rng::seed_from_u64(seed ^ 0x6e0) }
+    }
+}
+
+impl<M> Scheduler<M> for GeometricDelay {
+    fn delay(&mut self, _envelope: &Envelope<M>, _now: SimTime) -> u64 {
+        let mut ticks = 1u64;
+        while ticks < self.max && !self.rng.gen_ratio(self.p_per_mille, 1000) {
+            ticks += 1;
+        }
+        ticks
+    }
+}
+
+/// Splits nodes into two groups and delays all *cross-group* messages by a
+/// large factor until a cutoff time — a temporary network partition, the
+/// classic stressor for asynchronous protocols (they must not lose safety,
+/// only time).
+#[derive(Clone, Debug)]
+pub struct PartitionDelay {
+    /// Nodes with index < `boundary` form group A; the rest group B.
+    boundary: usize,
+    /// Delay for intra-group messages.
+    near: u64,
+    /// Delay for cross-group messages while the partition holds.
+    far: u64,
+    /// The partition heals at this time; afterwards all messages use `near`.
+    heal_at: SimTime,
+}
+
+impl PartitionDelay {
+    /// Creates a partition between nodes `0..boundary` and the rest,
+    /// healing at `heal_at`.
+    pub const fn new(boundary: usize, near: u64, far: u64, heal_at: SimTime) -> Self {
+        PartitionDelay { boundary, near, far, heal_at }
+    }
+}
+
+impl<M> Scheduler<M> for PartitionDelay {
+    fn delay(&mut self, envelope: &Envelope<M>, now: SimTime) -> u64 {
+        let cross =
+            (envelope.from.index() < self.boundary) != (envelope.to.index() < self.boundary);
+        if cross && now < self.heal_at {
+            self.far
+        } else {
+            self.near
+        }
+    }
+}
+
+/// Adapts a closure into a [`Scheduler`]; convenient for one-off
+/// experiment-specific adversaries.
+///
+/// # Example
+///
+/// ```
+/// use bft_sim::{FnScheduler, Scheduler, SimTime};
+/// use bft_types::{Envelope, NodeId};
+///
+/// // Starve node 0: everything addressed to it is slow.
+/// let mut s = FnScheduler::new(|env: &Envelope<()>, _now| {
+///     if env.to == NodeId::new(0) { 100 } else { 1 }
+/// });
+/// let env = Envelope { from: NodeId::new(1), to: NodeId::new(0), msg: () };
+/// assert_eq!(s.delay(&env, SimTime::ZERO), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FnScheduler<F> {
+    f: F,
+}
+
+impl<F> FnScheduler<F> {
+    /// Wraps `f` as a scheduler.
+    pub const fn new(f: F) -> Self {
+        FnScheduler { f }
+    }
+}
+
+impl<M, F> Scheduler<M> for FnScheduler<F>
+where
+    F: FnMut(&Envelope<M>, SimTime) -> u64,
+{
+    fn delay(&mut self, envelope: &Envelope<M>, now: SimTime) -> u64 {
+        (self.f)(envelope, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::NodeId;
+
+    fn env(from: usize, to: usize) -> Envelope<u8> {
+        Envelope { from: NodeId::new(from), to: NodeId::new(to), msg: 0 }
+    }
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut s = FixedDelay::new(7);
+        for i in 0..5 {
+            assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, i), SimTime::ZERO), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_delay_stays_in_range_and_is_reproducible() {
+        let mut a = UniformDelay::new(2, 9, 42);
+        let mut b = UniformDelay::new(2, 9, 42);
+        for i in 0..100 {
+            let da = Scheduler::<u8>::delay(&mut a, &env(0, i % 4), SimTime::ZERO);
+            let db = Scheduler::<u8>::delay(&mut b, &env(0, i % 4), SimTime::ZERO);
+            assert_eq!(da, db);
+            assert!((2..=9).contains(&da));
+        }
+    }
+
+    #[test]
+    fn uniform_different_seeds_differ() {
+        let mut a = UniformDelay::new(0, 1000, 1);
+        let mut b = UniformDelay::new(0, 1000, 2);
+        let da: Vec<u64> =
+            (0..10).map(|_| Scheduler::<u8>::delay(&mut a, &env(0, 1), SimTime::ZERO)).collect();
+        let db: Vec<u64> =
+            (0..10).map(|_| Scheduler::<u8>::delay(&mut b, &env(0, 1), SimTime::ZERO)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    #[should_panic(expected = "min delay")]
+    fn uniform_rejects_inverted_range() {
+        let _ = UniformDelay::new(5, 2, 0);
+    }
+
+    #[test]
+    fn partition_delays_cross_traffic_until_heal() {
+        let mut s = PartitionDelay::new(2, 1, 50, SimTime::from_ticks(100));
+        // cross-group, before heal
+        assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 3), SimTime::ZERO), 50);
+        // intra-group, before heal
+        assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 1), SimTime::ZERO), 1);
+        assert_eq!(Scheduler::<u8>::delay(&mut s, &env(2, 3), SimTime::ZERO), 1);
+        // cross-group, after heal
+        assert_eq!(
+            Scheduler::<u8>::delay(&mut s, &env(0, 3), SimTime::from_ticks(100)),
+            1
+        );
+    }
+
+    #[test]
+    fn geometric_delay_is_heavy_tailed_and_capped() {
+        let mut s = GeometricDelay::new(200, 50, 3);
+        let delays: Vec<u64> =
+            (0..2000).map(|_| Scheduler::<u8>::delay(&mut s, &env(0, 1), SimTime::ZERO)).collect();
+        assert!(delays.iter().all(|&d| (1..=50).contains(&d)));
+        let mean = delays.iter().sum::<u64>() as f64 / delays.len() as f64;
+        // Geometric with p = 0.2 has mean ≈ 5.
+        assert!((3.0..8.0).contains(&mean), "mean {mean}");
+        assert!(delays.iter().any(|&d| d > 10), "tail must exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival probability")]
+    fn geometric_rejects_zero_probability() {
+        let _ = GeometricDelay::new(0, 10, 0);
+    }
+
+    #[test]
+    fn boxed_scheduler_dispatches() {
+        let mut s: BoxedScheduler<u8> = Box::new(FixedDelay::new(4));
+        assert_eq!(s.delay(&env(1, 2), SimTime::ZERO), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A point in simulated time, measured in abstract ticks.
+///
+/// Ticks have no physical meaning: the asynchronous model only constrains
+/// *relative order* of deliveries. Time exists so that schedulers can
+/// express delays and so the harness can report "simulated latency".
+///
+/// # Example
+///
+/// ```
+/// use bft_sim::SimTime;
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from a tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, ticks: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ticks))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_ticks(3);
+        let b = a + 4;
+        assert_eq!(b.ticks(), 7);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        let t = SimTime::from_ticks(u64::MAX) + 10;
+        assert_eq!(t.ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

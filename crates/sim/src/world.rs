@@ -1,0 +1,644 @@
+//! The simulation driver.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MsgClass;
+use crate::{Metrics, Report, Scheduler, SimTime, StopReason, TraceEntry};
+use bft_types::{Effect, Envelope, NodeId, Process};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+
+/// When the simulation considers itself done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopPolicy {
+    /// Stop once every correct node has produced an output (its decision).
+    /// This is the default: experiments measure time-to-decision.
+    #[default]
+    AllCorrectOutput,
+    /// Stop once every correct node has halted. Use this to exercise the
+    /// termination gadget (correct nodes keep participating for a bounded
+    /// number of rounds after deciding, then halt).
+    AllCorrectHalted,
+    /// Run until the event queue drains or a budget is hit.
+    QueueDrain,
+}
+
+/// Configuration of a [`World`].
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    n: usize,
+    stop_policy: StopPolicy,
+    max_delivered: u64,
+    max_time: SimTime,
+    capture_trace: bool,
+}
+
+impl WorldConfig {
+    /// Creates a configuration for `n` nodes with default budgets
+    /// (10 million deliveries, unbounded simulated time, no trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a world needs at least one node");
+        WorldConfig {
+            n,
+            stop_policy: StopPolicy::default(),
+            max_delivered: 10_000_000,
+            max_time: SimTime::from_ticks(u64::MAX),
+            capture_trace: false,
+        }
+    }
+
+    /// Sets the stop policy.
+    pub fn stop_policy(mut self, policy: StopPolicy) -> Self {
+        self.stop_policy = policy;
+        self
+    }
+
+    /// Caps the number of delivered messages; the run stops with
+    /// [`StopReason::BudgetExhausted`] when reached.
+    pub fn max_delivered(mut self, max: u64) -> Self {
+        self.max_delivered = max;
+        self
+    }
+
+    /// Caps simulated time; events scheduled beyond the cap stop the run.
+    pub fn max_time(mut self, max: SimTime) -> Self {
+        self.max_time = max;
+        self
+    }
+
+    /// Enables capture of a full execution trace (allocates; debugging
+    /// aid).
+    pub fn capture_trace(mut self, on: bool) -> Self {
+        self.capture_trace = on;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// A deterministic discrete-event world of `n` processes connected by
+/// reliable FIFO links whose delays are chosen by a [`Scheduler`].
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct World<M, O, S> {
+    config: WorldConfig,
+    scheduler: S,
+    procs: Vec<Option<Box<dyn Process<Msg = M, Output = O>>>>,
+    faulty: Vec<bool>,
+    halted: Vec<bool>,
+    queue: BinaryHeap<Event<M>>,
+    seq: u64,
+    /// Last scheduled delivery time per directed link, to enforce FIFO.
+    link_clock: Vec<SimTime>,
+    classifier: Option<fn(&M) -> MsgClass>,
+    metrics: Metrics,
+    outputs: BTreeMap<NodeId, O>,
+    output_times: BTreeMap<NodeId, SimTime>,
+    output_rounds: BTreeMap<NodeId, u64>,
+    trace: Vec<TraceEntry>,
+    now: SimTime,
+}
+
+impl<M, O, S> World<M, O, S>
+where
+    M: Clone + fmt::Debug,
+    O: Clone + fmt::Debug + PartialEq,
+    S: Scheduler<M>,
+{
+    /// Creates an empty world; populate it with [`World::add_process`] /
+    /// [`World::add_faulty_process`] before calling [`World::run`].
+    pub fn new(config: WorldConfig, scheduler: S) -> Self {
+        let n = config.n;
+        World {
+            config,
+            scheduler,
+            procs: (0..n).map(|_| None).collect(),
+            faulty: vec![false; n],
+            halted: vec![false; n],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            link_clock: vec![SimTime::ZERO; n * n],
+            classifier: None,
+            metrics: Metrics::default(),
+            outputs: BTreeMap::new(),
+            output_times: BTreeMap::new(),
+            output_rounds: BTreeMap::new(),
+            trace: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Installs a correct process. Its slot is determined by
+    /// [`Process::id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the slot is already occupied.
+    pub fn add_process(&mut self, proc_: Box<dyn Process<Msg = M, Output = O>>) {
+        self.install(proc_, false);
+    }
+
+    /// Installs a Byzantine (faulty) process. Faulty nodes are excluded
+    /// from stop policies and correctness checks — they may do anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the slot is already occupied.
+    pub fn add_faulty_process(&mut self, proc_: Box<dyn Process<Msg = M, Output = O>>) {
+        self.install(proc_, true);
+    }
+
+    fn install(&mut self, proc_: Box<dyn Process<Msg = M, Output = O>>, faulty: bool) {
+        let idx = proc_.id().index();
+        assert!(idx < self.config.n, "process id {idx} out of range");
+        assert!(self.procs[idx].is_none(), "slot {idx} already occupied");
+        self.faulty[idx] = faulty;
+        self.procs[idx] = Some(proc_);
+    }
+
+    /// Installs a message classifier used for per-kind and byte
+    /// accounting in [`Metrics`].
+    pub fn set_classifier(&mut self, classifier: fn(&M) -> MsgClass) {
+        self.classifier = Some(classifier);
+    }
+
+    /// The ids of the correct (non-faulty) nodes.
+    pub fn correct_nodes(&self) -> Vec<NodeId> {
+        (0..self.config.n).filter(|&i| !self.faulty[i]).map(NodeId::new).collect()
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(Event { time, seq: self.seq, kind });
+    }
+
+    fn classify(&self, msg: &M) -> Option<MsgClass> {
+        self.classifier.map(|c| c(msg))
+    }
+
+    /// Applies the effects a process produced at the current time.
+    fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect<M, O>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.enqueue_send(from, to, msg),
+                Effect::Broadcast { msg } => {
+                    for to in NodeId::all(self.config.n) {
+                        self.enqueue_send(from, to, msg.clone());
+                    }
+                }
+                Effect::Output(o) => {
+                    if let std::collections::btree_map::Entry::Vacant(e) = self.outputs.entry(from) {
+                        e.insert(o);
+                        self.output_times.insert(from, self.now);
+                        let round = self.procs[from.index()]
+                            .as_ref()
+                            .map(|p| p.round())
+                            .unwrap_or(0);
+                        self.output_rounds.insert(from, round);
+                        if self.config.capture_trace {
+                            self.trace.push(TraceEntry {
+                                time: self.now,
+                                at: from,
+                                what: "output".into(),
+                            });
+                        }
+                    }
+                }
+                Effect::Halt => {
+                    self.halted[from.index()] = true;
+                }
+            }
+        }
+    }
+
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        assert!(to.index() < self.config.n, "destination {to} out of range");
+        let class = self.classify(&msg);
+        self.metrics.record_send(from, class);
+        let envelope = Envelope { from, to, msg };
+        let delay = self.scheduler.delay(&envelope, self.now);
+        let link = from.index() * self.config.n + to.index();
+        // FIFO links: delivery times per directed link are non-decreasing,
+        // and ties are broken by enqueue order (the `seq` counter), which
+        // equals send order.
+        let at = (self.now + delay).max(self.link_clock[link]);
+        self.link_clock[link] = at;
+        self.push_event(at, EventKind::Deliver(envelope));
+    }
+
+    fn stop_satisfied(&self) -> bool {
+        match self.config.stop_policy {
+            StopPolicy::AllCorrectOutput => (0..self.config.n)
+                .filter(|&i| !self.faulty[i])
+                .all(|i| self.outputs.contains_key(&NodeId::new(i))),
+            StopPolicy::AllCorrectHalted => {
+                (0..self.config.n).filter(|&i| !self.faulty[i]).all(|i| self.halted[i])
+            }
+            StopPolicy::QueueDrain => false,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the [`Report`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node slot was never populated.
+    pub fn run(mut self) -> Report<O> {
+        for (i, p) in self.procs.iter().enumerate() {
+            assert!(p.is_some(), "node slot {i} was never populated");
+        }
+        // Schedule every process's start at t = 0; the scheduler still
+        // controls all subsequent interleaving.
+        for id in NodeId::all(self.config.n) {
+            self.push_event(SimTime::ZERO, EventKind::Start(id));
+        }
+
+        let stop = loop {
+            if self.stop_satisfied() {
+                break StopReason::Completed;
+            }
+            let Some(event) = self.queue.pop() else {
+                break if self.stop_satisfied() {
+                    StopReason::Completed
+                } else {
+                    StopReason::QueueDrained
+                };
+            };
+            if event.time > self.config.max_time
+                || self.metrics.delivered >= self.config.max_delivered
+            {
+                break StopReason::BudgetExhausted;
+            }
+            self.now = event.time;
+            self.metrics.events += 1;
+            match event.kind {
+                EventKind::Start(id) => {
+                    if self.halted[id.index()] {
+                        continue;
+                    }
+                    if self.config.capture_trace {
+                        self.trace.push(TraceEntry {
+                            time: self.now,
+                            at: id,
+                            what: "start".into(),
+                        });
+                    }
+                    let effects =
+                        self.procs[id.index()].as_mut().expect("slot populated").on_start();
+                    self.apply_effects(id, effects);
+                    if self.procs[id.index()].as_ref().expect("slot populated").is_halted() {
+                        self.halted[id.index()] = true;
+                    }
+                }
+                EventKind::Deliver(envelope) => {
+                    let to = envelope.to;
+                    if self.halted[to.index()] {
+                        self.metrics.dropped_to_halted += 1;
+                        continue;
+                    }
+                    self.metrics.delivered += 1;
+                    if self.config.capture_trace {
+                        self.trace.push(TraceEntry {
+                            time: self.now,
+                            at: to,
+                            what: format!("deliver {}: {:?}", envelope.from, envelope.msg),
+                        });
+                    }
+                    let effects = self.procs[to.index()]
+                        .as_mut()
+                        .expect("slot populated")
+                        .on_message(envelope.from, envelope.msg);
+                    self.apply_effects(to, effects);
+                    if self.procs[to.index()].as_ref().expect("slot populated").is_halted() {
+                        self.halted[to.index()] = true;
+                    }
+                }
+            }
+        };
+
+        // Capture the final outputs/rounds even for processes that decided
+        // without emitting Effect::Output (e.g. via their `output()` hook).
+        for id in NodeId::all(self.config.n) {
+            let p = self.procs[id.index()].as_ref().expect("slot populated");
+            if let std::collections::btree_map::Entry::Vacant(e) = self.outputs.entry(id) {
+                if let Some(o) = p.output() {
+                    e.insert(o);
+                    self.output_times.insert(id, self.now);
+                    self.output_rounds.insert(id, p.round());
+                }
+            }
+        }
+        let max_round = (0..self.config.n)
+            .filter(|&i| !self.faulty[i])
+            .filter_map(|i| self.procs[i].as_ref().map(|p| p.round()))
+            .max()
+            .unwrap_or(0);
+
+        Report {
+            stop,
+            end_time: self.now,
+            outputs: self.outputs,
+            output_times: self.output_times,
+            output_rounds: self.output_rounds,
+            max_round,
+            metrics: self.metrics,
+            correct: (0..self.config.n)
+                .filter(|&i| !self.faulty[i])
+                .map(NodeId::new)
+                .collect(),
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FixedDelay, FnScheduler, UniformDelay};
+
+    /// Node 0 broadcasts a token; every node decides on the first token it
+    /// receives (including its own loopback copy).
+    struct FirstToken {
+        id: NodeId,
+        is_source: bool,
+        decided: Option<u8>,
+    }
+
+    impl Process for FirstToken {
+        type Msg = u8;
+        type Output = u8;
+
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
+            if self.is_source {
+                vec![Effect::Broadcast { msg: 42 }]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u8) -> Vec<Effect<u8, u8>> {
+            if self.decided.is_none() {
+                self.decided = Some(msg);
+                return vec![Effect::Output(msg), Effect::Halt];
+            }
+            Vec::new()
+        }
+
+        fn output(&self) -> Option<u8> {
+            self.decided
+        }
+
+        fn is_halted(&self) -> bool {
+            self.decided.is_some()
+        }
+    }
+
+    fn token_world<S: Scheduler<u8>>(n: usize, scheduler: S) -> World<u8, u8, S> {
+        let mut world = World::new(WorldConfig::new(n), scheduler);
+        for id in NodeId::all(n) {
+            world.add_process(Box::new(FirstToken {
+                id,
+                is_source: id.index() == 0,
+                decided: None,
+            }));
+        }
+        world
+    }
+
+    #[test]
+    fn all_nodes_receive_broadcast() {
+        let report = token_world(5, FixedDelay::new(2)).run();
+        assert_eq!(report.stop, StopReason::Completed);
+        assert!(report.all_correct_decided());
+        assert!(report.agreement_holds());
+        assert_eq!(report.unanimous_output(), Some(42));
+        assert_eq!(report.metrics.sent, 5); // broadcast = n sends
+        assert_eq!(report.metrics.delivered, 5);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_equal_seeds() {
+        let r1 = token_world(6, UniformDelay::new(1, 50, 7)).run();
+        let r2 = token_world(6, UniformDelay::new(1, 50, 7)).run();
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.output_times, r2.output_times);
+        assert_eq!(r1.metrics.sent, r2.metrics.sent);
+    }
+
+    #[test]
+    fn fifo_links_preserve_per_link_order() {
+        /// Source sends 0,1,2,...,9 to node 1; node 1 records the order.
+        struct Burst {
+            id: NodeId,
+        }
+        impl Process for Burst {
+            type Msg = u8;
+            type Output = Vec<u8>;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<u8, Vec<u8>>> {
+                (0..10).map(|i| Effect::Send { to: NodeId::new(1), msg: i }).collect()
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u8) -> Vec<Effect<u8, Vec<u8>>> {
+                Vec::new()
+            }
+        }
+        struct Sink {
+            id: NodeId,
+            got: Vec<u8>,
+        }
+        impl Process for Sink {
+            type Msg = u8;
+            type Output = Vec<u8>;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<u8, Vec<u8>>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: NodeId, m: u8) -> Vec<Effect<u8, Vec<u8>>> {
+                self.got.push(m);
+                if self.got.len() == 10 {
+                    vec![Effect::Output(self.got.clone())]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn output(&self) -> Option<Vec<u8>> {
+                (self.got.len() == 10).then(|| self.got.clone())
+            }
+        }
+
+        // An adversarial scheduler that tries to reorder: later messages
+        // get *smaller* delays. FIFO clamping must still deliver in order.
+        let mut countdown = 100u64;
+        let sched = FnScheduler::new(move |_env: &Envelope<u8>, _now| {
+            countdown = countdown.saturating_sub(7);
+            countdown
+        });
+        let mut world: World<u8, Vec<u8>, _> = World::new(WorldConfig::new(2), sched);
+        world.add_process(Box::new(Burst { id: NodeId::new(0) }));
+        world.add_process(Box::new(Sink { id: NodeId::new(1), got: Vec::new() }));
+        let report = world.run();
+        assert_eq!(
+            report.output_of(NodeId::new(1)),
+            Some((0..10).collect::<Vec<u8>>()),
+            "per-link FIFO order must survive adversarial delays"
+        );
+    }
+
+    #[test]
+    fn faulty_nodes_do_not_block_completion() {
+        struct Silent {
+            id: NodeId,
+        }
+        impl Process for Silent {
+            type Msg = u8;
+            type Output = u8;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u8) -> Vec<Effect<u8, u8>> {
+                Vec::new()
+            }
+        }
+
+        let n = 4;
+        let mut world = World::new(WorldConfig::new(n), FixedDelay::new(1));
+        for id in NodeId::all(n) {
+            if id.index() == 3 {
+                world.add_faulty_process(Box::new(Silent { id }));
+            } else {
+                world.add_process(Box::new(FirstToken {
+                    id,
+                    is_source: id.index() == 0,
+                    decided: None,
+                }));
+            }
+        }
+        let report = world.run();
+        assert_eq!(report.stop, StopReason::Completed);
+        assert_eq!(report.correct.len(), 3);
+        assert!(report.all_correct_decided());
+    }
+
+    #[test]
+    fn queue_drain_is_reported_when_protocol_stalls() {
+        struct Mute {
+            id: NodeId,
+        }
+        impl Process for Mute {
+            type Msg = u8;
+            type Output = u8;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u8) -> Vec<Effect<u8, u8>> {
+                Vec::new()
+            }
+        }
+        let mut world: World<u8, u8, _> = World::new(WorldConfig::new(2), FixedDelay::new(1));
+        world.add_process(Box::new(Mute { id: NodeId::new(0) }));
+        world.add_process(Box::new(Mute { id: NodeId::new(1) }));
+        let report = world.run();
+        assert_eq!(report.stop, StopReason::QueueDrained);
+        assert!(!report.all_correct_decided());
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_chatter() {
+        /// Two nodes ping-pong forever.
+        struct PingPong {
+            id: NodeId,
+        }
+        impl Process for PingPong {
+            type Msg = u8;
+            type Output = u8;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: NodeId::new(1 - self.id.index()), msg: 0 }]
+            }
+            fn on_message(&mut self, from: NodeId, m: u8) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: from, msg: m }]
+            }
+        }
+        let config = WorldConfig::new(2).max_delivered(100);
+        let mut world: World<u8, u8, _> = World::new(config, FixedDelay::new(1));
+        world.add_process(Box::new(PingPong { id: NodeId::new(0) }));
+        world.add_process(Box::new(PingPong { id: NodeId::new(1) }));
+        let report = world.run();
+        assert_eq!(report.stop, StopReason::BudgetExhausted);
+        assert!(report.metrics.delivered <= 101);
+    }
+
+    #[test]
+    fn messages_to_halted_nodes_are_dropped() {
+        let report = token_world(3, FixedDelay::new(1)).run();
+        // With the default AllCorrectOutput policy nothing is dropped
+        // before the stop; re-run to queue drain to observe drops.
+        assert_eq!(report.stop, StopReason::Completed);
+
+        let mut world = token_world(3, FixedDelay::new(1));
+        world.config = WorldConfig::new(3).stop_policy(StopPolicy::QueueDrain);
+        let report = world.run();
+        // Source broadcasts 3 messages; each node halts after its first
+        // delivery. Every node receives exactly one message (its first),
+        // and 0 further messages exist, so nothing is dropped here either —
+        // but the halting flags must be respected if they were.
+        assert_eq!(report.stop, StopReason::QueueDrained);
+        assert!(report.all_correct_decided());
+    }
+
+    #[test]
+    fn trace_capture_records_events() {
+        let mut world = token_world(2, FixedDelay::new(1));
+        world.config = WorldConfig::new(2).capture_trace(true);
+        let report = world.run();
+        assert!(report.trace.iter().any(|t| t.what == "start"));
+        assert!(report.trace.iter().any(|t| t.what.starts_with("deliver")));
+        assert!(report.trace.iter().any(|t| t.what == "output"));
+    }
+
+    #[test]
+    #[should_panic(expected = "never populated")]
+    fn run_requires_all_slots() {
+        let world: World<u8, u8, _> = World::new(WorldConfig::new(2), FixedDelay::new(1));
+        let _ = world.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn duplicate_slot_panics() {
+        let mut world: World<u8, u8, _> = World::new(WorldConfig::new(2), FixedDelay::new(1));
+        world.add_process(Box::new(FirstToken { id: NodeId::new(0), is_source: true, decided: None }));
+        world.add_process(Box::new(FirstToken { id: NodeId::new(0), is_source: true, decided: None }));
+    }
+
+    #[test]
+    fn classifier_accounts_bytes() {
+        let mut world = token_world(3, FixedDelay::new(1));
+        world.set_classifier(|_m| MsgClass { kind: "token", bytes: 8 });
+        let report = world.run();
+        assert_eq!(report.metrics.bytes_sent, 24);
+        assert_eq!(report.metrics.by_kind["token"].0, 3);
+    }
+}

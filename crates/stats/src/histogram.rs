@@ -1,0 +1,173 @@
+//! Integer-valued distributions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram over non-negative integer observations, e.g.
+/// rounds-to-decide across many seeds.
+///
+/// # Example
+///
+/// ```
+/// use bft_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for r in [1u64, 1, 2, 2, 2, 5] {
+///     h.add(r);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.count_at(2), 3);
+/// assert_eq!(h.max(), Some(5));
+/// // Tail: P[X > 2] = 1/6.
+/// assert!((h.tail_probability(2) - 1.0 / 6.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations equal to `value`.
+    pub fn count_at(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Mean of the observations; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self.counts.iter().map(|(&v, &c)| v as u128 * c as u128).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Empirical `P[X > value]`.
+    pub fn tail_probability(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self.counts.range(value + 1..).map(|(_, &c)| c).sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Iterates over `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Renders an ASCII bar chart, one line per observed value — the
+    /// "figure" output of the experiment harness.
+    ///
+    /// `width` is the length of the longest bar in characters.
+    pub fn render(&self, width: usize) -> String {
+        let Some(max_count) = self.counts.values().max().copied() else {
+            return String::from("(empty histogram)\n");
+        };
+        let mut out = String::new();
+        for (&value, &count) in &self.counts {
+            let bar_len = ((count as f64 / max_count as f64) * width as f64).round() as usize;
+            let bar: String = std::iter::repeat_n('#', bar_len.max(1)).collect();
+            out.push_str(&format!("{value:>6} | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.tail_probability(0), 0.0);
+        assert!(h.render(10).contains("empty"));
+    }
+
+    #[test]
+    fn counting_and_mean() {
+        let h: Histogram = [1u64, 2, 2, 3].into_iter().collect();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.count_at(2), 2);
+        assert_eq!(h.count_at(9), 0);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(3));
+    }
+
+    #[test]
+    fn tail_probabilities_decrease() {
+        let h: Histogram = (1u64..=100).collect();
+        let mut last = 1.0;
+        for v in 0..100 {
+            let t = h.tail_probability(v);
+            assert!(t <= last);
+            last = t;
+        }
+        assert_eq!(h.tail_probability(100), 0.0);
+        assert_eq!(h.tail_probability(0), 1.0);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let h: Histogram = [5u64, 1, 3, 1].into_iter().collect();
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 2), (3, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let h: Histogram = [1u64, 1, 1, 1, 2].into_iter().collect();
+        let out = h.render(8);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].matches('#').count() > lines[1].matches('#').count());
+    }
+}

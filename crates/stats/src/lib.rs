@@ -1,0 +1,24 @@
+//! Statistics and reporting utilities for the experiment harness.
+//!
+//! The benchmark binaries aggregate many simulation runs into summary
+//! rows. This crate provides the three pieces they need:
+//!
+//! * [`Samples`] — an exact sample collector with mean / percentile /
+//!   min / max queries.
+//! * [`Histogram`] — integer-valued distribution (e.g. rounds-to-decide)
+//!   with tail queries and sparkline rendering for "figures" printed to a
+//!   terminal.
+//! * [`Table`] — fixed-width table and CSV rendering, so every experiment
+//!   can print the same rows the paper reports and also emit
+//!   machine-readable output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod samples;
+mod table;
+
+pub use histogram::Histogram;
+pub use samples::Samples;
+pub use table::{fmt_f64, Table};

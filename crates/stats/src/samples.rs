@@ -1,0 +1,207 @@
+//! Exact sample statistics.
+
+use std::fmt;
+
+/// A collector of `f64` samples with exact summary statistics.
+///
+/// Designed for experiment-scale sample counts (thousands), so it simply
+/// stores the samples and sorts on demand.
+///
+/// # Example
+///
+/// ```
+/// use bft_stats::Samples;
+///
+/// let mut s = Samples::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.percentile(50.0), Some(2.0)); // nearest-rank median
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN — summary statistics over NaN are
+    /// meaningless and indicate a harness bug.
+    pub fn add(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot add NaN sample");
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation; 0 for fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// The `p`-th percentile (nearest-rank method), `0 ≤ p ≤ 100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
+        Some(self.values[rank.saturating_sub(1).min(self.values.len() - 1)])
+    }
+
+    /// The collected samples, in insertion or sorted order (unspecified).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for Samples {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+            self.len(),
+            self.mean(),
+            self.stddev(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_behaviour() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.percentile(50.0), None);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let mut s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.stddev() - 2.138).abs() < 0.01);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.percentile(0.0), Some(2.0));
+        assert_eq!(s.percentile(100.0), Some(9.0));
+        assert_eq!(s.percentile(50.0), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Samples::new().add(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be")]
+    fn rejects_out_of_range_percentile() {
+        let mut s: Samples = [1.0].into_iter().collect();
+        let _ = s.percentile(101.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s: Samples = [1.0, 3.0].into_iter().collect();
+        let d = s.to_string();
+        assert!(d.contains("n=2"));
+        assert!(d.contains("mean=2.00"));
+    }
+
+    proptest! {
+        #[test]
+        fn percentiles_are_monotone_and_bounded(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s: Samples = values.iter().copied().collect();
+            let p25 = s.percentile(25.0).unwrap();
+            let p50 = s.percentile(50.0).unwrap();
+            let p99 = s.percentile(99.0).unwrap();
+            prop_assert!(p25 <= p50 && p50 <= p99);
+            prop_assert!(s.min().unwrap() <= p25);
+            prop_assert!(p99 <= s.max().unwrap());
+        }
+
+        #[test]
+        fn mean_is_within_min_max(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: Samples = values.iter().copied().collect();
+            let mean = s.mean();
+            prop_assert!(s.min().unwrap() - 1e-9 <= mean && mean <= s.max().unwrap() + 1e-9);
+        }
+    }
+}

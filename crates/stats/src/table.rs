@@ -1,0 +1,179 @@
+//! Fixed-width table and CSV rendering.
+
+use std::fmt;
+
+/// A simple table: a header row plus data rows, rendered either as an
+/// aligned fixed-width text table (for terminal output mirroring the
+/// paper's tables) or as CSV (for downstream plotting).
+///
+/// # Example
+///
+/// ```
+/// use bft_stats::Table;
+///
+/// let mut t = Table::new(vec!["n", "f", "mean rounds"]);
+/// t.row(vec!["4".into(), "1".into(), "2.3".into()]);
+/// t.row(vec!["7".into(), "2".into(), "2.9".into()]);
+/// let text = t.render();
+/// assert!(text.contains("mean rounds"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("n,f,mean rounds\n"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned fixed-width text table with a separator under
+    /// the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = render_row(&self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated; cells containing commas
+    /// or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a float with three significant decimals — the house style of
+/// the experiment tables.
+pub fn fmt_f64(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "count"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "100".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines must be equal width (right-aligned columns).
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn rejects_empty_header() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fmt_f64_three_decimals() {
+        assert_eq!(fmt_f64(1.23456), "1.235");
+        assert_eq!(fmt_f64(2.0), "2.000");
+    }
+}

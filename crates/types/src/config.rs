@@ -1,0 +1,281 @@
+//! System parameters and quorum arithmetic.
+
+use crate::{ConfigError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `(n, f)` parameters of a Byzantine fault tolerant system, together
+/// with all quorum thresholds derived from them.
+///
+/// Bracha's protocols are parameterised by the total number of nodes `n` and
+/// the maximum number of Byzantine faulty nodes `f`, and require
+/// `n ≥ 3f + 1` (the optimal resilience bound proved in the paper). All
+/// threshold computations used anywhere in the workspace live here so that
+/// each protocol's resilience argument is auditable in one place.
+///
+/// # Example
+///
+/// ```
+/// use bft_types::Config;
+///
+/// # fn main() -> Result<(), bft_types::ConfigError> {
+/// let cfg = Config::new(10, 3)?;
+/// assert_eq!(cfg.n(), 10);
+/// assert_eq!(cfg.f(), 3);
+/// assert_eq!(cfg.quorum(), 7); // n − f
+/// assert_eq!(cfg.echo_threshold(), 7); // ⌈(n + f + 1) / 2⌉
+/// assert_eq!(cfg.ready_threshold(), 4); // f + 1
+/// assert_eq!(cfg.decide_threshold(), 7); // 2f + 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    n: usize,
+    f: usize,
+}
+
+impl Config {
+    /// Creates a configuration for `n` nodes tolerating up to `f` Byzantine
+    /// faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooFewNodes`] if `n == 0` and
+    /// [`ConfigError::ResilienceExceeded`] if `n < 3f + 1`, the resilience
+    /// bound of Bracha's protocols.
+    pub fn new(n: usize, f: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::TooFewNodes { n });
+        }
+        if n < 3 * f + 1 {
+            return Err(ConfigError::ResilienceExceeded { n, f });
+        }
+        Ok(Config { n, f })
+    }
+
+    /// Creates a configuration without enforcing `n ≥ 3f + 1`.
+    ///
+    /// This exists solely so that the benchmark harness can run protocols
+    /// *beyond* their resilience bound (experiment T2 demonstrates that the
+    /// bound is tight). Production users should call [`Config::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooFewNodes`] if `n == 0` or
+    /// [`ConfigError::ResilienceExceeded`] if `f >= n` (a system where every
+    /// node may be faulty is meaningless even for experiments).
+    pub fn new_unchecked_resilience(n: usize, f: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::TooFewNodes { n });
+        }
+        if f >= n {
+            return Err(ConfigError::ResilienceExceeded { n, f });
+        }
+        Ok(Config { n, f })
+    }
+
+    /// Creates the configuration with the maximum tolerable `f` for a given
+    /// `n`, i.e. `f = ⌊(n − 1) / 3⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooFewNodes`] if `n == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bft_types::Config;
+    /// # fn main() -> Result<(), bft_types::ConfigError> {
+    /// assert_eq!(Config::max_resilience(4)?.f(), 1);
+    /// assert_eq!(Config::max_resilience(10)?.f(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn max_resilience(n: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::TooFewNodes { n });
+        }
+        Config::new(n, (n - 1) / 3)
+    }
+
+    /// Total number of nodes.
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of Byzantine faulty nodes tolerated.
+    pub const fn f(&self) -> usize {
+        self.f
+    }
+
+    /// `n − f`: the number of messages a process waits for in each protocol
+    /// step; also the minimum number of correct processes.
+    pub const fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// `⌈(n + f + 1) / 2⌉`: the Echo threshold of Bracha's reliable
+    /// broadcast. Any two sets of this size intersect in at least one
+    /// correct node, which is what prevents sender equivocation.
+    pub const fn echo_threshold(&self) -> usize {
+        (self.n + self.f + 1).div_ceil(2)
+    }
+
+    /// `f + 1`: the Ready amplification threshold of reliable broadcast and
+    /// the value-adoption threshold of the consensus protocol. A set of this
+    /// size must contain at least one correct node.
+    pub const fn ready_threshold(&self) -> usize {
+        self.f + 1
+    }
+
+    /// `2f + 1`: the delivery threshold of reliable broadcast and the
+    /// decision threshold of the consensus protocol. A set of this size
+    /// contains at least `f + 1` correct nodes.
+    pub const fn decide_threshold(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// `⌊n/2⌋ + 1`: the strict-majority threshold used by the consensus
+    /// protocol's Echo step to lock ("D-flag") a value. Two different values
+    /// can never both be locked in a round because their supporters would
+    /// have to exceed `n` distinct nodes.
+    pub const fn majority_threshold(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Returns whether this configuration satisfies `n ≥ 3f + 1`.
+    ///
+    /// Always true for configurations created via [`Config::new`]; may be
+    /// false for those created via [`Config::new_unchecked_resilience`].
+    pub const fn is_within_resilience(&self) -> bool {
+        self.n >= 3 * self.f + 1
+    }
+
+    /// Iterates over all node identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + Clone {
+        NodeId::all(self.n)
+    }
+
+    /// Returns whether `id` names a node of this system.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.n
+    }
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Config(n={}, f={})", self.n, self.f)
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={}, f={}", self.n, self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_zero_nodes() {
+        assert!(matches!(Config::new(0, 0), Err(ConfigError::TooFewNodes { .. })));
+        assert!(matches!(
+            Config::max_resilience(0),
+            Err(ConfigError::TooFewNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_insufficient_resilience() {
+        assert!(matches!(
+            Config::new(3, 1),
+            Err(ConfigError::ResilienceExceeded { .. })
+        ));
+        assert!(Config::new(4, 1).is_ok());
+        assert!(Config::new(6, 2).is_err());
+        assert!(Config::new(7, 2).is_ok());
+    }
+
+    #[test]
+    fn unchecked_allows_overload_but_not_all_faulty() {
+        let cfg = Config::new_unchecked_resilience(6, 2).unwrap();
+        assert!(!cfg.is_within_resilience());
+        assert!(Config::new_unchecked_resilience(3, 3).is_err());
+    }
+
+    #[test]
+    fn known_threshold_values() {
+        let cfg = Config::new(4, 1).unwrap();
+        assert_eq!(cfg.quorum(), 3);
+        assert_eq!(cfg.echo_threshold(), 3);
+        assert_eq!(cfg.ready_threshold(), 2);
+        assert_eq!(cfg.decide_threshold(), 3);
+        assert_eq!(cfg.majority_threshold(), 3);
+
+        let cfg = Config::new(7, 2).unwrap();
+        assert_eq!(cfg.quorum(), 5);
+        assert_eq!(cfg.echo_threshold(), 5);
+        assert_eq!(cfg.ready_threshold(), 3);
+        assert_eq!(cfg.decide_threshold(), 5);
+        assert_eq!(cfg.majority_threshold(), 4);
+    }
+
+    #[test]
+    fn max_resilience_matches_floor_formula() {
+        for n in 1..100 {
+            let cfg = Config::max_resilience(n).unwrap();
+            assert_eq!(cfg.f(), (n - 1) / 3, "n = {n}");
+            assert!(cfg.is_within_resilience());
+        }
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let cfg = Config::new(4, 1).unwrap();
+        assert!(cfg.contains(NodeId::new(3)));
+        assert!(!cfg.contains(NodeId::new(4)));
+    }
+
+    proptest! {
+        /// Quorum-intersection facts the protocols rely on, checked for all
+        /// valid configurations up to n = 200.
+        #[test]
+        fn quorum_intersection_properties(n in 1usize..200) {
+            let cfg = Config::max_resilience(n).unwrap();
+            let (n, f) = (cfg.n(), cfg.f());
+
+            // Two quorums of size n − f intersect in ≥ n − 2f ≥ f + 1 nodes.
+            prop_assert!(2 * cfg.quorum() >= n + cfg.ready_threshold());
+
+            // Two echo-threshold sets intersect in > f nodes, hence in at
+            // least one correct node.
+            prop_assert!(2 * cfg.echo_threshold() > n + f);
+
+            // A decide-threshold set and a quorum intersect in ≥ f + 1 nodes.
+            prop_assert!(cfg.decide_threshold() + cfg.quorum() >= n + cfg.ready_threshold());
+
+            // Correct nodes alone can always fill every threshold.
+            prop_assert!(cfg.quorum() >= cfg.echo_threshold() || n < 3 * f + 1);
+            prop_assert!(cfg.quorum() >= cfg.decide_threshold());
+
+            // Two strict majorities among distinct senders would need > n nodes.
+            prop_assert!(2 * cfg.majority_threshold() > n);
+        }
+
+        #[test]
+        fn thresholds_are_monotone_in_f(n in 4usize..200) {
+            let max_f = (n - 1) / 3;
+            for f in 0..max_f {
+                let a = Config::new(n, f).unwrap();
+                let b = Config::new(n, f + 1).unwrap();
+                prop_assert!(a.quorum() > b.quorum());
+                prop_assert!(a.echo_threshold() <= b.echo_threshold());
+                prop_assert!(a.decide_threshold() < b.decide_threshold());
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Config`](crate::Config).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The system must contain at least one node.
+    TooFewNodes {
+        /// The offending node count.
+        n: usize,
+    },
+    /// The requested fault tolerance exceeds what the node count supports
+    /// (`n ≥ 3f + 1` for checked construction, `f < n` always).
+    ResilienceExceeded {
+        /// The node count.
+        n: usize,
+        /// The requested fault tolerance.
+        f: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewNodes { n } => {
+                write!(f, "system must contain at least one node, got n = {n}")
+            }
+            ConfigError::ResilienceExceeded { n, f: faults } => write!(
+                f,
+                "fault tolerance f = {faults} exceeds what n = {n} nodes support"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let msgs = [
+            ConfigError::TooFewNodes { n: 0 }.to_string(),
+            ConfigError::ResilienceExceeded { n: 3, f: 1 }.to_string(),
+        ];
+        for msg in msgs {
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+    }
+}

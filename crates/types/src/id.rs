@@ -1,0 +1,107 @@
+//! Process identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a process (node) in the system.
+///
+/// Nodes are numbered `0..n` and the network is a complete graph, as assumed
+/// by Bracha (1984). The identifier doubles as an index into per-node
+/// vectors, which is why it wraps a `usize`.
+///
+/// # Example
+///
+/// ```
+/// use bft_types::NodeId;
+///
+/// let a = NodeId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(format!("{a}"), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from its index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the zero-based index of this node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all node identifiers of an `n`-node system, in order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bft_types::NodeId;
+    /// let ids: Vec<_> = NodeId::all(3).collect();
+    /// assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+        (0..n).map(NodeId)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let id = NodeId::new(42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(NodeId::from(42usize), id);
+    }
+
+    #[test]
+    fn all_yields_distinct_ordered_ids() {
+        let ids: Vec<_> = NodeId::all(10).collect();
+        assert_eq!(ids.len(), 10);
+        let set: HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+        assert_eq!(format!("{:?}", NodeId::new(7)), "n7");
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! The sans-io interface between protocol state machines and transports.
+//!
+//! Protocols in this workspace are written as *pure state machines*: they
+//! receive events ([`Process::on_start`], [`Process::on_message`]) and
+//! return a list of [`Effect`]s. They never touch sockets, threads, clocks
+//! or randomness sources directly (randomness is injected through the
+//! `bft-coin` crate). This makes the same protocol code runnable under the
+//! deterministic discrete-event simulator (`bft-sim`), under the thread
+//! actor runtime (`bft-runtime`), and directly inside unit tests.
+
+use crate::NodeId;
+use std::fmt;
+
+/// An instruction emitted by a protocol state machine for its transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Effect<M, O> {
+    /// Send `msg` to a single peer over the authenticated point-to-point
+    /// link. The transport guarantees FIFO order per link and eventual
+    /// delivery (the asynchronous model: unbounded but finite delay).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message to deliver.
+        msg: M,
+    },
+    /// Send `msg` to every node in the system, *including the sender
+    /// itself*. This is the protocol-level "broadcast to all" of Bracha's
+    /// paper (a convenience over `n` point-to-point sends — it is **not**
+    /// reliable broadcast, which is a protocol built on top).
+    Broadcast {
+        /// The message to deliver to every node.
+        msg: M,
+    },
+    /// Surface a protocol output to the harness (a consensus decision, a
+    /// reliable-broadcast delivery, …).
+    Output(O),
+    /// The process has terminated and will take no further steps. The
+    /// transport may drop any messages still addressed to it.
+    Halt,
+}
+
+impl<M, O> Effect<M, O> {
+    /// Returns the output carried by this effect, if any.
+    pub fn as_output(&self) -> Option<&O> {
+        match self {
+            Effect::Output(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns whether this effect is [`Effect::Halt`].
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Effect::Halt)
+    }
+}
+
+/// A message in flight, tagged with its (authenticated) sender and its
+/// destination.
+///
+/// The asynchronous model of the paper assumes authenticated channels: when
+/// `v` receives a message from `u`, it knows the message was sent by `u`.
+/// Transports realise this by constructing the envelope themselves rather
+/// than trusting the payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The node that sent the message.
+    pub from: NodeId,
+    /// The node the message is addressed to.
+    pub to: NodeId,
+    /// The protocol payload.
+    pub msg: M,
+}
+
+impl<M: fmt::Display> fmt::Display for Envelope<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: {}", self.from, self.to, self.msg)
+    }
+}
+
+/// A protocol participant driven by a transport.
+///
+/// Implementations include every correct-protocol state machine in the
+/// workspace (reliable broadcast nodes, Bracha/Ben-Or consensus nodes, ACS
+/// nodes) *and* the Byzantine behaviours of `bft-adversary` — a faulty node
+/// is just a `Process` that does not follow the protocol.
+///
+/// # Contract
+///
+/// * The transport calls [`Process::on_start`] exactly once, before any
+///   message delivery.
+/// * [`Process::on_message`] is called once per delivered message, with the
+///   authenticated sender.
+/// * After a process emits [`Effect::Halt`] (or [`Process::is_halted`]
+///   returns true) the transport stops delivering to it.
+///
+/// # Example
+///
+/// A trivial process that decides its own input immediately:
+///
+/// ```
+/// use bft_types::{Effect, NodeId, Process};
+///
+/// struct Trivial { id: NodeId, decided: Option<u8> }
+///
+/// impl Process for Trivial {
+///     type Msg = ();
+///     type Output = u8;
+///
+///     fn id(&self) -> NodeId { self.id }
+///
+///     fn on_start(&mut self) -> Vec<Effect<(), u8>> {
+///         self.decided = Some(7);
+///         vec![Effect::Output(7), Effect::Halt]
+///     }
+///
+///     fn on_message(&mut self, _from: NodeId, _msg: ()) -> Vec<Effect<(), u8>> {
+///         Vec::new()
+///     }
+///
+///     fn output(&self) -> Option<u8> { self.decided }
+///     fn is_halted(&self) -> bool { self.decided.is_some() }
+/// }
+///
+/// let mut p = Trivial { id: NodeId::new(0), decided: None };
+/// let effects = p.on_start();
+/// assert_eq!(effects.len(), 2);
+/// assert_eq!(p.output(), Some(7));
+/// ```
+pub trait Process {
+    /// The message type exchanged between processes of this protocol.
+    type Msg: Clone + fmt::Debug;
+    /// The output type surfaced to the harness (e.g. the decided value).
+    type Output: Clone + fmt::Debug;
+
+    /// The identifier of this process.
+    fn id(&self) -> NodeId;
+
+    /// Invoked once by the transport before any delivery; typically emits
+    /// the protocol's first broadcast.
+    fn on_start(&mut self) -> Vec<Effect<Self::Msg, Self::Output>>;
+
+    /// Invoked for each message delivered to this process. `from` is the
+    /// authenticated sender.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg)
+        -> Vec<Effect<Self::Msg, Self::Output>>;
+
+    /// The most recent output of this process (e.g. its decision), if any.
+    fn output(&self) -> Option<Self::Output> {
+        None
+    }
+
+    /// Whether this process has terminated. Halted processes receive no
+    /// further events.
+    fn is_halted(&self) -> bool {
+        false
+    }
+
+    /// The protocol round this process is currently in, as a metrics hook
+    /// for the harness. Protocols without a round structure return 0.
+    fn round(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Ping;
+
+    struct Echoer {
+        id: NodeId,
+        halted: bool,
+    }
+
+    impl Process for Echoer {
+        type Msg = Ping;
+        type Output = ();
+
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn on_start(&mut self) -> Vec<Effect<Ping, ()>> {
+            vec![Effect::Broadcast { msg: Ping }]
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Ping) -> Vec<Effect<Ping, ()>> {
+            self.halted = true;
+            vec![Effect::Send { to: from, msg }, Effect::Halt]
+        }
+
+        fn is_halted(&self) -> bool {
+            self.halted
+        }
+    }
+
+    #[test]
+    fn process_lifecycle() {
+        let mut p = Echoer { id: NodeId::new(1), halted: false };
+        assert_eq!(p.on_start(), vec![Effect::Broadcast { msg: Ping }]);
+        assert!(!p.is_halted());
+        let effects = p.on_message(NodeId::new(2), Ping);
+        assert!(effects.iter().any(Effect::is_halt));
+        assert!(p.is_halted());
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.output(), None);
+    }
+
+    #[test]
+    fn effect_accessors() {
+        let e: Effect<Ping, u8> = Effect::Output(3);
+        assert_eq!(e.as_output(), Some(&3));
+        assert!(!e.is_halt());
+        let h: Effect<Ping, u8> = Effect::Halt;
+        assert_eq!(h.as_output(), None);
+        assert!(h.is_halt());
+    }
+
+    #[test]
+    fn envelope_display() {
+        let env = Envelope { from: NodeId::new(0), to: NodeId::new(1), msg: "hi" };
+        assert_eq!(env.to_string(), "n0 -> n1: hi");
+    }
+}

@@ -1,0 +1,51 @@
+//! Atomic transaction batching à la HoneyBadgerBFT: every node proposes
+//! a batch of transactions, the cluster runs an Asynchronous Common
+//! Subset (n reliable broadcasts + n binary agreements — both Bracha
+//! 1984 primitives), and all correct nodes commit the *same* union of
+//! batches, even with a crashed proposer.
+//!
+//! ```text
+//! cargo run --example atomic_batching
+//! ```
+
+use async_bft::adversary::Silent;
+use async_bft::coin::CommonCoin;
+use async_bft::consensus::acs::{AcsMessage, AcsOutput, AcsProcess};
+use async_bft::sim::{UniformDelay, World, WorldConfig};
+use async_bft::types::{Config, NodeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4;
+    let cfg = Config::new(n, 1)?;
+    let crashed = NodeId::new(3);
+
+    let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 10, 11));
+    for id in cfg.nodes() {
+        if id == crashed {
+            // This proposer is down from the start.
+            world.add_faulty_process(Box::new(Silent::<AcsMessage, AcsOutput>::new(id)));
+            continue;
+        }
+        // Each node proposes its mempool batch.
+        let batch = format!("tx-{}a;tx-{}b;tx-{}c", id.index(), id.index(), id.index());
+        let coins = (0..n).map(|i| CommonCoin::new(11, i as u64)).collect();
+        world.add_process(Box::new(AcsProcess::new(cfg, id, batch.into_bytes(), coins)));
+    }
+
+    let report = world.run();
+    assert!(report.all_correct_decided(), "ACS must complete");
+    assert!(report.agreement_holds(), "all correct nodes commit the same set");
+
+    let committed = report.output_of(NodeId::new(0)).expect("node 0 committed");
+    println!("committed {} of {} proposed batches:", committed.len(), n);
+    let mut txs = 0;
+    for (proposer, batch) in &committed {
+        let batch = String::from_utf8_lossy(batch);
+        txs += batch.split(';').count();
+        println!("  from {proposer}: {batch}");
+    }
+    println!("\ntotal transactions committed atomically: {txs}");
+    println!("crashed proposer {crashed} excluded; liveness preserved ✓");
+    println!("simulated latency: {} ticks", report.end_time.ticks());
+    Ok(())
+}

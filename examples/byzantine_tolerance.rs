@@ -1,0 +1,58 @@
+//! Byzantine tolerance under fire: seven nodes, two of which actively
+//! lie, plus a content-aware adversarial scheduler — and the protocol
+//! still cannot be broken.
+//!
+//! Also contrasts the 1984 local coin with the common-coin variant that
+//! modern asynchronous BFT systems use.
+//!
+//! ```text
+//! cargo run --example byzantine_tolerance
+//! ```
+
+use async_bft::types::Value;
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+
+fn run_once(coin: CoinChoice, seed: u64) -> (Value, u64, u64) {
+    let report = Cluster::new(7)
+        .expect("7 nodes is a valid cluster")
+        .seed(seed)
+        // All five honest nodes propose 1; validity therefore *requires*
+        // the decision to be 1, whatever the liars do.
+        .inputs(vec![Value::One; 7])
+        .coin(coin)
+        // Node 0 flips every value it should send; node 1 see-saws
+        // between 0 and 1 each round trying to stall termination.
+        .fault(0, FaultKind::FlipValue)
+        .fault(1, FaultKind::Seesaw)
+        // The anti-coin scheduler: feeds each half of the cluster the
+        // "wrong" value first, trying to keep quorums split.
+        .schedule(Schedule::Split { fast: 1, slow: 8 })
+        .run();
+
+    let decision = report.unanimous_output().expect("agreement + termination");
+    assert_eq!(decision, Value::One, "validity: liars cannot flip the outcome");
+    (
+        decision,
+        report.decision_round().expect("decided"),
+        report.metrics.sent,
+    )
+}
+
+fn main() {
+    println!("n = 7, f = 2 (one value-flipping liar, one see-saw liar)");
+    println!("schedule: value-aware anti-coin adversary\n");
+
+    for (label, coin) in [("local coin (Bracha 1984)", CoinChoice::Local),
+                          ("common coin (dealer model)", CoinChoice::Common)] {
+        println!("--- {label} ---");
+        let mut total_rounds = 0;
+        for seed in 0..5 {
+            let (decision, rounds, msgs) = run_once(coin, seed);
+            total_rounds += rounds;
+            println!("seed {seed}: decided {decision} in round {rounds} ({msgs} msgs)");
+        }
+        println!("mean rounds: {:.1}\n", total_rounds as f64 / 5.0);
+    }
+
+    println!("both coins are safe; the common coin is also fast under attack ✓");
+}

@@ -1,0 +1,181 @@
+//! `absim` — run a simulated asynchronous Byzantine consensus cluster
+//! from the command line.
+//!
+//! ```text
+//! absim [--n N] [--seed S] [--ones K] [--coin local|common]
+//!       [--schedule fixed|uniform|split|partition|favor]
+//!       [--fault KIND]... [--runs R] [--trace]
+//!
+//! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
+//!        (each --fault corrupts the next lowest-indexed node)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! absim --n 7 --ones 3 --fault flip-value --fault seesaw --runs 10
+//! absim --n 10 --coin common --schedule split
+//! ```
+
+use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+
+struct Options {
+    n: usize,
+    seed: u64,
+    ones: Option<usize>,
+    coin: CoinChoice,
+    schedule: Schedule,
+    faults: Vec<FaultKind>,
+    runs: u64,
+}
+
+fn parse_fault(s: &str) -> Result<FaultKind, String> {
+    Ok(match s {
+        "crash" => FaultKind::Crash { after: 40 },
+        "mute" => FaultKind::Mute,
+        "flip-value" => FaultKind::FlipValue,
+        "random-value" => FaultKind::RandomValue,
+        "always-flag" => FaultKind::AlwaysFlag,
+        "seesaw" => FaultKind::Seesaw,
+        other => return Err(format!("unknown fault kind: {other}")),
+    })
+}
+
+fn parse_schedule(s: &str) -> Result<Schedule, String> {
+    Ok(match s {
+        "fixed" => Schedule::Fixed(1),
+        "uniform" => Schedule::Uniform { min: 1, max: 20 },
+        "split" => Schedule::Split { fast: 1, slow: 8 },
+        "partition" => Schedule::Partition { near: 1, far: 100, heal_at: 300 },
+        "favor" => Schedule::FavorFaulty { favored: 2, fast: 1, slow: 15 },
+        other => return Err(format!("unknown schedule: {other}")),
+    })
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        n: 7,
+        seed: 0,
+        ones: None,
+        coin: CoinChoice::Local,
+        schedule: Schedule::Uniform { min: 1, max: 20 },
+        faults: Vec::new(),
+        runs: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--n" => opts.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--ones" => {
+                opts.ones =
+                    Some(value("--ones")?.parse().map_err(|e| format!("--ones: {e}"))?)
+            }
+            "--coin" => {
+                opts.coin = match value("--coin")?.as_str() {
+                    "local" => CoinChoice::Local,
+                    "common" => CoinChoice::Common,
+                    other => return Err(format!("unknown coin: {other}")),
+                }
+            }
+            "--schedule" => opts.schedule = parse_schedule(&value("--schedule")?)?,
+            "--fault" => opts.faults.push(parse_fault(&value("--fault")?)?),
+            "--runs" => {
+                opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: absim [--n N] [--seed S] [--ones K] [--coin local|common] \
+                     [--schedule fixed|uniform|split|partition|favor] [--fault KIND]... \
+                     [--runs R]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let f_max = (opts.n.saturating_sub(1)) / 3;
+    if opts.faults.len() > f_max {
+        eprintln!(
+            "error: {} faults exceed the resilience bound f = {f_max} for n = {}",
+            opts.faults.len(),
+            opts.n
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "n = {}, f-bound = {f_max}, actual faults = {}, coin = {:?}, schedule = {:?}",
+        opts.n,
+        opts.faults.len(),
+        opts.coin,
+        opts.schedule
+    );
+
+    let mut decided = 0u64;
+    let mut agreed = 0u64;
+    let mut total_rounds = 0u64;
+    let mut total_msgs = 0u64;
+    for run in 0..opts.runs {
+        let seed = opts.seed + run;
+        let mut cluster = match Cluster::new(opts.n) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        cluster = cluster
+            .seed(seed)
+            .split_inputs(opts.ones.unwrap_or(opts.n / 2))
+            .coin(opts.coin)
+            .schedule(opts.schedule);
+        for (i, &kind) in opts.faults.iter().enumerate() {
+            cluster = cluster.fault(i, kind);
+        }
+        let report = cluster.run();
+        let ok = report.all_correct_decided();
+        if ok {
+            decided += 1;
+            total_rounds += report.decision_round().unwrap_or(0);
+        }
+        if report.agreement_holds() {
+            agreed += 1;
+        }
+        total_msgs += report.metrics.sent;
+        println!(
+            "run {run:>3} (seed {seed}): decision = {:?}, round = {:?}, msgs = {}, latency = {:?}",
+            report.unanimous_output(),
+            report.decision_round(),
+            report.metrics.sent,
+            report.decision_latency().map(|t| t.ticks()),
+        );
+    }
+
+    println!(
+        "\nsummary: {}/{} terminated, {}/{} agreed, mean rounds = {:.2}, mean msgs = {:.0}",
+        decided,
+        opts.runs,
+        agreed,
+        opts.runs,
+        total_rounds as f64 / decided.max(1) as f64,
+        total_msgs as f64 / opts.runs as f64,
+    );
+}

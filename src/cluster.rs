@@ -1,0 +1,316 @@
+//! One-stop builder for simulated consensus clusters.
+
+use bft_adversary::{make_bracha_adversary, FaultKind, FavorSenders, LaggardDelay, SplitDelay};
+use bft_coin::{BoxedCoin, CommonCoin, LocalCoin};
+use bft_sim::{
+    BoxedScheduler, FixedDelay, GeometricDelay, MsgClass, PartitionDelay, Report, SimTime,
+    UniformDelay, World, WorldConfig,
+};
+use bft_types::{Config, ConfigError, Value};
+use bracha::{classify_wire, BrachaOptions, BrachaProcess, Wire};
+
+/// Which coin scheme the correct nodes use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoinChoice {
+    /// Private per-node fair coins — the 1984 protocol.
+    Local,
+    /// A dealer-model common coin shared by all correct nodes.
+    Common,
+}
+
+/// Which network schedule (adversary) drives message delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every message delivered after the same delay (synchronous-like).
+    Fixed(u64),
+    /// Independent uniform delays in `[min, max]`.
+    Uniform {
+        /// Minimum delay in ticks.
+        min: u64,
+        /// Maximum delay in ticks.
+        max: u64,
+    },
+    /// Heavy-tailed geometric delays (per-tick arrival probability
+    /// `p_per_mille / 1000`, capped at `max`).
+    Geometric {
+        /// Per-tick arrival probability in per-mille.
+        p_per_mille: u32,
+        /// Delay cap in ticks.
+        max: u64,
+    },
+    /// The value-aware anti-coin adversary (see
+    /// [`bft_adversary::SplitDelay`]); groups split at `n/2`.
+    Split {
+        /// Delay for messages feeding a group "its" value.
+        fast: u64,
+        /// Delay for the contrarian messages.
+        slow: u64,
+    },
+    /// Starve one node (see [`bft_adversary::LaggardDelay`]).
+    Laggard {
+        /// The starved node index.
+        victim: usize,
+        /// Delay for everyone else.
+        fast: u64,
+        /// Delay to/from the victim.
+        slow: u64,
+    },
+    /// Deliver messages *from* nodes `0..favored` fast and everything
+    /// else slowly — maximises Byzantine influence on quorum composition
+    /// (the T8 ablation's schedule).
+    FavorFaulty {
+        /// Senders `0..favored` are fast.
+        favored: usize,
+        /// Delay of favoured traffic.
+        fast: u64,
+        /// Delay of everyone else's traffic.
+        slow: u64,
+    },
+    /// A temporary network partition between `0..n/2` and the rest,
+    /// healing at the given time.
+    Partition {
+        /// Delay inside each group (and everywhere after healing).
+        near: u64,
+        /// Cross-partition delay while split.
+        far: u64,
+        /// Healing time in ticks.
+        heal_at: u64,
+    },
+}
+
+/// Builder for a simulated Bracha-consensus cluster.
+///
+/// See the [crate-level example](crate) for typical use. Every setting has
+/// a sensible default: max resilience `f = ⌊(n−1)/3⌋`, seed 0, all-ones
+/// inputs, local coins, uniform 1–20 tick delays, no faults.
+#[derive(Debug)]
+pub struct Cluster {
+    config: Config,
+    seed: u64,
+    inputs: Vec<Value>,
+    coin: CoinChoice,
+    schedule: Schedule,
+    faults: Vec<(usize, FaultKind)>,
+    options: BrachaOptions,
+    max_delivered: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` nodes tolerating the maximum
+    /// `f = ⌊(n−1)/3⌋` faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is zero.
+    pub fn new(n: usize) -> Result<Self, ConfigError> {
+        Ok(Cluster::with_config(Config::max_resilience(n)?))
+    }
+
+    /// Creates a cluster with an explicit configuration (use
+    /// [`Config::new_unchecked_resilience`] to run beyond the bound for
+    /// impossibility experiments).
+    pub fn with_config(config: Config) -> Self {
+        Cluster {
+            config,
+            seed: 0,
+            inputs: vec![Value::One; config.n()],
+            coin: CoinChoice::Local,
+            schedule: Schedule::Uniform { min: 1, max: 20 },
+            faults: Vec::new(),
+            options: BrachaOptions::default(),
+            max_delivered: 10_000_000,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Sets the run seed (drives scheduler and coin randomness).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets every node's input explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n`.
+    pub fn inputs(mut self, inputs: Vec<Value>) -> Self {
+        assert_eq!(inputs.len(), self.config.n(), "one input per node");
+        self.inputs = inputs;
+        self
+    }
+
+    /// Gives nodes `0..ones` input `1` and the rest input `0` — the
+    /// adversarially interesting split configurations.
+    pub fn split_inputs(mut self, ones: usize) -> Self {
+        self.inputs = (0..self.config.n())
+            .map(|i| if i < ones { Value::One } else { Value::Zero })
+            .collect();
+        self
+    }
+
+    /// Selects the coin scheme.
+    pub fn coin(mut self, coin: CoinChoice) -> Self {
+        self.coin = coin;
+        self
+    }
+
+    /// Selects the network schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Makes node `index` Byzantine with the given behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or already faulty.
+    pub fn fault(mut self, index: usize, kind: FaultKind) -> Self {
+        assert!(index < self.config.n(), "fault index out of range");
+        assert!(
+            self.faults.iter().all(|&(i, _)| i != index),
+            "node {index} is already faulty"
+        );
+        self.faults.push((index, kind));
+        self
+    }
+
+    /// Makes nodes `0..count` Byzantine, all with the same behaviour.
+    pub fn faults(mut self, count: usize, kind: FaultKind) -> Self {
+        for i in 0..count {
+            self = self.fault(i, kind);
+        }
+        self
+    }
+
+    /// Overrides the protocol options (validation ablation, max rounds…).
+    pub fn options(mut self, options: BrachaOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Caps the number of delivered messages (the non-termination budget).
+    pub fn max_delivered(mut self, max: u64) -> Self {
+        self.max_delivered = max;
+        self
+    }
+
+    fn scheduler(&self) -> BoxedScheduler<Wire> {
+        let n = self.config.n();
+        match self.schedule {
+            Schedule::Fixed(d) => Box::new(FixedDelay::new(d)),
+            Schedule::Uniform { min, max } => Box::new(UniformDelay::new(min, max, self.seed)),
+            Schedule::Geometric { p_per_mille, max } => {
+                Box::new(GeometricDelay::new(p_per_mille, max, self.seed))
+            }
+            Schedule::Split { fast, slow } => Box::new(SplitDelay::new(n / 2, fast, slow)),
+            Schedule::Laggard { victim, fast, slow } => {
+                Box::new(LaggardDelay::new(victim, fast, slow))
+            }
+            Schedule::FavorFaulty { favored, fast, slow } => {
+                Box::new(FavorSenders::new(favored, fast, slow))
+            }
+            Schedule::Partition { near, far, heal_at } => {
+                Box::new(PartitionDelay::new(n / 2, near, far, SimTime::from_ticks(heal_at)))
+            }
+        }
+    }
+
+    /// Assembles the world and runs the simulation to completion.
+    pub fn run(self) -> Report<Value> {
+        let cfg = self.config;
+        let world_config = WorldConfig::new(cfg.n()).max_delivered(self.max_delivered);
+        let mut world = World::new(world_config, self.scheduler());
+        world.set_classifier(|m: &Wire| {
+            let c = classify_wire(m);
+            MsgClass { kind: c.kind, bytes: c.bytes }
+        });
+        for id in cfg.nodes() {
+            let input = self.inputs[id.index()];
+            match self.faults.iter().find(|&&(i, _)| i == id.index()) {
+                Some(&(_, kind)) => {
+                    world.add_faulty_process(make_bracha_adversary(
+                        kind, cfg, id, input, self.seed,
+                    ));
+                }
+                None => {
+                    let coin: BoxedCoin = match self.coin {
+                        CoinChoice::Local => Box::new(LocalCoin::new(self.seed, id)),
+                        CoinChoice::Common => Box::new(CommonCoin::new(self.seed, 0)),
+                    };
+                    world.add_process(Box::new(BrachaProcess::new(
+                        cfg,
+                        id,
+                        input,
+                        coin,
+                        self.options,
+                    )));
+                }
+            }
+        }
+        world.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_run_to_unanimous_decision() {
+        let report = Cluster::new(4).unwrap().run();
+        assert_eq!(report.unanimous_output(), Some(Value::One));
+        assert_eq!(report.decision_round(), Some(1));
+    }
+
+    #[test]
+    fn builder_combinations_work() {
+        let report = Cluster::new(7)
+            .unwrap()
+            .seed(3)
+            .split_inputs(4)
+            .coin(CoinChoice::Common)
+            .schedule(Schedule::Split { fast: 1, slow: 10 })
+            .fault(0, FaultKind::Mute)
+            .fault(1, FaultKind::FlipValue)
+            .run();
+        assert!(report.all_correct_decided());
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn partition_schedule_delays_but_does_not_break() {
+        let report = Cluster::new(4)
+            .unwrap()
+            .seed(8)
+            .split_inputs(2)
+            .schedule(Schedule::Partition { near: 1, far: 200, heal_at: 400 })
+            .run();
+        assert!(report.all_correct_decided());
+        assert!(report.agreement_holds());
+    }
+
+    #[test]
+    fn metrics_are_classified() {
+        let report = Cluster::new(4).unwrap().seed(1).run();
+        assert!(report.metrics.bytes_sent > 0);
+        assert!(report.metrics.by_kind.keys().any(|k| k.starts_with("send/")));
+    }
+
+    #[test]
+    #[should_panic(expected = "already faulty")]
+    fn duplicate_fault_rejected() {
+        let _ = Cluster::new(4).unwrap().fault(0, FaultKind::Mute).fault(0, FaultKind::Mute);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per node")]
+    fn wrong_input_length_rejected() {
+        let _ = Cluster::new(4).unwrap().inputs(vec![Value::One]);
+    }
+}

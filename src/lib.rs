@@ -1,0 +1,89 @@
+//! `async-bft` — a reproduction of *Asynchronous Byzantine Consensus*
+//! (Bracha, PODC 1984) as a production-quality Rust workspace.
+//!
+//! The workspace implements, from scratch:
+//!
+//! * [`bft_rbc`] — Bracha's **reliable broadcast** (Send/Echo/Ready).
+//! * [`bracha`] — the **randomized Byzantine consensus** protocol with its
+//!   message-validation discipline, the Ben-Or baseline, and the
+//!   ACS/multi-value extensions that make it "the basis of modern async
+//!   BFT".
+//! * [`bft_sim`] — a deterministic discrete-event **simulator** whose
+//!   pluggable schedulers play the asynchronous network adversary.
+//! * [`bft_runtime`] — a thread-per-node **actor runtime** running the
+//!   same protocol code on real concurrency.
+//! * [`bft_adversary`] — a zoo of Byzantine behaviours and content-aware
+//!   adversarial schedulers.
+//! * [`bft_coin`] — local and (dealer-model) common coins.
+//!
+//! This crate ties them together and adds [`Cluster`], a one-stop builder
+//! for simulated consensus experiments:
+//!
+//! ```
+//! use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+//! use async_bft::types::Value;
+//!
+//! # fn main() -> Result<(), async_bft::types::ConfigError> {
+//! let report = Cluster::new(7)?            // n = 7 ⇒ tolerates f = 2
+//!     .seed(42)
+//!     .split_inputs(3)                     // 3 nodes vote 1, rest 0
+//!     .coin(CoinChoice::Local)
+//!     .schedule(Schedule::Uniform { min: 1, max: 20 })
+//!     .fault(0, FaultKind::FlipValue)      // two Byzantine liars
+//!     .fault(1, FaultKind::Seesaw)
+//!     .run();
+//!
+//! assert!(report.all_correct_decided());
+//! assert!(report.agreement_holds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+
+pub use cluster::{Cluster, CoinChoice, Schedule};
+
+pub use bft_adversary::FaultKind;
+
+/// Re-export of the vocabulary crate.
+pub mod types {
+    pub use bft_types::*;
+}
+
+/// Re-export of the simulator crate.
+pub mod sim {
+    pub use bft_sim::*;
+}
+
+/// Re-export of the reliable-broadcast crate.
+pub mod rbc {
+    pub use bft_rbc::*;
+}
+
+/// Re-export of the coin crate.
+pub mod coin {
+    pub use bft_coin::*;
+}
+
+/// Re-export of the consensus crate.
+pub mod consensus {
+    pub use bracha::*;
+}
+
+/// Re-export of the adversary crate.
+pub mod adversary {
+    pub use bft_adversary::*;
+}
+
+/// Re-export of the thread runtime crate.
+pub mod runtime {
+    pub use bft_runtime::*;
+}
+
+/// Re-export of the statistics crate.
+pub mod stats {
+    pub use bft_stats::*;
+}

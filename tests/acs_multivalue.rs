@@ -1,0 +1,110 @@
+//! End-to-end tests for the ACS / multi-value extension layer across
+//! crates (rbc + core + coin + sim + adversary).
+
+use async_bft::adversary::Silent;
+use async_bft::coin::CommonCoin;
+use async_bft::consensus::acs::{AcsMessage, AcsOutput, AcsProcess};
+use async_bft::consensus::multivalue::MultiValueProcess;
+use async_bft::sim::{UniformDelay, World, WorldConfig};
+use async_bft::types::{Config, NodeId};
+
+fn coins(n: usize, seed: u64) -> Vec<CommonCoin> {
+    (0..n).map(|i| CommonCoin::new(seed, i as u64)).collect()
+}
+
+#[test]
+fn acs_core_set_is_identical_across_nodes_and_seeds() {
+    for seed in 0..8 {
+        let n = 7;
+        let cfg = Config::new(n, 2).unwrap();
+        let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 12, seed));
+        for id in cfg.nodes() {
+            let proposal = format!("batch-{}-{}", id.index(), seed).into_bytes();
+            world.add_process(Box::new(AcsProcess::new(cfg, id, proposal, coins(n, seed))));
+        }
+        let report = world.run();
+        assert!(report.all_correct_decided(), "seed {seed}");
+        assert!(report.agreement_holds(), "seed {seed}");
+        let set = report.output_of(NodeId::new(0)).unwrap();
+        assert!(set.len() >= cfg.quorum(), "seed {seed}: set too small");
+        // Every entry is authentic: proposer i's payload is what i sent.
+        for (proposer, payload) in set {
+            assert_eq!(
+                payload,
+                format!("batch-{}-{}", proposer.index(), seed).into_bytes(),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn acs_with_two_silent_proposers_still_closes() {
+    let n = 7;
+    let cfg = Config::new(n, 2).unwrap();
+    let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 12, 4));
+    for id in cfg.nodes() {
+        if id.index() >= 5 {
+            world.add_faulty_process(Box::new(Silent::<AcsMessage, AcsOutput>::new(id)));
+        } else {
+            let proposal = vec![id.index() as u8; 32];
+            world.add_process(Box::new(AcsProcess::new(cfg, id, proposal, coins(n, 4))));
+        }
+    }
+    let report = world.run();
+    assert!(report.all_correct_decided());
+    assert!(report.agreement_holds());
+    let set = report.output_of(NodeId::new(0)).unwrap();
+    assert!(set.len() >= 5, "five live proposals must make it");
+    assert!(set.iter().all(|(id, _)| id.index() < 5), "dead proposals cannot");
+}
+
+#[test]
+fn multivalue_consensus_decides_one_proposed_string() {
+    for seed in 0..8 {
+        let n = 4;
+        let cfg = Config::new(n, 1).unwrap();
+        let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 10, seed));
+        for id in cfg.nodes() {
+            world.add_process(Box::new(MultiValueProcess::new(
+                cfg,
+                id,
+                format!("candidate-{}", id.index()).into_bytes(),
+                coins(n, seed),
+            )));
+        }
+        let report = world.run();
+        assert!(report.all_correct_decided(), "seed {seed}");
+        assert!(report.agreement_holds(), "seed {seed}");
+        let v = report.output_of(NodeId::new(0)).unwrap();
+        assert!(
+            (0..n).any(|i| v == format!("candidate-{i}").into_bytes()),
+            "seed {seed}: decided value was never proposed"
+        );
+    }
+}
+
+#[test]
+fn multivalue_with_crashed_node_still_decides() {
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 10, 2));
+    for id in cfg.nodes() {
+        if id.index() == 0 {
+            world.add_faulty_process(Box::new(Silent::<AcsMessage, Vec<u8>>::new(id)));
+        } else {
+            world.add_process(Box::new(MultiValueProcess::new(
+                cfg,
+                id,
+                format!("candidate-{}", id.index()).into_bytes(),
+                coins(n, 2),
+            )));
+        }
+    }
+    let report = world.run();
+    assert!(report.all_correct_decided());
+    assert!(report.agreement_holds());
+    // Node 0 never proposed, so the decision must come from 1..4.
+    let v = report.output_of(NodeId::new(1)).unwrap();
+    assert!((1..n).any(|i| v == format!("candidate-{i}").into_bytes()));
+}

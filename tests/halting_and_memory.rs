@@ -1,0 +1,113 @@
+//! Termination-gadget and state-bound tests: decided nodes halt, state
+//! stays garbage-collected over long runs, and the simulator's
+//! `AllCorrectHalted` stop policy composes with the protocol's halting.
+
+use async_bft::coin::{CommonCoin, FixedCoin, LocalCoin};
+use async_bft::consensus::{BrachaNode, BrachaOptions, BrachaProcess, Transition};
+use async_bft::sim::{StopPolicy, UniformDelay, World, WorldConfig};
+use async_bft::types::{Config, NodeId, Value};
+
+#[test]
+fn whole_cluster_halts_not_just_decides() {
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    let mut world = World::new(
+        WorldConfig::new(n).stop_policy(StopPolicy::AllCorrectHalted),
+        UniformDelay::new(1, 10, 3),
+    );
+    for id in cfg.nodes() {
+        let input = Value::from_bool(id.index() % 2 == 0);
+        world.add_process(Box::new(BrachaProcess::new(
+            cfg,
+            id,
+            input,
+            LocalCoin::new(3, id),
+            BrachaOptions::default(),
+        )));
+    }
+    let report = world.run();
+    assert_eq!(report.stop, async_bft::sim::StopReason::Completed);
+    assert!(report.all_correct_decided());
+    // Everyone decided within `extra_rounds` of the earliest decision.
+    let min = report.output_rounds.values().min().copied().unwrap();
+    let max = report.output_rounds.values().max().copied().unwrap();
+    assert!(max - min <= 2, "stragglers must decide within two rounds");
+}
+
+/// With pruning on, a long multi-round run keeps the validator's tracked
+/// rounds bounded (no unbounded state growth).
+#[test]
+fn validator_state_is_bounded_with_pruning() {
+    // A fixed contrarian coin prevents early convergence so the run
+    // spans many rounds; cap with max_rounds and inspect the node.
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    let opts = BrachaOptions { max_rounds: 40, ..BrachaOptions::default() };
+    let mut nodes: Vec<BrachaNode<FixedCoin>> = (0..n)
+        .map(|i| {
+            // Coins oppose the node parity: the cluster keeps flip-flopping.
+            let v = Value::from_bool(i % 2 == 0);
+            BrachaNode::new(cfg, NodeId::new(i), FixedCoin::new(v), opts)
+        })
+        .collect();
+
+    // Synchronous pump.
+    let mut queue: Vec<(NodeId, async_bft::consensus::Wire)> = Vec::new();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let input = Value::from_bool(i < 2);
+        for t in node.start(input) {
+            if let Transition::Broadcast(w) = t {
+                queue.push((NodeId::new(i), w));
+            }
+        }
+    }
+    let mut steps = 0usize;
+    while let Some((from, wire)) = queue.pop() {
+        steps += 1;
+        assert!(steps < 3_000_000, "pump did not quiesce");
+        for node in nodes.iter_mut() {
+            let ts = node.on_message(from, wire.clone());
+            let me = node.me();
+            for t in ts {
+                if let Transition::Broadcast(w) = t {
+                    queue.push((me, w));
+                }
+            }
+        }
+    }
+    for node in &nodes {
+        assert!(
+            node.tracked_rounds() <= 4,
+            "validator state leaked: {} rounds tracked at {}",
+            node.tracked_rounds(),
+            node.me()
+        );
+    }
+}
+
+/// The common coin converges even when inputs and schedule conspire; and
+/// once all correct halt, the queue drains without further protocol
+/// activity (no zombie chatter).
+#[test]
+fn no_zombie_chatter_after_halt() {
+    let n = 7;
+    let cfg = Config::new(n, 2).unwrap();
+    let mut world = World::new(
+        WorldConfig::new(n).stop_policy(StopPolicy::QueueDrain),
+        UniformDelay::new(1, 10, 9),
+    );
+    for id in cfg.nodes() {
+        let input = Value::from_bool(id.index() < 3);
+        world.add_process(Box::new(BrachaProcess::new(
+            cfg,
+            id,
+            input,
+            CommonCoin::new(9, 0),
+            BrachaOptions::default(),
+        )));
+    }
+    let report = world.run();
+    // Queue drained means no infinite message loop once everyone halted.
+    assert!(report.all_correct_decided());
+    assert!(report.metrics.dropped_to_halted > 0 || report.metrics.delivered > 0);
+}

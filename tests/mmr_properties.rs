@@ -1,0 +1,190 @@
+//! Property tests of the MMR-style modern ABA under proptest-driven
+//! adversarial interleavings and fault mixes.
+
+use async_bft::adversary::MmrSaboteur;
+use async_bft::coin::CommonCoin;
+use async_bft::consensus::mmr::MmrProcess;
+use async_bft::sim::{UniformDelay, World, WorldConfig};
+use async_bft::types::{Config, Value};
+use proptest::prelude::*;
+
+fn run_mmr(
+    n: usize,
+    saboteurs: usize,
+    ones: usize,
+    seed: u64,
+    delay_max: u64,
+) -> async_bft::sim::Report<Value> {
+    let cfg = Config::max_resilience(n).unwrap();
+    let mut world = World::new(
+        WorldConfig::new(n).max_delivered(2_000_000),
+        UniformDelay::new(1, delay_max.max(1), seed),
+    );
+    for id in cfg.nodes() {
+        if id.index() < saboteurs {
+            world.add_faulty_process(Box::new(MmrSaboteur::new(
+                id,
+                Value::from_bool(seed.is_multiple_of(2)),
+                seed,
+            )));
+        } else {
+            let input = Value::from_bool(id.index() < saboteurs + ones);
+            world.add_process(Box::new(MmrProcess::new(
+                cfg,
+                id,
+                input,
+                CommonCoin::new(seed, 0),
+                5_000,
+            )));
+        }
+    }
+    world.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Agreement + termination for arbitrary fault counts up to f, input
+    /// splits, seeds and delay spreads.
+    #[test]
+    fn mmr_agreement_and_termination(
+        n in 4usize..11,
+        seed in 0u64..10_000,
+        ones_frac in 0usize..12,
+        sab_frac in 0usize..4,
+        delay_max in 2u64..40,
+    ) {
+        let f = (n - 1) / 3;
+        let saboteurs = if f == 0 { 0 } else { sab_frac % (f + 1) };
+        let correct = n - saboteurs;
+        let ones = ones_frac % (correct + 1);
+        let report = run_mmr(n, saboteurs, ones, seed, delay_max);
+        prop_assert!(report.all_correct_decided(), "termination failed");
+        prop_assert!(report.agreement_holds(), "agreement failed");
+    }
+
+    /// Validity under unanimity, with the full budget of saboteurs
+    /// forging the opposite Finish value.
+    #[test]
+    fn mmr_validity_under_unanimity(
+        n in 4usize..11,
+        seed in 0u64..10_000,
+        value in proptest::bool::ANY,
+    ) {
+        let f = (n - 1) / 3;
+        let v = Value::from_bool(value);
+        let cfg = Config::max_resilience(n).unwrap();
+        let mut world = World::new(
+            WorldConfig::new(n).max_delivered(2_000_000),
+            UniformDelay::new(1, 20, seed),
+        );
+        for id in cfg.nodes() {
+            if id.index() < f {
+                // Saboteurs forge Finish on the *opposite* value.
+                world.add_faulty_process(Box::new(MmrSaboteur::new(id, v.flipped(), seed)));
+            } else {
+                world.add_process(Box::new(MmrProcess::new(
+                    cfg,
+                    id,
+                    v,
+                    CommonCoin::new(seed, 0),
+                    5_000,
+                )));
+            }
+        }
+        let report = world.run();
+        prop_assert!(report.all_correct_decided(), "termination failed");
+        prop_assert_eq!(report.unanimous_output(), Some(v), "validity failed");
+    }
+
+    /// Determinism of the simulated runs.
+    #[test]
+    fn mmr_runs_are_reproducible(
+        n in 4usize..9,
+        seed in 0u64..1_000,
+        ones in 0usize..9,
+    ) {
+        let a = run_mmr(n, 0, ones.min(n), seed, 20);
+        let b = run_mmr(n, 0, ones.min(n), seed, 20);
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.metrics.sent, b.metrics.sent);
+        prop_assert_eq!(a.end_time, b.end_time);
+    }
+}
+
+/// The Finish gadget actually halts the whole cluster (not just the
+/// deciders) — regression net for the coin-mismatch liveness trap.
+#[test]
+fn finish_gadget_halts_everyone() {
+    use async_bft::sim::StopPolicy;
+    for seed in 0..10u64 {
+        let n = 7;
+        let cfg = Config::new(n, 2).unwrap();
+        let mut world = World::new(
+            WorldConfig::new(n).stop_policy(StopPolicy::AllCorrectHalted),
+            UniformDelay::new(1, 15, seed),
+        );
+        for id in cfg.nodes() {
+            let input = Value::from_bool(id.index() % 2 == 0);
+            world.add_process(Box::new(MmrProcess::new(
+                cfg,
+                id,
+                input,
+                CommonCoin::new(seed, 0),
+                5_000,
+            )));
+        }
+        let report = world.run();
+        assert_eq!(
+            report.stop,
+            async_bft::sim::StopReason::Completed,
+            "seed {seed}: every node must halt, not merely decide"
+        );
+        assert!(report.all_correct_decided(), "seed {seed}");
+        assert!(report.agreement_holds(), "seed {seed}");
+    }
+}
+
+/// MMR and Bracha clusters given the same inputs agree *internally*; the
+/// two protocols need not agree with each other (different coins), but
+/// both must deliver the three properties side by side.
+#[test]
+fn mmr_and_bracha_side_by_side() {
+    use async_bft::consensus::{BrachaOptions, BrachaProcess};
+
+    for seed in 0..5u64 {
+        let n = 7;
+        let cfg = Config::new(n, 2).unwrap();
+
+        let mut mmr_world =
+            World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
+        let mut bracha_world =
+            World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
+        for id in cfg.nodes() {
+            let input = Value::from_bool(id.index() < 3);
+            mmr_world.add_process(Box::new(MmrProcess::new(
+                cfg,
+                id,
+                input,
+                CommonCoin::new(seed, 1),
+                5_000,
+            )));
+            bracha_world.add_process(Box::new(BrachaProcess::new(
+                cfg,
+                id,
+                input,
+                CommonCoin::new(seed, 2),
+                BrachaOptions::default(),
+            )));
+        }
+        let mmr_report = mmr_world.run();
+        let bracha_report = bracha_world.run();
+        assert!(mmr_report.all_correct_decided() && mmr_report.agreement_holds());
+        assert!(bracha_report.all_correct_decided() && bracha_report.agreement_holds());
+        // And MMR should be the cheaper of the two.
+        assert!(
+            mmr_report.metrics.sent < bracha_report.metrics.sent,
+            "seed {seed}: MMR must cost fewer messages"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests of reliable broadcast at the state-machine level: a
+//! proptest-driven adversary controls both the delivery order and a fully
+//! Byzantine sender's messages, and agreement/totality must still hold.
+
+use async_bft::rbc::{RbcAction, RbcInstance, RbcMessage};
+use async_bft::types::{Config, NodeId};
+use proptest::prelude::*;
+
+/// One in-flight message of the hand-rolled network.
+#[derive(Clone, Debug)]
+struct InFlight {
+    from: NodeId,
+    to: usize,
+    msg: RbcMessage<u8>,
+}
+
+/// Runs a single RBC instance across `n` nodes where node 0 is Byzantine:
+/// it injects the given raw messages instead of following the protocol.
+/// Delivery order is chosen by `picks` (each pick selects the next
+/// in-flight message modulo queue length).
+///
+/// Returns the payload delivered by each correct node (None = no
+/// delivery).
+fn run_adversarial_rbc(
+    n: usize,
+    injections: &[(usize, u8, u8)], // (target node, payload, phase 0/1/2)
+    picks: &[u16],
+) -> Vec<Option<u8>> {
+    let cfg = Config::max_resilience(n).unwrap();
+    let sender = NodeId::new(0);
+    let mut instances: Vec<RbcInstance<u8>> = (1..n)
+        .map(|i| RbcInstance::new(cfg, NodeId::new(i), sender))
+        .collect();
+    let mut delivered: Vec<Option<u8>> = vec![None; n - 1];
+
+    let mut queue: Vec<InFlight> = Vec::new();
+    // The Byzantine sender's injections enter the network first.
+    for &(to, payload, phase) in injections {
+        let msg = match phase % 3 {
+            0 => RbcMessage::Send(payload % 2),
+            1 => RbcMessage::Echo(payload % 2),
+            _ => RbcMessage::Ready(payload % 2),
+        };
+        queue.push(InFlight { from: sender, to: 1 + (to % (n - 1)), msg });
+    }
+
+    let mut steps = 0usize;
+    let mut pick_idx = 0usize;
+    while !queue.is_empty() && steps < 10_000 {
+        steps += 1;
+        let pick = if pick_idx < picks.len() {
+            picks[pick_idx] as usize % queue.len()
+        } else {
+            0
+        };
+        pick_idx += 1;
+        let inflight = queue.remove(pick);
+        let slot = inflight.to - 1;
+        let actions = instances[slot].on_message(inflight.from, inflight.msg);
+        let me = NodeId::new(inflight.to);
+        for action in actions {
+            match action {
+                RbcAction::Broadcast(msg) => {
+                    for to in 1..n {
+                        queue.push(InFlight { from: me, to, msg: msg.clone() });
+                    }
+                }
+                RbcAction::Deliver(p) => delivered[slot] = Some(p),
+            }
+        }
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Agreement: no interleaving and no Byzantine sender behaviour makes
+    /// two correct nodes deliver different payloads.
+    #[test]
+    fn rbc_agreement_under_full_byzantine_sender(
+        n in 4usize..8,
+        injections in proptest::collection::vec((0usize..8, 0u8..2, 0u8..3), 0..24),
+        picks in proptest::collection::vec(0u16..1000, 0..64),
+    ) {
+        let delivered = run_adversarial_rbc(n, &injections, &picks);
+        let values: Vec<u8> = delivered.iter().flatten().copied().collect();
+        if let Some(first) = values.first() {
+            prop_assert!(
+                values.iter().all(|v| v == first),
+                "correct nodes delivered different payloads: {delivered:?}"
+            );
+        }
+    }
+
+    /// Totality: once the queue has fully drained, delivery is
+    /// all-or-none among correct nodes (a drained queue = no more
+    /// messages will ever arrive, so "eventually" has elapsed).
+    #[test]
+    fn rbc_totality_under_full_byzantine_sender(
+        n in 4usize..8,
+        injections in proptest::collection::vec((0usize..8, 0u8..2, 0u8..3), 0..24),
+        picks in proptest::collection::vec(0u16..1000, 0..64),
+    ) {
+        let delivered = run_adversarial_rbc(n, &injections, &picks);
+        let count = delivered.iter().flatten().count();
+        prop_assert!(
+            count == 0 || count == delivered.len(),
+            "partial delivery (totality violation): {delivered:?}"
+        );
+    }
+
+    /// Validity: with a *correct* sender (exactly one consistent Send to
+    /// every node) every correct node delivers that payload, under any
+    /// interleaving.
+    #[test]
+    fn rbc_validity_with_correct_sender(
+        n in 4usize..8,
+        payload in 0u8..2,
+        picks in proptest::collection::vec(0u16..1000, 0..256),
+    ) {
+        // A correct sender = one Send per node, consistent payload.
+        let injections: Vec<(usize, u8, u8)> =
+            (0..n - 1).map(|i| (i, payload, 0)).collect();
+        let delivered = run_adversarial_rbc(n, &injections, &picks);
+        prop_assert!(
+            delivered.iter().all(|d| *d == Some(payload % 2)),
+            "validity failed: {delivered:?}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The same protocol code must satisfy the same properties under the
+//! deterministic simulator and under the thread actor runtime — the
+//! "transport-agnostic" claim, tested end to end.
+
+use async_bft::coin::{CommonCoin, LocalCoin};
+use async_bft::consensus::{BrachaOptions, BrachaProcess};
+use async_bft::rbc::RbcProcess;
+use async_bft::runtime::Runtime;
+use async_bft::sim::{UniformDelay, World, WorldConfig};
+use async_bft::types::{Config, NodeId, Value};
+use std::time::Duration;
+
+fn inputs(n: usize) -> Vec<Value> {
+    (0..n).map(|i| if i % 2 == 0 { Value::One } else { Value::Zero }).collect()
+}
+
+#[test]
+fn consensus_properties_hold_in_both_transports() {
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    let ins = inputs(n);
+
+    // --- simulator ---
+    let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 15, 5));
+    for id in cfg.nodes() {
+        world.add_process(Box::new(BrachaProcess::new(
+            cfg,
+            id,
+            ins[id.index()],
+            LocalCoin::new(5, id),
+            BrachaOptions::default(),
+        )));
+    }
+    let sim_report = world.run();
+    assert!(sim_report.all_correct_decided());
+    assert!(sim_report.agreement_holds());
+
+    // --- thread runtime ---
+    let mut rt = Runtime::new(n).timeout(Duration::from_secs(30)).jitter_us(100);
+    for id in cfg.nodes() {
+        rt.add_process(Box::new(BrachaProcess::new(
+            cfg,
+            id,
+            ins[id.index()],
+            LocalCoin::new(5, id),
+            BrachaOptions::default(),
+        )));
+    }
+    let rt_report = rt.run();
+    assert!(!rt_report.timed_out);
+    assert!(rt_report.all_correct_decided());
+    assert!(rt_report.agreement_holds());
+}
+
+#[test]
+fn common_coin_consensus_runs_on_threads() {
+    let n = 7;
+    let cfg = Config::new(n, 2).unwrap();
+    let ins = inputs(n);
+    let mut rt = Runtime::new(n).timeout(Duration::from_secs(30));
+    for id in cfg.nodes() {
+        rt.add_process(Box::new(BrachaProcess::new(
+            cfg,
+            id,
+            ins[id.index()],
+            CommonCoin::new(9, 0),
+            BrachaOptions::default(),
+        )));
+    }
+    let report = rt.run();
+    assert!(!report.timed_out);
+    assert!(report.all_correct_decided());
+    assert!(report.agreement_holds());
+}
+
+#[test]
+fn reliable_broadcast_runs_on_threads() {
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    let sender = NodeId::new(0);
+    let mut rt = Runtime::new(n).timeout(Duration::from_secs(30));
+    for id in cfg.nodes() {
+        let payload = (id == sender).then(|| "threaded payload".to_string());
+        rt.add_process(Box::new(RbcProcess::new(cfg, id, sender, payload)));
+    }
+    let report = rt.run();
+    assert!(!report.timed_out);
+    assert_eq!(report.unanimous_output(), Some("threaded payload".to_string()));
+}
+
+/// Repeated runtime executions (different interleavings each time) keep
+/// the properties.
+#[test]
+fn repeated_threaded_runs_stay_correct() {
+    for round in 0..5 {
+        let n = 4;
+        let cfg = Config::new(n, 1).unwrap();
+        let ins = inputs(n);
+        let mut rt = Runtime::new(n).timeout(Duration::from_secs(30)).jitter_us(50);
+        for id in cfg.nodes() {
+            rt.add_process(Box::new(BrachaProcess::new(
+                cfg,
+                id,
+                ins[id.index()],
+                LocalCoin::new(round, id),
+                BrachaOptions::default(),
+            )));
+        }
+        let report = rt.run();
+        assert!(!report.timed_out, "round {round}");
+        assert!(report.all_correct_decided(), "round {round}");
+        assert!(report.agreement_holds(), "round {round}");
+    }
+}
