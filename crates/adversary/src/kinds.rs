@@ -80,8 +80,7 @@ pub fn make_bracha_adversary(
     match kind {
         FaultKind::Crash { after } => {
             // Correct behaviour that stops mid-protocol.
-            let inner =
-                BrachaProcess::new(config, id, input, coin, BrachaOptions::default());
+            let inner = BrachaProcess::new(config, id, input, coin, BrachaOptions::default());
             Box::new(CrashAfter::new(inner, after))
         }
         FaultKind::Mute => Box::new(Silent::new(id)),
@@ -98,9 +97,7 @@ pub fn make_bracha_adversary(
         FaultKind::AlwaysFlag => {
             Box::new(LyingBracha::new(config, id, input, coin, Mutator::AlwaysFlag))
         }
-        FaultKind::Seesaw => {
-            Box::new(LyingBracha::new(config, id, input, coin, Mutator::Seesaw))
-        }
+        FaultKind::Seesaw => Box::new(LyingBracha::new(config, id, input, coin, Mutator::Seesaw)),
     }
 }
 
@@ -119,8 +116,7 @@ mod tests {
                 let n = 7;
                 let cfg = Config::max_resilience(n).unwrap();
                 let f = cfg.f();
-                let mut world =
-                    World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
+                let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
                 for id in cfg.nodes() {
                     if id.index() < f {
                         world.add_faulty_process(make_bracha_adversary(

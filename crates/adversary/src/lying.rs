@@ -164,7 +164,10 @@ mod tests {
     fn mutators_corrupt_as_documented() {
         let tag = StepTag::new(Round::new(2), Step::Initial);
         let mut flip = Mutator::FlipValue;
-        assert_eq!(flip.apply(tag, StepPayload::Initial(Value::One)), StepPayload::Initial(Value::Zero));
+        assert_eq!(
+            flip.apply(tag, StepPayload::Initial(Value::One)),
+            StepPayload::Initial(Value::Zero)
+        );
 
         let mut seesaw = Mutator::Seesaw;
         assert_eq!(
@@ -257,19 +260,19 @@ mod tests {
             // Liar traffic (from nodes 0 and 1) is fast; correct traffic is
             // slow and jittered, so liar payloads land in every quorum.
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let sched = FnScheduler::new(move |env: &Envelope<Wire>, _now| {
-                if env.from.index() < 2 {
-                    1
-                } else {
-                    rng.gen_range(5..40)
-                }
-            });
+            let sched =
+                FnScheduler::new(
+                    move |env: &Envelope<Wire>, _now| {
+                        if env.from.index() < 2 {
+                            1
+                        } else {
+                            rng.gen_range(5..40)
+                        }
+                    },
+                );
             let mut world = World::new(WorldConfig::new(7), sched);
-            let opts = BrachaOptions {
-                validate: false,
-                max_rounds: 60,
-                ..BrachaOptions::default()
-            };
+            let opts =
+                BrachaOptions { validate: false, max_rounds: 60, ..BrachaOptions::default() };
             for id in cfg.nodes() {
                 if id.index() < 2 {
                     world.add_faulty_process(Box::new(LyingBracha::new(
@@ -298,9 +301,6 @@ mod tests {
                 break;
             }
         }
-        assert!(
-            violated,
-            "validation-off ablation should be breakable by value-flipping liars"
-        );
+        assert!(violated, "validation-off ablation should be breakable by value-flipping liars");
     }
 }

@@ -50,9 +50,7 @@ impl MmrSaboteur {
         ];
         if !self.finish_sent {
             self.finish_sent = true;
-            out.push(Effect::Broadcast {
-                msg: MmrMessage::Finish { value: self.forged_value },
-            });
+            out.push(Effect::Broadcast { msg: MmrMessage::Finish { value: self.forged_value } });
         }
         out
     }
@@ -93,11 +91,7 @@ mod tests {
             let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
             for id in cfg.nodes() {
                 if id.index() < 2 {
-                    world.add_faulty_process(Box::new(MmrSaboteur::new(
-                        id,
-                        Value::Zero,
-                        seed,
-                    )));
+                    world.add_faulty_process(Box::new(MmrSaboteur::new(id, Value::Zero, seed)));
                 } else {
                     world.add_process(Box::new(MmrProcess::new(
                         cfg,
@@ -124,10 +118,7 @@ mod tests {
         let first = s.on_start();
         assert_eq!(first.len(), 4, "2 bvals + aux + finish");
         assert!(s
-            .on_message(
-                NodeId::new(0),
-                MmrMessage::Bval { round: Round::FIRST, value: Value::One }
-            )
+            .on_message(NodeId::new(0), MmrMessage::Bval { round: Round::FIRST, value: Value::One })
             .is_empty());
         let r2 = s.on_message(
             NodeId::new(0),

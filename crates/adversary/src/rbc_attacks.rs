@@ -97,8 +97,7 @@ mod tests {
         for seed in 0..30 {
             let cfg = Config::new(4, 1).unwrap();
             let sender = NodeId::new(0);
-            let mut world =
-                World::new(WorldConfig::new(4), UniformDelay::new(1, 20, seed));
+            let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 20, seed));
             world.add_faulty_process(Box::new(RbcEquivocator::new(cfg, sender, "a", "b")));
             for id in cfg.nodes().skip(1) {
                 world.add_process(Box::new(RbcProcess::<&str>::new(cfg, id, sender, None)));

@@ -38,10 +38,7 @@ impl DoubleTalker {
         for to in self.config.nodes() {
             let v = if to.index() < half { Value::One } else { Value::Zero };
             out.push(Effect::Send { to, msg: BenOrMessage::Report { round, value: v } });
-            out.push(Effect::Send {
-                to,
-                msg: BenOrMessage::Proposal { round, value: Some(v) },
-            });
+            out.push(Effect::Send { to, msg: BenOrMessage::Proposal { round, value: Some(v) } });
         }
         out
     }
@@ -84,8 +81,7 @@ mod tests {
                 if id.index() == n - 1 {
                     world.add_faulty_process(Box::new(DoubleTalker::new(cfg, id)));
                 } else {
-                    let input =
-                        if id.index() % 2 == 0 { Value::One } else { Value::Zero };
+                    let input = if id.index() % 2 == 0 { Value::One } else { Value::Zero };
                     world.add_process(Box::new(BenOrProcess::new(
                         cfg,
                         id,

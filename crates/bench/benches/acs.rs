@@ -16,8 +16,7 @@ fn bench_acs(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let cfg = Config::max_resilience(n).unwrap();
-                let mut world =
-                    World::new(WorldConfig::new(n), UniformDelay::new(1, 10, seed));
+                let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 10, seed));
                 for id in cfg.nodes() {
                     let proposal = vec![id.index() as u8; 64];
                     let coins = (0..n).map(|i| CommonCoin::new(seed, i as u64)).collect();

@@ -84,8 +84,7 @@ fn bench_decision_mmr(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let cfg = Config::max_resilience(n).unwrap();
-                let mut world =
-                    World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
+                let mut world = World::new(WorldConfig::new(n), UniformDelay::new(1, 20, seed));
                 for id in cfg.nodes() {
                     let input = Value::from_bool(id.index() < n / 2);
                     world.add_process(Box::new(MmrProcess::new(

@@ -1,10 +1,10 @@
 //! Criterion bench backing experiments T3/T4: wall-clock cost of one
 //! reliable-broadcast instance (state machine and full simulation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bft_rbc::{RbcInstance, RbcMessage, RbcProcess};
 use bft_sim::{FixedDelay, World, WorldConfig};
 use bft_types::{Config, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Raw state-machine throughput: drive one instance to delivery by hand.
 fn bench_state_machine(c: &mut Criterion) {

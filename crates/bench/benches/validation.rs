@@ -13,36 +13,29 @@ fn bench_ingest_round(c: &mut Criterion) {
     for (label, enforce) in [("validated", true), ("unchecked", false)] {
         for n in [4usize, 16, 64] {
             let cfg = Config::max_resilience(n).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        let mut val = Validator::new(cfg, enforce);
-                        for i in 0..n {
-                            let _ = val.ingest(
-                                Round::FIRST,
-                                NodeId::new(i),
-                                StepPayload::Initial(Value::One),
-                            );
-                        }
-                        for i in 0..n {
-                            let _ = val.ingest(
-                                Round::FIRST,
-                                NodeId::new(i),
-                                StepPayload::Echo(Value::One),
-                            );
-                        }
-                        for i in 0..n {
-                            let _ = val.ingest(
-                                Round::FIRST,
-                                NodeId::new(i),
-                                StepPayload::Ready { value: Value::One, flagged: true },
-                            );
-                        }
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut val = Validator::new(cfg, enforce);
+                    for i in 0..n {
+                        let _ = val.ingest(
+                            Round::FIRST,
+                            NodeId::new(i),
+                            StepPayload::Initial(Value::One),
+                        );
+                    }
+                    for i in 0..n {
+                        let _ =
+                            val.ingest(Round::FIRST, NodeId::new(i), StepPayload::Echo(Value::One));
+                    }
+                    for i in 0..n {
+                        let _ = val.ingest(
+                            Round::FIRST,
+                            NodeId::new(i),
+                            StepPayload::Ready { value: Value::One, flagged: true },
+                        );
+                    }
+                });
+            });
         }
     }
     group.finish();
@@ -65,18 +58,11 @@ fn bench_ingest_reversed(c: &mut Criterion) {
                     );
                 }
                 for i in 0..n {
-                    let _ = val.ingest(
-                        Round::FIRST,
-                        NodeId::new(i),
-                        StepPayload::Echo(Value::One),
-                    );
+                    let _ = val.ingest(Round::FIRST, NodeId::new(i), StepPayload::Echo(Value::One));
                 }
                 for i in 0..n {
-                    let _ = val.ingest(
-                        Round::FIRST,
-                        NodeId::new(i),
-                        StepPayload::Initial(Value::One),
-                    );
+                    let _ =
+                        val.ingest(Round::FIRST, NodeId::new(i), StepPayload::Initial(Value::One));
                 }
             });
         });

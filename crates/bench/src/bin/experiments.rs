@@ -9,8 +9,13 @@
 //!   IDS         subset of experiments to run (t1..t8, f1..f4);
 //!               default: all
 //! ```
+//!
+//! Every invocation also writes `BENCH_bracha.json` to the working
+//! directory: machine-readable aggregated observer metrics (per-round
+//! latency histograms, per-kind message/byte counts) for the headline
+//! Bracha configurations n=4/f=1 and n=16/f=5.
 
-use bft_bench::{all_experiments, Mode};
+use bft_bench::{all_experiments, json_report, Mode};
 use std::io::Write;
 
 fn main() {
@@ -75,6 +80,17 @@ fn main() {
                 }
                 Err(e) => eprintln!("failed creating {path}: {e}"),
             }
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let json = json_report::bracha_report(mode).to_string();
+    let path = "BENCH_bracha.json";
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("wrote {path} ({} bytes) in {:.1?}", json.len() + 1, started.elapsed()),
+        Err(e) => {
+            eprintln!("failed writing {path}: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -99,11 +99,9 @@ impl Tally {
             self.agreed += 1;
         }
         let valid = match expected {
-            Some(e) => report
-                .correct
-                .iter()
-                .filter_map(|id| report.outputs.get(id))
-                .all(|o| *o == e),
+            Some(e) => {
+                report.correct.iter().filter_map(|id| report.outputs.get(id)).all(|o| *o == e)
+            }
             // Without an oracle, validity is vacuous (mixed inputs).
             None => true,
         };
@@ -160,10 +158,8 @@ pub fn run_benor(
     max_rounds: u64,
 ) -> Report<Value> {
     let cfg = Config::new_unchecked_resilience(n, f_cfg).expect("valid unchecked config");
-    let mut world = World::new(
-        WorldConfig::new(n).max_delivered(2_000_000),
-        UniformDelay::new(1, 20, seed),
-    );
+    let mut world =
+        World::new(WorldConfig::new(n).max_delivered(2_000_000), UniformDelay::new(1, 20, seed));
     for id in cfg.nodes() {
         if id.index() >= n - double_talkers {
             world.add_faulty_process(Box::new(DoubleTalker::new(cfg, id)));

@@ -13,8 +13,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         Mode::Full => vec![4, 7, 10, 13, 16],
     };
 
-    let mut table =
-        Table::new(vec!["n", "runs", "mean rounds", "max rounds", "P[R > 3]"]);
+    let mut table = Table::new(vec!["n", "runs", "mean rounds", "max rounds", "P[R > 3]"]);
     let mut notes = String::new();
 
     for &n in &sizes {
@@ -27,9 +26,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
                 .coin(CoinChoice::Common)
                 .schedule(Schedule::Split { fast: 1, slow: 8 })
                 .run();
-            let r = report
-                .decision_round()
-                .expect("common-coin runs decide within budget");
+            let r = report.decision_round().expect("common-coin runs decide within budget");
             hist.add(r);
         }
         table.row(vec![

@@ -1,0 +1,94 @@
+//! Machine-readable run reports (`BENCH_*.json`).
+//!
+//! The tables in T1–T9 are rendered for humans; CI and downstream
+//! analysis want numbers. This module runs the headline Bracha
+//! configurations with a [`MetricsSink`] observer attached and renders
+//! the aggregated per-round latency histograms and per-kind
+//! message/byte counts as a single JSON document, written by the
+//! `experiments` binary to `BENCH_bracha.json`.
+
+use crate::common::Mode;
+use async_bft::Cluster;
+use bft_obs::json::JsonValue;
+use bft_obs::{MetricsSink, Obs};
+
+/// One benchmark configuration: `n` nodes at maximum resilience
+/// `f = ⌊(n−1)/3⌋`, unanimous-one inputs, uniform 1–20 tick delays.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Seeds to aggregate over.
+    pub seeds: u64,
+}
+
+/// The headline configurations the acceptance gate pins down:
+/// Bracha at n=4/f=1 and n=16/f=5.
+pub fn headline_configs(mode: Mode) -> Vec<BenchConfig> {
+    let seeds = mode.seeds(10, 100) as u64;
+    vec![BenchConfig { n: 4, seeds }, BenchConfig { n: 16, seeds }]
+}
+
+/// Runs one configuration with an observer attached and returns its
+/// JSON report fragment.
+pub fn run_config(cfg: BenchConfig) -> JsonValue {
+    let (obs, shared) = Obs::new(MetricsSink::new());
+    let config = Cluster::new(cfg.n).expect("n > 0").config();
+    let mut decided_runs = 0u64;
+    let mut sim_msgs = 0u64;
+    let mut sim_bytes = 0u64;
+    for seed in 0..cfg.seeds {
+        let report = Cluster::new(cfg.n).expect("n > 0").seed(seed).observer(obs.clone()).run();
+        if report.all_correct_decided() {
+            decided_runs += 1;
+        }
+        sim_msgs += report.metrics.sent;
+        sim_bytes += report.metrics.bytes_sent;
+    }
+    drop(obs);
+    let metrics = shared.lock().to_json();
+    JsonValue::Obj(vec![
+        ("protocol".into(), JsonValue::str("bracha")),
+        ("n".into(), JsonValue::U64(config.n() as u64)),
+        ("f".into(), JsonValue::U64(config.f() as u64)),
+        ("seeds".into(), JsonValue::U64(cfg.seeds)),
+        ("decided_runs".into(), JsonValue::U64(decided_runs)),
+        ("messages_sent".into(), JsonValue::U64(sim_msgs)),
+        ("bytes_sent".into(), JsonValue::U64(sim_bytes)),
+        ("metrics".into(), metrics),
+    ])
+}
+
+/// The full `BENCH_bracha.json` document.
+pub fn bracha_report(mode: Mode) -> JsonValue {
+    let configs: Vec<JsonValue> = headline_configs(mode).into_iter().map(run_config).collect();
+    JsonValue::Obj(vec![
+        ("suite".into(), JsonValue::str("bracha")),
+        ("mode".into(), JsonValue::str(if mode == Mode::Full { "full" } else { "quick" })),
+        ("schema_version".into(), JsonValue::U64(1)),
+        ("configs".into(), JsonValue::Arr(configs)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_both_headline_configs() {
+        let report = bracha_report(Mode::Quick);
+        let rendered = report.to_string();
+        assert!(rendered.contains("\"suite\":\"bracha\""));
+        assert!(rendered.contains("\"n\":4"));
+        assert!(rendered.contains("\"n\":16"));
+        assert!(rendered.contains("\"round_latency\""));
+        assert!(rendered.contains("\"messages_by_kind\""));
+        assert!(rendered.contains("echo/echo"));
+    }
+
+    #[test]
+    fn every_quick_run_decides() {
+        let fragment = run_config(BenchConfig { n: 4, seeds: 3 }).to_string();
+        assert!(fragment.contains("\"decided_runs\":3"));
+    }
+}

@@ -16,7 +16,14 @@ pub fn run(mode: Mode) -> ExperimentReport {
     };
 
     let mut table = Table::new(vec![
-        "n", "f", "adversary", "runs", "terminated", "agreement", "validity", "mean rounds",
+        "n",
+        "f",
+        "adversary",
+        "runs",
+        "terminated",
+        "agreement",
+        "validity",
+        "mean rounds",
         "mean msgs",
     ]);
 
@@ -71,10 +78,7 @@ mod tests {
         // Every row must read 100% / 100% / 100%.
         let rendered = report.table.render();
         for line in rendered.lines().skip(2) {
-            assert!(
-                line.matches("100%").count() == 3,
-                "imperfect row in T1: {line}"
-            );
+            assert!(line.matches("100%").count() == 3, "imperfect row in T1: {line}");
         }
     }
 }

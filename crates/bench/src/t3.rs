@@ -6,8 +6,8 @@ use crate::common::{ExperimentReport, Mode};
 use async_bft::{Cluster, CoinChoice, Schedule};
 use bft_rbc::RbcProcess;
 use bft_sim::{FixedDelay, World, WorldConfig};
-use bft_types::{Config, NodeId};
 use bft_stats::Table;
+use bft_types::{Config, NodeId};
 
 /// Messages for one reliable-broadcast instance with a correct sender.
 fn rbc_messages(n: usize) -> u64 {
@@ -93,10 +93,7 @@ mod tests {
         let m4 = rbc_messages(4) as f64;
         let m8 = rbc_messages(8) as f64;
         let exponent = (m8 / m4).ln() / 2f64.ln();
-        assert!(
-            (1.5..=2.5).contains(&exponent),
-            "RBC exponent should be ≈2, got {exponent:.2}"
-        );
+        assert!((1.5..=2.5).contains(&exponent), "RBC exponent should be ≈2, got {exponent:.2}");
     }
 
     #[test]

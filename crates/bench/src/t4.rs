@@ -79,11 +79,8 @@ pub fn run(mode: Mode) -> ExperimentReport {
             for seed in 0..seeds as u64 {
                 let report = run_rbc(n, sender_kind, seed);
                 msgs.add(report.metrics.sent as f64);
-                let deciders = report
-                    .correct
-                    .iter()
-                    .filter(|id| report.outputs.contains_key(id))
-                    .count();
+                let deciders =
+                    report.correct.iter().filter(|id| report.outputs.contains_key(id)).count();
                 if !report.agreement_holds() {
                     split += 1;
                 } else if deciders == report.correct.len() {

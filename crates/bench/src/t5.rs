@@ -103,8 +103,7 @@ mod tests {
         let report = run(Mode::Quick);
         let mut degraded = false;
         for line in report.table.render().lines().skip(2) {
-            if line.contains("ben-or") && line.contains("NO") && line.matches("100%").count() < 3
-            {
+            if line.contains("ben-or") && line.contains("NO") && line.matches("100%").count() < 3 {
                 degraded = true;
             }
         }

@@ -11,10 +11,8 @@ use bracha::acs::{AcsMessage, AcsOutput, AcsProcess};
 
 fn run_acs(n: usize, crash_last: bool, payload_bytes: usize, seed: u64) -> Report<AcsOutput> {
     let cfg = Config::max_resilience(n).expect("n >= 1");
-    let mut world = World::new(
-        WorldConfig::new(n).max_delivered(5_000_000),
-        UniformDelay::new(1, 10, seed),
-    );
+    let mut world =
+        World::new(WorldConfig::new(n).max_delivered(5_000_000), UniformDelay::new(1, 10, seed));
     for id in cfg.nodes() {
         if crash_last && id.index() == n - 1 {
             world.add_faulty_process(Box::new(Silent::<AcsMessage, AcsOutput>::new(id)));
@@ -86,8 +84,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
     ExperimentReport {
         id: "T6",
         title: "asynchronous common subset from Bracha primitives".into(),
-        claim: "n RBCs + n ABAs agree on a common ≥ n−f subset of proposals despite faults"
-            .into(),
+        claim: "n RBCs + n ABAs agree on a common ≥ n−f subset of proposals despite faults".into(),
         table,
         notes: "expected shape: 100% completed and agreed; set size ≥ n − f (= n when nobody \
                 crashes, typically n − 1 with one crashed proposer)"

@@ -14,14 +14,8 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let n = 7;
     let f = 2;
 
-    let mut table = Table::new(vec![
-        "validation",
-        "adversary",
-        "runs",
-        "terminated",
-        "agreement",
-        "validity",
-    ]);
+    let mut table =
+        Table::new(vec!["validation", "adversary", "runs", "terminated", "agreement", "validity"]);
 
     for validate in [true, false] {
         for kind in [FaultKind::FlipValue, FaultKind::Seesaw] {
@@ -35,11 +29,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
                     // corrupted payloads' presence in every quorum.
                     .schedule(Schedule::FavorFaulty { favored: f, fast: 1, slow: 15 })
                     .faults(f, kind)
-                    .options(BrachaOptions {
-                        validate,
-                        max_rounds: 60,
-                        ..BrachaOptions::default()
-                    })
+                    .options(BrachaOptions { validate, max_rounds: 60, ..BrachaOptions::default() })
                     .max_delivered(1_000_000)
                     .run();
                 tally.add(&report, Some(Value::One));

@@ -222,9 +222,60 @@ impl CoinScheme for BiasedCoin {
     }
 }
 
+/// A wrapper that reports every flip of the inner scheme to an observer.
+///
+/// The Bracha engine observes its own coin natively; this wrapper is for
+/// protocols (or harnesses) that take an opaque [`CoinScheme`] and should
+/// still show up in the event stream.
+#[derive(Clone, Debug)]
+pub struct ObservedCoin<C> {
+    inner: C,
+    node: NodeId,
+    obs: bft_obs::Obs,
+}
+
+impl<C: CoinScheme> ObservedCoin<C> {
+    /// Wraps `inner`, attributing flips to `node` on the event stream.
+    pub fn new(inner: C, node: NodeId, obs: bft_obs::Obs) -> Self {
+        ObservedCoin { inner, node, obs }
+    }
+
+    /// Consumes the wrapper, returning the inner scheme.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: CoinScheme> CoinScheme for ObservedCoin<C> {
+    fn flip(&mut self, round: u64) -> Value {
+        let value = self.inner.flip(round);
+        let scheme = self.inner.name();
+        self.obs.emit(self.node, || bft_obs::Event::CoinFlipped { round, value, scheme });
+        value
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn observed_coin_reports_flips() {
+        let (obs, sink) = bft_obs::Obs::new(bft_obs::VecSink::new());
+        let mut c = ObservedCoin::new(FixedCoin::new(Value::One), NodeId::new(2), obs);
+        assert_eq!(c.flip(7), Value::One);
+        assert_eq!(c.name(), "fixed");
+        let events = sink.lock().take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].2,
+            bft_obs::Event::CoinFlipped { round: 7, value: Value::One, scheme: "fixed" }
+        );
+    }
 
     #[test]
     fn local_coins_differ_across_nodes() {

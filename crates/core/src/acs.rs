@@ -51,6 +51,7 @@
 
 use crate::{BrachaNode, BrachaOptions, Transition, Wire};
 use bft_coin::CoinScheme;
+use bft_obs::Obs;
 use bft_rbc::{RbcMux, RbcMuxAction, RbcMuxMessage};
 use bft_types::{Config, Effect, NodeId, Process, Value};
 use std::collections::BTreeMap;
@@ -137,6 +138,17 @@ impl<C: CoinScheme> AcsProcess<C> {
         self.output.as_ref()
     }
 
+    /// Attaches an observer to the proposal-dissemination RBC layer.
+    ///
+    /// The `n` inner binary-agreement instances are deliberately not
+    /// observed: they all share this node's id, so their per-round event
+    /// streams would interleave indistinguishably (and their per-instance
+    /// `Decided` events would read as consensus disagreements).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.rbc.set_obs(obs);
+        self
+    }
+
     fn lift_rbc(
         actions: Vec<RbcMuxAction<u8, Vec<u8>>>,
         out: &mut Vec<Effect<AcsMessage, AcsOutput>>,
@@ -204,10 +216,8 @@ impl<C: CoinScheme> AcsProcess<C> {
                     .map(NodeId::new)
                     .collect();
                 if accepted.iter().all(|id| self.delivered.contains_key(id)) {
-                    let set: AcsOutput = accepted
-                        .into_iter()
-                        .map(|id| (id, self.delivered[&id].clone()))
-                        .collect();
+                    let set: AcsOutput =
+                        accepted.into_iter().map(|id| (id, self.delivered[&id].clone())).collect();
                     self.output = Some(set);
                     changed = true;
                 }

@@ -45,6 +45,7 @@
 //! ```
 
 use bft_coin::CoinScheme;
+use bft_obs::{Event as ObsEvent, Obs};
 use bft_types::{Config, Effect, NodeId, Process, Round, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -121,6 +122,7 @@ pub struct BenOrProcess<C> {
     halted: bool,
     max_rounds: u64,
     msgs: BTreeMap<Round, RoundMsgs>,
+    obs: Obs,
 }
 
 impl<C: CoinScheme> BenOrProcess<C> {
@@ -141,7 +143,15 @@ impl<C: CoinScheme> BenOrProcess<C> {
             halted: false,
             max_rounds,
             msgs: BTreeMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observer; the node emits round/coin/decision events
+    /// through it.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The decided value, once any.
@@ -178,8 +188,7 @@ impl<C: CoinScheme> BenOrProcess<C> {
                         counts[v.index()] += 1;
                     }
                     let threshold = self.super_majority();
-                    let proposal =
-                        Value::BOTH.into_iter().find(|v| counts[v.index()] >= threshold);
+                    let proposal = Value::BOTH.into_iter().find(|v| counts[v.index()] >= threshold);
                     self.phase = Phase::Proposal;
                     out.push(Effect::Broadcast {
                         msg: BenOrMessage::Proposal { round, value: proposal },
@@ -203,26 +212,37 @@ impl<C: CoinScheme> BenOrProcess<C> {
                         if self.decided.is_none() {
                             self.decided = Some(w);
                             self.decided_round = Some(round);
+                            self.obs.emit(self.me, || ObsEvent::Decided {
+                                round: round.get(),
+                                value: w,
+                            });
                             out.push(Effect::Output(w));
                         }
                     } else if c >= self.config.f() + 1 {
                         self.estimate = w;
                     } else {
                         self.estimate = self.coin.flip(round.get());
+                        let (value, scheme) = (self.estimate, self.coin.name());
+                        self.obs.emit(self.me, || ObsEvent::CoinFlipped {
+                            round: round.get(),
+                            value,
+                            scheme,
+                        });
                     }
                     // Termination gadget: participate two extra rounds
                     // after deciding so laggards can fill their quorums.
-                    let done = self
-                        .decided_round
-                        .map(|dr| round.get() >= dr.get() + 2)
-                        .unwrap_or(false);
+                    let done =
+                        self.decided_round.map(|dr| round.get() >= dr.get() + 2).unwrap_or(false);
                     if done || round.get() >= self.max_rounds {
                         self.halted = true;
                         out.push(Effect::Halt);
                         return;
                     }
+                    self.obs.emit(self.me, || ObsEvent::RoundCompleted { round: round.get() });
                     self.round = round.next();
                     self.phase = Phase::Report;
+                    let next = self.round.get();
+                    self.obs.emit(self.me, || ObsEvent::RoundStarted { round: next });
                     self.msgs.retain(|r, _| *r >= round); // GC old rounds
                     out.push(Effect::Broadcast {
                         msg: BenOrMessage::Report { round: self.round, value: self.estimate },
@@ -246,6 +266,8 @@ impl<C: CoinScheme> Process for BenOrProcess<C> {
             return Vec::new();
         }
         self.started = true;
+        let round = self.round.get();
+        self.obs.emit(self.me, || ObsEvent::RoundStarted { round });
         let mut out = vec![Effect::Broadcast {
             msg: BenOrMessage::Report { round: self.round, value: self.input },
         }];

@@ -134,8 +134,7 @@ impl<C: CoinScheme> CrashConsensus<C> {
                     for v in rm.reports.values().take(q) {
                         counts[v.index()] += 1;
                     }
-                    let proposal =
-                        Value::BOTH.into_iter().find(|v| counts[v.index()] >= majority);
+                    let proposal = Value::BOTH.into_iter().find(|v| counts[v.index()] >= majority);
                     self.phase = Phase::Proposal;
                     out.push(Effect::Broadcast {
                         msg: BenOrMessage::Proposal { round, value: proposal },
@@ -166,10 +165,8 @@ impl<C: CoinScheme> CrashConsensus<C> {
                     } else {
                         self.estimate = self.coin.flip(round.get());
                     }
-                    let done = self
-                        .decided_round
-                        .map(|dr| round.get() >= dr.get() + 2)
-                        .unwrap_or(false);
+                    let done =
+                        self.decided_round.map(|dr| round.get() >= dr.get() + 2).unwrap_or(false);
                     if done || round.get() >= self.max_rounds {
                         self.halted = true;
                         out.push(Effect::Halt);
@@ -291,8 +288,7 @@ mod tests {
     #[test]
     fn tolerates_minority_crashes() {
         for seed in 0..10 {
-            let inputs =
-                [Value::One, Value::Zero, Value::One, Value::Zero, Value::One];
+            let inputs = [Value::One, Value::Zero, Value::One, Value::Zero, Value::One];
             let report = run(5, 2, 2, &inputs, seed);
             assert!(report.all_correct_decided(), "seed {seed}");
             assert!(report.agreement_holds(), "seed {seed}");
@@ -321,8 +317,7 @@ mod tests {
     #[test]
     fn mixed_inputs_agree_with_crashes() {
         for seed in 0..10 {
-            let inputs: Vec<Value> =
-                (0..7).map(|i| Value::from_bool(i % 2 == 0)).collect();
+            let inputs: Vec<Value> = (0..7).map(|i| Value::from_bool(i % 2 == 0)).collect();
             let report = run(7, 3, 2, &inputs, seed);
             assert!(report.all_correct_decided(), "seed {seed}");
             assert!(report.agreement_holds(), "seed {seed}");

@@ -4,6 +4,7 @@
 use crate::validation::Validator;
 use crate::{StepPayload, StepTag, Wire};
 use bft_coin::CoinScheme;
+use bft_obs::{Event as ObsEvent, Obs};
 use bft_rbc::{RbcMux, RbcMuxAction};
 use bft_types::{Config, NodeId, Round, Step, Value};
 
@@ -68,6 +69,7 @@ pub struct BrachaNode<C> {
     decided: Option<Value>,
     decided_round: Option<Round>,
     halted: bool,
+    obs: Obs,
 }
 
 impl<C: CoinScheme> BrachaNode<C> {
@@ -87,7 +89,17 @@ impl<C: CoinScheme> BrachaNode<C> {
             decided: None,
             decided_round: None,
             halted: false,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observer; the node (and its RBC layer) emits
+    /// consensus-level events through it. Attach before [`start`]
+    /// (`BrachaNode::start`) so the whole run is covered.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.rbc.set_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// This node's identifier.
@@ -152,6 +164,9 @@ impl<C: CoinScheme> BrachaNode<C> {
         }
         self.started = true;
         self.estimate = input;
+        let round = self.round.get();
+        self.obs.emit(self.me, || ObsEvent::RoundStarted { round });
+        self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Initial });
         let mut out = Vec::new();
         self.broadcast_current(StepPayload::Initial(input), &mut out);
         self.try_advance(&mut out);
@@ -172,14 +187,38 @@ impl<C: CoinScheme> BrachaNode<C> {
                     // step contradicts the instance tag; reject it here so
                     // the validator's bookkeeping stays per-(round, step).
                     if payload.step() != tag.step {
+                        self.obs.emit(self.me, || ObsEvent::MessageRejected {
+                            origin: sender,
+                            round: tag.round.get(),
+                            reason: "payload step contradicts instance tag",
+                        });
                         continue;
                     }
-                    let _ = self.validator.ingest(tag.round, sender, payload);
+                    self.ingest_observed(tag.round, sender, payload);
                 }
             }
         }
         self.try_advance(&mut out);
         out
+    }
+
+    /// Feeds a reliably-delivered payload to the validator and reports
+    /// every message the validator newly accepted (a late arrival can
+    /// unlock earlier buffered payloads, so one ingest may validate many).
+    fn ingest_observed(&mut self, round: Round, from: NodeId, payload: StepPayload) {
+        let newly = self.validator.ingest(round, from, payload);
+        if self.obs.enabled() {
+            for v in &newly {
+                let (origin, round, payload) = (v.from, v.round.get(), v.payload);
+                self.obs.emit(self.me, || ObsEvent::MessageValidated {
+                    origin,
+                    round,
+                    step: payload.step(),
+                    value: payload.value(),
+                    flagged: payload.is_flagged(),
+                });
+            }
+        }
     }
 
     /// Reliably broadcasts our payload for the current `(round, step)`.
@@ -189,7 +228,7 @@ impl<C: CoinScheme> BrachaNode<C> {
             match action {
                 RbcMuxAction::Broadcast(wire) => out.push(Transition::Broadcast(wire)),
                 RbcMuxAction::Deliver { sender, tag, payload } => {
-                    let _ = self.validator.ingest(tag.round, sender, payload);
+                    self.ingest_observed(tag.round, sender, payload);
                 }
             }
         }
@@ -207,11 +246,15 @@ impl<C: CoinScheme> BrachaNode<C> {
             if msgs.len() < q {
                 return;
             }
+            let round = self.round.get();
+            let (step, support) = (self.step, msgs.len() as u64);
+            self.obs.emit(self.me, || ObsEvent::QuorumReached { round, step, support });
             let quorum: Vec<StepPayload> = msgs[..q].iter().map(|&(_, p)| p).collect();
             match self.step {
                 Step::Initial => {
                     self.estimate = weak_majority(&quorum, self.estimate);
                     self.step = Step::Echo;
+                    self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Echo });
                     self.broadcast_current(StepPayload::Echo(self.estimate), out);
                 }
                 Step::Echo => {
@@ -220,8 +263,15 @@ impl<C: CoinScheme> BrachaNode<C> {
                     let flagged = Value::BOTH.into_iter().find(|v| counts[v.index()] >= m);
                     if let Some(w) = flagged {
                         self.estimate = w;
+                        let support = counts[w.index()] as u64;
+                        self.obs.emit(self.me, || ObsEvent::ValueLocked {
+                            round,
+                            value: w,
+                            support,
+                        });
                     }
                     self.step = Step::Ready;
+                    self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Ready });
                     self.broadcast_current(
                         StepPayload::Ready { value: self.estimate, flagged: flagged.is_some() },
                         out,
@@ -243,12 +293,21 @@ impl<C: CoinScheme> BrachaNode<C> {
                         if self.decided.is_none() {
                             self.decided = Some(w);
                             self.decided_round = Some(self.round);
+                            self.obs.emit(self.me, || ObsEvent::Decided { round, value: w });
                             out.push(Transition::Decide(w));
                         }
                     } else if d >= f + 1 {
                         self.estimate = w;
+                        self.obs.emit(self.me, || ObsEvent::ValueLocked {
+                            round,
+                            value: w,
+                            support: d as u64,
+                        });
                     } else {
                         self.estimate = self.coin.flip(self.round.get());
+                        let value = self.estimate;
+                        let scheme = self.coin.name();
+                        self.obs.emit(self.me, || ObsEvent::CoinFlipped { round, value, scheme });
                     }
                     if !self.enter_next_round(out) {
                         return;
@@ -260,6 +319,8 @@ impl<C: CoinScheme> BrachaNode<C> {
 
     /// Moves to the next round (or halts). Returns false when halted.
     fn enter_next_round(&mut self, out: &mut Vec<Transition>) -> bool {
+        let completed = self.round.get();
+        self.obs.emit(self.me, || ObsEvent::RoundCompleted { round: completed });
         let done_participating = self
             .decided_round
             .map(|dr| self.round.get() >= dr.get() + self.options.extra_rounds)
@@ -272,6 +333,9 @@ impl<C: CoinScheme> BrachaNode<C> {
         }
         self.round = self.round.next();
         self.step = Step::Initial;
+        let round = self.round.get();
+        self.obs.emit(self.me, || ObsEvent::RoundStarted { round });
+        self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Initial });
         if self.options.prune {
             if let Some(keep_from) = self.round.get().checked_sub(2) {
                 if keep_from >= 1 {
@@ -325,7 +389,12 @@ mod tests {
     }
 
     fn node(i: usize) -> BrachaNode<FixedCoin> {
-        BrachaNode::new(cfg(), NodeId::new(i), FixedCoin::new(Value::Zero), BrachaOptions::default())
+        BrachaNode::new(
+            cfg(),
+            NodeId::new(i),
+            FixedCoin::new(Value::Zero),
+            BrachaOptions::default(),
+        )
     }
 
     /// Starts every node with its input and returns the queued broadcasts
@@ -389,8 +458,7 @@ mod tests {
     #[test]
     fn mixed_inputs_agree() {
         let mut nodes: Vec<_> = (0..4).map(node).collect();
-        let queue =
-            start_all(&mut nodes, &[Value::Zero, Value::Zero, Value::One, Value::One]);
+        let queue = start_all(&mut nodes, &[Value::Zero, Value::Zero, Value::One, Value::One]);
         let decisions = pump(&mut nodes, queue);
         let first = decisions[0].expect("all must decide");
         assert!(decisions.iter().all(|d| *d == Some(first)));
@@ -453,8 +521,7 @@ mod tests {
         let mut nodes: Vec<_> = (0..4)
             .map(|i| BrachaNode::new(cfg(), NodeId::new(i), FixedCoin::new(Value::Zero), opts))
             .collect();
-        let queue =
-            start_all(&mut nodes, &[Value::Zero, Value::Zero, Value::One, Value::One]);
+        let queue = start_all(&mut nodes, &[Value::Zero, Value::Zero, Value::One, Value::One]);
         let _ = pump(&mut nodes, queue);
         for n in &nodes {
             assert!(n.is_halted(), "valve must halt node {}", n.me());

@@ -31,6 +31,13 @@ impl<C: CoinScheme> BrachaProcess<C> {
         &self.node
     }
 
+    /// Attaches an observer to the wrapped node (see
+    /// [`BrachaNode::with_obs`]).
+    pub fn with_obs(mut self, obs: bft_obs::Obs) -> Self {
+        self.node = self.node.with_obs(obs);
+        self
+    }
+
     fn lift(transitions: Vec<Transition>) -> Vec<Effect<Wire, Value>> {
         transitions
             .into_iter()
@@ -71,10 +78,7 @@ impl<C: CoinScheme> Process for BrachaProcess<C> {
         // Report the decision round once decided (the node keeps
         // participating for `extra_rounds` afterwards, which is transport
         // bookkeeping, not protocol latency).
-        self.node
-            .decided_round()
-            .map(|r| r.get())
-            .unwrap_or_else(|| self.node.round().get())
+        self.node.decided_round().map(|r| r.get()).unwrap_or_else(|| self.node.round().get())
     }
 }
 

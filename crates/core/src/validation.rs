@@ -139,19 +139,13 @@ impl Validator {
 
     /// The validated messages of `(round, step)`, in validation order.
     pub fn validated(&self, round: Round, step: Step) -> &[(NodeId, StepPayload)] {
-        self.rounds
-            .get(&round)
-            .map(|r| r.validated[step.index()].as_slice())
-            .unwrap_or(&[])
+        self.rounds.get(&round).map(|r| r.validated[step.index()].as_slice()).unwrap_or(&[])
     }
 
     /// Number of payloads currently buffered as delivered-but-not-legal in
     /// `round` (all steps). Diagnostic hook for experiments.
     pub fn pending_count(&self, round: Round) -> usize {
-        self.rounds
-            .get(&round)
-            .map(|r| r.pending.iter().map(Vec::len).sum())
-            .unwrap_or(0)
+        self.rounds.get(&round).map(|r| r.pending.iter().map(Vec::len).sum()).unwrap_or(0)
     }
 
     /// Ingests a reliably-delivered payload from `from` for `round`.
@@ -493,8 +487,7 @@ mod tests {
             let _ = val.ingest(R1, nid(i), StepPayload::Echo(Value::One));
         }
         for i in 0..3 {
-            let _ =
-                val.ingest(R1, nid(i), StepPayload::Ready { value: Value::One, flagged: true });
+            let _ = val.ingest(R1, nid(i), StepPayload::Ready { value: Value::One, flagged: true });
         }
         assert_eq!(
             val.ingest(r2(), nid(0), StepPayload::Initial(Value::One)).len(),
@@ -546,8 +539,7 @@ mod tests {
         }
         let _ = val.ingest(R1, nid(0), StepPayload::Ready { value: Value::One, flagged: true });
         let _ = val.ingest(R1, nid(1), StepPayload::Ready { value: Value::One, flagged: true });
-        let newly =
-            val.ingest(R1, nid(2), StepPayload::Ready { value: Value::One, flagged: true });
+        let newly = val.ingest(R1, nid(2), StepPayload::Ready { value: Value::One, flagged: true });
         // The third D-ready validates AND unlocks both round-2 initials.
         assert_eq!(newly.len(), 3);
         assert_eq!(val.validated(r2, Step::Initial).len(), 2);

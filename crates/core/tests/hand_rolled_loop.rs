@@ -18,57 +18,69 @@ type EventHeap = BinaryHeap<HeapEntry>;
 
 #[test]
 fn clusters_decide_under_hand_rolled_loop() {
-  for (n, seed) in [(4usize, 0u64), (5, 1), (6, 0), (6, 7), (7, 2), (9, 3), (10, 4)] {
-    let cfg = Config::max_resilience(n).unwrap();
-    let mut procs: Vec<BrachaProcess<LocalCoin>> = cfg
-        .nodes()
-        .map(|id| {
-            let input = if id.index() < n / 2 { Value::One } else { Value::Zero };
-            BrachaProcess::new(cfg, id, input, LocalCoin::new(seed, id), BrachaOptions::default())
-        })
-        .collect();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut heap: EventHeap = BinaryHeap::new();
-    let mut payloads: std::collections::HashMap<u64, Wire> = std::collections::HashMap::new();
-    let mut seq = 0u64;
-    let mut link_clock = vec![0u64; n * n];
-    #[allow(clippy::too_many_arguments)]
-    fn push(n: usize, from: usize, effects: Vec<bft_types::Effect<Wire, Value>>, now: u64,
+    for (n, seed) in [(4usize, 0u64), (5, 1), (6, 0), (6, 7), (7, 2), (9, 3), (10, 4)] {
+        let cfg = Config::max_resilience(n).unwrap();
+        let mut procs: Vec<BrachaProcess<LocalCoin>> = cfg
+            .nodes()
+            .map(|id| {
+                let input = if id.index() < n / 2 { Value::One } else { Value::Zero };
+                BrachaProcess::new(
+                    cfg,
+                    id,
+                    input,
+                    LocalCoin::new(seed, id),
+                    BrachaOptions::default(),
+                )
+            })
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut heap: EventHeap = BinaryHeap::new();
+        let mut payloads: std::collections::HashMap<u64, Wire> = std::collections::HashMap::new();
+        let mut seq = 0u64;
+        let mut link_clock = vec![0u64; n * n];
+        #[allow(clippy::too_many_arguments)]
+        fn push(
+            n: usize,
+            from: usize,
+            effects: Vec<bft_types::Effect<Wire, Value>>,
+            now: u64,
             heap: &mut EventHeap,
             payloads: &mut std::collections::HashMap<u64, Wire>,
-            rng: &mut ChaCha8Rng, seq: &mut u64, link_clock: &mut [u64]) {
-        for e in effects {
-            if let bft_types::Effect::Broadcast { msg } = e {
-                for to in 0..n {
-                    let d: u64 = rng.gen_range(1..=20);
-                    let at = (now + d).max(link_clock[from * n + to]);
-                    link_clock[from * n + to] = at;
-                    *seq += 1;
-                    payloads.insert(*seq, msg.clone());
-                    heap.push((Reverse((at, *seq)), from, to));
+            rng: &mut ChaCha8Rng,
+            seq: &mut u64,
+            link_clock: &mut [u64],
+        ) {
+            for e in effects {
+                if let bft_types::Effect::Broadcast { msg } = e {
+                    for to in 0..n {
+                        let d: u64 = rng.gen_range(1..=20);
+                        let at = (now + d).max(link_clock[from * n + to]);
+                        link_clock[from * n + to] = at;
+                        *seq += 1;
+                        payloads.insert(*seq, msg.clone());
+                        heap.push((Reverse((at, *seq)), from, to));
+                    }
                 }
             }
         }
+        for (i, proc_) in procs.iter_mut().enumerate() {
+            let effs = proc_.on_start();
+            push(n, i, effs, 0, &mut heap, &mut payloads, &mut rng, &mut seq, &mut link_clock);
+        }
+        while let Some((Reverse((t, s)), from, to)) = heap.pop() {
+            let msg = payloads.remove(&s).unwrap();
+            let effs = procs[to].on_message(NodeId::new(from), msg);
+            push(n, to, effs, t, &mut heap, &mut payloads, &mut rng, &mut seq, &mut link_clock);
+            if procs.iter().all(|p| p.output().is_some()) {
+                break;
+            }
+        }
+        let decisions: Vec<Option<Value>> = procs.iter().map(|p| p.output()).collect();
+        assert!(decisions.iter().all(|d| d.is_some()), "n={n} seed={seed}: stalled: {decisions:?}");
+        let first = decisions[0];
+        assert!(
+            decisions.iter().all(|d| *d == first),
+            "n={n} seed={seed}: disagreement: {decisions:?}"
+        );
     }
-    for (i, proc_) in procs.iter_mut().enumerate() {
-        let effs = proc_.on_start();
-        push(n, i, effs, 0, &mut heap, &mut payloads, &mut rng, &mut seq, &mut link_clock);
-    }
-    while let Some((Reverse((t, s)), from, to)) = heap.pop() {
-        let msg = payloads.remove(&s).unwrap();
-        let effs = procs[to].on_message(NodeId::new(from), msg);
-        push(n, to, effs, t, &mut heap, &mut payloads, &mut rng, &mut seq, &mut link_clock);
-        if procs.iter().all(|p| p.output().is_some()) { break; }
-    }
-    let decisions: Vec<Option<Value>> = procs.iter().map(|p| p.output()).collect();
-    assert!(
-        decisions.iter().all(|d| d.is_some()),
-        "n={n} seed={seed}: stalled: {decisions:?}"
-    );
-    let first = decisions[0];
-    assert!(
-        decisions.iter().all(|d| *d == first),
-        "n={n} seed={seed}: disagreement: {decisions:?}"
-    );
-  }
 }

@@ -1,0 +1,324 @@
+//! The protocol event taxonomy.
+
+use crate::json::JsonValue;
+use bft_types::{NodeId, Step, Value};
+use std::fmt;
+
+/// The reliable-broadcast phase of one instance at one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RbcPhase {
+    /// The instance has seen the designated sender's `Send`.
+    Send,
+    /// The node has broadcast its `Echo`.
+    Echo,
+    /// The node has broadcast its `Ready` (echo quorum or amplification).
+    Ready,
+}
+
+impl RbcPhase {
+    /// A stable lower-case label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RbcPhase::Send => "send",
+            RbcPhase::Echo => "echo",
+            RbcPhase::Ready => "ready",
+        }
+    }
+}
+
+impl fmt::Display for RbcPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One protocol-level event, as observed at a single node.
+///
+/// Events fall into three layers:
+///
+/// * **Transport** — emitted by the hosts (`bft-sim::World`,
+///   `bft-runtime::Runtime`): message send/delivery/drop, queue depth
+///   samples, node halts.
+/// * **Reliable broadcast** — emitted by `bft-rbc` instances: phase
+///   transitions, echo/ready quorums, RBC delivery. The instance tag is
+///   `Debug`-formatted by the generic multiplexer.
+/// * **Consensus** — emitted by the protocol state machines (`bracha`
+///   engine and baselines): round/step structure, validation verdicts,
+///   coin flips, locks and decisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A message was enqueued for delivery to `to`.
+    MessageSent {
+        /// Destination node.
+        to: NodeId,
+        /// Classifier kind label (`"msg"` when no classifier is installed).
+        kind: &'static str,
+        /// Approximate serialized bytes (0 when unclassified).
+        bytes: u64,
+    },
+    /// A message from `from` was delivered to the observing node.
+    MessageDelivered {
+        /// Sending node.
+        from: NodeId,
+        /// Classifier kind label (`"msg"` when no classifier is installed).
+        kind: &'static str,
+    },
+    /// A message from `from` was dropped (destination already halted).
+    MessageDropped {
+        /// Sending node.
+        from: NodeId,
+    },
+    /// A periodic sample of the host's pending-delivery queue depth.
+    QueueDepth {
+        /// Messages currently in flight.
+        depth: u64,
+    },
+    /// The observing node stopped participating.
+    NodeHalted,
+
+    /// An RBC instance entered a phase at the observing node.
+    RbcPhaseEntered {
+        /// Designated sender of the instance.
+        origin: NodeId,
+        /// `Debug`-formatted instance tag.
+        tag: String,
+        /// The phase entered.
+        phase: RbcPhase,
+    },
+    /// An RBC quorum was reached at the observing node.
+    RbcQuorumReached {
+        /// Designated sender of the instance.
+        origin: NodeId,
+        /// `Debug`-formatted instance tag.
+        tag: String,
+        /// Which quorum: `Echo` (echo threshold) or `Ready`
+        /// (`f + 1` amplification).
+        phase: RbcPhase,
+        /// Number of distinct supporters counted.
+        support: u64,
+    },
+    /// An RBC instance reliably delivered its payload (`2f + 1` Readys).
+    RbcDelivered {
+        /// Designated sender of the instance.
+        origin: NodeId,
+        /// `Debug`-formatted instance tag.
+        tag: String,
+        /// Number of distinct Ready supporters at delivery.
+        support: u64,
+    },
+
+    /// The observing node started a consensus round.
+    RoundStarted {
+        /// The 1-based round number.
+        round: u64,
+    },
+    /// The observing node finished a consensus round.
+    RoundCompleted {
+        /// The 1-based round number.
+        round: u64,
+    },
+    /// The observing node entered a step of the current round.
+    StepEntered {
+        /// The 1-based round number.
+        round: u64,
+        /// The step entered.
+        step: Step,
+    },
+    /// The observing node collected its `n − f` quorum for a step.
+    QuorumReached {
+        /// The 1-based round number.
+        round: u64,
+        /// The step whose quorum filled.
+        step: Step,
+        /// Validated messages available when the quorum filled.
+        support: u64,
+    },
+    /// A reliably-delivered payload passed Bracha validation.
+    MessageValidated {
+        /// The originating node (RBC designated sender).
+        origin: NodeId,
+        /// The 1-based round number.
+        round: u64,
+        /// The payload's step.
+        step: Step,
+        /// The carried value.
+        value: Value,
+        /// Whether the payload was a D-flagged Ready.
+        flagged: bool,
+    },
+    /// A delivered payload was rejected before validation bookkeeping.
+    MessageRejected {
+        /// The originating node.
+        origin: NodeId,
+        /// The 1-based round number.
+        round: u64,
+        /// Why the payload was rejected.
+        reason: &'static str,
+    },
+    /// The observing node flipped its coin at the end of a round.
+    CoinFlipped {
+        /// The 1-based round number.
+        round: u64,
+        /// The flip outcome adopted as the next estimate.
+        value: Value,
+        /// The coin scheme label (e.g. `"local"`, `"common"`).
+        scheme: &'static str,
+    },
+    /// The observing node locked a value (D-flag in the Echo step, or an
+    /// `f + 1` Ready adoption).
+    ValueLocked {
+        /// The 1-based round number.
+        round: u64,
+        /// The locked value.
+        value: Value,
+        /// Supporting message count behind the lock.
+        support: u64,
+    },
+    /// The observing node decided. Emitted at most once per node.
+    Decided {
+        /// The decision round.
+        round: u64,
+        /// The decided value.
+        value: Value,
+    },
+}
+
+impl Event {
+    /// A stable snake_case name for the event variant (the `ev` field of
+    /// the JSONL schema).
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Event::MessageSent { .. } => "message_sent",
+            Event::MessageDelivered { .. } => "message_delivered",
+            Event::MessageDropped { .. } => "message_dropped",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::NodeHalted => "node_halted",
+            Event::RbcPhaseEntered { .. } => "rbc_phase_entered",
+            Event::RbcQuorumReached { .. } => "rbc_quorum_reached",
+            Event::RbcDelivered { .. } => "rbc_delivered",
+            Event::RoundStarted { .. } => "round_started",
+            Event::RoundCompleted { .. } => "round_completed",
+            Event::StepEntered { .. } => "step_entered",
+            Event::QuorumReached { .. } => "quorum_reached",
+            Event::MessageValidated { .. } => "message_validated",
+            Event::MessageRejected { .. } => "message_rejected",
+            Event::CoinFlipped { .. } => "coin_flipped",
+            Event::ValueLocked { .. } => "value_locked",
+            Event::Decided { .. } => "decided",
+        }
+    }
+
+    /// Serializes the event (with its timestamp and observing node) as one
+    /// JSON object — the JSONL exporter's line format.
+    pub fn to_json(&self, at: u64, node: NodeId) -> JsonValue {
+        let mut obj = vec![
+            ("t".to_string(), JsonValue::U64(at)),
+            ("node".to_string(), JsonValue::U64(node.index() as u64)),
+            ("ev".to_string(), JsonValue::str(self.name())),
+        ];
+        let mut field = |k: &str, v: JsonValue| obj.push((k.to_string(), v));
+        match self {
+            Event::MessageSent { to, kind, bytes } => {
+                field("to", JsonValue::U64(to.index() as u64));
+                field("kind", JsonValue::str(*kind));
+                field("bytes", JsonValue::U64(*bytes));
+            }
+            Event::MessageDelivered { from, kind } => {
+                field("from", JsonValue::U64(from.index() as u64));
+                field("kind", JsonValue::str(*kind));
+            }
+            Event::MessageDropped { from } => {
+                field("from", JsonValue::U64(from.index() as u64));
+            }
+            Event::QueueDepth { depth } => field("depth", JsonValue::U64(*depth)),
+            Event::NodeHalted => {}
+            Event::RbcPhaseEntered { origin, tag, phase } => {
+                field("origin", JsonValue::U64(origin.index() as u64));
+                field("tag", JsonValue::str(tag));
+                field("phase", JsonValue::str(phase.label()));
+            }
+            Event::RbcQuorumReached { origin, tag, phase, support } => {
+                field("origin", JsonValue::U64(origin.index() as u64));
+                field("tag", JsonValue::str(tag));
+                field("phase", JsonValue::str(phase.label()));
+                field("support", JsonValue::U64(*support));
+            }
+            Event::RbcDelivered { origin, tag, support } => {
+                field("origin", JsonValue::U64(origin.index() as u64));
+                field("tag", JsonValue::str(tag));
+                field("support", JsonValue::U64(*support));
+            }
+            Event::RoundStarted { round } | Event::RoundCompleted { round } => {
+                field("round", JsonValue::U64(*round));
+            }
+            Event::StepEntered { round, step } => {
+                field("round", JsonValue::U64(*round));
+                field("step", JsonValue::str(step.to_string()));
+            }
+            Event::QuorumReached { round, step, support } => {
+                field("round", JsonValue::U64(*round));
+                field("step", JsonValue::str(step.to_string()));
+                field("support", JsonValue::U64(*support));
+            }
+            Event::MessageValidated { origin, round, step, value, flagged } => {
+                field("origin", JsonValue::U64(origin.index() as u64));
+                field("round", JsonValue::U64(*round));
+                field("step", JsonValue::str(step.to_string()));
+                field("value", JsonValue::U64(value.index() as u64));
+                field("flagged", JsonValue::Bool(*flagged));
+            }
+            Event::MessageRejected { origin, round, reason } => {
+                field("origin", JsonValue::U64(origin.index() as u64));
+                field("round", JsonValue::U64(*round));
+                field("reason", JsonValue::str(*reason));
+            }
+            Event::CoinFlipped { round, value, scheme } => {
+                field("round", JsonValue::U64(*round));
+                field("value", JsonValue::U64(value.index() as u64));
+                field("scheme", JsonValue::str(*scheme));
+            }
+            Event::ValueLocked { round, value, support } => {
+                field("round", JsonValue::U64(*round));
+                field("value", JsonValue::U64(value.index() as u64));
+                field("support", JsonValue::U64(*support));
+            }
+            Event::Decided { round, value } => {
+                field("round", JsonValue::U64(*round));
+                field("value", JsonValue::U64(value.index() as u64));
+            }
+        }
+        JsonValue::Obj(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let events = [
+            Event::MessageSent { to: NodeId::new(0), kind: "x", bytes: 1 },
+            Event::MessageDelivered { from: NodeId::new(0), kind: "x" },
+            Event::MessageDropped { from: NodeId::new(0) },
+            Event::QueueDepth { depth: 0 },
+            Event::NodeHalted,
+            Event::RoundStarted { round: 1 },
+            Event::RoundCompleted { round: 1 },
+            Event::StepEntered { round: 1, step: Step::Initial },
+            Event::QuorumReached { round: 1, step: Step::Initial, support: 3 },
+            Event::CoinFlipped { round: 1, value: Value::One, scheme: "local" },
+            Event::ValueLocked { round: 1, value: Value::One, support: 3 },
+            Event::Decided { round: 1, value: Value::One },
+        ];
+        let names: std::collections::HashSet<&str> = events.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), events.len());
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let e = Event::Decided { round: 3, value: Value::One };
+        let line = e.to_json(42, NodeId::new(2)).to_string();
+        assert_eq!(line, r#"{"t":42,"node":2,"ev":"decided","round":3,"value":1}"#);
+    }
+}

@@ -1,0 +1,196 @@
+//! Online checking of the consensus correctness properties.
+
+use crate::{Event, Sink};
+use bft_types::{NodeId, Step, Value};
+use std::collections::BTreeMap;
+
+/// Checks agreement, validity and per-node sanity **while the run
+/// executes**, from the event stream alone.
+///
+/// Checked online (each violation is recorded as a human-readable
+/// string):
+///
+/// * **Agreement** — no two `Decided` events carry different values.
+/// * **No double decide** — a node emits `Decided` at most once.
+/// * **Validity** — when constructed with [`expecting`](Self::expecting)
+///   (unanimous-input runs), every decision must equal the expected
+///   value.
+/// * **Consistent validation** — all observers that validate a payload
+///   keyed by `(origin, round, step)` must see the same
+///   `(value, flagged)` pair; reliable broadcast guarantees this, so a
+///   mismatch means equivocation leaked through.
+/// * **Round monotonicity** — each node's `RoundStarted` rounds strictly
+///   increase.
+///
+/// **Totality** needs the run's end: call [`finish`](Self::finish) with
+/// the correct nodes once the run stops.
+#[derive(Debug, Default)]
+pub struct InvariantSink {
+    expected: Option<Value>,
+    decided: BTreeMap<NodeId, Value>,
+    validated: BTreeMap<(NodeId, u64, Step), (Value, bool)>,
+    last_round: BTreeMap<NodeId, u64>,
+    violations: Vec<String>,
+}
+
+impl InvariantSink {
+    /// A checker with no validity expectation (mixed-input runs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A checker for a unanimous-input run: every decision must be
+    /// `expected`.
+    pub fn expecting(expected: Value) -> Self {
+        InvariantSink { expected: Some(expected), ..Self::default() }
+    }
+
+    /// Whether any invariant has been violated so far.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// The decisions observed so far.
+    pub fn decided(&self) -> &BTreeMap<NodeId, Value> {
+        &self.decided
+    }
+
+    /// Runs the end-of-run totality check: if any of `correct` decided,
+    /// all of them must have. Returns the violations accumulated over
+    /// the whole run (empty slice = all invariants hold).
+    pub fn finish(&mut self, correct: &[NodeId]) -> &[String] {
+        let any = correct.iter().any(|n| self.decided.contains_key(n));
+        if any {
+            for &node in correct {
+                if !self.decided.contains_key(&node) {
+                    self.violations
+                        .push(format!("totality: {node:?} is correct but never decided"));
+                }
+            }
+        }
+        &self.violations
+    }
+}
+
+impl Sink for InvariantSink {
+    fn on_event(&mut self, _at: u64, node: NodeId, event: &Event) {
+        match event {
+            Event::Decided { round, value } => {
+                if let Some(expected) = self.expected {
+                    if *value != expected {
+                        self.violations.push(format!(
+                            "validity: {node:?} decided {value:?} in round {round}, expected {expected:?}"
+                        ));
+                    }
+                }
+                if let Some((other, prior)) = self.decided.iter().find(|(_, v)| **v != *value) {
+                    self.violations.push(format!(
+                        "agreement: {node:?} decided {value:?} in round {round} but {other:?} decided {prior:?}"
+                    ));
+                }
+                if self.decided.insert(node, *value).is_some() {
+                    self.violations.push(format!("double decide: {node:?} decided twice"));
+                }
+            }
+            Event::MessageValidated { origin, round, step, value, flagged } => {
+                let key = (*origin, *round, *step);
+                let payload = (*value, *flagged);
+                match self.validated.get(&key) {
+                    Some(prior) if *prior != payload => {
+                        self.violations.push(format!(
+                            "equivocation: payload from {origin:?} in round {round} step {step} \
+                             validated as {payload:?} at {node:?} but as {prior:?} elsewhere"
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.validated.insert(key, payload);
+                    }
+                }
+            }
+            Event::RoundStarted { round } => {
+                if let Some(last) = self.last_round.get(&node) {
+                    if *round <= *last {
+                        self.violations.push(format!(
+                            "round order: {node:?} started round {round} after round {last}"
+                        ));
+                    }
+                }
+                self.last_round.insert(node, *round);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_is_ok() {
+        let mut sink = InvariantSink::expecting(Value::One);
+        for i in 0..4 {
+            let node = NodeId::new(i);
+            sink.on_event(0, node, &Event::RoundStarted { round: 1 });
+            sink.on_event(5, node, &Event::Decided { round: 1, value: Value::One });
+        }
+        let correct: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        assert!(sink.finish(&correct).is_empty());
+    }
+
+    #[test]
+    fn detects_disagreement() {
+        let mut sink = InvariantSink::new();
+        sink.on_event(1, NodeId::new(0), &Event::Decided { round: 1, value: Value::Zero });
+        sink.on_event(2, NodeId::new(1), &Event::Decided { round: 1, value: Value::One });
+        assert!(!sink.is_ok());
+        assert!(sink.violations()[0].starts_with("agreement"));
+    }
+
+    #[test]
+    fn detects_equivocating_validation() {
+        let mut sink = InvariantSink::new();
+        let seen = Event::MessageValidated {
+            origin: NodeId::new(3),
+            round: 1,
+            step: Step::Echo,
+            value: Value::Zero,
+            flagged: false,
+        };
+        let twisted = Event::MessageValidated {
+            origin: NodeId::new(3),
+            round: 1,
+            step: Step::Echo,
+            value: Value::One,
+            flagged: false,
+        };
+        sink.on_event(1, NodeId::new(0), &seen);
+        sink.on_event(2, NodeId::new(1), &twisted);
+        assert!(!sink.is_ok());
+        assert!(sink.violations()[0].starts_with("equivocation"));
+    }
+
+    #[test]
+    fn detects_totality_gap() {
+        let mut sink = InvariantSink::new();
+        sink.on_event(1, NodeId::new(0), &Event::Decided { round: 1, value: Value::One });
+        let correct: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let violations = sink.finish(&correct);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().all(|v| v.starts_with("totality")));
+    }
+
+    #[test]
+    fn detects_round_regression() {
+        let mut sink = InvariantSink::new();
+        sink.on_event(1, NodeId::new(0), &Event::RoundStarted { round: 2 });
+        sink.on_event(2, NodeId::new(0), &Event::RoundStarted { round: 2 });
+        assert!(!sink.is_ok());
+    }
+}

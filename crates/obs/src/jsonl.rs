@@ -1,0 +1,72 @@
+//! Streaming JSONL export: one JSON object per event.
+
+use crate::{Event, Sink};
+use bft_types::NodeId;
+use std::io::Write;
+
+/// Writes each event as one JSON object per line (JSON Lines) to any
+/// `io::Write`.
+///
+/// Line schema: `{"t":<u64>,"node":<u64>,"ev":"<name>",...}` — the
+/// variant-specific fields follow the three fixed keys; see
+/// [`Event::to_json`]. Write errors are counted, not propagated, so a
+/// full disk cannot crash an observed run.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, lines: 0, errors: 0 }
+    }
+
+    /// Lines successfully written.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Write errors swallowed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn on_event(&mut self, at: u64, node: NodeId, event: &Event) {
+        let line = event.to_json(at, node).to_string();
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::Value;
+
+    #[test]
+    fn writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_event(1, NodeId::new(0), &Event::RoundStarted { round: 1 });
+        sink.on_event(9, NodeId::new(2), &Event::Decided { round: 1, value: Value::Zero });
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(sink.errors(), 0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"t":1,"node":0,"ev":"round_started","round":1}"#);
+        assert_eq!(lines[1], r#"{"t":9,"node":2,"ev":"decided","round":1,"value":0}"#);
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-round / per-phase metrics aggregation.
+
+use crate::json::JsonValue;
+use crate::{Event, Sink};
+use bft_stats::{Histogram, Samples};
+use bft_types::{NodeId, Step};
+use std::collections::BTreeMap;
+
+/// Aggregates a run's event stream into per-round and per-phase
+/// statistics, built on `bft-stats`.
+///
+/// Tracked:
+///
+/// * decision latency ([`Samples`] of `Decided` timestamps) and decision
+///   rounds ([`Histogram`]);
+/// * per-round latency — for each round number, [`Samples`] of
+///   `RoundCompleted − RoundStarted` (or `Decided − RoundStarted`)
+///   across nodes;
+/// * message counts and bytes by classifier kind, plus delivered /
+///   dropped totals;
+/// * validated-message counts per step, rejection count, quorum count,
+///   coin flips, value locks;
+/// * maximum observed queue depth.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    decide_times: Samples,
+    decide_rounds: Histogram,
+    round_latency: BTreeMap<u64, Samples>,
+    open_rounds: BTreeMap<(NodeId, u64), u64>,
+    msgs_by_kind: BTreeMap<&'static str, (u64, u64)>,
+    delivered: u64,
+    dropped: u64,
+    validated_by_step: [u64; 3],
+    rejected: u64,
+    quorums: u64,
+    coin_flips: u64,
+    locks: u64,
+    max_queue_depth: u64,
+    events_total: u64,
+}
+
+impl MetricsSink {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decision timestamps, one sample per decided node.
+    pub fn decide_times(&self) -> &Samples {
+        &self.decide_times
+    }
+
+    /// Decision rounds across nodes.
+    pub fn decide_rounds(&self) -> &Histogram {
+        &self.decide_rounds
+    }
+
+    /// Per-round latency samples (round number → durations across nodes).
+    pub fn round_latency(&self) -> &BTreeMap<u64, Samples> {
+        &self.round_latency
+    }
+
+    /// Message count and byte totals keyed by classifier kind.
+    pub fn msgs_by_kind(&self) -> &BTreeMap<&'static str, (u64, u64)> {
+        &self.msgs_by_kind
+    }
+
+    /// Messages delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped (halted destinations).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Validated-message counts indexed by [`Step::index`].
+    pub fn validated_by_step(&self) -> [u64; 3] {
+        self.validated_by_step
+    }
+
+    /// Payloads rejected before validation.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Step quorums observed.
+    pub fn quorums(&self) -> u64 {
+        self.quorums
+    }
+
+    /// Coin flips observed.
+    pub fn coin_flips(&self) -> u64 {
+        self.coin_flips
+    }
+
+    /// Value locks observed.
+    pub fn locks(&self) -> u64 {
+        self.locks
+    }
+
+    /// Highest queue-depth sample seen.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth
+    }
+
+    /// Total events consumed.
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+
+    fn close_round(&mut self, at: u64, node: NodeId, round: u64) {
+        if let Some(start) = self.open_rounds.remove(&(node, round)) {
+            self.round_latency.entry(round).or_default().add(at.saturating_sub(start) as f64);
+        }
+    }
+
+    /// Serializes the aggregate as a JSON object (the per-config body of
+    /// the bench report).
+    pub fn to_json(&mut self) -> JsonValue {
+        let mut obj = Vec::new();
+        obj.push(("events_total".into(), JsonValue::U64(self.events_total)));
+
+        let mut latency = Vec::new();
+        if !self.decide_times.is_empty() {
+            latency.push(("mean".into(), JsonValue::F64(self.decide_times.mean())));
+            latency.push((
+                "p50".into(),
+                JsonValue::F64(self.decide_times.percentile(50.0).unwrap_or(0.0)),
+            ));
+            latency.push((
+                "p90".into(),
+                JsonValue::F64(self.decide_times.percentile(90.0).unwrap_or(0.0)),
+            ));
+            latency.push(("max".into(), JsonValue::F64(self.decide_times.max().unwrap_or(0.0))));
+        }
+        obj.push(("decision_latency".into(), JsonValue::Obj(latency)));
+
+        let rounds: Vec<JsonValue> = self
+            .decide_rounds
+            .iter()
+            .map(|(round, count)| {
+                JsonValue::Obj(vec![
+                    ("round".into(), JsonValue::U64(round)),
+                    ("nodes".into(), JsonValue::U64(count)),
+                ])
+            })
+            .collect();
+        obj.push(("decision_rounds".into(), JsonValue::Arr(rounds)));
+
+        let mut per_round = Vec::new();
+        let round_numbers: Vec<u64> = self.round_latency.keys().copied().collect();
+        for round in round_numbers {
+            let samples = self.round_latency.get_mut(&round).expect("key just listed");
+            per_round.push(JsonValue::Obj(vec![
+                ("round".into(), JsonValue::U64(round)),
+                ("nodes".into(), JsonValue::U64(samples.len() as u64)),
+                ("mean".into(), JsonValue::F64(samples.mean())),
+                ("p50".into(), JsonValue::F64(samples.percentile(50.0).unwrap_or(0.0))),
+                ("max".into(), JsonValue::F64(samples.max().unwrap_or(0.0))),
+            ]));
+        }
+        obj.push(("round_latency".into(), JsonValue::Arr(per_round)));
+
+        let kinds: Vec<JsonValue> = self
+            .msgs_by_kind
+            .iter()
+            .map(|(kind, (count, bytes))| {
+                JsonValue::Obj(vec![
+                    ("kind".into(), JsonValue::str(*kind)),
+                    ("count".into(), JsonValue::U64(*count)),
+                    ("bytes".into(), JsonValue::U64(*bytes)),
+                ])
+            })
+            .collect();
+        obj.push(("messages_by_kind".into(), JsonValue::Arr(kinds)));
+        obj.push(("delivered".into(), JsonValue::U64(self.delivered)));
+        obj.push(("dropped".into(), JsonValue::U64(self.dropped)));
+
+        let validated: Vec<JsonValue> = Step::ALL
+            .iter()
+            .map(|step| {
+                JsonValue::Obj(vec![
+                    ("step".into(), JsonValue::str(step.to_string())),
+                    ("count".into(), JsonValue::U64(self.validated_by_step[step.index()])),
+                ])
+            })
+            .collect();
+        obj.push(("validated_by_step".into(), JsonValue::Arr(validated)));
+        obj.push(("rejected".into(), JsonValue::U64(self.rejected)));
+        obj.push(("quorums".into(), JsonValue::U64(self.quorums)));
+        obj.push(("coin_flips".into(), JsonValue::U64(self.coin_flips)));
+        obj.push(("value_locks".into(), JsonValue::U64(self.locks)));
+        obj.push(("max_queue_depth".into(), JsonValue::U64(self.max_queue_depth)));
+        JsonValue::Obj(obj)
+    }
+}
+
+impl Sink for MetricsSink {
+    fn on_event(&mut self, at: u64, node: NodeId, event: &Event) {
+        self.events_total += 1;
+        match event {
+            Event::MessageSent { kind, bytes, .. } => {
+                let entry = self.msgs_by_kind.entry(kind).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += bytes;
+            }
+            Event::MessageDelivered { .. } => self.delivered += 1,
+            Event::MessageDropped { .. } => self.dropped += 1,
+            Event::QueueDepth { depth } => {
+                self.max_queue_depth = self.max_queue_depth.max(*depth);
+            }
+            Event::RoundStarted { round } => {
+                self.open_rounds.insert((node, *round), at);
+            }
+            Event::RoundCompleted { round } => self.close_round(at, node, *round),
+            Event::QuorumReached { .. } => self.quorums += 1,
+            Event::MessageValidated { step, .. } => {
+                self.validated_by_step[step.index()] += 1;
+            }
+            Event::MessageRejected { .. } => self.rejected += 1,
+            Event::CoinFlipped { .. } => self.coin_flips += 1,
+            Event::ValueLocked { .. } => self.locks += 1,
+            Event::Decided { round, .. } => {
+                self.decide_times.add(at as f64);
+                self.decide_rounds.add(*round);
+                self.close_round(at, node, *round);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::Value;
+
+    #[test]
+    fn aggregates_round_latency_and_decisions() {
+        let mut sink = MetricsSink::new();
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        sink.on_event(0, n0, &Event::RoundStarted { round: 1 });
+        sink.on_event(0, n1, &Event::RoundStarted { round: 1 });
+        sink.on_event(10, n0, &Event::Decided { round: 1, value: Value::One });
+        sink.on_event(14, n1, &Event::RoundCompleted { round: 1 });
+        assert_eq!(sink.decide_times().len(), 1);
+        assert_eq!(sink.decide_rounds().count(), 1);
+        let samples = &sink.round_latency()[&1];
+        assert_eq!(samples.len(), 2);
+        assert!((samples.mean() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_messages_by_kind() {
+        let mut sink = MetricsSink::new();
+        let n0 = NodeId::new(0);
+        sink.on_event(0, n0, &Event::MessageSent { to: n0, kind: "echo/echo", bytes: 16 });
+        sink.on_event(0, n0, &Event::MessageSent { to: n0, kind: "echo/echo", bytes: 16 });
+        sink.on_event(1, n0, &Event::MessageDelivered { from: n0, kind: "echo/echo" });
+        assert_eq!(sink.msgs_by_kind()["echo/echo"], (2, 32));
+        assert_eq!(sink.delivered(), 1);
+        let json = sink.to_json().to_string();
+        assert!(json.contains(r#""messages_by_kind":[{"kind":"echo/echo","count":2,"bytes":32}]"#));
+    }
+}

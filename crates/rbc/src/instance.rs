@@ -1,6 +1,7 @@
 //! A single reliable-broadcast instance.
 
 use crate::RbcMessage;
+use bft_obs::{Event as ObsEvent, Obs, RbcPhase};
 use bft_types::{Config, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -48,6 +49,10 @@ pub struct RbcInstance<P> {
     sent_ready: bool,
     started: bool,
     delivered: Option<P>,
+    obs: Obs,
+    /// `Debug`-rendered multiplexer tag carried on emitted events (empty
+    /// for untagged instances).
+    tag_label: String,
 }
 
 impl<P> RbcInstance<P>
@@ -68,7 +73,16 @@ where
             sent_ready: false,
             started: false,
             delivered: None,
+            obs: Obs::disabled(),
+            tag_label: String::new(),
         }
+    }
+
+    /// Attaches an observer; `tag_label` identifies this instance on the
+    /// emitted events (the multiplexer passes the `Debug`-rendered tag).
+    pub fn set_obs(&mut self, obs: Obs, tag_label: String) {
+        self.obs = obs;
+        self.tag_label = tag_label;
     }
 
     /// The designated sender of this instance.
@@ -105,6 +119,8 @@ where
                 // Only the designated sender's first Send triggers an Echo.
                 if from == self.sender && !self.sent_echo {
                     self.sent_echo = true;
+                    self.emit_phase(RbcPhase::Send);
+                    self.emit_phase(RbcPhase::Echo);
                     actions.push(RbcAction::Broadcast(RbcMessage::Echo(payload)));
                 }
             }
@@ -112,8 +128,9 @@ where
                 if self.echoed_peers.insert(from) {
                     let supporters = self.echoes.entry(payload.clone()).or_default();
                     supporters.insert(from);
-                    if supporters.len() >= self.config.echo_threshold() {
-                        self.maybe_send_ready(payload, &mut actions);
+                    let count = supporters.len();
+                    if count >= self.config.echo_threshold() {
+                        self.maybe_send_ready(payload, RbcPhase::Echo, count, &mut actions);
                     }
                 }
             }
@@ -123,10 +140,20 @@ where
                     supporters.insert(from);
                     let count = supporters.len();
                     if count >= self.config.ready_threshold() {
-                        self.maybe_send_ready(payload.clone(), &mut actions);
+                        self.maybe_send_ready(
+                            payload.clone(),
+                            RbcPhase::Ready,
+                            count,
+                            &mut actions,
+                        );
                     }
                     if count >= self.config.decide_threshold() && self.delivered.is_none() {
                         self.delivered = Some(payload.clone());
+                        self.obs.emit(self.me, || ObsEvent::RbcDelivered {
+                            origin: self.sender,
+                            tag: self.tag_label.clone(),
+                            support: count as u64,
+                        });
                         actions.push(RbcAction::Deliver(payload));
                     }
                 }
@@ -135,9 +162,33 @@ where
         actions
     }
 
-    fn maybe_send_ready(&mut self, payload: P, actions: &mut Vec<RbcAction<P>>) {
+    fn emit_phase(&self, phase: RbcPhase) {
+        self.obs.emit(self.me, || ObsEvent::RbcPhaseEntered {
+            origin: self.sender,
+            tag: self.tag_label.clone(),
+            phase,
+        });
+    }
+
+    /// Broadcasts our Ready once, on the first quorum that justifies it:
+    /// `via` records which quorum (echo threshold or `f + 1` Ready
+    /// amplification) and `support` its size.
+    fn maybe_send_ready(
+        &mut self,
+        payload: P,
+        via: RbcPhase,
+        support: usize,
+        actions: &mut Vec<RbcAction<P>>,
+    ) {
         if !self.sent_ready {
             self.sent_ready = true;
+            self.obs.emit(self.me, || ObsEvent::RbcQuorumReached {
+                origin: self.sender,
+                tag: self.tag_label.clone(),
+                phase: via,
+                support: support as u64,
+            });
+            self.emit_phase(RbcPhase::Ready);
             actions.push(RbcAction::Broadcast(RbcMessage::Ready(payload)));
         }
     }

@@ -6,6 +6,7 @@
 //! per protocol step and equivocation is structurally impossible.
 
 use crate::{RbcAction, RbcInstance, RbcMessage};
+use bft_obs::Obs;
 use bft_types::{Config, NodeId};
 use std::collections::HashMap;
 use std::fmt;
@@ -70,6 +71,7 @@ pub struct RbcMux<T, P> {
     config: Config,
     me: NodeId,
     instances: HashMap<(NodeId, T), RbcInstance<P>>,
+    obs: Obs,
 }
 
 impl<T, P> RbcMux<T, P>
@@ -79,7 +81,14 @@ where
 {
     /// Creates an empty multiplexer for node `me`.
     pub fn new(config: Config, me: NodeId) -> Self {
-        RbcMux { config, me, instances: HashMap::new() }
+        RbcMux { config, me, instances: HashMap::new(), obs: Obs::disabled() }
+    }
+
+    /// Attaches an observer. Instances created from here on emit RBC
+    /// events tagged with their `Debug`-rendered tag; attach before the
+    /// first message flows (existing instances are not retrofitted).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// This node's identifier.
@@ -95,9 +104,14 @@ where
     fn instance(&mut self, sender: NodeId, tag: T) -> &mut RbcInstance<P> {
         let config = self.config;
         let me = self.me;
-        self.instances
-            .entry((sender, tag))
-            .or_insert_with(|| RbcInstance::new(config, me, sender))
+        let obs = &self.obs;
+        self.instances.entry((sender, tag)).or_insert_with_key(|(sender, tag)| {
+            let mut inst = RbcInstance::new(config, me, *sender);
+            if obs.enabled() {
+                inst.set_obs(obs.clone(), format!("{tag:?}"));
+            }
+            inst
+        })
     }
 
     /// Starts reliably broadcasting `payload` under `tag`, with this node
@@ -145,11 +159,9 @@ where
         actions
             .into_iter()
             .map(|a| match a {
-                RbcAction::Broadcast(msg) => RbcMuxAction::Broadcast(RbcMuxMessage {
-                    sender,
-                    tag: tag.clone(),
-                    msg,
-                }),
+                RbcAction::Broadcast(msg) => {
+                    RbcMuxAction::Broadcast(RbcMuxMessage { sender, tag: tag.clone(), msg })
+                }
                 RbcAction::Deliver(payload) => {
                     RbcMuxAction::Deliver { sender, tag: tag.clone(), payload }
                 }
@@ -174,8 +186,7 @@ mod tests {
     /// simple synchronous message pump, and checks everyone delivers.
     #[test]
     fn four_muxes_deliver_the_senders_payload() {
-        let mut muxes: Vec<RbcMux<u8, &str>> =
-            (0..4).map(|i| RbcMux::new(cfg(), n(i))).collect();
+        let mut muxes: Vec<RbcMux<u8, &str>> = (0..4).map(|i| RbcMux::new(cfg(), n(i))).collect();
         let mut inbox: Vec<(NodeId, RbcMuxMessage<u8, &str>)> = Vec::new();
 
         fn dispatch(
@@ -235,14 +246,10 @@ mod tests {
     #[test]
     fn instances_are_isolated_by_sender() {
         let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
-        let _ = mux.on_message(
-            n(2),
-            RbcMuxMessage { sender: n(2), tag: 1, msg: RbcMessage::Ready("a") },
-        );
-        let _ = mux.on_message(
-            n(3),
-            RbcMuxMessage { sender: n(3), tag: 1, msg: RbcMessage::Ready("a") },
-        );
+        let _ = mux
+            .on_message(n(2), RbcMuxMessage { sender: n(2), tag: 1, msg: RbcMessage::Ready("a") });
+        let _ = mux
+            .on_message(n(3), RbcMuxMessage { sender: n(3), tag: 1, msg: RbcMessage::Ready("a") });
         // Two Readys but for *different* instances: no amplification.
         assert_eq!(mux.delivered(n(2), &1), None);
         assert_eq!(mux.delivered(n(3), &1), None);
@@ -252,10 +259,8 @@ mod tests {
     #[test]
     fn messages_for_out_of_range_senders_are_dropped() {
         let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
-        let acts = mux.on_message(
-            n(2),
-            RbcMuxMessage { sender: n(9), tag: 1, msg: RbcMessage::Ready("a") },
-        );
+        let acts = mux
+            .on_message(n(2), RbcMuxMessage { sender: n(9), tag: 1, msg: RbcMessage::Ready("a") });
         assert!(acts.is_empty());
         assert_eq!(mux.instance_count(), 0);
     }

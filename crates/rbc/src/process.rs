@@ -138,10 +138,7 @@ mod tests {
                 self.id
             }
             fn on_start(&mut self) -> Vec<Effect<Self::Msg, String>> {
-                vec![
-                    Effect::Broadcast { msg: RbcMessage::Send("m".to_string()) },
-                    Effect::Halt,
-                ]
+                vec![Effect::Broadcast { msg: RbcMessage::Send("m".to_string()) }, Effect::Halt]
             }
             fn on_message(&mut self, _f: NodeId, _m: Self::Msg) -> Vec<Effect<Self::Msg, String>> {
                 Vec::new()

@@ -93,8 +93,7 @@ where
                 if self.echoed_peers.insert(from) {
                     let supporters = self.echoes.entry(p.clone()).or_default();
                     supporters.insert(from);
-                    if supporters.len() >= self.config.echo_threshold()
-                        && self.delivered.is_none()
+                    if supporters.len() >= self.config.echo_threshold() && self.delivered.is_none()
                     {
                         self.delivered = Some(p.clone());
                         return vec![Effect::Output(p)];

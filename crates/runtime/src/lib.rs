@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use bft_obs::{Event as ObsEvent, Obs};
 use bft_types::{Effect, Envelope, NodeId, Process};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -124,6 +125,7 @@ pub struct Runtime<M, O> {
     procs: Vec<Option<(BoxedProcess<M, O>, bool)>>,
     timeout: Duration,
     jitter_us: u64,
+    obs: Obs,
 }
 
 impl<M, O> fmt::Debug for Runtime<M, O> {
@@ -150,7 +152,20 @@ where
             procs: (0..n).map(|_| None).collect(),
             timeout: Duration::from_secs(30),
             jitter_us: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observer; the runtime emits transport-level events
+    /// through it and keeps its clock at microseconds since run start.
+    ///
+    /// Install clones of the same `Obs` into the processes themselves for
+    /// protocol-level events. Sinks are locked per event across actor
+    /// threads, so event order is a valid interleaving, not a global
+    /// total order of the underlying actions.
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets the run timeout.
@@ -224,20 +239,24 @@ where
             .collect();
 
         let mut timed_out = false;
+        let obs = self.obs.clone();
         std::thread::scope(|scope| {
             for (idx, slot) in self.procs.iter_mut().enumerate() {
                 let (mut proc_, _) = slot.take().expect("slot populated");
                 let rx = receivers[idx].clone();
                 let senders = Arc::clone(&senders);
                 let outputs = Arc::clone(&outputs);
+                let obs = obs.clone();
                 scope.spawn(move || {
-                    actor_loop(&mut proc_, rx, &senders, &outputs, jitter_us);
+                    actor_loop(&mut proc_, rx, &senders, &outputs, jitter_us, &obs);
                 });
             }
 
             // Completion monitor: poll until all correct nodes decided or
-            // the timeout fires, then stop all actors.
+            // the timeout fires, then stop all actors. Each poll also
+            // advances the observer clock (µs since run start).
             loop {
+                obs.set_now(started.elapsed().as_micros() as u64);
                 {
                     let outs = outputs.lock();
                     if correct.iter().all(|id| outs.contains_key(id)) {
@@ -269,6 +288,7 @@ fn actor_loop<M, O>(
     senders: &[Sender<Ctrl<M>>],
     outputs: &Mutex<BTreeMap<NodeId, O>>,
     jitter_us: u64,
+    obs: &Obs,
 ) where
     M: Clone + fmt::Debug + Send + 'static,
     O: Clone + fmt::Debug + PartialEq + Send + 'static,
@@ -287,7 +307,7 @@ fn actor_loop<M, O>(
 
     let mut halted = false;
     let effects = proc_.on_start();
-    apply(me, effects, senders, outputs, &mut halted);
+    apply(me, effects, senders, outputs, &mut halted, obs);
 
     // One loop until Stop: while the protocol is live, deliveries are
     // processed; after it halts, deliveries are drained and ignored. The
@@ -299,11 +319,13 @@ fn actor_loop<M, O>(
         match rx.recv() {
             Ok(Ctrl::Deliver(env)) => {
                 if halted || proc_.is_halted() {
+                    obs.emit(me, || ObsEvent::MessageDropped { from: env.from });
                     continue;
                 }
                 jitter();
+                obs.emit(me, || ObsEvent::MessageDelivered { from: env.from, kind: "msg" });
                 let effects = proc_.on_message(env.from, env.msg);
-                apply(me, effects, senders, outputs, &mut halted);
+                apply(me, effects, senders, outputs, &mut halted, obs);
             }
             Ok(Ctrl::Stop) | Err(_) => break,
         }
@@ -316,6 +338,7 @@ fn apply<M, O>(
     senders: &[Sender<Ctrl<M>>],
     outputs: &Mutex<BTreeMap<NodeId, O>>,
     halted: &mut bool,
+    obs: &Obs,
 ) where
     M: Clone,
 {
@@ -323,22 +346,28 @@ fn apply<M, O>(
         match effect {
             Effect::Send { to, msg } => {
                 if let Some(tx) = senders.get(to.index()) {
+                    // The runtime has no classifier; sends are unkinded
+                    // and unsized on the event stream.
+                    obs.emit(me, || ObsEvent::MessageSent { to, kind: "msg", bytes: 0 });
                     let _ = tx.send(Ctrl::Deliver(Envelope { from: me, to, msg }));
                 }
             }
             Effect::Broadcast { msg } => {
                 for (i, tx) in senders.iter().enumerate() {
-                    let _ = tx.send(Ctrl::Deliver(Envelope {
-                        from: me,
-                        to: NodeId::new(i),
-                        msg: msg.clone(),
-                    }));
+                    let to = NodeId::new(i);
+                    obs.emit(me, || ObsEvent::MessageSent { to, kind: "msg", bytes: 0 });
+                    let _ = tx.send(Ctrl::Deliver(Envelope { from: me, to, msg: msg.clone() }));
                 }
             }
             Effect::Output(o) => {
                 outputs.lock().entry(me).or_insert(o);
             }
-            Effect::Halt => *halted = true,
+            Effect::Halt => {
+                if !*halted {
+                    *halted = true;
+                    obs.emit(me, || ObsEvent::NodeHalted);
+                }
+            }
         }
     }
 }

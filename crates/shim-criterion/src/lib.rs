@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Supports the API surface this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`). Instead of
+//! criterion's statistical machinery it runs each body a small fixed
+//! number of iterations and prints the mean wall-clock time — enough to
+//! spot order-of-magnitude regressions and to keep `cargo bench` /
+//! `cargo test --benches` compiling and running offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark case within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the body.
+pub struct Bencher {
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Runs `body` for the configured number of iterations, timing it.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // One warm-up, then timed iterations.
+        black_box(body());
+        let started = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        let mean = started.elapsed() / self.iterations.max(1);
+        print!(" {mean:?}/iter");
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iterations: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-case sample count (scaled down in this shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u32).clamp(1, 20);
+        self
+    }
+
+    /// Runs one benchmark case parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        print!("bench {}/{}:", self.name, id);
+        let mut bencher = Bencher { iterations: self.iterations };
+        body(&mut bencher, input);
+        println!();
+        self
+    }
+
+    /// Runs one unparameterized benchmark case.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("bench {}/{}:", self.name, id);
+        let mut bencher = Bencher { iterations: self.iterations };
+        body(&mut bencher);
+        println!();
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmark cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iterations: 10, _parent: self }
+    }
+
+    /// Runs one standalone benchmark case.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("bench {name}:");
+        let mut bencher = Bencher { iterations: 10 };
+        body(&mut bencher);
+        println!();
+        self
+    }
+}
+
+/// Declares a benchmark group: a function list runnable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+                b.iter(|| ran += n);
+            });
+            group.finish();
+        }
+        assert!(ran > 0);
+    }
+}

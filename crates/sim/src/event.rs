@@ -88,11 +88,8 @@ mod tests {
 
     #[test]
     fn trace_entry_displays() {
-        let t = TraceEntry {
-            time: SimTime::from_ticks(9),
-            at: NodeId::new(2),
-            what: "start".into(),
-        };
+        let t =
+            TraceEntry { time: SimTime::from_ticks(9), at: NodeId::new(2), what: "start".into() };
         assert_eq!(t.to_string(), "[t9] n2: start");
     }
 }

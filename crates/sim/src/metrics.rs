@@ -35,6 +35,8 @@ pub struct Metrics {
     pub by_kind: BTreeMap<&'static str, (u64, u64)>,
     /// Number of events processed (starts + deliveries).
     pub events: u64,
+    /// Messages still queued for delivery when the run stopped.
+    pub in_flight_at_stop: u64,
 }
 
 impl Metrics {
@@ -50,9 +52,27 @@ impl Metrics {
         }
     }
 
+    /// Records a message handed to its destination process.
+    pub(crate) fn record_delivery(&mut self) {
+        self.delivered += 1;
+    }
+
+    /// Records a message dropped because its destination had halted.
+    pub(crate) fn record_drop(&mut self) {
+        self.dropped_to_halted += 1;
+    }
+
     /// Messages sent by one node.
     pub fn sent_by(&self, id: NodeId) -> u64 {
         self.sent_by.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Message conservation: every message enqueued was either delivered,
+    /// dropped at a halted destination, or still in flight when the run
+    /// stopped. The simulator's accounting guarantees this identity; a
+    /// failure means a bookkeeping bug, not a protocol bug.
+    pub fn conserves(&self) -> bool {
+        self.sent == self.delivered + self.dropped_to_halted + self.in_flight_at_stop
     }
 }
 
@@ -74,5 +94,19 @@ mod tests {
         assert_eq!(m.bytes_sent, 24);
         assert_eq!(m.by_kind["echo"], (2, 20));
         assert_eq!(m.by_kind["ready"], (1, 4));
+    }
+
+    #[test]
+    fn conservation_accounts_for_every_send() {
+        let mut m = Metrics::default();
+        for _ in 0..5 {
+            m.record_send(NodeId::new(0), None);
+        }
+        m.record_delivery();
+        m.record_delivery();
+        m.record_drop();
+        assert!(!m.conserves(), "two sends unaccounted for");
+        m.in_flight_at_stop = 2;
+        assert!(m.conserves());
     }
 }

@@ -118,10 +118,7 @@ impl GeometricDelay {
     ///
     /// Panics if `p_per_mille` is 0 or greater than 1000, or `max` is 0.
     pub fn new(p_per_mille: u32, max: u64, seed: u64) -> Self {
-        assert!(
-            (1..=1000).contains(&p_per_mille),
-            "arrival probability must be in (0, 1]"
-        );
+        assert!((1..=1000).contains(&p_per_mille), "arrival probability must be in (0, 1]");
         assert!(max > 0, "max delay must be positive");
         GeometricDelay { p_per_mille, max, rng: ChaCha8Rng::seed_from_u64(seed ^ 0x6e0) }
     }
@@ -265,10 +262,7 @@ mod tests {
         assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 1), SimTime::ZERO), 1);
         assert_eq!(Scheduler::<u8>::delay(&mut s, &env(2, 3), SimTime::ZERO), 1);
         // cross-group, after heal
-        assert_eq!(
-            Scheduler::<u8>::delay(&mut s, &env(0, 3), SimTime::from_ticks(100)),
-            1
-        );
+        assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 3), SimTime::from_ticks(100)), 1);
     }
 
     #[test]

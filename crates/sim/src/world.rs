@@ -3,9 +3,14 @@
 use crate::event::{Event, EventKind};
 use crate::metrics::MsgClass;
 use crate::{Metrics, Report, Scheduler, SimTime, StopReason, TraceEntry};
+use bft_obs::{Event as ObsEvent, Obs};
 use bft_types::{Effect, Envelope, NodeId, Process};
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
+
+/// How often (in processed events) the world samples its pending-delivery
+/// queue depth into the observer stream.
+const QUEUE_DEPTH_SAMPLE_EVERY: u64 = 256;
 
 /// When the simulation considers itself done.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -97,6 +102,7 @@ pub struct World<M, O, S> {
     /// Last scheduled delivery time per directed link, to enforce FIFO.
     link_clock: Vec<SimTime>,
     classifier: Option<fn(&M) -> MsgClass>,
+    obs: Obs,
     metrics: Metrics,
     outputs: BTreeMap<NodeId, O>,
     output_times: BTreeMap<NodeId, SimTime>,
@@ -125,6 +131,7 @@ where
             seq: 0,
             link_clock: vec![SimTime::ZERO; n * n],
             classifier: None,
+            obs: Obs::disabled(),
             metrics: Metrics::default(),
             outputs: BTreeMap::new(),
             output_times: BTreeMap::new(),
@@ -168,6 +175,16 @@ where
         self.classifier = Some(classifier);
     }
 
+    /// Installs an observer; the world emits transport-level events
+    /// (sends, deliveries, drops, halts, queue-depth samples) through it
+    /// and keeps its clock synchronized with simulated time.
+    ///
+    /// The processes' own handles (clones of the same `Obs`) emit the
+    /// protocol-level events; the world only covers the transport layer.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     /// The ids of the correct (non-faulty) nodes.
     pub fn correct_nodes(&self) -> Vec<NodeId> {
         (0..self.config.n).filter(|&i| !self.faulty[i]).map(NodeId::new).collect()
@@ -193,13 +210,12 @@ where
                     }
                 }
                 Effect::Output(o) => {
-                    if let std::collections::btree_map::Entry::Vacant(e) = self.outputs.entry(from) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = self.outputs.entry(from)
+                    {
                         e.insert(o);
                         self.output_times.insert(from, self.now);
-                        let round = self.procs[from.index()]
-                            .as_ref()
-                            .map(|p| p.round())
-                            .unwrap_or(0);
+                        let round =
+                            self.procs[from.index()].as_ref().map(|p| p.round()).unwrap_or(0);
                         self.output_rounds.insert(from, round);
                         if self.config.capture_trace {
                             self.trace.push(TraceEntry {
@@ -210,10 +226,16 @@ where
                         }
                     }
                 }
-                Effect::Halt => {
-                    self.halted[from.index()] = true;
-                }
+                Effect::Halt => self.mark_halted(from),
             }
+        }
+    }
+
+    /// Marks a node halted, emitting `NodeHalted` on the transition.
+    fn mark_halted(&mut self, id: NodeId) {
+        if !self.halted[id.index()] {
+            self.halted[id.index()] = true;
+            self.obs.emit(id, || ObsEvent::NodeHalted);
         }
     }
 
@@ -221,6 +243,10 @@ where
         assert!(to.index() < self.config.n, "destination {to} out of range");
         let class = self.classify(&msg);
         self.metrics.record_send(from, class);
+        if self.obs.enabled() {
+            let (kind, bytes) = class.map_or(("msg", 0), |c| (c.kind, c.bytes as u64));
+            self.obs.emit(from, || ObsEvent::MessageSent { to, kind, bytes });
+        }
         let envelope = Envelope { from, to, msg };
         let delay = self.scheduler.delay(&envelope, self.now);
         let link = from.index() * self.config.n + to.index();
@@ -263,20 +289,31 @@ where
             if self.stop_satisfied() {
                 break StopReason::Completed;
             }
-            let Some(event) = self.queue.pop() else {
+            // Peek before popping: an event that would bust the budget
+            // stays in the queue and counts as in-flight, keeping the
+            // conservation identity `sent = delivered + dropped +
+            // in_flight_at_stop` exact.
+            let Some(next) = self.queue.peek() else {
                 break if self.stop_satisfied() {
                     StopReason::Completed
                 } else {
                     StopReason::QueueDrained
                 };
             };
-            if event.time > self.config.max_time
+            if next.time > self.config.max_time
                 || self.metrics.delivered >= self.config.max_delivered
             {
                 break StopReason::BudgetExhausted;
             }
+            let event = self.queue.pop().expect("peeked above");
             self.now = event.time;
+            self.obs.set_now(self.now.ticks());
             self.metrics.events += 1;
+            if self.obs.enabled() && self.metrics.events.is_multiple_of(QUEUE_DEPTH_SAMPLE_EVERY) {
+                let depth = self.queue.len() as u64;
+                // Host-level sample; the node field is 0 by convention.
+                self.obs.emit(NodeId::new(0), || ObsEvent::QueueDepth { depth });
+            }
             match event.kind {
                 EventKind::Start(id) => {
                     if self.halted[id.index()] {
@@ -293,16 +330,22 @@ where
                         self.procs[id.index()].as_mut().expect("slot populated").on_start();
                     self.apply_effects(id, effects);
                     if self.procs[id.index()].as_ref().expect("slot populated").is_halted() {
-                        self.halted[id.index()] = true;
+                        self.mark_halted(id);
                     }
                 }
                 EventKind::Deliver(envelope) => {
                     let to = envelope.to;
                     if self.halted[to.index()] {
-                        self.metrics.dropped_to_halted += 1;
+                        self.metrics.record_drop();
+                        self.obs.emit(to, || ObsEvent::MessageDropped { from: envelope.from });
                         continue;
                     }
-                    self.metrics.delivered += 1;
+                    self.metrics.record_delivery();
+                    if self.obs.enabled() {
+                        let kind = self.classify(&envelope.msg).map_or("msg", |c| c.kind);
+                        let from = envelope.from;
+                        self.obs.emit(to, || ObsEvent::MessageDelivered { from, kind });
+                    }
                     if self.config.capture_trace {
                         self.trace.push(TraceEntry {
                             time: self.now,
@@ -316,11 +359,13 @@ where
                         .on_message(envelope.from, envelope.msg);
                     self.apply_effects(to, effects);
                     if self.procs[to.index()].as_ref().expect("slot populated").is_halted() {
-                        self.halted[to.index()] = true;
+                        self.mark_halted(to);
                     }
                 }
             }
         };
+        self.metrics.in_flight_at_stop =
+            self.queue.iter().filter(|e| matches!(e.kind, EventKind::Deliver(_))).count() as u64;
 
         // Capture the final outputs/rounds even for processes that decided
         // without emitting Effect::Output (e.g. via their `output()` hook).
@@ -348,10 +393,7 @@ where
             output_rounds: self.output_rounds,
             max_round,
             metrics: self.metrics,
-            correct: (0..self.config.n)
-                .filter(|&i| !self.faulty[i])
-                .map(NodeId::new)
-                .collect(),
+            correct: (0..self.config.n).filter(|&i| !self.faulty[i]).map(NodeId::new).collect(),
             trace: self.trace,
         }
     }
@@ -629,8 +671,82 @@ mod tests {
     #[should_panic(expected = "already occupied")]
     fn duplicate_slot_panics() {
         let mut world: World<u8, u8, _> = World::new(WorldConfig::new(2), FixedDelay::new(1));
-        world.add_process(Box::new(FirstToken { id: NodeId::new(0), is_source: true, decided: None }));
-        world.add_process(Box::new(FirstToken { id: NodeId::new(0), is_source: true, decided: None }));
+        world.add_process(Box::new(FirstToken {
+            id: NodeId::new(0),
+            is_source: true,
+            decided: None,
+        }));
+        world.add_process(Box::new(FirstToken {
+            id: NodeId::new(0),
+            is_source: true,
+            decided: None,
+        }));
+    }
+
+    #[test]
+    fn conservation_holds_for_every_stop_reason() {
+        // Completed: everything sent was delivered or is still queued.
+        let report = token_world(5, FixedDelay::new(2)).run();
+        assert!(report.metrics.conserves(), "completed: {:?}", report.metrics);
+
+        // Queue drained: nothing left in flight.
+        let mut world = token_world(3, FixedDelay::new(1));
+        world.config = WorldConfig::new(3).stop_policy(StopPolicy::QueueDrain);
+        let report = world.run();
+        assert_eq!(report.metrics.in_flight_at_stop, 0);
+        assert!(report.metrics.conserves(), "drained: {:?}", report.metrics);
+
+        // Budget exhausted: the unpopped remainder counts as in-flight.
+        struct PingPong {
+            id: NodeId,
+        }
+        impl Process for PingPong {
+            type Msg = u8;
+            type Output = u8;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: NodeId::new(1 - self.id.index()), msg: 0 }]
+            }
+            fn on_message(&mut self, from: NodeId, m: u8) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: from, msg: m }]
+            }
+        }
+        let config = WorldConfig::new(2).max_delivered(100);
+        let mut world: World<u8, u8, _> = World::new(config, FixedDelay::new(1));
+        world.add_process(Box::new(PingPong { id: NodeId::new(0) }));
+        world.add_process(Box::new(PingPong { id: NodeId::new(1) }));
+        let report = world.run();
+        assert_eq!(report.stop, StopReason::BudgetExhausted);
+        assert_eq!(report.metrics.delivered, 100);
+        assert!(report.metrics.in_flight_at_stop > 0);
+        assert!(report.metrics.conserves(), "budget: {:?}", report.metrics);
+    }
+
+    #[test]
+    fn observer_sees_transport_events() {
+        use bft_obs::VecSink;
+
+        let (obs, sink) = bft_obs::Obs::new(VecSink::new());
+        let mut world = token_world(3, FixedDelay::new(2));
+        world.set_observer(obs);
+        let report = world.run();
+
+        let events = sink.lock().take();
+        let sends =
+            events.iter().filter(|(_, _, e)| matches!(e, ObsEvent::MessageSent { .. })).count()
+                as u64;
+        let delivered = events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, ObsEvent::MessageDelivered { .. }))
+            .count() as u64;
+        assert_eq!(sends, report.metrics.sent);
+        assert_eq!(delivered, report.metrics.delivered);
+        // Delivery timestamps carry the simulated clock.
+        assert!(events
+            .iter()
+            .any(|(at, _, e)| matches!(e, ObsEvent::MessageDelivered { .. }) && *at == 2));
     }
 
     #[test]

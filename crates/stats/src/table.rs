@@ -42,11 +42,7 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.header.len(),
-            "row width must match header width"
-        );
+        assert_eq!(cells.len(), self.header.len(), "row width must match header width");
         self.rows.push(cells);
         self
     }

@@ -1,7 +1,6 @@
 //! System parameters and quorum arithmetic.
 
 use crate::{ConfigError, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The `(n, f)` parameters of a Byzantine fault tolerant system, together
@@ -29,7 +28,7 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     n: usize,
     f: usize,
@@ -183,18 +182,12 @@ mod tests {
     #[test]
     fn rejects_zero_nodes() {
         assert!(matches!(Config::new(0, 0), Err(ConfigError::TooFewNodes { .. })));
-        assert!(matches!(
-            Config::max_resilience(0),
-            Err(ConfigError::TooFewNodes { .. })
-        ));
+        assert!(matches!(Config::max_resilience(0), Err(ConfigError::TooFewNodes { .. })));
     }
 
     #[test]
     fn rejects_insufficient_resilience() {
-        assert!(matches!(
-            Config::new(3, 1),
-            Err(ConfigError::ResilienceExceeded { .. })
-        ));
+        assert!(matches!(Config::new(3, 1), Err(ConfigError::ResilienceExceeded { .. })));
         assert!(Config::new(4, 1).is_ok());
         assert!(Config::new(6, 2).is_err());
         assert!(Config::new(7, 2).is_ok());

@@ -27,10 +27,9 @@ impl fmt::Display for ConfigError {
             ConfigError::TooFewNodes { n } => {
                 write!(f, "system must contain at least one node, got n = {n}")
             }
-            ConfigError::ResilienceExceeded { n, f: faults } => write!(
-                f,
-                "fault tolerance f = {faults} exceeds what n = {n} nodes support"
-            ),
+            ConfigError::ResilienceExceeded { n, f: faults } => {
+                write!(f, "fault tolerance f = {faults} exceeds what n = {n} nodes support")
+            }
         }
     }
 }

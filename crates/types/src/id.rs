@@ -1,6 +1,5 @@
 //! Process identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a process (node) in the system.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(a.index(), 3);
 /// assert_eq!(format!("{a}"), "n3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(usize);
 
 impl NodeId {

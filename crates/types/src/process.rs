@@ -141,8 +141,7 @@ pub trait Process {
 
     /// Invoked for each message delivered to this process. `from` is the
     /// authenticated sender.
-    fn on_message(&mut self, from: NodeId, msg: Self::Msg)
-        -> Vec<Effect<Self::Msg, Self::Output>>;
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg) -> Vec<Effect<Self::Msg, Self::Output>>;
 
     /// The most recent output of this process (e.g. its decision), if any.
     fn output(&self) -> Option<Self::Output> {

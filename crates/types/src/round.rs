@@ -1,6 +1,5 @@
 //! Round and step numbering for Bracha's consensus protocol.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A consensus round number, starting at 1.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert_eq!(r.next().prev(), Some(r));
 /// assert_eq!(r.prev(), None);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Round(u64);
 
 impl Round {
@@ -78,7 +77,7 @@ impl fmt::Debug for Round {
 /// Each round runs `Initial → Echo → Ready`; a process moves to the next
 /// step only after collecting a quorum (`n − f`) of *validated* messages of
 /// its current step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Step {
     /// Step 1: broadcast the current estimate.
     Initial,

@@ -1,6 +1,5 @@
 //! Binary consensus values.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Not;
 
@@ -22,7 +21,7 @@ use std::ops::Not;
 /// assert_eq!(Value::from_bit(1), Value::One);
 /// assert_eq!(Value::Zero.bit(), 0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// The value `0`.
     Zero,

@@ -31,19 +31,17 @@ fn run_once(coin: CoinChoice, seed: u64) -> (Value, u64, u64) {
 
     let decision = report.unanimous_output().expect("agreement + termination");
     assert_eq!(decision, Value::One, "validity: liars cannot flip the outcome");
-    (
-        decision,
-        report.decision_round().expect("decided"),
-        report.metrics.sent,
-    )
+    (decision, report.decision_round().expect("decided"), report.metrics.sent)
 }
 
 fn main() {
     println!("n = 7, f = 2 (one value-flipping liar, one see-saw liar)");
     println!("schedule: value-aware anti-coin adversary\n");
 
-    for (label, coin) in [("local coin (Bracha 1984)", CoinChoice::Local),
-                          ("common coin (dealer model)", CoinChoice::Common)] {
+    for (label, coin) in [
+        ("local coin (Bracha 1984)", CoinChoice::Local),
+        ("common coin (dealer model)", CoinChoice::Common),
+    ] {
         println!("--- {label} ---");
         let mut total_rounds = 0;
         for seed in 0..5 {

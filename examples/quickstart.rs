@@ -23,17 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decision = report.unanimous_output().expect("all correct nodes agree");
     println!("decision           : {decision}");
     println!("decision round     : {}", report.decision_round().expect("decided"));
-    println!(
-        "simulated latency  : {} ticks",
-        report.decision_latency().expect("decided").ticks()
-    );
+    println!("simulated latency  : {} ticks", report.decision_latency().expect("decided").ticks());
     println!("messages exchanged : {}", report.metrics.sent);
     println!("per-node decisions :");
     for id in &report.correct {
-        println!(
-            "  {id}: {} (round {})",
-            report.outputs[id], report.output_rounds[id]
-        );
+        println!("  {id}: {} (round {})", report.outputs[id], report.output_rounds[id]);
     }
 
     // The three textbook properties, checked explicitly:

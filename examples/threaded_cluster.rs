@@ -18,9 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = Config::new(n, 2)?;
 
     println!("running {n} consensus actors on {n} OS threads…");
-    let mut rt = Runtime::new(n)
-        .timeout(Duration::from_secs(30))
-        .jitter_us(150); // widen the interleaving space
+    let mut rt = Runtime::new(n).timeout(Duration::from_secs(30)).jitter_us(150); // widen the interleaving space
 
     for id in cfg.nodes() {
         // Inputs split 4 / 3 — the interesting, contended case.

@@ -64,17 +64,12 @@ fn parse_args() -> Result<Options, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--n" => opts.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
-            "--seed" => {
-                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
-            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--ones" => {
-                opts.ones =
-                    Some(value("--ones")?.parse().map_err(|e| format!("--ones: {e}"))?)
+                opts.ones = Some(value("--ones")?.parse().map_err(|e| format!("--ones: {e}"))?)
             }
             "--coin" => {
                 opts.coin = match value("--coin")?.as_str() {
@@ -85,9 +80,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--schedule" => opts.schedule = parse_schedule(&value("--schedule")?)?,
             "--fault" => opts.faults.push(parse_fault(&value("--fault")?)?),
-            "--runs" => {
-                opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?
-            }
+            "--runs" => opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
             "--help" | "-h" => {
                 println!(
                     "usage: absim [--n N] [--seed S] [--ones K] [--coin local|common] \

@@ -2,6 +2,7 @@
 
 use bft_adversary::{make_bracha_adversary, FaultKind, FavorSenders, LaggardDelay, SplitDelay};
 use bft_coin::{BoxedCoin, CommonCoin, LocalCoin};
+use bft_obs::Obs;
 use bft_sim::{
     BoxedScheduler, FixedDelay, GeometricDelay, MsgClass, PartitionDelay, Report, SimTime,
     UniformDelay, World, WorldConfig,
@@ -93,6 +94,7 @@ pub struct Cluster {
     faults: Vec<(usize, FaultKind)>,
     options: BrachaOptions,
     max_delivered: u64,
+    obs: Obs,
 }
 
 impl Cluster {
@@ -119,6 +121,7 @@ impl Cluster {
             faults: Vec::new(),
             options: BrachaOptions::default(),
             max_delivered: 10_000_000,
+            obs: Obs::disabled(),
         }
     }
 
@@ -147,9 +150,8 @@ impl Cluster {
     /// Gives nodes `0..ones` input `1` and the rest input `0` — the
     /// adversarially interesting split configurations.
     pub fn split_inputs(mut self, ones: usize) -> Self {
-        self.inputs = (0..self.config.n())
-            .map(|i| if i < ones { Value::One } else { Value::Zero })
-            .collect();
+        self.inputs =
+            (0..self.config.n()).map(|i| if i < ones { Value::One } else { Value::Zero }).collect();
         self
     }
 
@@ -172,10 +174,7 @@ impl Cluster {
     /// Panics if `index` is out of range or already faulty.
     pub fn fault(mut self, index: usize, kind: FaultKind) -> Self {
         assert!(index < self.config.n(), "fault index out of range");
-        assert!(
-            self.faults.iter().all(|&(i, _)| i != index),
-            "node {index} is already faulty"
-        );
+        assert!(self.faults.iter().all(|&(i, _)| i != index), "node {index} is already faulty");
         self.faults.push((index, kind));
         self
     }
@@ -197,6 +196,16 @@ impl Cluster {
     /// Caps the number of delivered messages (the non-termination budget).
     pub fn max_delivered(mut self, max: u64) -> Self {
         self.max_delivered = max;
+        self
+    }
+
+    /// Attaches an observer: the world emits transport events and every
+    /// correct node emits protocol events (round/step/quorum/decide) into
+    /// its sink. Faulty processes are not instrumented — their behaviour
+    /// shows up through the transport and validation events of the
+    /// correct nodes.
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -230,26 +239,23 @@ impl Cluster {
             let c = classify_wire(m);
             MsgClass { kind: c.kind, bytes: c.bytes }
         });
+        world.set_observer(self.obs.clone());
         for id in cfg.nodes() {
             let input = self.inputs[id.index()];
             match self.faults.iter().find(|&&(i, _)| i == id.index()) {
                 Some(&(_, kind)) => {
-                    world.add_faulty_process(make_bracha_adversary(
-                        kind, cfg, id, input, self.seed,
-                    ));
+                    world
+                        .add_faulty_process(make_bracha_adversary(kind, cfg, id, input, self.seed));
                 }
                 None => {
                     let coin: BoxedCoin = match self.coin {
                         CoinChoice::Local => Box::new(LocalCoin::new(self.seed, id)),
                         CoinChoice::Common => Box::new(CommonCoin::new(self.seed, 0)),
                     };
-                    world.add_process(Box::new(BrachaProcess::new(
-                        cfg,
-                        id,
-                        input,
-                        coin,
-                        self.options,
-                    )));
+                    world.add_process(Box::new(
+                        BrachaProcess::new(cfg, id, input, coin, self.options)
+                            .with_obs(self.obs.clone()),
+                    ));
                 }
             }
         }

@@ -15,6 +15,9 @@
 //! * [`bft_adversary`] — a zoo of Byzantine behaviours and content-aware
 //!   adversarial schedulers.
 //! * [`bft_coin`] — local and (dealer-model) common coins.
+//! * [`bft_obs`] — zero-cost-when-disabled **observability**: a protocol
+//!   event taxonomy with pluggable sinks (metrics aggregation, JSONL
+//!   export, online invariant checking).
 //!
 //! This crate ties them together and adds [`Cluster`], a one-stop builder
 //! for simulated consensus experiments:
@@ -86,4 +89,9 @@ pub mod runtime {
 /// Re-export of the statistics crate.
 pub mod stats {
     pub use bft_stats::*;
+}
+
+/// Re-export of the observability crate.
+pub mod obs {
+    pub use bft_obs::*;
 }

@@ -10,9 +10,8 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
         Just(Schedule::Fixed(1)),
         (1u64..5, 5u64..30).prop_map(|(min, max)| Schedule::Uniform { min, max }),
         (1u64..3, 5u64..12).prop_map(|(fast, slow)| Schedule::Split { fast, slow }),
-        (1u64..3, 20u64..80, 50u64..400).prop_map(|(near, far, heal_at)| {
-            Schedule::Partition { near, far, heal_at }
-        }),
+        (1u64..3, 20u64..80, 50u64..400)
+            .prop_map(|(near, far, heal_at)| { Schedule::Partition { near, far, heal_at } }),
     ]
 }
 
@@ -115,11 +114,7 @@ proptest! {
 fn small_grid_is_perfect() {
     for n in [4usize, 5, 6, 7] {
         for seed in 0..5u64 {
-            let report = Cluster::new(n)
-                .unwrap()
-                .seed(seed)
-                .split_inputs(n / 2)
-                .run();
+            let report = Cluster::new(n).unwrap().seed(seed).split_inputs(n / 2).run();
             assert!(report.all_correct_decided(), "n={n} seed={seed}");
             assert!(report.agreement_holds(), "n={n} seed={seed}");
         }

@@ -156,10 +156,8 @@ fn mmr_and_bracha_side_by_side() {
         let n = 7;
         let cfg = Config::new(n, 2).unwrap();
 
-        let mut mmr_world =
-            World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
-        let mut bracha_world =
-            World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
+        let mut mmr_world = World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
+        let mut bracha_world = World::new(WorldConfig::new(n), UniformDelay::new(1, 15, seed));
         for id in cfg.nodes() {
             let input = Value::from_bool(id.index() < 3);
             mmr_world.add_process(Box::new(MmrProcess::new(

@@ -1,0 +1,241 @@
+//! Observer event-stream tests.
+//!
+//! Three layers of assurance:
+//!
+//! 1. A **scripted run** — 4 nodes, unanimous inputs, `Fixed(1)` delays —
+//!    is fully deterministic, so we assert the *exact ordered* event
+//!    sequence node 0 emits, timestamps included.
+//! 2. A **property test** — the [`InvariantSink`] accepts every honest
+//!    run across random seeds and input splits.
+//! 3. A **hand-crafted Byzantine stream** — equivocating
+//!    `MessageValidated` events — is rejected.
+
+use async_bft::obs::{Event, InvariantSink, Obs, RbcPhase, Sink, VecSink};
+use async_bft::types::{NodeId, Step, Value};
+use async_bft::{Cluster, Schedule};
+use proptest::prelude::*;
+
+fn node(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Runs the scripted cluster and returns node 0's event stream.
+fn scripted_node0_events() -> Vec<(u64, Event)> {
+    let (obs, shared) = Obs::new(VecSink::new());
+    let report = Cluster::new(4).unwrap().schedule(Schedule::Fixed(1)).observer(obs.clone()).run();
+    drop(obs);
+    assert!(report.all_correct_decided());
+    assert_eq!(report.unanimous_output(), Some(Value::One));
+    let events = shared.lock().take();
+    events.into_iter().filter(|&(_, n, _)| n == node(0)).map(|(at, _, ev)| (at, ev)).collect()
+}
+
+#[test]
+fn scripted_run_emits_exact_consensus_sequence() {
+    let consensus: Vec<(u64, Event)> = scripted_node0_events()
+        .into_iter()
+        .filter(|(_, ev)| {
+            matches!(
+                ev,
+                Event::RoundStarted { .. }
+                    | Event::RoundCompleted { .. }
+                    | Event::StepEntered { .. }
+                    | Event::QuorumReached { .. }
+                    | Event::MessageValidated { .. }
+                    | Event::ValueLocked { .. }
+                    | Event::Decided { .. }
+            )
+        })
+        .collect();
+
+    let mv = |origin: usize, step: Step, flagged: bool| Event::MessageValidated {
+        origin: node(origin),
+        round: 1,
+        step,
+        value: Value::One,
+        flagged,
+    };
+    // With Fixed(1) delays every hop takes one tick: inputs are RBC-cast
+    // at t=0, echo quorums fill at t=2, payloads reliably deliver (and
+    // validate) at t=3, and each consensus step costs exactly 3 ticks.
+    // Node 0's n − f = 3 quorum fills on {n0, n1, n2}; n3's payload
+    // validates after the step has already advanced.
+    let expected = vec![
+        (0, Event::RoundStarted { round: 1 }),
+        (0, Event::StepEntered { round: 1, step: Step::Initial }),
+        (3, mv(0, Step::Initial, false)),
+        (3, mv(1, Step::Initial, false)),
+        (3, mv(2, Step::Initial, false)),
+        (3, Event::QuorumReached { round: 1, step: Step::Initial, support: 3 }),
+        (3, Event::StepEntered { round: 1, step: Step::Echo }),
+        (3, mv(3, Step::Initial, false)),
+        (6, mv(0, Step::Echo, false)),
+        (6, mv(1, Step::Echo, false)),
+        (6, mv(2, Step::Echo, false)),
+        (6, Event::QuorumReached { round: 1, step: Step::Echo, support: 3 }),
+        (6, Event::ValueLocked { round: 1, value: Value::One, support: 3 }),
+        (6, Event::StepEntered { round: 1, step: Step::Ready }),
+        (6, mv(3, Step::Echo, false)),
+        (9, mv(0, Step::Ready, true)),
+        (9, mv(1, Step::Ready, true)),
+        (9, mv(2, Step::Ready, true)),
+        (9, Event::QuorumReached { round: 1, step: Step::Ready, support: 3 }),
+        (9, Event::Decided { round: 1, value: Value::One }),
+        (9, Event::RoundCompleted { round: 1 }),
+        (9, Event::RoundStarted { round: 2 }),
+        (9, Event::StepEntered { round: 2, step: Step::Initial }),
+    ];
+    assert_eq!(consensus, expected);
+}
+
+#[test]
+fn scripted_run_emits_exact_rbc_sequence_for_own_broadcast() {
+    // Node 0's view of its own round-1 Initial-step RBC instance.
+    let tag = "StepTag { round: r1, step: Initial }";
+    let own: Vec<(u64, Event)> = scripted_node0_events()
+        .into_iter()
+        .filter(|(_, ev)| match ev {
+            Event::RbcPhaseEntered { origin, tag: t, .. }
+            | Event::RbcQuorumReached { origin, tag: t, .. }
+            | Event::RbcDelivered { origin, tag: t, .. } => *origin == node(0) && t == tag,
+            _ => false,
+        })
+        .collect();
+    let expected = vec![
+        (
+            1,
+            Event::RbcPhaseEntered { origin: node(0), tag: tag.to_string(), phase: RbcPhase::Send },
+        ),
+        (
+            1,
+            Event::RbcPhaseEntered { origin: node(0), tag: tag.to_string(), phase: RbcPhase::Echo },
+        ),
+        (
+            2,
+            Event::RbcQuorumReached {
+                origin: node(0),
+                tag: tag.to_string(),
+                phase: RbcPhase::Echo,
+                support: 3,
+            },
+        ),
+        (
+            2,
+            Event::RbcPhaseEntered {
+                origin: node(0),
+                tag: tag.to_string(),
+                phase: RbcPhase::Ready,
+            },
+        ),
+        (3, Event::RbcDelivered { origin: node(0), tag: tag.to_string(), support: 3 }),
+    ];
+    assert_eq!(own, expected);
+}
+
+#[test]
+fn scripted_run_transport_counts_match_metrics() {
+    let (obs, shared) = Obs::new(VecSink::new());
+    let report = Cluster::new(4).unwrap().schedule(Schedule::Fixed(1)).observer(obs.clone()).run();
+    drop(obs);
+    let sink = shared.try_into_inner().expect("all observer handles dropped");
+    let events = sink.events();
+    let sent =
+        events.iter().filter(|(_, _, e)| matches!(e, Event::MessageSent { .. })).count() as u64;
+    let delivered =
+        events.iter().filter(|(_, _, e)| matches!(e, Event::MessageDelivered { .. })).count()
+            as u64;
+    assert_eq!(sent, report.metrics.sent);
+    assert_eq!(delivered, report.metrics.delivered);
+    // Classified kinds flow through to the event stream.
+    assert!(events
+        .iter()
+        .any(|(_, _, e)| matches!(e, Event::MessageSent { kind: "send/initial", bytes: 16, .. })));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Honest clusters — any seed, any input split, both quorum-feasible
+    /// sizes — never trip the invariant checker.
+    #[test]
+    fn honest_runs_satisfy_invariants(
+        seed in 0u64..1000,
+        big in 0usize..2,
+        ones in 0usize..8,
+    ) {
+        let n = if big == 1 { 7 } else { 4 };
+        let ones = ones.min(n);
+        let expected = if ones == n {
+            Some(Value::One)
+        } else if ones == 0 {
+            Some(Value::Zero)
+        } else {
+            None
+        };
+        let sink = match expected {
+            Some(v) => InvariantSink::expecting(v),
+            None => InvariantSink::new(),
+        };
+        let (obs, shared) = Obs::new(sink);
+        let report = Cluster::new(n)
+            .unwrap()
+            .seed(seed)
+            .split_inputs(ones)
+            .observer(obs.clone())
+            .run();
+        drop(obs);
+        prop_assert!(report.all_correct_decided());
+        let mut sink = shared.try_into_inner().expect("sole owner");
+        let violations = sink.finish(&report.correct).to_vec();
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+        prop_assert_eq!(sink.decided().len(), n);
+    }
+}
+
+#[test]
+fn equivocating_stream_is_rejected() {
+    // Two observers validate contradictory payloads for the same
+    // (origin, round, step) — exactly what Bracha's RBC layer makes
+    // impossible for honest executions.
+    let mut sink = InvariantSink::new();
+    sink.on_event(
+        5,
+        node(1),
+        &Event::MessageValidated {
+            origin: node(0),
+            round: 1,
+            step: Step::Initial,
+            value: Value::One,
+            flagged: false,
+        },
+    );
+    assert!(sink.is_ok());
+    sink.on_event(
+        6,
+        node(2),
+        &Event::MessageValidated {
+            origin: node(0),
+            round: 1,
+            step: Step::Initial,
+            value: Value::Zero,
+            flagged: false,
+        },
+    );
+    assert!(!sink.is_ok());
+    assert!(
+        sink.violations().iter().any(|v| v.contains("equivocation")),
+        "violations: {:?}",
+        sink.violations()
+    );
+}
+
+#[test]
+fn disagreeing_decisions_are_rejected() {
+    let mut sink = InvariantSink::new();
+    sink.on_event(9, node(0), &Event::Decided { round: 1, value: Value::One });
+    sink.on_event(9, node(1), &Event::Decided { round: 2, value: Value::Zero });
+    assert!(!sink.is_ok());
+    let mut sink = InvariantSink::expecting(Value::Zero);
+    sink.on_event(9, node(0), &Event::Decided { round: 1, value: Value::One });
+    assert!(!sink.is_ok());
+}

@@ -28,9 +28,8 @@ fn run_adversarial_rbc(
 ) -> Vec<Option<u8>> {
     let cfg = Config::max_resilience(n).unwrap();
     let sender = NodeId::new(0);
-    let mut instances: Vec<RbcInstance<u8>> = (1..n)
-        .map(|i| RbcInstance::new(cfg, NodeId::new(i), sender))
-        .collect();
+    let mut instances: Vec<RbcInstance<u8>> =
+        (1..n).map(|i| RbcInstance::new(cfg, NodeId::new(i), sender)).collect();
     let mut delivered: Vec<Option<u8>> = vec![None; n - 1];
 
     let mut queue: Vec<InFlight> = Vec::new();
@@ -48,11 +47,7 @@ fn run_adversarial_rbc(
     let mut pick_idx = 0usize;
     while !queue.is_empty() && steps < 10_000 {
         steps += 1;
-        let pick = if pick_idx < picks.len() {
-            picks[pick_idx] as usize % queue.len()
-        } else {
-            0
-        };
+        let pick = if pick_idx < picks.len() { picks[pick_idx] as usize % queue.len() } else { 0 };
         pick_idx += 1;
         let inflight = queue.remove(pick);
         let slot = inflight.to - 1;

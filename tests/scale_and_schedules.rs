@@ -43,11 +43,7 @@ fn message_counts_grow_with_n() {
     for n in [4usize, 7, 10, 13] {
         let report = Cluster::new(n).unwrap().seed(2).run();
         assert!(report.all_correct_decided(), "n={n}");
-        assert!(
-            report.metrics.sent > last,
-            "n={n}: {} should exceed {last}",
-            report.metrics.sent
-        );
+        assert!(report.metrics.sent > last, "n={n}: {} should exceed {last}", report.metrics.sent);
         last = report.metrics.sent;
     }
 }
@@ -70,16 +66,8 @@ fn metric_accounting_is_consistent() {
 #[test]
 fn unanimous_value_symmetry() {
     for seed in 0..5 {
-        let a = Cluster::new(7)
-            .unwrap()
-            .seed(seed)
-            .inputs(vec![Value::One; 7])
-            .run();
-        let b = Cluster::new(7)
-            .unwrap()
-            .seed(seed)
-            .inputs(vec![Value::Zero; 7])
-            .run();
+        let a = Cluster::new(7).unwrap().seed(seed).inputs(vec![Value::One; 7]).run();
+        let b = Cluster::new(7).unwrap().seed(seed).inputs(vec![Value::Zero; 7]).run();
         assert_eq!(a.unanimous_output(), Some(Value::One), "seed {seed}");
         assert_eq!(b.unanimous_output(), Some(Value::Zero), "seed {seed}");
         assert_eq!(
