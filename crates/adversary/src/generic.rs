@@ -18,7 +18,7 @@ use std::marker::PhantomData;
 ///
 /// let mut node: Silent<String, u8> = Silent::new(NodeId::new(3));
 /// assert!(node.on_start().is_empty());
-/// assert!(node.on_message(NodeId::new(0), "hi".into()).is_empty());
+/// assert!(node.on_message(NodeId::new(0), &"hi".to_string()).is_empty());
 /// ```
 pub struct Silent<M, O> {
     id: NodeId,
@@ -54,7 +54,7 @@ where
         Vec::new()
     }
 
-    fn on_message(&mut self, _from: NodeId, _msg: M) -> Vec<Effect<M, O>> {
+    fn on_message(&mut self, _from: NodeId, _msg: &M) -> Vec<Effect<M, O>> {
         Vec::new()
     }
 }
@@ -123,7 +123,7 @@ impl<P: Process> Process for CrashAfter<P> {
         self.inner.on_start()
     }
 
-    fn on_message(&mut self, from: NodeId, msg: P::Msg) -> Vec<Effect<P::Msg, P::Output>> {
+    fn on_message(&mut self, from: NodeId, msg: &P::Msg) -> Vec<Effect<P::Msg, P::Output>> {
         if !self.spend() {
             return vec![Effect::Halt];
         }
@@ -164,7 +164,7 @@ mod tests {
             self.sent += 1;
             vec![Effect::Broadcast { msg: self.sent }]
         }
-        fn on_message(&mut self, _f: NodeId, _m: u32) -> Vec<Effect<u32, u32>> {
+        fn on_message(&mut self, _f: NodeId, _m: &u32) -> Vec<Effect<u32, u32>> {
             self.sent += 1;
             vec![Effect::Broadcast { msg: self.sent }]
         }
@@ -178,7 +178,7 @@ mod tests {
         let mut s: Silent<u32, u32> = Silent::new(NodeId::new(0));
         assert_eq!(s.id(), NodeId::new(0));
         assert!(s.on_start().is_empty());
-        assert!(s.on_message(NodeId::new(1), 5).is_empty());
+        assert!(s.on_message(NodeId::new(1), &5).is_empty());
         assert!(!s.is_halted());
         assert_eq!(s.output(), None);
     }
@@ -188,14 +188,14 @@ mod tests {
         let mut c = CrashAfter::new(Chatty { id: NodeId::new(2), sent: 0 }, 2);
         assert_eq!(c.on_start().len(), 1);
         assert!(!c.crashed());
-        assert_eq!(c.on_message(NodeId::new(0), 9).len(), 1);
+        assert_eq!(c.on_message(NodeId::new(0), &9).len(), 1);
         // Budget exhausted: third event crashes.
-        let effects = c.on_message(NodeId::new(0), 9);
+        let effects = c.on_message(NodeId::new(0), &9);
         assert_eq!(effects, vec![Effect::Halt]);
         assert!(c.crashed());
         assert!(c.is_halted());
         // Subsequent events produce nothing further.
-        assert_eq!(c.on_message(NodeId::new(0), 9), vec![Effect::Halt]);
+        assert_eq!(c.on_message(NodeId::new(0), &9), vec![Effect::Halt]);
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl<C: CoinScheme> Process for LyingBracha<C> {
         self.corrupt(ts)
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Wire) -> Vec<Effect<Wire, Value>> {
+    fn on_message(&mut self, from: NodeId, msg: &Wire) -> Vec<Effect<Wire, Value>> {
         let ts = self.node.on_message(from, msg);
         self.corrupt(ts)
     }

@@ -68,7 +68,7 @@ impl Process for MmrSaboteur {
         self.flood(Round::FIRST)
     }
 
-    fn on_message(&mut self, _from: NodeId, msg: MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
+    fn on_message(&mut self, _from: NodeId, msg: &MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
         self.flood(msg.round())
     }
 }
@@ -118,11 +118,14 @@ mod tests {
         let first = s.on_start();
         assert_eq!(first.len(), 4, "2 bvals + aux + finish");
         assert!(s
-            .on_message(NodeId::new(0), MmrMessage::Bval { round: Round::FIRST, value: Value::One })
+            .on_message(
+                NodeId::new(0),
+                &MmrMessage::Bval { round: Round::FIRST, value: Value::One }
+            )
             .is_empty());
         let r2 = s.on_message(
             NodeId::new(0),
-            MmrMessage::Bval { round: Round::new(2), value: Value::One },
+            &MmrMessage::Bval { round: Round::new(2), value: Value::One },
         );
         assert_eq!(r2.len(), 3, "finish already sent; 2 bvals + aux remain");
     }

@@ -70,13 +70,13 @@ where
             .collect()
     }
 
-    fn on_message(&mut self, _from: NodeId, msg: RbcMessage<P>) -> Vec<Effect<RbcMessage<P>, P>> {
+    fn on_message(&mut self, _from: NodeId, msg: &RbcMessage<P>) -> Vec<Effect<RbcMessage<P>, P>> {
         // Support whichever payload the network is converging on, once —
         // enough participation to look alive, not enough to help totality.
         if let RbcMessage::Echo(p) = msg {
             if !self.echoed {
                 self.echoed = true;
-                return vec![Effect::Broadcast { msg: RbcMessage::Echo(p) }];
+                return vec![Effect::Broadcast { msg: RbcMessage::Echo(p.clone()) }];
             }
         }
         Vec::new()

@@ -171,11 +171,7 @@ mod tests {
     #[test]
     fn laggard_delay_targets_the_victim() {
         let mut s = LaggardDelay::new(2, 1, 50);
-        let env = |from: usize, to: usize| Envelope {
-            from: NodeId::new(from),
-            to: NodeId::new(to),
-            msg: 0u8,
-        };
+        let env = |from: usize, to: usize| Envelope::new(NodeId::new(from), NodeId::new(to), 0u8);
         assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 2), SimTime::ZERO), 50);
         assert_eq!(Scheduler::<u8>::delay(&mut s, &env(2, 0), SimTime::ZERO), 50);
         assert_eq!(Scheduler::<u8>::delay(&mut s, &env(0, 1), SimTime::ZERO), 1);

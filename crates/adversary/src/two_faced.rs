@@ -56,7 +56,11 @@ impl Process for DoubleTalker {
         self.lies_for(Round::FIRST)
     }
 
-    fn on_message(&mut self, _from: NodeId, msg: BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        msg: &BenOrMessage,
+    ) -> Vec<Effect<BenOrMessage, Value>> {
         self.lies_for(msg.round())
     }
 }
@@ -106,13 +110,13 @@ mod tests {
         // Round 1 again: silent.
         let again = dt.on_message(
             NodeId::new(0),
-            BenOrMessage::Report { round: Round::FIRST, value: Value::One },
+            &BenOrMessage::Report { round: Round::FIRST, value: Value::One },
         );
         assert!(again.is_empty());
         // A round-2 message elicits fresh lies.
         let r2 = dt.on_message(
             NodeId::new(0),
-            BenOrMessage::Report { round: Round::new(2), value: Value::One },
+            &BenOrMessage::Report { round: Round::new(2), value: Value::One },
         );
         assert_eq!(r2.len(), 12);
     }

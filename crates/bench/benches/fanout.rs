@@ -1,0 +1,20 @@
+//! Criterion bench for the simulator's broadcast fan-out hot path — the
+//! per-recipient cost of `Effect::Broadcast` with a heap payload. Backs
+//! the `fanout_ns_per_msg` figure recorded into `BENCH_bracha.json`.
+
+use bft_bench::hotpath;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_fanout");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| hotpath::fanout_ns_per_msg(n, 5_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

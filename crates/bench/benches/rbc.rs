@@ -14,12 +14,12 @@ fn bench_state_machine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut inst = RbcInstance::new(cfg, NodeId::new(1), NodeId::new(0));
-                let _ = inst.on_message(NodeId::new(0), RbcMessage::Send("m"));
+                let _ = inst.on_message(NodeId::new(0), &RbcMessage::Send("m"));
                 for i in 0..n {
-                    let _ = inst.on_message(NodeId::new(i), RbcMessage::Echo("m"));
+                    let _ = inst.on_message(NodeId::new(i), &RbcMessage::Echo("m"));
                 }
                 for i in 0..n {
-                    let _ = inst.on_message(NodeId::new(i), RbcMessage::Ready("m"));
+                    let _ = inst.on_message(NodeId::new(i), &RbcMessage::Ready("m"));
                 }
                 assert!(inst.delivered().is_some());
             });

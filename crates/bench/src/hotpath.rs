@@ -1,0 +1,144 @@
+//! Hot-path microbenchmarks: broadcast fan-out and validator ingest.
+//!
+//! These are the two inner loops the perf work targets — the per-recipient
+//! cost of `Effect::Broadcast` inside the simulator and the per-message
+//! cost of `Validator::ingest` — measured here as ns/message so the
+//! numbers can be recorded into `BENCH_bracha.json` (see
+//! [`crate::json_report`]) and tracked across PRs. The same routines back
+//! the criterion benches in `benches/fanout.rs` and
+//! `benches/validation.rs`.
+
+use bft_sim::{FixedDelay, StopPolicy, World, WorldConfig};
+use bft_types::{Config, Effect, NodeId, Process, Round, Value};
+use bracha::validation::Validator;
+use bracha::StepPayload;
+use std::time::Instant;
+
+/// Payload size for the fan-out bench: large enough that deep-cloning it
+/// per recipient dominates, small enough to stay cache-friendly.
+pub const FANOUT_PAYLOAD_BYTES: usize = 1024;
+
+/// A deliberately chatty process: broadcasts a heap payload at start and
+/// re-broadcasts every delivery, so a capped run is almost purely
+/// fan-out + delivery overhead.
+struct Flooder {
+    me: NodeId,
+    payload: Vec<u8>,
+}
+
+impl Process for Flooder {
+    type Msg = Vec<u8>;
+    type Output = ();
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<Self::Msg, Self::Output>> {
+        if self.me.index() == 0 {
+            vec![Effect::Broadcast { msg: self.payload.clone() }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Self::Msg) -> Vec<Effect<Self::Msg, ()>> {
+        vec![Effect::Broadcast { msg: msg.clone() }]
+    }
+
+    fn output(&self) -> Option<()> {
+        None
+    }
+
+    fn is_halted(&self) -> bool {
+        false
+    }
+}
+
+/// Mean cost, in nanoseconds per *sent* message, of flooding `n` nodes
+/// with [`FANOUT_PAYLOAD_BYTES`]-byte broadcasts until `deliveries`
+/// messages have been delivered.
+pub fn fanout_ns_per_msg(n: usize, deliveries: u64) -> f64 {
+    let mut world = World::new(
+        WorldConfig::new(n).stop_policy(StopPolicy::QueueDrain).max_delivered(deliveries),
+        FixedDelay::new(1),
+    );
+    for i in 0..n {
+        world.add_process(Box::new(Flooder {
+            me: NodeId::new(i),
+            payload: vec![0xAB; FANOUT_PAYLOAD_BYTES],
+        }));
+    }
+    let start = Instant::now();
+    let report = world.run();
+    let nanos = start.elapsed().as_nanos() as f64;
+    assert!(report.metrics.sent > 0, "flood must send messages");
+    nanos / report.metrics.sent as f64
+}
+
+/// Mean cost, in nanoseconds per message, of `Validator::ingest` over
+/// `rounds` full rounds of traffic from `n` nodes, arriving in protocol
+/// order (Initial, Echo, flagged Ready per round).
+pub fn validator_ingest_ns_per_msg(n: usize, rounds: u64) -> f64 {
+    let cfg = Config::max_resilience(n).expect("n > 0");
+    let mut val = Validator::new(cfg, true);
+    let mut ingested = 0u64;
+    let start = Instant::now();
+    for r in 1..=rounds {
+        let round = Round::new(r);
+        for step in [
+            StepPayload::Initial(Value::One),
+            StepPayload::Echo(Value::One),
+            StepPayload::Ready { value: Value::One, flagged: true },
+        ] {
+            for i in 0..n {
+                let _ = val.ingest(round, NodeId::new(i), step);
+                ingested += 1;
+            }
+        }
+    }
+    let nanos = start.elapsed().as_nanos() as f64;
+    nanos / ingested as f64
+}
+
+/// Like [`validator_ingest_ns_per_msg`] but with each round's steps
+/// arriving in *reverse* order, so every message is buffered as pending
+/// and released by the cascade — the worst case for the drain logic.
+pub fn validator_pending_ns_per_msg(n: usize, rounds: u64) -> f64 {
+    let cfg = Config::max_resilience(n).expect("n > 0");
+    let mut val = Validator::new(cfg, true);
+    let mut ingested = 0u64;
+    let start = Instant::now();
+    for r in 1..=rounds {
+        let round = Round::new(r);
+        for step in [
+            StepPayload::Ready { value: Value::One, flagged: true },
+            StepPayload::Echo(Value::One),
+            StepPayload::Initial(Value::One),
+        ] {
+            for i in 0..n {
+                let _ = val.ingest(round, NodeId::new(i), step);
+                ingested += 1;
+            }
+        }
+    }
+    let nanos = start.elapsed().as_nanos() as f64;
+    nanos / ingested as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_bench_runs() {
+        let ns = fanout_ns_per_msg(4, 500);
+        assert!(ns > 0.0 && ns.is_finite());
+    }
+
+    #[test]
+    fn validator_benches_run() {
+        assert!(validator_ingest_ns_per_msg(4, 20) > 0.0);
+        assert!(validator_pending_ns_per_msg(4, 20) > 0.0);
+    }
+}

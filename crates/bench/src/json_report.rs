@@ -6,11 +6,25 @@
 //! the aggregated per-round latency histograms and per-kind
 //! message/byte counts as a single JSON document, written by the
 //! `experiments` binary to `BENCH_bracha.json`.
+//!
+//! # Determinism and parallelism
+//!
+//! Each seed runs with its **own** `MetricsSink`; the per-seed sinks are
+//! merged in ascending-seed order afterwards (see [`MetricsSink::merge`]).
+//! Because the merge order is pinned, fanning the seeds out across worker
+//! threads ([`run_config`]'s `jobs` parameter) produces the exact same
+//! aggregate bytes as running them sequentially — the only fields that
+//! may differ between invocations are the wall-clock measurements under
+//! the `"timing"` and `"microbench"` keys, which are explicitly excluded
+//! from the determinism guarantee (and from
+//! [`ConfigOutcome::deterministic_fragment`]).
 
 use crate::common::Mode;
+use crate::hotpath;
 use async_bft::Cluster;
 use bft_obs::json::JsonValue;
 use bft_obs::{MetricsSink, Obs};
+use std::time::Instant;
 
 /// One benchmark configuration: `n` nodes at maximum resilience
 /// `f = ⌊(n−1)/3⌋`, unanimous-one inputs, uniform 1–20 tick delays.
@@ -29,25 +43,121 @@ pub fn headline_configs(mode: Mode) -> Vec<BenchConfig> {
     vec![BenchConfig { n: 4, seeds }, BenchConfig { n: 16, seeds }]
 }
 
-/// Runs one configuration with an observer attached and returns its
-/// JSON report fragment.
-pub fn run_config(cfg: BenchConfig) -> JsonValue {
+/// The CI smoke configuration: n=4/f=1 over a handful of seeds, small
+/// enough to run in seconds on a cold runner.
+pub fn smoke_configs() -> Vec<BenchConfig> {
+    vec![BenchConfig { n: 4, seeds: 5 }]
+}
+
+/// Everything one seed's run contributes to the aggregate.
+struct SeedOutcome {
+    sink: MetricsSink,
+    decided: bool,
+    sent: u64,
+    bytes_sent: u64,
+    wall_nanos: u64,
+}
+
+fn run_seed(n: usize, seed: u64) -> SeedOutcome {
     let (obs, shared) = Obs::new(MetricsSink::new());
+    let started = Instant::now();
+    let report = Cluster::new(n).expect("n > 0").seed(seed).observer(obs.clone()).run();
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    drop(obs);
+    let sink = shared.try_into_inner().expect("observer handles dropped with the world");
+    SeedOutcome {
+        sink,
+        decided: report.all_correct_decided(),
+        sent: report.metrics.sent,
+        bytes_sent: report.metrics.bytes_sent,
+        wall_nanos,
+    }
+}
+
+/// The result of running one [`BenchConfig`]: a deterministic aggregate
+/// fragment plus the (inherently non-deterministic) wall-clock numbers.
+pub struct ConfigOutcome {
+    fields: Vec<(String, JsonValue)>,
+    /// Sum of per-seed wall-clock nanoseconds. Summing per-seed makes the
+    /// figure independent of how many workers ran the seeds.
+    pub wall_nanos: u64,
+    /// Total `Decided` events across all seeds.
+    pub decisions: u64,
+}
+
+impl ConfigOutcome {
+    /// The aggregate without any timing fields — byte-identical across
+    /// repeated runs regardless of `jobs`.
+    pub fn deterministic_fragment(&self) -> JsonValue {
+        JsonValue::Obj(self.fields.clone())
+    }
+
+    /// The full per-config report fragment, timing section included.
+    pub fn fragment(&self) -> JsonValue {
+        let mut fields = self.fields.clone();
+        let per_decision_us = if self.decisions == 0 {
+            0.0
+        } else {
+            self.wall_nanos as f64 / self.decisions as f64 / 1_000.0
+        };
+        fields.push((
+            "timing".into(),
+            JsonValue::Obj(vec![
+                ("wall_clock_ms".into(), JsonValue::F64(self.wall_nanos as f64 / 1e6)),
+                ("decisions".into(), JsonValue::U64(self.decisions)),
+                ("wall_clock_per_decision_us".into(), JsonValue::F64(per_decision_us)),
+            ]),
+        ));
+        JsonValue::Obj(fields)
+    }
+}
+
+/// Runs one configuration, fanning the seeds across `jobs` worker
+/// threads (1 = sequential). The merge order of the per-seed sinks is
+/// pinned to ascending seed, so the aggregate is identical for any
+/// `jobs` value.
+pub fn run_config_outcome(cfg: BenchConfig, jobs: usize) -> ConfigOutcome {
+    let seeds = cfg.seeds;
+    let mut outcomes: Vec<Option<SeedOutcome>> = Vec::new();
+    outcomes.resize_with(seeds as usize, || None);
+
+    let jobs = jobs.max(1).min(seeds.max(1) as usize);
+    if jobs <= 1 {
+        for (i, slot) in outcomes.iter_mut().enumerate() {
+            *slot = Some(run_seed(cfg.n, i as u64));
+        }
+    } else {
+        // Contiguous chunks: worker w owns seeds [w*chunk, ...), writing
+        // only into its own slice of the results, so no locks are needed
+        // and the output layout is independent of scheduling.
+        let chunk = outcomes.len().div_ceil(jobs);
+        crossbeam::thread::scope(|s| {
+            for (w, slice) in outcomes.chunks_mut(chunk).enumerate() {
+                s.spawn(move || {
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(run_seed(cfg.n, (w * chunk + i) as u64));
+                    }
+                });
+            }
+        });
+    }
+
     let config = Cluster::new(cfg.n).expect("n > 0").config();
+    let mut merged = MetricsSink::new();
     let mut decided_runs = 0u64;
     let mut sim_msgs = 0u64;
     let mut sim_bytes = 0u64;
-    for seed in 0..cfg.seeds {
-        let report = Cluster::new(cfg.n).expect("n > 0").seed(seed).observer(obs.clone()).run();
-        if report.all_correct_decided() {
-            decided_runs += 1;
-        }
-        sim_msgs += report.metrics.sent;
-        sim_bytes += report.metrics.bytes_sent;
+    let mut wall_nanos = 0u64;
+    // Pinned merge order: ascending seed.
+    for outcome in outcomes.into_iter().map(|o| o.expect("every seed ran")) {
+        merged.merge(&outcome.sink);
+        decided_runs += u64::from(outcome.decided);
+        sim_msgs += outcome.sent;
+        sim_bytes += outcome.bytes_sent;
+        wall_nanos += outcome.wall_nanos;
     }
-    drop(obs);
-    let metrics = shared.lock().to_json();
-    JsonValue::Obj(vec![
+    let decisions = merged.decide_times().len() as u64;
+    let fields = vec![
         ("protocol".into(), JsonValue::str("bracha")),
         ("n".into(), JsonValue::U64(config.n() as u64)),
         ("f".into(), JsonValue::U64(config.f() as u64)),
@@ -55,19 +165,51 @@ pub fn run_config(cfg: BenchConfig) -> JsonValue {
         ("decided_runs".into(), JsonValue::U64(decided_runs)),
         ("messages_sent".into(), JsonValue::U64(sim_msgs)),
         ("bytes_sent".into(), JsonValue::U64(sim_bytes)),
-        ("metrics".into(), metrics),
+        ("metrics".into(), merged.to_json()),
+    ];
+    ConfigOutcome { fields, wall_nanos, decisions }
+}
+
+/// Runs one configuration and returns its JSON report fragment
+/// (timing included).
+pub fn run_config(cfg: BenchConfig, jobs: usize) -> JsonValue {
+    run_config_outcome(cfg, jobs).fragment()
+}
+
+/// The hot-path microbenchmark section: ns/message figures for broadcast
+/// fan-out and validator ingest (see [`crate::hotpath`]). Wall-clock —
+/// excluded from the determinism guarantee.
+pub fn microbench_section() -> JsonValue {
+    JsonValue::Obj(vec![
+        ("fanout_ns_per_msg_n16".into(), JsonValue::F64(hotpath::fanout_ns_per_msg(16, 20_000))),
+        ("fanout_payload_bytes".into(), JsonValue::U64(hotpath::FANOUT_PAYLOAD_BYTES as u64)),
+        (
+            "validator_ingest_ns_per_msg_n16".into(),
+            JsonValue::F64(hotpath::validator_ingest_ns_per_msg(16, 2_000)),
+        ),
+        (
+            "validator_pending_ns_per_msg_n16".into(),
+            JsonValue::F64(hotpath::validator_pending_ns_per_msg(16, 2_000)),
+        ),
+    ])
+}
+
+/// Assembles a full report document over the given configurations.
+pub fn report_for(configs: &[BenchConfig], mode_label: &str, jobs: usize) -> JsonValue {
+    let fragments: Vec<JsonValue> = configs.iter().map(|&c| run_config(c, jobs)).collect();
+    JsonValue::Obj(vec![
+        ("suite".into(), JsonValue::str("bracha")),
+        ("mode".into(), JsonValue::str(mode_label)),
+        ("schema_version".into(), JsonValue::U64(2)),
+        ("configs".into(), JsonValue::Arr(fragments)),
+        ("microbench".into(), microbench_section()),
     ])
 }
 
 /// The full `BENCH_bracha.json` document.
-pub fn bracha_report(mode: Mode) -> JsonValue {
-    let configs: Vec<JsonValue> = headline_configs(mode).into_iter().map(run_config).collect();
-    JsonValue::Obj(vec![
-        ("suite".into(), JsonValue::str("bracha")),
-        ("mode".into(), JsonValue::str(if mode == Mode::Full { "full" } else { "quick" })),
-        ("schema_version".into(), JsonValue::U64(1)),
-        ("configs".into(), JsonValue::Arr(configs)),
-    ])
+pub fn bracha_report(mode: Mode, jobs: usize) -> JsonValue {
+    let label = if mode == Mode::Full { "full" } else { "quick" };
+    report_for(&headline_configs(mode), label, jobs)
 }
 
 #[cfg(test)]
@@ -76,7 +218,7 @@ mod tests {
 
     #[test]
     fn report_contains_both_headline_configs() {
-        let report = bracha_report(Mode::Quick);
+        let report = bracha_report(Mode::Quick, 2);
         let rendered = report.to_string();
         assert!(rendered.contains("\"suite\":\"bracha\""));
         assert!(rendered.contains("\"n\":4"));
@@ -84,11 +226,25 @@ mod tests {
         assert!(rendered.contains("\"round_latency\""));
         assert!(rendered.contains("\"messages_by_kind\""));
         assert!(rendered.contains("echo/echo"));
+        assert!(rendered.contains("\"timing\""));
+        assert!(rendered.contains("\"microbench\""));
     }
 
     #[test]
     fn every_quick_run_decides() {
-        let fragment = run_config(BenchConfig { n: 4, seeds: 3 }).to_string();
+        let fragment = run_config(BenchConfig { n: 4, seeds: 3 }, 1).to_string();
         assert!(fragment.contains("\"decided_runs\":3"));
+    }
+
+    /// The acceptance gate for the parallel driver: byte-identical
+    /// deterministic aggregates no matter how many workers ran the seeds.
+    #[test]
+    fn parallel_aggregate_is_byte_identical_to_sequential() {
+        let cfg = BenchConfig { n: 4, seeds: 8 };
+        let sequential = run_config_outcome(cfg, 1).deterministic_fragment().to_string();
+        for jobs in [2, 3, 8] {
+            let parallel = run_config_outcome(cfg, jobs).deterministic_fragment().to_string();
+            assert_eq!(sequential, parallel, "jobs={jobs} diverged from sequential");
+        }
     }
 }

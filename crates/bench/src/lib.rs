@@ -19,6 +19,7 @@ pub mod f1;
 pub mod f2;
 pub mod f3;
 pub mod f4;
+pub mod hotpath;
 pub mod json_report;
 pub mod t1;
 pub mod t2;

@@ -260,7 +260,7 @@ impl<C: CoinScheme> Process for AcsProcess<C> {
         out
     }
 
-    fn on_message(&mut self, from: NodeId, msg: AcsMessage) -> Vec<Effect<AcsMessage, AcsOutput>> {
+    fn on_message(&mut self, from: NodeId, msg: &AcsMessage) -> Vec<Effect<AcsMessage, AcsOutput>> {
         if self.halted {
             return Vec::new();
         }
@@ -271,9 +271,9 @@ impl<C: CoinScheme> Process for AcsProcess<C> {
                 Self::lift_rbc(actions, &mut out, &mut self.delivered);
             }
             AcsMessage::Aba { index, wire } => {
-                if index < self.abas.len() {
-                    let ts = self.abas[index].on_message(from, wire);
-                    Self::lift_aba(index, ts, &mut out);
+                if *index < self.abas.len() {
+                    let ts = self.abas[*index].on_message(from, wire);
+                    Self::lift_aba(*index, ts, &mut out);
                 }
             }
         }
@@ -333,7 +333,11 @@ mod tests {
         fn on_start(&mut self) -> Vec<Effect<AcsMessage, AcsOutput>> {
             Vec::new()
         }
-        fn on_message(&mut self, _f: NodeId, _m: AcsMessage) -> Vec<Effect<AcsMessage, AcsOutput>> {
+        fn on_message(
+            &mut self,
+            _f: NodeId,
+            _m: &AcsMessage,
+        ) -> Vec<Effect<AcsMessage, AcsOutput>> {
             Vec::new()
         }
     }

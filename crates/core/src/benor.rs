@@ -275,12 +275,12 @@ impl<C: CoinScheme> Process for BenOrProcess<C> {
         out
     }
 
-    fn on_message(&mut self, from: NodeId, msg: BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
+    fn on_message(&mut self, from: NodeId, msg: &BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
         if self.halted || !self.config.contains(from) {
             return Vec::new();
         }
         let rm = self.msgs.entry(msg.round()).or_default();
-        match msg {
+        match *msg {
             BenOrMessage::Report { value, .. } => {
                 rm.reports.entry(from).or_insert(value);
             }
@@ -388,7 +388,7 @@ mod tests {
         for _ in 0..5 {
             let _ = p.on_message(
                 NodeId::new(1),
-                BenOrMessage::Report { round: Round::FIRST, value: Value::Zero },
+                &BenOrMessage::Report { round: Round::FIRST, value: Value::Zero },
             );
         }
         assert_eq!(p.msgs[&Round::FIRST].reports.len(), 1);

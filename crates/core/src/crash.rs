@@ -204,12 +204,12 @@ impl<C: CoinScheme> Process for CrashConsensus<C> {
         out
     }
 
-    fn on_message(&mut self, from: NodeId, msg: BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
+    fn on_message(&mut self, from: NodeId, msg: &BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
         if self.halted || !self.config.contains(from) {
             return Vec::new();
         }
         let rm = self.msgs.entry(msg.round()).or_default();
-        match msg {
+        match *msg {
             BenOrMessage::Report { value, .. } => {
                 rm.reports.entry(from).or_insert(value);
             }
@@ -253,7 +253,11 @@ mod tests {
         fn on_start(&mut self) -> Vec<Effect<BenOrMessage, Value>> {
             Vec::new()
         }
-        fn on_message(&mut self, _f: NodeId, _m: BenOrMessage) -> Vec<Effect<BenOrMessage, Value>> {
+        fn on_message(
+            &mut self,
+            _f: NodeId,
+            _m: &BenOrMessage,
+        ) -> Vec<Effect<BenOrMessage, Value>> {
             Vec::new()
         }
     }

@@ -174,7 +174,7 @@ impl<C: CoinScheme> BrachaNode<C> {
     }
 
     /// Processes one wire message from (authenticated) peer `from`.
-    pub fn on_message(&mut self, from: NodeId, msg: Wire) -> Vec<Transition> {
+    pub fn on_message(&mut self, from: NodeId, msg: &Wire) -> Vec<Transition> {
         if self.halted {
             return Vec::new();
         }
@@ -248,18 +248,20 @@ impl<C: CoinScheme> BrachaNode<C> {
             }
             let round = self.round.get();
             let (step, support) = (self.step, msgs.len() as u64);
+            // Summarise the quorum prefix while the validator borrow is
+            // live: the step rules only consume these four counters, so no
+            // per-quorum allocation is needed.
+            let (counts, dcounts) = summarize(&msgs[..q]);
             self.obs.emit(self.me, || ObsEvent::QuorumReached { round, step, support });
-            let quorum: Vec<StepPayload> = msgs[..q].iter().map(|&(_, p)| p).collect();
             match self.step {
                 Step::Initial => {
-                    self.estimate = weak_majority(&quorum, self.estimate);
+                    self.estimate = weak_majority(counts, self.estimate);
                     self.step = Step::Echo;
                     self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Echo });
                     self.broadcast_current(StepPayload::Echo(self.estimate), out);
                 }
                 Step::Echo => {
                     let m = self.config.majority_threshold();
-                    let counts = value_counts(&quorum);
                     let flagged = Value::BOTH.into_iter().find(|v| counts[v.index()] >= m);
                     if let Some(w) = flagged {
                         self.estimate = w;
@@ -279,7 +281,6 @@ impl<C: CoinScheme> BrachaNode<C> {
                 }
                 Step::Ready => {
                     let f = self.config.f();
-                    let dcounts = flag_counts(&quorum);
                     // At most one value can carry validated D-flags (quorum
                     // intersection); prefer One deterministically if the
                     // ablation (validation off) ever lets both through.
@@ -350,33 +351,27 @@ impl<C: CoinScheme> BrachaNode<C> {
     }
 }
 
-/// The value held by strictly more than half of `quorum`, or `tiebreak`
-/// on an exact tie (possible only for even quorum sizes).
-fn weak_majority(quorum: &[StepPayload], tiebreak: Value) -> Value {
-    let counts = value_counts(quorum);
+/// Per-value and per-value-D-flag counts of a quorum, in one pass.
+fn summarize(quorum: &[(NodeId, StepPayload)]) -> ([usize; 2], [usize; 2]) {
+    let mut counts = [0usize; 2];
+    let mut dcounts = [0usize; 2];
+    for &(_, p) in quorum {
+        counts[p.value().index()] += 1;
+        if p.is_flagged() {
+            dcounts[p.value().index()] += 1;
+        }
+    }
+    (counts, dcounts)
+}
+
+/// The value held by strictly more than half of the counted quorum, or
+/// `tiebreak` on an exact tie (possible only for even quorum sizes).
+fn weak_majority(counts: [usize; 2], tiebreak: Value) -> Value {
     match counts[1].cmp(&counts[0]) {
         std::cmp::Ordering::Greater => Value::One,
         std::cmp::Ordering::Less => Value::Zero,
         std::cmp::Ordering::Equal => tiebreak,
     }
-}
-
-fn value_counts(quorum: &[StepPayload]) -> [usize; 2] {
-    let mut counts = [0usize; 2];
-    for p in quorum {
-        counts[p.value().index()] += 1;
-    }
-    counts
-}
-
-fn flag_counts(quorum: &[StepPayload]) -> [usize; 2] {
-    let mut counts = [0usize; 2];
-    for p in quorum {
-        if p.is_flagged() {
-            counts[p.value().index()] += 1;
-        }
-    }
-    counts
 }
 
 #[cfg(test)]
@@ -424,7 +419,7 @@ mod tests {
             assert!(safety < 1_000_000, "pump did not quiesce");
             let (from, wire) = queue.remove(0);
             for node in nodes.iter_mut() {
-                let ts = node.on_message(from, wire.clone());
+                let ts = node.on_message(from, &wire);
                 let me = node.me();
                 for t in ts {
                     if let Transition::Broadcast(w) = t {
@@ -474,7 +469,7 @@ mod tests {
         // b receives a's Send before starting: buffered, no crash.
         for t in ts {
             if let Transition::Broadcast(w) = t {
-                let _ = b.on_message(NodeId::new(0), w);
+                let _ = b.on_message(NodeId::new(0), &w);
             }
         }
         assert_eq!(b.round(), Round::FIRST);
@@ -494,7 +489,7 @@ mod tests {
         for i in 1..4 {
             let _ = a.on_message(
                 NodeId::new(i),
-                Wire { sender: NodeId::new(1), tag, msg: RbcMessage::Ready(payload) },
+                &Wire { sender: NodeId::new(1), tag, msg: RbcMessage::Ready(payload) },
             );
         }
         // The echo payload must not appear among validated Initials...
@@ -543,25 +538,18 @@ mod tests {
 
     #[test]
     fn weak_majority_tiebreak() {
-        let q = [StepPayload::Initial(Value::One), StepPayload::Initial(Value::Zero)];
-        assert_eq!(weak_majority(&q, Value::One), Value::One);
-        assert_eq!(weak_majority(&q, Value::Zero), Value::Zero);
-        let q = [
-            StepPayload::Initial(Value::One),
-            StepPayload::Initial(Value::One),
-            StepPayload::Initial(Value::Zero),
-        ];
-        assert_eq!(weak_majority(&q, Value::Zero), Value::One);
+        assert_eq!(weak_majority([1, 1], Value::One), Value::One);
+        assert_eq!(weak_majority([1, 1], Value::Zero), Value::Zero);
+        assert_eq!(weak_majority([1, 2], Value::Zero), Value::One);
     }
 
     #[test]
-    fn counts_helpers() {
+    fn summarize_counts_values_and_flags() {
         let q = [
-            StepPayload::Ready { value: Value::One, flagged: true },
-            StepPayload::Ready { value: Value::One, flagged: false },
-            StepPayload::Ready { value: Value::Zero, flagged: true },
+            (NodeId::new(0), StepPayload::Ready { value: Value::One, flagged: true }),
+            (NodeId::new(1), StepPayload::Ready { value: Value::One, flagged: false }),
+            (NodeId::new(2), StepPayload::Ready { value: Value::Zero, flagged: true }),
         ];
-        assert_eq!(value_counts(&q), [1, 2]);
-        assert_eq!(flag_counts(&q), [1, 1]);
+        assert_eq!(summarize(&q), ([1, 2], [1, 1]));
     }
 }

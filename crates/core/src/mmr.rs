@@ -347,12 +347,12 @@ impl<C: CoinScheme> Process for MmrProcess<C> {
         out
     }
 
-    fn on_message(&mut self, from: NodeId, msg: MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
+    fn on_message(&mut self, from: NodeId, msg: &MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
         if self.halted || !self.config.contains(from) {
             return Vec::new();
         }
         let mut out = Vec::new();
-        match msg {
+        match *msg {
             MmrMessage::Bval { value, .. } => {
                 let state = self.rounds.entry(msg.round()).or_default();
                 state.bval_from[value.index()].insert(from);
@@ -501,7 +501,11 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<MmrMessage, Value>> {
                 Vec::new()
             }
-            fn on_message(&mut self, _f: NodeId, _m: MmrMessage) -> Vec<Effect<MmrMessage, Value>> {
+            fn on_message(
+                &mut self,
+                _f: NodeId,
+                _m: &MmrMessage,
+            ) -> Vec<Effect<MmrMessage, Value>> {
                 Vec::new()
             }
         }

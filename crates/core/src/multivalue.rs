@@ -108,7 +108,7 @@ impl<C: CoinScheme> Process for MultiValueProcess<C> {
         self.project(effects)
     }
 
-    fn on_message(&mut self, from: NodeId, msg: AcsMessage) -> Vec<Effect<AcsMessage, Vec<u8>>> {
+    fn on_message(&mut self, from: NodeId, msg: &AcsMessage) -> Vec<Effect<AcsMessage, Vec<u8>>> {
         let effects = self.inner.on_message(from, msg);
         self.project(effects)
     }

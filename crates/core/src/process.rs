@@ -62,7 +62,7 @@ impl<C: CoinScheme> Process for BrachaProcess<C> {
         Self::lift(self.node.start(self.input))
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Wire) -> Vec<Effect<Wire, Value>> {
+    fn on_message(&mut self, from: NodeId, msg: &Wire) -> Vec<Effect<Wire, Value>> {
         Self::lift(self.node.on_message(from, msg))
     }
 

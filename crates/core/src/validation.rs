@@ -37,9 +37,31 @@
 //! distinct), each existential check reduces to count arithmetic; the
 //! property tests at the bottom verify every predicate against brute-force
 //! subset enumeration.
+//!
+//! # Incremental evaluation
+//!
+//! Legality depends only on `(round, step, value, flag)` — there are just
+//! eight payload *kinds* per round — and it is monotone, so the validator
+//! caches one legality bit per kind and never re-derives a bit that is
+//! already set. Sender dedup is a [`NodeBitset`] probe instead of a list
+//! scan, and the pending buffer is woken by a dirty flag per `(round,
+//! step)` that is raised exactly when the counts feeding that step's
+//! predicates change (validating an `Initial` dirties the round's `Echo`
+//! and `Ready` checks; an `Echo` dirties `Ready`; a `Ready` dirties the
+//! *next* round's `Initial`). A drain pass therefore touches only the
+//! `(round, step)` cells whose verdicts can actually have changed, and
+//! releases every newly legal pending message in one batch.
+//!
+//! Crucially, validating a message of step `S` never alters the legality
+//! of step `S` in the same round (each predicate reads only *other*
+//! steps), so the batch release emits exactly the same sequence as the
+//! one-at-a-time first-legal scan it replaces — arrival order within a
+//! step, steps in protocol order, cascades restarting from the ingest
+//! round. The `incremental_matches_reference_scan` property test pins
+//! this equivalence against a transliteration of the original algorithm.
 
 use crate::StepPayload;
-use bft_types::{Config, NodeId, Round, Step, Value};
+use bft_types::{Config, NodeBitset, NodeId, Round, Step, Value};
 use std::collections::BTreeMap;
 
 /// Per-value counters for one step's validated messages.
@@ -69,23 +91,49 @@ impl ValueCounts {
     }
 }
 
+/// Number of distinct payload kinds per step (value, plus the D-flag for
+/// Ready). Kind indices: `value.index()` for Initial/Echo;
+/// `value.index() | flagged << 1` for Ready.
+const KINDS: [usize; 3] = [2, 2, 4];
+
+/// The kind index of a payload within its step (see [`KINDS`]).
+fn kind_index(payload: &StepPayload) -> usize {
+    match *payload {
+        StepPayload::Initial(v) | StepPayload::Echo(v) => v.index(),
+        StepPayload::Ready { value, flagged } => value.index() | (usize::from(flagged) << 1),
+    }
+}
+
 /// State of one round at one node.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 struct RoundState {
     /// Validated messages per step, in validation (arrival) order.
     validated: [Vec<(NodeId, StepPayload)>; 3],
-    /// Senders already validated per step (defence in depth; the RBC mux
+    /// Senders already ingested per step (defence in depth; the RBC mux
     /// already delivers at most once per instance).
-    seen: [Vec<NodeId>; 3],
+    seen: [NodeBitset; 3],
     /// Count summaries per step.
     counts: [ValueCounts; 3],
-    /// Payloads delivered but not yet legal, per step.
+    /// Payloads delivered but not yet legal, per step, in arrival order.
     pending: [Vec<(NodeId, StepPayload)>; 3],
+    /// Cached legality verdicts, one bit per kind per step. Legality is
+    /// monotone, so a set bit is never cleared or re-derived.
+    legal: [u8; 3],
+    /// Whether the inputs of this step's legality predicates (or its
+    /// pending buffer) changed since the last scan.
+    dirty: [bool; 3],
 }
 
 impl RoundState {
-    fn has_seen(&self, step: Step, from: NodeId) -> bool {
-        self.seen[step.index()].contains(&from)
+    fn new(n: usize) -> Self {
+        RoundState {
+            validated: Default::default(),
+            seen: [NodeBitset::new(n), NodeBitset::new(n), NodeBitset::new(n)],
+            counts: Default::default(),
+            pending: Default::default(),
+            legal: [0; 3],
+            dirty: [false; 3],
+        }
     }
 }
 
@@ -163,40 +211,34 @@ impl Validator {
         from: NodeId,
         payload: StepPayload,
     ) -> Vec<ValidatedMsg> {
-        let step = payload.step();
-        let state = self.rounds.entry(round).or_default();
-        if state.has_seen(step, from) {
+        if !self.config.contains(from) {
             return Vec::new();
         }
-        state.seen[step.index()].push(from);
+        let step = payload.step();
+        let n = self.config.n();
+        let state = self.rounds.entry(round).or_insert_with(|| RoundState::new(n));
+        if !state.seen[step.index()].insert(from) {
+            return Vec::new();
+        }
         state.pending[step.index()].push((from, payload));
+        state.dirty[step.index()] = true;
         self.drain(round)
     }
 
     /// Re-examines pending payloads starting at `round`, cascading
     /// forward, until a fixpoint.
+    ///
+    /// Only `(round, step)` cells whose dirty flag is raised are scanned;
+    /// everywhere else the no-new-legal-pending invariant already holds,
+    /// so skipping them emits nothing — exactly like the exhaustive scan
+    /// this replaces.
     fn drain(&mut self, start: Round) -> Vec<ValidatedMsg> {
         let mut out = Vec::new();
         let mut round = start;
         loop {
             let mut progressed = false;
             for step in Step::ALL {
-                // Not a `while let`: the loop needs a second mutable
-                // lookup after the immutable scan below.
-                #[allow(clippy::while_let_loop)]
-                loop {
-                    let Some(state) = self.rounds.get(&round) else { break };
-                    let idx = state.pending[step.index()]
-                        .iter()
-                        .position(|(_, p)| self.is_legal(round, p));
-                    let Some(idx) = idx else { break };
-                    let state = self.rounds.get_mut(&round).expect("state exists");
-                    let (from, payload) = state.pending[step.index()].remove(idx);
-                    state.counts[step.index()].record(&payload);
-                    state.validated[step.index()].push((from, payload));
-                    out.push(ValidatedMsg { round, from, payload });
-                    progressed = true;
-                }
+                progressed |= self.scan(round, step, &mut out);
             }
             if progressed {
                 // New validations may unlock the *next* round's pending
@@ -222,20 +264,88 @@ impl Validator {
         out
     }
 
+    /// Releases every pending message of `(round, step)` whose kind is
+    /// legal, in arrival order, refreshing the cached legality bits first.
+    /// Returns whether anything was released.
+    ///
+    /// Validating a message never changes the legality of its *own*
+    /// `(round, step)` (each predicate reads counts of other steps only),
+    /// so a single batch pass emits the same sequence as repeatedly
+    /// extracting the first legal message.
+    fn scan(&mut self, round: Round, step: Step, out: &mut Vec<ValidatedMsg>) -> bool {
+        let s = step.index();
+        {
+            let Some(state) = self.rounds.get_mut(&round) else { return false };
+            if !state.dirty[s] {
+                return false;
+            }
+            state.dirty[s] = false;
+            if state.pending[s].is_empty() {
+                return false;
+            }
+        }
+        let mask = if self.enforce {
+            let mut mask = self.rounds[&round].legal[s];
+            for kind in 0..KINDS[s] {
+                if mask & (1 << kind) == 0 && self.kind_legal(round, step, kind) {
+                    mask |= 1 << kind;
+                }
+            }
+            self.rounds.get_mut(&round).expect("state exists").legal[s] = mask;
+            mask
+        } else {
+            u8::MAX
+        };
+        if mask == 0 {
+            return false;
+        }
+
+        let state = self.rounds.get_mut(&round).expect("state exists");
+        let before = out.len();
+        let mut kept = Vec::new();
+        for (from, payload) in std::mem::take(&mut state.pending[s]) {
+            if mask & (1 << kind_index(&payload)) != 0 {
+                state.counts[s].record(&payload);
+                state.validated[s].push((from, payload));
+                out.push(ValidatedMsg { round, from, payload });
+            } else {
+                kept.push((from, payload));
+            }
+        }
+        state.pending[s] = kept;
+        if out.len() == before {
+            return false;
+        }
+
+        // The released messages changed this step's counts; raise the
+        // dirty flag everywhere those counts feed a legality predicate.
+        match step {
+            Step::Initial => {
+                state.dirty[Step::Echo.index()] = true;
+                state.dirty[Step::Ready.index()] = true;
+            }
+            Step::Echo => state.dirty[Step::Ready.index()] = true,
+            Step::Ready => {
+                if let Some(next) = self.rounds.get_mut(&round.next()) {
+                    next.dirty[Step::Initial.index()] = true;
+                }
+            }
+        }
+        true
+    }
+
     fn max_round(&self) -> Round {
         self.rounds.keys().next_back().copied().unwrap_or(Round::FIRST)
     }
 
-    /// Whether `payload` for `round` is legal given the currently
-    /// validated messages.
-    fn is_legal(&self, round: Round, payload: &StepPayload) -> bool {
-        if !self.enforce {
-            return true;
-        }
-        match *payload {
-            StepPayload::Initial(v) => self.legal_initial(round, v),
-            StepPayload::Echo(v) => self.legal_echo(round, v),
-            StepPayload::Ready { value, flagged } => self.legal_ready(round, value, flagged),
+    /// Whether kind `kind` of `step` (see [`kind_index`]) is legal in
+    /// `round` given the currently validated messages.
+    fn kind_legal(&self, round: Round, step: Step, kind: usize) -> bool {
+        let value = Value::from_bit((kind & 1) as u8);
+        match step {
+            Step::Initial => self.legal_initial(round, value),
+            Step::Echo => self.legal_echo(round, value),
+            Step::Ready => self.legal_ready(round, value, kind & 2 != 0),
         }
     }
 
@@ -564,6 +674,131 @@ mod tests {
         assert!(val.validated(R1, Step::Initial).is_empty());
     }
 
+    /// A transliteration of the pre-incremental validator: linear `seen`
+    /// scans, no cached verdicts, and a drain that repeatedly extracts the
+    /// *first* pending message whose payload is legal right now. Serves as
+    /// the reference oracle for `incremental_matches_reference_scan`.
+    #[derive(Clone, Debug, Default)]
+    struct ReferenceRound {
+        validated: [Vec<(NodeId, StepPayload)>; 3],
+        seen: [Vec<NodeId>; 3],
+        counts: [ValueCounts; 3],
+        pending: [Vec<(NodeId, StepPayload)>; 3],
+    }
+
+    struct ReferenceValidator {
+        config: Config,
+        enforce: bool,
+        rounds: BTreeMap<Round, ReferenceRound>,
+    }
+
+    impl ReferenceValidator {
+        fn new(config: Config, enforce: bool) -> Self {
+            ReferenceValidator { config, enforce, rounds: BTreeMap::new() }
+        }
+
+        fn validated(&self, round: Round, step: Step) -> &[(NodeId, StepPayload)] {
+            self.rounds.get(&round).map(|r| r.validated[step.index()].as_slice()).unwrap_or(&[])
+        }
+
+        fn pending_count(&self, round: Round) -> usize {
+            self.rounds.get(&round).map(|r| r.pending.iter().map(Vec::len).sum()).unwrap_or(0)
+        }
+
+        fn ingest(
+            &mut self,
+            round: Round,
+            from: NodeId,
+            payload: StepPayload,
+        ) -> Vec<ValidatedMsg> {
+            if !self.config.contains(from) {
+                return Vec::new();
+            }
+            let step = payload.step();
+            let state = self.rounds.entry(round).or_default();
+            if state.seen[step.index()].contains(&from) {
+                return Vec::new();
+            }
+            state.seen[step.index()].push(from);
+            state.pending[step.index()].push((from, payload));
+            self.drain(round)
+        }
+
+        fn drain(&mut self, start: Round) -> Vec<ValidatedMsg> {
+            let mut out = Vec::new();
+            let mut round = start;
+            loop {
+                let mut progressed = false;
+                for step in Step::ALL {
+                    while let Some(state) = self.rounds.get(&round) {
+                        let idx = state.pending[step.index()]
+                            .iter()
+                            .position(|(_, p)| self.is_legal(round, p));
+                        let Some(idx) = idx else { break };
+                        let state = self.rounds.get_mut(&round).expect("state exists");
+                        let (from, payload) = state.pending[step.index()].remove(idx);
+                        state.counts[step.index()].record(&payload);
+                        state.validated[step.index()].push((from, payload));
+                        out.push(ValidatedMsg { round, from, payload });
+                        progressed = true;
+                    }
+                }
+                if progressed {
+                    round = start;
+                    continue;
+                }
+                let max = self.rounds.keys().next_back().copied().unwrap_or(Round::FIRST);
+                let mut next = round.next();
+                while next <= max && !self.rounds.contains_key(&next) {
+                    next = next.next();
+                }
+                if next <= max {
+                    round = next;
+                } else {
+                    break;
+                }
+            }
+            out
+        }
+
+        fn is_legal(&self, round: Round, payload: &StepPayload) -> bool {
+            if !self.enforce {
+                return true;
+            }
+            let q = self.config.quorum();
+            match *payload {
+                StepPayload::Initial(v) => {
+                    let Some(prev) = round.prev() else { return true };
+                    let Some(state) = self.rounds.get(&prev) else { return false };
+                    let c = &state.counts[Step::Ready.index()];
+                    let f = self.config.f();
+                    let d_v = c.flagged[v.index()];
+                    let d_o = c.flagged[v.flipped().index()];
+                    let plain = c.plain[0] + c.plain[1];
+                    (d_v >= f + 1 && c.total() >= q) || d_v.min(f) + d_o.min(f) + plain >= q
+                }
+                StepPayload::Echo(v) => self.echo_legal(round, v),
+                StepPayload::Ready { value, flagged } => {
+                    let Some(state) = self.rounds.get(&round) else { return false };
+                    let echo = &state.counts[Step::Echo.index()];
+                    let m = self.config.majority_threshold();
+                    if flagged {
+                        return echo.have(value) >= m && echo.total() >= q;
+                    }
+                    self.echo_legal(round, value)
+                        && echo.have(Value::Zero).min(m - 1) + echo.have(Value::One).min(m - 1) >= q
+                }
+            }
+        }
+
+        fn echo_legal(&self, round: Round, u: Value) -> bool {
+            let Some(state) = self.rounds.get(&round) else { return false };
+            let c = &state.counts[Step::Initial.index()];
+            let q = self.config.quorum();
+            c.have(u) >= q.div_ceil(2) && c.total() >= q
+        }
+    }
+
     // ---- brute-force cross-checks of the legality predicates ----
 
     /// A message for the brute-force model: (value index, flagged).
@@ -791,6 +1026,56 @@ mod tests {
                         "validated sets diverged at {}/{:?}", round, step
                     );
                 }
+            }
+        }
+
+        /// Differential oracle: the incremental validator (cached legality
+        /// bits, bitset dedup, dirty-gated batch release) must emit the
+        /// exact same sequence of validated messages, ingest by ingest, as
+        /// a transliteration of the original one-at-a-time first-legal
+        /// scan. This pins the order the observability tests depend on,
+        /// not just the final sets.
+        #[test]
+        fn incremental_matches_reference_scan(
+            n in 4usize..8,
+            picks in proptest::collection::vec(
+                (0usize..8, 0u8..3, 0u8..2, 0u8..3, proptest::bool::ANY),
+                1..40,
+            ),
+            enforce in proptest::bool::ANY,
+        ) {
+            let config = Config::max_resilience(n).unwrap();
+            let mut fast = Validator::new(config, enforce);
+            let mut slow = ReferenceValidator::new(config, enforce);
+            let mut seen = std::collections::HashSet::new();
+            for (sender, round_sel, value, step_sel, flag) in picks {
+                let sender = sender % n;
+                let round = Round::new(u64::from(round_sel) + 1);
+                let value = Value::from_bit(value);
+                let payload = match step_sel {
+                    0 => StepPayload::Initial(value),
+                    1 => StepPayload::Echo(value),
+                    _ => StepPayload::Ready { value, flagged: flag },
+                };
+                if !seen.insert((round, payload.step(), sender)) {
+                    continue;
+                }
+                let a = fast.ingest(round, nid(sender), payload);
+                let b = slow.ingest(round, nid(sender), payload);
+                prop_assert_eq!(
+                    &a, &b,
+                    "emission sequence diverged at ({}, {:?}, n{})",
+                    round, payload, sender
+                );
+            }
+            for round in (1..=3).map(Round::new) {
+                for step in Step::ALL {
+                    prop_assert_eq!(
+                        fast.validated(round, step),
+                        slow.validated(round, step)
+                    );
+                }
+                prop_assert_eq!(fast.pending_count(round), slow.pending_count(round));
             }
         }
 

@@ -69,7 +69,7 @@ fn clusters_decide_under_hand_rolled_loop() {
         }
         while let Some((Reverse((t, s)), from, to)) = heap.pop() {
             let msg = payloads.remove(&s).unwrap();
-            let effs = procs[to].on_message(NodeId::new(from), msg);
+            let effs = procs[to].on_message(NodeId::new(from), &msg);
             push(n, to, effs, t, &mut heap, &mut payloads, &mut rng, &mut seq, &mut link_clock);
             if procs.iter().all(|p| p.output().is_some()) {
                 break;

@@ -2,10 +2,8 @@
 
 use crate::RbcMessage;
 use bft_obs::{Event as ObsEvent, Obs, RbcPhase};
-use bft_types::{Config, NodeId};
-use std::collections::{HashMap, HashSet};
+use bft_types::{Config, NodeBitset, NodeId};
 use std::fmt;
-use std::hash::Hash;
 
 /// An instruction produced by an [`RbcInstance`] for its host.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,19 +30,25 @@ pub enum RbcAction<P> {
 ///   (channels are authenticated), and only the first one counts.
 /// * At most one `Echo` and one `Ready` per peer are counted; later
 ///   (possibly conflicting) ones from the same peer are ignored.
+///
+/// Hot-path layout: per-peer dedup happens *before* payload counting
+/// (the `*_peers` bitsets), so the per-payload supporter sets collapse to
+/// plain counts — honest runs keep exactly one `(payload, count)` entry
+/// and the adversarial worst case stays at one entry per distinct
+/// payload, probed by linear scan without hashing.
 #[derive(Clone, Debug)]
 pub struct RbcInstance<P> {
     config: Config,
     me: NodeId,
     sender: NodeId,
-    /// Nodes whose Echo we have counted, per payload.
-    echoes: HashMap<P, HashSet<NodeId>>,
-    /// Nodes whose Ready we have counted, per payload.
-    readies: HashMap<P, HashSet<NodeId>>,
+    /// Distinct Echo payloads and how many peers support each.
+    echoes: Vec<(P, usize)>,
+    /// Distinct Ready payloads and how many peers support each.
+    readies: Vec<(P, usize)>,
     /// Nodes we've already counted an Echo from (any payload).
-    echoed_peers: HashSet<NodeId>,
+    echoed_peers: NodeBitset,
     /// Nodes we've already counted a Ready from (any payload).
-    readied_peers: HashSet<NodeId>,
+    readied_peers: NodeBitset,
     sent_echo: bool,
     sent_ready: bool,
     started: bool,
@@ -57,7 +61,7 @@ pub struct RbcInstance<P> {
 
 impl<P> RbcInstance<P>
 where
-    P: Clone + Eq + Hash + fmt::Debug,
+    P: Clone + Eq + fmt::Debug,
 {
     /// Creates the instance state for node `me` with designated `sender`.
     pub fn new(config: Config, me: NodeId, sender: NodeId) -> Self {
@@ -65,10 +69,10 @@ where
             config,
             me,
             sender,
-            echoes: HashMap::new(),
-            readies: HashMap::new(),
-            echoed_peers: HashSet::new(),
-            readied_peers: HashSet::new(),
+            echoes: Vec::new(),
+            readies: Vec::new(),
+            echoed_peers: NodeBitset::new(config.n()),
+            readied_peers: NodeBitset::new(config.n()),
             sent_echo: false,
             sent_ready: false,
             started: false,
@@ -109,7 +113,11 @@ where
     }
 
     /// Processes one instance message from (authenticated) peer `from`.
-    pub fn on_message(&mut self, from: NodeId, msg: RbcMessage<P>) -> Vec<RbcAction<P>> {
+    ///
+    /// The message arrives by reference (the transport may share one
+    /// allocation across recipients); the payload is cloned only when it
+    /// is stored or re-broadcast.
+    pub fn on_message(&mut self, from: NodeId, msg: &RbcMessage<P>) -> Vec<RbcAction<P>> {
         if !self.config.contains(from) {
             return Vec::new();
         }
@@ -121,14 +129,12 @@ where
                     self.sent_echo = true;
                     self.emit_phase(RbcPhase::Send);
                     self.emit_phase(RbcPhase::Echo);
-                    actions.push(RbcAction::Broadcast(RbcMessage::Echo(payload)));
+                    actions.push(RbcAction::Broadcast(RbcMessage::Echo(payload.clone())));
                 }
             }
             RbcMessage::Echo(payload) => {
                 if self.echoed_peers.insert(from) {
-                    let supporters = self.echoes.entry(payload.clone()).or_default();
-                    supporters.insert(from);
-                    let count = supporters.len();
+                    let count = Self::bump(&mut self.echoes, payload);
                     if count >= self.config.echo_threshold() {
                         self.maybe_send_ready(payload, RbcPhase::Echo, count, &mut actions);
                     }
@@ -136,16 +142,9 @@ where
             }
             RbcMessage::Ready(payload) => {
                 if self.readied_peers.insert(from) {
-                    let supporters = self.readies.entry(payload.clone()).or_default();
-                    supporters.insert(from);
-                    let count = supporters.len();
+                    let count = Self::bump(&mut self.readies, payload);
                     if count >= self.config.ready_threshold() {
-                        self.maybe_send_ready(
-                            payload.clone(),
-                            RbcPhase::Ready,
-                            count,
-                            &mut actions,
-                        );
+                        self.maybe_send_ready(payload, RbcPhase::Ready, count, &mut actions);
                     }
                     if count >= self.config.decide_threshold() && self.delivered.is_none() {
                         self.delivered = Some(payload.clone());
@@ -154,12 +153,23 @@ where
                             tag: self.tag_label.clone(),
                             support: count as u64,
                         });
-                        actions.push(RbcAction::Deliver(payload));
+                        actions.push(RbcAction::Deliver(payload.clone()));
                     }
                 }
             }
         }
         actions
+    }
+
+    /// Increments `payload`'s supporter count, returning the new count.
+    /// Linear probe: honest executions have exactly one distinct payload.
+    fn bump(counts: &mut Vec<(P, usize)>, payload: &P) -> usize {
+        if let Some(entry) = counts.iter_mut().find(|(p, _)| p == payload) {
+            entry.1 += 1;
+            return entry.1;
+        }
+        counts.push((payload.clone(), 1));
+        1
     }
 
     fn emit_phase(&self, phase: RbcPhase) {
@@ -175,7 +185,7 @@ where
     /// amplification) and `support` its size.
     fn maybe_send_ready(
         &mut self,
-        payload: P,
+        payload: &P,
         via: RbcPhase,
         support: usize,
         actions: &mut Vec<RbcAction<P>>,
@@ -189,7 +199,7 @@ where
                 support: support as u64,
             });
             self.emit_phase(RbcPhase::Ready);
-            actions.push(RbcAction::Broadcast(RbcMessage::Ready(payload)));
+            actions.push(RbcAction::Broadcast(RbcMessage::Ready(payload.clone())));
         }
     }
 }
@@ -223,38 +233,38 @@ mod tests {
     #[test]
     fn echo_only_for_designated_sender() {
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        assert!(inst.on_message(n(2), RbcMessage::Send("evil")).is_empty());
-        let a = inst.on_message(n(0), RbcMessage::Send("m"));
+        assert!(inst.on_message(n(2), &RbcMessage::Send("evil")).is_empty());
+        let a = inst.on_message(n(0), &RbcMessage::Send("m"));
         assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Echo("m"))]);
     }
 
     #[test]
     fn first_send_wins() {
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        let a = inst.on_message(n(0), RbcMessage::Send("m1"));
+        let a = inst.on_message(n(0), &RbcMessage::Send("m1"));
         assert_eq!(a.len(), 1);
-        assert!(inst.on_message(n(0), RbcMessage::Send("m2")).is_empty());
+        assert!(inst.on_message(n(0), &RbcMessage::Send("m2")).is_empty());
     }
 
     #[test]
     fn echo_quorum_triggers_ready() {
         // n=4, f=1: echo threshold = ⌈6/2⌉ = 3.
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        assert!(inst.on_message(n(0), RbcMessage::Echo("m")).is_empty());
-        assert!(inst.on_message(n(2), RbcMessage::Echo("m")).is_empty());
-        let a = inst.on_message(n(3), RbcMessage::Echo("m"));
+        assert!(inst.on_message(n(0), &RbcMessage::Echo("m")).is_empty());
+        assert!(inst.on_message(n(2), &RbcMessage::Echo("m")).is_empty());
+        let a = inst.on_message(n(3), &RbcMessage::Echo("m"));
         assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Ready("m"))]);
     }
 
     #[test]
     fn duplicate_echoes_from_same_peer_ignored() {
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        assert!(inst.on_message(n(2), RbcMessage::Echo("m")).is_empty());
-        assert!(inst.on_message(n(2), RbcMessage::Echo("m")).is_empty());
-        assert!(inst.on_message(n(2), RbcMessage::Echo("other")).is_empty());
+        assert!(inst.on_message(n(2), &RbcMessage::Echo("m")).is_empty());
+        assert!(inst.on_message(n(2), &RbcMessage::Echo("m")).is_empty());
+        assert!(inst.on_message(n(2), &RbcMessage::Echo("other")).is_empty());
         // Only one distinct echoer so far; two more are needed.
-        assert!(inst.on_message(n(3), RbcMessage::Echo("m")).is_empty());
-        let a = inst.on_message(n(0), RbcMessage::Echo("m"));
+        assert!(inst.on_message(n(3), &RbcMessage::Echo("m")).is_empty());
+        let a = inst.on_message(n(0), &RbcMessage::Echo("m"));
         assert_eq!(a.len(), 1);
     }
 
@@ -262,18 +272,18 @@ mod tests {
     fn ready_amplification_at_f_plus_one() {
         // f+1 = 2 Readys make us Ready without any Echo quorum.
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        assert!(inst.on_message(n(2), RbcMessage::Ready("m")).is_empty());
-        let a = inst.on_message(n(3), RbcMessage::Ready("m"));
+        assert!(inst.on_message(n(2), &RbcMessage::Ready("m")).is_empty());
+        let a = inst.on_message(n(3), &RbcMessage::Ready("m"));
         assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Ready("m"))]);
     }
 
     #[test]
     fn delivery_at_two_f_plus_one_readys() {
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        assert!(inst.on_message(n(0), RbcMessage::Ready("m")).is_empty());
-        let a = inst.on_message(n(2), RbcMessage::Ready("m"));
+        assert!(inst.on_message(n(0), &RbcMessage::Ready("m")).is_empty());
+        let a = inst.on_message(n(2), &RbcMessage::Ready("m"));
         assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::Ready("m"))]);
-        let a = inst.on_message(n(3), RbcMessage::Ready("m"));
+        let a = inst.on_message(n(3), &RbcMessage::Ready("m"));
         assert_eq!(a, vec![RbcAction::Deliver("m")]);
         assert_eq!(inst.delivered(), Some(&"m"));
     }
@@ -282,11 +292,11 @@ mod tests {
     fn delivery_happens_once() {
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
         for i in [0usize, 2, 3] {
-            let _ = inst.on_message(n(i), RbcMessage::Ready("m"));
+            let _ = inst.on_message(n(i), &RbcMessage::Ready("m"));
         }
         assert_eq!(inst.delivered(), Some(&"m"));
         // A fourth Ready must not deliver again.
-        assert!(inst.on_message(n(1), RbcMessage::Ready("m")).is_empty());
+        assert!(inst.on_message(n(1), &RbcMessage::Ready("m")).is_empty());
     }
 
     #[test]
@@ -295,17 +305,17 @@ mod tests {
         // of senders cannot push two payloads to 2f+1 distinct supporters
         // with only n = 4 peers.
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        let _ = inst.on_message(n(0), RbcMessage::Ready("a"));
-        let _ = inst.on_message(n(2), RbcMessage::Ready("b"));
-        let _ = inst.on_message(n(3), RbcMessage::Ready("a"));
-        let _ = inst.on_message(n(1), RbcMessage::Ready("b"));
+        let _ = inst.on_message(n(0), &RbcMessage::Ready("a"));
+        let _ = inst.on_message(n(2), &RbcMessage::Ready("b"));
+        let _ = inst.on_message(n(3), &RbcMessage::Ready("a"));
+        let _ = inst.on_message(n(1), &RbcMessage::Ready("b"));
         assert_eq!(inst.delivered(), None);
     }
 
     #[test]
     fn messages_from_unknown_nodes_are_dropped() {
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
-        assert!(inst.on_message(n(7), RbcMessage::Ready("m")).is_empty());
+        assert!(inst.on_message(n(7), &RbcMessage::Ready("m")).is_empty());
         assert!(inst.readied_peers.is_empty());
     }
 }

@@ -77,7 +77,7 @@ pub struct RbcMux<T, P> {
 impl<T, P> RbcMux<T, P>
 where
     T: Clone + Eq + Hash + fmt::Debug,
-    P: Clone + Eq + Hash + fmt::Debug,
+    P: Clone + Eq + fmt::Debug,
 {
     /// Creates an empty multiplexer for node `me`.
     pub fn new(config: Config, me: NodeId) -> Self {
@@ -123,17 +123,21 @@ where
     }
 
     /// Processes one multiplexed message from (authenticated) peer `from`.
+    ///
+    /// The message arrives by reference (transports share one allocation
+    /// across all recipients of a broadcast); the mux clones only the tag
+    /// and whatever payload pieces the instance stores.
     pub fn on_message(
         &mut self,
         from: NodeId,
-        msg: RbcMuxMessage<T, P>,
+        msg: &RbcMuxMessage<T, P>,
     ) -> Vec<RbcMuxAction<T, P>> {
-        let RbcMuxMessage { sender, tag, msg } = msg;
+        let sender = msg.sender;
         if !self.config.contains(sender) {
             return Vec::new();
         }
-        let actions = self.instance(sender, tag.clone()).on_message(from, msg);
-        Self::lift(sender, tag, actions)
+        let actions = self.instance(sender, msg.tag.clone()).on_message(from, &msg.msg);
+        Self::lift(sender, msg.tag.clone(), actions)
     }
 
     /// The payload delivered by instance `(sender, tag)`, if any.
@@ -215,7 +219,7 @@ mod tests {
         // rotates through 0..4 in push order).
         let mut target = 0usize;
         while let Some((from, msg)) = inbox.pop() {
-            let acts = muxes[target % 4].on_message(from, msg);
+            let acts = muxes[target % 4].on_message(from, &msg);
             let at = n(target % 4);
             target += 1;
             dispatch(at, acts, &mut inbox, &mut delivered);
@@ -235,7 +239,7 @@ mod tests {
         for i in [0usize, 2, 3] {
             let _ = mux.on_message(
                 n(i),
-                RbcMuxMessage { sender: n(0), tag: 1, msg: RbcMessage::Ready("m") },
+                &RbcMuxMessage { sender: n(0), tag: 1, msg: RbcMessage::Ready("m") },
             );
         }
         assert_eq!(mux.delivered(n(0), &1), Some(&"m"));
@@ -247,9 +251,9 @@ mod tests {
     fn instances_are_isolated_by_sender() {
         let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
         let _ = mux
-            .on_message(n(2), RbcMuxMessage { sender: n(2), tag: 1, msg: RbcMessage::Ready("a") });
+            .on_message(n(2), &RbcMuxMessage { sender: n(2), tag: 1, msg: RbcMessage::Ready("a") });
         let _ = mux
-            .on_message(n(3), RbcMuxMessage { sender: n(3), tag: 1, msg: RbcMessage::Ready("a") });
+            .on_message(n(3), &RbcMuxMessage { sender: n(3), tag: 1, msg: RbcMessage::Ready("a") });
         // Two Readys but for *different* instances: no amplification.
         assert_eq!(mux.delivered(n(2), &1), None);
         assert_eq!(mux.delivered(n(3), &1), None);
@@ -260,7 +264,7 @@ mod tests {
     fn messages_for_out_of_range_senders_are_dropped() {
         let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
         let acts = mux
-            .on_message(n(2), RbcMuxMessage { sender: n(9), tag: 1, msg: RbcMessage::Ready("a") });
+            .on_message(n(2), &RbcMuxMessage { sender: n(9), tag: 1, msg: RbcMessage::Ready("a") });
         assert!(acts.is_empty());
         assert_eq!(mux.instance_count(), 0);
     }
@@ -281,7 +285,7 @@ mod tests {
         for i in [0usize, 2, 3] {
             let _ = mux.on_message(
                 n(i),
-                RbcMuxMessage { sender: n(0), tag: 5, msg: RbcMessage::Ready("m") },
+                &RbcMuxMessage { sender: n(0), tag: 5, msg: RbcMessage::Ready("m") },
             );
         }
         let all: Vec<_> = mux.deliveries().collect();

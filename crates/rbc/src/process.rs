@@ -79,7 +79,11 @@ where
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Msg) -> Vec<Effect<Self::Msg, Self::Output>> {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: &Self::Msg,
+    ) -> Vec<Effect<Self::Msg, Self::Output>> {
         Self::lift(self.instance.on_message(from, msg))
     }
 
@@ -140,7 +144,7 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<Self::Msg, String>> {
                 vec![Effect::Broadcast { msg: RbcMessage::Send("m".to_string()) }, Effect::Halt]
             }
-            fn on_message(&mut self, _f: NodeId, _m: Self::Msg) -> Vec<Effect<Self::Msg, String>> {
+            fn on_message(&mut self, _f: NodeId, _m: &Self::Msg) -> Vec<Effect<Self::Msg, String>> {
                 Vec::new()
             }
         }
@@ -173,7 +177,7 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<Self::Msg, String>> {
                 Vec::new()
             }
-            fn on_message(&mut self, _f: NodeId, _m: Self::Msg) -> Vec<Effect<Self::Msg, String>> {
+            fn on_message(&mut self, _f: NodeId, _m: &Self::Msg) -> Vec<Effect<Self::Msg, String>> {
                 Vec::new()
             }
         }

@@ -81,12 +81,12 @@ where
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: RbcMessage<P>) -> Vec<Effect<RbcMessage<P>, P>> {
+    fn on_message(&mut self, from: NodeId, msg: &RbcMessage<P>) -> Vec<Effect<RbcMessage<P>, P>> {
         match msg {
             RbcMessage::Send(p) => {
                 if from == self.sender && !self.echoed {
                     self.echoed = true;
-                    return vec![Effect::Broadcast { msg: RbcMessage::Echo(p) }];
+                    return vec![Effect::Broadcast { msg: RbcMessage::Echo(p.clone()) }];
                 }
             }
             RbcMessage::Echo(p) => {
@@ -96,7 +96,7 @@ where
                     if supporters.len() >= self.config.echo_threshold() && self.delivered.is_none()
                     {
                         self.delivered = Some(p.clone());
-                        return vec![Effect::Output(p)];
+                        return vec![Effect::Output(p.clone())];
                     }
                 }
             }
@@ -154,7 +154,7 @@ mod tests {
                 Effect::Send { to: NodeId::new(1), msg: RbcMessage::Echo("m".to_string()) },
             ]
         }
-        fn on_message(&mut self, _f: NodeId, _m: Self::Msg) -> Vec<Effect<Self::Msg, String>> {
+        fn on_message(&mut self, _f: NodeId, _m: &Self::Msg) -> Vec<Effect<Self::Msg, String>> {
             Vec::new()
         }
     }

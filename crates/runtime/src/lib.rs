@@ -29,7 +29,7 @@
 //!     fn on_start(&mut self) -> Vec<Effect<(), usize>> {
 //!         vec![Effect::Broadcast { msg: () }]
 //!     }
-//!     fn on_message(&mut self, _from: NodeId, _msg: ()) -> Vec<Effect<(), usize>> {
+//!     fn on_message(&mut self, _from: NodeId, _msg: &()) -> Vec<Effect<(), usize>> {
 //!         self.heard += 1;
 //!         if self.heard == self.n {
 //!             vec![Effect::Output(self.heard), Effect::Halt]
@@ -136,7 +136,7 @@ impl<M, O> fmt::Debug for Runtime<M, O> {
 
 impl<M, O> Runtime<M, O>
 where
-    M: Clone + fmt::Debug + Send + 'static,
+    M: Clone + fmt::Debug + Send + Sync + 'static,
     O: Clone + fmt::Debug + PartialEq + Send + 'static,
 {
     /// Creates an empty runtime for `n` nodes (default timeout: 30 s, no
@@ -290,7 +290,7 @@ fn actor_loop<M, O>(
     jitter_us: u64,
     obs: &Obs,
 ) where
-    M: Clone + fmt::Debug + Send + 'static,
+    M: Clone + fmt::Debug + Send + Sync + 'static,
     O: Clone + fmt::Debug + PartialEq + Send + 'static,
 {
     let me = proc_.id();
@@ -324,7 +324,7 @@ fn actor_loop<M, O>(
                 }
                 jitter();
                 obs.emit(me, || ObsEvent::MessageDelivered { from: env.from, kind: "msg" });
-                let effects = proc_.on_message(env.from, env.msg);
+                let effects = proc_.on_message(env.from, &env.msg);
                 apply(me, effects, senders, outputs, &mut halted, obs);
             }
             Ok(Ctrl::Stop) | Err(_) => break,
@@ -349,14 +349,17 @@ fn apply<M, O>(
                     // The runtime has no classifier; sends are unkinded
                     // and unsized on the event stream.
                     obs.emit(me, || ObsEvent::MessageSent { to, kind: "msg", bytes: 0 });
-                    let _ = tx.send(Ctrl::Deliver(Envelope { from: me, to, msg }));
+                    let _ = tx.send(Ctrl::Deliver(Envelope::new(me, to, msg)));
                 }
             }
             Effect::Broadcast { msg } => {
+                // One allocation for the whole fan-out: every recipient's
+                // envelope shares the same payload.
+                let shared = Arc::new(msg);
                 for (i, tx) in senders.iter().enumerate() {
                     let to = NodeId::new(i);
                     obs.emit(me, || ObsEvent::MessageSent { to, kind: "msg", bytes: 0 });
-                    let _ = tx.send(Ctrl::Deliver(Envelope { from: me, to, msg: msg.clone() }));
+                    let _ = tx.send(Ctrl::Deliver(Envelope::shared(me, to, Arc::clone(&shared))));
                 }
             }
             Effect::Output(o) => {
@@ -391,7 +394,7 @@ mod tests {
         fn on_start(&mut self) -> Vec<Effect<(), usize>> {
             vec![Effect::Broadcast { msg: () }]
         }
-        fn on_message(&mut self, _from: NodeId, _msg: ()) -> Vec<Effect<(), usize>> {
+        fn on_message(&mut self, _from: NodeId, _msg: &()) -> Vec<Effect<(), usize>> {
             self.heard += 1;
             if self.heard == self.n {
                 vec![Effect::Output(self.heard), Effect::Halt]
@@ -428,7 +431,7 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<(), usize>> {
                 Vec::new()
             }
-            fn on_message(&mut self, _f: NodeId, _m: ()) -> Vec<Effect<(), usize>> {
+            fn on_message(&mut self, _f: NodeId, _m: &()) -> Vec<Effect<(), usize>> {
                 Vec::new()
             }
         }
@@ -454,7 +457,7 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<(), usize>> {
                 Vec::new()
             }
-            fn on_message(&mut self, _f: NodeId, _m: ()) -> Vec<Effect<(), usize>> {
+            fn on_message(&mut self, _f: NodeId, _m: &()) -> Vec<Effect<(), usize>> {
                 Vec::new()
             }
         }

@@ -40,7 +40,7 @@
 //!     fn on_start(&mut self) -> Vec<Effect<(), usize>> {
 //!         vec![Effect::Broadcast { msg: () }]
 //!     }
-//!     fn on_message(&mut self, _from: NodeId, _msg: ()) -> Vec<Effect<(), usize>> {
+//!     fn on_message(&mut self, _from: NodeId, _msg: &()) -> Vec<Effect<(), usize>> {
 //!         self.heard += 1;
 //!         if self.heard == self.n && !self.done {
 //!             self.done = true;
@@ -80,4 +80,4 @@ pub use scheduler::{
     UniformDelay,
 };
 pub use time::SimTime;
-pub use world::{StopPolicy, World, WorldConfig};
+pub use world::{StopPolicy, World, WorldConfig, DEFAULT_TRACE_CAPACITY};

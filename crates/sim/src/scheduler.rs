@@ -48,7 +48,7 @@ impl<M> Scheduler<M> for BoxedScheduler<M> {
 /// use bft_types::{Envelope, NodeId};
 ///
 /// let mut s = FixedDelay::new(3);
-/// let env = Envelope { from: NodeId::new(0), to: NodeId::new(1), msg: () };
+/// let env = Envelope::new(NodeId::new(0), NodeId::new(1), ());
 /// assert_eq!(s.delay(&env, SimTime::ZERO), 3);
 /// ```
 #[derive(Clone, Copy, Debug)]
@@ -183,7 +183,7 @@ impl<M> Scheduler<M> for PartitionDelay {
 /// let mut s = FnScheduler::new(|env: &Envelope<()>, _now| {
 ///     if env.to == NodeId::new(0) { 100 } else { 1 }
 /// });
-/// let env = Envelope { from: NodeId::new(1), to: NodeId::new(0), msg: () };
+/// let env = Envelope::new(NodeId::new(1), NodeId::new(0), ());
 /// assert_eq!(s.delay(&env, SimTime::ZERO), 100);
 /// ```
 #[derive(Clone, Debug)]
@@ -213,7 +213,7 @@ mod tests {
     use bft_types::NodeId;
 
     fn env(from: usize, to: usize) -> Envelope<u8> {
-        Envelope { from: NodeId::new(from), to: NodeId::new(to), msg: 0 }
+        Envelope::new(NodeId::new(from), NodeId::new(to), 0)
     }
 
     #[test]

@@ -5,8 +5,9 @@ use crate::metrics::MsgClass;
 use crate::{Metrics, Report, Scheduler, SimTime, StopReason, TraceEntry};
 use bft_obs::{Event as ObsEvent, Obs};
 use bft_types::{Effect, Envelope, NodeId, Process};
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// How often (in processed events) the world samples its pending-delivery
 /// queue depth into the observer stream.
@@ -35,7 +36,12 @@ pub struct WorldConfig {
     max_delivered: u64,
     max_time: SimTime,
     capture_trace: bool,
+    trace_capacity: usize,
 }
+
+/// Default bound on the captured trace: enough for a whole scripted run,
+/// small enough that week-long soak runs stay at constant memory.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 impl WorldConfig {
     /// Creates a configuration for `n` nodes with default budgets
@@ -52,6 +58,7 @@ impl WorldConfig {
             max_delivered: 10_000_000,
             max_time: SimTime::from_ticks(u64::MAX),
             capture_trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -74,10 +81,26 @@ impl WorldConfig {
         self
     }
 
-    /// Enables capture of a full execution trace (allocates; debugging
-    /// aid).
+    /// Enables capture of an execution trace (allocates; debugging aid).
+    /// The trace is a ring buffer holding the most recent
+    /// [`DEFAULT_TRACE_CAPACITY`] entries unless overridden with
+    /// [`WorldConfig::trace_capacity`].
     pub fn capture_trace(mut self, on: bool) -> Self {
         self.capture_trace = on;
+        self
+    }
+
+    /// Bounds the captured trace to the most recent `capacity` entries.
+    /// Long runs would otherwise grow the trace without bound, distorting
+    /// memory measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — use
+    /// [`WorldConfig::capture_trace`]`(false)` to disable tracing.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.trace_capacity = capacity;
         self
     }
 
@@ -107,7 +130,7 @@ pub struct World<M, O, S> {
     outputs: BTreeMap<NodeId, O>,
     output_times: BTreeMap<NodeId, SimTime>,
     output_rounds: BTreeMap<NodeId, u64>,
-    trace: Vec<TraceEntry>,
+    trace: VecDeque<TraceEntry>,
     now: SimTime,
 }
 
@@ -136,7 +159,7 @@ where
             outputs: BTreeMap::new(),
             output_times: BTreeMap::new(),
             output_rounds: BTreeMap::new(),
-            trace: Vec::new(),
+            trace: VecDeque::new(),
             now: SimTime::ZERO,
         }
     }
@@ -199,14 +222,25 @@ where
         self.classifier.map(|c| c(msg))
     }
 
+    /// Appends a trace entry, evicting the oldest once the ring is full.
+    fn record_trace(&mut self, at: NodeId, what: String) {
+        if self.trace.len() >= self.config.trace_capacity {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(TraceEntry { time: self.now, at, what });
+    }
+
     /// Applies the effects a process produced at the current time.
     fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect<M, O>>) {
         for effect in effects {
             match effect {
-                Effect::Send { to, msg } => self.enqueue_send(from, to, msg),
+                Effect::Send { to, msg } => self.enqueue_send(from, to, Arc::new(msg)),
                 Effect::Broadcast { msg } => {
+                    // Zero-copy fan-out: one allocation shared by every
+                    // recipient's envelope.
+                    let shared = Arc::new(msg);
                     for to in NodeId::all(self.config.n) {
-                        self.enqueue_send(from, to, msg.clone());
+                        self.enqueue_send(from, to, Arc::clone(&shared));
                     }
                 }
                 Effect::Output(o) => {
@@ -218,11 +252,7 @@ where
                             self.procs[from.index()].as_ref().map(|p| p.round()).unwrap_or(0);
                         self.output_rounds.insert(from, round);
                         if self.config.capture_trace {
-                            self.trace.push(TraceEntry {
-                                time: self.now,
-                                at: from,
-                                what: "output".into(),
-                            });
+                            self.record_trace(from, "output".into());
                         }
                     }
                 }
@@ -239,7 +269,7 @@ where
         }
     }
 
-    fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: M) {
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: Arc<M>) {
         assert!(to.index() < self.config.n, "destination {to} out of range");
         let class = self.classify(&msg);
         self.metrics.record_send(from, class);
@@ -247,7 +277,7 @@ where
             let (kind, bytes) = class.map_or(("msg", 0), |c| (c.kind, c.bytes as u64));
             self.obs.emit(from, || ObsEvent::MessageSent { to, kind, bytes });
         }
-        let envelope = Envelope { from, to, msg };
+        let envelope = Envelope::shared(from, to, msg);
         let delay = self.scheduler.delay(&envelope, self.now);
         let link = from.index() * self.config.n + to.index();
         // FIFO links: delivery times per directed link are non-decreasing,
@@ -320,11 +350,7 @@ where
                         continue;
                     }
                     if self.config.capture_trace {
-                        self.trace.push(TraceEntry {
-                            time: self.now,
-                            at: id,
-                            what: "start".into(),
-                        });
+                        self.record_trace(id, "start".into());
                     }
                     let effects =
                         self.procs[id.index()].as_mut().expect("slot populated").on_start();
@@ -347,16 +373,13 @@ where
                         self.obs.emit(to, || ObsEvent::MessageDelivered { from, kind });
                     }
                     if self.config.capture_trace {
-                        self.trace.push(TraceEntry {
-                            time: self.now,
-                            at: to,
-                            what: format!("deliver {}: {:?}", envelope.from, envelope.msg),
-                        });
+                        let what = format!("deliver {}: {:?}", envelope.from, envelope.msg);
+                        self.record_trace(to, what);
                     }
                     let effects = self.procs[to.index()]
                         .as_mut()
                         .expect("slot populated")
-                        .on_message(envelope.from, envelope.msg);
+                        .on_message(envelope.from, &envelope.msg);
                     self.apply_effects(to, effects);
                     if self.procs[to.index()].as_ref().expect("slot populated").is_halted() {
                         self.mark_halted(to);
@@ -394,7 +417,7 @@ where
             max_round,
             metrics: self.metrics,
             correct: (0..self.config.n).filter(|&i| !self.faulty[i]).map(NodeId::new).collect(),
-            trace: self.trace,
+            trace: self.trace.into(),
         }
     }
 }
@@ -428,10 +451,10 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, _from: NodeId, msg: u8) -> Vec<Effect<u8, u8>> {
+        fn on_message(&mut self, _from: NodeId, msg: &u8) -> Vec<Effect<u8, u8>> {
             if self.decided.is_none() {
-                self.decided = Some(msg);
-                return vec![Effect::Output(msg), Effect::Halt];
+                self.decided = Some(*msg);
+                return vec![Effect::Output(*msg), Effect::Halt];
             }
             Vec::new()
         }
@@ -492,7 +515,7 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<u8, Vec<u8>>> {
                 (0..10).map(|i| Effect::Send { to: NodeId::new(1), msg: i }).collect()
             }
-            fn on_message(&mut self, _f: NodeId, _m: u8) -> Vec<Effect<u8, Vec<u8>>> {
+            fn on_message(&mut self, _f: NodeId, _m: &u8) -> Vec<Effect<u8, Vec<u8>>> {
                 Vec::new()
             }
         }
@@ -509,8 +532,8 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<u8, Vec<u8>>> {
                 Vec::new()
             }
-            fn on_message(&mut self, _f: NodeId, m: u8) -> Vec<Effect<u8, Vec<u8>>> {
-                self.got.push(m);
+            fn on_message(&mut self, _f: NodeId, m: &u8) -> Vec<Effect<u8, Vec<u8>>> {
+                self.got.push(*m);
                 if self.got.len() == 10 {
                     vec![Effect::Output(self.got.clone())]
                 } else {
@@ -554,7 +577,7 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
                 Vec::new()
             }
-            fn on_message(&mut self, _f: NodeId, _m: u8) -> Vec<Effect<u8, u8>> {
+            fn on_message(&mut self, _f: NodeId, _m: &u8) -> Vec<Effect<u8, u8>> {
                 Vec::new()
             }
         }
@@ -592,7 +615,7 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
                 Vec::new()
             }
-            fn on_message(&mut self, _f: NodeId, _m: u8) -> Vec<Effect<u8, u8>> {
+            fn on_message(&mut self, _f: NodeId, _m: &u8) -> Vec<Effect<u8, u8>> {
                 Vec::new()
             }
         }
@@ -619,8 +642,8 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
                 vec![Effect::Send { to: NodeId::new(1 - self.id.index()), msg: 0 }]
             }
-            fn on_message(&mut self, from: NodeId, m: u8) -> Vec<Effect<u8, u8>> {
-                vec![Effect::Send { to: from, msg: m }]
+            fn on_message(&mut self, from: NodeId, m: &u8) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: from, msg: *m }]
             }
         }
         let config = WorldConfig::new(2).max_delivered(100);
@@ -658,6 +681,46 @@ mod tests {
         assert!(report.trace.iter().any(|t| t.what == "start"));
         assert!(report.trace.iter().any(|t| t.what.starts_with("deliver")));
         assert!(report.trace.iter().any(|t| t.what == "output"));
+    }
+
+    #[test]
+    fn trace_ring_buffer_keeps_only_the_most_recent_entries() {
+        // A capped ping-pong run generates far more trace entries than
+        // the configured capacity; the ring must retain exactly the last
+        // `capacity`, in order.
+        struct PingPong {
+            id: NodeId,
+        }
+        impl Process for PingPong {
+            type Msg = u8;
+            type Output = u8;
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: NodeId::new(1 - self.id.index()), msg: 0 }]
+            }
+            fn on_message(&mut self, from: NodeId, m: &u8) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: from, msg: *m }]
+            }
+        }
+        let config = WorldConfig::new(2).max_delivered(500).capture_trace(true).trace_capacity(16);
+        let mut world: World<u8, u8, _> = World::new(config, FixedDelay::new(1));
+        world.add_process(Box::new(PingPong { id: NodeId::new(0) }));
+        world.add_process(Box::new(PingPong { id: NodeId::new(1) }));
+        let report = world.run();
+        assert_eq!(report.trace.len(), 16, "ring must be capped at capacity");
+        // Only the most recent entries survive: all retained timestamps
+        // sit at the end of the run, in non-decreasing order.
+        let times: Vec<u64> = report.trace.iter().map(|t| t.time.ticks()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "ring preserved order: {times:?}");
+        assert!(times[0] > 1, "oldest entries must have been evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "trace capacity must be positive")]
+    fn zero_trace_capacity_rejected() {
+        let _ = WorldConfig::new(2).trace_capacity(0);
     }
 
     #[test]
@@ -709,8 +772,8 @@ mod tests {
             fn on_start(&mut self) -> Vec<Effect<u8, u8>> {
                 vec![Effect::Send { to: NodeId::new(1 - self.id.index()), msg: 0 }]
             }
-            fn on_message(&mut self, from: NodeId, m: u8) -> Vec<Effect<u8, u8>> {
-                vec![Effect::Send { to: from, msg: m }]
+            fn on_message(&mut self, from: NodeId, m: &u8) -> Vec<Effect<u8, u8>> {
+                vec![Effect::Send { to: from, msg: *m }]
             }
         }
         let config = WorldConfig::new(2).max_delivered(100);

@@ -77,6 +77,14 @@ impl Histogram {
         above as f64 / self.total as f64
     }
 
+    /// Adds every observation from `other` (pointwise count addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&value, &count) in &other.counts {
+            *self.counts.entry(value).or_insert(0) += count;
+        }
+        self.total += other.total;
+    }
+
     /// Iterates over `(value, count)` pairs in ascending value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().map(|(&v, &c)| (v, c))
@@ -153,6 +161,16 @@ mod tests {
         }
         assert_eq!(h.tail_probability(100), 0.0);
         assert_eq!(h.tail_probability(0), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_pointwise() {
+        let mut a: Histogram = [1u64, 2, 2].into_iter().collect();
+        let b: Histogram = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.count_at(2), 3);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(1, 1), (2, 3), (3, 1)]);
     }
 
     #[test]

@@ -112,6 +112,15 @@ impl Samples {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Appends every sample from `other`, preserving `other`'s current
+    /// order. Merging per-shard collectors in a fixed shard order yields
+    /// the same multiset (and the same summary statistics) as collecting
+    /// everything into one instance.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
 }
 
 impl FromIterator<f64> for Samples {
@@ -175,6 +184,18 @@ mod tests {
     fn rejects_out_of_range_percentile() {
         let mut s: Samples = [1.0].into_iter().collect();
         let _ = s.percentile(101.0);
+    }
+
+    #[test]
+    fn merge_matches_single_collector() {
+        let mut a: Samples = [3.0, 1.0].into_iter().collect();
+        let b: Samples = [2.0, 5.0].into_iter().collect();
+        a.merge(&b);
+        let mut whole: Samples = [3.0, 1.0, 2.0, 5.0].into_iter().collect();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.mean(), whole.mean());
+        assert_eq!(a.percentile(50.0), whole.percentile(50.0));
+        assert_eq!(a.values(), whole.values());
     }
 
     #[test]

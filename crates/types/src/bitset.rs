@@ -1,0 +1,120 @@
+//! A fixed-capacity bitset over node identifiers.
+
+use crate::NodeId;
+
+/// A set of [`NodeId`]s backed by `u64` words.
+///
+/// Protocol hot paths track "which peers have I already counted?" per
+/// step or per phase; a hash set pays hashing and allocation per probe,
+/// and a sorted vector pays a linear scan. For the small, dense id
+/// spaces of a consensus cluster a bitset makes membership test and
+/// insert one shift and mask, and the whole set for n ≤ 64 is a single
+/// word.
+///
+/// # Example
+///
+/// ```
+/// use bft_types::{NodeBitset, NodeId};
+///
+/// let mut seen = NodeBitset::new(7);
+/// assert!(seen.insert(NodeId::new(3)));
+/// assert!(!seen.insert(NodeId::new(3))); // already present
+/// assert!(seen.contains(NodeId::new(3)));
+/// assert_eq!(seen.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeBitset {
+    /// Creates an empty set with capacity for nodes `0..n`.
+    pub fn new(n: usize) -> Self {
+        NodeBitset { words: vec![0; n.div_ceil(64)], len: 0 }
+    }
+
+    /// Adds `id`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the capacity the set was created with.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let (word, bit) = (id.index() / 64, 1u64 << (id.index() % 64));
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Whether `id` is in the set. Out-of-capacity ids are never members.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.words.get(id.index() / 64).is_some_and(|w| w & (1u64 << (id.index() % 64)) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(NodeId::new(w * 64 + bit))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = NodeBitset::new(130);
+        assert!(s.is_empty());
+        for i in [0usize, 63, 64, 129] {
+            assert!(!s.contains(NodeId::new(i)));
+            assert!(s.insert(NodeId::new(i)));
+            assert!(s.contains(NodeId::new(i)));
+        }
+        assert!(!s.insert(NodeId::new(64)));
+        assert_eq!(s.len(), 4);
+        assert!(!s.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = NodeBitset::new(100);
+        for i in [99usize, 0, 64, 63, 7] {
+            s.insert(NodeId::new(i));
+        }
+        let ids: Vec<usize> = s.iter().map(|id| id.index()).collect();
+        assert_eq!(ids, vec![0, 7, 63, 64, 99]);
+    }
+
+    #[test]
+    fn out_of_capacity_is_not_a_member() {
+        let s = NodeBitset::new(4);
+        assert!(!s.contains(NodeId::new(1000)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_beyond_capacity_panics() {
+        NodeBitset::new(4).insert(NodeId::new(64));
+    }
+}

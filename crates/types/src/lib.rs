@@ -37,6 +37,7 @@
 #![allow(clippy::int_plus_one)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod config;
 mod error;
 mod id;
@@ -44,6 +45,7 @@ mod process;
 mod round;
 mod value;
 
+pub use bitset::NodeBitset;
 pub use config::Config;
 pub use error::ConfigError;
 pub use id::NodeId;

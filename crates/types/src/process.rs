@@ -10,6 +10,7 @@
 
 use crate::NodeId;
 use std::fmt;
+use std::sync::Arc;
 
 /// An instruction emitted by a protocol state machine for its transport.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,14 +62,34 @@ impl<M, O> Effect<M, O> {
 /// `v` receives a message from `u`, it knows the message was sent by `u`.
 /// Transports realise this by constructing the envelope themselves rather
 /// than trusting the payload.
+///
+/// The payload is behind an [`Arc`]: a broadcast to `n` recipients is `n`
+/// envelopes sharing **one** payload allocation, so fan-out enqueues `n`
+/// pointers instead of `n` deep clones. Read access is transparent via
+/// deref (`envelope.msg.method()` works as before); transports hand the
+/// payload to protocol code as `&M` ([`Process::on_message`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope<M> {
     /// The node that sent the message.
     pub from: NodeId,
     /// The node the message is addressed to.
     pub to: NodeId,
-    /// The protocol payload.
-    pub msg: M,
+    /// The protocol payload, shared between every envelope of the same
+    /// broadcast.
+    pub msg: Arc<M>,
+}
+
+impl<M> Envelope<M> {
+    /// Wraps an owned payload into a fresh single-owner envelope.
+    pub fn new(from: NodeId, to: NodeId, msg: M) -> Self {
+        Envelope { from, to, msg: Arc::new(msg) }
+    }
+
+    /// Builds an envelope around an already-shared payload (the fan-out
+    /// path: one `Arc` per broadcast, one cheap clone per recipient).
+    pub fn shared(from: NodeId, to: NodeId, msg: Arc<M>) -> Self {
+        Envelope { from, to, msg }
+    }
 }
 
 impl<M: fmt::Display> fmt::Display for Envelope<M> {
@@ -113,7 +134,7 @@ impl<M: fmt::Display> fmt::Display for Envelope<M> {
 ///         vec![Effect::Output(7), Effect::Halt]
 ///     }
 ///
-///     fn on_message(&mut self, _from: NodeId, _msg: ()) -> Vec<Effect<(), u8>> {
+///     fn on_message(&mut self, _from: NodeId, _msg: &()) -> Vec<Effect<(), u8>> {
 ///         Vec::new()
 ///     }
 ///
@@ -141,7 +162,12 @@ pub trait Process {
 
     /// Invoked for each message delivered to this process. `from` is the
     /// authenticated sender.
-    fn on_message(&mut self, from: NodeId, msg: Self::Msg) -> Vec<Effect<Self::Msg, Self::Output>>;
+    ///
+    /// The payload arrives by reference because the transport may share
+    /// one allocation between all recipients of a broadcast; processes
+    /// clone only the pieces they store.
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg)
+        -> Vec<Effect<Self::Msg, Self::Output>>;
 
     /// The most recent output of this process (e.g. its decision), if any.
     fn output(&self) -> Option<Self::Output> {
@@ -185,9 +211,9 @@ mod tests {
             vec![Effect::Broadcast { msg: Ping }]
         }
 
-        fn on_message(&mut self, from: NodeId, msg: Ping) -> Vec<Effect<Ping, ()>> {
+        fn on_message(&mut self, from: NodeId, msg: &Ping) -> Vec<Effect<Ping, ()>> {
             self.halted = true;
-            vec![Effect::Send { to: from, msg }, Effect::Halt]
+            vec![Effect::Send { to: from, msg: msg.clone() }, Effect::Halt]
         }
 
         fn is_halted(&self) -> bool {
@@ -200,7 +226,7 @@ mod tests {
         let mut p = Echoer { id: NodeId::new(1), halted: false };
         assert_eq!(p.on_start(), vec![Effect::Broadcast { msg: Ping }]);
         assert!(!p.is_halted());
-        let effects = p.on_message(NodeId::new(2), Ping);
+        let effects = p.on_message(NodeId::new(2), &Ping);
         assert!(effects.iter().any(Effect::is_halt));
         assert!(p.is_halted());
         assert_eq!(p.round(), 0);
@@ -219,7 +245,11 @@ mod tests {
 
     #[test]
     fn envelope_display() {
-        let env = Envelope { from: NodeId::new(0), to: NodeId::new(1), msg: "hi" };
+        let env = Envelope::new(NodeId::new(0), NodeId::new(1), "hi");
         assert_eq!(env.to_string(), "n0 -> n1: hi");
+        let shared = std::sync::Arc::new("yo");
+        let a = Envelope::shared(NodeId::new(0), NodeId::new(1), shared.clone());
+        let b = Envelope::shared(NodeId::new(0), NodeId::new(2), shared);
+        assert!(std::sync::Arc::ptr_eq(&a.msg, &b.msg));
     }
 }

@@ -66,7 +66,7 @@ fn validator_state_is_bounded_with_pruning() {
         steps += 1;
         assert!(steps < 3_000_000, "pump did not quiesce");
         for node in nodes.iter_mut() {
-            let ts = node.on_message(from, wire.clone());
+            let ts = node.on_message(from, &wire);
             let me = node.me();
             for t in ts {
                 if let Transition::Broadcast(w) = t {

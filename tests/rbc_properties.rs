@@ -51,7 +51,7 @@ fn run_adversarial_rbc(
         pick_idx += 1;
         let inflight = queue.remove(pick);
         let slot = inflight.to - 1;
-        let actions = instances[slot].on_message(inflight.from, inflight.msg);
+        let actions = instances[slot].on_message(inflight.from, &inflight.msg);
         let me = NodeId::new(inflight.to);
         for action in actions {
             match action {
