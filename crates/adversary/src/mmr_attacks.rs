@@ -4,7 +4,7 @@ use bft_types::{Effect, NodeId, Process, Round, Value};
 use bracha::mmr::MmrMessage;
 use rand::Rng;
 use rand_chacha::{rand_core::SeedableRng, ChaCha8Rng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A Byzantine MMR participant throwing everything it has: both `BVAL`
 /// values every round (to pollute `bin_values`), a random `AUX`, and a
@@ -20,7 +20,7 @@ pub struct MmrSaboteur {
     id: NodeId,
     forged_value: Value,
     rng: ChaCha8Rng,
-    lied_in: HashSet<Round>,
+    lied_in: BTreeSet<Round>,
     finish_sent: bool,
 }
 
@@ -32,7 +32,7 @@ impl MmrSaboteur {
             id,
             forged_value,
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5ab0_7a9e),
-            lied_in: HashSet::new(),
+            lied_in: BTreeSet::new(),
             finish_sent: false,
         }
     }

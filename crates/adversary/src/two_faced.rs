@@ -2,7 +2,7 @@
 
 use bft_types::{Effect, NodeId, Process, Round, Value};
 use bracha::benor::BenOrMessage;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A Byzantine participant in **Ben-Or's** protocol that tells each half
 /// of the network a different story: `Report(r, 1)` and `Proposal(r, 1)`
@@ -20,13 +20,13 @@ use std::collections::HashSet;
 pub struct DoubleTalker {
     config: bft_types::Config,
     id: NodeId,
-    lied_in: HashSet<Round>,
+    lied_in: BTreeSet<Round>,
 }
 
 impl DoubleTalker {
     /// Creates the double-talker.
     pub fn new(config: bft_types::Config, id: NodeId) -> Self {
-        DoubleTalker { config, id, lied_in: HashSet::new() }
+        DoubleTalker { config, id, lied_in: BTreeSet::new() }
     }
 
     fn lies_for(&mut self, round: Round) -> Vec<Effect<BenOrMessage, Value>> {

@@ -167,7 +167,7 @@ impl<C: CoinScheme> BenOrProcess<C> {
     /// `> (n+f)/2` — the super-majority threshold for proposing and for
     /// deciding.
     fn super_majority(&self) -> usize {
-        (self.config.n() + self.config.f()) / 2 + 1
+        self.config.super_majority_threshold()
     }
 
     fn try_advance(&mut self, out: &mut Vec<Effect<BenOrMessage, Value>>) {
@@ -202,11 +202,9 @@ impl<C: CoinScheme> BenOrProcess<C> {
                     for v in rm.proposals.values().take(q).flatten() {
                         counts[v.index()] += 1;
                     }
-                    let (w, c) = if counts[1] >= counts[0] {
-                        (Value::One, counts[1])
-                    } else {
-                        (Value::Zero, counts[0])
-                    };
+                    let [zeros, ones] = counts;
+                    let (w, c) =
+                        if ones >= zeros { (Value::One, ones) } else { (Value::Zero, zeros) };
                     if c >= self.super_majority() {
                         self.estimate = w;
                         if self.decided.is_none() {
@@ -218,7 +216,7 @@ impl<C: CoinScheme> BenOrProcess<C> {
                             });
                             out.push(Effect::Output(w));
                         }
-                    } else if c >= self.config.f() + 1 {
+                    } else if c >= self.config.ready_threshold() {
                         self.estimate = w;
                     } else {
                         self.estimate = self.coin.flip(round.get());

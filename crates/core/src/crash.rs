@@ -148,12 +148,10 @@ impl<C: CoinScheme> CrashConsensus<C> {
                     for v in rm.proposals.values().take(q).flatten() {
                         counts[v.index()] += 1;
                     }
-                    let (w, c) = if counts[1] >= counts[0] {
-                        (Value::One, counts[1])
-                    } else {
-                        (Value::Zero, counts[0])
-                    };
-                    if c >= self.config.f() + 1 {
+                    let [zeros, ones] = counts;
+                    let (w, c) =
+                        if ones >= zeros { (Value::One, ones) } else { (Value::Zero, zeros) };
+                    if c >= self.config.ready_threshold() {
                         self.estimate = w;
                         if self.decided.is_none() {
                             self.decided = Some(w);

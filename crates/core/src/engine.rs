@@ -280,15 +280,12 @@ impl<C: CoinScheme> BrachaNode<C> {
                     );
                 }
                 Step::Ready => {
-                    let f = self.config.f();
                     // At most one value can carry validated D-flags (quorum
                     // intersection); prefer One deterministically if the
                     // ablation (validation off) ever lets both through.
-                    let (w, d) = if dcounts[1] >= dcounts[0] {
-                        (Value::One, dcounts[1])
-                    } else {
-                        (Value::Zero, dcounts[0])
-                    };
+                    let [dzeros, dones] = dcounts;
+                    let (w, d) =
+                        if dones >= dzeros { (Value::One, dones) } else { (Value::Zero, dzeros) };
                     if d >= self.config.decide_threshold() {
                         self.estimate = w;
                         if self.decided.is_none() {
@@ -297,7 +294,7 @@ impl<C: CoinScheme> BrachaNode<C> {
                             self.obs.emit(self.me, || ObsEvent::Decided { round, value: w });
                             out.push(Transition::Decide(w));
                         }
-                    } else if d >= f + 1 {
+                    } else if d >= self.config.ready_threshold() {
                         self.estimate = w;
                         self.obs.emit(self.me, || ObsEvent::ValueLocked {
                             round,
@@ -367,7 +364,8 @@ fn summarize(quorum: &[(NodeId, StepPayload)]) -> ([usize; 2], [usize; 2]) {
 /// The value held by strictly more than half of the counted quorum, or
 /// `tiebreak` on an exact tie (possible only for even quorum sizes).
 fn weak_majority(counts: [usize; 2], tiebreak: Value) -> Value {
-    match counts[1].cmp(&counts[0]) {
+    let [zeros, ones] = counts;
+    match ones.cmp(&zeros) {
         std::cmp::Ordering::Greater => Value::One,
         std::cmp::Ordering::Less => Value::Zero,
         std::cmp::Ordering::Equal => tiebreak,

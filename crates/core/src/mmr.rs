@@ -50,7 +50,7 @@
 
 use bft_coin::CoinScheme;
 use bft_obs::{Event as ObsEvent, Obs};
-use bft_types::{Config, Effect, NodeId, Process, Round, Value};
+use bft_types::{Config, Effect, NodeId, Process, ProtocolError, Round, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -222,15 +222,14 @@ impl<C: CoinScheme> MmrProcess<C> {
 
     /// Processes the Finish tallies: adopt on f+1, halt on 2f+1.
     fn check_finish(&mut self, out: &mut Vec<Effect<MmrMessage, Value>>) {
-        let f = self.config.f();
         for v in Value::BOTH {
             let count = self.finish_from.values().filter(|x| **x == v).count();
-            if count >= f + 1 && self.decided.is_none() {
+            if count >= self.config.bv_amplify_threshold() && self.decided.is_none() {
                 // At least one correct node decided v: safe to adopt.
                 let round = self.round;
                 self.decide(v, round, out);
             }
-            if count >= 2 * f + 1 && !self.halted {
+            if count >= self.config.bv_accept_threshold() && !self.halted {
                 // Enough correct nodes have decided (and broadcast
                 // Finish) that everyone will reach this threshold too.
                 self.halted = true;
@@ -244,7 +243,8 @@ impl<C: CoinScheme> MmrProcess<C> {
         if !self.started || self.halted {
             return;
         }
-        let f = self.config.f();
+        let amplify_at = self.config.bv_amplify_threshold();
+        let accept_at = self.config.bv_accept_threshold();
         let q = self.config.quorum();
         loop {
             let round = self.round;
@@ -255,10 +255,10 @@ impl<C: CoinScheme> MmrProcess<C> {
             let mut amplify: Vec<Value> = Vec::new();
             for v in Value::BOTH {
                 let supporters = state.bval_from[v.index()].len();
-                if supporters >= f + 1 && !state.bval_sent[v.index()] {
+                if supporters >= amplify_at && !state.bval_sent[v.index()] {
                     amplify.push(v);
                 }
-                if supporters >= 2 * f + 1 {
+                if supporters >= accept_at {
                     state.bin_values[v.index()] = true;
                 }
             }
@@ -298,7 +298,19 @@ impl<C: CoinScheme> MmrProcess<C> {
                 });
             }
             if vals.len() == 1 {
-                let v = vals.pop_first().expect("non-empty");
+                // `supporting.len() ≥ q ≥ 1` makes this set non-empty; if
+                // the invariant ever breaks, keep the coin estimate and
+                // report instead of panicking mid-protocol.
+                let Some(v) = vals.pop_first() else {
+                    let detail =
+                        ProtocolError::EmptyQuorumValueSet { round: round.get() }.to_string();
+                    self.obs.emit(self.me, || ObsEvent::InvariantViolated {
+                        round: round.get(),
+                        detail,
+                    });
+                    self.estimate = s;
+                    return;
+                };
                 self.estimate = v;
                 if v == s && self.decided.is_none() {
                     self.decide(v, round, out);

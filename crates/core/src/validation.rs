@@ -76,7 +76,9 @@ struct ValueCounts {
 
 impl ValueCounts {
     fn total(&self) -> usize {
-        self.plain[0] + self.plain[1] + self.flagged[0] + self.flagged[1]
+        let [p0, p1] = self.plain;
+        let [d0, d1] = self.flagged;
+        p0 + p1 + d0 + d1
     }
 
     fn have(&self, v: Value) -> usize {
@@ -291,7 +293,10 @@ impl Validator {
                     mask |= 1 << kind;
                 }
             }
-            self.rounds.get_mut(&round).expect("state exists").legal[s] = mask;
+            // The state was present above and `kind_legal` only reads;
+            // degrade to "nothing released" if it ever goes missing.
+            let Some(state) = self.rounds.get_mut(&round) else { return false };
+            state.legal[s] = mask;
             mask
         } else {
             u8::MAX
@@ -300,7 +305,7 @@ impl Validator {
             return false;
         }
 
-        let state = self.rounds.get_mut(&round).expect("state exists");
+        let Some(state) = self.rounds.get_mut(&round) else { return false };
         let before = out.len();
         let mut kept = Vec::new();
         for (from, payload) in std::mem::take(&mut state.pending[s]) {
@@ -359,10 +364,11 @@ impl Validator {
         let f = self.config.f();
         let d_v = c.flagged[v.index()];
         let d_o = c.flagged[v.flipped().index()];
-        let plain = c.plain[0] + c.plain[1];
+        let [p0, p1] = c.plain;
+        let plain = p0 + p1;
 
         // Forced: a subset with ≥ f+1 D-flags on v adopts (or decides) v.
-        let forced = d_v >= f + 1 && c.total() >= q;
+        let forced = d_v >= self.config.ready_threshold() && c.total() >= q;
         // Coin: a subset with ≤ f D-flags on every value flips a coin, so
         // any v is possible.
         let coin = d_v.min(f) + d_o.min(f) + plain >= q;

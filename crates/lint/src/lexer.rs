@@ -1,0 +1,370 @@
+//! A minimal Rust source scanner: comment/string masking, line-comment
+//! capture, and a flat token stream with positions.
+//!
+//! The analyzer does not need a real parser — every rule it enforces is a
+//! local token pattern — but it must never report matches inside string
+//! literals, comments, or `#[cfg(test)]` modules. This module provides
+//! exactly that: [`mask_source`] blanks out everything that is not code
+//! (retaining `//` comment text per line so the allow-annotation scanner
+//! can read it), and [`tokenize`] turns the masked code into identifiers,
+//! integer literals and operator tokens with 1-based line/column positions.
+
+/// The result of masking one source file.
+#[derive(Debug)]
+pub struct MaskedSource {
+    /// Source lines with string/char/comment contents replaced by spaces.
+    /// Line count always equals the input's.
+    pub code_lines: Vec<String>,
+    /// The text of each line's `//` comment (without the slashes), if any.
+    /// Doc comments (`///`, `//!`) are captured too.
+    pub comment_lines: Vec<Option<String>>,
+}
+
+/// Strips strings, character literals and comments from `src`.
+///
+/// Handles nested `/* */` block comments, raw strings (`r"…"`,
+/// `r#"…"#`, …), byte strings and lifetimes (`'a` is code, `'a'` is a
+/// char literal). Masked characters become spaces so token positions in
+/// the output line up with the original source.
+pub fn mask_source(src: &str) -> MaskedSource {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+
+    let mut chars = src.chars().peekable();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            // Line comments end at the newline; everything else carries on.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(if comment.is_empty() {
+                None
+            } else {
+                Some(std::mem::take(&mut comment))
+            });
+            prev = None;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    code.push_str("  ");
+                    state = State::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    code.push_str("  ");
+                    state = State::BlockComment(1);
+                }
+                '"' => {
+                    // Raw / byte strings: the prefix chars were already
+                    // emitted as code (harmless: `r` / `b` idents vanish
+                    // into the preceding token or stand alone).
+                    if prev == Some('r') || (prev == Some('b') && ends_with(&code, "br")) {
+                        code.push(' ');
+                        state = State::RawStr(0);
+                    } else {
+                        code.push(' ');
+                        state = State::Str;
+                    }
+                }
+                '#' if prev == Some('r') || prev == Some('#') => {
+                    // Possible raw-string guard `r#"` / `r##"`; count the
+                    // hashes only when a quote follows.
+                    let mut hashes = 1;
+                    while chars.peek() == Some(&'#') {
+                        chars.next();
+                        hashes += 1;
+                        code.push(' ');
+                    }
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        code.push(' ');
+                        code.push(' ');
+                        state = State::RawStr(hashes);
+                    } else {
+                        // Not a raw string (e.g. `r#keyword`); keep the '#'.
+                        code.push('#');
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let mut look = chars.clone();
+                    let is_char = match look.next() {
+                        Some('\\') => true,
+                        Some(_) => look.next() == Some('\''),
+                        None => false,
+                    };
+                    if is_char {
+                        code.push(' ');
+                        state = State::Char;
+                    } else {
+                        code.push(' '); // lifetimes carry no rule signal
+                    }
+                }
+                _ => code.push(c),
+            },
+            State::LineComment => {
+                code.push(' ');
+                comment.push(c);
+            }
+            State::BlockComment(depth) => {
+                code.push(' ');
+                if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    code.push(' ');
+                    state = State::BlockComment(depth + 1);
+                } else if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    code.push(' ');
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                }
+            }
+            State::Str => {
+                code.push(' ');
+                if c == '\\' {
+                    if chars.next().is_some() {
+                        code.push(' ');
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                code.push(' ');
+                if c == '"' {
+                    let mut look = chars.clone();
+                    let mut seen = 0;
+                    while seen < hashes && look.peek() == Some(&'#') {
+                        look.next();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        for _ in 0..hashes {
+                            chars.next();
+                            code.push(' ');
+                        }
+                        state = State::Code;
+                    }
+                }
+            }
+            State::Char => {
+                code.push(' ');
+                if c == '\\' {
+                    if chars.next().is_some() {
+                        code.push(' ');
+                    }
+                } else if c == '\'' {
+                    state = State::Code;
+                }
+            }
+        }
+        prev = Some(c);
+    }
+    code_lines.push(code);
+    comment_lines.push(if comment.is_empty() { None } else { Some(comment) });
+    MaskedSource { code_lines, comment_lines }
+}
+
+fn ends_with(code: &str, suffix: &str) -> bool {
+    code.trim_end_matches(' ').ends_with(suffix)
+}
+
+/// One lexical token of the masked source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal (`None` when it overflows or is a float).
+    Int(Option<u64>),
+    /// An operator or punctuation (multi-char comparison/path operators
+    /// are fused: `>=`, `<=`, `==`, `!=`, `::`, `->`, `=>`, `..`).
+    Punct(String),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (character offset).
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+
+    /// Whether the token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(s) if s == p)
+    }
+
+    /// Whether the token is the integer literal `v`.
+    pub fn is_int(&self, v: u64) -> bool {
+        matches!(&self.tok, Tok::Int(Some(x)) if *x == v)
+    }
+}
+
+/// Tokenizes masked source lines into a flat stream.
+pub fn tokenize(code_lines: &[String]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in code_lines.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let col = i + 1;
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                out.push(Token { tok: Tok::Ident(ident), line: lineno + 1, col });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let mut float = false;
+                // A fractional part glues on only when a digit follows the
+                // dot (`1.5`), not for ranges (`0..4`) or calls (`2.pow`).
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    float = true;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                let raw: String = chars[start..i].iter().collect();
+                let value = if float { None } else { parse_int(&raw) };
+                out.push(Token { tok: Tok::Int(value), line: lineno + 1, col });
+            } else {
+                let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+                let fused = matches!(
+                    two.as_str(),
+                    ">=" | "<="
+                        | "=="
+                        | "!="
+                        | "::"
+                        | "->"
+                        | "=>"
+                        | ".."
+                        | "&&"
+                        | "||"
+                        | "<<"
+                        | ">>"
+                );
+                if fused {
+                    out.push(Token { tok: Tok::Punct(two), line: lineno + 1, col });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Punct(c.to_string()), line: lineno + 1, col });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a decimal/hex/octal/binary integer literal with optional
+/// underscores and type suffix.
+fn parse_int(raw: &str) -> Option<u64> {
+    let cleaned: String = raw.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(hex) = cleaned.strip_prefix("0x") {
+        (hex.to_string(), 16)
+    } else if let Some(oct) = cleaned.strip_prefix("0o") {
+        (oct.to_string(), 8)
+    } else if let Some(bin) = cleaned.strip_prefix("0b") {
+        (bin.to_string(), 2)
+    } else {
+        (cleaned, 10)
+    };
+    // Strip a type suffix (`1u64`, `2usize`, `3i32`).
+    let end = digits.find(|c: char| !c.is_digit(radix)).unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let src = "let a = \"2 * f + 1\"; // 2 * f + 1\nlet b = 1;";
+        let m = mask_source(src);
+        assert!(!m.code_lines[0].contains('f'));
+        assert_eq!(m.comment_lines[0].as_deref(), Some(" 2 * f + 1"));
+        assert_eq!(m.code_lines[1], "let b = 1;");
+    }
+
+    #[test]
+    fn masks_nested_block_comments_and_chars() {
+        let src = "a /* x /* y */ z */ b '\\n' 'q' c";
+        let m = mask_source(src);
+        let code = &m.code_lines[0];
+        assert!(code.contains('a') && code.contains('b') && code.contains('c'));
+        assert!(!code.contains('x') && !code.contains('z') && !code.contains('q'));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_masking() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let m = mask_source(src);
+        assert!(m.code_lines[0].contains("str"));
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let src = "let s = r#\"unwrap() 2 * f + 1\"#; s.len()";
+        let m = mask_source(src);
+        assert!(!m.code_lines[0].contains("unwrap"));
+        assert!(m.code_lines[0].contains("len"));
+    }
+
+    #[test]
+    fn tokenizes_with_positions_and_fused_ops() {
+        let toks = tokenize(&["x >= 2 * f + 1".to_string()]);
+        assert!(toks[0].is_ident("x"));
+        assert!(toks[1].is_punct(">="));
+        assert!(toks[2].is_int(2));
+        assert!(toks[4].is_ident("f"));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+    }
+
+    #[test]
+    fn integer_literal_forms() {
+        let toks = tokenize(&["10_000 0x10 2usize 1.5".to_string()]);
+        assert!(toks[0].is_int(10_000));
+        assert!(toks[1].is_int(16));
+        assert!(toks[2].is_int(2));
+        assert_eq!(toks[3].tok, Tok::Int(None)); // float: no integer value
+    }
+}

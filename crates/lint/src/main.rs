@@ -1,0 +1,133 @@
+//! `bft-lint` command-line driver.
+//!
+//! ```text
+//! bft-lint [--root <dir>] [--format text|json] [--baseline <file>]
+//!          [--write-baseline] [--out <file>]
+//! ```
+//!
+//! Exit codes: `0` clean (or all findings baselined), `1` new findings,
+//! `2` usage or I/O error.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    out: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: bft-lint [--root <dir>] [--format text|json] \
+                     [--baseline <file>] [--write-baseline] [--out <file>]";
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace this binary was built from.
+    let mut args = Args {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        format: Format::Text,
+        baseline: None,
+        write_baseline: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value\n{USAGE}"));
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`\n{USAGE}")),
+                }
+            }
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => args.write_baseline = true,
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match bft_lint::analyze_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bft-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = args.baseline.clone().unwrap_or_else(|| args.root.join("lint.baseline"));
+
+    if args.write_baseline {
+        let text = bft_lint::render_baseline(&report);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("bft-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "bft-lint: wrote {} ({} finding(s) baselined)",
+            baseline_path.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => bft_lint::parse_baseline(&text),
+        // No baseline file means an empty baseline, unless one was
+        // explicitly requested.
+        Err(_) if args.baseline.is_none() => BTreeSet::new(),
+        Err(e) => {
+            eprintln!("bft-lint: reading {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = match args.format {
+        Format::Text => bft_lint::render_text(&report, &baseline),
+        Format::Json => bft_lint::render_json(&report, &baseline),
+    };
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("bft-lint: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    } else {
+        // Ignore write errors (e.g. a closed pipe from `| head`): the
+        // exit code below is the tool's contract, not the stream.
+        use std::io::Write;
+        let mut stdout = std::io::stdout();
+        let _ = write!(stdout, "{rendered}");
+        if args.format == Format::Json {
+            let _ = writeln!(stdout);
+        }
+    }
+
+    let (new, _) = report.split_by_baseline(&baseline);
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

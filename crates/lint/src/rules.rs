@@ -1,0 +1,428 @@
+//! The three protocol rule families, as token patterns.
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `quorum-arith` | threshold expressions (`2f+1`, `n−f`, `n+f`, `n/2+1`, `f+1` comparisons, `.len() >= <literal>`) appear only in `types::Config` accessors and tests; everywhere else code must call the named accessor |
+//! | `determinism`  | no `HashMap`/`HashSet`, wall-clock reads (`Instant`, `SystemTime`), `thread::sleep`, or nondeterministic randomness in protocol crates; no `rand` at all in the state-machine crates (`types`, `core`, `rbc`) |
+//! | `panic`        | no `.unwrap()`, `.expect(…)`, `panic!`-family macros, or indexing with an integer literal outside tests |
+//!
+//! Every finding can be silenced per-site with
+//! `// lint: allow(<rule>) — <reason>` on the same line or the line
+//! above; the annotation itself is linted (unknown rule, missing reason,
+//! or an annotation that suppresses nothing are all findings of the
+//! `annotation` pseudo-rule).
+
+use crate::lexer::{Tok, Token};
+use std::fmt;
+
+/// A rule family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Quorum-arithmetic discipline.
+    QuorumArith,
+    /// Determinism (replay / seed-ordered merge safety).
+    Determinism,
+    /// Panic hygiene in message-handling code.
+    Panic,
+    /// Hygiene of the `lint: allow` annotations themselves.
+    Annotation,
+}
+
+impl Rule {
+    /// The stable name used in reports, baselines and allow annotations.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::QuorumArith => "quorum-arith",
+            Rule::Determinism => "determinism",
+            Rule::Panic => "panic",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Parses an allow-annotation rule name. The `annotation` pseudo-rule
+    /// is deliberately not allowable.
+    pub fn from_allow_name(name: &str) -> Option<Rule> {
+        match name {
+            "quorum-arith" => Some(Rule::QuorumArith),
+            "determinism" => Some(Rule::Determinism),
+            "panic" => Some(Rule::Panic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A rule match before allow/baseline filtering.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// The rule family violated.
+    pub rule: Rule,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Per-file scan configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanOptions {
+    /// The file defines the `types::Config` accessors: quorum arithmetic
+    /// is its job, so `quorum-arith` is off.
+    pub quorum_exempt: bool,
+    /// The file belongs to a protocol state-machine crate (`types`,
+    /// `core`, `rbc`): any `rand` path at all is a determinism violation.
+    pub state_machine_crate: bool,
+}
+
+/// Scans a token stream and returns every raw rule match, in source
+/// order. Test-region filtering happens in the caller (the region data
+/// lives at file level).
+pub fn scan(tokens: &[Token], opts: ScanOptions) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !opts.quorum_exempt {
+            if let Some((end, raw)) = match_quorum(tokens, i) {
+                out.push(raw);
+                i = end;
+                continue;
+            }
+        }
+        if let Some(raw) = match_determinism(tokens, i, opts.state_machine_crate) {
+            out.push(raw);
+            i += 1;
+            continue;
+        }
+        if let Some(raw) = match_panic(tokens, i) {
+            out.push(raw);
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses a dotted/`::` path starting at `i` and returns
+/// `(end_exclusive, last_segment)`; a trailing call `()` is consumed.
+/// `self.config.f()` ⇒ `f`; `cfg.n` ⇒ `n`; `f` ⇒ `f`.
+fn parse_path(tokens: &[Token], i: usize) -> Option<(usize, String)> {
+    let Tok::Ident(first) = &tokens.get(i)?.tok else { return None };
+    let mut last = first.clone();
+    let mut j = i + 1;
+    while j + 1 < tokens.len()
+        && (tokens[j].is_punct(".") || tokens[j].is_punct("::"))
+        && matches!(tokens[j + 1].tok, Tok::Ident(_))
+    {
+        if let Tok::Ident(seg) = &tokens[j + 1].tok {
+            last = seg.clone();
+        }
+        j += 2;
+    }
+    // A no-argument call: `f()`.
+    if j + 1 < tokens.len() && tokens[j].is_punct("(") && tokens[j + 1].is_punct(")") {
+        j += 2;
+    }
+    Some((j, last))
+}
+
+/// Matches a path whose final segment is `name`, returning the end index.
+fn path_ending(tokens: &[Token], i: usize, name: &str) -> Option<usize> {
+    let (end, last) = parse_path(tokens, i)?;
+    (last == name).then_some(end)
+}
+
+fn is_cmp(t: &Token) -> bool {
+    matches!(&t.tok, Tok::Punct(p) if matches!(p.as_str(), ">=" | "<=" | "==" | ">" | "<"))
+}
+
+fn quorum_finding(at: &Token, pattern: &str, hint: &str) -> RawFinding {
+    RawFinding {
+        rule: Rule::QuorumArith,
+        line: at.line,
+        col: at.col,
+        message: format!(
+            "bare quorum arithmetic `{pattern}`: call the named Config accessor ({hint}) instead"
+        ),
+    }
+}
+
+/// Tries every quorum-arithmetic pattern at `i`; returns the match end so
+/// the caller can skip past it (preventing overlapping double reports).
+fn match_quorum(tokens: &[Token], i: usize) -> Option<(usize, RawFinding)> {
+    let t = &tokens[i];
+
+    // `2 * f + 1` / `3 * f + 1` (any `f`-path: `self.f`, `cfg.f()`, …).
+    if let Tok::Int(Some(k @ (2 | 3))) = t.tok {
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct("*")) {
+            if let Some(end) = path_ending(tokens, i + 2, "f") {
+                if tokens.get(end).is_some_and(|t| t.is_punct("+"))
+                    && tokens.get(end + 1).is_some_and(|t| t.is_int(1))
+                {
+                    let hint = if k == 2 {
+                        "decide_threshold / bv_accept_threshold"
+                    } else {
+                        "is_within_resilience / Config::new"
+                    };
+                    return Some((end + 2, quorum_finding(t, &format!("{k}*f + 1"), hint)));
+                }
+            }
+        }
+    }
+
+    // `n / 2 + 1`.
+    if let Some(end) = path_ending(tokens, i, "n") {
+        if tokens.get(end).is_some_and(|t| t.is_punct("/"))
+            && tokens.get(end + 1).is_some_and(|t| t.is_int(2))
+            && tokens.get(end + 2).is_some_and(|t| t.is_punct("+"))
+            && tokens.get(end + 3).is_some_and(|t| t.is_int(1))
+        {
+            return Some((end + 4, quorum_finding(t, "n/2 + 1", "majority_threshold")));
+        }
+    }
+
+    // `n - f` and `n + f` (quorum / echo / super-majority arithmetic).
+    if let Some(end) = path_ending(tokens, i, "n") {
+        if let Some(t2) = tokens.get(end) {
+            if t2.is_punct("-") || t2.is_punct("+") {
+                if let Some(end2) = path_ending(tokens, end + 1, "f") {
+                    let (pat, hint) = if t2.is_punct("-") {
+                        ("n - f", "quorum")
+                    } else {
+                        ("n + f", "echo_threshold / super_majority_threshold")
+                    };
+                    return Some((end2, quorum_finding(t, pat, hint)));
+                }
+            }
+        }
+    }
+
+    // `>= f + 1` (comparison against the `f + 1` bound), either side.
+    if is_cmp(t) {
+        if let Some(end) = path_ending(tokens, i + 1, "f") {
+            if tokens.get(end).is_some_and(|t| t.is_punct("+"))
+                && tokens.get(end + 1).is_some_and(|t| t.is_int(1))
+            {
+                return Some((end + 2, quorum_finding(t, "f + 1", "ready_threshold")));
+            }
+        }
+    }
+    if let Some(end) = path_ending(tokens, i, "f") {
+        if tokens.get(end).is_some_and(|t| t.is_punct("+"))
+            && tokens.get(end + 1).is_some_and(|t| t.is_int(1))
+            && tokens.get(end + 2).is_some_and(is_cmp)
+        {
+            return Some((end + 2, quorum_finding(t, "f + 1", "ready_threshold")));
+        }
+    }
+
+    // `.len() >= <literal ≥ 2>` — a numeric quorum literal.
+    if t.is_ident("len")
+        && i > 0
+        && tokens[i - 1].is_punct(".")
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(")"))
+        && tokens.get(i + 3).is_some_and(is_cmp)
+    {
+        if let Some(Tok::Int(Some(k))) = tokens.get(i + 4).map(|t| &t.tok) {
+            if *k >= 2 {
+                return Some((
+                    i + 5,
+                    quorum_finding(t, &format!(".len() vs {k}"), "the Config accessor for {k}"),
+                ));
+            }
+        }
+    }
+
+    None
+}
+
+fn det_finding(at: &Token, what: &str, why: &str) -> RawFinding {
+    RawFinding {
+        rule: Rule::Determinism,
+        line: at.line,
+        col: at.col,
+        message: format!("{what} in protocol code: {why}"),
+    }
+}
+
+fn match_determinism(tokens: &[Token], i: usize, state_machine: bool) -> Option<RawFinding> {
+    let t = &tokens[i];
+    let Tok::Ident(name) = &t.tok else { return None };
+    match name.as_str() {
+        "HashMap" | "HashSet" | "IndexMap" | "IndexSet" => Some(det_finding(
+            t,
+            &format!("`{name}`"),
+            "iteration order is nondeterministic; use BTreeMap/BTreeSet (replay and the \
+             seed-ordered experiment merge depend on deterministic order)",
+        )),
+        "Instant" | "SystemTime" => Some(det_finding(
+            t,
+            &format!("`{name}`"),
+            "wall-clock reads make runs irreproducible; take time from the simulated clock",
+        )),
+        "sleep" if i >= 2 && tokens[i - 1].is_punct("::") && tokens[i - 2].is_ident("thread") => {
+            Some(det_finding(
+                t,
+                "`thread::sleep`",
+                "real-time waits make runs irreproducible and stall the simulated schedule",
+            ))
+        }
+        "thread_rng" | "from_entropy" | "OsRng" => Some(det_finding(
+            t,
+            &format!("`{name}`"),
+            "entropy-seeded randomness breaks replay; use a seeded RNG injected by the host",
+        )),
+        "rand" | "rand_chacha" if state_machine => Some(det_finding(
+            t,
+            &format!("`{name}`"),
+            "protocol state machines must be RNG-free; randomness enters only through the \
+             injected CoinScheme",
+        )),
+        _ => None,
+    }
+}
+
+fn panic_finding(at: &Token, what: &str) -> RawFinding {
+    RawFinding {
+        rule: Rule::Panic,
+        line: at.line,
+        col: at.col,
+        message: format!(
+            "{what} in message-handling code: return a typed error (surface it through the obs \
+             Invariant sink) or annotate why it is infallible"
+        ),
+    }
+}
+
+fn match_panic(tokens: &[Token], i: usize) -> Option<RawFinding> {
+    let t = &tokens[i];
+    match &t.tok {
+        Tok::Ident(name) if (name == "unwrap" || name == "expect") => (i > 0
+            && tokens[i - 1].is_punct(".")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("(")))
+        .then(|| panic_finding(t, &format!("`.{name}()`"))),
+        Tok::Ident(name)
+            if matches!(name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented") =>
+        {
+            (tokens.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                // `core::panic` imports / `std::panic` paths are not macros.
+                && !(i > 0 && tokens[i - 1].is_punct("::")))
+            .then(|| panic_finding(t, &format!("`{name}!`")))
+        }
+        Tok::Punct(p) if p == "[" => {
+            // Indexing only: the bracket follows an expression (`xs[0]`,
+            // `foo()[1]`), not an array literal, type, or attribute.
+            let idx_expr = i > 0
+                && (matches!(tokens[i - 1].tok, Tok::Ident(_))
+                    || tokens[i - 1].is_punct(")")
+                    || tokens[i - 1].is_punct("]"));
+            if idx_expr
+                && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Int(Some(_))))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct("]"))
+            {
+                Some(panic_finding(t, "indexing with an integer literal"))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    const DEFAULT: ScanOptions = ScanOptions { quorum_exempt: false, state_machine_crate: true };
+
+    fn scan_src(src: &str) -> Vec<RawFinding> {
+        let masked = crate::lexer::mask_source(src);
+        scan(&tokenize(&masked.code_lines), DEFAULT)
+    }
+
+    #[test]
+    fn detects_two_f_plus_one_variants() {
+        for src in ["x >= 2 * f + 1", "x >= 2 * self.f + 1", "x >= 2 * cfg.f() + 1"] {
+            let f = scan_src(src);
+            assert_eq!(f.len(), 1, "{src}");
+            assert_eq!(f[0].rule, Rule::QuorumArith, "{src}");
+        }
+    }
+
+    #[test]
+    fn detects_f_plus_one_comparisons_only() {
+        assert_eq!(scan_src("if count >= f + 1 {}").len(), 1);
+        assert_eq!(scan_src("if self.config.f() + 1 <= c {}").len(), 1);
+        // Arithmetic away from a comparison is not a threshold check.
+        assert!(scan_src("let x = g + 1;").is_empty());
+        assert!(scan_src("let x = round + 1;").is_empty());
+    }
+
+    #[test]
+    fn detects_n_arith_and_majority() {
+        assert_eq!(scan_src("let q = n - f;").len(), 1);
+        assert_eq!(scan_src("let e = (self.n + self.f + 1) / 2;").len(), 1);
+        assert_eq!(scan_src("let m = self.config.n() / 2 + 1;").len(), 1);
+        assert!(scan_src("let x = n - 1;").is_empty());
+    }
+
+    #[test]
+    fn detects_len_vs_literal() {
+        assert_eq!(scan_src("if votes.len() >= 3 {}").len(), 1);
+        assert!(scan_src("if votes.len() >= q {}").is_empty());
+        assert!(scan_src("if votes.len() >= 1 {}").is_empty(), "emptiness check is fine");
+    }
+
+    #[test]
+    fn detects_determinism_hazards() {
+        assert_eq!(scan_src("use std::collections::HashMap;").len(), 1);
+        assert_eq!(scan_src("let t = Instant::now();").len(), 1);
+        assert_eq!(scan_src("std::thread::sleep(d);").len(), 1);
+        assert_eq!(scan_src("let r = rand::thread_rng();").len(), 2); // rand + thread_rng
+        assert!(scan_src("queue.sleep_sort();").is_empty());
+    }
+
+    #[test]
+    fn rand_allowed_outside_state_machines() {
+        let masked = crate::lexer::mask_source("use rand::Rng;");
+        let opts = ScanOptions { quorum_exempt: false, state_machine_crate: false };
+        assert!(scan(&tokenize(&masked.code_lines), opts).is_empty());
+    }
+
+    #[test]
+    fn detects_panic_hygiene() {
+        assert_eq!(scan_src("let v = x.unwrap();").len(), 1);
+        assert_eq!(scan_src("let v = x.expect(\"reason\");").len(), 1);
+        assert_eq!(scan_src("panic!(\"boom\");").len(), 1);
+        assert_eq!(scan_src("let v = xs[0];").len(), 1);
+        assert!(scan_src("let v = xs[i];").is_empty());
+        assert!(scan_src("let a = [0, 1];").is_empty(), "array literal is not indexing");
+        assert!(scan_src("let a: [usize; 2] = b;").is_empty());
+        assert!(scan_src("#[cfg(feature = \"x\")]").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(scan_src("let v = x.unwrap_or(y);").is_empty());
+        assert!(scan_src("let v = x.unwrap_or_else(|| y);").is_empty());
+        assert!(scan_src("let v = x.expect_err(\"e\");").is_empty());
+    }
+
+    #[test]
+    fn quorum_exempt_file_skips_quorum_only() {
+        let masked = crate::lexer::mask_source("let x = 2 * f + 1; let y = z.unwrap();");
+        let opts = ScanOptions { quorum_exempt: true, state_machine_crate: true };
+        let f = scan(&tokenize(&masked.code_lines), opts);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Panic);
+    }
+}

@@ -1,0 +1,102 @@
+//! Self-tests: seeded-violation fixtures proving each rule family
+//! detects what it claims to, with the exact diagnostics pinned.
+
+use bft_lint::rules::{Rule, ScanOptions};
+use bft_lint::{analyze_source, AllowedSite, Finding};
+use std::path::Path;
+
+const OPTS: ScanOptions = ScanOptions { quorum_exempt: false, state_machine_crate: true };
+
+fn analyze_fixture(name: &str) -> (Vec<Finding>, Vec<AllowedSite>) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    analyze_source(name, &src, OPTS)
+}
+
+/// Asserts that `findings` is exactly the expected `(line, rule,
+/// message-fragment)` triples, in order.
+fn assert_diagnostics(findings: &[Finding], expected: &[(usize, Rule, &str)]) {
+    let got: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.line, f.col, f.rule, f.message))
+        .collect();
+    assert_eq!(findings.len(), expected.len(), "finding count mismatch; got:\n{}", got.join("\n"));
+    for (f, (line, rule, fragment)) in findings.iter().zip(expected) {
+        assert_eq!(f.line, *line, "line of {f}");
+        assert_eq!(f.rule, *rule, "rule of {f}");
+        assert!(f.message.contains(fragment), "message of {f} should contain {fragment:?}");
+        assert!(!f.snippet.is_empty(), "snippet of {f}");
+        assert_eq!(f.fingerprint.len(), 16, "fingerprint of {f}");
+    }
+}
+
+#[test]
+fn quorum_fixture_diagnostics() {
+    let (findings, allowed) = analyze_fixture("quorum_violations.rs");
+    assert_diagnostics(
+        &findings,
+        &[
+            (10, Rule::QuorumArith, "bare quorum arithmetic `2*f + 1`"),
+            (14, Rule::QuorumArith, "bare quorum arithmetic `f + 1`"),
+            (20, Rule::QuorumArith, "bare quorum arithmetic `n - f`"),
+            (24, Rule::QuorumArith, "bare quorum arithmetic `n/2 + 1`"),
+            (28, Rule::QuorumArith, "bare quorum arithmetic `.len() vs 3`"),
+        ],
+    );
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn determinism_fixture_diagnostics() {
+    let (findings, allowed) = analyze_fixture("determinism_violations.rs");
+    assert_diagnostics(
+        &findings,
+        &[
+            (4, Rule::Determinism, "`HashMap`"),
+            (7, Rule::Determinism, "`HashMap`"),
+            (11, Rule::Determinism, "`Instant`"),
+            (12, Rule::Determinism, "`Instant`"),
+            (16, Rule::Determinism, "`thread::sleep`"),
+            (20, Rule::Determinism, "`rand`"),
+            (20, Rule::Determinism, "`thread_rng`"),
+        ],
+    );
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn determinism_rand_exemption_outside_state_machines() {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism_violations.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    let opts = ScanOptions { quorum_exempt: false, state_machine_crate: false };
+    let (findings, _) = analyze_source("determinism_violations.rs", &src, opts);
+    // The bare `rand` path is legal outside `types`/`core`/`rbc`; the
+    // entropy-seeded `thread_rng` stays banned everywhere.
+    assert!(findings
+        .iter()
+        .all(|f| { f.rule != Rule::Determinism || !f.message.starts_with("`rand`") }));
+    assert!(findings.iter().any(|f| f.message.contains("`thread_rng`")));
+}
+
+#[test]
+fn panic_fixture_diagnostics() {
+    let (findings, allowed) = analyze_fixture("panic_violations.rs");
+    assert_diagnostics(
+        &findings,
+        &[
+            (10, Rule::Panic, "`.unwrap()`"),
+            (11, Rule::Panic, "`.expect()`"),
+            (13, Rule::Panic, "`panic!`"),
+            (15, Rule::Panic, "indexing with an integer literal"),
+            (15, Rule::Panic, "indexing with an integer literal"),
+            (24, Rule::Annotation, "suppresses nothing"),
+        ],
+    );
+    // The reasoned escape hatch silenced exactly one site, and it stays
+    // auditable in the report.
+    assert_eq!(allowed.len(), 1);
+    assert_eq!(allowed[0].rule, Rule::Panic);
+    assert_eq!(allowed[0].reason, "fixture demonstrates a reasoned escape hatch");
+}

@@ -1,0 +1,23 @@
+//! Fixture: every determinism hazard the linter must catch.
+//! Not compiled — read as text by the fixture self-tests.
+
+use std::collections::HashMap; // seeded: unordered map
+
+struct Machine {
+    votes: HashMap<u64, bool>, // seeded: unordered map (second site)
+}
+
+impl Machine {
+    fn stamp(&self) -> std::time::Instant {
+        Instant::now() // seeded: wall-clock read
+    }
+
+    fn nap(&self) {
+        std::thread::sleep(core::time::Duration::from_millis(1)); // seeded: real-time wait
+    }
+
+    fn roll(&self) -> u64 {
+        let mut rng = rand::thread_rng(); // seeded: rand + entropy-seeded RNG
+        rng.gen()
+    }
+}

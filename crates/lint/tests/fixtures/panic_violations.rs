@@ -1,0 +1,27 @@
+//! Fixture: every panic-hygiene hazard the linter must catch.
+//! Not compiled — read as text by the fixture self-tests.
+
+struct Handler {
+    counts: [usize; 2],
+}
+
+impl Handler {
+    fn on_message(&mut self, slot: Option<usize>) -> usize {
+        let v = slot.unwrap(); // seeded: naked unwrap
+        let w = slot.expect("populated"); // seeded: naked expect
+        if v > w {
+            panic!("impossible"); // seeded: panic macro
+        }
+        self.counts[0] + self.counts[1] // seeded: literal indexing (two sites)
+    }
+
+    fn safe(&self, slot: Option<usize>) -> usize {
+        // lint: allow(panic) — fixture demonstrates a reasoned escape hatch
+        slot.unwrap()
+    }
+
+    fn stale(&self) -> usize {
+        // lint: allow(panic) — this annotation suppresses nothing and must be flagged
+        7
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: every quorum-arithmetic pattern the linter must catch.
+//! Not compiled — read as text by the fixture self-tests.
+
+struct Node {
+    config: Config,
+}
+
+impl Node {
+    fn check_decide(&self, count: usize) -> bool {
+        count >= 2 * self.config.f() + 1 // seeded: bare decide threshold
+    }
+
+    fn check_adopt(&self, count: usize) -> bool {
+        count >= self.config.f() + 1 // seeded: bare ready threshold
+    }
+
+    fn quorum_size(&self) -> usize {
+        let n = self.config.n();
+        let f = self.config.f();
+        n - f // seeded: bare quorum
+    }
+
+    fn majority(&self) -> usize {
+        self.config.n() / 2 + 1 // seeded: bare majority
+    }
+
+    fn enough_votes(&self, votes: &[usize]) -> bool {
+        votes.len() >= 3 // seeded: numeric quorum literal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside tests the same arithmetic is fine.
+    fn threshold_math_is_allowed_here(f: usize) -> usize {
+        2 * f + 1
+    }
+}

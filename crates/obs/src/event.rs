@@ -181,6 +181,16 @@ pub enum Event {
         /// The decided value.
         value: Value,
     },
+    /// A protocol invariant failed at the observing node — a state the
+    /// quorum arguments prove unreachable was reached anyway. The node
+    /// degrades gracefully instead of panicking; this event carries the
+    /// typed error (`Display`-formatted) to the invariant sink.
+    InvariantViolated {
+        /// The 1-based round number (0 when no round applies).
+        round: u64,
+        /// The `Display`-formatted `ProtocolError`.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -205,6 +215,7 @@ impl Event {
             Event::CoinFlipped { .. } => "coin_flipped",
             Event::ValueLocked { .. } => "value_locked",
             Event::Decided { .. } => "decided",
+            Event::InvariantViolated { .. } => "invariant_violated",
         }
     }
 
@@ -285,6 +296,10 @@ impl Event {
             Event::Decided { round, value } => {
                 field("round", JsonValue::U64(*round));
                 field("value", JsonValue::U64(value.index() as u64));
+            }
+            Event::InvariantViolated { round, detail } => {
+                field("round", JsonValue::U64(*round));
+                field("detail", JsonValue::str(detail));
             }
         }
         JsonValue::Obj(obj)

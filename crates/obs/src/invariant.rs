@@ -113,6 +113,9 @@ impl Sink for InvariantSink {
                     }
                 }
             }
+            Event::InvariantViolated { round, detail } => {
+                self.violations.push(format!("protocol error: {node:?} round {round}: {detail}"));
+            }
             Event::RoundStarted { round } => {
                 if let Some(last) = self.last_round.get(&node) {
                     if *round <= *last {

@@ -8,9 +8,8 @@
 use crate::{RbcAction, RbcInstance, RbcMessage};
 use bft_obs::Obs;
 use bft_types::{Config, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
-use std::hash::Hash;
 
 /// A multiplexed instance message: the inner RBC message plus the instance
 /// coordinates (designated sender and application tag).
@@ -70,18 +69,20 @@ pub enum RbcMuxAction<T, P> {
 pub struct RbcMux<T, P> {
     config: Config,
     me: NodeId,
-    instances: HashMap<(NodeId, T), RbcInstance<P>>,
+    // Ordered (not hashed) so that `deliveries()` and `retain` visit
+    // instances in a replay-stable order.
+    instances: BTreeMap<(NodeId, T), RbcInstance<P>>,
     obs: Obs,
 }
 
 impl<T, P> RbcMux<T, P>
 where
-    T: Clone + Eq + Hash + fmt::Debug,
+    T: Clone + Ord + fmt::Debug,
     P: Clone + Eq + fmt::Debug,
 {
     /// Creates an empty multiplexer for node `me`.
     pub fn new(config: Config, me: NodeId) -> Self {
-        RbcMux { config, me, instances: HashMap::new(), obs: Obs::disabled() }
+        RbcMux { config, me, instances: BTreeMap::new(), obs: Obs::disabled() }
     }
 
     /// Attaches an observer. Instances created from here on emit RBC

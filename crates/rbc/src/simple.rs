@@ -17,9 +17,8 @@
 
 use crate::RbcMessage;
 use bft_types::{Config, Effect, NodeId, Process};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::hash::Hash;
 
 /// One node of the echo-only broadcast (the ablated protocol).
 ///
@@ -31,14 +30,14 @@ pub struct EchoBroadcast<P> {
     sender: NodeId,
     payload: Option<P>,
     echoed: bool,
-    echoes: HashMap<P, HashSet<NodeId>>,
-    echoed_peers: HashSet<NodeId>,
+    echoes: BTreeMap<P, BTreeSet<NodeId>>,
+    echoed_peers: BTreeSet<NodeId>,
     delivered: Option<P>,
 }
 
 impl<P> EchoBroadcast<P>
 where
-    P: Clone + Eq + Hash + fmt::Debug,
+    P: Clone + Ord + fmt::Debug,
 {
     /// Creates a participant; `payload` must be `Some` exactly at the
     /// designated sender.
@@ -49,8 +48,8 @@ where
             sender,
             payload,
             echoed: false,
-            echoes: HashMap::new(),
-            echoed_peers: HashSet::new(),
+            echoes: BTreeMap::new(),
+            echoed_peers: BTreeSet::new(),
             delivered: None,
         }
     }
@@ -63,7 +62,7 @@ where
 
 impl<P> Process for EchoBroadcast<P>
 where
-    P: Clone + Eq + Hash + fmt::Debug,
+    P: Clone + Ord + fmt::Debug,
 {
     type Msg = RbcMessage<P>;
     type Output = P;

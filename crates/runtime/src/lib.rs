@@ -58,6 +58,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+// lint: allow(determinism) — the thread runtime IS the wall-clock host; protocol logic stays clock-free
 use std::time::{Duration, Instant};
 
 /// A boxed, thread-movable process.
@@ -216,6 +217,7 @@ where
         for (i, p) in self.procs.iter().enumerate() {
             assert!(p.is_some(), "node slot {i} was never populated");
         }
+        // lint: allow(determinism) — wall-clock timeout for real threads; replay runs use bft-sim, not this host
         let started = Instant::now();
         let n = self.n;
         let jitter_us = self.jitter_us;
@@ -234,6 +236,7 @@ where
             .procs
             .iter()
             .enumerate()
+            // lint: allow(panic) — every slot was asserted populated at the top of run()
             .filter(|(_, p)| !p.as_ref().expect("slot populated").1)
             .map(|(i, _)| NodeId::new(i))
             .collect();
@@ -242,6 +245,7 @@ where
         let obs = self.obs.clone();
         std::thread::scope(|scope| {
             for (idx, slot) in self.procs.iter_mut().enumerate() {
+                // lint: allow(panic) — every slot was asserted populated at the top of run()
                 let (mut proc_, _) = slot.take().expect("slot populated");
                 let rx = receivers[idx].clone();
                 let senders = Arc::clone(&senders);
@@ -267,6 +271,7 @@ where
                     timed_out = true;
                     break;
                 }
+                // lint: allow(determinism) — supervisor poll interval; does not order protocol messages
                 std::thread::sleep(Duration::from_millis(1));
             }
             for tx in senders.iter() {
@@ -301,6 +306,7 @@ fn actor_loop<M, O>(
         rng_state ^= rng_state >> 7;
         rng_state ^= rng_state << 17;
         if jitter_us > 0 {
+            // lint: allow(determinism) — deliberate scheduling jitter; this host explores real interleavings
             std::thread::sleep(Duration::from_micros(rng_state % jitter_us));
         }
     };

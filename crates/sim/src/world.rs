@@ -335,6 +335,7 @@ where
             {
                 break StopReason::BudgetExhausted;
             }
+            // lint: allow(panic) — the loop's `let ... else` above proved the queue non-empty
             let event = self.queue.pop().expect("peeked above");
             self.now = event.time;
             self.obs.set_now(self.now.ticks());
@@ -353,8 +354,10 @@ where
                         self.record_trace(id, "start".into());
                     }
                     let effects =
+                        // lint: allow(panic) — World::new populates every slot before run() can be called
                         self.procs[id.index()].as_mut().expect("slot populated").on_start();
                     self.apply_effects(id, effects);
+                    // lint: allow(panic) — World::new populates every slot before run() can be called
                     if self.procs[id.index()].as_ref().expect("slot populated").is_halted() {
                         self.mark_halted(id);
                     }
@@ -378,9 +381,11 @@ where
                     }
                     let effects = self.procs[to.index()]
                         .as_mut()
+                        // lint: allow(panic) — World::new populates every slot before run() can be called
                         .expect("slot populated")
                         .on_message(envelope.from, &envelope.msg);
                     self.apply_effects(to, effects);
+                    // lint: allow(panic) — World::new populates every slot before run() can be called
                     if self.procs[to.index()].as_ref().expect("slot populated").is_halted() {
                         self.mark_halted(to);
                     }
@@ -393,6 +398,7 @@ where
         // Capture the final outputs/rounds even for processes that decided
         // without emitting Effect::Output (e.g. via their `output()` hook).
         for id in NodeId::all(self.config.n) {
+            // lint: allow(panic) — World::new populates every slot before run() can be called
             let p = self.procs[id.index()].as_ref().expect("slot populated");
             if let std::collections::btree_map::Entry::Vacant(e) = self.outputs.entry(id) {
                 if let Some(o) = p.output() {

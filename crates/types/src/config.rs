@@ -143,6 +143,32 @@ impl Config {
         self.n / 2 + 1
     }
 
+    /// `f + 1`: the BV-broadcast amplification threshold of the MMR
+    /// (Mostéfaoui–Moumen–Raynal) binary consensus. Once `f + 1` nodes
+    /// BVAL-support a value, at least one of them is correct, so relaying
+    /// the value cannot inject a Byzantine-only proposal.
+    pub const fn bv_amplify_threshold(&self) -> usize {
+        self.f + 1
+    }
+
+    /// `2f + 1`: the BV-broadcast acceptance threshold of the MMR binary
+    /// consensus. `2f + 1` supporters contain at least `f + 1` correct
+    /// nodes, so every correct node eventually sees the same support and
+    /// admits the value to its `bin_values` set.
+    pub const fn bv_accept_threshold(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// `⌊(n + f) / 2⌋ + 1`: the super-majority threshold of the Ben-Or
+    /// baseline — more than `(n + f) / 2` votes for one value. Two
+    /// super-majorities for different values would require more than
+    /// `n + f` voters, impossible with at most `f` equivocators, and a
+    /// super-majority forces every correct node to at least *observe* a
+    /// plain majority for that value in the same round.
+    pub const fn super_majority_threshold(&self) -> usize {
+        (self.n + self.f) / 2 + 1
+    }
+
     /// Returns whether this configuration satisfies `n ≥ 3f + 1`.
     ///
     /// Always true for configurations created via [`Config::new`]; may be
@@ -215,6 +241,35 @@ mod tests {
         assert_eq!(cfg.ready_threshold(), 3);
         assert_eq!(cfg.decide_threshold(), 5);
         assert_eq!(cfg.majority_threshold(), 4);
+    }
+
+    /// Pins every accessor to the paper formula for all `n ≥ 3f + 1`,
+    /// `f ≤ 5` (and a margin of `n` beyond the resilience floor), so a
+    /// transposed threshold in `Config` itself cannot survive review.
+    #[test]
+    fn accessors_pin_paper_formulas_for_small_f() {
+        for f in 0..=5usize {
+            for n in (3 * f + 1)..=(3 * f + 1 + 20) {
+                let cfg = Config::new(n, f).unwrap();
+                assert_eq!(cfg.quorum(), n - f, "quorum, n={n} f={f}");
+                assert_eq!(cfg.echo_threshold(), (n + f + 1).div_ceil(2), "echo, n={n} f={f}");
+                assert_eq!(cfg.ready_threshold(), f + 1, "ready, n={n} f={f}");
+                assert_eq!(cfg.decide_threshold(), 2 * f + 1, "decide, n={n} f={f}");
+                assert_eq!(cfg.majority_threshold(), n / 2 + 1, "majority, n={n} f={f}");
+                assert_eq!(cfg.bv_amplify_threshold(), f + 1, "bv-amplify, n={n} f={f}");
+                assert_eq!(cfg.bv_accept_threshold(), 2 * f + 1, "bv-accept, n={n} f={f}");
+                assert_eq!(
+                    cfg.super_majority_threshold(),
+                    (n + f) / 2 + 1,
+                    "super-majority, n={n} f={f}"
+                );
+                // The BV acceptance quorum is reachable by correct nodes
+                // alone, and a super-majority cannot be forged by the
+                // adversary plus a minority of correct nodes.
+                assert!(cfg.bv_accept_threshold() <= cfg.quorum(), "n={n} f={f}");
+                assert!(cfg.super_majority_threshold() > cfg.majority_threshold() - 1);
+            }
+        }
     }
 
     #[test]

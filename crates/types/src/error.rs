@@ -36,6 +36,52 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// Error raised when a protocol state machine reaches a state its quorum
+/// arguments prove unreachable.
+///
+/// Correct nodes never construct these under the `n ≥ 3f + 1` resilience
+/// assumption; a raised `ProtocolError` therefore means either the
+/// assumption was violated (more than `f` faults) or the implementation
+/// has a bug. Handlers degrade gracefully (drop the message, keep the
+/// prior estimate) and surface the error through the observability
+/// invariant sink rather than panicking mid-protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Bookkeeping for a round was missing when a handler needed it.
+    MissingRoundState {
+        /// The 1-based round number.
+        round: u64,
+    },
+    /// A value set the quorum argument proves non-empty was empty.
+    EmptyQuorumValueSet {
+        /// The 1-based round number.
+        round: u64,
+    },
+    /// A per-node slot the host guarantees populated was vacant.
+    VacantSlot {
+        /// The slot index (node id).
+        index: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::MissingRoundState { round } => {
+                write!(f, "round {round} state missing from handler bookkeeping")
+            }
+            ProtocolError::EmptyQuorumValueSet { round } => {
+                write!(f, "round {round} quorum produced an empty value set")
+            }
+            ProtocolError::VacantSlot { index } => {
+                write!(f, "process slot {index} is vacant")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

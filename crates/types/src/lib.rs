@@ -47,7 +47,7 @@ mod value;
 
 pub use bitset::NodeBitset;
 pub use config::Config;
-pub use error::ConfigError;
+pub use error::{ConfigError, ProtocolError};
 pub use id::NodeId;
 pub use process::{Effect, Envelope, Process};
 pub use round::{Round, Step};
