@@ -194,6 +194,62 @@ pub fn microbench_section() -> JsonValue {
     ])
 }
 
+/// Decision latency of the same protocol over the real loopback TCP
+/// transport (`bft-net`): n=4/f=1 Bracha clusters on actual sockets,
+/// one cluster per seed. Wall-clock — excluded from the determinism
+/// guarantee, like the `timing` and `microbench` sections.
+pub fn net_loopback_section(runs: u64) -> JsonValue {
+    use async_bft::coin::LocalCoin;
+    use async_bft::consensus::{BrachaOptions, BrachaProcess};
+    use async_bft::net::NetRuntime;
+    use async_bft::types::{Config, Value};
+    use std::time::Duration;
+
+    let cfg = Config::new(4, 1).expect("4 >= 3f + 1");
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut decided = 0u64;
+    let mut merged = MetricsSink::new();
+    for seed in 0..runs {
+        let (obs, shared) = Obs::new(MetricsSink::new());
+        let mut rt =
+            NetRuntime::new(cfg.n()).timeout(Duration::from_secs(60)).observer(obs.clone());
+        for id in cfg.nodes() {
+            rt.add_process(Box::new(BrachaProcess::new(
+                cfg,
+                id,
+                Value::One,
+                LocalCoin::new(seed, id),
+                BrachaOptions::default(),
+            )));
+        }
+        let report = rt.run();
+        drop(obs);
+        let sink = shared.try_into_inner().expect("observer handles dropped with the runtime");
+        merged.merge(&sink);
+        decided += u64::from(report.all_correct_decided());
+        latencies_ms.push(report.elapsed.as_secs_f64() * 1e3);
+    }
+    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
+    let max = latencies_ms.iter().copied().fold(0.0f64, f64::max);
+    JsonValue::Obj(vec![
+        ("protocol".into(), JsonValue::str("bracha")),
+        ("transport".into(), JsonValue::str("tcp-loopback")),
+        ("n".into(), JsonValue::U64(cfg.n() as u64)),
+        ("f".into(), JsonValue::U64(cfg.f() as u64)),
+        ("runs".into(), JsonValue::U64(runs)),
+        ("decided_runs".into(), JsonValue::U64(decided)),
+        (
+            "decision_latency_ms".into(),
+            JsonValue::Obj(vec![
+                ("mean".into(), JsonValue::F64(mean)),
+                ("max".into(), JsonValue::F64(max)),
+            ]),
+        ),
+        ("peer_connects".into(), JsonValue::U64(merged.peer_connects())),
+        ("frame_decode_errors".into(), JsonValue::U64(merged.frame_decode_errors())),
+    ])
+}
+
 /// Assembles a full report document over the given configurations.
 pub fn report_for(configs: &[BenchConfig], mode_label: &str, jobs: usize) -> JsonValue {
     let fragments: Vec<JsonValue> = configs.iter().map(|&c| run_config(c, jobs)).collect();
@@ -203,6 +259,7 @@ pub fn report_for(configs: &[BenchConfig], mode_label: &str, jobs: usize) -> Jso
         ("schema_version".into(), JsonValue::U64(2)),
         ("configs".into(), JsonValue::Arr(fragments)),
         ("microbench".into(), microbench_section()),
+        ("net_loopback".into(), net_loopback_section(3)),
     ])
 }
 
@@ -228,6 +285,8 @@ mod tests {
         assert!(rendered.contains("echo/echo"));
         assert!(rendered.contains("\"timing\""));
         assert!(rendered.contains("\"microbench\""));
+        assert!(rendered.contains("\"net_loopback\""));
+        assert!(rendered.contains("\"transport\":\"tcp-loopback\""));
     }
 
     #[test]

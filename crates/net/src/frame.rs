@@ -1,0 +1,303 @@
+//! Length-prefixed, versioned, checksummed framing.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic     0xAB84 ("Asynchronous Byzantine, 1984")
+//! 2       1     version   codec version, currently 1
+//! 3       1     kind      1=Hello 2=Challenge 3=Auth 4=Msg
+//! 4       8     seq       per-link sequence number (0 for handshake)
+//! 12      4     len       payload length in bytes (hard cap 1 MiB)
+//! 16      len   payload   kind-specific body
+//! 16+len  8     checksum  FNV-1a 64 over bytes [0, 16+len)
+//! ```
+//!
+//! The checksum trailer guards against accidental corruption and makes
+//! stream desynchronisation fail loudly; it is *not* an authenticator
+//! (see [`crate::hash`]). Decoding is strict: bad magic, unknown
+//! version/kind, oversize lengths, truncation and checksum mismatches
+//! are typed [`DecodeError`]s.
+
+use crate::codec::{put_u16, put_u32, put_u64, DecodeError, Reader};
+use crate::hash::Fnv64;
+use std::io::{self, Read, Write};
+
+/// Frame magic: `0xAB84`.
+pub const MAGIC: u16 = 0xAB84;
+/// Current codec version.
+pub const VERSION: u8 = 1;
+/// Hard cap on the payload length (1 MiB).
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Checksum trailer size in bytes.
+pub const TRAILER_LEN: usize = 8;
+/// Total framing overhead added to a payload.
+pub const FRAME_OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
+
+/// The kind of a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Handshake step 1: dialer introduces itself with a nonce.
+    Hello,
+    /// Handshake step 2: accepter answers with its own nonce and tag.
+    Challenge,
+    /// Handshake step 3: dialer proves knowledge of the preshared key.
+    Auth,
+    /// An authenticated protocol message.
+    Msg,
+}
+
+impl FrameKind {
+    /// The wire discriminant.
+    pub const fn wire_byte(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Challenge => 2,
+            FrameKind::Auth => 3,
+            FrameKind::Msg => 4,
+        }
+    }
+
+    /// Parses the wire discriminant, strictly.
+    pub const fn from_wire_byte(b: u8) -> Result<Self, DecodeError> {
+        match b {
+            1 => Ok(FrameKind::Hello),
+            2 => Ok(FrameKind::Challenge),
+            3 => Ok(FrameKind::Auth),
+            4 => Ok(FrameKind::Msg),
+            other => Err(DecodeError::BadKind(other)),
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// Per-link sequence number (0 for handshake frames).
+    pub seq: u64,
+    /// The kind-specific body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, seq: u64, payload: Vec<u8>) -> Self {
+        Frame { kind, seq, payload }
+    }
+
+    /// Encodes the frame, including header and checksum trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_frame(self.kind, self.seq, &self.payload)
+    }
+
+    /// Decodes a frame that must span the whole buffer.
+    ///
+    /// This is the strict single-buffer entry point (tests, fuzzing); the
+    /// stream path is [`read_frame`].
+    pub fn decode(buf: &[u8]) -> Result<Frame, DecodeError> {
+        let mut r = Reader::new(buf);
+        let header = parse_header(&mut r)?;
+        let payload = r.take(header.len as usize)?.to_vec();
+        let got = r.u64()?;
+        r.finish()?;
+        let mut h = Fnv64::new();
+        h.write(&buf[..HEADER_LEN + payload.len()]);
+        let expected = h.finish();
+        if expected != got {
+            return Err(DecodeError::Checksum { expected, got });
+        }
+        Ok(Frame { kind: header.kind, seq: header.seq, payload })
+    }
+}
+
+/// Encodes a frame from a borrowed payload.
+///
+/// This is the hot-path entry point: broadcast bodies are `Arc`-shared
+/// between per-link writers and must not be cloned per frame.
+pub fn encode_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    put_u16(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(kind.wire_byte());
+    put_u64(&mut out, seq);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    let mut h = Fnv64::new();
+    h.write(&out);
+    put_u64(&mut out, h.finish());
+    out
+}
+
+/// The parsed fixed header.
+struct Header {
+    kind: FrameKind,
+    seq: u64,
+    len: u32,
+}
+
+fn parse_header(r: &mut Reader<'_>) -> Result<Header, DecodeError> {
+    let magic = r.u16()?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let kind = FrameKind::from_wire_byte(r.u8()?)?;
+    let seq = r.u64()?;
+    let len = r.u32()?;
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversize(len));
+    }
+    Ok(Header { kind, seq, len })
+}
+
+/// A failure while reading a frame off a stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The transport failed (or was shut down under the reader).
+    Io(io::Error),
+    /// The bytes arrived but did not form a valid frame.
+    Decode(DecodeError),
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Decode(e) => write!(f, "frame decode error: {e}"),
+            FrameError::Closed => f.write_str("stream closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// Fills `buf` completely. `Ok(false)` means the stream hit EOF before
+/// the *first* byte (a clean close); EOF mid-buffer is an
+/// `UnexpectedEof` I/O error.
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes one frame to the stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())
+}
+
+/// Reads one frame from the stream, blocking until it is complete.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    if !fill(r, &mut header_bytes)? {
+        return Err(FrameError::Closed);
+    }
+    let header = {
+        let mut hr = Reader::new(&header_bytes);
+        parse_header(&mut hr)?
+    };
+    let mut rest = vec![0u8; header.len as usize + TRAILER_LEN];
+    if !fill(r, &mut rest)? {
+        return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+    }
+    let trailer_at = header.len as usize;
+    let mut trailer = [0u8; TRAILER_LEN];
+    trailer.copy_from_slice(&rest[trailer_at..]);
+    let got = u64::from_le_bytes(trailer);
+    let mut h = Fnv64::new();
+    h.write(&header_bytes);
+    h.write(&rest[..trailer_at]);
+    let expected = h.finish();
+    if expected != got {
+        return Err(FrameError::Decode(DecodeError::Checksum { expected, got }));
+    }
+    rest.truncate(trailer_at);
+    Ok(Frame { kind: header.kind, seq: header.seq, payload: rest })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = Frame::new(FrameKind::Msg, 7, vec![1, 2, 3]);
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), FRAME_OVERHEAD + 3);
+        assert_eq!(Frame::decode(&bytes), Ok(f.clone()));
+
+        let mut cursor = io::Cursor::new(bytes);
+        let read = read_frame(&mut cursor).map_err(|e| e.to_string());
+        assert_eq!(read, Ok(f));
+    }
+
+    #[test]
+    fn corruption_is_caught() {
+        let mut bytes = Frame::new(FrameKind::Msg, 1, vec![9; 8]).encode();
+        bytes[20] ^= 0xff;
+        assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Checksum { .. })));
+    }
+
+    #[test]
+    fn bad_magic_version_kind() {
+        let good = Frame::new(FrameKind::Hello, 0, Vec::new()).encode();
+        let mut m = good.clone();
+        m[0] = 0;
+        assert!(matches!(Frame::decode(&m), Err(DecodeError::BadMagic(_))));
+        let mut v = good.clone();
+        v[2] = 9;
+        assert!(matches!(Frame::decode(&v), Err(DecodeError::BadVersion(9))));
+        let mut k = good;
+        k[3] = 0;
+        assert!(matches!(Frame::decode(&k), Err(DecodeError::BadKind(0))));
+    }
+
+    #[test]
+    fn oversize_is_rejected_before_allocation() {
+        let mut bytes = Frame::new(FrameKind::Msg, 0, Vec::new()).encode();
+        bytes[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Oversize(_))));
+    }
+
+    #[test]
+    fn clean_close_vs_truncation() {
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
+
+        let full = Frame::new(FrameKind::Msg, 3, vec![5; 10]).encode();
+        let mut cut = io::Cursor::new(full[..full.len() - 4].to_vec());
+        assert!(matches!(read_frame(&mut cut), Err(FrameError::Io(_))));
+    }
+}

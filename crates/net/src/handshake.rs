@@ -1,0 +1,266 @@
+//! Preshared-key challenge–response handshake.
+//!
+//! Bracha's model assumes *authenticated* point-to-point links: when `v`
+//! receives a message, it knows which node sent it. In-process transports
+//! get this for free (the router stamps envelopes); over TCP the peer
+//! manager must establish the sender identity once per connection, after
+//! which every frame on that connection is attributed to the
+//! authenticated dialer.
+//!
+//! Three-way exchange over handshake frames (`seq = 0`, never subject to
+//! the chaos layer):
+//!
+//! ```text
+//! dialer (u)                              accepter (v)
+//!   | -- Hello     { u, nonce_u } ----------> |
+//!   | <- Challenge { v, nonce_v,              |
+//!   |        tag_v = MAC(K, "s->c", nonce_u, v) }
+//!   |  verify tag_v                           |
+//!   | -- Auth { tag_u = MAC(K, "c->s", nonce_v, u) } -> |
+//!   |                                verify tag_u; link is now
+//!   |                                authenticated as coming from u
+//! ```
+//!
+//! `MAC` here is keyed FNV-1a (see [`crate::hash`]) — a documented
+//! placeholder for a real MAC, sufficient against misconfiguration but
+//! not against a cryptographic adversary. Nonces come from a process-wide
+//! counter: uniqueness (not unpredictability) is what the placeholder
+//! construction consumes.
+
+use crate::codec::{Codec, DecodeError, Reader};
+use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameKind};
+use bft_types::NodeId;
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The cluster's preshared key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Secret(u64);
+
+impl Secret {
+    /// Derives a key from a passphrase (FNV-1a of its bytes).
+    pub fn from_passphrase(phrase: &str) -> Self {
+        Secret(crate::hash::fnv1a64(phrase.as_bytes()))
+    }
+
+    /// Wraps a raw 64-bit key.
+    pub const fn from_raw(key: u64) -> Self {
+        Secret(key)
+    }
+}
+
+impl Default for Secret {
+    fn default() -> Self {
+        Secret::from_passphrase("bft-net default cluster key")
+    }
+}
+
+/// Process-wide nonce counter; uniqueness is all the placeholder MAC
+/// needs (see module docs).
+static NONCE: AtomicU64 = AtomicU64::new(1);
+
+fn next_nonce() -> u64 {
+    // Spread the counter so consecutive nonces don't share prefixes.
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    n.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The keyed tag: FNV-1a over (direction label, key, nonce, claimed id).
+fn tag(secret: Secret, direction: &'static [u8], nonce: u64, id: NodeId) -> u64 {
+    let mut h = crate::hash::Fnv64::new();
+    h.write(direction);
+    h.write_u64(secret.0);
+    h.write_u64(nonce);
+    h.write(&(id.index() as u32).to_le_bytes());
+    h.finish()
+}
+
+const DIR_ACCEPTER: &[u8] = b"s->c";
+const DIR_DIALER: &[u8] = b"c->s";
+
+/// A handshake failure.
+#[derive(Debug)]
+pub enum HandshakeError {
+    /// Frame transport failed mid-handshake.
+    Frame(FrameError),
+    /// A handshake payload failed to decode.
+    Decode(DecodeError),
+    /// The peer presented a tag that does not verify under the preshared
+    /// key (wrong key, wrong identity, or tampering).
+    BadTag,
+    /// The peer claimed an identity outside the cluster (or the dialed
+    /// node answered with an unexpected id).
+    BadPeer(u32),
+    /// An out-of-order frame kind arrived mid-handshake.
+    UnexpectedKind(FrameKind),
+}
+
+impl fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeError::Frame(e) => write!(f, "handshake transport error: {e}"),
+            HandshakeError::Decode(e) => write!(f, "handshake payload error: {e}"),
+            HandshakeError::BadTag => f.write_str("handshake tag verification failed"),
+            HandshakeError::BadPeer(id) => write!(f, "peer claimed invalid identity {id}"),
+            HandshakeError::UnexpectedKind(k) => write!(f, "unexpected handshake frame {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+impl From<FrameError> for HandshakeError {
+    fn from(e: FrameError) -> Self {
+        HandshakeError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for HandshakeError {
+    fn from(e: DecodeError) -> Self {
+        HandshakeError::Decode(e)
+    }
+}
+
+fn expect_kind(frame: &Frame, kind: FrameKind) -> Result<(), HandshakeError> {
+    if frame.kind != kind {
+        return Err(HandshakeError::UnexpectedKind(frame.kind));
+    }
+    Ok(())
+}
+
+/// Dialer side: authenticate ourselves as `me` to the node we dialed
+/// (`expect` — its identity is checked against the Challenge).
+pub fn dial_handshake(
+    stream: &mut (impl Read + Write),
+    me: NodeId,
+    expect: NodeId,
+    secret: Secret,
+) -> Result<(), HandshakeError> {
+    let nonce_me = next_nonce();
+    let mut hello = Vec::new();
+    me.encode(&mut hello);
+    crate::codec::put_u64(&mut hello, nonce_me);
+    write_frame(stream, &Frame::new(FrameKind::Hello, 0, hello)).map_err(FrameError::Io)?;
+
+    let challenge = read_frame(stream)?;
+    expect_kind(&challenge, FrameKind::Challenge)?;
+    let (peer, nonce_peer, tag_peer) = {
+        let mut r = Reader::new(&challenge.payload);
+        let peer = NodeId::decode(&mut r)?;
+        let nonce = r.u64()?;
+        let t = r.u64()?;
+        r.finish()?;
+        (peer, nonce, t)
+    };
+    if peer != expect {
+        return Err(HandshakeError::BadPeer(peer.index() as u32));
+    }
+    if tag_peer != tag(secret, DIR_ACCEPTER, nonce_me, peer) {
+        return Err(HandshakeError::BadTag);
+    }
+
+    let mut auth = Vec::new();
+    crate::codec::put_u64(&mut auth, tag(secret, DIR_DIALER, nonce_peer, me));
+    write_frame(stream, &Frame::new(FrameKind::Auth, 0, auth)).map_err(FrameError::Io)?;
+    Ok(())
+}
+
+/// Accepter side: run the handshake as node `me` in an `n`-node cluster
+/// and return the authenticated dialer identity.
+pub fn accept_handshake(
+    stream: &mut (impl Read + Write),
+    me: NodeId,
+    n: usize,
+    secret: Secret,
+) -> Result<NodeId, HandshakeError> {
+    let hello = read_frame(stream)?;
+    expect_kind(&hello, FrameKind::Hello)?;
+    let (peer, nonce_peer) = {
+        let mut r = Reader::new(&hello.payload);
+        let peer = NodeId::decode(&mut r)?;
+        let nonce = r.u64()?;
+        r.finish()?;
+        (peer, nonce)
+    };
+    if peer.index() >= n || peer == me {
+        return Err(HandshakeError::BadPeer(peer.index() as u32));
+    }
+
+    let nonce_me = next_nonce();
+    let mut challenge = Vec::new();
+    me.encode(&mut challenge);
+    crate::codec::put_u64(&mut challenge, nonce_me);
+    crate::codec::put_u64(&mut challenge, tag(secret, DIR_ACCEPTER, nonce_peer, me));
+    write_frame(stream, &Frame::new(FrameKind::Challenge, 0, challenge)).map_err(FrameError::Io)?;
+
+    let auth = read_frame(stream)?;
+    expect_kind(&auth, FrameKind::Auth)?;
+    let tag_peer = {
+        let mut r = Reader::new(&auth.payload);
+        let t = r.u64()?;
+        r.finish()?;
+        t
+    };
+    if tag_peer != tag(secret, DIR_DIALER, nonce_me, peer) {
+        return Err(HandshakeError::BadTag);
+    }
+    Ok(peer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let dial = TcpStream::connect(addr).expect("connect");
+        let (accept, _) = listener.accept().expect("accept");
+        (dial, accept)
+    }
+
+    #[test]
+    fn matching_keys_authenticate() {
+        let (mut dial, mut accept) = loopback_pair();
+        let secret = Secret::from_passphrase("test cluster");
+        let server = std::thread::spawn(move || {
+            accept_handshake(&mut accept, NodeId::new(1), 4, secret).map_err(|e| e.to_string())
+        });
+        dial_handshake(&mut dial, NodeId::new(2), NodeId::new(1), secret).expect("dial side");
+        assert_eq!(server.join().expect("join"), Ok(NodeId::new(2)));
+    }
+
+    #[test]
+    fn wrong_key_is_rejected_by_dialer() {
+        let (mut dial, mut accept) = loopback_pair();
+        let server = std::thread::spawn(move || {
+            let _ = accept_handshake(&mut accept, NodeId::new(0), 4, Secret::from_raw(1));
+        });
+        let got = dial_handshake(&mut dial, NodeId::new(1), NodeId::new(0), Secret::from_raw(2));
+        assert!(matches!(got, Err(HandshakeError::BadTag)));
+        // The accepter is still blocked on the Auth frame; closing the
+        // dialer's socket unblocks it with a clean EOF.
+        drop(dial);
+        server.join().expect("join");
+    }
+
+    #[test]
+    fn out_of_cluster_identity_is_rejected() {
+        let (mut dial, mut accept) = loopback_pair();
+        let secret = Secret::default();
+        let server =
+            std::thread::spawn(move || accept_handshake(&mut accept, NodeId::new(0), 4, secret));
+        // Claim node id 9 in a 4-node cluster.
+        let _ = dial_handshake(&mut dial, NodeId::new(9), NodeId::new(0), secret);
+        assert!(matches!(server.join().expect("join"), Err(HandshakeError::BadPeer(9))));
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let a = next_nonce();
+        let b = next_nonce();
+        assert_ne!(a, b);
+    }
+}

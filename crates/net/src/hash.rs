@@ -1,0 +1,79 @@
+//! FNV-1a 64 — the workspace's offline hash primitive.
+//!
+//! Used for the frame checksum trailer (integrity against *accidental*
+//! corruption) and, keyed, for the handshake authentication tags.
+//!
+//! **Security note:** keyed FNV is a stand-in, not a MAC. It documents
+//! where a real HMAC/SipHash-style authenticator belongs once the
+//! workspace gains a crypto dependency; FNV is trivially forgeable by an
+//! adversary who sees tagged traffic. The threat model it does cover is
+//! mis-wired clusters (wrong preshared key, wrong peer set) and
+//! non-cryptographic corruption.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64 hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A hasher at the standard offset basis.
+    pub const fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

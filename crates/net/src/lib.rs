@@ -1,0 +1,72 @@
+//! `bft-net` — a real TCP transport runtime for the Bracha stack.
+//!
+//! This crate is the third execution substrate for the *unmodified*
+//! sans-io protocol state machines (`BrachaProcess`, `RbcProcess`):
+//!
+//! | substrate     | scheduling               | links                    |
+//! |---------------|--------------------------|--------------------------|
+//! | `bft-sim`     | deterministic, seeded    | in-memory queues         |
+//! | `bft-runtime` | OS threads + channels    | in-memory channels       |
+//! | `bft-net`     | OS threads + **sockets** | loopback TCP connections |
+//!
+//! Layers, bottom-up:
+//!
+//! * [`codec`] — versioned little-endian binary encoding for protocol
+//!   messages (no serde; strict, typed decode errors).
+//! * [`frame`] — length-prefixed framing with a magic/version header and
+//!   an FNV-1a checksum trailer.
+//! * [`handshake`] — preshared-key challenge–response authentication, so
+//!   every connection carries a verified sender identity (envelopes are
+//!   stamped by the transport, never trusted from message bodies).
+//! * [`chaos`] — deterministic, seeded link-level fault injection
+//!   (drop/retransmit, duplication, delay, partitions) applied *under*
+//!   the reliable-link contract.
+//! * [`runtime`] — [`NetRuntime`], mirroring `bft_runtime::Runtime`'s
+//!   builder API: full-mesh peer manager, reconnect with capped
+//!   exponential backoff, cross-connection replay/dedup, and the same
+//!   `RuntimeReport` output.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bft_coin::LocalCoin;
+//! use bft_net::NetRuntime;
+//! use bft_types::{Config, Value};
+//! use bracha::{BrachaOptions, BrachaProcess};
+//! use std::time::Duration;
+//!
+//! let cfg = Config::new(4, 1).expect("n >= 3f + 1");
+//! let mut rt = NetRuntime::new(4).timeout(Duration::from_secs(10));
+//! for id in cfg.nodes() {
+//!     rt.add_process(Box::new(BrachaProcess::new(
+//!         cfg,
+//!         id,
+//!         Value::One,
+//!         LocalCoin::new(5, id),
+//!         BrachaOptions::default(),
+//!     )));
+//! }
+//! let report = rt.run();
+//! assert!(report.agreement_holds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+mod clock;
+pub mod codec;
+pub mod frame;
+pub mod handshake;
+mod hash;
+pub mod runtime;
+
+pub use chaos::{ChaosConfig, LinkChaos, LinkOutage};
+pub use codec::{Codec, DecodeError, Reader};
+pub use frame::{
+    encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind, FRAME_OVERHEAD,
+    HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN, VERSION,
+};
+pub use handshake::{accept_handshake, dial_handshake, HandshakeError, Secret};
+pub use hash::fnv1a64;
+pub use runtime::{BackoffPolicy, ListenerBounce, NetRuntime};

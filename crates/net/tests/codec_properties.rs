@@ -1,0 +1,215 @@
+//! Wire-codec properties: encode→decode identity for every protocol
+//! message shape, decode-never-panics under mutation/truncation, and
+//! golden byte vectors pinning the exact on-wire encoding (a change to
+//! any of these is a wire-format break and must bump `frame::VERSION`).
+
+use bft_net::codec::Codec;
+use bft_net::{encode_frame, fnv1a64, DecodeError, Frame, FrameKind, FRAME_OVERHEAD};
+use bft_rbc::RbcMessage;
+use bft_types::{NodeId, Round, Step, Value};
+use bracha::{StepPayload, StepTag, Wire};
+use proptest::prelude::*;
+
+/// Builds a `Wire` value from flat proptest-friendly integers.
+fn wire_from(
+    sender: usize,
+    round: u64,
+    step: u8,
+    phase: u8,
+    payload: u8,
+    bit: u8,
+    flag: bool,
+) -> Wire {
+    let step = match step % 3 {
+        0 => Step::Initial,
+        1 => Step::Echo,
+        _ => Step::Ready,
+    };
+    let value = Value::from_bit(bit % 2);
+    let body = match payload % 3 {
+        0 => StepPayload::Initial(value),
+        1 => StepPayload::Echo(value),
+        _ => StepPayload::Ready { value, flagged: flag },
+    };
+    let msg = match phase % 3 {
+        0 => RbcMessage::Send(body),
+        1 => RbcMessage::Echo(body),
+        _ => RbcMessage::Ready(body),
+    };
+    Wire { sender: NodeId::new(sender), tag: StepTag::new(Round::new(round.max(1)), step), msg }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Every encodable consensus message decodes back to itself.
+    #[test]
+    fn wire_round_trips(
+        sender in 0usize..64,
+        round in 1u64..10_000,
+        step in 0u8..3,
+        phase in 0u8..3,
+        payload in 0u8..3,
+        bit in 0u8..2,
+        flag in proptest::bool::ANY,
+    ) {
+        let wire = wire_from(sender, round, step, phase, payload, bit, flag);
+        let bytes = wire.to_bytes();
+        let back = Wire::from_bytes(&bytes);
+        prop_assert_eq!(back, Ok(wire));
+    }
+
+    /// The same identity holds through a full frame (header + checksum).
+    #[test]
+    fn framed_wire_round_trips(
+        sender in 0usize..64,
+        round in 1u64..10_000,
+        seq in 1u64..1_000_000,
+        phase in 0u8..3,
+        bit in 0u8..2,
+    ) {
+        let wire = wire_from(sender, round, 2, phase, 2, bit, true);
+        let framed = encode_frame(FrameKind::Msg, seq, &wire.to_bytes());
+        let frame = Frame::decode(&framed);
+        prop_assert!(frame.is_ok());
+        let frame = frame.unwrap_or_else(|_| Frame::new(FrameKind::Msg, 0, Vec::new()));
+        prop_assert_eq!(frame.seq, seq);
+        prop_assert_eq!(Wire::from_bytes(&frame.payload), Ok(wire));
+    }
+
+    /// Decoding arbitrary garbage must return an error, never panic and
+    /// never silently succeed beyond what the checksum makes negligible.
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(0u8..=255, 0..128)) {
+        let _ = Frame::decode(&bytes);
+        let _ = Wire::from_bytes(&bytes);
+    }
+
+    /// Single-byte corruption of a valid frame is always *detected*: the
+    /// decoder returns a typed error (usually `Checksum`), never a panic
+    /// and never the original message.
+    #[test]
+    fn mutated_frames_are_rejected(
+        round in 1u64..1000,
+        bit in 0u8..2,
+        pos_pick in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let wire = wire_from(1, round, 1, 1, 1, bit, false);
+        let mut framed = encode_frame(FrameKind::Msg, 7, &wire.to_bytes());
+        let pos = pos_pick % framed.len();
+        framed[pos] ^= flip;
+        match Frame::decode(&framed) {
+            Err(_) => {}
+            Ok(frame) => {
+                // A corrupted frame that still passes the checksum would
+                // need an FNV collision; flag it loudly if it ever shows.
+                prop_assert!(
+                    frame.payload != wire.to_bytes() || frame.seq != 7,
+                    "single-byte corruption went entirely undetected"
+                );
+            }
+        }
+    }
+
+    /// Every truncation of a valid frame fails cleanly with a typed
+    /// error (prefixes of a frame are never themselves a valid frame).
+    #[test]
+    fn truncated_frames_are_rejected(round in 1u64..1000, cut in 0usize..4096) {
+        let wire = wire_from(2, round, 0, 0, 0, 1, false);
+        let framed = encode_frame(FrameKind::Msg, 3, &wire.to_bytes());
+        let keep = cut % framed.len(); // strictly shorter than the frame
+        prop_assert!(Frame::decode(&framed[..keep]).is_err());
+    }
+}
+
+/// The golden vector: byte-exact encoding of one representative message.
+/// `FRAME_OVERHEAD` bytes of framing around a 17-byte consensus payload.
+#[test]
+fn golden_wire_encoding() {
+    let wire = Wire {
+        sender: NodeId::new(3),
+        tag: StepTag::new(Round::new(2), Step::Ready),
+        msg: RbcMessage::Echo(StepPayload::Ready { value: Value::One, flagged: true }),
+    };
+    #[rustfmt::skip]
+    let expected = vec![
+        3, 0, 0, 0,             // sender: NodeId 3, u32 LE
+        2, 0, 0, 0, 0, 0, 0, 0, // tag.round: u64 LE
+        2,                      // tag.step: Ready
+        1,                      // RbcMessage discriminant: Echo
+        2,                      // StepPayload discriminant: Ready
+        1,                      // value bit: One
+        1,                      // flagged: true
+    ];
+    assert_eq!(wire.to_bytes(), expected);
+    assert_eq!(Wire::from_bytes(&expected), Ok(wire));
+}
+
+/// The same payload inside a frame, with pinned header and checksum.
+#[test]
+fn golden_frame_encoding() {
+    let wire = Wire {
+        sender: NodeId::new(3),
+        tag: StepTag::new(Round::new(2), Step::Ready),
+        msg: RbcMessage::Echo(StepPayload::Ready { value: Value::One, flagged: true }),
+    };
+    let framed = encode_frame(FrameKind::Msg, 1, &wire.to_bytes());
+    assert_eq!(framed.len(), FRAME_OVERHEAD + 17);
+    #[rustfmt::skip]
+    let expected_header = [
+        0x84, 0xAB,             // magic 0xAB84, LE
+        0x01,                   // version 1
+        0x04,                   // kind Msg
+        1, 0, 0, 0, 0, 0, 0, 0, // seq 1, u64 LE
+        17, 0, 0, 0,            // payload length, u32 LE
+    ];
+    assert_eq!(framed[..16], expected_header);
+    let trailer = u64::from_le_bytes(framed[framed.len() - 8..].try_into().unwrap());
+    assert_eq!(trailer, 0x90f4_3eb8_b3fe_952b, "pinned FNV-1a checksum");
+    assert_eq!(trailer, fnv1a64(&framed[..framed.len() - 8]));
+}
+
+/// An empty Hello frame is the smallest possible frame; pin it whole.
+#[test]
+fn golden_empty_hello_frame() {
+    let framed = encode_frame(FrameKind::Hello, 0, &[]);
+    #[rustfmt::skip]
+    let expected = vec![
+        0x84, 0xAB, 0x01, 0x01,
+        0, 0, 0, 0, 0, 0, 0, 0,
+        0, 0, 0, 0,
+        0x7e, 0xad, 0x9c, 0x35, 0xe8, 0x24, 0x37, 0x30, // FNV-1a of the header, LE
+    ];
+    assert_eq!(framed, expected);
+    let decoded = Frame::decode(&framed);
+    assert_eq!(decoded, Ok(Frame::new(FrameKind::Hello, 0, Vec::new())));
+}
+
+/// Strictness corners the property tests may not hit: rounds are
+/// 1-based, value bits are 0/1 only, and trailing bytes are rejected.
+#[test]
+fn strict_decode_corners() {
+    // Round 0 is invalid on the wire (Round::new would panic on it).
+    let mut zero_round = Vec::new();
+    NodeId::new(0).encode(&mut zero_round);
+    zero_round.extend_from_slice(&[0u8; 8]); // round 0
+    zero_round.extend_from_slice(&[0, 0, 0, 0]); // step/discr/discr/bit
+    assert!(matches!(Wire::from_bytes(&zero_round), Err(DecodeError::Invalid { .. })));
+
+    // A value bit outside {0, 1} is invalid.
+    let good = Wire {
+        sender: NodeId::new(0),
+        tag: StepTag::new(Round::new(1), Step::Initial),
+        msg: RbcMessage::Send(StepPayload::Initial(Value::Zero)),
+    };
+    let mut bytes = good.to_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] = 2;
+    assert!(matches!(Wire::from_bytes(&bytes), Err(DecodeError::Invalid { .. })));
+
+    // Trailing bytes after a complete message are an error.
+    let mut padded = good.to_bytes();
+    padded.push(0);
+    assert!(matches!(Wire::from_bytes(&padded), Err(DecodeError::Trailing { .. })));
+}

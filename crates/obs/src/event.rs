@@ -76,6 +76,52 @@ pub enum Event {
     /// The observing node stopped participating.
     NodeHalted,
 
+    /// A transport connection to `peer` was established and authenticated
+    /// for the first time (net runtime).
+    PeerConnected {
+        /// The authenticated peer.
+        peer: NodeId,
+    },
+    /// A transport connection to or from `peer` failed or closed.
+    PeerDisconnected {
+        /// The peer on the other end of the link.
+        peer: NodeId,
+        /// A stable short reason label (`"closed"`, `"write-failed"`, …).
+        reason: &'static str,
+    },
+    /// A reconnect attempt to `peer` failed; the dialer backs off before
+    /// the next attempt.
+    ReconnectBackoff {
+        /// The peer being redialed.
+        peer: NodeId,
+        /// 1-based attempt number within this reconnect episode.
+        attempt: u64,
+        /// Backoff delay before the next attempt, in milliseconds.
+        delay_ms: u64,
+    },
+    /// A previously-connected link to `peer` was re-established and
+    /// re-authenticated.
+    PeerReconnected {
+        /// The reconnected peer.
+        peer: NodeId,
+        /// Failed attempts before this episode succeeded.
+        attempts: u64,
+    },
+    /// An inbound frame failed strict decoding (the connection is dropped
+    /// and re-established by the dialer).
+    FrameDecodeError {
+        /// A stable short reason label (`"checksum"`, `"truncated"`, …).
+        reason: &'static str,
+    },
+    /// The chaos layer dropped an outbound frame transmission attempt
+    /// (the writer re-transmits after a timeout).
+    FrameDropped {
+        /// Destination of the frame.
+        to: NodeId,
+        /// Per-link sequence number of the frame.
+        seq: u64,
+    },
+
     /// An RBC instance entered a phase at the observing node.
     RbcPhaseEntered {
         /// Designated sender of the instance.
@@ -203,6 +249,12 @@ impl Event {
             Event::MessageDropped { .. } => "message_dropped",
             Event::QueueDepth { .. } => "queue_depth",
             Event::NodeHalted => "node_halted",
+            Event::PeerConnected { .. } => "peer_connected",
+            Event::PeerDisconnected { .. } => "peer_disconnected",
+            Event::ReconnectBackoff { .. } => "reconnect_backoff",
+            Event::PeerReconnected { .. } => "peer_reconnected",
+            Event::FrameDecodeError { .. } => "frame_decode_error",
+            Event::FrameDropped { .. } => "frame_dropped",
             Event::RbcPhaseEntered { .. } => "rbc_phase_entered",
             Event::RbcQuorumReached { .. } => "rbc_quorum_reached",
             Event::RbcDelivered { .. } => "rbc_delivered",
@@ -243,6 +295,29 @@ impl Event {
             }
             Event::QueueDepth { depth } => field("depth", JsonValue::U64(*depth)),
             Event::NodeHalted => {}
+            Event::PeerConnected { peer } => {
+                field("peer", JsonValue::U64(peer.index() as u64));
+            }
+            Event::PeerDisconnected { peer, reason } => {
+                field("peer", JsonValue::U64(peer.index() as u64));
+                field("reason", JsonValue::str(*reason));
+            }
+            Event::ReconnectBackoff { peer, attempt, delay_ms } => {
+                field("peer", JsonValue::U64(peer.index() as u64));
+                field("attempt", JsonValue::U64(*attempt));
+                field("delay_ms", JsonValue::U64(*delay_ms));
+            }
+            Event::PeerReconnected { peer, attempts } => {
+                field("peer", JsonValue::U64(peer.index() as u64));
+                field("attempts", JsonValue::U64(*attempts));
+            }
+            Event::FrameDecodeError { reason } => {
+                field("reason", JsonValue::str(*reason));
+            }
+            Event::FrameDropped { to, seq } => {
+                field("to", JsonValue::U64(to.index() as u64));
+                field("seq", JsonValue::U64(*seq));
+            }
             Event::RbcPhaseEntered { origin, tag, phase } => {
                 field("origin", JsonValue::U64(origin.index() as u64));
                 field("tag", JsonValue::str(tag));

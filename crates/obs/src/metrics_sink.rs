@@ -37,6 +37,12 @@ pub struct MetricsSink {
     locks: u64,
     max_queue_depth: u64,
     events_total: u64,
+    peer_connects: u64,
+    peer_disconnects: u64,
+    peer_reconnects: u64,
+    backoff_retries: u64,
+    frame_decode_errors: u64,
+    chaos_frames_dropped: u64,
 }
 
 impl MetricsSink {
@@ -110,6 +116,36 @@ impl MetricsSink {
         self.events_total
     }
 
+    /// First-time transport connections authenticated (net runtime).
+    pub fn peer_connects(&self) -> u64 {
+        self.peer_connects
+    }
+
+    /// Transport connections lost (closed, write failure, decode drop).
+    pub fn peer_disconnects(&self) -> u64 {
+        self.peer_disconnects
+    }
+
+    /// Links re-established after a disconnect.
+    pub fn peer_reconnects(&self) -> u64 {
+        self.peer_reconnects
+    }
+
+    /// Failed dial attempts that entered a backoff wait.
+    pub fn backoff_retries(&self) -> u64 {
+        self.backoff_retries
+    }
+
+    /// Inbound frames rejected by the strict decoder.
+    pub fn frame_decode_errors(&self) -> u64 {
+        self.frame_decode_errors
+    }
+
+    /// Outbound frame transmissions dropped by the chaos layer.
+    pub fn chaos_frames_dropped(&self) -> u64 {
+        self.chaos_frames_dropped
+    }
+
     /// Folds another aggregate into this one.
     ///
     /// This is the deterministic multi-run combiner behind the parallel
@@ -144,6 +180,12 @@ impl MetricsSink {
         self.locks += other.locks;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.events_total += other.events_total;
+        self.peer_connects += other.peer_connects;
+        self.peer_disconnects += other.peer_disconnects;
+        self.peer_reconnects += other.peer_reconnects;
+        self.backoff_retries += other.backoff_retries;
+        self.frame_decode_errors += other.frame_decode_errors;
+        self.chaos_frames_dropped += other.chaos_frames_dropped;
     }
 
     fn close_round(&mut self, at: u64, node: NodeId, round: u64) {
@@ -229,6 +271,17 @@ impl MetricsSink {
         obj.push(("coin_flips".into(), JsonValue::U64(self.coin_flips)));
         obj.push(("value_locks".into(), JsonValue::U64(self.locks)));
         obj.push(("max_queue_depth".into(), JsonValue::U64(self.max_queue_depth)));
+        obj.push((
+            "transport".into(),
+            JsonValue::Obj(vec![
+                ("connects".into(), JsonValue::U64(self.peer_connects)),
+                ("disconnects".into(), JsonValue::U64(self.peer_disconnects)),
+                ("reconnects".into(), JsonValue::U64(self.peer_reconnects)),
+                ("backoff_retries".into(), JsonValue::U64(self.backoff_retries)),
+                ("frame_decode_errors".into(), JsonValue::U64(self.frame_decode_errors)),
+                ("chaos_frames_dropped".into(), JsonValue::U64(self.chaos_frames_dropped)),
+            ]),
+        ));
         JsonValue::Obj(obj)
     }
 }
@@ -263,6 +316,12 @@ impl Sink for MetricsSink {
                 self.decide_rounds.add(*round);
                 self.close_round(at, node, *round);
             }
+            Event::PeerConnected { .. } => self.peer_connects += 1,
+            Event::PeerDisconnected { .. } => self.peer_disconnects += 1,
+            Event::PeerReconnected { .. } => self.peer_reconnects += 1,
+            Event::ReconnectBackoff { .. } => self.backoff_retries += 1,
+            Event::FrameDecodeError { .. } => self.frame_decode_errors += 1,
+            Event::FrameDropped { .. } => self.chaos_frames_dropped += 1,
             _ => {}
         }
     }

@@ -1,0 +1,218 @@
+//! `abnet` — run an asynchronous Byzantine consensus cluster over real
+//! loopback TCP sockets from the command line.
+//!
+//! The sibling of `absim`: same protocol processes, but instead of the
+//! deterministic simulator they run on the `bft-net` transport — framed
+//! wire codec, authenticated handshake, full-mesh peer manager with
+//! reconnect/backoff, and optional link-level chaos.
+//!
+//! ```text
+//! abnet [--n N] [--seed S] [--ones K] [--fault KIND]...
+//!       [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE]
+//!       [--max-delay-ms MS] [--timeout-secs T] [--runs R]
+//!
+//! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
+//!        (each --fault corrupts the next lowest-indexed node)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! abnet --n 4 --fault flip-value
+//! abnet --n 7 --ones 3 --drop 100 --dup 50 --runs 5
+//! ```
+
+use async_bft::adversary::{make_bracha_adversary, FaultKind};
+use async_bft::coin::LocalCoin;
+use async_bft::consensus::{BrachaOptions, BrachaProcess, Wire};
+use async_bft::net::{ChaosConfig, NetRuntime};
+use async_bft::obs::{MetricsSink, Obs};
+use async_bft::types::{Config, Value};
+use std::time::Duration;
+
+struct Options {
+    n: usize,
+    seed: u64,
+    ones: Option<usize>,
+    faults: Vec<FaultKind>,
+    drop_per_mille: u16,
+    dup_per_mille: u16,
+    delay_per_mille: u16,
+    max_delay_ms: u64,
+    timeout_secs: u64,
+    runs: u64,
+}
+
+fn parse_fault(s: &str) -> Result<FaultKind, String> {
+    Ok(match s {
+        "crash" => FaultKind::Crash { after: 40 },
+        "mute" => FaultKind::Mute,
+        "flip-value" => FaultKind::FlipValue,
+        "random-value" => FaultKind::RandomValue,
+        "always-flag" => FaultKind::AlwaysFlag,
+        "seesaw" => FaultKind::Seesaw,
+        other => return Err(format!("unknown fault kind: {other}")),
+    })
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        n: 4,
+        seed: 0,
+        ones: None,
+        faults: Vec::new(),
+        drop_per_mille: 0,
+        dup_per_mille: 0,
+        delay_per_mille: 0,
+        max_delay_ms: 2,
+        timeout_secs: 60,
+        runs: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--n" => opts.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ones" => {
+                opts.ones = Some(value("--ones")?.parse().map_err(|e| format!("--ones: {e}"))?)
+            }
+            "--fault" => opts.faults.push(parse_fault(&value("--fault")?)?),
+            "--drop" => {
+                opts.drop_per_mille =
+                    value("--drop")?.parse().map_err(|e| format!("--drop: {e}"))?
+            }
+            "--dup" => {
+                opts.dup_per_mille = value("--dup")?.parse().map_err(|e| format!("--dup: {e}"))?
+            }
+            "--delay" => {
+                opts.delay_per_mille =
+                    value("--delay")?.parse().map_err(|e| format!("--delay: {e}"))?
+            }
+            "--max-delay-ms" => {
+                opts.max_delay_ms =
+                    value("--max-delay-ms")?.parse().map_err(|e| format!("--max-delay-ms: {e}"))?
+            }
+            "--timeout-secs" => {
+                opts.timeout_secs =
+                    value("--timeout-secs")?.parse().map_err(|e| format!("--timeout-secs: {e}"))?
+            }
+            "--runs" => opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: abnet [--n N] [--seed S] [--ones K] [--fault KIND]... \
+                     [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE] \
+                     [--max-delay-ms MS] [--timeout-secs T] [--runs R]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let f_max = opts.n.saturating_sub(1) / 3;
+    if opts.faults.len() > f_max {
+        eprintln!(
+            "error: {} faults exceed the resilience bound f = {f_max} for n = {}",
+            opts.faults.len(),
+            opts.n
+        );
+        std::process::exit(2);
+    }
+    let cfg = match Config::new(opts.n, f_max) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let chaos = ChaosConfig {
+        seed: opts.seed,
+        drop_per_mille: opts.drop_per_mille,
+        dup_per_mille: opts.dup_per_mille,
+        delay_per_mille: opts.delay_per_mille,
+        max_delay_ms: opts.max_delay_ms,
+        ..ChaosConfig::default()
+    };
+    println!(
+        "n = {}, f-bound = {f_max}, actual faults = {}, chaos = {}",
+        opts.n,
+        opts.faults.len(),
+        if chaos.enabled() {
+            format!(
+                "drop {}‰, dup {}‰, delay {}‰ (≤{} ms)",
+                chaos.drop_per_mille,
+                chaos.dup_per_mille,
+                chaos.delay_per_mille,
+                chaos.max_delay_ms
+            )
+        } else {
+            "off".to_string()
+        }
+    );
+
+    let ones = opts.ones.unwrap_or(opts.n / 2);
+    let mut decided = 0u64;
+    let mut agreed = 0u64;
+    for run in 0..opts.runs {
+        let seed = opts.seed + run;
+        let (obs, metrics) = Obs::new(MetricsSink::new());
+        let mut rt: NetRuntime<Wire, Value> = NetRuntime::new(opts.n)
+            .timeout(Duration::from_secs(opts.timeout_secs))
+            .observer(obs.clone())
+            .chaos(chaos.clone());
+        // Faults corrupt the lowest-indexed nodes, matching absim.
+        for id in cfg.nodes() {
+            let input = Value::from_bool(id.index() < ones);
+            match opts.faults.get(id.index()) {
+                Some(&kind) => {
+                    rt.add_faulty_process(make_bracha_adversary(kind, cfg, id, input, seed))
+                }
+                None => rt.add_process(Box::new(BrachaProcess::new(
+                    cfg,
+                    id,
+                    input,
+                    LocalCoin::new(seed, id),
+                    BrachaOptions::default(),
+                ))),
+            }
+        }
+        let report = rt.run();
+        drop(obs);
+        if report.all_correct_decided() {
+            decided += 1;
+        }
+        if report.agreement_holds() {
+            agreed += 1;
+        }
+        let m = metrics.lock();
+        println!(
+            "run {run:>3} (seed {seed}): decision = {:?}, elapsed = {:?}, connects = {}, \
+             reconnects = {}, backoff retries = {}, frames dropped = {}, decode errors = {}",
+            report.unanimous_output(),
+            report.elapsed,
+            m.peer_connects(),
+            m.peer_reconnects(),
+            m.backoff_retries(),
+            m.chaos_frames_dropped(),
+            m.frame_decode_errors(),
+        );
+    }
+
+    println!("\nsummary: {}/{} terminated, {}/{} agreed", decided, opts.runs, agreed, opts.runs);
+    if decided < opts.runs || agreed < opts.runs {
+        std::process::exit(1);
+    }
+}

@@ -12,12 +12,28 @@
 //!   pluggable schedulers play the asynchronous network adversary.
 //! * [`bft_runtime`] — a thread-per-node **actor runtime** running the
 //!   same protocol code on real concurrency.
+//! * [`bft_net`] — a real **TCP transport**: framed wire codec with
+//!   checksum trailer, preshared-key authenticated handshake, full-mesh
+//!   peer manager with reconnect/backoff, and deterministic link-level
+//!   chaos injection.
 //! * [`bft_adversary`] — a zoo of Byzantine behaviours and content-aware
 //!   adversarial schedulers.
 //! * [`bft_coin`] — local and (dealer-model) common coins.
 //! * [`bft_obs`] — zero-cost-when-disabled **observability**: a protocol
 //!   event taxonomy with pluggable sinks (metrics aggregation, JSONL
 //!   export, online invariant checking).
+//!
+//! The same sans-io state machines run unmodified on **three execution
+//! substrates**, each trading determinism for realism:
+//!
+//! 1. [`sim`] — deterministic discrete-event simulation: seeded,
+//!    replayable, adversarial schedulers (drive it via [`Cluster`] or the
+//!    `absim` binary);
+//! 2. [`runtime`] — OS threads exchanging messages over in-memory
+//!    channels: real concurrency, no wire;
+//! 3. [`net`] — OS threads exchanging authenticated framed messages over
+//!    loopback TCP sockets, with optional chaos injection (drive it via
+//!    the `abnet` binary).
 //!
 //! This crate ties them together and adds [`Cluster`], a one-stop builder
 //! for simulated consensus experiments:
@@ -84,6 +100,11 @@ pub mod adversary {
 /// Re-export of the thread runtime crate.
 pub mod runtime {
     pub use bft_runtime::*;
+}
+
+/// Re-export of the TCP transport crate.
+pub mod net {
+    pub use bft_net::*;
 }
 
 /// Re-export of the statistics crate.

@@ -66,10 +66,31 @@ fn escape_hatches_are_reasoned_and_bounded() {
         );
     }
     // Growth guard: new escape hatches deserve review. Raise this only
-    // with a reason in the PR description.
+    // with a reason in the PR description. Raised 16 → 24 when bft-net
+    // joined the walked crates: a wall-clock TCP transport legitimately
+    // reads real time and sleeps (all concentrated in its clock module)
+    // and uses `expect` on unrecoverable host-setup failures.
     assert!(
-        report.allowed.len() <= 16,
+        report.allowed.len() <= 24,
         "allowed-site count grew to {}; keep the escape hatch rare",
         report.allowed.len()
+    );
+}
+
+#[test]
+fn net_crate_is_walked_and_annotated() {
+    // Regression guard for the transport crate's lint registration: the
+    // walk must include `crates/net`, and its wall-clock escape hatches
+    // must carry reasoned annotations (they show up in `allowed`, not in
+    // `findings`).
+    let report = bft_lint::analyze_workspace(workspace_root()).expect("workspace readable");
+    assert!(
+        report.allowed.iter().any(|site| site.file.starts_with("crates/net/")),
+        "expected annotated allow sites under crates/net; is the crate registered in \
+         PROTOCOL_CRATES?"
+    );
+    assert!(
+        report.findings.iter().all(|f| !f.file.starts_with("crates/net/")),
+        "bft-net has unannotated lint findings"
     );
 }
