@@ -250,16 +250,108 @@ pub fn net_loopback_section(runs: u64) -> JsonValue {
     ])
 }
 
+/// The fixed batch cap of the throughput section's workloads.
+const THROUGHPUT_BATCH_MAX: usize = 4;
+
+/// One deterministic ordering run (n=4/f=1, fixed seed and workload) at
+/// the given pipeline depth: returns the merged sink, the ordered
+/// payload count, the simulated ticks to completion, and whether every
+/// correct node output the log.
+fn ordering_run(epochs: u64, depth: usize) -> (MetricsSink, u64, u64, bool) {
+    use async_bft::coin::CommonCoin;
+    use async_bft::order::{OrderOptions, OrderProcess};
+    use async_bft::sim::{UniformDelay, World, WorldConfig};
+    use async_bft::types::Config;
+
+    let cfg = Config::new(4, 1).expect("4 >= 3f + 1");
+    let seed = 7u64;
+    let opts = OrderOptions { batch_max: THROUGHPUT_BATCH_MAX, pipeline_depth: depth, epochs };
+    let (obs, shared) = Obs::new(MetricsSink::new());
+    let mut world = World::new(WorldConfig::new(cfg.n()), UniformDelay::new(1, 20, seed));
+    world.set_observer(obs.clone());
+    for id in cfg.nodes() {
+        let workload: Vec<Vec<u8>> = (0..epochs * THROUGHPUT_BATCH_MAX as u64)
+            .map(|i| format!("tx-{}-{i}", id.index()).into_bytes())
+            .collect();
+        world.add_process(Box::new(
+            OrderProcess::new(cfg, id, opts, workload, move |inst| CommonCoin::new(seed, inst))
+                .with_obs(obs.clone()),
+        ));
+    }
+    let report = world.run();
+    drop(obs);
+    let sink = shared.try_into_inner().expect("observer handles dropped with the world");
+    let ticks = report.end_time.ticks().max(1);
+    let txs = report.unanimous_output().map_or(0, |log| log.len() as u64);
+    (sink, txs, ticks, report.all_correct_decided())
+}
+
+/// Atomic-broadcast throughput over the deterministic sim substrate:
+/// one epoch-pipelined ordering cluster (n=4/f=1) per pipeline depth,
+/// identical seed and workload, `epochs` epochs each. Latency and
+/// occupancy figures are simulated ticks via the observer clock, so —
+/// unlike `timing`/`microbench`/`net_loopback` — this whole section is
+/// covered by the determinism guarantee.
+pub fn throughput_section(epochs: u64) -> JsonValue {
+    let mut per_depth = Vec::new();
+    for depth in [1usize, 4] {
+        let (sink, txs, ticks, decided) = ordering_run(epochs, depth);
+        let latency = sink.epoch_commit_latency();
+        per_depth.push(JsonValue::Obj(vec![
+            ("pipeline_depth".into(), JsonValue::U64(depth as u64)),
+            ("decided".into(), JsonValue::U64(u64::from(decided))),
+            ("txs_ordered".into(), JsonValue::U64(txs)),
+            ("sim_ticks".into(), JsonValue::U64(ticks)),
+            ("tx_per_kilotick".into(), JsonValue::F64(txs as f64 * 1000.0 / ticks as f64)),
+            (
+                "epoch_commit_latency_ticks".into(),
+                JsonValue::Obj(vec![
+                    ("mean".into(), JsonValue::F64(latency.mean())),
+                    ("max".into(), JsonValue::F64(latency.max().unwrap_or(0.0))),
+                ]),
+            ),
+            (
+                "pipeline_occupancy".into(),
+                JsonValue::Obj(vec![
+                    ("mean".into(), JsonValue::F64(sink.pipeline_occupancy().mean())),
+                    ("max".into(), JsonValue::U64(sink.max_pipeline_occupancy())),
+                ]),
+            ),
+            ("epochs_committed".into(), JsonValue::U64(sink.epochs_committed())),
+        ]));
+    }
+    JsonValue::Obj(vec![
+        ("protocol".into(), JsonValue::str("bracha-acs-order")),
+        ("substrate".into(), JsonValue::str("sim")),
+        ("n".into(), JsonValue::U64(4)),
+        ("f".into(), JsonValue::U64(1)),
+        ("epochs".into(), JsonValue::U64(epochs)),
+        ("batch_max".into(), JsonValue::U64(THROUGHPUT_BATCH_MAX as u64)),
+        ("depths".into(), JsonValue::Arr(per_depth)),
+    ])
+}
+
+/// Epoch count for the throughput section by report mode: smoke stays
+/// small enough for a cold CI runner, full gets a longer pipeline.
+fn throughput_epochs(mode_label: &str) -> u64 {
+    match mode_label {
+        "smoke" => 5,
+        "full" => 12,
+        _ => 8,
+    }
+}
+
 /// Assembles a full report document over the given configurations.
 pub fn report_for(configs: &[BenchConfig], mode_label: &str, jobs: usize) -> JsonValue {
     let fragments: Vec<JsonValue> = configs.iter().map(|&c| run_config(c, jobs)).collect();
     JsonValue::Obj(vec![
         ("suite".into(), JsonValue::str("bracha")),
         ("mode".into(), JsonValue::str(mode_label)),
-        ("schema_version".into(), JsonValue::U64(2)),
+        ("schema_version".into(), JsonValue::U64(3)),
         ("configs".into(), JsonValue::Arr(fragments)),
         ("microbench".into(), microbench_section()),
         ("net_loopback".into(), net_loopback_section(3)),
+        ("throughput".into(), throughput_section(throughput_epochs(mode_label))),
     ])
 }
 
@@ -293,6 +385,35 @@ mod tests {
     fn every_quick_run_decides() {
         let fragment = run_config(BenchConfig { n: 4, seeds: 3 }, 1).to_string();
         assert!(fragment.contains("\"decided_runs\":3"));
+    }
+
+    /// The acceptance gate for the ordering tentpole: a deeper pipeline
+    /// overlaps epoch `e + 1`'s broadcast with epoch `e`'s agreement, so
+    /// the same workload completes in fewer simulated ticks — higher
+    /// throughput at equal delivered payload count.
+    #[test]
+    fn deeper_pipeline_raises_sim_throughput() {
+        let (_, txs_seq, ticks_seq, decided_seq) = ordering_run(5, 1);
+        let (sink, txs_deep, ticks_deep, decided_deep) = ordering_run(5, 4);
+        assert!(decided_seq && decided_deep);
+        assert_eq!(txs_seq, txs_deep, "pipelining must not change what gets ordered");
+        assert!(
+            ticks_deep < ticks_seq,
+            "depth 4 should finish faster than sequential: {ticks_deep} vs {ticks_seq} ticks"
+        );
+        assert!(sink.max_pipeline_occupancy() > 1, "the deep run must actually overlap epochs");
+        assert_eq!(sink.epochs_committed(), 5 * 4, "5 epochs at each of 4 nodes");
+    }
+
+    #[test]
+    fn report_contains_the_throughput_section() {
+        let rendered = throughput_section(3).to_string();
+        assert!(rendered.contains("\"protocol\":\"bracha-acs-order\""));
+        assert!(rendered.contains("\"pipeline_depth\":1"));
+        assert!(rendered.contains("\"pipeline_depth\":4"));
+        assert!(rendered.contains("\"tx_per_kilotick\""));
+        assert!(rendered.contains("\"epoch_commit_latency_ticks\""));
+        assert!(rendered.contains("\"pipeline_occupancy\""));
     }
 
     /// The acceptance gate for the parallel driver: byte-identical

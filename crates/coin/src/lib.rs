@@ -59,8 +59,13 @@ impl CoinScheme for BoxedCoin {
 
 /// A private, per-node fair coin — the scheme of Bracha's 1984 protocol.
 ///
-/// Each node's stream is seeded from `(run seed, node id)`, so runs are
-/// reproducible while different nodes flip independently.
+/// The flip is a keyed PRF over `(seed, node, instance, round)`, exactly
+/// like [`CommonCoin`] but with the node id (and an instance number) mixed
+/// into the key, so different nodes — and different concurrent agreement
+/// instances at *one* node — draw independent streams. Keying by round
+/// (rather than advancing a stateful RNG per call) makes the flip a pure
+/// function of the round: replays that reach the coin step a different
+/// number of times still agree per-round.
 ///
 /// # Example
 ///
@@ -72,24 +77,41 @@ impl CoinScheme for BoxedCoin {
 /// let mut b = LocalCoin::new(42, NodeId::new(0));
 /// assert_eq!(a.flip(1), b.flip(1)); // same node, same seed → same stream
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct LocalCoin {
-    rng: ChaCha8Rng,
+    seed: u64,
+    node: NodeId,
+    instance: u64,
 }
 
 impl LocalCoin {
-    /// Creates the local coin for `node` in a run seeded with `seed`.
+    /// Creates the local coin for `node` in a run seeded with `seed`
+    /// (agreement instance 0).
     pub fn new(seed: u64, node: NodeId) -> Self {
-        // Derive a per-node stream; ChaCha streams are independent.
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        rng.set_stream(node.index() as u64 + 1);
-        LocalCoin { rng }
+        LocalCoin::for_instance(seed, node, 0)
+    }
+
+    /// Creates the local coin for agreement instance `instance` at `node`.
+    ///
+    /// Multi-instance protocols (one binary agreement per ACS slot, one
+    /// ACS per epoch) must give each instance its own number, or every
+    /// instance at the node would see the same flip in the same round.
+    pub fn for_instance(seed: u64, node: NodeId, instance: u64) -> Self {
+        LocalCoin { seed, node, instance }
     }
 }
 
 impl CoinScheme for LocalCoin {
-    fn flip(&mut self, _round: u64) -> Value {
-        Value::from_bool(self.rng.gen())
+    fn flip(&mut self, round: u64) -> Value {
+        // Keyed PRF over (seed, node, instance, round): one ChaCha8 block,
+        // one bit. See CommonCoin::flip for the dealer-model analogue.
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&self.seed.to_le_bytes());
+        key[8..16].copy_from_slice(&(self.node.index() as u64).to_le_bytes());
+        key[16..24].copy_from_slice(&self.instance.to_le_bytes());
+        key[24..32].copy_from_slice(&round.to_le_bytes());
+        let mut rng = ChaCha8Rng::from_seed(key);
+        Value::from_bit((rng.next_u32() & 1) as u8)
     }
 
     fn name(&self) -> &'static str {
@@ -291,6 +313,33 @@ mod tests {
         let mut c = LocalCoin::new(99, NodeId::new(3));
         let ones: usize = (0..10_000).map(|r| c.flip(r).index()).sum();
         assert!((4_000..=6_000).contains(&ones), "got {ones} ones out of 10000");
+    }
+
+    #[test]
+    fn local_coin_instances_at_one_node_flip_independently() {
+        // Regression: LocalCoin used to ignore both its round argument and
+        // any instance dimension, so two concurrent agreement instances at
+        // one node drew identical streams.
+        let mut a = LocalCoin::for_instance(7, NodeId::new(2), 0);
+        let mut b = LocalCoin::for_instance(7, NodeId::new(2), 1);
+        let fa: Vec<Value> = (0..64).map(|r| a.flip(r)).collect();
+        let fb: Vec<Value> = (0..64).map(|r| b.flip(r)).collect();
+        assert_ne!(fa, fb, "instances at one node must have independent streams");
+    }
+
+    #[test]
+    fn local_coin_replays_agree_per_round() {
+        // Regression: the flip used to advance a stateful RNG per call, so
+        // replays that reached the coin step a different number of times
+        // diverged. The flip must be a pure function of the round.
+        let mut warm = LocalCoin::new(13, NodeId::new(1));
+        for r in 0..100 {
+            let _ = warm.flip(r); // burn 100 calls in a different order
+        }
+        let mut fresh = LocalCoin::new(13, NodeId::new(1));
+        for r in (0..50).rev() {
+            assert_eq!(warm.flip(r), fresh.flip(r), "round {r} flip is call-order-dependent");
+        }
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct ChaosConfig {
     pub max_delay_ms: u64,
     /// Scheduled one-way outage windows.
     pub outages: Vec<LinkOutage>,
+    /// On each link's *first* reconnect, the writer pretends it lost its
+    /// replay log and resumes from its send counter instead of replaying
+    /// from sequence 1. Models a peer whose retransmit state did not
+    /// survive the disconnect; the receiver must detect the resulting
+    /// sequence gap and drop the connection.
+    pub skip_first_replay: bool,
 }
 
 impl ChaosConfig {
@@ -56,6 +62,7 @@ impl ChaosConfig {
             || self.dup_per_mille > 0
             || (self.delay_per_mille > 0 && self.max_delay_ms > 0)
             || !self.outages.is_empty()
+            || self.skip_first_replay
     }
 
     /// The chaos state for one directed link.
@@ -76,6 +83,7 @@ impl ChaosConfig {
                 .copied()
                 .filter(|o| o.from == from && o.to == to)
                 .collect(),
+            skip_replay: self.skip_first_replay,
         }
     }
 }
@@ -89,9 +97,19 @@ pub struct LinkChaos {
     delay_per_mille: u16,
     max_delay_ms: u64,
     outages: Vec<LinkOutage>,
+    skip_replay: bool,
 }
 
 impl LinkChaos {
+    /// One-shot: whether this reconnect should resume from the send
+    /// counter instead of replaying the log. Arms at most once per link
+    /// so the *second* reconnect recovers via a full replay.
+    pub fn skip_replay_once(&mut self) -> bool {
+        let skip = self.skip_replay;
+        self.skip_replay = false;
+        skip
+    }
+
     /// Whether the current transmission attempt is lost on the wire.
     pub fn attempt_dropped(&mut self) -> bool {
         self.rng.chance_per_mille(self.drop_per_mille)

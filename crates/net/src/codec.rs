@@ -385,6 +385,17 @@ impl<T: Codec, P: Codec> Codec for RbcMuxMessage<T, P> {
 
 /// Strings are length-prefixed UTF-8 (used by the RBC examples whose
 /// payloads are text).
+impl Codec for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.len() as u32);
+        out.extend_from_slice(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.u32()? as usize;
+        Ok(r.take(len)?.to_vec())
+    }
+}
+
 impl Codec for String {
     fn encode(&self, out: &mut Vec<u8>) {
         put_u32(out, self.len() as u32);

@@ -90,7 +90,11 @@ impl Frame {
     }
 
     /// Encodes the frame, including header and checksum trailer.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Fails with [`PayloadTooLarge`] when the payload exceeds
+    /// [`MAX_PAYLOAD`]; such a frame would be rejected by every receiver
+    /// at decode, so it must never reach the wire.
+    pub fn encode(&self) -> Result<Vec<u8>, PayloadTooLarge> {
         encode_frame(self.kind, self.seq, &self.payload)
     }
 
@@ -114,11 +118,36 @@ impl Frame {
     }
 }
 
+/// The typed encode-side failure: the payload exceeds [`MAX_PAYLOAD`].
+///
+/// Encoding enforces the same hard cap that [`parse_header`] enforces on
+/// decode ([`DecodeError::Oversize`]); the limits are symmetric, so a
+/// frame that encodes successfully is never rejected for size by a
+/// receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayloadTooLarge {
+    /// The offending payload length in bytes.
+    pub len: usize,
+}
+
+impl std::fmt::Display for PayloadTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "payload of {} bytes exceeds the frame cap of {} bytes", self.len, MAX_PAYLOAD)
+    }
+}
+
+impl std::error::Error for PayloadTooLarge {}
+
 /// Encodes a frame from a borrowed payload.
 ///
 /// This is the hot-path entry point: broadcast bodies are `Arc`-shared
-/// between per-link writers and must not be cloned per frame.
-pub fn encode_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Vec<u8> {
+/// between per-link writers and must not be cloned per frame. Payloads
+/// above [`MAX_PAYLOAD`] fail with a typed [`PayloadTooLarge`] error
+/// instead of silently emitting a frame every receiver must reject.
+pub fn encode_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Result<Vec<u8>, PayloadTooLarge> {
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(PayloadTooLarge { len: payload.len() });
+    }
     let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
     put_u16(&mut out, MAGIC);
     out.push(VERSION);
@@ -129,7 +158,7 @@ pub fn encode_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Vec<u8> {
     let mut h = Fnv64::new();
     h.write(&out);
     put_u64(&mut out, h.finish());
-    out
+    Ok(out)
 }
 
 /// The parsed fixed header.
@@ -214,8 +243,12 @@ fn fill(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
 }
 
 /// Writes one frame to the stream.
+///
+/// An oversize payload surfaces as an `InvalidInput` I/O error carrying
+/// [`PayloadTooLarge`]; nothing is written in that case.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
-    w.write_all(&frame.encode())
+    let bytes = frame.encode().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    w.write_all(&bytes)
 }
 
 /// Reads one frame from the stream, blocking until it is complete.
@@ -254,7 +287,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let f = Frame::new(FrameKind::Msg, 7, vec![1, 2, 3]);
-        let bytes = f.encode();
+        let bytes = f.encode().unwrap_or_default();
         assert_eq!(bytes.len(), FRAME_OVERHEAD + 3);
         assert_eq!(Frame::decode(&bytes), Ok(f.clone()));
 
@@ -265,14 +298,14 @@ mod tests {
 
     #[test]
     fn corruption_is_caught() {
-        let mut bytes = Frame::new(FrameKind::Msg, 1, vec![9; 8]).encode();
+        let mut bytes = Frame::new(FrameKind::Msg, 1, vec![9; 8]).encode().unwrap_or_default();
         bytes[20] ^= 0xff;
         assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Checksum { .. })));
     }
 
     #[test]
     fn bad_magic_version_kind() {
-        let good = Frame::new(FrameKind::Hello, 0, Vec::new()).encode();
+        let good = Frame::new(FrameKind::Hello, 0, Vec::new()).encode().unwrap_or_default();
         let mut m = good.clone();
         m[0] = 0;
         assert!(matches!(Frame::decode(&m), Err(DecodeError::BadMagic(_))));
@@ -286,7 +319,7 @@ mod tests {
 
     #[test]
     fn oversize_is_rejected_before_allocation() {
-        let mut bytes = Frame::new(FrameKind::Msg, 0, Vec::new()).encode();
+        let mut bytes = Frame::new(FrameKind::Msg, 0, Vec::new()).encode().unwrap_or_default();
         bytes[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Oversize(_))));
     }
@@ -296,7 +329,7 @@ mod tests {
         let mut empty = io::Cursor::new(Vec::<u8>::new());
         assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
 
-        let full = Frame::new(FrameKind::Msg, 3, vec![5; 10]).encode();
+        let full = Frame::new(FrameKind::Msg, 3, vec![5; 10]).encode().unwrap_or_default();
         let mut cut = io::Cursor::new(full[..full.len() - 4].to_vec());
         assert!(matches!(read_frame(&mut cut), Err(FrameError::Io(_))));
     }

@@ -64,8 +64,8 @@ pub mod runtime;
 pub use chaos::{ChaosConfig, LinkChaos, LinkOutage};
 pub use codec::{Codec, DecodeError, Reader};
 pub use frame::{
-    encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind, FRAME_OVERHEAD,
-    HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN, VERSION,
+    encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind, PayloadTooLarge,
+    FRAME_OVERHEAD, HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN, VERSION,
 };
 pub use handshake::{accept_handshake, dial_handshake, HandshakeError, Secret};
 pub use hash::fnv1a64;

@@ -489,8 +489,20 @@ impl<M> Clone for ReaderShared<M> {
 /// One inbound connection: authenticate the dialer, then deliver its
 /// frames (deduplicated by sequence number) to the actor inbox.
 fn reader_loop<M: Codec + Clone + fmt::Debug>(mut stream: TcpStream, ctx: ReaderShared<M>) {
+    reader_session(&mut stream, ctx);
+    // The inbound registry holds a cloned fd of this stream (for
+    // shutdown severing), so merely dropping our handle does not close
+    // the connection. Sever explicitly: without the FIN the dialer can
+    // never learn we abandoned the link (e.g. on a sequence gap) and
+    // would block forever writing into a connection nobody reads.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The body of [`reader_loop`]; returning (on any path) abandons the
+/// connection, which the caller then severs.
+fn reader_session<M: Codec + Clone + fmt::Debug>(stream: &mut TcpStream, ctx: ReaderShared<M>) {
     let Some(inbox) = ctx.inbox else { return };
-    let Ok(peer) = accept_handshake(&mut stream, ctx.me, ctx.n, ctx.secret) else {
+    let Ok(peer) = accept_handshake(stream, ctx.me, ctx.n, ctx.secret) else {
         // A failed handshake surfaces on the dialer side as backoff; the
         // accepter just drops the connection.
         return;
@@ -505,7 +517,7 @@ fn reader_loop<M: Codec + Clone + fmt::Debug>(mut stream: TcpStream, ctx: Reader
         if ctx.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        match read_frame(&mut stream) {
+        match read_frame(stream) {
             Ok(frame) => {
                 if frame.kind != FrameKind::Msg {
                     ctx.obs
@@ -521,9 +533,16 @@ fn reader_loop<M: Codec + Clone + fmt::Debug>(mut stream: TcpStream, ctx: Reader
                     }
                     if frame.seq > *next {
                         // Contiguity violation: drop the connection; the
-                        // dialer will reconnect and replay.
-                        ctx.obs
-                            .emit(ctx.me, || ObsEvent::FrameDecodeError { reason: "sequence_gap" });
+                        // dialer will reconnect and replay. This is a
+                        // transport-ordering fault, not a decode failure,
+                        // so it gets its own event (and counter).
+                        let expected = *next;
+                        let got = frame.seq;
+                        ctx.obs.emit(ctx.me, || ObsEvent::FrameSequenceGap {
+                            from: peer,
+                            expected,
+                            got,
+                        });
                         return;
                     }
                     *next += 1;
@@ -590,6 +609,27 @@ const MAX_RETRANSMIT: u32 = 64;
 /// One directed link: drain the queue, keep the connection alive
 /// (redialing with capped backoff), apply chaos, and write framed
 /// messages with contiguous sequence numbers.
+/// Whether an outbound stream's peer has gone away: a pending socket
+/// error (e.g. a RST) or EOF on a non-blocking peek. The writer never
+/// reads application data on this stream, so any readable EOF means the
+/// receiver closed its end.
+fn conn_dead(stream: &TcpStream) -> bool {
+    if !matches!(stream.take_error(), Ok(None)) {
+        return true;
+    }
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let dead = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => e.kind() != io::ErrorKind::WouldBlock,
+    };
+    let _ = stream.set_nonblocking(false);
+    dead
+}
+
 fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
     let me = ctx.me;
     let peer = ctx.peer;
@@ -624,6 +664,19 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
             }
         }
         if sent == log.len() {
+            // An idle link can die silently: a receiver that detected a
+            // sequence gap (or was severed) closes its end, but with no
+            // pending frames the writer would never hit a write error and
+            // never redial — starving the peer of the replay it needs.
+            // Probe the socket; on a dead link force a full replay.
+            if conn.as_ref().is_some_and(conn_dead) {
+                conn = None;
+                sent = 0;
+                if !ctx.shutdown.load(Ordering::Relaxed) {
+                    ctx.obs.emit(me, || ObsEvent::PeerDisconnected { peer, reason: "peer_closed" });
+                }
+                continue;
+            }
             if draining {
                 break;
             }
@@ -643,16 +696,27 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
                     let _ = stream.set_nodelay(true);
                     if dial_handshake(&mut stream, me, peer, ctx.secret).is_ok() {
                         ctx.outbound_reg.register(&stream);
-                        if ever_connected {
+                        let was_reconnect = ever_connected;
+                        if was_reconnect {
                             let attempts = attempt;
                             ctx.obs.emit(me, || ObsEvent::PeerReconnected { peer, attempts });
                         } else {
                             ctx.obs.emit(me, || ObsEvent::PeerConnected { peer });
                         }
                         ever_connected = true;
-                        // Fresh connection ⇒ replay the whole log; the
-                        // receiver dedups by sequence number.
-                        sent = 0;
+                        if was_reconnect && ctx.chaos.skip_replay_once() {
+                            // Chaos: the writer "lost" its replay log and
+                            // resumes from its send counter. Writes that
+                            // died in the previous socket's buffers were
+                            // counted as sent, so the receiver sees the
+                            // stream jump ahead, reports a sequence gap
+                            // and drops the connection; the next dial
+                            // replays in full.
+                        } else {
+                            // Fresh connection ⇒ replay the whole log; the
+                            // receiver dedups by sequence number.
+                            sent = 0;
+                        }
                         break Some(stream);
                     }
                 }
@@ -708,7 +772,15 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
         }
 
         let Some(body) = log.get(sent) else { continue };
-        let bytes = encode_frame(FrameKind::Msg, seq, body);
+        let Ok(bytes) = encode_frame(FrameKind::Msg, seq, body) else {
+            // Unreachable: oversize bodies are rejected at enqueue time in
+            // `apply` and never enter the log. Skipping (rather than
+            // spinning on the same frame forever) keeps the writer live if
+            // that invariant is ever broken.
+            ctx.obs.emit(me, || ObsEvent::FrameDecodeError { reason: "payload_too_large" });
+            sent += 1;
+            continue;
+        };
         let duplicate = ctx.chaos.duplicate();
         let Some(stream) = conn.as_mut() else { continue };
         let ok =
@@ -762,6 +834,20 @@ fn actor_loop<M, O>(
     }
 }
 
+/// Rejects bodies that cannot be framed ([`crate::frame::MAX_PAYLOAD`])
+/// at the send boundary, before they are assigned a sequence number.
+/// Letting one into a writer log would wedge the link: the frame can
+/// never be transmitted, and skipping it would leave a permanent
+/// sequence gap on replay.
+fn oversize(me: NodeId, body: &[u8], obs: &Obs) -> bool {
+    if body.len() > crate::frame::MAX_PAYLOAD as usize {
+        let len = body.len() as u64;
+        obs.emit(me, || ObsEvent::PayloadRejected { len });
+        return true;
+    }
+    false
+}
+
 fn apply<M, O>(
     me: NodeId,
     effects: Vec<Effect<M, O>>,
@@ -777,6 +863,9 @@ fn apply<M, O>(
         match effect {
             Effect::Send { to, msg } => {
                 let body = msg.to_bytes();
+                if oversize(me, &body, obs) {
+                    continue;
+                }
                 let bytes = (body.len() + FRAME_OVERHEAD) as u64;
                 obs.emit(me, || ObsEvent::MessageSent { to, kind: "net", bytes });
                 match links.get(to.index()).and_then(Option::as_ref) {
@@ -795,6 +884,9 @@ fn apply<M, O>(
                 // Encode once: every remote link's log entry shares one
                 // body allocation.
                 let body = Arc::new(msg.to_bytes());
+                if oversize(me, &body, obs) {
+                    continue;
+                }
                 let bytes = (body.len() + FRAME_OVERHEAD) as u64;
                 for (i, link) in links.iter().enumerate() {
                     let to = NodeId::new(i);

@@ -4,7 +4,10 @@
 //! any of these is a wire-format break and must bump `frame::VERSION`).
 
 use bft_net::codec::Codec;
-use bft_net::{encode_frame, fnv1a64, DecodeError, Frame, FrameKind, FRAME_OVERHEAD};
+use bft_net::{
+    encode_frame, fnv1a64, DecodeError, Frame, FrameKind, PayloadTooLarge, FRAME_OVERHEAD,
+    MAX_PAYLOAD,
+};
 use bft_rbc::RbcMessage;
 use bft_types::{NodeId, Round, Step, Value};
 use bracha::{StepPayload, StepTag, Wire};
@@ -69,7 +72,7 @@ proptest! {
         bit in 0u8..2,
     ) {
         let wire = wire_from(sender, round, 2, phase, 2, bit, true);
-        let framed = encode_frame(FrameKind::Msg, seq, &wire.to_bytes());
+        let framed = encode_frame(FrameKind::Msg, seq, &wire.to_bytes()).unwrap();
         let frame = Frame::decode(&framed);
         prop_assert!(frame.is_ok());
         let frame = frame.unwrap_or_else(|_| Frame::new(FrameKind::Msg, 0, Vec::new()));
@@ -96,7 +99,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let wire = wire_from(1, round, 1, 1, 1, bit, false);
-        let mut framed = encode_frame(FrameKind::Msg, 7, &wire.to_bytes());
+        let mut framed = encode_frame(FrameKind::Msg, 7, &wire.to_bytes()).unwrap();
         let pos = pos_pick % framed.len();
         framed[pos] ^= flip;
         match Frame::decode(&framed) {
@@ -117,10 +120,51 @@ proptest! {
     #[test]
     fn truncated_frames_are_rejected(round in 1u64..1000, cut in 0usize..4096) {
         let wire = wire_from(2, round, 0, 0, 0, 1, false);
-        let framed = encode_frame(FrameKind::Msg, 3, &wire.to_bytes());
+        let framed = encode_frame(FrameKind::Msg, 3, &wire.to_bytes()).unwrap();
         let keep = cut % framed.len(); // strictly shorter than the frame
         prop_assert!(Frame::decode(&framed[..keep]).is_err());
     }
+}
+
+proptest! {
+    // Fewer cases: each exercises the 1 MiB boundary with real payloads.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Encode/decode limit symmetry: `encode_frame` succeeds exactly when
+    /// the payload fits `MAX_PAYLOAD`, and everything it emits decodes —
+    /// no frame a sender can produce is rejected for size by a receiver.
+    #[test]
+    fn encode_decode_limits_are_symmetric(delta in -4i64..=4, seq in 0u64..1_000) {
+        let len = (MAX_PAYLOAD as i64 + delta) as usize;
+        let payload = vec![0xA5u8; len];
+        match encode_frame(FrameKind::Msg, seq, &payload) {
+            Ok(framed) => {
+                prop_assert!(len <= MAX_PAYLOAD as usize);
+                let back = Frame::decode(&framed);
+                prop_assert_eq!(back, Ok(Frame::new(FrameKind::Msg, seq, payload)));
+            }
+            Err(PayloadTooLarge { len: reported }) => {
+                prop_assert!(len > MAX_PAYLOAD as usize);
+                prop_assert_eq!(reported, len);
+            }
+        }
+    }
+}
+
+/// Regression: `encode_frame` used to write `payload.len() as u32`
+/// unchecked, emitting frames every receiver rejects as `Oversize` —
+/// and, past `u32::MAX`, silently corrupting the length field.
+#[test]
+fn oversize_payload_is_a_typed_encode_error() {
+    let payload = vec![0u8; MAX_PAYLOAD as usize + 1];
+    assert_eq!(
+        encode_frame(FrameKind::Msg, 1, &payload),
+        Err(PayloadTooLarge { len: MAX_PAYLOAD as usize + 1 })
+    );
+    // The cap itself is still encodable, and decodes back.
+    let exact = vec![7u8; MAX_PAYLOAD as usize];
+    let framed = encode_frame(FrameKind::Msg, 2, &exact).unwrap();
+    assert_eq!(Frame::decode(&framed), Ok(Frame::new(FrameKind::Msg, 2, exact)));
 }
 
 /// The golden vector: byte-exact encoding of one representative message.
@@ -154,7 +198,7 @@ fn golden_frame_encoding() {
         tag: StepTag::new(Round::new(2), Step::Ready),
         msg: RbcMessage::Echo(StepPayload::Ready { value: Value::One, flagged: true }),
     };
-    let framed = encode_frame(FrameKind::Msg, 1, &wire.to_bytes());
+    let framed = encode_frame(FrameKind::Msg, 1, &wire.to_bytes()).unwrap();
     assert_eq!(framed.len(), FRAME_OVERHEAD + 17);
     #[rustfmt::skip]
     let expected_header = [
@@ -173,7 +217,7 @@ fn golden_frame_encoding() {
 /// An empty Hello frame is the smallest possible frame; pin it whole.
 #[test]
 fn golden_empty_hello_frame() {
-    let framed = encode_frame(FrameKind::Hello, 0, &[]);
+    let framed = encode_frame(FrameKind::Hello, 0, &[]).unwrap();
     #[rustfmt::skip]
     let expected = vec![
         0x84, 0xAB, 0x01, 0x01,

@@ -121,6 +121,59 @@ pub enum Event {
         /// Per-link sequence number of the frame.
         seq: u64,
     },
+    /// An inbound frame from `from` skipped ahead of the expected per-link
+    /// sequence number. Frames decoded fine — the *ordering* contract was
+    /// violated, so the connection is dropped and the dialer replays.
+    FrameSequenceGap {
+        /// The peer whose stream jumped.
+        from: NodeId,
+        /// The sequence number the receiver was waiting for.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
+    /// An outbound message body exceeded the transport's frame cap and was
+    /// rejected at the send boundary (never assigned a sequence number).
+    PayloadRejected {
+        /// The encoded body length in bytes.
+        len: u64,
+    },
+
+    /// The observing node started an ordering epoch (proposed its batch
+    /// and opened the epoch's ACS instance).
+    EpochStarted {
+        /// The 0-based epoch number.
+        epoch: u64,
+    },
+    /// The epoch's ACS decided: the observing node knows the epoch's
+    /// committed batch set.
+    EpochCommitted {
+        /// The 0-based epoch number.
+        epoch: u64,
+        /// Proposer slots accepted into the epoch (ABA decided One).
+        slots: u64,
+        /// Total transactions across the accepted batches.
+        txs: u64,
+    },
+    /// The observing node submitted its own batch into an epoch.
+    BatchSubmitted {
+        /// The 0-based epoch number carrying the batch.
+        epoch: u64,
+        /// Transactions in the batch.
+        txs: u64,
+        /// Total payload bytes in the batch.
+        bytes: u64,
+    },
+    /// A committed epoch's entries were appended to the totally-ordered
+    /// log (epochs append strictly in order).
+    LogDelivered {
+        /// The 0-based epoch number just appended.
+        epoch: u64,
+        /// Entries appended by this epoch.
+        entries: u64,
+        /// Cumulative log length after the append.
+        total: u64,
+    },
 
     /// An RBC instance entered a phase at the observing node.
     RbcPhaseEntered {
@@ -255,6 +308,12 @@ impl Event {
             Event::PeerReconnected { .. } => "peer_reconnected",
             Event::FrameDecodeError { .. } => "frame_decode_error",
             Event::FrameDropped { .. } => "frame_dropped",
+            Event::FrameSequenceGap { .. } => "frame_sequence_gap",
+            Event::PayloadRejected { .. } => "payload_rejected",
+            Event::EpochStarted { .. } => "epoch_started",
+            Event::EpochCommitted { .. } => "epoch_committed",
+            Event::BatchSubmitted { .. } => "batch_submitted",
+            Event::LogDelivered { .. } => "log_delivered",
             Event::RbcPhaseEntered { .. } => "rbc_phase_entered",
             Event::RbcQuorumReached { .. } => "rbc_quorum_reached",
             Event::RbcDelivered { .. } => "rbc_delivered",
@@ -317,6 +376,32 @@ impl Event {
             Event::FrameDropped { to, seq } => {
                 field("to", JsonValue::U64(to.index() as u64));
                 field("seq", JsonValue::U64(*seq));
+            }
+            Event::FrameSequenceGap { from, expected, got } => {
+                field("from", JsonValue::U64(from.index() as u64));
+                field("expected", JsonValue::U64(*expected));
+                field("got", JsonValue::U64(*got));
+            }
+            Event::PayloadRejected { len } => {
+                field("len", JsonValue::U64(*len));
+            }
+            Event::EpochStarted { epoch } => {
+                field("epoch", JsonValue::U64(*epoch));
+            }
+            Event::EpochCommitted { epoch, slots, txs } => {
+                field("epoch", JsonValue::U64(*epoch));
+                field("slots", JsonValue::U64(*slots));
+                field("txs", JsonValue::U64(*txs));
+            }
+            Event::BatchSubmitted { epoch, txs, bytes } => {
+                field("epoch", JsonValue::U64(*epoch));
+                field("txs", JsonValue::U64(*txs));
+                field("bytes", JsonValue::U64(*bytes));
+            }
+            Event::LogDelivered { epoch, entries, total } => {
+                field("epoch", JsonValue::U64(*epoch));
+                field("entries", JsonValue::U64(*entries));
+                field("total", JsonValue::U64(*total));
             }
             Event::RbcPhaseEntered { origin, tag, phase } => {
                 field("origin", JsonValue::U64(origin.index() as u64));
@@ -400,6 +485,12 @@ mod tests {
             Event::CoinFlipped { round: 1, value: Value::One, scheme: "local" },
             Event::ValueLocked { round: 1, value: Value::One, support: 3 },
             Event::Decided { round: 1, value: Value::One },
+            Event::FrameSequenceGap { from: NodeId::new(0), expected: 1, got: 3 },
+            Event::PayloadRejected { len: 9 },
+            Event::EpochStarted { epoch: 0 },
+            Event::EpochCommitted { epoch: 0, slots: 3, txs: 12 },
+            Event::BatchSubmitted { epoch: 0, txs: 4, bytes: 64 },
+            Event::LogDelivered { epoch: 0, entries: 12, total: 12 },
         ];
         let names: std::collections::HashSet<&str> = events.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), events.len());

@@ -42,7 +42,19 @@ pub struct MetricsSink {
     peer_reconnects: u64,
     backoff_retries: u64,
     frame_decode_errors: u64,
+    frame_sequence_gaps: u64,
+    payloads_rejected: u64,
     chaos_frames_dropped: u64,
+    epochs_started: u64,
+    epochs_committed: u64,
+    batches_submitted: u64,
+    txs_submitted: u64,
+    txs_delivered: u64,
+    epoch_commit_latency: Samples,
+    open_epochs: BTreeMap<(NodeId, u64), u64>,
+    inflight_epochs: BTreeMap<NodeId, u64>,
+    occupancy: Samples,
+    max_pipeline_occupancy: u64,
 }
 
 impl MetricsSink {
@@ -141,9 +153,62 @@ impl MetricsSink {
         self.frame_decode_errors
     }
 
+    /// Inbound frames that skipped ahead of the expected sequence number
+    /// (transport-ordering faults; the connection is dropped and replayed).
+    pub fn frame_sequence_gaps(&self) -> u64 {
+        self.frame_sequence_gaps
+    }
+
+    /// Outbound bodies rejected at the send boundary for exceeding the
+    /// frame cap.
+    pub fn payloads_rejected(&self) -> u64 {
+        self.payloads_rejected
+    }
+
     /// Outbound frame transmissions dropped by the chaos layer.
     pub fn chaos_frames_dropped(&self) -> u64 {
         self.chaos_frames_dropped
+    }
+
+    /// Ordering epochs opened across nodes.
+    pub fn epochs_started(&self) -> u64 {
+        self.epochs_started
+    }
+
+    /// Ordering epochs whose ACS decided across nodes.
+    pub fn epochs_committed(&self) -> u64 {
+        self.epochs_committed
+    }
+
+    /// Own batches proposed into epochs across nodes.
+    pub fn batches_submitted(&self) -> u64 {
+        self.batches_submitted
+    }
+
+    /// Transactions carried by submitted batches across nodes.
+    pub fn txs_submitted(&self) -> u64 {
+        self.txs_submitted
+    }
+
+    /// Transactions appended to totally-ordered logs across nodes.
+    pub fn txs_delivered(&self) -> u64 {
+        self.txs_delivered
+    }
+
+    /// `EpochCommitted − EpochStarted` durations, one sample per
+    /// `(node, epoch)` pair that committed.
+    pub fn epoch_commit_latency(&self) -> &Samples {
+        &self.epoch_commit_latency
+    }
+
+    /// Pipeline occupancy samples (in-flight epochs at each epoch start).
+    pub fn pipeline_occupancy(&self) -> &Samples {
+        &self.occupancy
+    }
+
+    /// Highest number of concurrently in-flight epochs seen at one node.
+    pub fn max_pipeline_occupancy(&self) -> u64 {
+        self.max_pipeline_occupancy
     }
 
     /// Folds another aggregate into this one.
@@ -185,7 +250,19 @@ impl MetricsSink {
         self.peer_reconnects += other.peer_reconnects;
         self.backoff_retries += other.backoff_retries;
         self.frame_decode_errors += other.frame_decode_errors;
+        self.frame_sequence_gaps += other.frame_sequence_gaps;
+        self.payloads_rejected += other.payloads_rejected;
         self.chaos_frames_dropped += other.chaos_frames_dropped;
+        self.epochs_started += other.epochs_started;
+        self.epochs_committed += other.epochs_committed;
+        self.batches_submitted += other.batches_submitted;
+        self.txs_submitted += other.txs_submitted;
+        self.txs_delivered += other.txs_delivered;
+        self.epoch_commit_latency.merge(&other.epoch_commit_latency);
+        self.occupancy.merge(&other.occupancy);
+        self.max_pipeline_occupancy = self.max_pipeline_occupancy.max(other.max_pipeline_occupancy);
+        // `other`'s still-open epochs are discarded for the same reason as
+        // its still-open rounds (see above).
     }
 
     fn close_round(&mut self, at: u64, node: NodeId, round: u64) {
@@ -279,7 +356,38 @@ impl MetricsSink {
                 ("reconnects".into(), JsonValue::U64(self.peer_reconnects)),
                 ("backoff_retries".into(), JsonValue::U64(self.backoff_retries)),
                 ("frame_decode_errors".into(), JsonValue::U64(self.frame_decode_errors)),
+                ("frame_sequence_gaps".into(), JsonValue::U64(self.frame_sequence_gaps)),
+                ("payloads_rejected".into(), JsonValue::U64(self.payloads_rejected)),
                 ("chaos_frames_dropped".into(), JsonValue::U64(self.chaos_frames_dropped)),
+            ]),
+        ));
+        let mut commit_latency = Vec::new();
+        if !self.epoch_commit_latency.is_empty() {
+            commit_latency.push(("mean".into(), JsonValue::F64(self.epoch_commit_latency.mean())));
+            commit_latency.push((
+                "p50".into(),
+                JsonValue::F64(self.epoch_commit_latency.percentile(50.0).unwrap_or(0.0)),
+            ));
+            commit_latency.push((
+                "max".into(),
+                JsonValue::F64(self.epoch_commit_latency.max().unwrap_or(0.0)),
+            ));
+        }
+        let mut occupancy = Vec::new();
+        if !self.occupancy.is_empty() {
+            occupancy.push(("mean".into(), JsonValue::F64(self.occupancy.mean())));
+            occupancy.push(("max".into(), JsonValue::U64(self.max_pipeline_occupancy)));
+        }
+        obj.push((
+            "ordering".into(),
+            JsonValue::Obj(vec![
+                ("epochs_started".into(), JsonValue::U64(self.epochs_started)),
+                ("epochs_committed".into(), JsonValue::U64(self.epochs_committed)),
+                ("batches_submitted".into(), JsonValue::U64(self.batches_submitted)),
+                ("txs_submitted".into(), JsonValue::U64(self.txs_submitted)),
+                ("txs_delivered".into(), JsonValue::U64(self.txs_delivered)),
+                ("epoch_commit_latency".into(), JsonValue::Obj(commit_latency)),
+                ("pipeline_occupancy".into(), JsonValue::Obj(occupancy)),
             ]),
         ));
         JsonValue::Obj(obj)
@@ -321,7 +429,31 @@ impl Sink for MetricsSink {
             Event::PeerReconnected { .. } => self.peer_reconnects += 1,
             Event::ReconnectBackoff { .. } => self.backoff_retries += 1,
             Event::FrameDecodeError { .. } => self.frame_decode_errors += 1,
+            Event::FrameSequenceGap { .. } => self.frame_sequence_gaps += 1,
+            Event::PayloadRejected { .. } => self.payloads_rejected += 1,
             Event::FrameDropped { .. } => self.chaos_frames_dropped += 1,
+            Event::EpochStarted { epoch } => {
+                self.epochs_started += 1;
+                self.open_epochs.insert((node, *epoch), at);
+                let inflight = self.inflight_epochs.entry(node).or_insert(0);
+                *inflight += 1;
+                self.occupancy.add(*inflight as f64);
+                self.max_pipeline_occupancy = self.max_pipeline_occupancy.max(*inflight);
+            }
+            Event::EpochCommitted { epoch, .. } => {
+                self.epochs_committed += 1;
+                if let Some(start) = self.open_epochs.remove(&(node, *epoch)) {
+                    self.epoch_commit_latency.add(at.saturating_sub(start) as f64);
+                }
+                if let Some(inflight) = self.inflight_epochs.get_mut(&node) {
+                    *inflight = inflight.saturating_sub(1);
+                }
+            }
+            Event::BatchSubmitted { txs, .. } => {
+                self.batches_submitted += 1;
+                self.txs_submitted += txs;
+            }
+            Event::LogDelivered { entries, .. } => self.txs_delivered += entries,
             _ => {}
         }
     }

@@ -1,0 +1,677 @@
+//! `bft-order` — epoch-pipelined atomic broadcast over ACS.
+//!
+//! Bracha's primitives give us binary agreement; ACS composes `n`
+//! reliable broadcasts with `n` agreement instances into set agreement.
+//! This crate takes the last step to a *replicated log*: an
+//! [`OrderProcess`] batches submitted payloads, runs one ACS instance
+//! per **epoch**, and appends each epoch's agreed batch set to a totally
+//! ordered log — the HoneyBadgerBFT construction, on Bracha's 1984
+//! machinery.
+//!
+//! Pipelining: epoch `e + 1` starts while epoch `e` is still deciding,
+//! up to a configured depth. Because each epoch's ACS is independent
+//! (its RBC instances are tagged by epoch, its agreement instances are
+//! per `(epoch, proposer)`), overlapping epochs costs no safety: the
+//! log order is fixed by `(epoch, proposer)` regardless of commit
+//! order. The pipeline gate applies **backpressure** at two points:
+//! [`OrderProcess::submit`] refuses payloads once the mempool covers
+//! every in-flight slot, and a node never *proposes* epoch `e` until
+//! fewer than `pipeline_depth` of its own epochs are between proposal
+//! and log append.
+//!
+//! Garbage collection: when an epoch is appended to the log, its RBC
+//! instances are dropped via [`RbcMux::retain`], and its agreement
+//! state is dropped as soon as every instance has halted. Steady-state
+//! memory is therefore bounded by the pipeline depth, not by the length
+//! of the run — the property `tests/halting_and_memory.rs` pins.
+//!
+//! # Example
+//!
+//! ```
+//! use bft_coin::CommonCoin;
+//! use bft_order::{OrderOptions, OrderProcess};
+//! use bft_sim::{UniformDelay, World, WorldConfig};
+//! use bft_types::{Config, NodeId};
+//!
+//! # fn main() -> Result<(), bft_types::ConfigError> {
+//! let cfg = Config::new(4, 1)?;
+//! let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3 };
+//! let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 5, 7));
+//! for id in cfg.nodes() {
+//!     let workload = (0..6).map(|i| vec![id.index() as u8, i]).collect();
+//!     world.add_process(Box::new(OrderProcess::new(cfg, id, opts, workload, |inst| {
+//!         CommonCoin::new(9, inst)
+//!     })));
+//! }
+//! let report = world.run();
+//! assert!(report.all_correct_decided());
+//! assert!(report.agreement_holds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bft_coin::CoinScheme;
+use bft_net::codec::{put_u32, put_u64, Codec, DecodeError, Reader};
+use bft_obs::{Event, Obs};
+use bft_rbc::{RbcMux, RbcMuxAction, RbcMuxMessage};
+use bft_types::{Config, Effect, NodeId, Process, Value};
+use bracha::{BrachaNode, BrachaOptions, Transition, Wire};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Tuning knobs for the ordering engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderOptions {
+    /// Maximum number of payloads drained from the mempool into one
+    /// epoch's batch. An epoch whose mempool is empty proposes an empty
+    /// batch (epochs advance regardless of load).
+    pub batch_max: usize,
+    /// Number of own epochs allowed between proposal and log append.
+    /// Depth 1 is strictly sequential ACS; deeper pipelines overlap the
+    /// broadcast of epoch `e + 1` with the agreement of epoch `e`.
+    pub pipeline_depth: usize,
+    /// Total number of epochs to run; the process outputs its log and
+    /// winds down after epoch `epochs − 1` is appended.
+    pub epochs: u64,
+}
+
+impl Default for OrderOptions {
+    fn default() -> Self {
+        OrderOptions { batch_max: 8, pipeline_depth: 2, epochs: 4 }
+    }
+}
+
+/// `submit` refused a payload: every pipeline slot's batch is already
+/// covered by the mempool. Retry after the next epoch commits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Payloads currently queued.
+    pub pending: usize,
+    /// The mempool bound that was hit (`batch_max × pipeline_depth`).
+    pub capacity: usize,
+}
+
+impl fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mempool full: {} pending payloads at capacity {}", self.pending, self.capacity)
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
+/// One slot of the totally ordered log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The epoch whose ACS included this payload.
+    pub epoch: u64,
+    /// The node that proposed the batch carrying this payload.
+    pub proposer: NodeId,
+    /// The application payload.
+    pub tx: Vec<u8>,
+}
+
+/// The totally ordered log: identical at every correct node.
+pub type OrderLog = Vec<LogEntry>;
+
+/// A wire message of the ordering protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrderMessage {
+    /// A reliable-broadcast message carrying an epoch batch; the RBC tag
+    /// is the epoch number.
+    Batch(RbcMuxMessage<u64, Vec<u8>>),
+    /// A message of the agreement instance deciding whether proposer
+    /// `index`'s batch joins epoch `epoch`.
+    Aba {
+        /// The epoch the instance belongs to.
+        epoch: u64,
+        /// Which proposer's inclusion is being agreed on.
+        index: u32,
+        /// The inner Bracha-consensus wire message.
+        wire: Wire,
+    },
+}
+
+impl fmt::Display for OrderMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderMessage::Batch(m) => write!(f, "batch[e{}] from {}", m.tag, m.sender),
+            OrderMessage::Aba { epoch, index, .. } => write!(f, "aba[e{epoch}#{index}]"),
+        }
+    }
+}
+
+impl Codec for OrderMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OrderMessage::Batch(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            OrderMessage::Aba { epoch, index, wire } => {
+                out.push(1);
+                put_u64(out, *epoch);
+                put_u32(out, *index);
+                wire.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(OrderMessage::Batch(RbcMuxMessage::decode(r)?)),
+            1 => {
+                let epoch = r.u64()?;
+                let index = r.u32()?;
+                let wire = Wire::decode(r)?;
+                Ok(OrderMessage::Aba { epoch, index, wire })
+            }
+            got => {
+                Err(DecodeError::Invalid { what: "order message discriminant", got: got as u64 })
+            }
+        }
+    }
+}
+
+/// Encodes a batch of payloads into one RBC proposal body.
+pub fn encode_batch(txs: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, txs.len() as u32);
+    for tx in txs {
+        put_u32(&mut out, tx.len() as u32);
+        out.extend_from_slice(tx);
+    }
+    out
+}
+
+/// Decodes a batch body back into payloads.
+///
+/// Total: a malformed body (a Byzantine proposer controls these bytes,
+/// and RBC agreement only guarantees everyone sees the *same* bytes)
+/// decodes as a single opaque payload, so all correct nodes still
+/// append identical entries.
+pub fn decode_batch(bytes: &[u8]) -> Vec<Vec<u8>> {
+    fn parse(bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let mut r = Reader::new(bytes);
+        let count = r.u32().ok()?;
+        let mut txs = Vec::new();
+        for _ in 0..count {
+            let len = r.u32().ok()? as usize;
+            txs.push(r.take(len).ok()?.to_vec());
+        }
+        r.finish().ok()?;
+        Some(txs)
+    }
+    parse(bytes).unwrap_or_else(|| vec![bytes.to_vec()])
+}
+
+/// Per-epoch ACS state: `n` agreement instances plus the RBC deliveries.
+struct EpochState<C> {
+    abas: Vec<BrachaNode<C>>,
+    aba_started: Vec<bool>,
+    delivered: BTreeMap<NodeId, Vec<u8>>,
+    committed: Option<Vec<(NodeId, Vec<u8>)>>,
+}
+
+impl<C: CoinScheme> EpochState<C> {
+    fn new(config: Config, me: NodeId, epoch: u64, coin_for: &mut dyn FnMut(u64) -> C) -> Self {
+        let n = config.n();
+        let mut abas = Vec::with_capacity(n);
+        for i in 0..n {
+            let coin = coin_for(epoch.wrapping_mul(n as u64).wrapping_add(i as u64));
+            abas.push(BrachaNode::new(config, me, coin, BrachaOptions::default()));
+        }
+        EpochState {
+            abas,
+            aba_started: vec![false; n],
+            delivered: BTreeMap::new(),
+            committed: None,
+        }
+    }
+
+    fn all_halted(&self) -> bool {
+        self.abas.iter().all(|a| a.is_halted())
+    }
+}
+
+type OrderEffect = Effect<OrderMessage, OrderLog>;
+
+/// One node of the atomic-broadcast engine, packaged as a [`Process`]
+/// so it runs unmodified on all three substrates (`bft-sim`,
+/// `bft-runtime`, `bft-net`).
+///
+/// `coin_for` supplies the coin for agreement instance
+/// `epoch × n + proposer_index`; use [`bft_coin::CommonCoin`] keyed by
+/// that instance number for constant expected epoch latency.
+pub struct OrderProcess<C> {
+    config: Config,
+    me: NodeId,
+    opts: OrderOptions,
+    coin_for: Box<dyn FnMut(u64) -> C + Send>,
+    pending: VecDeque<Vec<u8>>,
+    rbc: RbcMux<u64, Vec<u8>>,
+    epochs: BTreeMap<u64, EpochState<C>>,
+    /// Next epoch this node will propose.
+    next_epoch: u64,
+    log: Vec<LogEntry>,
+    /// Next epoch to append to the log (everything below is appended).
+    log_next: u64,
+    output_emitted: bool,
+    halted: bool,
+    obs: Obs,
+}
+
+impl<C: CoinScheme> OrderProcess<C> {
+    /// Creates a participant with an initial mempool of `workload`
+    /// payloads (drained `batch_max` at a time into epoch batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_max` or `pipeline_depth` is zero.
+    pub fn new(
+        config: Config,
+        me: NodeId,
+        opts: OrderOptions,
+        workload: Vec<Vec<u8>>,
+        coin_for: impl FnMut(u64) -> C + Send + 'static,
+    ) -> Self {
+        assert!(opts.batch_max >= 1, "batch_max must be at least 1");
+        assert!(opts.pipeline_depth >= 1, "pipeline_depth must be at least 1");
+        OrderProcess {
+            config,
+            me,
+            opts,
+            coin_for: Box::new(coin_for),
+            pending: workload.into(),
+            rbc: RbcMux::new(config, me),
+            epochs: BTreeMap::new(),
+            next_epoch: 0,
+            log: Vec::new(),
+            log_next: 0,
+            output_emitted: false,
+            halted: false,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observer: epoch lifecycle events are emitted here,
+    /// batch dissemination events at the underlying RBC layer. The
+    /// per-epoch agreement instances are deliberately not observed (they
+    /// share this node's id; see `AcsProcess::with_obs`).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.rbc.set_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// Queues a payload for ordering, refusing once the mempool already
+    /// covers every pipeline slot (`batch_max × pipeline_depth`).
+    pub fn submit(&mut self, tx: Vec<u8>) -> Result<(), Backpressure> {
+        let capacity = self.opts.batch_max.saturating_mul(self.opts.pipeline_depth);
+        if self.pending.len() >= capacity {
+            return Err(Backpressure { pending: self.pending.len(), capacity });
+        }
+        self.pending.push_back(tx);
+        Ok(())
+    }
+
+    /// The ordered log as appended so far.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Number of epochs fully appended to the log.
+    pub fn committed_epochs(&self) -> u64 {
+        self.log_next
+    }
+
+    /// Own epochs currently between proposal and log append.
+    pub fn in_flight(&self) -> u64 {
+        self.next_epoch.saturating_sub(self.log_next)
+    }
+
+    /// Payloads waiting in the mempool.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Live RBC instances across all un-collected epochs (bounded by
+    /// `n × pipeline_depth` plus stragglers in steady state).
+    pub fn rbc_instance_count(&self) -> usize {
+        self.rbc.instance_count()
+    }
+
+    /// Epochs whose ACS state is still retained.
+    pub fn live_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Retained agreement-instance state across all live epochs.
+    pub fn retained_aba_count(&self) -> usize {
+        self.epochs.values().map(|s| s.abas.len()).sum()
+    }
+
+    /// Whether epoch `e` is one this node still accepts messages for:
+    /// not yet appended (appended epochs are garbage-collected — RBC
+    /// totality and the agreement halting gadget let the others finish
+    /// without us) and within the configured run (a Byzantine peer must
+    /// not be able to allocate state for epochs that will never run).
+    fn accepts(&self, e: u64) -> bool {
+        e >= self.log_next && e < self.opts.epochs
+    }
+
+    /// Agreement messages additionally flow for *appended* epochs whose
+    /// state is still retained: the halting gadget runs past the commit
+    /// point, and starving it would keep every node's final epochs
+    /// pinned forever. Below-cursor epochs already collected stay
+    /// rejected, so this cannot re-allocate state.
+    fn accepts_aba(&self, e: u64) -> bool {
+        self.accepts(e) || (e < self.opts.epochs && self.epochs.contains_key(&e))
+    }
+
+    fn ensure_epoch(&mut self, e: u64) -> &mut EpochState<C> {
+        let config = self.config;
+        let me = self.me;
+        let coin_for = &mut self.coin_for;
+        self.epochs.entry(e).or_insert_with(|| EpochState::new(config, me, e, coin_for))
+    }
+
+    fn lift_rbc(&mut self, actions: Vec<RbcMuxAction<u64, Vec<u8>>>, out: &mut Vec<OrderEffect>) {
+        for a in actions {
+            match a {
+                RbcMuxAction::Broadcast(m) => {
+                    out.push(Effect::Broadcast { msg: OrderMessage::Batch(m) });
+                }
+                RbcMuxAction::Deliver { sender, tag, payload } => {
+                    if self.accepts(tag) {
+                        self.ensure_epoch(tag).delivered.entry(sender).or_insert(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    fn lift_aba(epoch: u64, index: usize, ts: Vec<Transition>, out: &mut Vec<OrderEffect>) {
+        for t in ts {
+            if let Transition::Broadcast(wire) = t {
+                out.push(Effect::Broadcast {
+                    msg: OrderMessage::Aba { epoch, index: index as u32, wire },
+                });
+            }
+            // Decide/Halt are consumed via the node's getters.
+        }
+    }
+
+    /// Proposes epochs while the pipeline has room.
+    fn maybe_propose(&mut self, out: &mut Vec<OrderEffect>) -> bool {
+        let mut changed = false;
+        while self.next_epoch < self.opts.epochs
+            && self.in_flight() < self.opts.pipeline_depth as u64
+        {
+            let e = self.next_epoch;
+            self.next_epoch += 1;
+            let take = self.opts.batch_max.min(self.pending.len());
+            let batch: Vec<Vec<u8>> = self.pending.drain(..take).collect();
+            let body = encode_batch(&batch);
+            self.obs.emit(self.me, || Event::BatchSubmitted {
+                epoch: e,
+                txs: batch.len() as u64,
+                bytes: body.len() as u64,
+            });
+            self.obs.emit(self.me, || Event::EpochStarted { epoch: e });
+            self.ensure_epoch(e);
+            let actions = self.rbc.broadcast(e, body);
+            self.lift_rbc(actions, out);
+            changed = true;
+        }
+        changed
+    }
+
+    /// Applies the ACS wiring rules to epoch `e`.
+    fn epoch_rules(&mut self, e: u64, out: &mut Vec<OrderEffect>) -> bool {
+        let quorum = self.config.quorum();
+        let n = self.config.n();
+        let Some(state) = self.epochs.get_mut(&e) else { return false };
+        let mut changed = false;
+
+        // Rule 1: vote 1 for every delivered proposal.
+        for i in 0..n {
+            if !state.aba_started[i] && state.delivered.contains_key(&NodeId::new(i)) {
+                state.aba_started[i] = true;
+                let ts = state.abas[i].start(Value::One);
+                Self::lift_aba(e, i, ts, out);
+                changed = true;
+            }
+        }
+
+        // Rule 2: once n − f instances decided 1, vote 0 everywhere else.
+        let ones = state.abas.iter().filter(|a| a.decided() == Some(Value::One)).count();
+        if ones >= quorum {
+            for i in 0..n {
+                if !state.aba_started[i] {
+                    state.aba_started[i] = true;
+                    let ts = state.abas[i].start(Value::Zero);
+                    Self::lift_aba(e, i, ts, out);
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule 3: commit when every instance has decided and every
+        // accepted batch has been delivered.
+        if state.committed.is_none() && state.abas.iter().all(|a| a.decided().is_some()) {
+            let accepted: Vec<NodeId> = (0..n)
+                .filter(|&i| state.abas[i].decided() == Some(Value::One))
+                .map(NodeId::new)
+                .collect();
+            if accepted.iter().all(|id| state.delivered.contains_key(id)) {
+                let set: Vec<(NodeId, Vec<u8>)> = accepted
+                    .into_iter()
+                    .filter_map(|id| state.delivered.get(&id).map(|b| (id, b.clone())))
+                    .collect();
+                let (slots, txs) =
+                    (set.len() as u64, set.iter().map(|(_, b)| decode_batch(b).len() as u64).sum());
+                state.committed = Some(set);
+                self.obs.emit(self.me, || Event::EpochCommitted { epoch: e, slots, txs });
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Appends committed epochs to the log in epoch order and
+    /// garbage-collects everything below the append cursor.
+    fn append_committed(&mut self) -> bool {
+        let mut changed = false;
+        loop {
+            let e = self.log_next;
+            let Some(set) = self.epochs.get(&e).and_then(|s| s.committed.clone()) else { break };
+            let before = self.log.len();
+            for (proposer, body) in set {
+                for tx in decode_batch(&body) {
+                    self.log.push(LogEntry { epoch: e, proposer, tx });
+                }
+            }
+            self.log_next = e + 1;
+            // An epoch can commit before we ever proposed it (our own
+            // pipeline lagged behind the cluster); never re-propose it.
+            self.next_epoch = self.next_epoch.max(self.log_next);
+            let entries = (self.log.len() - before) as u64;
+            let total = self.log.len() as u64;
+            self.obs.emit(self.me, || Event::LogDelivered { epoch: e, entries, total });
+            let keep_from = self.log_next;
+            self.rbc.retain(move |_, tag| *tag >= keep_from);
+            changed = true;
+        }
+        // Appended epochs linger only until their agreement instances
+        // halt (the halting gadget needs a few more message rounds).
+        let log_next = self.log_next;
+        let before = self.epochs.len();
+        self.epochs.retain(|&e, s| e >= log_next || !s.all_halted());
+        changed || self.epochs.len() != before
+    }
+
+    /// Drives proposal, per-epoch ACS rules, log append and wind-down to
+    /// a fixpoint.
+    fn progress(&mut self, out: &mut Vec<OrderEffect>) {
+        loop {
+            let mut changed = self.maybe_propose(out);
+            let live: Vec<u64> = self.epochs.keys().copied().collect();
+            for e in live {
+                changed |= self.epoch_rules(e, out);
+            }
+            changed |= self.append_committed();
+            if !changed {
+                break;
+            }
+        }
+        if !self.output_emitted && self.log_next >= self.opts.epochs {
+            self.output_emitted = true;
+            out.push(Effect::Output(self.log.clone()));
+        }
+        if self.output_emitted && !self.halted && self.epochs.is_empty() {
+            self.halted = true;
+            out.push(Effect::Halt);
+        }
+    }
+}
+
+impl<C> fmt::Debug for OrderProcess<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderProcess")
+            .field("me", &self.me)
+            .field("next_epoch", &self.next_epoch)
+            .field("log_next", &self.log_next)
+            .field("log_len", &self.log.len())
+            .field("pending", &self.pending.len())
+            .field("live_epochs", &self.epochs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: CoinScheme> Process for OrderProcess<C> {
+    type Msg = OrderMessage;
+    type Output = OrderLog;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self) -> Vec<OrderEffect> {
+        let mut out = Vec::new();
+        self.progress(&mut out);
+        out
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &OrderMessage) -> Vec<OrderEffect> {
+        if self.halted {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match msg {
+            OrderMessage::Batch(m) => {
+                if self.accepts(m.tag) {
+                    let actions = self.rbc.on_message(from, m);
+                    self.lift_rbc(actions, &mut out);
+                }
+            }
+            OrderMessage::Aba { epoch, index, wire } => {
+                if self.accepts_aba(*epoch) && (*index as usize) < self.config.n() {
+                    let i = *index as usize;
+                    let ts = self.ensure_epoch(*epoch).abas[i].on_message(from, wire);
+                    Self::lift_aba(*epoch, i, ts, &mut out);
+                }
+            }
+        }
+        self.progress(&mut out);
+        out
+    }
+
+    fn output(&self) -> Option<OrderLog> {
+        if self.output_emitted {
+            Some(self.log.clone())
+        } else {
+            None
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn round(&self) -> u64 {
+        self.epochs.values().flat_map(|s| s.abas.iter().map(|a| a.round().get())).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_codec_round_trips() {
+        let txs = vec![b"alpha".to_vec(), Vec::new(), vec![0u8; 300]];
+        assert_eq!(decode_batch(&encode_batch(&txs)), txs);
+        assert_eq!(decode_batch(&encode_batch(&[])), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn malformed_batch_decodes_as_one_opaque_payload() {
+        // A count of 2 with only one short, truncated element.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 2);
+        put_u32(&mut bad, 100);
+        bad.push(7);
+        assert_eq!(decode_batch(&bad), vec![bad.clone()]);
+        // Trailing garbage after a well-formed batch is also opaque.
+        let mut trailing = encode_batch(&[vec![1]]);
+        trailing.push(9);
+        assert_eq!(decode_batch(&trailing), vec![trailing.clone()]);
+    }
+
+    #[test]
+    fn submit_applies_backpressure_at_the_pipeline_bound() {
+        let Ok(cfg) = Config::new(4, 1) else { return };
+        let opts = OrderOptions { batch_max: 2, pipeline_depth: 3, epochs: 8 };
+        let mut p = OrderProcess::new(cfg, NodeId::new(0), opts, Vec::new(), |i| {
+            bft_coin::CommonCoin::new(1, i)
+        });
+        for i in 0..6u8 {
+            assert_eq!(p.submit(vec![i]), Ok(()));
+        }
+        assert_eq!(p.submit(vec![9]), Err(Backpressure { pending: 6, capacity: 6 }));
+    }
+
+    #[test]
+    fn order_message_codec_round_trips_and_rejects_bad_discriminants() {
+        let aba = OrderMessage::Aba {
+            epoch: 5,
+            index: 2,
+            wire: Wire {
+                sender: NodeId::new(1),
+                tag: bracha::StepTag::new(bft_types::Round::new(3), bft_types::Step::Echo),
+                msg: bft_rbc::RbcMessage::Ready(bracha::StepPayload::Initial(Value::One)),
+            },
+        };
+        let bytes = aba.to_bytes();
+        assert_eq!(OrderMessage::from_bytes(&bytes), Ok(aba));
+        assert!(matches!(
+            OrderMessage::from_bytes(&[7]),
+            Err(DecodeError::Invalid { what: "order message discriminant", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_epoch_run_outputs_an_empty_log_immediately() {
+        let Ok(cfg) = Config::new(4, 1) else { return };
+        let opts = OrderOptions { epochs: 0, ..OrderOptions::default() };
+        let mut p = OrderProcess::new(cfg, NodeId::new(0), opts, Vec::new(), |i| {
+            bft_coin::CommonCoin::new(1, i)
+        });
+        let effects = p.on_start();
+        assert!(effects.iter().any(|e| matches!(e, Effect::Output(log) if log.is_empty())));
+        assert!(p.is_halted());
+    }
+}

@@ -10,16 +10,24 @@
 //! abnet [--n N] [--seed S] [--ones K] [--fault KIND]...
 //!       [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE]
 //!       [--max-delay-ms MS] [--timeout-secs T] [--runs R]
+//!       [--epochs E] [--batch B] [--pipeline D]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
 //!        (each --fault corrupts the next lowest-indexed node)
 //! ```
+//!
+//! With `--epochs E` (E > 0) the binary runs the **atomic-broadcast**
+//! engine (`bft-order`) over TCP instead of single-shot consensus: E
+//! epochs of batched ACS, pipeline depth D (`--pipeline`), batches of
+//! up to B payloads (`--batch`). Chaos flags compose with it;
+//! `--fault`/`--ones` apply to the consensus mode only.
 //!
 //! Examples:
 //!
 //! ```text
 //! abnet --n 4 --fault flip-value
 //! abnet --n 7 --ones 3 --drop 100 --dup 50 --runs 5
+//! abnet --n 4 --epochs 5 --batch 4 --pipeline 3 --drop 50
 //! ```
 
 use async_bft::adversary::{make_bracha_adversary, FaultKind};
@@ -41,6 +49,9 @@ struct Options {
     max_delay_ms: u64,
     timeout_secs: u64,
     runs: u64,
+    epochs: u64,
+    batch: usize,
+    pipeline: usize,
 }
 
 fn parse_fault(s: &str) -> Result<FaultKind, String> {
@@ -67,6 +78,9 @@ fn parse_args() -> Result<Options, String> {
         max_delay_ms: 2,
         timeout_secs: 60,
         runs: 1,
+        epochs: 0,
+        batch: 4,
+        pipeline: 2,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,11 +112,22 @@ fn parse_args() -> Result<Options, String> {
                     value("--timeout-secs")?.parse().map_err(|e| format!("--timeout-secs: {e}"))?
             }
             "--runs" => opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--epochs" => {
+                opts.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--batch" => {
+                opts.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
+            }
+            "--pipeline" => {
+                opts.pipeline =
+                    value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: abnet [--n N] [--seed S] [--ones K] [--fault KIND]... \
                      [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE] \
-                     [--max-delay-ms MS] [--timeout-secs T] [--runs R]"
+                     [--max-delay-ms MS] [--timeout-secs T] [--runs R] \
+                     [--epochs E] [--batch B] [--pipeline D]"
                 );
                 std::process::exit(0);
             }
@@ -110,6 +135,80 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// The atomic-broadcast mode: `--epochs E` epochs of batched ACS over
+/// real loopback TCP, reporting ordered-log length and wall latency.
+fn run_ordering(opts: &Options, chaos: &ChaosConfig) {
+    use async_bft::coin::CommonCoin;
+    use async_bft::order::{OrderLog, OrderMessage, OrderOptions, OrderProcess};
+
+    if !opts.faults.is_empty() || opts.ones.is_some() {
+        eprintln!("error: --fault/--ones apply to consensus mode, not --epochs ordering mode");
+        std::process::exit(2);
+    }
+    let f_max = opts.n.saturating_sub(1) / 3;
+    let cfg = match Config::new(opts.n, f_max) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let order = OrderOptions {
+        batch_max: opts.batch.max(1),
+        pipeline_depth: opts.pipeline.max(1),
+        epochs: opts.epochs,
+    };
+    println!(
+        "ordering mode: n = {}, f = {f_max}, epochs = {}, batch = {}, pipeline depth = {}",
+        opts.n, order.epochs, order.batch_max, order.pipeline_depth
+    );
+
+    let mut completed = 0u64;
+    let mut agreed = 0u64;
+    for run in 0..opts.runs {
+        let seed = opts.seed + run;
+        let (obs, metrics) = Obs::new(MetricsSink::new());
+        let mut rt: NetRuntime<OrderMessage, OrderLog> = NetRuntime::new(opts.n)
+            .timeout(Duration::from_secs(opts.timeout_secs))
+            .observer(obs.clone())
+            .chaos(chaos.clone());
+        for id in cfg.nodes() {
+            let workload: Vec<Vec<u8>> = (0..order.epochs * order.batch_max as u64)
+                .map(|i| format!("tx-{}-{i}", id.index()).into_bytes())
+                .collect();
+            rt.add_process(Box::new(
+                OrderProcess::new(cfg, id, order, workload, move |inst| {
+                    CommonCoin::new(seed, inst)
+                })
+                .with_obs(obs.clone()),
+            ));
+        }
+        let report = rt.run();
+        drop(obs);
+        if report.all_correct_decided() {
+            completed += 1;
+        }
+        if report.agreement_holds() {
+            agreed += 1;
+        }
+        let txs = report.unanimous_output().map_or(0, |log| log.len());
+        let m = metrics.lock();
+        println!(
+            "run {run:>3} (seed {seed}): txs ordered = {txs}, elapsed = {:?}, connects = {}, \
+             epochs committed = {}, max pipeline occupancy = {}, seq gaps = {}",
+            report.elapsed,
+            m.peer_connects(),
+            m.epochs_committed(),
+            m.max_pipeline_occupancy(),
+            m.frame_sequence_gaps(),
+        );
+    }
+    println!("\nsummary: {}/{} completed, {}/{} agreed", completed, opts.runs, agreed, opts.runs);
+    if completed < opts.runs || agreed < opts.runs {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -120,6 +219,19 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if opts.epochs > 0 {
+        let chaos = ChaosConfig {
+            seed: opts.seed,
+            drop_per_mille: opts.drop_per_mille,
+            dup_per_mille: opts.dup_per_mille,
+            delay_per_mille: opts.delay_per_mille,
+            max_delay_ms: opts.max_delay_ms,
+            ..ChaosConfig::default()
+        };
+        run_ordering(&opts, &chaos);
+        return;
+    }
 
     let f_max = opts.n.saturating_sub(1) / 3;
     if opts.faults.len() > f_max {

@@ -5,16 +5,24 @@
 //! absim [--n N] [--seed S] [--ones K] [--coin local|common]
 //!       [--schedule fixed|uniform|split|partition|favor]
 //!       [--fault KIND]... [--runs R] [--trace]
+//!       [--epochs E] [--batch B] [--pipeline D]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
 //!        (each --fault corrupts the next lowest-indexed node)
 //! ```
+//!
+//! With `--epochs E` (E > 0) the binary switches from single-shot binary
+//! consensus to the **atomic-broadcast** engine (`bft-order`): E epochs
+//! of batched ACS with a pipeline of depth D (`--pipeline`), batches of
+//! up to B payloads (`--batch`), over the uniform 1–20 tick schedule.
+//! `--fault`/`--ones`/`--schedule` apply to the consensus mode only.
 //!
 //! Examples:
 //!
 //! ```text
 //! absim --n 7 --ones 3 --fault flip-value --fault seesaw --runs 10
 //! absim --n 10 --coin common --schedule split
+//! absim --n 4 --epochs 8 --batch 4 --pipeline 3
 //! ```
 
 use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
@@ -27,6 +35,9 @@ struct Options {
     schedule: Schedule,
     faults: Vec<FaultKind>,
     runs: u64,
+    epochs: u64,
+    batch: usize,
+    pipeline: usize,
 }
 
 fn parse_fault(s: &str) -> Result<FaultKind, String> {
@@ -61,6 +72,9 @@ fn parse_args() -> Result<Options, String> {
         schedule: Schedule::Uniform { min: 1, max: 20 },
         faults: Vec::new(),
         runs: 1,
+        epochs: 0,
+        batch: 4,
+        pipeline: 2,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,11 +95,21 @@ fn parse_args() -> Result<Options, String> {
             "--schedule" => opts.schedule = parse_schedule(&value("--schedule")?)?,
             "--fault" => opts.faults.push(parse_fault(&value("--fault")?)?),
             "--runs" => opts.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--epochs" => {
+                opts.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--batch" => {
+                opts.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
+            }
+            "--pipeline" => {
+                opts.pipeline =
+                    value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: absim [--n N] [--seed S] [--ones K] [--coin local|common] \
                      [--schedule fixed|uniform|split|partition|favor] [--fault KIND]... \
-                     [--runs R]"
+                     [--runs R] [--epochs E] [--batch B] [--pipeline D]"
                 );
                 std::process::exit(0);
             }
@@ -93,6 +117,82 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// The atomic-broadcast mode: `--epochs E` epochs of batched ACS over
+/// the deterministic simulator, reporting ordered-log throughput.
+fn run_ordering(opts: &Options) {
+    use async_bft::coin::{CommonCoin, LocalCoin};
+    use async_bft::order::{OrderOptions, OrderProcess};
+    use async_bft::sim::{StopReason, UniformDelay, World, WorldConfig};
+    use async_bft::types::Config;
+
+    if !opts.faults.is_empty() || opts.ones.is_some() {
+        eprintln!("error: --fault/--ones apply to consensus mode, not --epochs ordering mode");
+        std::process::exit(2);
+    }
+    let f_max = (opts.n.saturating_sub(1)) / 3;
+    let cfg = match Config::new(opts.n, f_max) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let order = OrderOptions {
+        batch_max: opts.batch.max(1),
+        pipeline_depth: opts.pipeline.max(1),
+        epochs: opts.epochs,
+    };
+    println!(
+        "ordering mode: n = {}, f = {f_max}, epochs = {}, batch = {}, pipeline depth = {}",
+        opts.n, order.epochs, order.batch_max, order.pipeline_depth
+    );
+
+    let mut completed = 0u64;
+    let mut agreed = 0u64;
+    for run in 0..opts.runs {
+        let seed = opts.seed + run;
+        let mut world = World::new(WorldConfig::new(opts.n), UniformDelay::new(1, 20, seed));
+        for id in cfg.nodes() {
+            let workload: Vec<Vec<u8>> = (0..order.epochs * order.batch_max as u64)
+                .map(|i| format!("tx-{}-{i}", id.index()).into_bytes())
+                .collect();
+            let common = matches!(opts.coin, CoinChoice::Common);
+            world.add_process(Box::new(OrderProcess::new(
+                cfg,
+                id,
+                order,
+                workload,
+                move |inst| -> Box<dyn async_bft::coin::CoinScheme + Send> {
+                    if common {
+                        Box::new(CommonCoin::new(seed, inst))
+                    } else {
+                        Box::new(LocalCoin::for_instance(seed, id, inst))
+                    }
+                },
+            )));
+        }
+        let report = world.run();
+        let txs = report.unanimous_output().map_or(0, |log| log.len() as u64);
+        let ticks = report.end_time.ticks().max(1);
+        if report.stop == StopReason::Completed && report.all_correct_decided() {
+            completed += 1;
+        }
+        if report.agreement_holds() {
+            agreed += 1;
+        }
+        println!(
+            "run {run:>3} (seed {seed}): txs ordered = {txs}, ticks = {ticks}, \
+             tx/kilotick = {:.2}, msgs = {}",
+            txs as f64 * 1000.0 / ticks as f64,
+            report.metrics.sent,
+        );
+    }
+    println!("\nsummary: {}/{} completed, {}/{} agreed", completed, opts.runs, agreed, opts.runs);
+    if completed < opts.runs || agreed < opts.runs {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -103,6 +203,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if opts.epochs > 0 {
+        run_ordering(&opts);
+        return;
+    }
 
     let f_max = (opts.n.saturating_sub(1)) / 3;
     if opts.faults.len() > f_max {

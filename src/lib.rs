@@ -107,6 +107,11 @@ pub mod net {
     pub use bft_net::*;
 }
 
+/// Re-export of the atomic-broadcast (ordering) crate.
+pub mod order {
+    pub use bft_order::*;
+}
+
 /// Re-export of the statistics crate.
 pub mod stats {
     pub use bft_stats::*;

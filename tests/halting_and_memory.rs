@@ -111,3 +111,86 @@ fn no_zombie_chatter_after_halt() {
     assert!(report.all_correct_decided());
     assert!(report.metrics.dropped_to_halted > 0 || report.metrics.delivered > 0);
 }
+
+/// Pumps a full ordering run synchronously and returns the peak
+/// retained state observed at any node: (epochs, ABA instances, RBC
+/// instances). Asserts completion, agreement and full wind-down.
+fn pump_ordering(epochs: u64, depth: usize) -> (usize, usize, usize) {
+    use async_bft::order::{OrderOptions, OrderProcess};
+    use async_bft::types::{Effect, Process};
+    use std::collections::VecDeque;
+
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    let opts = OrderOptions { batch_max: 2, pipeline_depth: depth, epochs };
+    let mut nodes: Vec<OrderProcess<CommonCoin>> = (0..n)
+        .map(|i| {
+            let workload = (0..2 * epochs).map(|t| vec![i as u8, t as u8]).collect();
+            OrderProcess::new(cfg, NodeId::new(i), opts, workload, |inst| CommonCoin::new(5, inst))
+        })
+        .collect();
+
+    // Synchronous FIFO pump; broadcasts reach every node, sender included.
+    let mut queue = VecDeque::new();
+    for node in nodes.iter_mut() {
+        let me = node.id();
+        for e in node.on_start() {
+            if let Effect::Broadcast { msg } = e {
+                queue.push_back((me, msg));
+            }
+        }
+    }
+    let (mut max_rbc, mut max_epochs, mut max_abas) = (0usize, 0usize, 0usize);
+    let mut steps = 0usize;
+    while let Some((from, msg)) = queue.pop_front() {
+        steps += 1;
+        assert!(steps < 3_000_000, "pump did not quiesce");
+        for node in nodes.iter_mut() {
+            let me = node.id();
+            for e in node.on_message(from, &msg) {
+                if let Effect::Broadcast { msg } = e {
+                    queue.push_back((me, msg));
+                }
+            }
+            max_rbc = max_rbc.max(node.rbc_instance_count());
+            max_epochs = max_epochs.max(node.live_epochs());
+            max_abas = max_abas.max(node.retained_aba_count());
+        }
+    }
+
+    // The full run completed and all logs agree.
+    let first = nodes[0].output().expect("node 0 must finish all epochs");
+    assert!(!first.is_empty());
+    for node in &nodes {
+        assert_eq!(node.committed_epochs(), epochs);
+        assert_eq!(node.output().as_ref(), Some(&first));
+        assert_eq!(node.live_epochs(), 0, "wind-down must collect every epoch");
+        assert_eq!(node.rbc_instance_count(), 0);
+    }
+    (max_epochs, max_abas, max_rbc)
+}
+
+/// The ordering engine's tentpole memory property: over a long run
+/// (many more epochs than the pipeline depth), the retained RBC and
+/// agreement state stays bounded by the pipeline depth — per-epoch GC
+/// actually collects, instead of accreting one ACS per epoch.
+#[test]
+fn ordering_state_is_bounded_by_pipeline_depth() {
+    let (n, depth) = (4usize, 2usize);
+    let short = pump_ordering(12, depth);
+    let long = pump_ordering(24, depth);
+    println!("peak retained state: 12 epochs -> {short:?}, 24 epochs -> {long:?}");
+
+    // The leak detector: doubling the horizon must not move the peak.
+    // (Identical schedules per epoch under the FIFO pump make this exact.)
+    assert_eq!(short, long, "retained state grew with the epoch horizon: a per-epoch leak");
+
+    // And the peak itself is a small multiple of the pipeline depth:
+    // in-flight epochs (≤ depth) plus the constant halting-gadget
+    // wind-down tail — nowhere near the 24-epoch horizon.
+    let (max_epochs, max_abas, max_rbc) = long;
+    let slack = 2 * depth + 2;
+    assert!(max_epochs <= slack, "retained epochs {max_epochs} exceed 2·depth+2 = {slack}");
+    assert!(max_abas <= n * slack, "retained ABA state {max_abas} exceeds n·(2·depth+2)");
+    assert!(max_rbc <= n * slack, "live RBC instances {max_rbc} exceed n·(2·depth+2)");
+}
