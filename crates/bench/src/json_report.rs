@@ -331,6 +331,45 @@ pub fn throughput_section(epochs: u64) -> JsonValue {
     ])
 }
 
+/// One deterministic ordering run with the trace assembler attached
+/// instead of the metrics sink: same n=4/f=1, seed-7, uniform 1–20 tick
+/// configuration as [`ordering_run`], pipeline depth 2.
+fn tracing_run(epochs: u64) -> bft_obs::TraceAssembler {
+    use async_bft::coin::CommonCoin;
+    use async_bft::order::{OrderOptions, OrderProcess};
+    use async_bft::sim::{UniformDelay, World, WorldConfig};
+    use async_bft::types::Config;
+    use bft_obs::TraceSink;
+
+    let cfg = Config::new(4, 1).expect("4 >= 3f + 1");
+    let seed = 7u64;
+    let opts = OrderOptions { batch_max: THROUGHPUT_BATCH_MAX, pipeline_depth: 2, epochs };
+    let (obs, shared) = Obs::new(TraceSink::new());
+    let mut world = World::new(WorldConfig::new(cfg.n()), UniformDelay::new(1, 20, seed));
+    world.set_observer(obs.clone());
+    for id in cfg.nodes() {
+        let workload: Vec<Vec<u8>> = (0..epochs * THROUGHPUT_BATCH_MAX as u64)
+            .map(|i| format!("tx-{}-{i}", id.index()).into_bytes())
+            .collect();
+        world.add_process(Box::new(
+            OrderProcess::new(cfg, id, opts, workload, move |inst| CommonCoin::new(seed, inst))
+                .with_obs(obs.clone()),
+        ));
+    }
+    let _ = world.run();
+    drop(obs);
+    shared.try_into_inner().expect("observer handles dropped with the world").into_assembler()
+}
+
+/// The `"tracing"` section: per-phase p50/p99 span latencies, the
+/// summed submit→commit critical-path breakdown, and the per-instance
+/// ABA round-count distribution, from one traced ordering run. All
+/// figures are simulated ticks via the observer clock, so the section
+/// is covered by the determinism guarantee.
+pub fn tracing_section(epochs: u64) -> JsonValue {
+    tracing_run(epochs).to_json()
+}
+
 /// Epoch count for the throughput section by report mode: smoke stays
 /// small enough for a cold CI runner, full gets a longer pipeline.
 fn throughput_epochs(mode_label: &str) -> u64 {
@@ -352,6 +391,7 @@ pub fn report_for(configs: &[BenchConfig], mode_label: &str, jobs: usize) -> Jso
         ("microbench".into(), microbench_section()),
         ("net_loopback".into(), net_loopback_section(3)),
         ("throughput".into(), throughput_section(throughput_epochs(mode_label))),
+        ("tracing".into(), tracing_section(throughput_epochs(mode_label))),
     ])
 }
 
@@ -414,6 +454,27 @@ mod tests {
         assert!(rendered.contains("\"tx_per_kilotick\""));
         assert!(rendered.contains("\"epoch_commit_latency_ticks\""));
         assert!(rendered.contains("\"pipeline_occupancy\""));
+    }
+
+    /// The tracing section is complete (no open spans, no anomalies,
+    /// every trace's critical path accounted) and deterministic.
+    #[test]
+    fn tracing_section_is_complete_and_deterministic() {
+        let asm = tracing_run(3);
+        assert_eq!(asm.open_spans(), 0, "quiescence must close every span");
+        assert_eq!(asm.duplicate_starts() + asm.unmatched_ends(), 0);
+        assert_eq!(asm.trace_count(), 3 * 4, "one trace per (proposer, epoch)");
+        for trace in asm.trace_ids() {
+            let root = asm.root(trace).expect("every trace has a submit root");
+            let end = root.end.expect("root closed");
+            let path = asm.critical_path(trace).expect("complete critical path");
+            let total: u64 = path.iter().map(|&(_, t)| t).sum();
+            assert_eq!(total, end - root.start, "attribution sums to submit latency");
+        }
+        let rendered = tracing_section(3).to_string();
+        assert_eq!(rendered, tracing_section(3).to_string(), "same seed, same bytes");
+        assert!(rendered.contains("\"phase\":\"commit\""));
+        assert!(rendered.contains("\"aba_rounds_per_instance\""));
     }
 
     /// The acceptance gate for the parallel driver: byte-identical

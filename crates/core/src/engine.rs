@@ -4,7 +4,7 @@
 use crate::validation::Validator;
 use crate::{StepPayload, StepTag, Wire};
 use bft_coin::CoinScheme;
-use bft_obs::{Event as ObsEvent, Obs};
+use bft_obs::{Event as ObsEvent, Obs, TraceCtx, TracePhase};
 use bft_rbc::{RbcMux, RbcMuxAction};
 use bft_types::{Config, NodeId, Round, Step, Value};
 
@@ -70,6 +70,13 @@ pub struct BrachaNode<C> {
     decided_round: Option<Round>,
     halted: bool,
     obs: Obs,
+    // Causal tracing is carried on its own handle so hosts can trace an
+    // instance whose metrics stream is deliberately disabled (the
+    // ordering layer's per-slot ABA nodes).
+    trace_obs: Obs,
+    trace: Option<TraceCtx>,
+    round_span_open: Option<u64>,
+    ready_entered_at: Option<u64>,
 }
 
 impl<C: CoinScheme> BrachaNode<C> {
@@ -90,6 +97,10 @@ impl<C: CoinScheme> BrachaNode<C> {
             decided_round: None,
             halted: false,
             obs: Obs::disabled(),
+            trace_obs: Obs::disabled(),
+            trace: None,
+            round_span_open: None,
+            ready_entered_at: None,
         }
     }
 
@@ -100,6 +111,45 @@ impl<C: CoinScheme> BrachaNode<C> {
         self.rbc.set_obs(obs.clone());
         self.obs = obs;
         self
+    }
+
+    /// Attaches a causal-trace context: the node emits `aba_round[r]` and
+    /// `coin_wait[r]` spans for this consensus instance through `obs`.
+    /// Separate from [`with_obs`](BrachaNode::with_obs) so tracing works
+    /// even when the metrics stream is disabled. Attach before
+    /// [`start`](BrachaNode::start).
+    pub fn set_trace(&mut self, obs: Obs, ctx: TraceCtx) {
+        self.trace_obs = obs;
+        self.trace = Some(ctx);
+    }
+
+    /// Closes any trace spans still open — call when the host winds the
+    /// instance down mid-round (decided runs close their own spans).
+    pub fn finish_spans(&mut self) {
+        self.close_round_span();
+    }
+
+    fn open_round_span(&mut self) {
+        // Rounds after the decision are the halting gadget (helping
+        // slower nodes), not transaction latency: they are not traced,
+        // which also keeps the per-instance round count in the trace
+        // report at "rounds to decide".
+        if self.decided.is_some() {
+            return;
+        }
+        if let Some(ctx) = self.trace {
+            let r = self.round.get();
+            self.round_span_open = Some(r);
+            self.trace_obs.span_start(self.me, ctx, TracePhase::AbaRound(r), ctx.root);
+        }
+    }
+
+    fn close_round_span(&mut self) {
+        if let Some(ctx) = self.trace {
+            if let Some(r) = self.round_span_open.take() {
+                self.trace_obs.span_end(self.me, ctx, TracePhase::AbaRound(r));
+            }
+        }
     }
 
     /// This node's identifier.
@@ -167,6 +217,7 @@ impl<C: CoinScheme> BrachaNode<C> {
         let round = self.round.get();
         self.obs.emit(self.me, || ObsEvent::RoundStarted { round });
         self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Initial });
+        self.open_round_span();
         let mut out = Vec::new();
         self.broadcast_current(StepPayload::Initial(input), &mut out);
         self.try_advance(&mut out);
@@ -274,6 +325,9 @@ impl<C: CoinScheme> BrachaNode<C> {
                     }
                     self.step = Step::Ready;
                     self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Ready });
+                    if self.trace.is_some() {
+                        self.ready_entered_at = Some(self.trace_obs.now());
+                    }
                     self.broadcast_current(
                         StepPayload::Ready { value: self.estimate, flagged: flagged.is_some() },
                         out,
@@ -306,6 +360,25 @@ impl<C: CoinScheme> BrachaNode<C> {
                         let value = self.estimate;
                         let scheme = self.coin.name();
                         self.obs.emit(self.me, || ObsEvent::CoinFlipped { round, value, scheme });
+                        if let Some(ctx) = (self.decided.is_none()).then_some(self.trace).flatten()
+                        {
+                            // The wait is only known once the coin fires:
+                            // open the span retroactively at Ready-step
+                            // entry and close it now (post-decision coin
+                            // flips belong to the untraced halting
+                            // gadget, like the round spans above).
+                            let entered =
+                                self.ready_entered_at.unwrap_or_else(|| self.trace_obs.now());
+                            let parent = ctx.span(self.me, TracePhase::AbaRound(round));
+                            self.trace_obs.span_start_at(
+                                entered,
+                                self.me,
+                                ctx,
+                                TracePhase::CoinWait(round),
+                                parent,
+                            );
+                            self.trace_obs.span_end(self.me, ctx, TracePhase::CoinWait(round));
+                        }
                     }
                     if !self.enter_next_round(out) {
                         return;
@@ -319,6 +392,8 @@ impl<C: CoinScheme> BrachaNode<C> {
     fn enter_next_round(&mut self, out: &mut Vec<Transition>) -> bool {
         let completed = self.round.get();
         self.obs.emit(self.me, || ObsEvent::RoundCompleted { round: completed });
+        self.close_round_span();
+        self.ready_entered_at = None;
         let done_participating = self
             .decided_round
             .map(|dr| self.round.get() >= dr.get() + self.options.extra_rounds)
@@ -334,6 +409,7 @@ impl<C: CoinScheme> BrachaNode<C> {
         let round = self.round.get();
         self.obs.emit(self.me, || ObsEvent::RoundStarted { round });
         self.obs.emit(self.me, || ObsEvent::StepEntered { round, step: Step::Initial });
+        self.open_round_span();
         if self.options.prune {
             if let Some(keep_from) = self.round.get().checked_sub(2) {
                 if keep_from >= 1 {
@@ -532,6 +608,40 @@ mod tests {
             // Decided in round 1, participates through rounds 2 and 3.
             assert!(n.round().get() <= 1 + 2);
         }
+    }
+
+    #[test]
+    fn traced_run_emits_balanced_round_spans() {
+        use bft_obs::VecSink;
+        let (tobs, sink) = Obs::new(VecSink::new());
+        let mut nodes: Vec<_> = (0..4).map(node).collect();
+        let ctx = TraceCtx::derive(NodeId::new(0), 0, 0);
+        for n in nodes.iter_mut() {
+            n.set_trace(tobs.clone(), ctx);
+        }
+        let queue = start_all(&mut nodes, &[Value::Zero, Value::Zero, Value::One, Value::One]);
+        let decisions = pump(&mut nodes, queue);
+        assert!(decisions.iter().all(|d| d.is_some()));
+        for n in nodes.iter_mut() {
+            n.finish_spans();
+        }
+        let events = sink.lock().take();
+        assert!(!events.is_empty(), "traced nodes must emit spans");
+        let (mut starts, mut ends) = (0usize, 0usize);
+        for (_, _, e) in &events {
+            match e {
+                ObsEvent::SpanStart { trace, .. } => {
+                    assert_eq!(*trace, ctx.trace);
+                    starts += 1;
+                }
+                ObsEvent::SpanEnd { trace, .. } => {
+                    assert_eq!(*trace, ctx.trace);
+                    ends += 1;
+                }
+                other => panic!("trace handle must carry only spans, got {other:?}"),
+            }
+        }
+        assert_eq!(starts, ends, "every span start needs a matching end");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::path::{Path, PathBuf};
 
 /// The crates the analyzer walks (each crate's `src/` tree).
 pub const PROTOCOL_CRATES: &[&str] =
-    &["types", "core", "rbc", "coin", "sim", "runtime", "adversary", "net", "order"];
+    &["types", "core", "rbc", "coin", "sim", "runtime", "adversary", "net", "order", "obs"];
 
 /// Crates holding pure protocol state machines: these must be RNG-free
 /// (randomness enters only through the injected `CoinScheme`).

@@ -201,6 +201,14 @@ pub trait Codec: Sized {
         r.finish()?;
         Ok(v)
     }
+
+    /// The causal-trace id this value belongs to, stamped into the
+    /// version-2 frame header so the transport can attribute wire-level
+    /// events to a trace without decoding the payload. `0` (the
+    /// default) means untraced.
+    fn trace_hint(&self) -> u64 {
+        0
+    }
 }
 
 impl Codec for u8 {

@@ -5,13 +5,22 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic     0xAB84 ("Asynchronous Byzantine, 1984")
-//! 2       1     version   codec version, currently 1
+//! 2       1     version   codec version, currently 2 (1 still decoded)
 //! 3       1     kind      1=Hello 2=Challenge 3=Auth 4=Msg
 //! 4       8     seq       per-link sequence number (0 for handshake)
-//! 12      4     len       payload length in bytes (hard cap 1 MiB)
-//! 16      len   payload   kind-specific body
+//! 12      4     len       body length in bytes
+//! 16      8     trace     causal-trace hint (version ≥ 2 only; 0 = untraced)
+//! 24      len-8 payload   kind-specific body
 //! 16+len  8     checksum  FNV-1a 64 over bytes [0, 16+len)
 //! ```
+//!
+//! Version 2 prefixes every body with an 8-byte **trace hint** — the
+//! causal trace id of the transaction the payload belongs to (see
+//! `bft-obs`'s trace module), or 0 when untraced (all handshake
+//! frames). The hint lets the transport attribute wire-level events to
+//! a trace without decoding the payload. Version-1 frames (no hint)
+//! are still decoded, with the hint reported as 0, so rolling upgrades
+//! interoperate; encoding always emits version 2.
 //!
 //! The checksum trailer guards against accidental corruption and makes
 //! stream desynchronisation fail loudly; it is *not* an authenticator
@@ -25,16 +34,20 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: `0xAB84`.
 pub const MAGIC: u16 = 0xAB84;
-/// Current codec version.
-pub const VERSION: u8 = 1;
-/// Hard cap on the payload length (1 MiB).
+/// Current codec version (body carries a trace-hint prefix).
+pub const VERSION: u8 = 2;
+/// The previous codec version (no trace hint), still accepted on decode.
+pub const VERSION_V1: u8 = 1;
+/// Size of the version-2 trace-hint body prefix in bytes.
+pub const TRACE_HINT_LEN: usize = 8;
+/// Hard cap on the payload length (1 MiB), excluding the trace hint.
 pub const MAX_PAYLOAD: u32 = 1 << 20;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Checksum trailer size in bytes.
 pub const TRAILER_LEN: usize = 8;
-/// Total framing overhead added to a payload.
-pub const FRAME_OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
+/// Total framing overhead added to a payload at the current version.
+pub const FRAME_OVERHEAD: usize = HEADER_LEN + TRACE_HINT_LEN + TRAILER_LEN;
 
 /// The kind of a frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,14 +92,21 @@ pub struct Frame {
     pub kind: FrameKind,
     /// Per-link sequence number (0 for handshake frames).
     pub seq: u64,
-    /// The kind-specific body.
+    /// Causal-trace hint (0 when untraced or decoded from a v1 frame).
+    pub trace: u64,
+    /// The kind-specific body (trace hint stripped).
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// Builds a frame.
+    /// Builds an untraced frame (trace hint 0).
     pub fn new(kind: FrameKind, seq: u64, payload: Vec<u8>) -> Self {
-        Frame { kind, seq, payload }
+        Frame { kind, seq, trace: 0, payload }
+    }
+
+    /// Builds a frame carrying a causal-trace hint.
+    pub fn traced(kind: FrameKind, seq: u64, trace: u64, payload: Vec<u8>) -> Self {
+        Frame { kind, seq, trace, payload }
     }
 
     /// Encodes the frame, including header and checksum trailer.
@@ -95,7 +115,7 @@ impl Frame {
     /// [`MAX_PAYLOAD`]; such a frame would be rejected by every receiver
     /// at decode, so it must never reach the wire.
     pub fn encode(&self) -> Result<Vec<u8>, PayloadTooLarge> {
-        encode_frame(self.kind, self.seq, &self.payload)
+        encode_frame(self.kind, self.seq, self.trace, &self.payload)
     }
 
     /// Decodes a frame that must span the whole buffer.
@@ -105,17 +125,31 @@ impl Frame {
     pub fn decode(buf: &[u8]) -> Result<Frame, DecodeError> {
         let mut r = Reader::new(buf);
         let header = parse_header(&mut r)?;
-        let payload = r.take(header.len as usize)?.to_vec();
+        let body = r.take(header.len as usize)?.to_vec();
         let got = r.u64()?;
         r.finish()?;
         let mut h = Fnv64::new();
-        h.write(&buf[..HEADER_LEN + payload.len()]);
+        h.write(&buf[..HEADER_LEN + body.len()]);
         let expected = h.finish();
         if expected != got {
             return Err(DecodeError::Checksum { expected, got });
         }
-        Ok(Frame { kind: header.kind, seq: header.seq, payload })
+        let (trace, payload) = split_body(header.version, body);
+        Ok(Frame { kind: header.kind, seq: header.seq, trace, payload })
     }
+}
+
+/// Splits a version-2 body into its trace hint and payload; a version-1
+/// body is all payload with hint 0. `parse_header` has already enforced
+/// `len ≥ TRACE_HINT_LEN` for version 2.
+fn split_body(version: u8, mut body: Vec<u8>) -> (u64, Vec<u8>) {
+    if version == VERSION_V1 {
+        return (0, body);
+    }
+    let mut hint = [0u8; TRACE_HINT_LEN];
+    hint.copy_from_slice(&body[..TRACE_HINT_LEN]);
+    body.drain(..TRACE_HINT_LEN);
+    (u64::from_le_bytes(hint), body)
 }
 
 /// The typed encode-side failure: the payload exceeds [`MAX_PAYLOAD`].
@@ -138,13 +172,18 @@ impl std::fmt::Display for PayloadTooLarge {
 
 impl std::error::Error for PayloadTooLarge {}
 
-/// Encodes a frame from a borrowed payload.
+/// Encodes a version-2 frame from a borrowed payload.
 ///
 /// This is the hot-path entry point: broadcast bodies are `Arc`-shared
 /// between per-link writers and must not be cloned per frame. Payloads
 /// above [`MAX_PAYLOAD`] fail with a typed [`PayloadTooLarge`] error
 /// instead of silently emitting a frame every receiver must reject.
-pub fn encode_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Result<Vec<u8>, PayloadTooLarge> {
+pub fn encode_frame(
+    kind: FrameKind,
+    seq: u64,
+    trace: u64,
+    payload: &[u8],
+) -> Result<Vec<u8>, PayloadTooLarge> {
     if payload.len() > MAX_PAYLOAD as usize {
         return Err(PayloadTooLarge { len: payload.len() });
     }
@@ -153,7 +192,8 @@ pub fn encode_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Result<Vec<u8>
     out.push(VERSION);
     out.push(kind.wire_byte());
     put_u64(&mut out, seq);
-    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, (TRACE_HINT_LEN + payload.len()) as u32);
+    put_u64(&mut out, trace);
     out.extend_from_slice(payload);
     let mut h = Fnv64::new();
     h.write(&out);
@@ -163,6 +203,7 @@ pub fn encode_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Result<Vec<u8>
 
 /// The parsed fixed header.
 struct Header {
+    version: u8,
     kind: FrameKind,
     seq: u64,
     len: u32,
@@ -174,16 +215,23 @@ fn parse_header(r: &mut Reader<'_>) -> Result<Header, DecodeError> {
         return Err(DecodeError::BadMagic(magic));
     }
     let version = r.u8()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(DecodeError::BadVersion(version));
     }
     let kind = FrameKind::from_wire_byte(r.u8()?)?;
     let seq = r.u64()?;
     let len = r.u32()?;
-    if len > MAX_PAYLOAD {
+    // The cap applies to the payload proper; v2 bodies carry the hint
+    // on top and must be at least hint-sized.
+    let (floor, cap) = if version == VERSION_V1 {
+        (0, MAX_PAYLOAD)
+    } else {
+        (TRACE_HINT_LEN as u32, MAX_PAYLOAD + TRACE_HINT_LEN as u32)
+    };
+    if len > cap || len < floor {
         return Err(DecodeError::Oversize(len));
     }
-    Ok(Header { kind, seq, len })
+    Ok(Header { version, kind, seq, len })
 }
 
 /// A failure while reading a frame off a stream.
@@ -277,7 +325,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
         return Err(FrameError::Decode(DecodeError::Checksum { expected, got }));
     }
     rest.truncate(trailer_at);
-    Ok(Frame { kind: header.kind, seq: header.seq, payload: rest })
+    let (trace, payload) = split_body(header.version, rest);
+    Ok(Frame { kind: header.kind, seq: header.seq, trace, payload })
 }
 
 #[cfg(test)]
@@ -294,6 +343,59 @@ mod tests {
         let mut cursor = io::Cursor::new(bytes);
         let read = read_frame(&mut cursor).map_err(|e| e.to_string());
         assert_eq!(read, Ok(f));
+    }
+
+    #[test]
+    fn trace_hint_round_trips() {
+        let f = Frame::traced(FrameKind::Msg, 9, 0xDEAD_BEEF_1984_0001, vec![4, 5]);
+        let bytes = f.encode().unwrap_or_default();
+        assert_eq!(bytes[2], VERSION);
+        assert_eq!(Frame::decode(&bytes), Ok(f.clone()));
+        let mut cursor = io::Cursor::new(bytes);
+        let read = read_frame(&mut cursor).map_err(|e| e.to_string());
+        assert_eq!(read, Ok(f));
+    }
+
+    /// Hand-builds a version-1 frame (no trace hint) byte-by-byte.
+    fn v1_frame(kind: FrameKind, seq: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u16(&mut out, MAGIC);
+        out.push(VERSION_V1);
+        out.push(kind.wire_byte());
+        put_u64(&mut out, seq);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(payload);
+        let mut h = Fnv64::new();
+        h.write(&out);
+        put_u64(&mut out, h.finish());
+        out
+    }
+
+    #[test]
+    fn version_one_frames_still_decode_with_zero_hint() {
+        let bytes = v1_frame(FrameKind::Msg, 3, &[7, 8, 9]);
+        let expected = Frame::new(FrameKind::Msg, 3, vec![7, 8, 9]);
+        assert_eq!(Frame::decode(&bytes), Ok(expected.clone()));
+        let mut cursor = io::Cursor::new(bytes);
+        let read = read_frame(&mut cursor).map_err(|e| e.to_string());
+        assert_eq!(read, Ok(expected));
+        // An empty v1 body is legal; an empty v2 body (no room for the
+        // hint) is not.
+        let empty = v1_frame(FrameKind::Hello, 0, &[]);
+        assert!(Frame::decode(&empty).is_ok());
+    }
+
+    #[test]
+    fn v2_body_shorter_than_the_hint_is_rejected() {
+        let mut bytes = Frame::new(FrameKind::Msg, 0, Vec::new()).encode().unwrap_or_default();
+        // Shrink the body length below the hint size and re-checksum.
+        bytes[12..16].copy_from_slice(&4u32.to_le_bytes());
+        bytes.truncate(HEADER_LEN + 4);
+        let mut h = Fnv64::new();
+        h.write(&bytes);
+        let sum = h.finish();
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Oversize(4))));
     }
 
     #[test]
@@ -320,7 +422,8 @@ mod tests {
     #[test]
     fn oversize_is_rejected_before_allocation() {
         let mut bytes = Frame::new(FrameKind::Msg, 0, Vec::new()).encode().unwrap_or_default();
-        bytes[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let over = MAX_PAYLOAD + TRACE_HINT_LEN as u32 + 1;
+        bytes[12..16].copy_from_slice(&over.to_le_bytes());
         assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Oversize(_))));
     }
 

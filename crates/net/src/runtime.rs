@@ -63,8 +63,9 @@ enum Ctrl<M> {
     Stop,
 }
 
-/// An encoded frame body, shared between the links of one broadcast.
-type FrameBody = Arc<Vec<u8>>;
+/// An encoded frame body (shared between the links of one broadcast)
+/// plus the causal-trace hint stamped into its frame header.
+type FrameBody = (Arc<Vec<u8>>, u64);
 
 /// One directed link's writer input: `(from, to, queue of frame bodies)`.
 type WriterSpec = (usize, usize, Receiver<FrameBody>);
@@ -329,6 +330,7 @@ where
                     expected: expected.get(j).cloned().unwrap_or_default(),
                     shutdown: Arc::clone(&shutdown),
                     obs: obs.clone(),
+                    clock,
                 };
                 let addr_table = Arc::clone(&addr_table);
                 let shutdown = Arc::clone(&shutdown);
@@ -386,7 +388,7 @@ where
                 let obs = obs.clone();
                 scope.spawn(move || {
                     if let Some(self_tx) = self_tx {
-                        actor_loop(&mut proc_, rx, &self_tx, &links, &outputs, &obs);
+                        actor_loop(&mut proc_, rx, &self_tx, &links, &outputs, &obs, clock);
                     }
                 });
             }
@@ -470,6 +472,7 @@ struct ReaderShared<M> {
     expected: Arc<Mutex<BTreeMap<usize, u64>>>,
     shutdown: Arc<AtomicBool>,
     obs: Obs,
+    clock: Clock,
 }
 
 impl<M> Clone for ReaderShared<M> {
@@ -482,6 +485,7 @@ impl<M> Clone for ReaderShared<M> {
             expected: Arc::clone(&self.expected),
             shutdown: Arc::clone(&self.shutdown),
             obs: self.obs.clone(),
+            clock: self.clock,
         }
     }
 }
@@ -510,8 +514,13 @@ fn reader_session<M: Codec + Clone + fmt::Debug>(stream: &mut TcpStream, ctx: Re
     // First-ever connection from this peer ⇒ PeerConnected; later
     // accepts are reconnects, which the dialer side reports with its
     // attempt count.
+    //
+    // Reader threads stamp events with the monotonic clock *at emit
+    // time* (`emit_at`): the shared `Obs` clock is only refreshed by
+    // the actor and monitor loops, so reading it here would attach a
+    // stale previous stamp to transport events.
     if !locked(&ctx.expected).contains_key(&peer.index()) {
-        ctx.obs.emit(ctx.me, || ObsEvent::PeerConnected { peer });
+        ctx.obs.emit_at(ctx.clock.now_us(), ctx.me, || ObsEvent::PeerConnected { peer });
     }
     loop {
         if ctx.shutdown.load(Ordering::Relaxed) {
@@ -520,8 +529,9 @@ fn reader_session<M: Codec + Clone + fmt::Debug>(stream: &mut TcpStream, ctx: Re
         match read_frame(stream) {
             Ok(frame) => {
                 if frame.kind != FrameKind::Msg {
-                    ctx.obs
-                        .emit(ctx.me, || ObsEvent::FrameDecodeError { reason: "unexpected_kind" });
+                    ctx.obs.emit_at(ctx.clock.now_us(), ctx.me, || ObsEvent::FrameDecodeError {
+                        reason: "unexpected_kind",
+                    });
                     return;
                 }
                 {
@@ -538,10 +548,8 @@ fn reader_session<M: Codec + Clone + fmt::Debug>(stream: &mut TcpStream, ctx: Re
                         // so it gets its own event (and counter).
                         let expected = *next;
                         let got = frame.seq;
-                        ctx.obs.emit(ctx.me, || ObsEvent::FrameSequenceGap {
-                            from: peer,
-                            expected,
-                            got,
+                        ctx.obs.emit_at(ctx.clock.now_us(), ctx.me, || {
+                            ObsEvent::FrameSequenceGap { from: peer, expected, got }
                         });
                         return;
                     }
@@ -555,24 +563,31 @@ fn reader_session<M: Codec + Clone + fmt::Debug>(stream: &mut TcpStream, ctx: Re
                         }
                     }
                     Err(err) => {
-                        ctx.obs.emit(ctx.me, || ObsEvent::FrameDecodeError { reason: err.label() });
+                        ctx.obs.emit_at(ctx.clock.now_us(), ctx.me, || {
+                            ObsEvent::FrameDecodeError { reason: err.label() }
+                        });
                         return;
                     }
                 }
             }
             Err(FrameError::Closed) => {
                 if !ctx.shutdown.load(Ordering::Relaxed) {
-                    ctx.obs.emit(ctx.me, || ObsEvent::PeerDisconnected { peer, reason: "closed" });
+                    ctx.obs.emit_at(ctx.clock.now_us(), ctx.me, || ObsEvent::PeerDisconnected {
+                        peer,
+                        reason: "closed",
+                    });
                 }
                 return;
             }
             Err(FrameError::Decode(err)) => {
-                ctx.obs.emit(ctx.me, || ObsEvent::FrameDecodeError { reason: err.label() });
+                ctx.obs.emit_at(ctx.clock.now_us(), ctx.me, || ObsEvent::FrameDecodeError {
+                    reason: err.label(),
+                });
                 return;
             }
             Err(FrameError::Io(_)) => {
                 if !ctx.shutdown.load(Ordering::Relaxed) {
-                    ctx.obs.emit(ctx.me, || ObsEvent::PeerDisconnected {
+                    ctx.obs.emit_at(ctx.clock.now_us(), ctx.me, || ObsEvent::PeerDisconnected {
                         peer,
                         reason: "read_failed",
                     });
@@ -630,7 +645,7 @@ fn conn_dead(stream: &TcpStream) -> bool {
     dead
 }
 
-fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
+fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
     let me = ctx.me;
     let peer = ctx.peer;
     let mut jitter_rng = {
@@ -641,8 +656,9 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
         XorShift::new(h.finish())
     };
     // The per-link frame log: seq of log[i] is i + 1. Bodies are shared
-    // with the broadcast fan-out (Arc), so this stores pointers.
-    let mut log: Vec<Arc<Vec<u8>>> = Vec::new();
+    // with the broadcast fan-out (Arc), so this stores pointers (plus
+    // each body's trace hint for the frame header).
+    let mut log: Vec<FrameBody> = Vec::new();
     let mut conn: Option<TcpStream> = None;
     let mut sent = 0usize;
     let mut ever_connected = false;
@@ -673,7 +689,13 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
                 conn = None;
                 sent = 0;
                 if !ctx.shutdown.load(Ordering::Relaxed) {
-                    ctx.obs.emit(me, || ObsEvent::PeerDisconnected { peer, reason: "peer_closed" });
+                    // Writer threads, like readers, stamp transport
+                    // events at emit time — the shared clock is not
+                    // refreshed from this thread.
+                    ctx.obs.emit_at(ctx.clock.now_us(), me, || ObsEvent::PeerDisconnected {
+                        peer,
+                        reason: "peer_closed",
+                    });
                 }
                 continue;
             }
@@ -697,11 +719,13 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
                     if dial_handshake(&mut stream, me, peer, ctx.secret).is_ok() {
                         ctx.outbound_reg.register(&stream);
                         let was_reconnect = ever_connected;
+                        let at = ctx.clock.now_us();
                         if was_reconnect {
                             let attempts = attempt;
-                            ctx.obs.emit(me, || ObsEvent::PeerReconnected { peer, attempts });
+                            ctx.obs
+                                .emit_at(at, me, || ObsEvent::PeerReconnected { peer, attempts });
                         } else {
-                            ctx.obs.emit(me, || ObsEvent::PeerConnected { peer });
+                            ctx.obs.emit_at(at, me, || ObsEvent::PeerConnected { peer });
                         }
                         ever_connected = true;
                         if was_reconnect && ctx.chaos.skip_replay_once() {
@@ -723,7 +747,7 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
                 attempt += 1;
                 let delay_ms = ctx.backoff.delay_ms(attempt, &mut jitter_rng);
                 let shown_attempt = attempt;
-                ctx.obs.emit(me, || ObsEvent::ReconnectBackoff {
+                ctx.obs.emit_at(ctx.clock.now_us(), me, || ObsEvent::ReconnectBackoff {
                     peer,
                     attempt: shown_attempt,
                     delay_ms,
@@ -763,7 +787,7 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
         // retransmitted after an RTO — sequence numbers stay contiguous.
         let mut attempts = 0u32;
         while attempts < MAX_RETRANSMIT && ctx.chaos.attempt_dropped() {
-            ctx.obs.emit(me, || ObsEvent::FrameDropped { to: peer, seq });
+            ctx.obs.emit_at(ctx.clock.now_us(), me, || ObsEvent::FrameDropped { to: peer, seq });
             attempts += 1;
             if ctx.shutdown.load(Ordering::Relaxed) {
                 break 'main;
@@ -771,13 +795,15 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
             sleep_ms(RETRANSMIT_RTO_MS);
         }
 
-        let Some(body) = log.get(sent) else { continue };
-        let Ok(bytes) = encode_frame(FrameKind::Msg, seq, body) else {
+        let Some((body, trace)) = log.get(sent) else { continue };
+        let Ok(bytes) = encode_frame(FrameKind::Msg, seq, *trace, body) else {
             // Unreachable: oversize bodies are rejected at enqueue time in
             // `apply` and never enter the log. Skipping (rather than
             // spinning on the same frame forever) keeps the writer live if
             // that invariant is ever broken.
-            ctx.obs.emit(me, || ObsEvent::FrameDecodeError { reason: "payload_too_large" });
+            ctx.obs.emit_at(ctx.clock.now_us(), me, || ObsEvent::FrameDecodeError {
+                reason: "payload_too_large",
+            });
             sent += 1;
             continue;
         };
@@ -790,7 +816,10 @@ fn writer_loop(rx: Receiver<Arc<Vec<u8>>>, mut ctx: WriterCtx) {
         } else {
             conn = None;
             if !ctx.shutdown.load(Ordering::Relaxed) {
-                ctx.obs.emit(me, || ObsEvent::PeerDisconnected { peer, reason: "write_failed" });
+                ctx.obs.emit_at(ctx.clock.now_us(), me, || ObsEvent::PeerDisconnected {
+                    peer,
+                    reason: "write_failed",
+                });
             }
         }
     }
@@ -802,15 +831,20 @@ fn actor_loop<M, O>(
     proc_: &mut BoxedProcess<M, O>,
     rx: Receiver<Ctrl<M>>,
     self_tx: &Sender<Ctrl<M>>,
-    links: &[Option<Sender<Arc<Vec<u8>>>>],
+    links: &[Option<Sender<FrameBody>>],
     outputs: &Mutex<BTreeMap<NodeId, O>>,
     obs: &Obs,
+    clock: Clock,
 ) where
     M: Codec + Clone + fmt::Debug + Send + Sync + 'static,
     O: Clone + fmt::Debug + PartialEq + Send + 'static,
 {
     let me = proc_.id();
     let mut halted = false;
+    // Refresh the shared stamp before every protocol step so events
+    // emitted from inside the process (spans included) carry the time
+    // of *this* step, not whatever the monitor loop last wrote.
+    obs.set_now(clock.now_us());
     let effects = proc_.on_start();
     apply(me, effects, self_tx, links, outputs, &mut halted, obs);
 
@@ -821,6 +855,7 @@ fn actor_loop<M, O>(
     loop {
         match rx.recv() {
             Ok(Ctrl::Deliver(env)) => {
+                obs.set_now(clock.now_us());
                 if halted || proc_.is_halted() {
                     obs.emit(me, || ObsEvent::MessageDropped { from: env.from });
                     continue;
@@ -852,7 +887,7 @@ fn apply<M, O>(
     me: NodeId,
     effects: Vec<Effect<M, O>>,
     self_tx: &Sender<Ctrl<M>>,
-    links: &[Option<Sender<Arc<Vec<u8>>>>],
+    links: &[Option<Sender<FrameBody>>],
     outputs: &Mutex<BTreeMap<NodeId, O>>,
     halted: &mut bool,
     obs: &Obs,
@@ -866,11 +901,12 @@ fn apply<M, O>(
                 if oversize(me, &body, obs) {
                     continue;
                 }
+                let trace = msg.trace_hint();
                 let bytes = (body.len() + FRAME_OVERHEAD) as u64;
                 obs.emit(me, || ObsEvent::MessageSent { to, kind: "net", bytes });
                 match links.get(to.index()).and_then(Option::as_ref) {
                     Some(tx) => {
-                        let _ = tx.send(Arc::new(body));
+                        let _ = tx.send((Arc::new(body), trace));
                     }
                     None if to == me => {
                         // Self-delivery short-circuits in-process (the
@@ -887,13 +923,14 @@ fn apply<M, O>(
                 if oversize(me, &body, obs) {
                     continue;
                 }
+                let trace = msg.trace_hint();
                 let bytes = (body.len() + FRAME_OVERHEAD) as u64;
                 for (i, link) in links.iter().enumerate() {
                     let to = NodeId::new(i);
                     obs.emit(me, || ObsEvent::MessageSent { to, kind: "net", bytes });
                     match link {
                         Some(tx) => {
-                            let _ = tx.send(Arc::clone(&body));
+                            let _ = tx.send((Arc::clone(&body), trace));
                         }
                         None => {
                             let env = Envelope::new(me, to, msg.clone());
@@ -1002,6 +1039,35 @@ mod tests {
         let report = rt.run();
         assert!(!report.timed_out);
         assert_eq!(report.unanimous_output(), Some(n));
+    }
+
+    #[test]
+    fn transport_events_are_stamped_at_emit_time() {
+        use bft_obs::{SharedSink, VecSink};
+
+        // Poison the shared clock with an absurd stamp before the run:
+        // any emission path that reads the shared clock instead of the
+        // runtime's monotonic clock would attach this stale value.
+        let sink = SharedSink::new(VecSink::new());
+        let obs = Obs::to(&sink);
+        obs.set_now(u64::MAX);
+
+        let n = 3;
+        let mut rt = NetRuntime::new(n).timeout(Duration::from_secs(20)).observer(obs);
+        for id in NodeId::all(n) {
+            rt.add_process(Box::new(Echo { id, n, heard: 0 }));
+        }
+        let report = rt.run();
+        assert!(!report.timed_out);
+
+        // Every recorded event must carry a fresh monotonic stamp (the
+        // whole run takes well under 10^9 us), never the poisoned one.
+        let events = sink.lock().take();
+        assert!(!events.is_empty());
+        const FRESH_BOUND_US: u64 = 1_000_000_000;
+        for (at, node, event) in &events {
+            assert!(*at < FRESH_BOUND_US, "stale stamp {at} on {event:?} from node {node:?}");
+        }
     }
 
     #[test]

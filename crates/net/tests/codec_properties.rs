@@ -72,11 +72,12 @@ proptest! {
         bit in 0u8..2,
     ) {
         let wire = wire_from(sender, round, 2, phase, 2, bit, true);
-        let framed = encode_frame(FrameKind::Msg, seq, &wire.to_bytes()).unwrap();
+        let framed = encode_frame(FrameKind::Msg, seq, seq ^ 0xAB84, &wire.to_bytes()).unwrap();
         let frame = Frame::decode(&framed);
         prop_assert!(frame.is_ok());
         let frame = frame.unwrap_or_else(|_| Frame::new(FrameKind::Msg, 0, Vec::new()));
         prop_assert_eq!(frame.seq, seq);
+        prop_assert_eq!(frame.trace, seq ^ 0xAB84);
         prop_assert_eq!(Wire::from_bytes(&frame.payload), Ok(wire));
     }
 
@@ -99,7 +100,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let wire = wire_from(1, round, 1, 1, 1, bit, false);
-        let mut framed = encode_frame(FrameKind::Msg, 7, &wire.to_bytes()).unwrap();
+        let mut framed = encode_frame(FrameKind::Msg, 7, 0, &wire.to_bytes()).unwrap();
         let pos = pos_pick % framed.len();
         framed[pos] ^= flip;
         match Frame::decode(&framed) {
@@ -120,7 +121,7 @@ proptest! {
     #[test]
     fn truncated_frames_are_rejected(round in 1u64..1000, cut in 0usize..4096) {
         let wire = wire_from(2, round, 0, 0, 0, 1, false);
-        let framed = encode_frame(FrameKind::Msg, 3, &wire.to_bytes()).unwrap();
+        let framed = encode_frame(FrameKind::Msg, 3, 0, &wire.to_bytes()).unwrap();
         let keep = cut % framed.len(); // strictly shorter than the frame
         prop_assert!(Frame::decode(&framed[..keep]).is_err());
     }
@@ -137,7 +138,7 @@ proptest! {
     fn encode_decode_limits_are_symmetric(delta in -4i64..=4, seq in 0u64..1_000) {
         let len = (MAX_PAYLOAD as i64 + delta) as usize;
         let payload = vec![0xA5u8; len];
-        match encode_frame(FrameKind::Msg, seq, &payload) {
+        match encode_frame(FrameKind::Msg, seq, 0, &payload) {
             Ok(framed) => {
                 prop_assert!(len <= MAX_PAYLOAD as usize);
                 let back = Frame::decode(&framed);
@@ -158,12 +159,12 @@ proptest! {
 fn oversize_payload_is_a_typed_encode_error() {
     let payload = vec![0u8; MAX_PAYLOAD as usize + 1];
     assert_eq!(
-        encode_frame(FrameKind::Msg, 1, &payload),
+        encode_frame(FrameKind::Msg, 1, 0, &payload),
         Err(PayloadTooLarge { len: MAX_PAYLOAD as usize + 1 })
     );
     // The cap itself is still encodable, and decodes back.
     let exact = vec![7u8; MAX_PAYLOAD as usize];
-    let framed = encode_frame(FrameKind::Msg, 2, &exact).unwrap();
+    let framed = encode_frame(FrameKind::Msg, 2, 0, &exact).unwrap();
     assert_eq!(Frame::decode(&framed), Ok(Frame::new(FrameKind::Msg, 2, exact)));
 }
 
@@ -198,36 +199,55 @@ fn golden_frame_encoding() {
         tag: StepTag::new(Round::new(2), Step::Ready),
         msg: RbcMessage::Echo(StepPayload::Ready { value: Value::One, flagged: true }),
     };
-    let framed = encode_frame(FrameKind::Msg, 1, &wire.to_bytes()).unwrap();
+    let framed = encode_frame(FrameKind::Msg, 1, 0, &wire.to_bytes()).unwrap();
     assert_eq!(framed.len(), FRAME_OVERHEAD + 17);
     #[rustfmt::skip]
     let expected_header = [
         0x84, 0xAB,             // magic 0xAB84, LE
-        0x01,                   // version 1
+        0x02,                   // version 2
         0x04,                   // kind Msg
         1, 0, 0, 0, 0, 0, 0, 0, // seq 1, u64 LE
-        17, 0, 0, 0,            // payload length, u32 LE
+        25, 0, 0, 0,            // body length (8-byte trace hint + payload), u32 LE
+        0, 0, 0, 0, 0, 0, 0, 0, // trace hint 0 (untraced), u64 LE
     ];
-    assert_eq!(framed[..16], expected_header);
+    assert_eq!(framed[..24], expected_header);
     let trailer = u64::from_le_bytes(framed[framed.len() - 8..].try_into().unwrap());
-    assert_eq!(trailer, 0x90f4_3eb8_b3fe_952b, "pinned FNV-1a checksum");
+    assert_eq!(trailer, 0x43b6_52cb_9b85_d35e, "pinned FNV-1a checksum");
     assert_eq!(trailer, fnv1a64(&framed[..framed.len() - 8]));
 }
 
 /// An empty Hello frame is the smallest possible frame; pin it whole.
 #[test]
 fn golden_empty_hello_frame() {
-    let framed = encode_frame(FrameKind::Hello, 0, &[]).unwrap();
+    let framed = encode_frame(FrameKind::Hello, 0, 0, &[]).unwrap();
     #[rustfmt::skip]
     let expected = vec![
+        0x84, 0xAB, 0x02, 0x01,
+        0, 0, 0, 0, 0, 0, 0, 0,
+        8, 0, 0, 0,             // body = just the 8-byte trace hint
+        0, 0, 0, 0, 0, 0, 0, 0, // trace hint 0
+        0x75, 0x46, 0xb3, 0x80, 0xcb, 0x57, 0x0e, 0xd6, // FNV-1a of header+body, LE
+    ];
+    assert_eq!(framed, expected);
+    let decoded = Frame::decode(&framed);
+    assert_eq!(decoded, Ok(Frame::new(FrameKind::Hello, 0, Vec::new())));
+}
+
+/// The version-1 golden bytes (the pre-trace wire format) must keep
+/// decoding: a v2 node accepts frames from a v1 peer, reading a zero
+/// (untraced) hint.
+#[test]
+fn golden_v1_frames_still_decode() {
+    #[rustfmt::skip]
+    let v1_hello = vec![
         0x84, 0xAB, 0x01, 0x01,
         0, 0, 0, 0, 0, 0, 0, 0,
         0, 0, 0, 0,
         0x7e, 0xad, 0x9c, 0x35, 0xe8, 0x24, 0x37, 0x30, // FNV-1a of the header, LE
     ];
-    assert_eq!(framed, expected);
-    let decoded = Frame::decode(&framed);
+    let decoded = Frame::decode(&v1_hello);
     assert_eq!(decoded, Ok(Frame::new(FrameKind::Hello, 0, Vec::new())));
+    assert_eq!(decoded.map(|f| f.trace), Ok(0));
 }
 
 /// Strictness corners the property tests may not hit: rounds are

@@ -1,6 +1,7 @@
 //! The protocol event taxonomy.
 
 use crate::json::JsonValue;
+use crate::trace::TracePhase;
 use bft_types::{NodeId, Step, Value};
 use std::fmt;
 
@@ -280,6 +281,26 @@ pub enum Event {
         /// The decided value.
         value: Value,
     },
+    /// A causal-tracing span opened at the observing node: `phase` of
+    /// trace `trace` started now. Span ids are derived deterministically
+    /// (see `bft_obs::trace`), so same-seed sim runs emit identical ids.
+    SpanStart {
+        /// The owning trace id.
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// The enclosing span's id (0 for the trace root).
+        parent: u64,
+        /// The phase this span measures.
+        phase: TracePhase,
+    },
+    /// The matching close of a [`Event::SpanStart`].
+    SpanEnd {
+        /// The owning trace id.
+        trace: u64,
+        /// The span being closed.
+        span: u64,
+    },
     /// A protocol invariant failed at the observing node — a state the
     /// quorum arguments prove unreachable was reached anyway. The node
     /// degrades gracefully instead of panicking; this event carries the
@@ -326,6 +347,8 @@ impl Event {
             Event::CoinFlipped { .. } => "coin_flipped",
             Event::ValueLocked { .. } => "value_locked",
             Event::Decided { .. } => "decided",
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
             Event::InvariantViolated { .. } => "invariant_violated",
         }
     }
@@ -457,6 +480,19 @@ impl Event {
                 field("round", JsonValue::U64(*round));
                 field("value", JsonValue::U64(value.index() as u64));
             }
+            Event::SpanStart { trace, span, parent, phase } => {
+                field("trace", JsonValue::U64(*trace));
+                field("span", JsonValue::U64(*span));
+                field("parent", JsonValue::U64(*parent));
+                field("phase", JsonValue::str(phase.name()));
+                if phase.round() > 0 {
+                    field("round", JsonValue::U64(phase.round()));
+                }
+            }
+            Event::SpanEnd { trace, span } => {
+                field("trace", JsonValue::U64(*trace));
+                field("span", JsonValue::U64(*span));
+            }
             Event::InvariantViolated { round, detail } => {
                 field("round", JsonValue::U64(*round));
                 field("detail", JsonValue::str(detail));
@@ -491,6 +527,8 @@ mod tests {
             Event::EpochCommitted { epoch: 0, slots: 3, txs: 12 },
             Event::BatchSubmitted { epoch: 0, txs: 4, bytes: 64 },
             Event::LogDelivered { epoch: 0, entries: 12, total: 12 },
+            Event::SpanStart { trace: 1, span: 2, parent: 0, phase: TracePhase::Submit },
+            Event::SpanEnd { trace: 1, span: 2 },
         ];
         let names: std::collections::HashSet<&str> = events.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), events.len());
@@ -501,5 +539,20 @@ mod tests {
         let e = Event::Decided { round: 3, value: Value::One };
         let line = e.to_json(42, NodeId::new(2)).to_string();
         assert_eq!(line, r#"{"t":42,"node":2,"ev":"decided","round":3,"value":1}"#);
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let e = Event::SpanStart { trace: 7, span: 9, parent: 0, phase: TracePhase::AbaRound(2) };
+        let line = e.to_json(5, NodeId::new(1)).to_string();
+        assert_eq!(
+            line,
+            r#"{"t":5,"node":1,"ev":"span_start","trace":7,"span":9,"parent":0,"phase":"aba_round","round":2}"#
+        );
+        let e = Event::SpanEnd { trace: 7, span: 9 };
+        assert_eq!(
+            e.to_json(6, NodeId::new(1)).to_string(),
+            r#"{"t":6,"node":1,"ev":"span_end","trace":7,"span":9}"#
+        );
     }
 }

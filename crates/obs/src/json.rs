@@ -1,8 +1,9 @@
-//! A minimal JSON value and serializer.
+//! A minimal JSON value, serializer and parser.
 //!
 //! The workspace is built fully offline (no serde), so the observability
-//! exports hand-roll their JSON. Only serialization is needed — the schema
-//! is produced, never parsed, by this workspace.
+//! exports hand-roll their JSON. Serialization feeds the JSONL export and
+//! the bench report; the parser exists for the `abtrace` analyzer, which
+//! reads the JSONL schema back to reconstruct trace trees offline.
 
 use std::fmt;
 
@@ -30,6 +31,51 @@ impl JsonValue {
     /// Convenience constructor for string values.
     pub fn str(s: impl Into<String>) -> Self {
         JsonValue::Str(s.into())
+    }
+
+    /// Parses one JSON document (with optional surrounding whitespace).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -79,6 +125,222 @@ impl fmt::Display for JsonValue {
     }
 }
 
+/// A parse failure: the byte offset it occurred at and a short reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// 0-based byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: &'static str) -> JsonParseError {
+        JsonParseError { at: self.pos, reason }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, byte: u8, reason: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(reason))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes.get(self.pos..).is_some_and(|rest| rest.starts_with(lit.as_bytes())) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.eat_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect_byte(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect_byte(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect_byte(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of unescaped bytes in one go.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = self.bytes.get(start..self.pos).unwrap_or_default();
+                out.push_str(
+                    std::str::from_utf8(run).map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates would need pairing; the exporter
+                            // never writes them, so reject rather than
+                            // silently mangle.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unpaired surrogate"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("bad number"))?;
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+        }
+        text.parse::<f64>().map(JsonValue::F64).map_err(|_| self.err("bad number"))
+    }
+}
+
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -118,5 +380,56 @@ mod tests {
     fn floats_and_non_finite() {
         assert_eq!(JsonValue::F64(1.5).to_string(), "1.5");
         assert_eq!(JsonValue::F64(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        assert_eq!(JsonValue::parse("null"), Ok(JsonValue::Null));
+        assert_eq!(JsonValue::parse(" true "), Ok(JsonValue::Bool(true)));
+        assert_eq!(JsonValue::parse("42"), Ok(JsonValue::U64(42)));
+        assert_eq!(JsonValue::parse("-1.5"), Ok(JsonValue::F64(-1.5)));
+        assert_eq!(JsonValue::parse("1e3"), Ok(JsonValue::F64(1000.0)));
+        assert_eq!(
+            JsonValue::parse(r#"{"a":[1,"x\n",{}],"b":null}"#),
+            Ok(JsonValue::Obj(vec![
+                (
+                    "a".into(),
+                    JsonValue::Arr(vec![
+                        JsonValue::U64(1),
+                        JsonValue::str("x\n"),
+                        JsonValue::Obj(vec![]),
+                    ])
+                ),
+                ("b".into(), JsonValue::Null),
+            ]))
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_values() {
+        let v = JsonValue::Obj(vec![
+            ("t".into(), JsonValue::U64(u64::MAX)),
+            ("s".into(), JsonValue::str("a\"b\\c\nd\u{1}")),
+            ("arr".into(), JsonValue::Arr(vec![JsonValue::Bool(false), JsonValue::F64(0.25)])),
+        ]);
+        assert_eq!(JsonValue::parse(&v.to_string()), Ok(v));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", r#"{"a"}"#, "tru", "1x", r#""\q""#, "[1] extra"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = JsonValue::parse(r#"{"t":3,"ev":"decided","x":1.5}"#).unwrap();
+        assert_eq!(v.get("t").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("ev").and_then(JsonValue::as_str), Some("decided"));
+        assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("t").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("t"), None);
     }
 }

@@ -34,6 +34,12 @@ impl<W: Write> JsonlSink<W> {
         self.errors
     }
 
+    /// Flushes the underlying writer in place (for buffered writers
+    /// held behind a shared sink, where `into_inner` cannot be used).
+    pub fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> W {
         let _ = self.out.flush();

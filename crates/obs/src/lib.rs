@@ -49,12 +49,14 @@ pub mod json;
 mod jsonl;
 mod metrics_sink;
 mod sinks;
+pub mod trace;
 
 pub use event::{Event, RbcPhase};
 pub use invariant::InvariantSink;
 pub use jsonl::JsonlSink;
 pub use metrics_sink::MetricsSink;
 pub use sinks::{Tee, VecSink};
+pub use trace::{span_id, SpanRecord, TraceAssembler, TraceCtx, TracePhase, TraceSink};
 
 use bft_types::NodeId;
 use std::fmt;
@@ -171,6 +173,22 @@ impl Obs {
             sink.on_event(at, node, &event);
         }
     }
+
+    /// Emits one event observed at `node` with an explicit timestamp,
+    /// bypassing the shared clock.
+    ///
+    /// Two users: hosts whose emission sites run on threads the shared
+    /// clock is not refreshed from (the TCP runtime's reader/writer
+    /// threads stamp `Clock::now_us()` at emit time), and retroactive
+    /// emissions whose logical time predates the current clock (opening
+    /// a trace span once its outcome is known).
+    pub fn emit_at(&self, at: u64, node: NodeId, event: impl FnOnce() -> Event) {
+        if let Some(inner) = &self.0 {
+            let event = event();
+            let mut sink = inner.sink.lock().unwrap_or_else(|p| p.into_inner());
+            sink.on_event(at, node, &event);
+        }
+    }
 }
 
 impl fmt::Debug for Obs {
@@ -209,6 +227,16 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0], (5, NodeId::new(1), Event::RoundStarted { round: 1 }));
         assert_eq!(events[1], (9, NodeId::new(2), Event::Decided { round: 1, value: Value::One }));
+    }
+
+    #[test]
+    fn emit_at_bypasses_shared_clock() {
+        let (obs, sink) = Obs::new(VecSink::new());
+        obs.set_now(100);
+        obs.emit_at(7, NodeId::new(1), || Event::NodeHalted);
+        let events = sink.lock().take();
+        assert_eq!(events, vec![(7, NodeId::new(1), Event::NodeHalted)]);
+        assert_eq!(obs.now(), 100, "the shared clock is untouched");
     }
 
     #[test]

@@ -305,9 +305,7 @@ impl MetricsSink {
         obj.push(("decision_rounds".into(), JsonValue::Arr(rounds)));
 
         let mut per_round = Vec::new();
-        let round_numbers: Vec<u64> = self.round_latency.keys().copied().collect();
-        for round in round_numbers {
-            let samples = self.round_latency.get_mut(&round).expect("key just listed");
+        for (&round, samples) in self.round_latency.iter_mut() {
             per_round.push(JsonValue::Obj(vec![
                 ("round".into(), JsonValue::U64(round)),
                 ("nodes".into(), JsonValue::U64(samples.len() as u64)),
@@ -392,6 +390,182 @@ impl MetricsSink {
         ));
         JsonValue::Obj(obj)
     }
+
+    /// Renders the aggregate in the Prometheus text exposition format
+    /// (counters, gauges, summaries and one cumulative histogram), so
+    /// external tooling can scrape a run snapshot without parsing JSONL.
+    ///
+    /// Output order is pinned (struct field order; BTreeMap keys sort),
+    /// so same-seed runs render byte-identical snapshots.
+    pub fn render_prometheus(&mut self) -> String {
+        let mut out = String::new();
+        prom_counter(&mut out, "bft_events_total", "Events consumed", self.events_total);
+        for (kind, (count, bytes)) in &self.msgs_by_kind {
+            out.push_str(&format!(
+                "bft_messages_total{{kind=\"{}\"}} {count}\n",
+                prom_escape(kind)
+            ));
+            out.push_str(&format!(
+                "bft_message_bytes_total{{kind=\"{}\"}} {bytes}\n",
+                prom_escape(kind)
+            ));
+        }
+        prom_counter(&mut out, "bft_delivered_total", "Messages delivered", self.delivered);
+        prom_counter(&mut out, "bft_dropped_total", "Messages dropped", self.dropped);
+        for step in Step::ALL.iter() {
+            out.push_str(&format!(
+                "bft_validated_total{{step=\"{step}\"}} {}\n",
+                self.validated_by_step[step.index()]
+            ));
+        }
+        prom_counter(&mut out, "bft_rejected_total", "Payloads rejected", self.rejected);
+        prom_counter(&mut out, "bft_quorums_total", "Step quorums reached", self.quorums);
+        prom_counter(&mut out, "bft_coin_flips_total", "Coin flips", self.coin_flips);
+        prom_counter(&mut out, "bft_value_locks_total", "Value locks", self.locks);
+        prom_gauge(&mut out, "bft_max_queue_depth", "Peak queue depth", self.max_queue_depth);
+        prom_counter(&mut out, "bft_peer_connects_total", "Peer connects", self.peer_connects);
+        prom_counter(
+            &mut out,
+            "bft_peer_disconnects_total",
+            "Peer disconnects",
+            self.peer_disconnects,
+        );
+        prom_counter(
+            &mut out,
+            "bft_peer_reconnects_total",
+            "Peer reconnects",
+            self.peer_reconnects,
+        );
+        prom_counter(
+            &mut out,
+            "bft_backoff_retries_total",
+            "Reconnect backoff retries",
+            self.backoff_retries,
+        );
+        prom_counter(
+            &mut out,
+            "bft_frame_decode_errors_total",
+            "Inbound frame decode errors",
+            self.frame_decode_errors,
+        );
+        prom_counter(
+            &mut out,
+            "bft_frame_sequence_gaps_total",
+            "Inbound frame sequence gaps",
+            self.frame_sequence_gaps,
+        );
+        prom_counter(
+            &mut out,
+            "bft_payloads_rejected_total",
+            "Oversize outbound bodies rejected",
+            self.payloads_rejected,
+        );
+        prom_counter(
+            &mut out,
+            "bft_chaos_frames_dropped_total",
+            "Frames dropped by the chaos layer",
+            self.chaos_frames_dropped,
+        );
+        prom_counter(&mut out, "bft_epochs_started_total", "Epochs opened", self.epochs_started);
+        prom_counter(
+            &mut out,
+            "bft_epochs_committed_total",
+            "Epochs committed",
+            self.epochs_committed,
+        );
+        prom_counter(
+            &mut out,
+            "bft_batches_submitted_total",
+            "Batches submitted",
+            self.batches_submitted,
+        );
+        prom_counter(&mut out, "bft_txs_submitted_total", "Txs submitted", self.txs_submitted);
+        prom_counter(&mut out, "bft_txs_delivered_total", "Txs ordered", self.txs_delivered);
+        prom_gauge(
+            &mut out,
+            "bft_max_pipeline_occupancy",
+            "Peak concurrently in-flight epochs",
+            self.max_pipeline_occupancy,
+        );
+
+        prom_summary(
+            &mut out,
+            "bft_decision_latency",
+            "Decision timestamps across nodes",
+            &mut self.decide_times,
+        );
+        prom_summary(
+            &mut out,
+            "bft_epoch_commit_latency",
+            "Epoch start-to-commit durations",
+            &mut self.epoch_commit_latency,
+        );
+        prom_summary(
+            &mut out,
+            "bft_pipeline_occupancy",
+            "In-flight epochs at each epoch start",
+            &mut self.occupancy,
+        );
+        for (&round, samples) in self.round_latency.iter_mut() {
+            for (q, label) in [(50.0, "0.5"), (99.0, "0.99")] {
+                out.push_str(&format!(
+                    "bft_round_latency{{round=\"{round}\",quantile=\"{label}\"}} {}\n",
+                    samples.percentile(q).unwrap_or(0.0)
+                ));
+            }
+            out.push_str(&format!(
+                "bft_round_latency_count{{round=\"{round}\"}} {}\n",
+                samples.len()
+            ));
+        }
+
+        prom_int_histogram(
+            &mut out,
+            "bft_decision_rounds",
+            "Rounds to decide across nodes",
+            &self.decide_rounds,
+        );
+        out
+    }
+}
+
+fn prom_escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn prom_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+}
+
+fn prom_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
+}
+
+fn prom_summary(out: &mut String, name: &str, help: &str, samples: &mut Samples) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+    if !samples.is_empty() {
+        for (q, label) in [(50.0, "0.5"), (90.0, "0.9"), (99.0, "0.99")] {
+            out.push_str(&format!(
+                "{name}{{quantile=\"{label}\"}} {}\n",
+                samples.percentile(q).unwrap_or(0.0)
+            ));
+        }
+    }
+    let sum: f64 = samples.values().iter().sum();
+    out.push_str(&format!("{name}_sum {sum}\n{name}_count {}\n", samples.len()));
+}
+
+fn prom_int_histogram(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    let mut sum = 0u128;
+    for (value, count) in hist.iter() {
+        cumulative += count;
+        sum += value as u128 * count as u128;
+        out.push_str(&format!("{name}_bucket{{le=\"{value}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+    out.push_str(&format!("{name}_sum {sum}\n{name}_count {}\n", hist.count()));
 }
 
 impl Sink for MetricsSink {
@@ -534,6 +708,36 @@ mod tests {
         ab.merge(&mk(5));
         ab.merge(&mk(3));
         assert_eq!(ab.decide_times().values(), &[5.0, 3.0]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_complete() {
+        let mut sink = MetricsSink::new();
+        let n0 = NodeId::new(0);
+        sink.on_event(0, n0, &Event::RoundStarted { round: 1 });
+        sink.on_event(0, n0, &Event::MessageSent { to: n0, kind: "send/initial", bytes: 16 });
+        sink.on_event(3, n0, &Event::QueueDepth { depth: 4 });
+        sink.on_event(7, n0, &Event::Decided { round: 1, value: Value::One });
+        let text = sink.render_prometheus();
+        assert!(text.contains("# TYPE bft_events_total counter"));
+        assert!(text.contains("bft_events_total 4"));
+        assert!(text.contains(r#"bft_messages_total{kind="send/initial"} 1"#));
+        assert!(text.contains(r#"bft_message_bytes_total{kind="send/initial"} 16"#));
+        assert!(text.contains("bft_max_queue_depth 4"));
+        assert!(text.contains(r#"bft_decision_latency{quantile="0.5"} 7"#));
+        assert!(text.contains("bft_decision_latency_count 1"));
+        assert!(text.contains(r#"bft_decision_rounds_bucket{le="1"} 1"#));
+        assert!(text.contains(r#"bft_decision_rounds_bucket{le="+Inf"} 1"#));
+        assert!(text.contains(r#"bft_round_latency{round="1",quantile="0.5"} 7"#));
+        assert_eq!(text, sink.render_prometheus(), "rendering is pure");
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line.split_once(' ').is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed line: {line}"
+            );
+        }
     }
 
     #[test]

@@ -45,6 +45,17 @@ impl<A: Sink, B: Sink> Sink for Tee<A, B> {
     }
 }
 
+/// `Some` forwards, `None` discards — lets a composed sink switch one
+/// branch on or off at runtime without changing the overall sink type
+/// (e.g. `Tee(metrics, jsonl_or_none)` in the CLI binaries).
+impl<S: Sink> Sink for Option<S> {
+    fn on_event(&mut self, at: u64, node: NodeId, event: &Event) {
+        if let Some(sink) = self {
+            sink.on_event(at, node, event);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +67,16 @@ mod tests {
         assert_eq!(tee.0.events().len(), 1);
         assert_eq!(tee.1.events().len(), 1);
         assert_eq!(tee.0.events(), tee.1.events());
+    }
+
+    #[test]
+    fn optional_sink_forwards_only_when_some() {
+        let mut off: Option<VecSink> = None;
+        off.on_event(1, NodeId::new(0), &Event::NodeHalted);
+        assert!(off.is_none());
+
+        let mut on = Some(VecSink::new());
+        on.on_event(2, NodeId::new(1), &Event::NodeHalted);
+        assert_eq!(on.as_ref().map(|s| s.events().len()), Some(1));
     }
 }

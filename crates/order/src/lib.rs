@@ -55,11 +55,11 @@
 
 use bft_coin::CoinScheme;
 use bft_net::codec::{put_u32, put_u64, Codec, DecodeError, Reader};
-use bft_obs::{Event, Obs};
+use bft_obs::{Event, Obs, TraceCtx, TracePhase};
 use bft_rbc::{RbcMux, RbcMuxAction, RbcMuxMessage};
 use bft_types::{Config, Effect, NodeId, Process, Value};
 use bracha::{BrachaNode, BrachaOptions, Transition, Wire};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Tuning knobs for the ordering engine.
@@ -173,6 +173,15 @@ impl Codec for OrderMessage {
             }
         }
     }
+
+    fn trace_hint(&self) -> u64 {
+        match self {
+            OrderMessage::Batch(m) => TraceCtx::derive(m.sender, m.tag, m.tag).trace,
+            OrderMessage::Aba { epoch, index, .. } => {
+                TraceCtx::derive(NodeId::new(*index as usize), *epoch, *epoch).trace
+            }
+        }
+    }
 }
 
 /// Encodes a batch of payloads into one RBC proposal body.
@@ -238,6 +247,13 @@ impl<C: CoinScheme> EpochState<C> {
 
 type OrderEffect = Effect<OrderMessage, OrderLog>;
 
+/// The trace context of every message of epoch-`e` slot `proposer`:
+/// derivable from the RBC instance key alone, so all `n` nodes stamp
+/// identical span ids without any coordination.
+fn batch_trace(proposer: NodeId, epoch: &u64) -> Option<TraceCtx> {
+    Some(TraceCtx::derive(proposer, *epoch, *epoch))
+}
+
 /// One node of the atomic-broadcast engine, packaged as a [`Process`]
 /// so it runs unmodified on all three substrates (`bft-sim`,
 /// `bft-runtime`, `bft-net`).
@@ -261,6 +277,13 @@ pub struct OrderProcess<C> {
     output_emitted: bool,
     halted: bool,
     obs: Obs,
+    /// Whether causal-trace spans are emitted (observer attached).
+    trace_on: bool,
+    /// When the mempool head entered the queue — the retroactive start
+    /// of the next batch's `submit` / `batch_wait` spans.
+    mempool_since: Option<u64>,
+    /// Epochs this node proposed whose root `submit` span is still open.
+    open_roots: BTreeSet<u64>,
 }
 
 impl<C: CoinScheme> OrderProcess<C> {
@@ -293,15 +316,26 @@ impl<C: CoinScheme> OrderProcess<C> {
             output_emitted: false,
             halted: false,
             obs: Obs::disabled(),
+            trace_on: false,
+            mempool_since: None,
+            open_roots: BTreeSet::new(),
         }
     }
 
     /// Attaches an observer: epoch lifecycle events are emitted here,
     /// batch dissemination events at the underlying RBC layer. The
-    /// per-epoch agreement instances are deliberately not observed (they
-    /// share this node's id; see `AcsProcess::with_obs`).
+    /// per-epoch agreement instances' *metrics* are deliberately not
+    /// observed (they share this node's id; see `AcsProcess::with_obs`),
+    /// but they do emit `aba_round` / `coin_wait` trace spans, and the
+    /// RBC layer emits `rbc_echo` / `rbc_ready` spans under the trace
+    /// context derived from each instance's `(proposer, epoch)` key.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.rbc.set_obs(obs.clone());
+        self.rbc.set_tracer(batch_trace);
+        self.trace_on = obs.enabled();
+        if self.trace_on && !self.pending.is_empty() {
+            self.mempool_since = Some(obs.now());
+        }
         self.obs = obs;
         self
     }
@@ -312,6 +346,9 @@ impl<C: CoinScheme> OrderProcess<C> {
         let capacity = self.opts.batch_max.saturating_mul(self.opts.pipeline_depth);
         if self.pending.len() >= capacity {
             return Err(Backpressure { pending: self.pending.len(), capacity });
+        }
+        if self.trace_on && self.pending.is_empty() {
+            self.mempool_since = Some(self.obs.now());
         }
         self.pending.push_back(tx);
         Ok(())
@@ -375,7 +412,17 @@ impl<C: CoinScheme> OrderProcess<C> {
         let config = self.config;
         let me = self.me;
         let coin_for = &mut self.coin_for;
-        self.epochs.entry(e).or_insert_with(|| EpochState::new(config, me, e, coin_for))
+        let obs = &self.obs;
+        let trace_on = self.trace_on;
+        self.epochs.entry(e).or_insert_with(|| {
+            let mut state = EpochState::new(config, me, e, coin_for);
+            if trace_on {
+                for (i, aba) in state.abas.iter_mut().enumerate() {
+                    aba.set_trace(obs.clone(), TraceCtx::derive(NodeId::new(i), e, e));
+                }
+            }
+            state
+        })
     }
 
     fn lift_rbc(&mut self, actions: Vec<RbcMuxAction<u64, Vec<u8>>>, out: &mut Vec<OrderEffect>) {
@@ -412,8 +459,14 @@ impl<C: CoinScheme> OrderProcess<C> {
         {
             let e = self.next_epoch;
             self.next_epoch += 1;
+            let submitted = self.mempool_since.unwrap_or_else(|| self.obs.now());
             let take = self.opts.batch_max.min(self.pending.len());
             let batch: Vec<Vec<u8>> = self.pending.drain(..take).collect();
+            if self.pending.is_empty() {
+                // Leftover payloads keep the original queue-entry stamp;
+                // an emptied mempool re-stamps at the next `submit`.
+                self.mempool_since = None;
+            }
             let body = encode_batch(&batch);
             self.obs.emit(self.me, || Event::BatchSubmitted {
                 epoch: e,
@@ -421,6 +474,16 @@ impl<C: CoinScheme> OrderProcess<C> {
                 bytes: body.len() as u64,
             });
             self.obs.emit(self.me, || Event::EpochStarted { epoch: e });
+            if self.trace_on {
+                // The trace root opens retroactively at submission time
+                // and stays open until this epoch reaches our log; the
+                // batch_wait child covers submission → proposal.
+                let ctx = TraceCtx::derive(self.me, e, e);
+                self.obs.span_start_at(submitted, self.me, ctx, TracePhase::Submit, 0);
+                self.obs.span_start_at(submitted, self.me, ctx, TracePhase::BatchWait, ctx.root);
+                self.obs.span_end(self.me, ctx, TracePhase::BatchWait);
+                self.open_roots.insert(e);
+            }
             self.ensure_epoch(e);
             let actions = self.rbc.broadcast(e, body);
             self.lift_rbc(actions, out);
@@ -473,8 +536,18 @@ impl<C: CoinScheme> OrderProcess<C> {
                     .collect();
                 let (slots, txs) =
                     (set.len() as u64, set.iter().map(|(_, b)| decode_batch(b).len() as u64).sum());
+                let proposers: Vec<NodeId> = set.iter().map(|(id, _)| *id).collect();
                 state.committed = Some(set);
                 self.obs.emit(self.me, || Event::EpochCommitted { epoch: e, slots, txs });
+                if self.trace_on {
+                    // One commit span per accepted slot: ACS decided →
+                    // appended to this node's log (head-of-line waits on
+                    // earlier epochs show up as long commit spans).
+                    for id in proposers {
+                        let ctx = TraceCtx::derive(id, e, e);
+                        self.obs.span_start(self.me, ctx, TracePhase::Commit, ctx.root);
+                    }
+                }
                 changed = true;
             }
         }
@@ -489,6 +562,7 @@ impl<C: CoinScheme> OrderProcess<C> {
             let e = self.log_next;
             let Some(set) = self.epochs.get(&e).and_then(|s| s.committed.clone()) else { break };
             let before = self.log.len();
+            let proposers: Vec<NodeId> = set.iter().map(|(id, _)| *id).collect();
             for (proposer, body) in set {
                 for tx in decode_batch(&body) {
                     self.log.push(LogEntry { epoch: e, proposer, tx });
@@ -501,6 +575,16 @@ impl<C: CoinScheme> OrderProcess<C> {
             let entries = (self.log.len() - before) as u64;
             let total = self.log.len() as u64;
             self.obs.emit(self.me, || Event::LogDelivered { epoch: e, entries, total });
+            if self.trace_on {
+                for id in proposers {
+                    let ctx = TraceCtx::derive(id, e, e);
+                    self.obs.span_end(self.me, ctx, TracePhase::Commit);
+                }
+                if self.open_roots.remove(&e) {
+                    let ctx = TraceCtx::derive(self.me, e, e);
+                    self.obs.span_end(self.me, ctx, TracePhase::Submit);
+                }
+            }
             let keep_from = self.log_next;
             self.rbc.retain(move |_, tag| *tag >= keep_from);
             changed = true;
@@ -533,6 +617,9 @@ impl<C: CoinScheme> OrderProcess<C> {
         }
         if self.output_emitted && !self.halted && self.epochs.is_empty() {
             self.halted = true;
+            // Wind-down: close any spans a straggler RBC instance still
+            // holds open so every start in the export finds its end.
+            self.rbc.finish_spans();
             out.push(Effect::Halt);
         }
     }
@@ -661,6 +748,49 @@ mod tests {
             OrderMessage::from_bytes(&[7]),
             Err(DecodeError::Invalid { what: "order message discriminant", .. })
         ));
+    }
+
+    #[test]
+    fn traced_sim_run_assembles_complete_balanced_trace_trees() {
+        use bft_obs::{Obs, TraceSink};
+        use bft_sim::{UniformDelay, World, WorldConfig};
+        let Ok(cfg) = Config::new(4, 1) else { return };
+        let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3 };
+        let (obs, sink) = Obs::new(TraceSink::new());
+        let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 5, 7));
+        world.set_observer(obs.clone());
+        for id in cfg.nodes() {
+            let workload = (0..6).map(|i| vec![id.index() as u8, i]).collect();
+            world.add_process(Box::new(
+                OrderProcess::new(cfg, id, opts, workload, |inst| {
+                    bft_coin::CommonCoin::new(9, inst)
+                })
+                .with_obs(obs.clone()),
+            ));
+        }
+        let report = world.run();
+        assert!(report.all_correct_decided());
+
+        let sink = sink.lock();
+        let asm = sink.assembler();
+        assert_eq!(asm.duplicate_starts(), 0);
+        assert_eq!(asm.unmatched_ends(), 0);
+        let open: Vec<_> = asm.spans().filter(|s| s.end.is_none()).collect();
+        assert!(open.is_empty(), "all spans must be closed, open: {open:?}");
+        // One trace per (epoch, proposer) slot: every slot runs an ABA.
+        assert_eq!(asm.trace_count(), 3 * 4);
+        // Every proposer's own trace has a closed root with a critical
+        // path that accounts for the full submit → commit latency.
+        for id in cfg.nodes() {
+            for e in 0..3u64 {
+                let ctx = TraceCtx::derive(id, e, e);
+                let root = asm.root(ctx.trace).expect("root span exists");
+                let end = root.end.expect("root span closed");
+                let parts = asm.critical_path(ctx.trace).expect("critical path");
+                let total: u64 = parts.iter().map(|(_, d)| *d).sum();
+                assert_eq!(total, end - root.start, "path must sum to root duration");
+            }
+        }
     }
 
     #[test]

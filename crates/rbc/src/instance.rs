@@ -1,7 +1,7 @@
 //! A single reliable-broadcast instance.
 
 use crate::RbcMessage;
-use bft_obs::{Event as ObsEvent, Obs, RbcPhase};
+use bft_obs::{Event as ObsEvent, Obs, RbcPhase, TraceCtx, TracePhase};
 use bft_types::{Config, NodeBitset, NodeId};
 use std::fmt;
 
@@ -57,6 +57,13 @@ pub struct RbcInstance<P> {
     /// `Debug`-rendered multiplexer tag carried on emitted events (empty
     /// for untagged instances).
     tag_label: String,
+    /// Causal-trace identity of the carried payload, when the host
+    /// protocol traces this instance (the ordering layer's batch RBCs).
+    trace: Option<TraceCtx>,
+    /// Whether this node's `rbc_echo` trace span is currently open.
+    echo_span_open: bool,
+    /// Whether this node's `rbc_ready` trace span is currently open.
+    ready_span_open: bool,
 }
 
 impl<P> RbcInstance<P>
@@ -79,6 +86,9 @@ where
             delivered: None,
             obs: Obs::disabled(),
             tag_label: String::new(),
+            trace: None,
+            echo_span_open: false,
+            ready_span_open: false,
         }
     }
 
@@ -87,6 +97,32 @@ where
     pub fn set_obs(&mut self, obs: Obs, tag_label: String) {
         self.obs = obs;
         self.tag_label = tag_label;
+    }
+
+    /// Attaches the causal-trace identity of this instance's payload.
+    /// From here on the instance opens an `rbc_echo` span when it echoes,
+    /// hands over to an `rbc_ready` span when it turns Ready, and closes
+    /// that at delivery. Requires an observer (see [`RbcInstance::set_obs`])
+    /// for the spans to go anywhere.
+    pub fn set_trace(&mut self, ctx: TraceCtx) {
+        self.trace = Some(ctx);
+    }
+
+    /// Closes any still-open trace spans at the current observer time —
+    /// called when the host garbage-collects the instance, so span
+    /// conservation (`SpanStart` ⇔ `SpanEnd`) survives instances that
+    /// never reached delivery.
+    pub fn finish_spans(&mut self) {
+        if let Some(ctx) = self.trace {
+            if self.echo_span_open {
+                self.echo_span_open = false;
+                self.obs.span_end(self.me, ctx, TracePhase::RbcEcho);
+            }
+            if self.ready_span_open {
+                self.ready_span_open = false;
+                self.obs.span_end(self.me, ctx, TracePhase::RbcReady);
+            }
+        }
     }
 
     /// The designated sender of this instance.
@@ -129,6 +165,10 @@ where
                     self.sent_echo = true;
                     self.emit_phase(RbcPhase::Send);
                     self.emit_phase(RbcPhase::Echo);
+                    if let Some(ctx) = self.trace {
+                        self.echo_span_open = true;
+                        self.obs.span_start(self.me, ctx, TracePhase::RbcEcho, ctx.root);
+                    }
                     actions.push(RbcAction::Broadcast(RbcMessage::Echo(payload.clone())));
                 }
             }
@@ -153,6 +193,12 @@ where
                             tag: self.tag_label.clone(),
                             support: count as u64,
                         });
+                        if let Some(ctx) = self.trace {
+                            if self.ready_span_open {
+                                self.ready_span_open = false;
+                                self.obs.span_end(self.me, ctx, TracePhase::RbcReady);
+                            }
+                        }
                         actions.push(RbcAction::Deliver(payload.clone()));
                     }
                 }
@@ -199,6 +245,14 @@ where
                 support: support as u64,
             });
             self.emit_phase(RbcPhase::Ready);
+            if let Some(ctx) = self.trace {
+                if self.echo_span_open {
+                    self.echo_span_open = false;
+                    self.obs.span_end(self.me, ctx, TracePhase::RbcEcho);
+                }
+                self.ready_span_open = true;
+                self.obs.span_start(self.me, ctx, TracePhase::RbcReady, ctx.root);
+            }
             actions.push(RbcAction::Broadcast(RbcMessage::Ready(payload.clone())));
         }
     }
@@ -317,5 +371,74 @@ mod tests {
         let mut inst = RbcInstance::new(cfg(), n(1), n(0));
         assert!(inst.on_message(n(7), &RbcMessage::Ready("m")).is_empty());
         assert!(inst.readied_peers.is_empty());
+    }
+
+    fn span_events(events: &[(u64, NodeId, ObsEvent)]) -> Vec<(u64, ObsEvent)> {
+        events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, ObsEvent::SpanStart { .. } | ObsEvent::SpanEnd { .. }))
+            .map(|(at, _, e)| (*at, e.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn traced_instance_emits_balanced_echo_and_ready_spans() {
+        let (obs, sink) = bft_obs::Obs::new(bft_obs::VecSink::new());
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        inst.set_obs(obs.clone(), "t".into());
+        let ctx = TraceCtx::derive(n(0), 0, 0);
+        inst.set_trace(ctx);
+        obs.set_now(1);
+        let _ = inst.on_message(n(0), &RbcMessage::Send("m"));
+        obs.set_now(2);
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), &RbcMessage::Echo("m"));
+        }
+        obs.set_now(5);
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), &RbcMessage::Ready("m"));
+        }
+        let events = sink.lock().take();
+        let echo = ctx.span(n(1), TracePhase::RbcEcho);
+        let ready = ctx.span(n(1), TracePhase::RbcReady);
+        let expected = vec![
+            (
+                1,
+                ObsEvent::SpanStart {
+                    trace: ctx.trace,
+                    span: echo,
+                    parent: ctx.root,
+                    phase: TracePhase::RbcEcho,
+                },
+            ),
+            (2, ObsEvent::SpanEnd { trace: ctx.trace, span: echo }),
+            (
+                2,
+                ObsEvent::SpanStart {
+                    trace: ctx.trace,
+                    span: ready,
+                    parent: ctx.root,
+                    phase: TracePhase::RbcReady,
+                },
+            ),
+            (5, ObsEvent::SpanEnd { trace: ctx.trace, span: ready }),
+        ];
+        assert_eq!(span_events(&events), expected);
+    }
+
+    #[test]
+    fn finish_spans_closes_open_spans_exactly_once() {
+        let (obs, sink) = bft_obs::Obs::new(bft_obs::VecSink::new());
+        let mut inst = RbcInstance::new(cfg(), n(1), n(0));
+        inst.set_obs(obs.clone(), "t".into());
+        inst.set_trace(TraceCtx::derive(n(0), 0, 0));
+        let _ = inst.on_message(n(0), &RbcMessage::Send("m"));
+        obs.set_now(9);
+        inst.finish_spans();
+        inst.finish_spans();
+        let events = sink.lock().take();
+        let spans = span_events(&events);
+        assert_eq!(spans.len(), 2, "one start, one GC close: {spans:?}");
+        assert!(matches!(spans.last(), Some((9, ObsEvent::SpanEnd { .. }))));
     }
 }

@@ -6,7 +6,7 @@
 //! per protocol step and equivocation is structurally impossible.
 
 use crate::{RbcAction, RbcInstance, RbcMessage};
-use bft_obs::Obs;
+use bft_obs::{Obs, TraceCtx};
 use bft_types::{Config, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -73,6 +73,10 @@ pub struct RbcMux<T, P> {
     // instances in a replay-stable order.
     instances: BTreeMap<(NodeId, T), RbcInstance<P>>,
     obs: Obs,
+    // A plain fn pointer (not a boxed closure) so the mux keeps its
+    // derived `Clone`/`Debug`; hosts that need state derive the trace
+    // context from the instance coordinates alone.
+    tracer: Option<fn(NodeId, &T) -> Option<TraceCtx>>,
 }
 
 impl<T, P> RbcMux<T, P>
@@ -82,7 +86,7 @@ where
 {
     /// Creates an empty multiplexer for node `me`.
     pub fn new(config: Config, me: NodeId) -> Self {
-        RbcMux { config, me, instances: BTreeMap::new(), obs: Obs::disabled() }
+        RbcMux { config, me, instances: BTreeMap::new(), obs: Obs::disabled(), tracer: None }
     }
 
     /// Attaches an observer. Instances created from here on emit RBC
@@ -90,6 +94,15 @@ where
     /// first message flows (existing instances are not retrofitted).
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Registers a trace-context derivation: instances created from here
+    /// on (while an observer is attached) emit `rbc_echo` / `rbc_ready`
+    /// spans under the context the tracer derives from the instance's
+    /// `(designated sender, tag)` coordinates. Returning `None` leaves an
+    /// instance untraced.
+    pub fn set_tracer(&mut self, tracer: fn(NodeId, &T) -> Option<TraceCtx>) {
+        self.tracer = Some(tracer);
     }
 
     /// This node's identifier.
@@ -106,10 +119,14 @@ where
         let config = self.config;
         let me = self.me;
         let obs = &self.obs;
+        let tracer = self.tracer;
         self.instances.entry((sender, tag)).or_insert_with_key(|(sender, tag)| {
             let mut inst = RbcInstance::new(config, me, *sender);
             if obs.enabled() {
                 inst.set_obs(obs.clone(), format!("{tag:?}"));
+                if let Some(ctx) = tracer.and_then(|t| t(*sender, tag)) {
+                    inst.set_trace(ctx);
+                }
             }
             inst
         })
@@ -157,7 +174,24 @@ where
     /// garbage collection for long-lived protocols (e.g. consensus rounds
     /// that have completed).
     pub fn retain(&mut self, mut predicate: impl FnMut(NodeId, &T) -> bool) {
-        self.instances.retain(|(sender, tag), _| predicate(*sender, tag));
+        self.instances.retain(|(sender, tag), inst| {
+            let keep = predicate(*sender, tag);
+            if !keep {
+                // Close any trace spans the instance still has open so a
+                // garbage-collected (e.g. never-delivered) instance does
+                // not leak dangling `SpanStart`s into the trace export.
+                inst.finish_spans();
+            }
+            keep
+        });
+    }
+
+    /// Closes any trace spans still open across all instances — call when
+    /// the host shuts the protocol down while instances are mid-flight.
+    pub fn finish_spans(&mut self) {
+        for inst in self.instances.values_mut() {
+            inst.finish_spans();
+        }
     }
 
     fn lift(sender: NodeId, tag: T, actions: Vec<RbcAction<P>>) -> Vec<RbcMuxAction<T, P>> {
@@ -278,6 +312,41 @@ mod tests {
         assert_eq!(mux.instance_count(), 2);
         mux.retain(|_, tag| *tag >= 2);
         assert_eq!(mux.instance_count(), 1);
+    }
+
+    #[test]
+    fn tracer_attaches_contexts_and_retain_closes_open_spans() {
+        use bft_obs::{Event as ObsEvent, Obs, TracePhase, VecSink};
+
+        fn tracer(sender: NodeId, tag: &u8) -> Option<TraceCtx> {
+            Some(TraceCtx::derive(sender, u64::from(*tag), u64::from(*tag)))
+        }
+
+        let (obs, sink) = Obs::new(VecSink::new());
+        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        mux.set_obs(obs.clone());
+        mux.set_tracer(tracer);
+
+        // A Send opens the echo span; GC before delivery must close it.
+        let _ = mux
+            .on_message(n(0), &RbcMuxMessage { sender: n(0), tag: 3, msg: RbcMessage::Send("m") });
+        obs.set_now(4);
+        mux.retain(|_, _| false);
+        assert_eq!(mux.instance_count(), 0);
+
+        let ctx = TraceCtx::derive(n(0), 3, 3);
+        let echo = ctx.span(n(1), TracePhase::RbcEcho);
+        let events = sink.lock().take();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, ObsEvent::SpanStart { .. } | ObsEvent::SpanEnd { .. }))
+            .collect();
+        assert_eq!(spans.len(), 2, "start + GC close: {spans:?}");
+        assert!(
+            matches!(spans[0].2, ObsEvent::SpanStart { span, .. } if span == echo),
+            "the tracer-derived context names the span"
+        );
+        assert_eq!(spans[1], &(4, n(1), ObsEvent::SpanEnd { trace: ctx.trace, span: echo }));
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //!       [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE]
 //!       [--max-delay-ms MS] [--timeout-secs T] [--runs R]
 //!       [--epochs E] [--batch B] [--pipeline D]
+//!       [--trace-out FILE] [--metrics-out FILE]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
 //!        (each --fault corrupts the next lowest-indexed node)
 //! ```
+//!
+//! `--trace-out FILE` streams every observability event (including the
+//! causal-trace spans of `--epochs` ordering mode) as JSONL for the
+//! `abtrace` analyzer. `--metrics-out FILE` writes a Prometheus
+//! text-format snapshot of the aggregated metrics at exit.
 //!
 //! With `--epochs E` (E > 0) the binary runs the **atomic-broadcast**
 //! engine (`bft-order`) over TCP instead of single-shot consensus: E
@@ -34,8 +40,9 @@ use async_bft::adversary::{make_bracha_adversary, FaultKind};
 use async_bft::coin::LocalCoin;
 use async_bft::consensus::{BrachaOptions, BrachaProcess, Wire};
 use async_bft::net::{ChaosConfig, NetRuntime};
-use async_bft::obs::{MetricsSink, Obs};
+use async_bft::obs::{JsonlSink, MetricsSink, Obs, SharedSink, Tee};
 use async_bft::types::{Config, Value};
+use std::io::Write;
 use std::time::Duration;
 
 struct Options {
@@ -52,6 +59,47 @@ struct Options {
     epochs: u64,
     batch: usize,
     pipeline: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// The per-run sink: metrics always (they feed the per-run summary
+/// line), a JSONL event stream only when `--trace-out` is given.
+type ExportSink = Tee<MetricsSink, Option<JsonlSink<Box<dyn Write + Send>>>>;
+
+/// Builds the observer for one run. The trace file is truncated by the
+/// first run and appended by later ones (single-run exports are what
+/// `abtrace` expects).
+fn export_obs(opts: &Options, run: u64) -> (Obs, SharedSink<ExportSink>) {
+    let jsonl = opts.trace_out.as_ref().map(|path| {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(run == 0)
+            .append(run != 0)
+            .open(path);
+        match file {
+            Ok(f) => {
+                let out: Box<dyn Write + Send> = Box::new(std::io::BufWriter::new(f));
+                JsonlSink::new(out)
+            }
+            Err(e) => {
+                eprintln!("error: --trace-out {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    Obs::new(Tee(MetricsSink::new(), jsonl))
+}
+
+/// Writes the Prometheus snapshot at exit when `--metrics-out` is set.
+fn write_metrics_out(opts: &Options, total: &mut MetricsSink) {
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, total.render_prometheus()) {
+            eprintln!("error: --metrics-out {path}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_fault(s: &str) -> Result<FaultKind, String> {
@@ -81,6 +129,8 @@ fn parse_args() -> Result<Options, String> {
         epochs: 0,
         batch: 4,
         pipeline: 2,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,12 +172,15 @@ fn parse_args() -> Result<Options, String> {
                 opts.pipeline =
                     value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?
             }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
                 println!(
                     "usage: abnet [--n N] [--seed S] [--ones K] [--fault KIND]... \
                      [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE] \
                      [--max-delay-ms MS] [--timeout-secs T] [--runs R] \
-                     [--epochs E] [--batch B] [--pipeline D]"
+                     [--epochs E] [--batch B] [--pipeline D] \
+                     [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -167,9 +220,10 @@ fn run_ordering(opts: &Options, chaos: &ChaosConfig) {
 
     let mut completed = 0u64;
     let mut agreed = 0u64;
+    let mut total = MetricsSink::new();
     for run in 0..opts.runs {
         let seed = opts.seed + run;
-        let (obs, metrics) = Obs::new(MetricsSink::new());
+        let (obs, metrics) = export_obs(opts, run);
         let mut rt: NetRuntime<OrderMessage, OrderLog> = NetRuntime::new(opts.n)
             .timeout(Duration::from_secs(opts.timeout_secs))
             .observer(obs.clone())
@@ -194,17 +248,22 @@ fn run_ordering(opts: &Options, chaos: &ChaosConfig) {
             agreed += 1;
         }
         let txs = report.unanimous_output().map_or(0, |log| log.len());
-        let m = metrics.lock();
+        let mut m = metrics.lock();
+        total.merge(&m.0);
+        if let Some(jsonl) = m.1.as_mut() {
+            jsonl.flush();
+        }
         println!(
             "run {run:>3} (seed {seed}): txs ordered = {txs}, elapsed = {:?}, connects = {}, \
              epochs committed = {}, max pipeline occupancy = {}, seq gaps = {}",
             report.elapsed,
-            m.peer_connects(),
-            m.epochs_committed(),
-            m.max_pipeline_occupancy(),
-            m.frame_sequence_gaps(),
+            m.0.peer_connects(),
+            m.0.epochs_committed(),
+            m.0.max_pipeline_occupancy(),
+            m.0.frame_sequence_gaps(),
         );
     }
+    write_metrics_out(opts, &mut total);
     println!("\nsummary: {}/{} completed, {}/{} agreed", completed, opts.runs, agreed, opts.runs);
     if completed < opts.runs || agreed < opts.runs {
         std::process::exit(1);
@@ -278,9 +337,10 @@ fn main() {
     let ones = opts.ones.unwrap_or(opts.n / 2);
     let mut decided = 0u64;
     let mut agreed = 0u64;
+    let mut total = MetricsSink::new();
     for run in 0..opts.runs {
         let seed = opts.seed + run;
-        let (obs, metrics) = Obs::new(MetricsSink::new());
+        let (obs, metrics) = export_obs(&opts, run);
         let mut rt: NetRuntime<Wire, Value> = NetRuntime::new(opts.n)
             .timeout(Duration::from_secs(opts.timeout_secs))
             .observer(obs.clone())
@@ -309,20 +369,25 @@ fn main() {
         if report.agreement_holds() {
             agreed += 1;
         }
-        let m = metrics.lock();
+        let mut m = metrics.lock();
+        total.merge(&m.0);
+        if let Some(jsonl) = m.1.as_mut() {
+            jsonl.flush();
+        }
         println!(
             "run {run:>3} (seed {seed}): decision = {:?}, elapsed = {:?}, connects = {}, \
              reconnects = {}, backoff retries = {}, frames dropped = {}, decode errors = {}",
             report.unanimous_output(),
             report.elapsed,
-            m.peer_connects(),
-            m.peer_reconnects(),
-            m.backoff_retries(),
-            m.chaos_frames_dropped(),
-            m.frame_decode_errors(),
+            m.0.peer_connects(),
+            m.0.peer_reconnects(),
+            m.0.backoff_retries(),
+            m.0.chaos_frames_dropped(),
+            m.0.frame_decode_errors(),
         );
     }
 
+    write_metrics_out(&opts, &mut total);
     println!("\nsummary: {}/{} terminated, {}/{} agreed", decided, opts.runs, agreed, opts.runs);
     if decided < opts.runs || agreed < opts.runs {
         std::process::exit(1);

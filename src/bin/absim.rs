@@ -4,12 +4,18 @@
 //! ```text
 //! absim [--n N] [--seed S] [--ones K] [--coin local|common]
 //!       [--schedule fixed|uniform|split|partition|favor]
-//!       [--fault KIND]... [--runs R] [--trace]
+//!       [--fault KIND]... [--runs R]
 //!       [--epochs E] [--batch B] [--pipeline D]
+//!       [--trace-out FILE] [--metrics-out FILE]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
 //!        (each --fault corrupts the next lowest-indexed node)
 //! ```
+//!
+//! `--trace-out FILE` streams every observability event (including the
+//! causal-trace spans of `--epochs` ordering mode) as JSONL, ready for
+//! the `abtrace` analyzer. `--metrics-out FILE` writes a Prometheus
+//! text-format snapshot of the aggregated metrics at exit.
 //!
 //! With `--epochs E` (E > 0) the binary switches from single-shot binary
 //! consensus to the **atomic-broadcast** engine (`bft-order`): E epochs
@@ -25,7 +31,9 @@
 //! absim --n 4 --epochs 8 --batch 4 --pipeline 3
 //! ```
 
+use async_bft::obs::{JsonlSink, MetricsSink, Obs, SharedSink, Tee};
 use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
+use std::io::Write;
 
 struct Options {
     n: usize,
@@ -38,6 +46,64 @@ struct Options {
     epochs: u64,
     batch: usize,
     pipeline: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// The per-run export sink: metrics always, a JSONL event stream only
+/// when `--trace-out` is given.
+type ExportSink = Tee<MetricsSink, Option<JsonlSink<Box<dyn Write + Send>>>>;
+
+/// Builds the observer for one run. Returns a disabled observer when
+/// neither export flag is set, so the default path stays unobserved.
+/// The trace file is truncated by the first run and appended by later
+/// ones (single-run exports are what `abtrace` expects).
+fn export_obs(opts: &Options, run: u64) -> (Obs, Option<SharedSink<ExportSink>>) {
+    if opts.trace_out.is_none() && opts.metrics_out.is_none() {
+        return (Obs::disabled(), None);
+    }
+    let jsonl = opts.trace_out.as_ref().map(|path| {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(run == 0)
+            .append(run != 0)
+            .open(path);
+        match file {
+            Ok(f) => {
+                let out: Box<dyn Write + Send> = Box::new(std::io::BufWriter::new(f));
+                JsonlSink::new(out)
+            }
+            Err(e) => {
+                eprintln!("error: --trace-out {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let (obs, sink) = Obs::new(Tee(MetricsSink::new(), jsonl));
+    (obs, Some(sink))
+}
+
+/// Folds one run's metrics into the exit total and flushes its JSONL
+/// stream.
+fn fold_export(total: &mut MetricsSink, sink: &Option<SharedSink<ExportSink>>) {
+    if let Some(sink) = sink {
+        let mut guard = sink.lock();
+        total.merge(&guard.0);
+        if let Some(jsonl) = guard.1.as_mut() {
+            jsonl.flush();
+        }
+    }
+}
+
+/// Writes the Prometheus snapshot at exit when `--metrics-out` is set.
+fn write_metrics_out(opts: &Options, total: &mut MetricsSink) {
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, total.render_prometheus()) {
+            eprintln!("error: --metrics-out {path}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_fault(s: &str) -> Result<FaultKind, String> {
@@ -75,6 +141,8 @@ fn parse_args() -> Result<Options, String> {
         epochs: 0,
         batch: 4,
         pipeline: 2,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -105,11 +173,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.pipeline =
                     value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?
             }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
                 println!(
                     "usage: absim [--n N] [--seed S] [--ones K] [--coin local|common] \
                      [--schedule fixed|uniform|split|partition|favor] [--fault KIND]... \
-                     [--runs R] [--epochs E] [--batch B] [--pipeline D]"
+                     [--runs R] [--epochs E] [--batch B] [--pipeline D] \
+                     [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -151,29 +222,36 @@ fn run_ordering(opts: &Options) {
 
     let mut completed = 0u64;
     let mut agreed = 0u64;
+    let mut total = MetricsSink::new();
     for run in 0..opts.runs {
         let seed = opts.seed + run;
+        let (obs, export) = export_obs(opts, run);
         let mut world = World::new(WorldConfig::new(opts.n), UniformDelay::new(1, 20, seed));
+        world.set_observer(obs.clone());
         for id in cfg.nodes() {
             let workload: Vec<Vec<u8>> = (0..order.epochs * order.batch_max as u64)
                 .map(|i| format!("tx-{}-{i}", id.index()).into_bytes())
                 .collect();
             let common = matches!(opts.coin, CoinChoice::Common);
-            world.add_process(Box::new(OrderProcess::new(
-                cfg,
-                id,
-                order,
-                workload,
-                move |inst| -> Box<dyn async_bft::coin::CoinScheme + Send> {
-                    if common {
-                        Box::new(CommonCoin::new(seed, inst))
-                    } else {
-                        Box::new(LocalCoin::for_instance(seed, id, inst))
-                    }
-                },
-            )));
+            world.add_process(Box::new(
+                OrderProcess::new(
+                    cfg,
+                    id,
+                    order,
+                    workload,
+                    move |inst| -> Box<dyn async_bft::coin::CoinScheme + Send> {
+                        if common {
+                            Box::new(CommonCoin::new(seed, inst))
+                        } else {
+                            Box::new(LocalCoin::for_instance(seed, id, inst))
+                        }
+                    },
+                )
+                .with_obs(obs.clone()),
+            ));
         }
         let report = world.run();
+        fold_export(&mut total, &export);
         let txs = report.unanimous_output().map_or(0, |log| log.len() as u64);
         let ticks = report.end_time.ticks().max(1);
         if report.stop == StopReason::Completed && report.all_correct_decided() {
@@ -189,6 +267,7 @@ fn run_ordering(opts: &Options) {
             report.metrics.sent,
         );
     }
+    write_metrics_out(opts, &mut total);
     println!("\nsummary: {}/{} completed, {}/{} agreed", completed, opts.runs, agreed, opts.runs);
     if completed < opts.runs || agreed < opts.runs {
         std::process::exit(1);
@@ -231,8 +310,10 @@ fn main() {
     let mut agreed = 0u64;
     let mut total_rounds = 0u64;
     let mut total_msgs = 0u64;
+    let mut total = MetricsSink::new();
     for run in 0..opts.runs {
         let seed = opts.seed + run;
+        let (obs, export) = export_obs(&opts, run);
         let mut cluster = match Cluster::new(opts.n) {
             Ok(c) => c,
             Err(e) => {
@@ -244,11 +325,13 @@ fn main() {
             .seed(seed)
             .split_inputs(opts.ones.unwrap_or(opts.n / 2))
             .coin(opts.coin)
-            .schedule(opts.schedule);
+            .schedule(opts.schedule)
+            .observer(obs);
         for (i, &kind) in opts.faults.iter().enumerate() {
             cluster = cluster.fault(i, kind);
         }
         let report = cluster.run();
+        fold_export(&mut total, &export);
         let ok = report.all_correct_decided();
         if ok {
             decided += 1;
@@ -267,6 +350,7 @@ fn main() {
         );
     }
 
+    write_metrics_out(&opts, &mut total);
     println!(
         "\nsummary: {}/{} terminated, {}/{} agreed, mean rounds = {:.2}, mean msgs = {:.0}",
         decided,

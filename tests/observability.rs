@@ -239,3 +239,91 @@ fn disagreeing_decisions_are_rejected() {
     sink.on_event(9, node(0), &Event::Decided { round: 1, value: Value::One });
     assert!(!sink.is_ok());
 }
+
+/// Cross-substrate tracing parity: the same seeded ordering scenario on
+/// the deterministic simulator and on the loopback-TCP `NetRuntime`
+/// must produce the same set of trace trees once wall-clock timing is
+/// ignored.
+///
+/// Timing-*dependent* phases are excluded from the comparison: ABA
+/// round counts (and thus `aba_round`/`coin_wait` spans) follow the
+/// schedule, and a node may skip its `rbc_echo` span entirely when
+/// ready-amplification outruns its echo. What is left — `submit`,
+/// `batch_wait`, `rbc_ready`, `commit` — is delivery-guaranteed on
+/// every correct node, so the per-trace span sets must match exactly.
+#[test]
+fn sim_and_net_substrates_trace_the_same_delivery_guaranteed_spans() {
+    use async_bft::coin::CommonCoin;
+    use async_bft::net::NetRuntime;
+    use async_bft::obs::{TraceAssembler, TraceSink};
+    use async_bft::order::{OrderLog, OrderMessage, OrderOptions, OrderProcess};
+    use async_bft::sim::{UniformDelay, World, WorldConfig};
+    use async_bft::types::Config;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    const N: usize = 4;
+    const SEED: u64 = 11;
+    let cfg = Config::new(N, 1).unwrap();
+    let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 2 };
+    let workload = |id: NodeId| -> Vec<Vec<u8>> {
+        (0..opts.epochs * opts.batch_max as u64)
+            .map(|i| format!("tx-{}-{i}", id.index()).into_bytes())
+            .collect()
+    };
+
+    // Substrate 1: deterministic simulator.
+    let (obs, shared) = Obs::new(TraceSink::new());
+    let mut world = World::new(WorldConfig::new(N), UniformDelay::new(1, 5, SEED));
+    world.set_observer(obs.clone());
+    for id in cfg.nodes() {
+        world.add_process(Box::new(
+            OrderProcess::new(cfg, id, opts, workload(id), move |inst| CommonCoin::new(SEED, inst))
+                .with_obs(obs.clone()),
+        ));
+    }
+    let sim_report = world.run();
+    assert!(sim_report.all_correct_decided());
+    let sim_txs = sim_report.unanimous_output().map_or(0, |log| log.len());
+    drop(obs);
+    let sim = shared.try_into_inner().expect("sim sink").into_assembler();
+
+    // Substrate 2: real threads over loopback TCP.
+    let (obs, shared) = Obs::new(TraceSink::new());
+    let mut rt: NetRuntime<OrderMessage, OrderLog> =
+        NetRuntime::new(N).timeout(Duration::from_secs(120)).observer(obs.clone());
+    for id in cfg.nodes() {
+        rt.add_process(Box::new(
+            OrderProcess::new(cfg, id, opts, workload(id), move |inst| CommonCoin::new(SEED, inst))
+                .with_obs(obs.clone()),
+        ));
+    }
+    let net_report = rt.run();
+    assert!(net_report.all_correct_decided(), "loopback run must complete");
+    let net_txs = net_report.unanimous_output().map_or(0, |log| log.len());
+    drop(obs);
+    let net = shared.try_into_inner().expect("net sink").into_assembler();
+
+    // Both substrates ordered every submitted payload...
+    assert_eq!(sim_txs, opts.epochs as usize * opts.batch_max * N);
+    assert_eq!(sim_txs, net_txs);
+    // ...and assembled the same traces with zero anomalies.
+    assert_eq!(sim.trace_ids(), net.trace_ids());
+    for asm in [&sim, &net] {
+        assert_eq!(asm.open_spans(), 0);
+        assert_eq!(asm.duplicate_starts() + asm.unmatched_ends(), 0);
+    }
+
+    let guaranteed = |asm: &TraceAssembler| -> BTreeMap<u64, Vec<(usize, String)>> {
+        const KEEP: [&str; 4] = ["submit", "batch_wait", "rbc_ready", "commit"];
+        asm.phase_sets()
+            .into_iter()
+            .map(|(trace, set)| {
+                let kept =
+                    set.into_iter().filter(|(_, phase)| KEEP.contains(&phase.as_str())).collect();
+                (trace, kept)
+            })
+            .collect()
+    };
+    assert_eq!(guaranteed(&sim), guaranteed(&net));
+}
