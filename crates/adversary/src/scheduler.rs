@@ -35,7 +35,10 @@ impl SplitDelay {
 
 impl Scheduler<Wire> for SplitDelay {
     fn delay(&mut self, envelope: &Envelope<Wire>, _now: SimTime) -> u64 {
-        let value_is_one = envelope.msg.msg.payload().value() == bft_types::Value::One;
+        // ABA wire messages always carry a step payload (the coded RBC
+        // variants never appear on this layer); treat any stray as Zero.
+        let value_is_one =
+            envelope.msg.msg.payload().map(|p| p.value()) == Some(bft_types::Value::One);
         let to_group_a = envelope.to.index() < self.boundary;
         // Group A is fed One-messages fast, Zero-messages slow; group B
         // the other way round. First-quorum sets then skew per group.

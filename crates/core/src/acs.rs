@@ -149,6 +149,14 @@ impl<C: CoinScheme> AcsProcess<C> {
         self
     }
 
+    /// Selects the reliable-broadcast implementation for proposal
+    /// dissemination ([`bft_rbc::RbcKind::Coded`] cuts bytes-on-wire for
+    /// large proposals). Call before the process starts.
+    pub fn with_rbc_kind(mut self, kind: bft_rbc::RbcKind) -> Self {
+        self.rbc.set_kind(kind);
+        self
+    }
+
     fn lift_rbc(
         actions: Vec<RbcMuxAction<u8, Vec<u8>>>,
         out: &mut Vec<Effect<AcsMessage, AcsOutput>>,
@@ -158,6 +166,9 @@ impl<C: CoinScheme> AcsProcess<C> {
             match a {
                 RbcMuxAction::Broadcast(m) => {
                     out.push(Effect::Broadcast { msg: AcsMessage::Proposal(m) });
+                }
+                RbcMuxAction::Send { to, msg } => {
+                    out.push(Effect::Send { to, msg: AcsMessage::Proposal(msg) });
                 }
                 RbcMuxAction::Deliver { sender, payload, .. } => {
                     delivered.entry(sender).or_insert(payload);

@@ -233,6 +233,11 @@ impl<C: CoinScheme> BrachaNode<C> {
         for action in self.rbc.on_message(from, msg) {
             match action {
                 RbcMuxAction::Broadcast(wire) => out.push(Transition::Broadcast(wire)),
+                // The ABA layer pins the default RbcKind::Bracha, which
+                // never unicasts (two-byte payloads gain nothing from
+                // fragmentation), so a Send can only appear if the mux is
+                // misconfigured; dropping it is the safe response.
+                RbcMuxAction::Send { .. } => {}
                 RbcMuxAction::Deliver { sender, tag, payload } => {
                     // A Byzantine origin could broadcast a payload whose
                     // step contradicts the instance tag; reject it here so
@@ -278,6 +283,9 @@ impl<C: CoinScheme> BrachaNode<C> {
         for action in self.rbc.broadcast(tag, payload) {
             match action {
                 RbcMuxAction::Broadcast(wire) => out.push(Transition::Broadcast(wire)),
+                // See `on_message`: the ABA layer never runs the coded
+                // (unicasting) RBC kind.
+                RbcMuxAction::Send { .. } => {}
                 RbcMuxAction::Deliver { sender, tag, payload } => {
                     self.ingest_observed(tag.round, sender, payload);
                 }

@@ -1,6 +1,6 @@
 //! Wire types of the consensus protocol.
 
-use bft_rbc::RbcMuxMessage;
+use bft_rbc::{CodedPayload, RbcMuxMessage};
 use bft_types::{Round, Step, Value};
 use std::fmt;
 
@@ -81,6 +81,31 @@ impl StepPayload {
     }
 }
 
+/// Byte form for erasure coding. Consensus payloads are two bytes, far
+/// below any sensible fragmentation threshold — the ABA layer always runs
+/// [`bft_rbc::RbcKind::Bracha`] — but the codec must exist for the mux's
+/// trait bounds, and decoding is total (garbage falls back to
+/// `Initial(Zero)`, which the step-vs-tag check in the engine rejects).
+impl CodedPayload for StepPayload {
+    fn to_coded_bytes(&self) -> Vec<u8> {
+        match *self {
+            StepPayload::Initial(v) => vec![0, v as u8],
+            StepPayload::Echo(v) => vec![1, v as u8],
+            StepPayload::Ready { value, flagged } => vec![2, value as u8, flagged as u8],
+        }
+    }
+
+    fn from_coded_bytes(bytes: Vec<u8>) -> Self {
+        let value = |b: &u8| if *b == 1 { Value::One } else { Value::Zero };
+        match bytes.as_slice() {
+            [0, v] => StepPayload::Initial(value(v)),
+            [1, v] => StepPayload::Echo(value(v)),
+            [2, v, fl] => StepPayload::Ready { value: value(v), flagged: *fl == 1 },
+            _ => StepPayload::Initial(Value::Zero),
+        }
+    }
+}
+
 impl fmt::Display for StepPayload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -100,10 +125,13 @@ pub type Wire = RbcMuxMessage<StepTag, StepPayload>;
 /// `"<rbc phase>/<step>"` and an approximate wire size (tag + payload +
 /// phase byte).
 pub fn classify_wire(msg: &Wire) -> WireClass {
-    let step = match msg.msg.payload().step() {
-        Step::Initial => "initial",
-        Step::Echo => "echo",
-        Step::Ready => "ready",
+    let step = match msg.msg.payload().map(StepPayload::step) {
+        Some(Step::Initial) => "initial",
+        Some(Step::Echo) => "echo",
+        Some(Step::Ready) => "ready",
+        // Coded phases carry fragments, not a step payload; the ABA layer
+        // never speaks them, but the classifier stays total.
+        None => "coded",
     };
     let kind = match (&msg.msg, step) {
         (bft_rbc::RbcMessage::Send(_), "initial") => "send/initial",
@@ -115,9 +143,19 @@ pub fn classify_wire(msg: &Wire) -> WireClass {
         (bft_rbc::RbcMessage::Ready(_), "initial") => "ready/initial",
         (bft_rbc::RbcMessage::Ready(_), "echo") => "ready/echo",
         (bft_rbc::RbcMessage::Ready(_), _) => "ready/ready",
+        (bft_rbc::RbcMessage::CodedSend { .. }, _) => "csend",
+        (bft_rbc::RbcMessage::CodedEcho { .. }, _) => "cecho",
+        (bft_rbc::RbcMessage::CodedReady { .. }, _) => "cready",
     };
-    // sender id (4) + round (8) + step (1) + rbc phase (1) + value/flag (2)
-    WireClass { kind, bytes: 16 }
+    // sender id (4) + round (8) + step (1) + rbc phase (1) + value/flag (2);
+    // coded phases add the root and any fragment they carry.
+    let bytes = match &msg.msg {
+        bft_rbc::RbcMessage::CodedSend { fragment, .. }
+        | bft_rbc::RbcMessage::CodedEcho { fragment, .. } => 22 + fragment.weight(),
+        bft_rbc::RbcMessage::CodedReady { .. } => 22,
+        _ => 16,
+    };
+    WireClass { kind, bytes }
 }
 
 #[cfg(test)]
@@ -150,7 +188,7 @@ mod tests {
     fn classifier_distinguishes_phases_and_steps() {
         let mk = |msg: RbcMessage<StepPayload>| Wire {
             sender: NodeId::new(0),
-            tag: StepTag::new(Round::FIRST, msg.payload().step()),
+            tag: StepTag::new(Round::FIRST, msg.payload().map_or(Step::Initial, |p| p.step())),
             msg,
         };
         let kinds: Vec<&str> = [

@@ -1,0 +1,79 @@
+//! FNV-1a 64-bit hashing — the commitment primitive of this crate.
+//!
+//! The transport layer already standardises on FNV-1a for frame checksums
+//! and its placeholder MAC; the fragment commitment reuses the same
+//! primitive so the whole stack stays dependency-free. `bft-ec` sits below
+//! `bft-net` in the crate graph, so it carries its own copy rather than
+//! importing one.
+//!
+//! FNV is **not collision-resistant**: like the transport MAC it models
+//! where a cryptographic hash (BLAKE3, SHA-256) plugs in, with the exact
+//! streaming shape a real implementation would have.
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64 hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: OFFSET }
+    }
+
+    /// Feeds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Feeds a little-endian `u64` into the hash.
+    pub fn update_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

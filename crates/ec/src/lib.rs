@@ -1,0 +1,510 @@
+//! Systematic Reed–Solomon erasure coding with fragment commitments, for
+//! erasure-coded reliable broadcast (AVID-style).
+//!
+//! Bracha's broadcast re-echoes the full payload from every node, so a
+//! B-byte payload costs O(n²·B) on the wire. The coded variant splits the
+//! payload into `k = n − 2f` data shards, extends them to `n` fragments of
+//! a Reed–Solomon codeword, and lets each node echo only *its own*
+//! fragment — O(n·B/k) per broadcast step, O(n·B) overall. Any `k`
+//! fragments reconstruct the payload, and `n − f` honest echoes always
+//! contain at least `n − 2f = k` of them.
+//!
+//! A Byzantine sender could hand out fragments of *different* payloads; the
+//! [`merkle`] commitment pins it down. The sender builds a Merkle tree over
+//! the `n` fragment hashes and binds the root together with the payload
+//! length and the `(n, k)` geometry into a single [`Commitment`] that
+//! travels with every message. Receivers [`verify`] a fragment's inclusion
+//! proof before counting it, and [`reconstruct`] re-encodes the decoded
+//! payload and recomputes the commitment: if the sender committed to
+//! anything other than a valid codeword, the check fails for **every**
+//! `k`-subset of committed fragments (a subset that re-encodes to the
+//! committed leaves *is* a codeword), so correct nodes agree on
+//! success-with-identical-bytes or uniform failure — never a split.
+//!
+//! The crate is dependency-free and deterministic; the hash is the
+//! workspace's placeholder FNV-1a (see [`hash`] for the caveat).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+pub mod hash;
+pub mod merkle;
+
+use std::fmt;
+
+/// One erasure-coded fragment of a payload, as handed to (and echoed by)
+/// one node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fragment {
+    /// Which of the `n` codeword positions this fragment holds.
+    pub index: u16,
+    /// Byte length of the original payload (shards are zero-padded).
+    pub total_len: u32,
+    /// This position's shard: `shard_len(total_len, k)` code bytes.
+    pub shard: Vec<u8>,
+    /// Merkle inclusion proof of `(index, shard)` under the commitment.
+    pub proof: Vec<u64>,
+}
+
+impl Fragment {
+    /// Wire/heap footprint estimate: shard bytes plus proof words.
+    pub fn weight(&self) -> usize {
+        self.shard.len() + self.proof.len() * 8
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frag#{}({}B of {})", self.index, self.shard.len(), self.total_len)
+    }
+}
+
+/// The sender's output: the commitment root plus all `n` fragments,
+/// fragment `i` destined for node `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coded {
+    /// Commitment binding the fragment set, payload length and geometry.
+    pub root: u64,
+    /// All `n` fragments, in index order.
+    pub fragments: Vec<Fragment>,
+}
+
+/// A typed erasure-coding failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EcError {
+    /// The `(n, k)` geometry is unusable: need `1 ≤ k ≤ n ≤ 255`.
+    BadGeometry {
+        /// Total number of fragments requested.
+        n: usize,
+        /// Data shards (reconstruction threshold) requested.
+        k: usize,
+    },
+    /// The payload exceeds the `u32` length the commitment binds.
+    PayloadTooLarge {
+        /// Actual payload length.
+        len: usize,
+    },
+    /// Fewer than `k` usable fragments were supplied.
+    NotEnoughFragments {
+        /// Distinct usable fragments seen.
+        have: usize,
+        /// Fragments required (`k`).
+        need: usize,
+    },
+    /// Supplied fragments disagree on geometry (lengths, duplicate or
+    /// out-of-range indices) — they cannot all belong to one commitment.
+    InconsistentFragments,
+    /// The decoded payload re-encodes to a different commitment: the
+    /// sender committed to a non-codeword. Uniform across all subsets.
+    RootMismatch,
+}
+
+impl fmt::Display for EcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcError::BadGeometry { n, k } => {
+                write!(f, "unusable erasure geometry n={n} k={k} (need 1 <= k <= n <= 255)")
+            }
+            EcError::PayloadTooLarge { len } => {
+                write!(f, "payload of {len} bytes exceeds the u32 commitment bound")
+            }
+            EcError::NotEnoughFragments { have, need } => {
+                write!(f, "{have} usable fragments but reconstruction needs {need}")
+            }
+            EcError::InconsistentFragments => {
+                write!(f, "fragments disagree on index/length geometry")
+            }
+            EcError::RootMismatch => {
+                write!(f, "decoded payload does not re-encode to the committed root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+/// Shard length for a payload of `total_len` bytes split `k` ways: the
+/// ceiling division, with a 1-byte floor so the empty payload still has a
+/// well-defined (all-zero) codeword.
+pub fn shard_len(total_len: usize, k: usize) -> usize {
+    if k == 0 {
+        return 0;
+    }
+    (total_len.div_ceil(k)).max(1)
+}
+
+fn check_geometry(n: usize, k: usize) -> Result<(), EcError> {
+    if k == 0 || k > n || n > 255 {
+        return Err(EcError::BadGeometry { n, k });
+    }
+    Ok(())
+}
+
+/// Lagrange basis coefficients: evaluating the unique degree `< xs.len()`
+/// polynomial through points `xs` at `x` is the dot product of these
+/// coefficients with the values at `xs`. Points must be distinct.
+fn lagrange_coeffs(xs: &[u8], x: u8) -> Vec<u8> {
+    xs.iter()
+        .enumerate()
+        .map(|(i, &xi)| {
+            let mut num = 1u8;
+            let mut den = 1u8;
+            for (j, &xj) in xs.iter().enumerate() {
+                if j != i {
+                    num = gf256::mul(num, gf256::add(x, xj));
+                    den = gf256::mul(den, gf256::add(xi, xj));
+                }
+            }
+            gf256::mul(num, gf256::inv(den))
+        })
+        .collect()
+}
+
+/// Evaluates the interpolation of (`xs`, `shards`) at `x`, byte-wise over
+/// shards of length `len`.
+fn interpolate_shard(xs: &[u8], shards: &[&[u8]], x: u8, len: usize) -> Vec<u8> {
+    let coeffs = lagrange_coeffs(xs, x);
+    let mut out = vec![0u8; len];
+    for (coeff, shard) in coeffs.iter().zip(shards) {
+        if *coeff == 0 {
+            continue;
+        }
+        for (o, &b) in out.iter_mut().zip(shard.iter()) {
+            *o = gf256::add(*o, gf256::mul(*coeff, b));
+        }
+    }
+    out
+}
+
+/// Extends `k` data shards to the full `n`-shard codeword (positions
+/// `0..k` are the data shards themselves — the code is systematic).
+fn extend(data: &[Vec<u8>], n: usize, len: usize) -> Vec<Vec<u8>> {
+    let k = data.len();
+    let xs: Vec<u8> = (0..k as u8).collect();
+    let views: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let mut shards: Vec<Vec<u8>> = data.to_vec();
+    for x in k..n {
+        shards.push(interpolate_shard(&xs, &views, x as u8, len));
+    }
+    shards
+}
+
+/// Binds the Merkle root over the fragment leaves together with the
+/// payload length and the `(n, k)` geometry. Every fragment verified
+/// against one commitment therefore carries the same `total_len`, the same
+/// shard length, and the same code — the precondition for reconstruction
+/// to be subset-independent.
+fn commitment(leaves_root: u64, total_len: u32, n: usize, k: usize) -> u64 {
+    let mut h = hash::Fnv64::new();
+    h.update(b"ec-commit")
+        .update_u64(leaves_root)
+        .update_u64(u64::from(total_len))
+        .update(&[n as u8, k as u8]);
+    h.finish()
+}
+
+fn shards_commitment(shards: &[Vec<u8>], total_len: u32, n: usize, k: usize) -> u64 {
+    let leaves: Vec<u64> =
+        shards.iter().enumerate().map(|(i, s)| merkle::leaf_hash(i as u16, s)).collect();
+    commitment(merkle::root(&leaves), total_len, n, k)
+}
+
+/// Encodes `payload` into `n` committed fragments, any `k` of which
+/// reconstruct it.
+pub fn encode(payload: &[u8], n: usize, k: usize) -> Result<Coded, EcError> {
+    check_geometry(n, k)?;
+    let total_len = u32::try_from(payload.len())
+        .map_err(|_| EcError::PayloadTooLarge { len: payload.len() })?;
+    let len = shard_len(payload.len(), k);
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| {
+            let start = (i * len).min(payload.len());
+            let end = ((i + 1) * len).min(payload.len());
+            let mut shard = payload[start..end].to_vec();
+            shard.resize(len, 0);
+            shard
+        })
+        .collect();
+    let shards = extend(&data, n, len);
+    let leaves: Vec<u64> =
+        shards.iter().enumerate().map(|(i, s)| merkle::leaf_hash(i as u16, s)).collect();
+    let leaves_root = merkle::root(&leaves);
+    let root = commitment(leaves_root, total_len, n, k);
+    let fragments = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| Fragment {
+            index: i as u16,
+            total_len,
+            shard,
+            proof: merkle::proof(&leaves, i),
+        })
+        .collect();
+    Ok(Coded { root, fragments })
+}
+
+/// Checks a fragment against a commitment: geometry, shard length, and
+/// Merkle inclusion. A fragment that passes is exactly what the sender
+/// committed for that index.
+pub fn verify(root: u64, n: usize, k: usize, frag: &Fragment) -> bool {
+    if check_geometry(n, k).is_err() {
+        return false;
+    }
+    let index = frag.index as usize;
+    if index >= n || frag.shard.len() != shard_len(frag.total_len as usize, k) {
+        return false;
+    }
+    if frag.proof.len() != merkle::depth(n) {
+        return false;
+    }
+    // Recompute what the commitment's Merkle root must have been, then
+    // re-bind it: the proof authenticates the leaf under that root.
+    let leaf = merkle::leaf_hash(frag.index, &frag.shard);
+    let leaves_root = merkle::fold(index, leaf, &frag.proof);
+    commitment(leaves_root, frag.total_len, n, k) == root
+}
+
+/// Reconstructs the payload from at least `k` verified fragments of one
+/// commitment, then re-encodes and checks the commitment.
+///
+/// Callers must have [`verify`]ed each fragment against `root` first; this
+/// function still validates the mutual geometry (so it is total), decodes,
+/// and performs the codeword check that defends against a Byzantine sender
+/// committing to a non-codeword. On success the returned bytes are exactly
+/// the sender's payload, identical across every `k`-subset.
+pub fn reconstruct(
+    root: u64,
+    n: usize,
+    k: usize,
+    fragments: &[Fragment],
+) -> Result<Vec<u8>, EcError> {
+    check_geometry(n, k)?;
+    // Deduplicate by index, keeping the first occurrence of each.
+    let mut seen = [false; 256];
+    let mut picked: Vec<&Fragment> = Vec::with_capacity(k);
+    for frag in fragments {
+        let idx = frag.index as usize;
+        if idx < n && !seen[idx] {
+            seen[idx] = true;
+            picked.push(frag);
+            if picked.len() == k {
+                break;
+            }
+        }
+    }
+    if picked.len() < k {
+        return Err(EcError::NotEnoughFragments { have: picked.len(), need: k });
+    }
+    let Some(first) = picked.first() else {
+        return Err(EcError::NotEnoughFragments { have: 0, need: k });
+    };
+    let total_len = first.total_len;
+    let len = shard_len(total_len as usize, k);
+    if picked.iter().any(|f| f.total_len != total_len || f.shard.len() != len) {
+        return Err(EcError::InconsistentFragments);
+    }
+
+    // Interpolate the data shards from the picked k points (systematic:
+    // points already in 0..k pass through).
+    let xs: Vec<u8> = picked.iter().map(|f| f.index as u8).collect();
+    let views: Vec<&[u8]> = picked.iter().map(|f| f.shard.as_slice()).collect();
+    let data: Vec<Vec<u8>> = (0..k).map(|x| interpolate_shard(&xs, &views, x as u8, len)).collect();
+
+    // Codeword check: the decoded payload must re-commit to `root`.
+    let shards = extend(&data, n, len);
+    if shards_commitment(&shards, total_len, n, k) != root {
+        return Err(EcError::RootMismatch);
+    }
+
+    let mut payload: Vec<u8> = Vec::with_capacity(k * len);
+    for shard in &data {
+        payload.extend_from_slice(shard);
+    }
+    payload.truncate(total_len as usize);
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn systematic_data_shards_are_payload_chunks() {
+        let p = payload(20);
+        let coded = encode(&p, 7, 4).unwrap();
+        let len = shard_len(20, 4);
+        assert_eq!(len, 5);
+        for i in 0..4 {
+            assert_eq!(&coded.fragments[i].shard[..], &p[i * len..(i + 1) * len]);
+        }
+    }
+
+    #[test]
+    fn every_fragment_verifies_and_corruption_is_rejected() {
+        let p = payload(100);
+        let coded = encode(&p, 10, 4).unwrap();
+        for frag in &coded.fragments {
+            assert!(verify(coded.root, 10, 4, frag));
+            let mut bad = frag.clone();
+            bad.shard[0] ^= 1;
+            assert!(!verify(coded.root, 10, 4, &bad), "corrupted shard must fail");
+            let mut bad = frag.clone();
+            bad.index = (bad.index + 1) % 10;
+            assert!(!verify(coded.root, 10, 4, &bad), "relabelled index must fail");
+            let mut bad = frag.clone();
+            bad.total_len += 1;
+            assert!(!verify(coded.root, 10, 4, &bad), "length lie must fail");
+            let mut bad = frag.clone();
+            if let Some(h) = bad.proof.first_mut() {
+                *h ^= 1;
+            }
+            assert!(!verify(coded.root, 10, 4, &bad), "broken proof must fail");
+        }
+    }
+
+    #[test]
+    fn wrong_geometry_never_verifies() {
+        let coded = encode(&payload(64), 8, 3).unwrap();
+        let frag = &coded.fragments[0];
+        assert!(verify(coded.root, 8, 3, frag));
+        assert!(!verify(coded.root, 8, 4, frag));
+        assert!(!verify(coded.root, 9, 3, frag));
+    }
+
+    #[test]
+    fn reconstructs_from_any_k_subset() {
+        let p = payload(97);
+        let (n, k) = (7, 3);
+        let coded = encode(&p, n, k).unwrap();
+        // All C(7,3) = 35 subsets.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let subset = vec![
+                        coded.fragments[a].clone(),
+                        coded.fragments[b].clone(),
+                        coded.fragments[c].clone(),
+                    ];
+                    let out = reconstruct(coded.root, n, k, &subset).unwrap();
+                    assert_eq!(out, p, "subset ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_fragments_is_typed() {
+        let coded = encode(&payload(50), 6, 3).unwrap();
+        let err = reconstruct(coded.root, 6, 3, &coded.fragments[..2]).unwrap_err();
+        assert_eq!(err, EcError::NotEnoughFragments { have: 2, need: 3 });
+    }
+
+    #[test]
+    fn duplicate_indices_do_not_count_twice() {
+        let coded = encode(&payload(50), 6, 3).unwrap();
+        let frags = vec![
+            coded.fragments[1].clone(),
+            coded.fragments[1].clone(),
+            coded.fragments[1].clone(),
+        ];
+        let err = reconstruct(coded.root, 6, 3, &frags).unwrap_err();
+        assert_eq!(err, EcError::NotEnoughFragments { have: 1, need: 3 });
+    }
+
+    #[test]
+    fn non_codeword_commitment_fails_for_every_subset() {
+        // A Byzantine sender commits to fragments of two *different*
+        // payloads: whatever subset a receiver reconstructs from, the
+        // re-encode check must fail (and fail for all of them — totality).
+        let (n, k) = (6, 2);
+        let a = encode(&payload(40), n, k).unwrap();
+        let b = encode(&payload(41), n, k).unwrap();
+        // Forge: take a's shards for even indices, b's for odd, and build
+        // a fresh commitment over the mixed shard vector.
+        let mixed: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    a.fragments[i].shard.clone()
+                } else {
+                    let mut s = b.fragments[i].shard.clone();
+                    s.resize(a.fragments[i].shard.len(), 0);
+                    s
+                }
+            })
+            .collect();
+        let leaves: Vec<u64> =
+            mixed.iter().enumerate().map(|(i, s)| merkle::leaf_hash(i as u16, s)).collect();
+        let root = commitment(merkle::root(&leaves), 40, n, k);
+        let frags: Vec<Fragment> = mixed
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| Fragment {
+                index: i as u16,
+                total_len: 40,
+                shard: shard.clone(),
+                proof: merkle::proof(&leaves, i),
+            })
+            .collect();
+        // Every fragment *verifies* (the sender really committed to it)…
+        for f in &frags {
+            assert!(verify(root, n, k, f));
+        }
+        // …but no 2-subset reconstructs: the committed vector is not a
+        // codeword, so every interpolation misses some committed leaf.
+        let mut failures = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let sub = vec![frags[i].clone(), frags[j].clone()];
+                match reconstruct(root, n, k, &sub) {
+                    Err(EcError::RootMismatch) => failures += 1,
+                    other => panic!("subset ({i},{j}) must mismatch, got {other:?}"),
+                }
+            }
+        }
+        assert_eq!(failures, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn empty_and_tiny_payloads_round_trip() {
+        for len in [0usize, 1, 2, 3] {
+            let p = payload(len);
+            let coded = encode(&p, 4, 2).unwrap();
+            let out = reconstruct(coded.root, 4, 2, &coded.fragments[2..]).unwrap();
+            assert_eq!(out, p, "len {len}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_degenerates_to_plain_split() {
+        let p = payload(33);
+        let coded = encode(&p, 4, 4).unwrap();
+        let out = reconstruct(coded.root, 4, 4, &coded.fragments).unwrap();
+        assert_eq!(out, p);
+    }
+
+    #[test]
+    fn bad_geometry_is_typed() {
+        assert_eq!(encode(&[1], 4, 0).unwrap_err(), EcError::BadGeometry { n: 4, k: 0 });
+        assert_eq!(encode(&[1], 3, 4).unwrap_err(), EcError::BadGeometry { n: 3, k: 4 });
+        assert_eq!(encode(&[1], 256, 4).unwrap_err(), EcError::BadGeometry { n: 256, k: 4 });
+        assert!(!verify(
+            0,
+            3,
+            4,
+            &Fragment { index: 0, total_len: 1, shard: vec![1], proof: vec![] }
+        ));
+    }
+
+    #[test]
+    fn fragment_weight_and_display() {
+        let coded = encode(&payload(64), 8, 4).unwrap();
+        let frag = &coded.fragments[0];
+        assert_eq!(frag.weight(), frag.shard.len() + frag.proof.len() * 8);
+        assert!(frag.to_string().contains("frag#0"));
+    }
+}

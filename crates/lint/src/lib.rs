@@ -35,11 +35,11 @@ use std::path::{Path, PathBuf};
 
 /// The crates the analyzer walks (each crate's `src/` tree).
 pub const PROTOCOL_CRATES: &[&str] =
-    &["types", "core", "rbc", "coin", "sim", "runtime", "adversary", "net", "order", "obs"];
+    &["types", "core", "rbc", "ec", "coin", "sim", "runtime", "adversary", "net", "order", "obs"];
 
 /// Crates holding pure protocol state machines: these must be RNG-free
 /// (randomness enters only through the injected `CoinScheme`).
-pub const STATE_MACHINE_CRATES: &[&str] = &["types", "core", "rbc"];
+pub const STATE_MACHINE_CRATES: &[&str] = &["types", "core", "rbc", "ec"];
 
 /// Files where quorum arithmetic is *defined* rather than used — the
 /// `types::Config` accessors — and therefore exempt from `quorum-arith`.

@@ -350,6 +350,42 @@ impl Codec for bracha::StepPayload {
     }
 }
 
+/// Erasure-coded fragments: index, original payload length, the shard
+/// bytes (length-prefixed) and the Merkle commitment path (count-prefixed
+/// `u64`s). The path count is capped well above any real tree depth
+/// (`log₂ 256 = 8` for the maximum supported `n`) so a hostile length
+/// prefix cannot drive a large allocation.
+impl Codec for bft_ec::Fragment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.index);
+        put_u32(out, self.total_len);
+        put_u32(out, self.shard.len() as u32);
+        out.extend_from_slice(&self.shard);
+        put_u16(out, self.proof.len() as u16);
+        for hash in &self.proof {
+            put_u64(out, *hash);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let index = r.u16()?;
+        let total_len = r.u32()?;
+        let shard_len = r.u32()? as usize;
+        let shard = r.take(shard_len)?.to_vec();
+        let proof_len = r.u16()? as usize;
+        if proof_len > 64 {
+            return Err(DecodeError::Invalid {
+                what: "fragment proof length",
+                got: proof_len as u64,
+            });
+        }
+        let mut proof = Vec::with_capacity(proof_len);
+        for _ in 0..proof_len {
+            proof.push(r.u64()?);
+        }
+        Ok(bft_ec::Fragment { index, total_len, shard, proof })
+    }
+}
+
 impl<P: Codec> Codec for RbcMessage<P> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -365,6 +401,20 @@ impl<P: Codec> Codec for RbcMessage<P> {
                 out.push(2);
                 p.encode(out);
             }
+            RbcMessage::CodedSend { root, fragment } => {
+                out.push(3);
+                put_u64(out, *root);
+                fragment.encode(out);
+            }
+            RbcMessage::CodedEcho { root, fragment } => {
+                out.push(4);
+                put_u64(out, *root);
+                fragment.encode(out);
+            }
+            RbcMessage::CodedReady { root } => {
+                out.push(5);
+                put_u64(out, *root);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -372,6 +422,17 @@ impl<P: Codec> Codec for RbcMessage<P> {
             0 => Ok(RbcMessage::Send(P::decode(r)?)),
             1 => Ok(RbcMessage::Echo(P::decode(r)?)),
             2 => Ok(RbcMessage::Ready(P::decode(r)?)),
+            3 => {
+                let root = r.u64()?;
+                let fragment = bft_ec::Fragment::decode(r)?;
+                Ok(RbcMessage::CodedSend { root, fragment })
+            }
+            4 => {
+                let root = r.u64()?;
+                let fragment = bft_ec::Fragment::decode(r)?;
+                Ok(RbcMessage::CodedEcho { root, fragment })
+            }
+            5 => Ok(RbcMessage::CodedReady { root: r.u64()? }),
             got => Err(DecodeError::Invalid { what: "rbc phase discriminant", got: got as u64 }),
         }
     }

@@ -3,12 +3,13 @@
 //! golden byte vectors pinning the exact on-wire encoding (a change to
 //! any of these is a wire-format break and must bump `frame::VERSION`).
 
+use bft_ec::Fragment;
 use bft_net::codec::Codec;
 use bft_net::{
     encode_frame, fnv1a64, DecodeError, Frame, FrameKind, PayloadTooLarge, FRAME_OVERHEAD,
     MAX_PAYLOAD,
 };
-use bft_rbc::RbcMessage;
+use bft_rbc::{RbcMessage, RbcMuxMessage};
 use bft_types::{NodeId, Round, Step, Value};
 use bracha::{StepPayload, StepTag, Wire};
 use proptest::prelude::*;
@@ -231,6 +232,83 @@ fn golden_empty_hello_frame() {
     assert_eq!(framed, expected);
     let decoded = Frame::decode(&framed);
     assert_eq!(decoded, Ok(Frame::new(FrameKind::Hello, 0, Vec::new())));
+}
+
+/// Golden vector for the erasure-coded broadcast phases, on the batch
+/// wire type the ordering layer uses (`RbcMuxMessage<u64, Vec<u8>>`):
+/// discriminants 3/4/5 follow Send/Echo/Ready, the root rides first, and
+/// fragments carry index, total length, shard bytes, and proof path.
+#[test]
+fn golden_coded_wire_encoding() {
+    let msg: RbcMuxMessage<u64, Vec<u8>> = RbcMuxMessage {
+        sender: NodeId::new(1),
+        tag: 7,
+        msg: RbcMessage::CodedEcho {
+            root: 0x1122_3344_5566_7788,
+            fragment: Fragment {
+                index: 2,
+                total_len: 5,
+                shard: vec![0xAA, 0xBB],
+                proof: vec![0x0102_0304_0506_0708],
+            },
+        },
+    };
+    #[rustfmt::skip]
+    let expected = vec![
+        1, 0, 0, 0,             // sender: NodeId 1, u32 LE
+        7, 0, 0, 0, 0, 0, 0, 0, // tag: epoch 7, u64 LE
+        4,                      // RbcMessage discriminant: CodedEcho
+        0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // root, u64 LE
+        2, 0,                   // fragment.index, u16 LE
+        5, 0, 0, 0,             // fragment.total_len, u32 LE
+        2, 0, 0, 0,             // shard length, u32 LE
+        0xAA, 0xBB,             // shard bytes
+        1, 0,                   // proof path length, u16 LE
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // proof[0], u64 LE
+    ];
+    assert_eq!(msg.to_bytes(), expected);
+    assert_eq!(RbcMuxMessage::<u64, Vec<u8>>::from_bytes(&expected), Ok(msg));
+}
+
+/// `CodedSend` and `CodedReady` discriminants, pinned.
+#[test]
+fn golden_coded_send_and_ready_discriminants() {
+    let send: RbcMessage<Vec<u8>> = RbcMessage::CodedSend {
+        root: 1,
+        fragment: Fragment { index: 0, total_len: 1, shard: vec![9], proof: Vec::new() },
+    };
+    #[rustfmt::skip]
+    assert_eq!(send.to_bytes(), vec![
+        3,                      // discriminant: CodedSend
+        1, 0, 0, 0, 0, 0, 0, 0, // root
+        0, 0,                   // index
+        1, 0, 0, 0,             // total_len
+        1, 0, 0, 0,             // shard length
+        9,                      // shard
+        0, 0,                   // empty proof
+    ]);
+    let ready: RbcMessage<Vec<u8>> = RbcMessage::CodedReady { root: 0xFF };
+    assert_eq!(ready.to_bytes(), vec![5, 0xFF, 0, 0, 0, 0, 0, 0, 0]);
+    assert_eq!(RbcMessage::<Vec<u8>>::from_bytes(&send.to_bytes()), Ok(send));
+    assert_eq!(RbcMessage::<Vec<u8>>::from_bytes(&ready.to_bytes()), Ok(ready));
+}
+
+/// A hostile proof-length prefix is rejected before any allocation.
+#[test]
+fn oversized_fragment_proof_is_rejected() {
+    let mut bytes = Vec::new();
+    RbcMessage::<Vec<u8>>::CodedReady { root: 0 }.encode(&mut bytes);
+    // Rewrite into a CodedSend whose fragment claims 65535 proof hashes.
+    let mut evil = vec![3u8];
+    evil.extend_from_slice(&bytes[1..]); // root
+    evil.extend_from_slice(&[0, 0]); // index
+    evil.extend_from_slice(&[1, 0, 0, 0]); // total_len
+    evil.extend_from_slice(&[0, 0, 0, 0]); // empty shard
+    evil.extend_from_slice(&[0xFF, 0xFF]); // proof length 65535
+    assert!(matches!(
+        RbcMessage::<Vec<u8>>::from_bytes(&evil),
+        Err(DecodeError::Invalid { what: "fragment proof length", .. })
+    ));
 }
 
 /// The version-1 golden bytes (the pre-trace wire format) must keep

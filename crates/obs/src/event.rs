@@ -206,6 +206,34 @@ pub enum Event {
         /// Number of distinct Ready supporters at delivery.
         support: u64,
     },
+    /// A coded-RBC fragment was checked against its commitment at the
+    /// observing node (`verified` records the outcome).
+    RbcFragment {
+        /// Designated sender of the instance.
+        origin: NodeId,
+        /// `Debug`-formatted instance tag.
+        tag: String,
+        /// The fragment's codeword index.
+        index: u64,
+        /// Whether the inclusion proof checked out.
+        verified: bool,
+    },
+    /// A coded-RBC instance decoded its payload from `fragments` verified
+    /// fragments. `consistent` is false when the re-encode check exposed a
+    /// Byzantine sender committing to a non-codeword (all correct nodes
+    /// then deliver the canonical empty fallback).
+    RbcReconstructed {
+        /// Designated sender of the instance.
+        origin: NodeId,
+        /// `Debug`-formatted instance tag.
+        tag: String,
+        /// Verified fragments available at reconstruction.
+        fragments: u64,
+        /// Byte length of the decoded payload.
+        bytes: u64,
+        /// Whether the decoded payload re-encoded to the commitment.
+        consistent: bool,
+    },
 
     /// The observing node started a consensus round.
     RoundStarted {
@@ -338,6 +366,8 @@ impl Event {
             Event::RbcPhaseEntered { .. } => "rbc_phase_entered",
             Event::RbcQuorumReached { .. } => "rbc_quorum_reached",
             Event::RbcDelivered { .. } => "rbc_delivered",
+            Event::RbcFragment { .. } => "rbc_fragment",
+            Event::RbcReconstructed { .. } => "rbc_reconstructed",
             Event::RoundStarted { .. } => "round_started",
             Event::RoundCompleted { .. } => "round_completed",
             Event::StepEntered { .. } => "step_entered",
@@ -442,6 +472,19 @@ impl Event {
                 field("tag", JsonValue::str(tag));
                 field("support", JsonValue::U64(*support));
             }
+            Event::RbcFragment { origin, tag, index, verified } => {
+                field("origin", JsonValue::U64(origin.index() as u64));
+                field("tag", JsonValue::str(tag));
+                field("index", JsonValue::U64(*index));
+                field("verified", JsonValue::Bool(*verified));
+            }
+            Event::RbcReconstructed { origin, tag, fragments, bytes, consistent } => {
+                field("origin", JsonValue::U64(origin.index() as u64));
+                field("tag", JsonValue::str(tag));
+                field("fragments", JsonValue::U64(*fragments));
+                field("bytes", JsonValue::U64(*bytes));
+                field("consistent", JsonValue::Bool(*consistent));
+            }
             Event::RoundStarted { round } | Event::RoundCompleted { round } => {
                 field("round", JsonValue::U64(*round));
             }
@@ -527,6 +570,19 @@ mod tests {
             Event::EpochCommitted { epoch: 0, slots: 3, txs: 12 },
             Event::BatchSubmitted { epoch: 0, txs: 4, bytes: 64 },
             Event::LogDelivered { epoch: 0, entries: 12, total: 12 },
+            Event::RbcFragment {
+                origin: NodeId::new(0),
+                tag: String::new(),
+                index: 1,
+                verified: true,
+            },
+            Event::RbcReconstructed {
+                origin: NodeId::new(0),
+                tag: String::new(),
+                fragments: 2,
+                bytes: 64,
+                consistent: true,
+            },
             Event::SpanStart { trace: 1, span: 2, parent: 0, phase: TracePhase::Submit },
             Event::SpanEnd { trace: 1, span: 2 },
         ];

@@ -50,6 +50,10 @@ pub struct MetricsSink {
     batches_submitted: u64,
     txs_submitted: u64,
     txs_delivered: u64,
+    rbc_fragments_ok: u64,
+    rbc_fragments_rejected: u64,
+    rbc_reconstructions: u64,
+    rbc_reconstruct_bytes: u64,
     epoch_commit_latency: Samples,
     open_epochs: BTreeMap<(NodeId, u64), u64>,
     inflight_epochs: BTreeMap<NodeId, u64>,
@@ -195,6 +199,26 @@ impl MetricsSink {
         self.txs_delivered
     }
 
+    /// Erasure-coded fragments that passed commitment verification.
+    pub fn rbc_fragments_ok(&self) -> u64 {
+        self.rbc_fragments_ok
+    }
+
+    /// Erasure-coded fragments rejected (bad proof, wrong index, dup).
+    pub fn rbc_fragments_rejected(&self) -> u64 {
+        self.rbc_fragments_rejected
+    }
+
+    /// Payload reconstructions attempted by the coded broadcast.
+    pub fn rbc_reconstructions(&self) -> u64 {
+        self.rbc_reconstructions
+    }
+
+    /// Bytes recovered by successful reconstructions.
+    pub fn rbc_reconstruct_bytes(&self) -> u64 {
+        self.rbc_reconstruct_bytes
+    }
+
     /// `EpochCommitted − EpochStarted` durations, one sample per
     /// `(node, epoch)` pair that committed.
     pub fn epoch_commit_latency(&self) -> &Samples {
@@ -258,6 +282,10 @@ impl MetricsSink {
         self.batches_submitted += other.batches_submitted;
         self.txs_submitted += other.txs_submitted;
         self.txs_delivered += other.txs_delivered;
+        self.rbc_fragments_ok += other.rbc_fragments_ok;
+        self.rbc_fragments_rejected += other.rbc_fragments_rejected;
+        self.rbc_reconstructions += other.rbc_reconstructions;
+        self.rbc_reconstruct_bytes += other.rbc_reconstruct_bytes;
         self.epoch_commit_latency.merge(&other.epoch_commit_latency);
         self.occupancy.merge(&other.occupancy);
         self.max_pipeline_occupancy = self.max_pipeline_occupancy.max(other.max_pipeline_occupancy);
@@ -481,6 +509,30 @@ impl MetricsSink {
         );
         prom_counter(&mut out, "bft_txs_submitted_total", "Txs submitted", self.txs_submitted);
         prom_counter(&mut out, "bft_txs_delivered_total", "Txs ordered", self.txs_delivered);
+        prom_counter(
+            &mut out,
+            "bft_rbc_fragments_ok_total",
+            "Coded fragments verified",
+            self.rbc_fragments_ok,
+        );
+        prom_counter(
+            &mut out,
+            "bft_rbc_fragments_rejected_total",
+            "Coded fragments rejected",
+            self.rbc_fragments_rejected,
+        );
+        prom_counter(
+            &mut out,
+            "bft_rbc_reconstructions_total",
+            "Coded payload reconstructions",
+            self.rbc_reconstructions,
+        );
+        prom_counter(
+            &mut out,
+            "bft_rbc_reconstruct_bytes_total",
+            "Bytes recovered by reconstruction",
+            self.rbc_reconstruct_bytes,
+        );
         prom_gauge(
             &mut out,
             "bft_max_pipeline_occupancy",
@@ -628,6 +680,19 @@ impl Sink for MetricsSink {
                 self.txs_submitted += txs;
             }
             Event::LogDelivered { entries, .. } => self.txs_delivered += entries,
+            Event::RbcFragment { verified, .. } => {
+                if *verified {
+                    self.rbc_fragments_ok += 1;
+                } else {
+                    self.rbc_fragments_rejected += 1;
+                }
+            }
+            Event::RbcReconstructed { bytes, consistent, .. } => {
+                self.rbc_reconstructions += 1;
+                if *consistent {
+                    self.rbc_reconstruct_bytes += bytes;
+                }
+            }
             _ => {}
         }
     }

@@ -51,6 +51,9 @@ pub enum TracePhase {
     RbcEcho,
     /// Ready broadcast → reliable delivery, per node, for the batch RBC.
     RbcReady,
+    /// Delivery-quorum reached → payload reconstructed, per node, for a
+    /// coded batch RBC (fragment-wait plus decode time).
+    RbcReconstruct,
     /// One ABA round (started → completed) of the slot's ABA instance.
     AbaRound(u64),
     /// Ready-step entry → coin flip within one ABA round.
@@ -62,11 +65,12 @@ pub enum TracePhase {
 impl TracePhase {
     /// Every phase kind in causal (and report) order, with round 0 for
     /// the per-round phases.
-    pub const ALL: [TracePhase; 7] = [
+    pub const ALL: [TracePhase; 8] = [
         TracePhase::Submit,
         TracePhase::BatchWait,
         TracePhase::RbcEcho,
         TracePhase::RbcReady,
+        TracePhase::RbcReconstruct,
         TracePhase::AbaRound(0),
         TracePhase::CoinWait(0),
         TracePhase::Commit,
@@ -79,6 +83,7 @@ impl TracePhase {
             TracePhase::BatchWait => "batch_wait",
             TracePhase::RbcEcho => "rbc_echo",
             TracePhase::RbcReady => "rbc_ready",
+            TracePhase::RbcReconstruct => "rbc_reconstruct",
             TracePhase::AbaRound(_) => "aba_round",
             TracePhase::CoinWait(_) => "coin_wait",
             TracePhase::Commit => "commit",
@@ -93,6 +98,10 @@ impl TracePhase {
             TracePhase::BatchWait => 1,
             TracePhase::RbcEcho => 2,
             TracePhase::RbcReady => 3,
+            // Appended after the original seven so existing span-id
+            // derivations stay stable; causally it sits between RbcReady
+            // and Commit.
+            TracePhase::RbcReconstruct => 7,
             TracePhase::AbaRound(_) => 4,
             TracePhase::CoinWait(_) => 5,
             TracePhase::Commit => 6,
@@ -115,6 +124,7 @@ impl TracePhase {
             "batch_wait" => Some(TracePhase::BatchWait),
             "rbc_echo" => Some(TracePhase::RbcEcho),
             "rbc_ready" => Some(TracePhase::RbcReady),
+            "rbc_reconstruct" => Some(TracePhase::RbcReconstruct),
             "aba_round" => Some(TracePhase::AbaRound(round)),
             "coin_wait" => Some(TracePhase::CoinWait(round)),
             "commit" => Some(TracePhase::Commit),

@@ -35,7 +35,7 @@
 //!
 //! # fn main() -> Result<(), bft_types::ConfigError> {
 //! let cfg = Config::new(4, 1)?;
-//! let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3 };
+//! let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3, ..OrderOptions::default() };
 //! let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 5, 7));
 //! for id in cfg.nodes() {
 //!     let workload = (0..6).map(|i| vec![id.index() as u8, i]).collect();
@@ -56,7 +56,7 @@
 use bft_coin::CoinScheme;
 use bft_net::codec::{put_u32, put_u64, Codec, DecodeError, Reader};
 use bft_obs::{Event, Obs, TraceCtx, TracePhase};
-use bft_rbc::{RbcMux, RbcMuxAction, RbcMuxMessage};
+use bft_rbc::{RbcKind, RbcMux, RbcMuxAction, RbcMuxMessage};
 use bft_types::{Config, Effect, NodeId, Process, Value};
 use bracha::{BrachaNode, BrachaOptions, Transition, Wire};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -76,11 +76,15 @@ pub struct OrderOptions {
     /// Total number of epochs to run; the process outputs its log and
     /// winds down after epoch `epochs − 1` is appended.
     pub epochs: u64,
+    /// Which reliable-broadcast implementation disseminates batches:
+    /// [`RbcKind::Bracha`] sends every batch `O(n²)` times;
+    /// [`RbcKind::Coded`] fragments it for `O(n)` bytes on the wire.
+    pub rbc: RbcKind,
 }
 
 impl Default for OrderOptions {
     fn default() -> Self {
-        OrderOptions { batch_max: 8, pipeline_depth: 2, epochs: 4 }
+        OrderOptions { batch_max: 8, pipeline_depth: 2, epochs: 4, rbc: RbcKind::Bracha }
     }
 }
 
@@ -302,13 +306,15 @@ impl<C: CoinScheme> OrderProcess<C> {
     ) -> Self {
         assert!(opts.batch_max >= 1, "batch_max must be at least 1");
         assert!(opts.pipeline_depth >= 1, "pipeline_depth must be at least 1");
+        let mut rbc = RbcMux::new(config, me);
+        rbc.set_kind(opts.rbc);
         OrderProcess {
             config,
             me,
             opts,
             coin_for: Box::new(coin_for),
             pending: workload.into(),
-            rbc: RbcMux::new(config, me),
+            rbc,
             epochs: BTreeMap::new(),
             next_epoch: 0,
             log: Vec::new(),
@@ -385,6 +391,13 @@ impl<C: CoinScheme> OrderProcess<C> {
         self.epochs.len()
     }
 
+    /// Bytes of erasure-coded fragments buffered across live RBC
+    /// instances (always zero under [`RbcKind::Bracha`]). Bounded by the
+    /// pipeline depth via the same per-epoch GC that collects instances.
+    pub fn rbc_fragment_bytes(&self) -> usize {
+        self.rbc.buffered_fragment_bytes()
+    }
+
     /// Retained agreement-instance state across all live epochs.
     pub fn retained_aba_count(&self) -> usize {
         self.epochs.values().map(|s| s.abas.len()).sum()
@@ -430,6 +443,9 @@ impl<C: CoinScheme> OrderProcess<C> {
             match a {
                 RbcMuxAction::Broadcast(m) => {
                     out.push(Effect::Broadcast { msg: OrderMessage::Batch(m) });
+                }
+                RbcMuxAction::Send { to, msg } => {
+                    out.push(Effect::Send { to, msg: OrderMessage::Batch(msg) });
                 }
                 RbcMuxAction::Deliver { sender, tag, payload } => {
                     if self.accepts(tag) {
@@ -721,7 +737,8 @@ mod tests {
     #[test]
     fn submit_applies_backpressure_at_the_pipeline_bound() {
         let Ok(cfg) = Config::new(4, 1) else { return };
-        let opts = OrderOptions { batch_max: 2, pipeline_depth: 3, epochs: 8 };
+        let opts =
+            OrderOptions { batch_max: 2, pipeline_depth: 3, epochs: 8, ..OrderOptions::default() };
         let mut p = OrderProcess::new(cfg, NodeId::new(0), opts, Vec::new(), |i| {
             bft_coin::CommonCoin::new(1, i)
         });
@@ -755,7 +772,8 @@ mod tests {
         use bft_obs::{Obs, TraceSink};
         use bft_sim::{UniformDelay, World, WorldConfig};
         let Ok(cfg) = Config::new(4, 1) else { return };
-        let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3 };
+        let opts =
+            OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3, ..OrderOptions::default() };
         let (obs, sink) = Obs::new(TraceSink::new());
         let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 5, 7));
         world.set_observer(obs.clone());

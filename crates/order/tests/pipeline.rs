@@ -45,7 +45,8 @@ impl Process for Silent {
 
 #[test]
 fn all_nodes_agree_on_the_same_ordered_log() {
-    let opts = OrderOptions { batch_max: 3, pipeline_depth: 2, epochs: 4 };
+    let opts =
+        OrderOptions { batch_max: 3, pipeline_depth: 2, epochs: 4, ..OrderOptions::default() };
     let report = run(4, 1, 11, opts, &[]);
     assert!(report.all_correct_decided(), "stopped as {:?}", report.stop);
     assert!(report.agreement_holds());
@@ -62,7 +63,8 @@ fn all_nodes_agree_on_the_same_ordered_log() {
 
 #[test]
 fn every_included_payload_appears_exactly_once() {
-    let opts = OrderOptions { batch_max: 2, pipeline_depth: 3, epochs: 5 };
+    let opts =
+        OrderOptions { batch_max: 2, pipeline_depth: 3, epochs: 5, ..OrderOptions::default() };
     let report = run(4, 1, 23, opts, &[]);
     assert!(report.all_correct_decided());
     let log = report.unanimous_output().unwrap();
@@ -79,8 +81,10 @@ fn every_included_payload_appears_exactly_once() {
 
 #[test]
 fn deeper_pipelines_and_sequential_runs_order_the_same_slots() {
-    let shallow = OrderOptions { batch_max: 2, pipeline_depth: 1, epochs: 3 };
-    let deep = OrderOptions { batch_max: 2, pipeline_depth: 3, epochs: 3 };
+    let shallow =
+        OrderOptions { batch_max: 2, pipeline_depth: 1, epochs: 3, ..OrderOptions::default() };
+    let deep =
+        OrderOptions { batch_max: 2, pipeline_depth: 3, epochs: 3, ..OrderOptions::default() };
     let a = run(4, 1, 31, shallow, &[]);
     let b = run(4, 1, 31, deep, &[]);
     assert!(a.all_correct_decided() && b.all_correct_decided());
@@ -96,7 +100,8 @@ fn deeper_pipelines_and_sequential_runs_order_the_same_slots() {
 
 #[test]
 fn a_silent_node_does_not_block_the_log() {
-    let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3 };
+    let opts =
+        OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 3, ..OrderOptions::default() };
     let report = run(4, 1, 47, opts, &[3]);
     assert!(report.all_correct_decided(), "stopped as {:?}", report.stop);
     assert!(report.agreement_holds());
@@ -110,7 +115,8 @@ fn a_silent_node_does_not_block_the_log() {
 
 #[test]
 fn larger_cluster_with_straggler_completes() {
-    let opts = OrderOptions { batch_max: 1, pipeline_depth: 2, epochs: 3 };
+    let opts =
+        OrderOptions { batch_max: 1, pipeline_depth: 2, epochs: 3, ..OrderOptions::default() };
     let report = run(7, 2, 5, opts, &[6]);
     assert!(report.all_correct_decided(), "stopped as {:?}", report.stop);
     assert!(report.agreement_holds());

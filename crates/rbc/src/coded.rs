@@ -1,0 +1,766 @@
+//! An erasure-coded reliable-broadcast instance (AVID-style).
+//!
+//! Bracha's protocol re-broadcasts the full payload in every Echo, so a
+//! B-byte payload costs O(n²·B) on the wire. This variant disseminates
+//! Reed–Solomon fragments instead:
+//!
+//! 1. The sender encodes the payload into `n` fragments (`k = n − 2f` data
+//!    shards) committed under a Merkle root, and **unicasts** fragment `i`
+//!    to node `i` (`CodedSend`).
+//! 2. On a valid own-index fragment from the designated sender, a node
+//!    broadcasts it (`CodedEcho`) — O(B/k) bytes instead of O(B).
+//! 3. On `n − f` distinct valid echoes for one root, or `f + 1` Readys:
+//!    broadcast `CodedReady(root)` (once).
+//! 4. On `2f + 1` Readys for a root **and** `n − 2f` verified fragments of
+//!    it: reconstruct, re-encode, check the commitment, and deliver.
+//!
+//! Totals: one O(n·B/k)·k = O(n·B) dissemination plus n fragment
+//! broadcasts of O(n·B/k) = O(n²·B/k) ≈ O(n·B) for f = Θ(n), plus O(n²)
+//! constant-size Readys — against Bracha's O(n²·B).
+//!
+//! Safety matches Bracha's: the Merkle commitment pins the sender to one
+//! fragment set per root, two roots can never both reach the `n − f` echo
+//! quorum (correct nodes echo once), and the re-encode check in
+//! [`bft_ec::reconstruct`] fails uniformly across fragment subsets when a
+//! Byzantine sender commits to a non-codeword — in that case every correct
+//! node delivers the canonical empty fallback instead, keeping agreement
+//! and totality intact.
+
+use crate::{RbcAction, RbcMessage};
+use bft_ec::{self as ec, Fragment};
+use bft_obs::{Event as ObsEvent, Obs, RbcPhase, TraceCtx, TracePhase};
+use bft_types::{Config, NodeBitset, NodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A payload type that can cross the erasure-coding boundary: coded
+/// instances fragment the byte form and rebuild the payload from decoded
+/// bytes at delivery.
+///
+/// The two functions must round-trip (`from_coded_bytes(to_coded_bytes(p))
+/// == p`); `from_coded_bytes` must be total, since a Byzantine sender
+/// controls the bytes a receiver decodes.
+pub trait CodedPayload: Sized {
+    /// The byte form that gets erasure-coded.
+    fn to_coded_bytes(&self) -> Vec<u8>;
+    /// Rebuilds a payload from decoded bytes (total — never fails).
+    fn from_coded_bytes(bytes: Vec<u8>) -> Self;
+}
+
+impl CodedPayload for Vec<u8> {
+    fn to_coded_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+    fn from_coded_bytes(bytes: Vec<u8>) -> Self {
+        bytes
+    }
+}
+
+impl CodedPayload for String {
+    fn to_coded_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+    fn from_coded_bytes(bytes: Vec<u8>) -> Self {
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+/// The state machine of one erasure-coded reliable-broadcast instance at
+/// one node. Mirrors [`RbcInstance`](crate::RbcInstance) — same action
+/// surface, same observer/trace hooks — but speaks the coded message
+/// variants and buffers fragments instead of full payload copies.
+///
+/// Byzantine-resistance notes:
+///
+/// * A `CodedSend` is honoured only from the designated sender, only for
+///   this node's own fragment index, and only when the commitment proof
+///   verifies; the first valid one wins.
+/// * An echo from peer `p` must carry fragment index `p` and verify
+///   against its root. At most one echo and one ready per peer are
+///   counted (first-wins, like Bracha), so `f` Byzantine peers can buffer
+///   at most `f` junk fragments here — state stays O(n) fragments.
+#[derive(Clone, Debug)]
+pub struct CodedInstance<P> {
+    config: Config,
+    me: NodeId,
+    sender: NodeId,
+    started: bool,
+    sent_echo: bool,
+    sent_ready: bool,
+    /// Verified echo fragments, grouped by commitment root then keyed by
+    /// fragment index (≡ echoing peer). BTree for replay-stable order.
+    echoes: BTreeMap<u64, BTreeMap<u16, Fragment>>,
+    /// Peers whose (first) echo has been counted, any root.
+    echoed_peers: NodeBitset,
+    /// Peers whose (first) ready has been counted, any root.
+    readied_peers: NodeBitset,
+    /// Distinct Ready roots and how many peers support each.
+    readies: Vec<(u64, usize)>,
+    /// Root that reached the delivery quorum; delivery then waits only on
+    /// the `n − 2f`-th verified fragment.
+    deliver_root: Option<u64>,
+    delivered: Option<P>,
+    obs: Obs,
+    tag_label: String,
+    trace: Option<TraceCtx>,
+    echo_span_open: bool,
+    ready_span_open: bool,
+    reconstruct_span_open: bool,
+}
+
+impl<P> CodedInstance<P>
+where
+    P: CodedPayload + Clone + Eq + fmt::Debug,
+{
+    /// Creates the instance state for node `me` with designated `sender`.
+    pub fn new(config: Config, me: NodeId, sender: NodeId) -> Self {
+        CodedInstance {
+            config,
+            me,
+            sender,
+            started: false,
+            sent_echo: false,
+            sent_ready: false,
+            echoes: BTreeMap::new(),
+            echoed_peers: NodeBitset::new(config.n()),
+            readied_peers: NodeBitset::new(config.n()),
+            readies: Vec::new(),
+            deliver_root: None,
+            delivered: None,
+            obs: Obs::disabled(),
+            tag_label: String::new(),
+            trace: None,
+            echo_span_open: false,
+            ready_span_open: false,
+            reconstruct_span_open: false,
+        }
+    }
+
+    /// Attaches an observer; `tag_label` identifies this instance on the
+    /// emitted events (the multiplexer passes the `Debug`-rendered tag).
+    pub fn set_obs(&mut self, obs: Obs, tag_label: String) {
+        self.obs = obs;
+        self.tag_label = tag_label;
+    }
+
+    /// Attaches the causal-trace identity of this instance's payload (see
+    /// [`RbcInstance::set_trace`](crate::RbcInstance::set_trace)); the
+    /// coded instance additionally spans `rbc_reconstruct` from the
+    /// delivery quorum to reconstruction.
+    pub fn set_trace(&mut self, ctx: TraceCtx) {
+        self.trace = Some(ctx);
+    }
+
+    /// Closes any still-open trace spans at the current observer time.
+    pub fn finish_spans(&mut self) {
+        if let Some(ctx) = self.trace {
+            if self.echo_span_open {
+                self.echo_span_open = false;
+                self.obs.span_end(self.me, ctx, TracePhase::RbcEcho);
+            }
+            if self.ready_span_open {
+                self.ready_span_open = false;
+                self.obs.span_end(self.me, ctx, TracePhase::RbcReady);
+            }
+            if self.reconstruct_span_open {
+                self.reconstruct_span_open = false;
+                self.obs.span_end(self.me, ctx, TracePhase::RbcReconstruct);
+            }
+        }
+    }
+
+    /// The designated sender of this instance.
+    pub fn sender(&self) -> NodeId {
+        self.sender
+    }
+
+    /// The delivered payload, if delivery has occurred.
+    pub fn delivered(&self) -> Option<&P> {
+        self.delivered.as_ref()
+    }
+
+    /// Fragment bytes currently buffered — the coded instance's analogue
+    /// of Bracha's per-payload Echo copies, used by memory-bound tests.
+    pub fn buffered_fragment_bytes(&self) -> usize {
+        self.echoes.values().flat_map(|frags| frags.values()).map(Fragment::weight).sum()
+    }
+
+    fn k(&self) -> usize {
+        self.config.reconstruct_threshold()
+    }
+
+    /// Starts the broadcast: encodes the payload and unicasts fragment
+    /// `i` to node `i` (processing our own fragment locally, so hosts
+    /// whose transports have no self-unicast path still work).
+    ///
+    /// Only meaningful at the designated sender; elsewhere (or on a
+    /// repeat call, or if the geometry is unusable) it returns no actions.
+    pub fn start(&mut self, payload: P) -> Vec<RbcAction<P>> {
+        if self.me != self.sender || self.started {
+            return Vec::new();
+        }
+        self.started = true;
+        let bytes = payload.to_coded_bytes();
+        let Ok(coded) = ec::encode(&bytes, self.config.n(), self.k()) else {
+            // Unusable geometry (n > 255) or oversize payload: nothing to
+            // disseminate. The instance stays silent, which is safe — no
+            // correct node will ever deliver it.
+            return Vec::new();
+        };
+        let root = coded.root;
+        let mut actions = Vec::with_capacity(self.config.n());
+        for (i, fragment) in coded.fragments.into_iter().enumerate() {
+            let to = NodeId::new(i);
+            let msg = RbcMessage::CodedSend { root, fragment };
+            if to == self.me {
+                // Local self-delivery: triggers our own echo immediately.
+                actions.extend(self.on_message(self.me, &msg));
+            } else {
+                actions.push(RbcAction::Send { to, msg });
+            }
+        }
+        actions
+    }
+
+    /// Processes one instance message from (authenticated) peer `from`.
+    /// Bracha-variant messages belong to an
+    /// [`RbcInstance`](crate::RbcInstance) and are ignored here.
+    pub fn on_message(&mut self, from: NodeId, msg: &RbcMessage<P>) -> Vec<RbcAction<P>> {
+        if !self.config.contains(from) {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match msg {
+            RbcMessage::CodedSend { root, fragment } => {
+                self.on_send(from, *root, fragment, &mut actions);
+            }
+            RbcMessage::CodedEcho { root, fragment } => {
+                self.on_echo(from, *root, fragment, &mut actions);
+            }
+            RbcMessage::CodedReady { root } => {
+                self.on_ready(from, *root, &mut actions);
+            }
+            RbcMessage::Send(_) | RbcMessage::Echo(_) | RbcMessage::Ready(_) => {}
+        }
+        actions
+    }
+
+    fn on_send(&mut self, from: NodeId, root: u64, frag: &Fragment, out: &mut Vec<RbcAction<P>>) {
+        if from != self.sender || self.sent_echo {
+            return;
+        }
+        if frag.index as usize != self.me.index() || !self.verify(root, frag) {
+            self.emit_fragment(frag.index, false);
+            return;
+        }
+        self.sent_echo = true;
+        self.emit_phase(RbcPhase::Send);
+        self.emit_phase(RbcPhase::Echo);
+        if let Some(ctx) = self.trace {
+            self.echo_span_open = true;
+            self.obs.span_start(self.me, ctx, TracePhase::RbcEcho, ctx.root);
+        }
+        out.push(RbcAction::Broadcast(RbcMessage::CodedEcho { root, fragment: frag.clone() }));
+    }
+
+    fn on_echo(&mut self, from: NodeId, root: u64, frag: &Fragment, out: &mut Vec<RbcAction<P>>) {
+        // An echo must carry the echoing peer's own fragment and verify
+        // against its commitment. Verification precedes the first-wins
+        // peer dedup, so junk cannot burn a correct peer's slot.
+        if frag.index as usize != from.index() || !self.verify(root, frag) {
+            self.emit_fragment(frag.index, false);
+            return;
+        }
+        if !self.echoed_peers.insert(from) {
+            return;
+        }
+        self.emit_fragment(frag.index, true);
+        let frags = self.echoes.entry(root).or_default();
+        frags.entry(frag.index).or_insert_with(|| frag.clone());
+        let support = frags.len();
+        if support >= self.config.quorum() {
+            self.maybe_send_ready(root, RbcPhase::Echo, support, out);
+        }
+        self.maybe_deliver(out);
+    }
+
+    fn on_ready(&mut self, from: NodeId, root: u64, out: &mut Vec<RbcAction<P>>) {
+        if !self.readied_peers.insert(from) {
+            return;
+        }
+        let count = Self::bump(&mut self.readies, root);
+        if count >= self.config.ready_threshold() {
+            self.maybe_send_ready(root, RbcPhase::Ready, count, out);
+        }
+        if count >= self.config.decide_threshold() && self.deliver_root.is_none() {
+            self.deliver_root = Some(root);
+            if let Some(ctx) = self.trace {
+                if self.delivered.is_none() {
+                    self.reconstruct_span_open = true;
+                    self.obs.span_start(self.me, ctx, TracePhase::RbcReconstruct, ctx.root);
+                }
+            }
+            self.maybe_deliver(out);
+        }
+    }
+
+    /// Delivers once both conditions hold: a root reached `2f + 1` Readys
+    /// and `n − 2f` verified fragments of it are buffered.
+    fn maybe_deliver(&mut self, out: &mut Vec<RbcAction<P>>) {
+        if self.delivered.is_some() {
+            return;
+        }
+        let Some(root) = self.deliver_root else { return };
+        let Some(frags) = self.echoes.get(&root) else { return };
+        if frags.len() < self.k() {
+            return;
+        }
+        let fragments: Vec<Fragment> = frags.values().cloned().collect();
+        let n = self.config.n();
+        let k = self.k();
+        let (bytes, consistent) = match ec::reconstruct(root, n, k, &fragments) {
+            Ok(bytes) => (bytes, true),
+            // The sender committed to a non-codeword (or inconsistent
+            // geometry): uniform across subsets, so every correct node
+            // takes this branch — deliver the canonical empty fallback to
+            // preserve totality.
+            Err(_) => (Vec::new(), false),
+        };
+        self.obs.emit(self.me, || ObsEvent::RbcReconstructed {
+            origin: self.sender,
+            tag: self.tag_label.clone(),
+            fragments: fragments.len() as u64,
+            bytes: bytes.len() as u64,
+            consistent,
+        });
+        let support =
+            self.readies.iter().find(|(r, _)| *r == root).map(|(_, c)| *c).unwrap_or_default();
+        let payload = P::from_coded_bytes(bytes);
+        self.delivered = Some(payload.clone());
+        self.obs.emit(self.me, || ObsEvent::RbcDelivered {
+            origin: self.sender,
+            tag: self.tag_label.clone(),
+            support: support as u64,
+        });
+        if let Some(ctx) = self.trace {
+            if self.ready_span_open {
+                self.ready_span_open = false;
+                self.obs.span_end(self.me, ctx, TracePhase::RbcReady);
+            }
+            if self.reconstruct_span_open {
+                self.reconstruct_span_open = false;
+                self.obs.span_end(self.me, ctx, TracePhase::RbcReconstruct);
+            }
+        }
+        out.push(RbcAction::Deliver(payload));
+    }
+
+    fn verify(&self, root: u64, frag: &Fragment) -> bool {
+        ec::verify(root, self.config.n(), self.k(), frag)
+    }
+
+    fn bump(counts: &mut Vec<(u64, usize)>, root: u64) -> usize {
+        if let Some(entry) = counts.iter_mut().find(|(r, _)| *r == root) {
+            entry.1 += 1;
+            return entry.1;
+        }
+        counts.push((root, 1));
+        1
+    }
+
+    fn emit_phase(&self, phase: RbcPhase) {
+        self.obs.emit(self.me, || ObsEvent::RbcPhaseEntered {
+            origin: self.sender,
+            tag: self.tag_label.clone(),
+            phase,
+        });
+    }
+
+    fn emit_fragment(&self, index: u16, verified: bool) {
+        self.obs.emit(self.me, || ObsEvent::RbcFragment {
+            origin: self.sender,
+            tag: self.tag_label.clone(),
+            index: u64::from(index),
+            verified,
+        });
+    }
+
+    fn maybe_send_ready(
+        &mut self,
+        root: u64,
+        via: RbcPhase,
+        support: usize,
+        actions: &mut Vec<RbcAction<P>>,
+    ) {
+        if !self.sent_ready {
+            self.sent_ready = true;
+            self.obs.emit(self.me, || ObsEvent::RbcQuorumReached {
+                origin: self.sender,
+                tag: self.tag_label.clone(),
+                phase: via,
+                support: support as u64,
+            });
+            self.emit_phase(RbcPhase::Ready);
+            if let Some(ctx) = self.trace {
+                if self.echo_span_open {
+                    self.echo_span_open = false;
+                    self.obs.span_end(self.me, ctx, TracePhase::RbcEcho);
+                }
+                self.ready_span_open = true;
+                self.obs.span_start(self.me, ctx, TracePhase::RbcReady, ctx.root);
+            }
+            actions.push(RbcAction::Broadcast(RbcMessage::CodedReady { root }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::new(4, 1).unwrap()
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    type Inst = CodedInstance<Vec<u8>>;
+
+    fn payload() -> Vec<u8> {
+        (0..100u8).collect()
+    }
+
+    /// Encodes `payload()` as the designated sender n(0) would.
+    fn coded() -> ec::Coded {
+        ec::encode(&payload(), 4, 2).unwrap()
+    }
+
+    fn echo(root: u64, frag: &Fragment) -> RbcMessage<Vec<u8>> {
+        RbcMessage::CodedEcho { root, fragment: frag.clone() }
+    }
+
+    #[test]
+    fn sender_unicasts_fragments_and_echoes_its_own() {
+        let mut inst = Inst::new(cfg(), n(0), n(0));
+        let actions = inst.start(payload());
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                RbcAction::Send { to, msg: RbcMessage::CodedSend { fragment, .. } } => {
+                    Some((to.index(), fragment.index))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends, vec![(1, 1), (2, 2), (3, 3)], "fragment i goes to node i");
+        assert!(
+            actions.iter().any(
+                |a| matches!(a, RbcAction::Broadcast(RbcMessage::CodedEcho { fragment, .. }) if fragment.index == 0)
+            ),
+            "the sender echoes its own fragment without a self-unicast: {actions:?}"
+        );
+        assert!(inst.start(payload()).is_empty(), "second start ignored");
+    }
+
+    #[test]
+    fn non_sender_cannot_start() {
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        assert!(inst.start(payload()).is_empty());
+    }
+
+    #[test]
+    fn valid_send_triggers_echo_of_own_fragment() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let msg = RbcMessage::CodedSend { root: c.root, fragment: c.fragments[1].clone() };
+        let a = inst.on_message(n(0), &msg);
+        assert_eq!(
+            a,
+            vec![RbcAction::Broadcast(RbcMessage::CodedEcho {
+                root: c.root,
+                fragment: c.fragments[1].clone()
+            })]
+        );
+        // A second send (even valid) is ignored.
+        assert!(inst.on_message(n(0), &msg).is_empty());
+    }
+
+    #[test]
+    fn send_with_wrong_index_or_bad_proof_is_rejected() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let wrong_index = RbcMessage::CodedSend { root: c.root, fragment: c.fragments[2].clone() };
+        assert!(inst.on_message(n(0), &wrong_index).is_empty());
+        let mut corrupted = c.fragments[1].clone();
+        corrupted.shard[0] ^= 1;
+        let bad = RbcMessage::CodedSend { root: c.root, fragment: corrupted };
+        assert!(inst.on_message(n(0), &bad).is_empty());
+        let not_sender = RbcMessage::CodedSend { root: c.root, fragment: c.fragments[1].clone() };
+        assert!(inst.on_message(n(2), &not_sender).is_empty());
+    }
+
+    #[test]
+    fn echo_quorum_triggers_ready() {
+        // n=4, f=1: echo quorum is n−f = 3 distinct valid fragments.
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(0), &echo(c.root, &c.fragments[0])).is_empty());
+        assert!(inst.on_message(n(2), &echo(c.root, &c.fragments[2])).is_empty());
+        let a = inst.on_message(n(3), &echo(c.root, &c.fragments[3]));
+        assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::CodedReady { root: c.root })]);
+    }
+
+    #[test]
+    fn echo_must_match_peer_index() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        // Peer 2 echoing fragment 3 is a forgery regardless of validity.
+        assert!(inst.on_message(n(2), &echo(c.root, &c.fragments[3])).is_empty());
+        assert_eq!(inst.buffered_fragment_bytes(), 0);
+    }
+
+    #[test]
+    fn invalid_echo_does_not_burn_the_peers_slot() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let mut corrupted = c.fragments[2].clone();
+        corrupted.shard[0] ^= 1;
+        assert!(inst.on_message(n(2), &echo(c.root, &corrupted)).is_empty());
+        // The same peer's valid echo still counts afterwards.
+        let _ = inst.on_message(n(0), &echo(c.root, &c.fragments[0]));
+        let _ = inst.on_message(n(2), &echo(c.root, &c.fragments[2]));
+        let a = inst.on_message(n(3), &echo(c.root, &c.fragments[3]));
+        assert_eq!(a.len(), 1, "quorum reached with the re-sent valid echo");
+    }
+
+    #[test]
+    fn duplicate_echoes_from_same_peer_ignored() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        assert!(inst.on_message(n(2), &echo(c.root, &c.fragments[2])).is_empty());
+        assert!(inst.on_message(n(2), &echo(c.root, &c.fragments[2])).is_empty());
+        assert!(inst.on_message(n(0), &echo(c.root, &c.fragments[0])).is_empty());
+        // Still only two distinct echoers.
+        let a = inst.on_message(n(3), &echo(c.root, &c.fragments[3]));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn ready_amplification_at_f_plus_one() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let ready = RbcMessage::CodedReady { root: c.root };
+        assert!(inst.on_message(n(2), &ready).is_empty());
+        let a = inst.on_message(n(3), &ready);
+        assert_eq!(a, vec![RbcAction::Broadcast(RbcMessage::CodedReady { root: c.root })]);
+    }
+
+    #[test]
+    fn delivery_needs_readys_and_fragments() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let ready = RbcMessage::CodedReady { root: c.root };
+        // 2f+1 = 3 readys, but no fragments yet: no delivery.
+        assert_eq!(inst.on_message(n(0), &ready).len(), 0);
+        assert_eq!(inst.on_message(n(2), &ready).len(), 1, "amplified own ready");
+        assert_eq!(inst.on_message(n(3), &ready).len(), 0);
+        assert_eq!(inst.delivered(), None);
+        // k = n−2f = 2 verified fragments complete the delivery.
+        assert!(inst.on_message(n(0), &echo(c.root, &c.fragments[0])).is_empty());
+        let a = inst.on_message(n(2), &echo(c.root, &c.fragments[2]));
+        assert_eq!(a, vec![RbcAction::Deliver(payload())]);
+        assert_eq!(inst.delivered(), Some(&payload()));
+    }
+
+    #[test]
+    fn delivery_happens_once() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let ready = RbcMessage::CodedReady { root: c.root };
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), &ready);
+        }
+        let _ = inst.on_message(n(0), &echo(c.root, &c.fragments[0]));
+        let _ = inst.on_message(n(2), &echo(c.root, &c.fragments[2]));
+        assert_eq!(inst.delivered(), Some(&payload()));
+        assert!(inst.on_message(n(3), &echo(c.root, &c.fragments[3])).is_empty());
+    }
+
+    #[test]
+    fn readies_for_conflicting_roots_cannot_both_win() {
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let _ = inst.on_message(n(0), &RbcMessage::CodedReady { root: 1 });
+        let _ = inst.on_message(n(2), &RbcMessage::CodedReady { root: 2 });
+        let _ = inst.on_message(n(3), &RbcMessage::CodedReady { root: 1 });
+        let _ = inst.on_message(n(1), &RbcMessage::CodedReady { root: 2 });
+        assert_eq!(inst.delivered(), None);
+        assert_eq!(inst.deliver_root, None);
+    }
+
+    #[test]
+    fn full_four_node_run_delivers_everywhere() {
+        let mut insts: Vec<Inst> = (0..4).map(|i| Inst::new(cfg(), n(i), n(0))).collect();
+        let mut unicasts: Vec<(NodeId, NodeId, RbcMessage<Vec<u8>>)> = Vec::new();
+        let mut broadcasts: Vec<(NodeId, RbcMessage<Vec<u8>>)> = Vec::new();
+        let sink = |from: NodeId,
+                    actions: Vec<RbcAction<Vec<u8>>>,
+                    unicasts: &mut Vec<(NodeId, NodeId, RbcMessage<Vec<u8>>)>,
+                    broadcasts: &mut Vec<(NodeId, RbcMessage<Vec<u8>>)>| {
+            for a in actions {
+                match a {
+                    RbcAction::Send { to, msg } => unicasts.push((from, to, msg)),
+                    RbcAction::Broadcast(msg) => broadcasts.push((from, msg)),
+                    RbcAction::Deliver(_) => {}
+                }
+            }
+        };
+        let start = insts[0].start(payload());
+        sink(n(0), start, &mut unicasts, &mut broadcasts);
+        // Synchronous pump until quiescent.
+        while !unicasts.is_empty() || !broadcasts.is_empty() {
+            for (from, to, msg) in std::mem::take(&mut unicasts) {
+                let acts = insts[to.index()].on_message(from, &msg);
+                sink(to, acts, &mut unicasts, &mut broadcasts);
+            }
+            for (from, msg) in std::mem::take(&mut broadcasts) {
+                for (i, inst) in insts.iter_mut().enumerate() {
+                    let acts = inst.on_message(from, &msg);
+                    sink(n(i), acts, &mut unicasts, &mut broadcasts);
+                }
+            }
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            assert_eq!(inst.delivered(), Some(&payload()), "node {i}");
+        }
+    }
+
+    #[test]
+    fn byzantine_non_codeword_commitment_delivers_empty_fallback() {
+        // Forge a commitment over mixed shards of two payloads (as in the
+        // bft-ec test) and run the instance to delivery: the re-encode
+        // check fails and the canonical empty payload is delivered.
+        let a = ec::encode(&payload(), 4, 2).unwrap();
+        let b = ec::encode(&[9u8; 100], 4, 2).unwrap();
+        let mixed: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                if i % 2 == 0 {
+                    a.fragments[i].shard.clone()
+                } else {
+                    b.fragments[i].shard.clone()
+                }
+            })
+            .collect();
+        let leaves: Vec<u64> =
+            mixed.iter().enumerate().map(|(i, s)| ec::merkle::leaf_hash(i as u16, s)).collect();
+        let frags: Vec<Fragment> = mixed
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| Fragment {
+                index: i as u16,
+                total_len: 100,
+                shard: shard.clone(),
+                proof: ec::merkle::proof(&leaves, i),
+            })
+            .collect();
+        // Rebind the forged Merkle root exactly as the encoder does — via
+        // a fragment's successful verification against it. There is no
+        // public constructor for a forged commitment, so recover it by
+        // encoding a payload whose fragments we then swap out… simpler:
+        // search the 64-bit space is impossible, so recompute through the
+        // crate's own building blocks.
+        let root = {
+            // ec::encode commits as commitment(merkle_root, total_len, n, k);
+            // replicate via a probe: encode any payload, then reuse the
+            // same binding by checking verify() against candidate roots is
+            // not possible — instead use the internal layout, pinned by
+            // the cross-check below.
+            let mut h = ec::hash::Fnv64::new();
+            h.update(b"ec-commit")
+                .update_u64(ec::merkle::root(&leaves))
+                .update_u64(100)
+                .update(&[4u8, 2u8]);
+            h.finish()
+        };
+        for f in &frags {
+            assert!(ec::verify(root, 4, 2, f), "forged commitment layout drifted");
+        }
+
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        let ready = RbcMessage::CodedReady { root };
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), &ready);
+        }
+        let _ = inst.on_message(n(0), &echo(root, &frags[0]));
+        let acts = inst.on_message(n(2), &echo(root, &frags[2]));
+        assert_eq!(acts, vec![RbcAction::Deliver(Vec::new())], "canonical fallback");
+    }
+
+    #[test]
+    fn buffered_bytes_track_fragments() {
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        assert_eq!(inst.buffered_fragment_bytes(), 0);
+        let _ = inst.on_message(n(2), &echo(c.root, &c.fragments[2]));
+        assert_eq!(inst.buffered_fragment_bytes(), c.fragments[2].weight());
+    }
+
+    #[test]
+    fn traced_instance_balances_all_spans() {
+        use bft_obs::VecSink;
+        let (obs, sink) = Obs::new(VecSink::new());
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        inst.set_obs(obs.clone(), "t".into());
+        let ctx = TraceCtx::derive(n(0), 0, 0);
+        inst.set_trace(ctx);
+        let _ = inst.on_message(
+            n(0),
+            &RbcMessage::CodedSend { root: c.root, fragment: c.fragments[1].clone() },
+        );
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), &echo(c.root, &c.fragments[i].clone()));
+        }
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), &RbcMessage::CodedReady { root: c.root });
+        }
+        assert!(inst.delivered().is_some());
+        let events = sink.lock().take();
+        let mut open = 0i64;
+        let mut starts = 0;
+        for (_, _, e) in &events {
+            match e {
+                ObsEvent::SpanStart { .. } => {
+                    open += 1;
+                    starts += 1;
+                }
+                ObsEvent::SpanEnd { .. } => open -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(open, 0, "all spans closed");
+        assert_eq!(starts, 3, "echo + ready + reconstruct spans");
+    }
+
+    #[test]
+    fn finish_spans_closes_reconstruct_span() {
+        use bft_obs::VecSink;
+        let (obs, sink) = Obs::new(VecSink::new());
+        let c = coded();
+        let mut inst = Inst::new(cfg(), n(1), n(0));
+        inst.set_obs(obs.clone(), "t".into());
+        inst.set_trace(TraceCtx::derive(n(0), 0, 0));
+        // Reach the ready quorum without fragments: reconstruct span opens.
+        for i in [0usize, 2, 3] {
+            let _ = inst.on_message(n(i), &RbcMessage::CodedReady { root: c.root });
+        }
+        inst.finish_spans();
+        inst.finish_spans();
+        let events = sink.lock().take();
+        let starts =
+            events.iter().filter(|(_, _, e)| matches!(e, ObsEvent::SpanStart { .. })).count();
+        let ends = events.iter().filter(|(_, _, e)| matches!(e, ObsEvent::SpanEnd { .. })).count();
+        assert_eq!(starts, ends, "balanced after GC: {events:?}");
+    }
+}

@@ -10,6 +10,14 @@ use std::fmt;
 pub enum RbcAction<P> {
     /// Send this message to every node (including ourselves).
     Broadcast(RbcMessage<P>),
+    /// Send this message to exactly one node — the coded variant's
+    /// per-recipient fragment dissemination.
+    Send {
+        /// The recipient.
+        to: NodeId,
+        /// The message to deliver to `to` alone.
+        msg: RbcMessage<P>,
+    },
     /// The payload has been reliably delivered — at most once per
     /// instance, and (for correct hosts) with the agreement and totality
     /// guarantees of the protocol.
@@ -203,6 +211,11 @@ where
                     }
                 }
             }
+            // Coded-variant traffic belongs to a `CodedInstance`; a Bracha
+            // instance ignores it rather than guessing at semantics.
+            RbcMessage::CodedSend { .. }
+            | RbcMessage::CodedEcho { .. }
+            | RbcMessage::CodedReady { .. } => {}
         }
         actions
     }

@@ -30,6 +30,11 @@
 //! or `bft-runtime`, or [`RbcMux`] to run many concurrent instances (as the
 //! consensus protocol in the `bracha` crate does).
 //!
+//! Big payloads have a second implementation: [`CodedInstance`] speaks an
+//! AVID-style erasure-coded variant (fragment unicast + fragment echoes,
+//! O(n·B) bytes on the wire instead of Bracha's O(n²·B)) behind the same
+//! action surface. [`RbcMux`] selects per-mux via [`RbcKind`].
+//!
 //! # Example
 //!
 //! ```
@@ -51,14 +56,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coded;
 mod instance;
 mod msg;
 mod mux;
 mod process;
 pub mod simple;
 
+pub use coded::{CodedInstance, CodedPayload};
 pub use instance::{RbcAction, RbcInstance};
 pub use msg::RbcMessage;
-pub use mux::{RbcMux, RbcMuxAction, RbcMuxMessage};
-pub use process::RbcProcess;
+pub use mux::{RbcKind, RbcMux, RbcMuxAction, RbcMuxMessage};
+pub use process::{CodedProcess, RbcProcess};
 pub use simple::EchoBroadcast;

@@ -5,11 +5,94 @@
 //! (round, step) pair, so each node reliably broadcasts exactly one payload
 //! per protocol step and equivocation is structurally impossible.
 
-use crate::{RbcAction, RbcInstance, RbcMessage};
+use crate::{CodedInstance, CodedPayload, RbcAction, RbcInstance, RbcMessage};
 use bft_obs::{Obs, TraceCtx};
 use bft_types::{Config, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Which reliable-broadcast implementation a mux runs for its instances.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RbcKind {
+    /// Bracha's original full-payload Send/Echo/Ready protocol.
+    #[default]
+    Bracha,
+    /// The erasure-coded variant: fragment unicast plus fragment echoes,
+    /// O(n·B) bytes on the wire instead of O(n²·B).
+    Coded,
+}
+
+impl RbcKind {
+    /// Stable lowercase label (CLI flags, bench reports).
+    pub const fn label(self) -> &'static str {
+        match self {
+            RbcKind::Bracha => "bracha",
+            RbcKind::Coded => "coded",
+        }
+    }
+
+    /// Parses the [`RbcKind::label`] form.
+    pub fn parse(s: &str) -> Option<RbcKind> {
+        match s {
+            "bracha" => Some(RbcKind::Bracha),
+            "coded" => Some(RbcKind::Coded),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RbcKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One instance of either implementation, behind a uniform surface.
+#[derive(Clone, Debug)]
+enum Inst<P> {
+    Bracha(RbcInstance<P>),
+    Coded(CodedInstance<P>),
+}
+
+impl<P> Inst<P>
+where
+    P: CodedPayload + Clone + Eq + fmt::Debug,
+{
+    fn on_message(&mut self, from: NodeId, msg: &RbcMessage<P>) -> Vec<RbcAction<P>> {
+        match self {
+            Inst::Bracha(i) => i.on_message(from, msg),
+            Inst::Coded(i) => i.on_message(from, msg),
+        }
+    }
+
+    fn start(&mut self, payload: P) -> Vec<RbcAction<P>> {
+        match self {
+            Inst::Bracha(i) => i.start(payload),
+            Inst::Coded(i) => i.start(payload),
+        }
+    }
+
+    fn delivered(&self) -> Option<&P> {
+        match self {
+            Inst::Bracha(i) => i.delivered(),
+            Inst::Coded(i) => i.delivered(),
+        }
+    }
+
+    fn finish_spans(&mut self) {
+        match self {
+            Inst::Bracha(i) => i.finish_spans(),
+            Inst::Coded(i) => i.finish_spans(),
+        }
+    }
+
+    fn buffered_fragment_bytes(&self) -> usize {
+        match self {
+            Inst::Bracha(_) => 0,
+            Inst::Coded(i) => i.buffered_fragment_bytes(),
+        }
+    }
+}
 
 /// A multiplexed instance message: the inner RBC message plus the instance
 /// coordinates (designated sender and application tag).
@@ -34,6 +117,14 @@ impl<T: fmt::Display, P: fmt::Display> fmt::Display for RbcMuxMessage<T, P> {
 pub enum RbcMuxAction<T, P> {
     /// Send this multiplexed message to every node (including ourselves).
     Broadcast(RbcMuxMessage<T, P>),
+    /// Send this multiplexed message to exactly one node — coded-variant
+    /// fragment dissemination.
+    Send {
+        /// The recipient.
+        to: NodeId,
+        /// The message to deliver to `to` alone.
+        msg: RbcMuxMessage<T, P>,
+    },
     /// Instance `(sender, tag)` reliably delivered `payload`.
     Deliver {
         /// The designated sender of the delivering instance.
@@ -69,9 +160,12 @@ pub enum RbcMuxAction<T, P> {
 pub struct RbcMux<T, P> {
     config: Config,
     me: NodeId,
+    /// Which implementation newly-created instances run (existing
+    /// instances keep theirs).
+    kind: RbcKind,
     // Ordered (not hashed) so that `deliveries()` and `retain` visit
     // instances in a replay-stable order.
-    instances: BTreeMap<(NodeId, T), RbcInstance<P>>,
+    instances: BTreeMap<(NodeId, T), Inst<P>>,
     obs: Obs,
     // A plain fn pointer (not a boxed closure) so the mux keeps its
     // derived `Clone`/`Debug`; hosts that need state derive the trace
@@ -82,11 +176,31 @@ pub struct RbcMux<T, P> {
 impl<T, P> RbcMux<T, P>
 where
     T: Clone + Ord + fmt::Debug,
-    P: Clone + Eq + fmt::Debug,
+    P: CodedPayload + Clone + Eq + fmt::Debug,
 {
-    /// Creates an empty multiplexer for node `me`.
+    /// Creates an empty multiplexer for node `me`, running Bracha
+    /// instances (see [`RbcMux::set_kind`]).
     pub fn new(config: Config, me: NodeId) -> Self {
-        RbcMux { config, me, instances: BTreeMap::new(), obs: Obs::disabled(), tracer: None }
+        RbcMux {
+            config,
+            me,
+            kind: RbcKind::Bracha,
+            instances: BTreeMap::new(),
+            obs: Obs::disabled(),
+            tracer: None,
+        }
+    }
+
+    /// Selects the implementation for instances created from here on —
+    /// set it before the first message flows so the whole mux agrees.
+    /// All nodes of a system must configure the same kind.
+    pub fn set_kind(&mut self, kind: RbcKind) {
+        self.kind = kind;
+    }
+
+    /// The implementation newly-created instances run.
+    pub fn kind(&self) -> RbcKind {
+        self.kind
     }
 
     /// Attaches an observer. Instances created from here on emit RBC
@@ -115,21 +229,44 @@ where
         self.instances.len()
     }
 
-    fn instance(&mut self, sender: NodeId, tag: T) -> &mut RbcInstance<P> {
+    fn instance(&mut self, sender: NodeId, tag: T) -> &mut Inst<P> {
         let config = self.config;
         let me = self.me;
+        let kind = self.kind;
         let obs = &self.obs;
         let tracer = self.tracer;
         self.instances.entry((sender, tag)).or_insert_with_key(|(sender, tag)| {
-            let mut inst = RbcInstance::new(config, me, *sender);
-            if obs.enabled() {
-                inst.set_obs(obs.clone(), format!("{tag:?}"));
-                if let Some(ctx) = tracer.and_then(|t| t(*sender, tag)) {
-                    inst.set_trace(ctx);
+            let label_ctx =
+                obs.enabled().then(|| (format!("{tag:?}"), tracer.and_then(|t| t(*sender, tag))));
+            match kind {
+                RbcKind::Bracha => {
+                    let mut inst = RbcInstance::new(config, me, *sender);
+                    if let Some((label, ctx)) = label_ctx {
+                        inst.set_obs(obs.clone(), label);
+                        if let Some(ctx) = ctx {
+                            inst.set_trace(ctx);
+                        }
+                    }
+                    Inst::Bracha(inst)
+                }
+                RbcKind::Coded => {
+                    let mut inst = CodedInstance::new(config, me, *sender);
+                    if let Some((label, ctx)) = label_ctx {
+                        inst.set_obs(obs.clone(), label);
+                        if let Some(ctx) = ctx {
+                            inst.set_trace(ctx);
+                        }
+                    }
+                    Inst::Coded(inst)
                 }
             }
-            inst
         })
+    }
+
+    /// Fragment bytes buffered across all coded instances — what
+    /// [`RbcMux::retain`] reclaims; memory-bound tests watch the peak.
+    pub fn buffered_fragment_bytes(&self) -> usize {
+        self.instances.values().map(Inst::buffered_fragment_bytes).sum()
     }
 
     /// Starts reliably broadcasting `payload` under `tag`, with this node
@@ -201,6 +338,9 @@ where
                 RbcAction::Broadcast(msg) => {
                     RbcMuxAction::Broadcast(RbcMuxMessage { sender, tag: tag.clone(), msg })
                 }
+                RbcAction::Send { to, msg } => {
+                    RbcMuxAction::Send { to, msg: RbcMuxMessage { sender, tag: tag.clone(), msg } }
+                }
                 RbcAction::Deliver(payload) => {
                     RbcMuxAction::Deliver { sender, tag: tag.clone(), payload }
                 }
@@ -225,14 +365,14 @@ mod tests {
     /// simple synchronous message pump, and checks everyone delivers.
     #[test]
     fn four_muxes_deliver_the_senders_payload() {
-        let mut muxes: Vec<RbcMux<u8, &str>> = (0..4).map(|i| RbcMux::new(cfg(), n(i))).collect();
-        let mut inbox: Vec<(NodeId, RbcMuxMessage<u8, &str>)> = Vec::new();
+        let mut muxes: Vec<RbcMux<u8, String>> = (0..4).map(|i| RbcMux::new(cfg(), n(i))).collect();
+        let mut inbox: Vec<(NodeId, RbcMuxMessage<u8, String>)> = Vec::new();
 
         fn dispatch(
             from: NodeId,
-            actions: Vec<RbcMuxAction<u8, &'static str>>,
-            inbox: &mut Vec<(NodeId, RbcMuxMessage<u8, &'static str>)>,
-            delivered: &mut Vec<(NodeId, &'static str)>,
+            actions: Vec<RbcMuxAction<u8, String>>,
+            inbox: &mut Vec<(NodeId, RbcMuxMessage<u8, String>)>,
+            delivered: &mut Vec<(NodeId, String)>,
         ) {
             for a in actions {
                 match a {
@@ -242,12 +382,13 @@ mod tests {
                         }
                     }
                     RbcMuxAction::Deliver { payload, .. } => delivered.push((from, payload)),
+                    RbcMuxAction::Send { .. } => panic!("bracha never unicasts"),
                 }
             }
         }
 
         let mut delivered = Vec::new();
-        let start = muxes[0].broadcast(9, "m");
+        let start = muxes[0].broadcast(9, "m".to_string());
         dispatch(n(0), start, &mut inbox, &mut delivered);
 
         // Pump: each broadcast fans out to all four muxes (the `to` target
@@ -264,31 +405,120 @@ mod tests {
         nodes.sort_unstable();
         nodes.dedup();
         assert_eq!(nodes, vec![0, 1, 2, 3], "every node must deliver");
-        assert!(delivered.iter().all(|&(_, p)| p == "m"));
+        assert!(delivered.iter().all(|(_, p)| p == "m"));
+    }
+
+    /// The same pump, but over coded muxes: unicasts go to their target,
+    /// broadcasts fan out to everyone, and delivery + GC are checked.
+    #[test]
+    fn four_coded_muxes_deliver_and_retain_reclaims_fragments() {
+        let payload: String = "x".repeat(500);
+        let mut muxes: Vec<RbcMux<u8, String>> = (0..4)
+            .map(|i| {
+                let mut m = RbcMux::new(cfg(), n(i));
+                m.set_kind(RbcKind::Coded);
+                m
+            })
+            .collect();
+        let mut inbox: Vec<(NodeId, NodeId, RbcMuxMessage<u8, String>)> = Vec::new();
+        let mut delivered: Vec<(NodeId, String)> = Vec::new();
+
+        fn dispatch(
+            from: NodeId,
+            actions: Vec<RbcMuxAction<u8, String>>,
+            inbox: &mut Vec<(NodeId, NodeId, RbcMuxMessage<u8, String>)>,
+            delivered: &mut Vec<(NodeId, String)>,
+        ) {
+            for a in actions {
+                match a {
+                    RbcMuxAction::Broadcast(m) => {
+                        for t in 0..4 {
+                            inbox.push((from, n(t), m.clone()));
+                        }
+                    }
+                    RbcMuxAction::Send { to, msg } => inbox.push((from, to, msg)),
+                    RbcMuxAction::Deliver { payload, .. } => delivered.push((from, payload)),
+                }
+            }
+        }
+
+        let start = muxes[0].broadcast(9, payload.clone());
+        dispatch(n(0), start, &mut inbox, &mut delivered);
+        let mut head = 0;
+        while head < inbox.len() {
+            let (from, to, msg) = inbox[head].clone();
+            head += 1;
+            let acts = muxes[to.index()].on_message(from, &msg);
+            dispatch(to, acts, &mut inbox, &mut delivered);
+        }
+
+        assert_eq!(delivered.len(), 4, "every node delivers: {delivered:?}");
+        assert!(delivered.iter().all(|(_, p)| *p == payload));
+        // Fragments stay buffered until the host garbage-collects.
+        for mux in &mut muxes {
+            assert!(mux.buffered_fragment_bytes() > 0);
+            mux.retain(|_, _| false);
+            assert_eq!(mux.buffered_fragment_bytes(), 0, "retain reclaims fragment buffers");
+            assert_eq!(mux.instance_count(), 0);
+        }
+    }
+
+    #[test]
+    fn kinds_ignore_each_others_messages() {
+        let c = bft_ec::encode(b"payload", 4, 2).unwrap();
+        // A coded mux ignores Bracha traffic…
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(1));
+        mux.set_kind(RbcKind::Coded);
+        for i in [0usize, 2, 3] {
+            let acts = mux.on_message(
+                n(i),
+                &RbcMuxMessage { sender: n(0), tag: 1, msg: RbcMessage::Ready("m".to_string()) },
+            );
+            assert!(acts.is_empty());
+        }
+        assert_eq!(mux.delivered(n(0), &1), None);
+        // …and a Bracha mux ignores coded traffic.
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(1));
+        for i in [0usize, 2, 3] {
+            let acts = mux.on_message(
+                n(i),
+                &RbcMuxMessage {
+                    sender: n(0),
+                    tag: 1,
+                    msg: RbcMessage::CodedReady { root: c.root },
+                },
+            );
+            assert!(acts.is_empty());
+        }
+        assert_eq!(mux.delivered(n(0), &1), None);
     }
 
     #[test]
     fn instances_are_isolated_by_tag() {
-        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(1));
         // Echoes for tag 1 must not count toward tag 2.
         for i in [0usize, 2, 3] {
             let _ = mux.on_message(
                 n(i),
-                &RbcMuxMessage { sender: n(0), tag: 1, msg: RbcMessage::Ready("m") },
+                &RbcMuxMessage { sender: n(0), tag: 1, msg: RbcMessage::Ready("m".to_string()) },
             );
         }
-        assert_eq!(mux.delivered(n(0), &1), Some(&"m"));
+        assert_eq!(mux.delivered(n(0), &1), Some(&"m".to_string()));
         assert_eq!(mux.delivered(n(0), &2), None);
         assert_eq!(mux.instance_count(), 1);
     }
 
     #[test]
     fn instances_are_isolated_by_sender() {
-        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
-        let _ = mux
-            .on_message(n(2), &RbcMuxMessage { sender: n(2), tag: 1, msg: RbcMessage::Ready("a") });
-        let _ = mux
-            .on_message(n(3), &RbcMuxMessage { sender: n(3), tag: 1, msg: RbcMessage::Ready("a") });
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(1));
+        let _ = mux.on_message(
+            n(2),
+            &RbcMuxMessage { sender: n(2), tag: 1, msg: RbcMessage::Ready("a".to_string()) },
+        );
+        let _ = mux.on_message(
+            n(3),
+            &RbcMuxMessage { sender: n(3), tag: 1, msg: RbcMessage::Ready("a".to_string()) },
+        );
         // Two Readys but for *different* instances: no amplification.
         assert_eq!(mux.delivered(n(2), &1), None);
         assert_eq!(mux.delivered(n(3), &1), None);
@@ -297,18 +527,20 @@ mod tests {
 
     #[test]
     fn messages_for_out_of_range_senders_are_dropped() {
-        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
-        let acts = mux
-            .on_message(n(2), &RbcMuxMessage { sender: n(9), tag: 1, msg: RbcMessage::Ready("a") });
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(1));
+        let acts = mux.on_message(
+            n(2),
+            &RbcMuxMessage { sender: n(9), tag: 1, msg: RbcMessage::Ready("a".to_string()) },
+        );
         assert!(acts.is_empty());
         assert_eq!(mux.instance_count(), 0);
     }
 
     #[test]
     fn retain_garbage_collects() {
-        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(0));
-        let _ = mux.broadcast(1, "a");
-        let _ = mux.broadcast(2, "b");
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(0));
+        let _ = mux.broadcast(1, "a".to_string());
+        let _ = mux.broadcast(2, "b".to_string());
         assert_eq!(mux.instance_count(), 2);
         mux.retain(|_, tag| *tag >= 2);
         assert_eq!(mux.instance_count(), 1);
@@ -323,13 +555,15 @@ mod tests {
         }
 
         let (obs, sink) = Obs::new(VecSink::new());
-        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(1));
         mux.set_obs(obs.clone());
         mux.set_tracer(tracer);
 
         // A Send opens the echo span; GC before delivery must close it.
-        let _ = mux
-            .on_message(n(0), &RbcMuxMessage { sender: n(0), tag: 3, msg: RbcMessage::Send("m") });
+        let _ = mux.on_message(
+            n(0),
+            &RbcMuxMessage { sender: n(0), tag: 3, msg: RbcMessage::Send("m".to_string()) },
+        );
         obs.set_now(4);
         mux.retain(|_, _| false);
         assert_eq!(mux.instance_count(), 0);
@@ -351,14 +585,14 @@ mod tests {
 
     #[test]
     fn deliveries_iterates_completed_instances() {
-        let mut mux: RbcMux<u8, &str> = RbcMux::new(cfg(), n(1));
+        let mut mux: RbcMux<u8, String> = RbcMux::new(cfg(), n(1));
         for i in [0usize, 2, 3] {
             let _ = mux.on_message(
                 n(i),
-                &RbcMuxMessage { sender: n(0), tag: 5, msg: RbcMessage::Ready("m") },
+                &RbcMuxMessage { sender: n(0), tag: 5, msg: RbcMessage::Ready("m".to_string()) },
             );
         }
         let all: Vec<_> = mux.deliveries().collect();
-        assert_eq!(all, vec![(n(0), &5, &"m")]);
+        assert_eq!(all, vec![(n(0), &5, &"m".to_string())]);
     }
 }

@@ -1,10 +1,21 @@
 //! Running a single reliable-broadcast instance as a transport-driven
 //! [`Process`].
 
-use crate::{RbcAction, RbcInstance, RbcMessage};
+use crate::{CodedInstance, CodedPayload, RbcAction, RbcInstance, RbcMessage};
 use bft_types::{Config, Effect, NodeId, Process};
 use std::fmt;
 use std::hash::Hash;
+
+fn lift<P>(actions: Vec<RbcAction<P>>) -> Vec<Effect<RbcMessage<P>, P>> {
+    actions
+        .into_iter()
+        .map(|a| match a {
+            RbcAction::Broadcast(msg) => Effect::Broadcast { msg },
+            RbcAction::Send { to, msg } => Effect::Send { to, msg },
+            RbcAction::Deliver(p) => Effect::Output(p),
+        })
+        .collect()
+}
 
 /// One node participating in one reliable-broadcast instance, packaged as
 /// a [`Process`] so it can run under `bft-sim` or `bft-runtime`.
@@ -49,16 +60,6 @@ where
     pub fn new(config: Config, id: NodeId, sender: NodeId, payload: Option<P>) -> Self {
         RbcProcess { id, instance: RbcInstance::new(config, id, sender), payload }
     }
-
-    fn lift(actions: Vec<RbcAction<P>>) -> Vec<Effect<RbcMessage<P>, P>> {
-        actions
-            .into_iter()
-            .map(|a| match a {
-                RbcAction::Broadcast(msg) => Effect::Broadcast { msg },
-                RbcAction::Deliver(p) => Effect::Output(p),
-            })
-            .collect()
-    }
 }
 
 impl<P> Process for RbcProcess<P>
@@ -74,7 +75,7 @@ where
 
     fn on_start(&mut self) -> Vec<Effect<Self::Msg, Self::Output>> {
         match self.payload.take() {
-            Some(p) => Self::lift(self.instance.start(p)),
+            Some(p) => lift(self.instance.start(p)),
             None => Vec::new(),
         }
     }
@@ -84,7 +85,60 @@ where
         from: NodeId,
         msg: &Self::Msg,
     ) -> Vec<Effect<Self::Msg, Self::Output>> {
-        Self::lift(self.instance.on_message(from, msg))
+        lift(self.instance.on_message(from, msg))
+    }
+
+    fn output(&self) -> Option<P> {
+        self.instance.delivered().cloned()
+    }
+}
+
+/// One node participating in one **erasure-coded** reliable-broadcast
+/// instance, packaged as a [`Process`] — the coded counterpart of
+/// [`RbcProcess`], runnable under `bft-sim`, `bft-runtime`, or `bft-net`
+/// unchanged.
+#[derive(Clone, Debug)]
+pub struct CodedProcess<P> {
+    id: NodeId,
+    instance: CodedInstance<P>,
+    payload: Option<P>,
+}
+
+impl<P> CodedProcess<P>
+where
+    P: CodedPayload + Clone + Eq + fmt::Debug,
+{
+    /// Creates a participant. `payload` must be `Some` exactly at the
+    /// designated sender (it is ignored elsewhere).
+    pub fn new(config: Config, id: NodeId, sender: NodeId, payload: Option<P>) -> Self {
+        CodedProcess { id, instance: CodedInstance::new(config, id, sender), payload }
+    }
+}
+
+impl<P> Process for CodedProcess<P>
+where
+    P: CodedPayload + Clone + Eq + fmt::Debug,
+{
+    type Msg = RbcMessage<P>;
+    type Output = P;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_start(&mut self) -> Vec<Effect<Self::Msg, Self::Output>> {
+        match self.payload.take() {
+            Some(p) => lift(self.instance.start(p)),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: &Self::Msg,
+    ) -> Vec<Effect<Self::Msg, Self::Output>> {
+        lift(self.instance.on_message(from, msg))
     }
 
     fn output(&self) -> Option<P> {

@@ -99,8 +99,12 @@ where
                     }
                 }
             }
-            // The ablated protocol has no Ready phase; ignore strays.
-            RbcMessage::Ready(_) => {}
+            // The ablated protocol has no Ready phase (and no coded
+            // variant); ignore strays.
+            RbcMessage::Ready(_)
+            | RbcMessage::CodedSend { .. }
+            | RbcMessage::CodedEcho { .. }
+            | RbcMessage::CodedReady { .. } => {}
         }
         Vec::new()
     }

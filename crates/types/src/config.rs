@@ -169,6 +169,15 @@ impl Config {
         (self.n + self.f) / 2 + 1
     }
 
+    /// `n − 2f`: the erasure-coded broadcast reconstruction threshold —
+    /// the number of data shards a payload is split into, and the number
+    /// of distinct verified fragments that suffice to decode it. Any
+    /// `n − f` echo quorum contains at least `n − 2f` correct fragments,
+    /// so a node that turns Ready can always eventually reconstruct.
+    pub const fn reconstruct_threshold(&self) -> usize {
+        self.n - 2 * self.f
+    }
+
     /// Returns whether this configuration satisfies `n ≥ 3f + 1`.
     ///
     /// Always true for configurations created via [`Config::new`]; may be
@@ -263,6 +272,11 @@ mod tests {
                     (n + f) / 2 + 1,
                     "super-majority, n={n} f={f}"
                 );
+                assert_eq!(cfg.reconstruct_threshold(), n - 2 * f, "reconstruct, n={n} f={f}");
+                // An n−f echo quorum holds at least n−2f correct
+                // fragments, so reconstruction is always reachable.
+                assert!(cfg.quorum() - cfg.f() >= cfg.reconstruct_threshold(), "n={n} f={f}");
+                assert!(cfg.reconstruct_threshold() >= 1, "n={n} f={f}");
                 // The BV acceptance quorum is reachable by correct nodes
                 // alone, and a super-majority cannot be forged by the
                 // adversary plus a minority of correct nodes.

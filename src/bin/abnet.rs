@@ -10,7 +10,7 @@
 //! abnet [--n N] [--seed S] [--ones K] [--fault KIND]...
 //!       [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE]
 //!       [--max-delay-ms MS] [--timeout-secs T] [--runs R]
-//!       [--epochs E] [--batch B] [--pipeline D]
+//!       [--epochs E] [--batch B] [--pipeline D] [--rbc bracha|coded]
 //!       [--trace-out FILE] [--metrics-out FILE]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
@@ -41,6 +41,7 @@ use async_bft::coin::LocalCoin;
 use async_bft::consensus::{BrachaOptions, BrachaProcess, Wire};
 use async_bft::net::{ChaosConfig, NetRuntime};
 use async_bft::obs::{JsonlSink, MetricsSink, Obs, SharedSink, Tee};
+use async_bft::rbc::RbcKind;
 use async_bft::types::{Config, Value};
 use std::io::Write;
 use std::time::Duration;
@@ -59,6 +60,7 @@ struct Options {
     epochs: u64,
     batch: usize,
     pipeline: usize,
+    rbc: RbcKind,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -129,6 +131,7 @@ fn parse_args() -> Result<Options, String> {
         epochs: 0,
         batch: 4,
         pipeline: 2,
+        rbc: RbcKind::Bracha,
         trace_out: None,
         metrics_out: None,
     };
@@ -172,6 +175,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.pipeline =
                     value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?
             }
+            "--rbc" => {
+                let v = value("--rbc")?;
+                opts.rbc = RbcKind::parse(&v)
+                    .ok_or_else(|| format!("--rbc: expected bracha or coded, got {v}"))?;
+            }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
@@ -179,7 +187,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: abnet [--n N] [--seed S] [--ones K] [--fault KIND]... \
                      [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE] \
                      [--max-delay-ms MS] [--timeout-secs T] [--runs R] \
-                     [--epochs E] [--batch B] [--pipeline D] \
+                     [--epochs E] [--batch B] [--pipeline D] [--rbc bracha|coded] \
                      [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(0);
@@ -212,10 +220,12 @@ fn run_ordering(opts: &Options, chaos: &ChaosConfig) {
         batch_max: opts.batch.max(1),
         pipeline_depth: opts.pipeline.max(1),
         epochs: opts.epochs,
+        rbc: opts.rbc,
     };
     println!(
-        "ordering mode: n = {}, f = {f_max}, epochs = {}, batch = {}, pipeline depth = {}",
-        opts.n, order.epochs, order.batch_max, order.pipeline_depth
+        "ordering mode: n = {}, f = {f_max}, epochs = {}, batch = {}, pipeline depth = {}, \
+         rbc = {}",
+        opts.n, order.epochs, order.batch_max, order.pipeline_depth, order.rbc
     );
 
     let mut completed = 0u64;

@@ -5,7 +5,7 @@
 //! absim [--n N] [--seed S] [--ones K] [--coin local|common]
 //!       [--schedule fixed|uniform|split|partition|favor]
 //!       [--fault KIND]... [--runs R]
-//!       [--epochs E] [--batch B] [--pipeline D]
+//!       [--epochs E] [--batch B] [--pipeline D] [--rbc bracha|coded]
 //!       [--trace-out FILE] [--metrics-out FILE]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
@@ -32,6 +32,7 @@
 //! ```
 
 use async_bft::obs::{JsonlSink, MetricsSink, Obs, SharedSink, Tee};
+use async_bft::rbc::RbcKind;
 use async_bft::{Cluster, CoinChoice, FaultKind, Schedule};
 use std::io::Write;
 
@@ -46,6 +47,7 @@ struct Options {
     epochs: u64,
     batch: usize,
     pipeline: usize,
+    rbc: RbcKind,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -141,6 +143,7 @@ fn parse_args() -> Result<Options, String> {
         epochs: 0,
         batch: 4,
         pipeline: 2,
+        rbc: RbcKind::Bracha,
         trace_out: None,
         metrics_out: None,
     };
@@ -173,6 +176,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.pipeline =
                     value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?
             }
+            "--rbc" => {
+                let v = value("--rbc")?;
+                opts.rbc = RbcKind::parse(&v)
+                    .ok_or_else(|| format!("--rbc: expected bracha or coded, got {v}"))?;
+            }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
@@ -180,7 +188,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: absim [--n N] [--seed S] [--ones K] [--coin local|common] \
                      [--schedule fixed|uniform|split|partition|favor] [--fault KIND]... \
                      [--runs R] [--epochs E] [--batch B] [--pipeline D] \
-                     [--trace-out FILE] [--metrics-out FILE]"
+                     [--rbc bracha|coded] [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -214,10 +222,12 @@ fn run_ordering(opts: &Options) {
         batch_max: opts.batch.max(1),
         pipeline_depth: opts.pipeline.max(1),
         epochs: opts.epochs,
+        rbc: opts.rbc,
     };
     println!(
-        "ordering mode: n = {}, f = {f_max}, epochs = {}, batch = {}, pipeline depth = {}",
-        opts.n, order.epochs, order.batch_max, order.pipeline_depth
+        "ordering mode: n = {}, f = {f_max}, epochs = {}, batch = {}, pipeline depth = {}, \
+         rbc = {}",
+        opts.n, order.epochs, order.batch_max, order.pipeline_depth, order.rbc
     );
 
     let mut completed = 0u64;

@@ -3,7 +3,10 @@
 //!
 //! The workspace implements, from scratch:
 //!
-//! * [`bft_rbc`] — Bracha's **reliable broadcast** (Send/Echo/Ready).
+//! * [`bft_rbc`] — Bracha's **reliable broadcast** (Send/Echo/Ready), plus
+//!   an AVID-style erasure-coded variant for large payloads.
+//! * [`bft_ec`] — the dependency-free **Reed–Solomon** codec and Merkle
+//!   fragment commitments behind the coded broadcast.
 //! * [`bracha`] — the **randomized Byzantine consensus** protocol with its
 //!   message-validation discipline, the Ben-Or baseline, and the
 //!   ACS/multi-value extensions that make it "the basis of modern async
@@ -80,6 +83,11 @@ pub mod sim {
 /// Re-export of the reliable-broadcast crate.
 pub mod rbc {
     pub use bft_rbc::*;
+}
+
+/// Re-export of the erasure-coding crate.
+pub mod ec {
+    pub use bft_ec::*;
 }
 
 /// Re-export of the coin crate.

@@ -116,13 +116,24 @@ fn no_zombie_chatter_after_halt() {
 /// retained state observed at any node: (epochs, ABA instances, RBC
 /// instances). Asserts completion, agreement and full wind-down.
 fn pump_ordering(epochs: u64, depth: usize) -> (usize, usize, usize) {
+    pump_ordering_with(epochs, depth, async_bft::rbc::RbcKind::Bracha).0
+}
+
+/// Like [`pump_ordering`], with a selectable RBC kind. Also returns the
+/// ordered log and the peak bytes of buffered coded fragments at any
+/// node (zero for Bracha).
+fn pump_ordering_with(
+    epochs: u64,
+    depth: usize,
+    rbc: async_bft::rbc::RbcKind,
+) -> ((usize, usize, usize), async_bft::order::OrderLog, usize) {
     use async_bft::order::{OrderOptions, OrderProcess};
     use async_bft::types::{Effect, Process};
     use std::collections::VecDeque;
 
     let n = 4;
     let cfg = Config::new(n, 1).unwrap();
-    let opts = OrderOptions { batch_max: 2, pipeline_depth: depth, epochs };
+    let opts = OrderOptions { batch_max: 2, pipeline_depth: depth, epochs, rbc };
     let mut nodes: Vec<OrderProcess<CommonCoin>> = (0..n)
         .map(|i| {
             let workload = (0..2 * epochs).map(|t| vec![i as u8, t as u8]).collect();
@@ -130,32 +141,46 @@ fn pump_ordering(epochs: u64, depth: usize) -> (usize, usize, usize) {
         })
         .collect();
 
-    // Synchronous FIFO pump; broadcasts reach every node, sender included.
+    // Synchronous FIFO pump; broadcasts reach every node (sender
+    // included), unicasts only their target.
     let mut queue = VecDeque::new();
     for node in nodes.iter_mut() {
         let me = node.id();
         for e in node.on_start() {
-            if let Effect::Broadcast { msg } = e {
-                queue.push_back((me, msg));
+            match e {
+                Effect::Broadcast { msg } => {
+                    for to in 0..n {
+                        queue.push_back((me, NodeId::new(to), msg.clone()));
+                    }
+                }
+                Effect::Send { to, msg } => queue.push_back((me, to, msg)),
+                _ => {}
             }
         }
     }
     let (mut max_rbc, mut max_epochs, mut max_abas) = (0usize, 0usize, 0usize);
+    let mut max_frag_bytes = 0usize;
     let mut steps = 0usize;
-    while let Some((from, msg)) = queue.pop_front() {
+    while let Some((from, to, msg)) = queue.pop_front() {
         steps += 1;
         assert!(steps < 3_000_000, "pump did not quiesce");
-        for node in nodes.iter_mut() {
-            let me = node.id();
-            for e in node.on_message(from, &msg) {
-                if let Effect::Broadcast { msg } = e {
-                    queue.push_back((me, msg));
+        let node = &mut nodes[to.index()];
+        let me = node.id();
+        for e in node.on_message(from, &msg) {
+            match e {
+                Effect::Broadcast { msg } => {
+                    for t in 0..n {
+                        queue.push_back((me, NodeId::new(t), msg.clone()));
+                    }
                 }
+                Effect::Send { to, msg } => queue.push_back((me, to, msg)),
+                _ => {}
             }
-            max_rbc = max_rbc.max(node.rbc_instance_count());
-            max_epochs = max_epochs.max(node.live_epochs());
-            max_abas = max_abas.max(node.retained_aba_count());
         }
+        max_rbc = max_rbc.max(node.rbc_instance_count());
+        max_epochs = max_epochs.max(node.live_epochs());
+        max_abas = max_abas.max(node.retained_aba_count());
+        max_frag_bytes = max_frag_bytes.max(node.rbc_fragment_bytes());
     }
 
     // The full run completed and all logs agree.
@@ -166,8 +191,13 @@ fn pump_ordering(epochs: u64, depth: usize) -> (usize, usize, usize) {
         assert_eq!(node.output().as_ref(), Some(&first));
         assert_eq!(node.live_epochs(), 0, "wind-down must collect every epoch");
         assert_eq!(node.rbc_instance_count(), 0);
+        assert_eq!(
+            node.rbc_fragment_bytes(),
+            0,
+            "fragment buffers must be collected with their instances"
+        );
     }
-    (max_epochs, max_abas, max_rbc)
+    ((max_epochs, max_abas, max_rbc), first, max_frag_bytes)
 }
 
 /// The ordering engine's tentpole memory property: over a long run
@@ -193,4 +223,31 @@ fn ordering_state_is_bounded_by_pipeline_depth() {
     assert!(max_epochs <= slack, "retained epochs {max_epochs} exceed 2·depth+2 = {slack}");
     assert!(max_abas <= n * slack, "retained ABA state {max_abas} exceeds n·(2·depth+2)");
     assert!(max_rbc <= n * slack, "live RBC instances {max_rbc} exceed n·(2·depth+2)");
+}
+
+/// The coded-RBC memory property: per-epoch GC (`RbcMux::retain`) drops
+/// fragment buffers along with their instances — peak buffered fragment
+/// bytes stay flat as the epoch horizon doubles, and the coded engine
+/// orders the exact log the Bracha engine does.
+#[test]
+fn coded_ordering_collects_fragment_buffers() {
+    use async_bft::rbc::RbcKind;
+    let depth = 2usize;
+    let (short_state, short_log, short_frag) = pump_ordering_with(8, depth, RbcKind::Coded);
+    let (long_state, _long_log, long_frag) = pump_ordering_with(16, depth, RbcKind::Coded);
+    assert!(short_frag > 0, "coded runs must actually buffer fragments");
+    assert_eq!(
+        short_frag, long_frag,
+        "peak fragment bytes grew with the horizon: a per-epoch leak"
+    );
+    assert_eq!(
+        short_state, long_state,
+        "retained state grew with the epoch horizon: a per-epoch leak"
+    );
+
+    // Differential: same epochs, same workload, same coins — the coded
+    // engine's ordered log is byte-identical to the Bracha engine's.
+    let (_, bracha_log, bracha_frag) = pump_ordering_with(8, depth, RbcKind::Bracha);
+    assert_eq!(bracha_frag, 0, "bracha broadcasts never buffer fragments");
+    assert_eq!(short_log, bracha_log, "coded and bracha engines must order identical logs");
 }

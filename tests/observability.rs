@@ -265,7 +265,8 @@ fn sim_and_net_substrates_trace_the_same_delivery_guaranteed_spans() {
     const N: usize = 4;
     const SEED: u64 = 11;
     let cfg = Config::new(N, 1).unwrap();
-    let opts = OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 2 };
+    let opts =
+        OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 2, ..OrderOptions::default() };
     let workload = |id: NodeId| -> Vec<Vec<u8>> {
         (0..opts.epochs * opts.batch_max as u64)
             .map(|i| format!("tx-{}-{i}", id.index()).into_bytes())

@@ -26,7 +26,8 @@ const F: usize = 1;
 /// assembled trace trees plus the unanimously ordered payload count.
 fn traced_sim_run(seed: u64, epochs: u64, batch: usize, depth: usize) -> (TraceAssembler, usize) {
     let cfg = Config::new(N, F).unwrap();
-    let opts = OrderOptions { batch_max: batch, pipeline_depth: depth, epochs };
+    let opts =
+        OrderOptions { batch_max: batch, pipeline_depth: depth, epochs, ..OrderOptions::default() };
     let (obs, shared) = Obs::new(TraceSink::new());
     let mut world = World::new(WorldConfig::new(N), UniformDelay::new(1, 7, seed));
     world.set_observer(obs.clone());
