@@ -70,6 +70,12 @@ pub struct Coded {
     pub fragments: Vec<Fragment>,
 }
 
+/// Upper bound on the payload length a fragment may claim, aligned with
+/// the net-layer frame cap. `total_len` arrives from the wire, and
+/// reconstruction sizes shard interpolation and the output buffer from
+/// it — an unchecked claim is a Byzantine memory-exhaustion vector.
+pub const MAX_TOTAL_LEN: u32 = 1 << 20;
+
 /// A typed erasure-coding failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EcError {
@@ -300,6 +306,9 @@ pub fn reconstruct(
         return Err(EcError::NotEnoughFragments { have: 0, need: k });
     };
     let total_len = first.total_len;
+    if total_len > MAX_TOTAL_LEN {
+        return Err(EcError::PayloadTooLarge { len: total_len as usize });
+    }
     let len = shard_len(total_len as usize, k);
     if picked.iter().any(|f| f.total_len != total_len || f.shard.len() != len) {
         return Err(EcError::InconsistentFragments);

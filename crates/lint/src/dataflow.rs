@@ -1,0 +1,811 @@
+//! Intra-procedural wire-taint analysis (rule families **W1** and
+//! **W4**).
+//!
+//! Every byte a node decodes from the wire is attacker-chosen, so any
+//! wire-derived *quantity* that reaches an allocation, index, range
+//! bound or loop limit without first being capped is a Byzantine
+//! memory-exhaustion or crash vector — and wire quantities combined
+//! with unchecked `+`/`*`/`<<` can overflow before the cap is even
+//! consulted.
+//!
+//! - **Sources**: `Reader`-style numeric reads (`.u8()`/`.u16()`/
+//!   `.u32()`/`.u64()`), calls to `*decode*`/`from_bytes` functions,
+//!   and parameters of wire-struct type (`Fragment`).
+//! - **Sinks (W1, `taint-alloc`)**: `with_capacity`, `reserve`,
+//!   `resize`, `vec![_; n]`/`[_; n]`, `.to_vec()` of a tainted-length
+//!   slice, indexing, range bounds, `while` loop bounds.
+//! - **Sinks (W4, `wire-overflow`)**: raw `+`, `*`, `<<` with a
+//!   tainted operand.
+//! - **Sanitizers**: a comparison against an untainted bound followed
+//!   by an early exit (`if len > MAX { return Err(..) }`), `.min()`,
+//!   `min()`, `.clamp()`, `checked_*`/`saturating_*`/`wrapping_*`,
+//!   `.len()`, `%`, and `&` masking.
+//!
+//! The analysis is flow-sensitive over the trees produced by
+//! [`crate::expr`] and deliberately conservative the *other* way from
+//! a type checker: anything unparsed is clean, so findings stay
+//! high-precision and fixable at the source.
+
+use crate::expr::{Arm, Expr, ExprKind, Function, Stmt};
+use crate::rules::{RawFinding, Rule};
+use std::collections::BTreeMap;
+
+/// What kind of attacker influence a value carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    /// An attacker-chosen numeric quantity (length, count, index).
+    Num,
+    /// A byte buffer whose *length* is attacker-chosen.
+    Buf,
+    /// A decoded wire struct: its numeric fields are attacker-chosen.
+    Wire,
+}
+
+#[derive(Clone, Debug)]
+struct Taint {
+    kind: Kind,
+    trace: Vec<String>,
+}
+
+impl Taint {
+    fn new(kind: Kind, origin: String) -> Self {
+        Taint { kind, trace: vec![origin] }
+    }
+
+    fn hop(&self, kind: Kind, step: String) -> Self {
+        let mut trace = self.trace.clone();
+        if trace.len() < 8 {
+            trace.push(step);
+        }
+        Taint { kind, trace }
+    }
+}
+
+type Env = BTreeMap<String, Taint>;
+
+/// Runs the taint analysis over every function, appending W1/W4
+/// findings to `out`.
+pub fn check(functions: &[Function], out: &mut Vec<RawFinding>) {
+    for f in functions {
+        let mut env = Env::new();
+        for (name, ty) in &f.params {
+            if name != "self" && ty.contains("Fragment") {
+                env.insert(
+                    name.clone(),
+                    Taint::new(
+                        Kind::Wire,
+                        format!(
+                            "wire-struct param `{name}: {ty}` of fn `{}` (line {})",
+                            f.name, f.line
+                        ),
+                    ),
+                );
+            }
+        }
+        let mut cx = Cx { out };
+        cx.walk(&f.body, &mut env);
+    }
+}
+
+struct Cx<'a> {
+    out: &'a mut Vec<RawFinding>,
+}
+
+/// Result of walking a statement list.
+struct BlockInfo {
+    diverges: bool,
+}
+
+impl Cx<'_> {
+    fn finding(&mut self, rule: Rule, line: usize, col: usize, message: String, t: &Taint) {
+        self.out.push(RawFinding { rule, line, col, message, trace: t.trace.clone() });
+    }
+
+    fn w1(&mut self, line: usize, col: usize, what: &str, t: &Taint) {
+        self.finding(
+            Rule::TaintAlloc,
+            line,
+            col,
+            format!(
+                "wire-tainted value reaches {what} without a cap guard: compare it against a \
+                 MAX_*/limit bound (with an early typed-error return) before use"
+            ),
+            t,
+        );
+    }
+
+    fn w4(&mut self, line: usize, col: usize, op: &str, t: &Taint) {
+        self.finding(
+            Rule::WireOverflow,
+            line,
+            col,
+            format!(
+                "unchecked `{op}` on a wire-tainted value can overflow: use checked_/saturating_ \
+                 arithmetic or cap the operand first"
+            ),
+            t,
+        );
+    }
+
+    fn walk(&mut self, stmts: &[Stmt], env: &mut Env) -> BlockInfo {
+        for s in stmts {
+            match s {
+                Stmt::Let { names, destructured, init, els } => {
+                    let t = init.as_ref().and_then(|e| self.eval(e, env));
+                    if let Some(els) = els {
+                        let mut e2 = env.clone();
+                        self.walk(els, &mut e2);
+                    }
+                    self.bind(names, *destructured, t, env);
+                }
+                Stmt::Assign { target, op, value, line, col } => {
+                    let tv = self.eval(value, env);
+                    let tt = self.eval_lvalue(target, env);
+                    let combined = match op {
+                        None => tv,
+                        Some(o) => {
+                            let t = tv.or(tt);
+                            if let Some(t) = &t {
+                                if matches!(o.as_str(), "+" | "*" | "<<") {
+                                    self.w4(*line, *col, o, t);
+                                }
+                            }
+                            t
+                        }
+                    };
+                    if let ExprKind::Path(segs) = &target.kind {
+                        if segs.len() == 1 {
+                            match combined {
+                                Some(t) => {
+                                    env.insert(segs[0].clone(), t);
+                                }
+                                None => {
+                                    env.remove(&segs[0]);
+                                }
+                            }
+                        }
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.eval(e, env);
+                }
+                Stmt::If { binds, cond, then, els } => {
+                    let tc = self.eval_cond(cond, env);
+                    let guarded = guarded_vars(cond, env);
+                    let mut then_env = env.clone();
+                    for v in &guarded {
+                        then_env.remove(v);
+                    }
+                    if let Some(t) = &tc {
+                        self.bind(binds, false, Some(t.clone()), &mut then_env);
+                    }
+                    let then_div = self.walk(then, &mut then_env).diverges;
+                    let mut els_env = env.clone();
+                    let els_div = match els {
+                        Some(e) => self.walk(e, &mut els_env).diverges,
+                        None => false,
+                    };
+                    match (then_div, els_div, els.is_some()) {
+                        (true, _, false) => {
+                            // `if tainted > bound { return .. }` — sanitized.
+                            for v in &guarded {
+                                env.remove(v);
+                            }
+                        }
+                        (true, false, true) => *env = els_env,
+                        (false, true, _) => *env = then_env,
+                        (true, true, true) => { /* unreachable after; keep env */ }
+                        _ => merge(env, &then_env, &els_env),
+                    }
+                }
+                Stmt::While { binds, cond, body, line, col } => {
+                    if let Some((t, var)) = tainted_cmp_operand(cond, env) {
+                        self.finding(
+                            Rule::TaintAlloc,
+                            *line,
+                            *col,
+                            format!(
+                                "wire-tainted `{var}` bounds a `while` loop without a cap guard: \
+                                 an adversarial count stalls or exhausts the node"
+                            ),
+                            &t,
+                        );
+                    }
+                    let tc = self.eval_cond(cond, env);
+                    let mut benv = env.clone();
+                    if let Some(t) = &tc {
+                        self.bind(binds, false, Some(t.clone()), &mut benv);
+                    }
+                    self.walk(body, &mut benv);
+                    merge_into(env, &benv);
+                }
+                Stmt::For { vars, iter, body } => {
+                    let ti = self.eval(iter, env);
+                    let mut benv = env.clone();
+                    let elem = ti.map(|t| match t.kind {
+                        Kind::Wire => t.hop(Kind::Wire, "element of wire-struct slice".into()),
+                        Kind::Buf => t.hop(Kind::Num, "byte of tainted-length buffer".into()),
+                        Kind::Num => t,
+                    });
+                    self.bind(vars, false, elem, &mut benv);
+                    self.walk(body, &mut benv);
+                    merge_into(env, &benv);
+                }
+                Stmt::Loop { body } => {
+                    let mut benv = env.clone();
+                    self.walk(body, &mut benv);
+                    merge_into(env, &benv);
+                }
+                Stmt::Match { scrutinee, arms } => {
+                    let t = self.eval(scrutinee, env);
+                    self.walk_arms(arms, t, env);
+                }
+                Stmt::Return { value } => {
+                    if let Some(v) = value {
+                        self.eval(v, env);
+                    }
+                    return BlockInfo { diverges: true };
+                }
+                Stmt::Break | Stmt::Continue => return BlockInfo { diverges: true },
+                Stmt::Block(inner) => {
+                    if self.walk(inner, env).diverges {
+                        return BlockInfo { diverges: true };
+                    }
+                }
+                Stmt::Other => {}
+            }
+        }
+        BlockInfo { diverges: false }
+    }
+
+    fn walk_arms(&mut self, arms: &[Arm], scrutinee: Option<Taint>, env: &mut Env) {
+        let mut merged = env.clone();
+        for arm in arms {
+            let mut aenv = env.clone();
+            let bound = scrutinee.as_ref().map(|t| match t.kind {
+                // Destructuring a wire struct binds its (numeric) fields.
+                Kind::Wire => t.hop(Kind::Num, "field bound from wire-struct pattern".into()),
+                _ => t.clone(),
+            });
+            self.bind(&arm.binds, false, bound, &mut aenv);
+            let div = self.walk(&arm.body, &mut aenv).diverges;
+            if !div {
+                merge_into(&mut merged, &aenv);
+            }
+        }
+        *env = merged;
+    }
+
+    fn bind(&mut self, names: &[String], destructured: bool, t: Option<Taint>, env: &mut Env) {
+        match t {
+            Some(t) => {
+                let t = if destructured && t.kind == Kind::Wire {
+                    t.hop(Kind::Num, "field bound by destructuring a wire struct".into())
+                } else {
+                    t
+                };
+                for n in names {
+                    env.insert(n.clone(), t.hop(t.kind, format!("bound to `{n}`")));
+                }
+            }
+            None => {
+                for n in names {
+                    env.remove(n);
+                }
+            }
+        }
+    }
+
+    /// Evaluates an lvalue (no fresh sink reports beyond index checks).
+    fn eval_lvalue(&mut self, e: &Expr, env: &mut Env) -> Option<Taint> {
+        self.eval(e, env)
+    }
+
+    /// Evaluates an `if`/`while` condition. `&&` chains are walked
+    /// left-to-right with each conjunct's guards applied before the next
+    /// is evaluated, so `if idx < n && !seen[idx]` does not report the
+    /// short-circuit-protected index.
+    fn eval_cond(&mut self, cond: &Expr, env: &mut Env) -> Option<Taint> {
+        if let ExprKind::Binary { op, lhs, rhs } = &cond.kind {
+            if op == "&&" {
+                let tl = self.eval_cond(lhs, env);
+                let mut scratch = env.clone();
+                for v in guarded_vars(lhs, env) {
+                    scratch.remove(&v);
+                }
+                let tr = self.eval_cond(rhs, &mut scratch);
+                return tl.or(tr);
+            }
+        }
+        self.eval(cond, env)
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Env) -> Option<Taint> {
+        let (line, col) = (e.line, e.col);
+        match &e.kind {
+            ExprKind::Int | ExprKind::Opaque => None,
+            ExprKind::Path(segs) => {
+                if segs.len() == 1 {
+                    env.get(&segs[0]).cloned()
+                } else {
+                    None
+                }
+            }
+            ExprKind::Field { base, name } => {
+                let t = self.eval(base, env)?;
+                Some(match t.kind {
+                    Kind::Wire => t.hop(Kind::Num, format!("wire-struct field `.{name}`")),
+                    _ => t,
+                })
+            }
+            ExprKind::MethodCall { base, name, args } => {
+                let targs: Vec<Option<Taint>> = args.iter().map(|a| self.eval(a, env)).collect();
+                let tbase = self.eval(base, env);
+                self.method_call(base, name, args, targs, tbase, env, line, col)
+            }
+            ExprKind::Call { callee, args } => {
+                let targs: Vec<Option<Taint>> = args.iter().map(|a| self.eval(a, env)).collect();
+                let last = match &callee.kind {
+                    ExprKind::Path(segs) => segs.last().cloned().unwrap_or_default(),
+                    _ => {
+                        self.eval(callee, env);
+                        String::new()
+                    }
+                };
+                // Sources: decode-shaped constructors.
+                if last == "decode"
+                    || last.starts_with("decode_")
+                    || last.ends_with("_decode")
+                    || last == "from_bytes"
+                {
+                    return Some(Taint::new(
+                        Kind::Wire,
+                        format!("decoded wire value `{last}(..)` (line {line})"),
+                    ));
+                }
+                // Sinks: capacity taken from a tainted quantity.
+                if last == "with_capacity" {
+                    if let Some(t) = first_tainted(&targs) {
+                        self.w1(line, col, "`with_capacity`", t);
+                    }
+                    return None;
+                }
+                // Cleaners.
+                if last == "min" {
+                    return None;
+                }
+                // Constructors pass taint through unchanged.
+                if matches!(last.as_str(), "Some" | "Ok" | "Err") {
+                    return targs.into_iter().flatten().next();
+                }
+                first_tainted(&targs)
+                    .map(|t| t.hop(t.kind, format!("through call `{last}(..)` (line {line})")))
+            }
+            ExprKind::Macro { name, args, repeat_len } => {
+                for a in args {
+                    self.eval(a, env);
+                }
+                if let Some(n) = repeat_len {
+                    let tn = self.eval(n, env);
+                    if let Some(t) = &tn {
+                        if t.kind != Kind::Wire {
+                            self.w1(line, col, &format!("a `{name}![_; n]` repeat length"), t);
+                        }
+                    }
+                }
+                None
+            }
+            ExprKind::Index { base, index } => {
+                let ti = self.eval(index, env);
+                let tb = self.eval(base, env);
+                if let Some(t) = &ti {
+                    if t.kind == Kind::Num {
+                        self.w1(line, col, "a slice/array index (panics out of range)", t);
+                    }
+                }
+                tb.map(|t| match t.kind {
+                    Kind::Buf => t.hop(Kind::Num, "byte of tainted-length buffer".into()),
+                    _ => t,
+                })
+            }
+            ExprKind::Unary { expr } => self.eval(expr, env),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let tl = self.eval(lhs, env);
+                let tr = self.eval(rhs, env);
+                match op.as_str() {
+                    "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||" => None,
+                    "%" | "&" => None, // bounded by the RHS mask/modulus
+                    "+" | "*" | "<<" => {
+                        let t = tl.or(tr);
+                        if let Some(t) = &t {
+                            self.w4(line, col, op, t);
+                        }
+                        t.map(|t| t.hop(Kind::Num, format!("through `{op}` (line {line})")))
+                    }
+                    _ => tl.or(tr),
+                }
+            }
+            ExprKind::Range { lo, hi } => {
+                let tl = lo.as_ref().and_then(|b| self.eval(b, env));
+                let th = hi.as_ref().and_then(|b| self.eval(b, env));
+                if let Some(t) = tl.as_ref().or(th.as_ref()) {
+                    if t.kind == Kind::Num {
+                        self.w1(line, col, "a range bound (slice panics / unbounded loop)", t);
+                    }
+                }
+                tl.or(th)
+            }
+            ExprKind::Cast { expr } => self.eval(expr, env),
+            ExprKind::Try { expr } => self.eval(expr, env),
+            ExprKind::Tuple(elems) => {
+                let ts: Vec<Option<Taint>> = elems.iter().map(|e| self.eval(e, env)).collect();
+                first_tainted(&ts).cloned()
+            }
+            ExprKind::Closure { params, body } => {
+                let mut cenv = env.clone();
+                for p in params {
+                    cenv.remove(p);
+                }
+                self.walk(body, &mut cenv);
+                None
+            }
+            ExprKind::IfExpr { cond, then, els } => {
+                let tc = self.eval(cond, env);
+                let _ = tc;
+                let guarded = guarded_vars(cond, env);
+                let mut then_env = env.clone();
+                for v in &guarded {
+                    then_env.remove(v);
+                }
+                let t1 = self.walk_value_block(then, &mut then_env);
+                let t2 = els.as_ref().and_then(|e| {
+                    let mut els_env = env.clone();
+                    self.walk_value_block(e, &mut els_env)
+                });
+                t1.or(t2)
+            }
+            ExprKind::MatchExpr { scrutinee, arms } => {
+                let t = self.eval(scrutinee, env);
+                let mut result = None;
+                for arm in arms {
+                    let mut aenv = env.clone();
+                    let bound = t.as_ref().map(|t| match t.kind {
+                        Kind::Wire => {
+                            t.hop(Kind::Num, "field bound from wire-struct pattern".into())
+                        }
+                        _ => t.clone(),
+                    });
+                    self.bind(&arm.binds, false, bound, &mut aenv);
+                    let tv = self.walk_value_block(&arm.body, &mut aenv);
+                    result = result.or(tv);
+                }
+                result
+            }
+            ExprKind::StructLit { fields } => {
+                let ts: Vec<Option<Taint>> = fields.iter().map(|f| self.eval(f, env)).collect();
+                first_tainted(&ts)
+                    .map(|t| t.hop(Kind::Wire, "struct built from tainted field".into()))
+            }
+            ExprKind::BlockExpr(stmts) => {
+                let mut benv = env.clone();
+                let t = self.walk_value_block(stmts, &mut benv);
+                merge_into(env, &benv);
+                t
+            }
+            ExprKind::Diverge { value } => {
+                if let Some(v) = value {
+                    self.eval(v, env);
+                }
+                None
+            }
+        }
+    }
+
+    /// Walks a block used as an expression; the trailing expression
+    /// statement's taint is the block's value.
+    fn walk_value_block(&mut self, stmts: &[Stmt], env: &mut Env) -> Option<Taint> {
+        if stmts.is_empty() {
+            return None;
+        }
+        let (head, tail) = stmts.split_at(stmts.len() - 1);
+        if self.walk(head, env).diverges {
+            return None;
+        }
+        match &tail[0] {
+            Stmt::Expr(e) => self.eval(e, env),
+            other => {
+                self.walk(std::slice::from_ref(other), env);
+                None
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn method_call(
+        &mut self,
+        base: &Expr,
+        name: &str,
+        _args: &[Expr],
+        targs: Vec<Option<Taint>>,
+        tbase: Option<Taint>,
+        env: &mut Env,
+        line: usize,
+        col: usize,
+    ) -> Option<Taint> {
+        // Sources: Reader-style numeric wire reads.
+        if matches!(name, "u8" | "u16" | "u32" | "u64") && targs.is_empty() {
+            return Some(Taint::new(Kind::Num, format!("wire read `.{name}()` (line {line})")));
+        }
+        // `.take(n)` — a slice whose *length* is n.
+        if name == "take" && targs.len() == 1 {
+            if let Some(Some(t)) = targs.first() {
+                return Some(
+                    t.hop(Kind::Buf, format!("buffer sized by `.take(..)` (line {line})")),
+                );
+            }
+            return None;
+        }
+        // Cleaners: bounded or checked projections.
+        if matches!(name, "len" | "min" | "clamp" | "count" | "is_empty")
+            || name.starts_with("checked_")
+            || name.starts_with("saturating_")
+            || name.starts_with("wrapping_")
+        {
+            return None;
+        }
+        // Sinks: allocation/index amounts.
+        if matches!(name, "reserve" | "reserve_exact" | "resize" | "resize_with" | "split_off") {
+            if let Some(t) = first_tainted(&targs) {
+                if t.kind == Kind::Num {
+                    self.w1(line, col, &format!("`.{name}(..)`"), t);
+                }
+            }
+            return None;
+        }
+        // Materializing a tainted-length slice allocates that length.
+        if matches!(name, "to_vec" | "to_owned") {
+            if let Some(t) = &tbase {
+                if t.kind == Kind::Buf {
+                    self.w1(line, col, &format!("`.{name}()` of a tainted-length slice"), t);
+                }
+            }
+            return tbase;
+        }
+        // Growing a local collection with tainted data taints it.
+        if matches!(name, "push" | "insert" | "extend" | "extend_from_slice" | "push_back") {
+            if let Some(t) = first_tainted(&targs) {
+                if let ExprKind::Path(segs) = &base.kind {
+                    if segs.len() == 1 {
+                        env.insert(
+                            segs[0].clone(),
+                            t.hop(t.kind, format!("collected into `{}` (line {line})", segs[0])),
+                        );
+                    }
+                }
+            }
+            return None;
+        }
+        // Default: taint flows through the receiver or any argument.
+        let t = tbase.as_ref().or_else(|| first_tainted(&targs))?;
+        let kind = match (tbase.is_some(), t.kind) {
+            // A numeric projection of a wire struct is attacker data.
+            (true, Kind::Wire) => Kind::Num,
+            (_, k) => k,
+        };
+        // `.iter()`/`.values()`-style traversal keeps wire structs wire.
+        let kind = if matches!(name, "iter" | "values" | "keys" | "next" | "get" | "first" | "last")
+            && t.kind == Kind::Wire
+        {
+            Kind::Wire
+        } else {
+            kind
+        };
+        Some(t.hop(kind, format!("through `.{name}(..)` (line {line})")))
+    }
+}
+
+fn first_tainted(ts: &[Option<Taint>]) -> Option<&Taint> {
+    ts.iter().flatten().next()
+}
+
+/// Union-merge two branch environments into `env`.
+fn merge(env: &mut Env, a: &Env, b: &Env) {
+    let mut out = a.clone();
+    for (k, v) in b {
+        out.entry(k.clone()).or_insert_with(|| v.clone());
+    }
+    // A var cleared in *both* branches stays cleared.
+    env.retain(|k, _| a.contains_key(k) || b.contains_key(k));
+    for (k, v) in out {
+        env.entry(k).or_insert(v);
+    }
+}
+
+/// Union-merge a loop-body environment back into `env`.
+fn merge_into(env: &mut Env, body: &Env) {
+    for (k, v) in body {
+        env.entry(k.clone()).or_insert_with(|| v.clone());
+    }
+}
+
+/// Variables sanitized by a guard condition: a comparison where one
+/// side mentions a tainted variable and the other side is untainted
+/// (a literal, a `MAX_*` constant, `x.len()`, a clean local…).
+fn guarded_vars(cond: &Expr, env: &Env) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_guards(cond, env, &mut out);
+    out
+}
+
+fn collect_guards(e: &Expr, env: &Env, out: &mut Vec<String>) {
+    if let ExprKind::Binary { op, lhs, rhs } = &e.kind {
+        match op.as_str() {
+            "&&" | "||" => {
+                collect_guards(lhs, env, out);
+                collect_guards(rhs, env, out);
+            }
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => {
+                let l = tainted_roots(lhs, env);
+                let r = tainted_roots(rhs, env);
+                if !l.is_empty() && r.is_empty() {
+                    out.extend(l);
+                } else if l.is_empty() && !r.is_empty() {
+                    out.extend(r);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Single-segment path names inside `e` that are currently tainted.
+fn tainted_roots(e: &Expr, env: &Env) -> Vec<String> {
+    let mut out = Vec::new();
+    roots(e, env, &mut out);
+    out
+}
+
+fn roots(e: &Expr, env: &Env, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Path(segs)
+            if segs.len() == 1 && env.contains_key(&segs[0]) && !out.contains(&segs[0]) =>
+        {
+            out.push(segs[0].clone());
+        }
+        ExprKind::Field { base, .. }
+        | ExprKind::Unary { expr: base }
+        | ExprKind::Cast { expr: base }
+        | ExprKind::Try { expr: base } => roots(base, env, out),
+        ExprKind::MethodCall { base, args, .. } => {
+            roots(base, env, out);
+            for a in args {
+                roots(a, env, out);
+            }
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                roots(a, env, out);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            roots(lhs, env, out);
+            roots(rhs, env, out);
+        }
+        ExprKind::Index { base, index } => {
+            roots(base, env, out);
+            roots(index, env, out);
+        }
+        ExprKind::Tuple(es) => {
+            for e in es {
+                roots(e, env, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// For `while` conditions: the first comparison with a tainted operand.
+fn tainted_cmp_operand(cond: &Expr, env: &Env) -> Option<(Taint, String)> {
+    if let ExprKind::Binary { op, lhs, rhs } = &cond.kind {
+        if matches!(op.as_str(), "==" | "!=" | "<" | ">" | "<=" | ">=") {
+            for side in [lhs, rhs] {
+                let vars = tainted_roots(side, env);
+                if let Some(v) = vars.first() {
+                    if let Some(t) = env.get(v) {
+                        return Some((t.clone(), v.clone()));
+                    }
+                }
+            }
+        }
+        if matches!(op.as_str(), "&&" | "||") {
+            return tainted_cmp_operand(lhs, env).or_else(|| tainted_cmp_operand(rhs, env));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_functions;
+    use crate::lexer::{mask_source, tokenize};
+
+    fn run(src: &str) -> Vec<RawFinding> {
+        let fns = parse_functions(&tokenize(&mask_source(src).code_lines));
+        let mut out = Vec::new();
+        check(&fns, &mut out);
+        out
+    }
+
+    #[test]
+    fn wire_read_to_with_capacity_fires() {
+        let f = run("fn d(r: &mut Reader) { let n = r.u32()? as usize; let v: Vec<u8> = Vec::with_capacity(n); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::TaintAlloc);
+        assert!(!f[0].trace.is_empty());
+    }
+
+    #[test]
+    fn cap_guard_sanitizes() {
+        let f = run("fn d(r: &mut Reader) -> Result<(), E> { let n = r.u32()? as usize; \
+             if n > MAX_PAYLOAD as usize { return Err(E::Oversize); } \
+             let v: Vec<u8> = Vec::with_capacity(n); Ok(()) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn take_to_vec_fires_and_guard_clears_it() {
+        let f =
+            run("fn d(r: &mut Reader) { let n = r.u32()? as usize; let s = r.take(n)?.to_vec(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = run("fn d(r: &mut Reader) -> Result<(), E> { let n = r.u32()? as usize; \
+             if n > CAP { return Err(E::Oversize); } let s = r.take(n)?.to_vec(); Ok(()) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn tainted_loop_and_index_fire() {
+        let f = run("fn d(r: &mut R) { let c = r.u32().ok()?; for _ in 0..c { g(); } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = run("fn d(r: &mut R, xs: &[u8]) { let i = r.u16()? as usize; let b = xs[i]; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn unchecked_mul_on_wire_len_is_w4() {
+        let f = run("fn d(r: &mut R) { let n = r.u32()? as usize; let bytes = n * 8; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::WireOverflow);
+        let f = run("fn d(r: &mut R) { let n = r.u32()? as usize; let b = n.saturating_mul(8); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fragment_param_fields_are_tainted() {
+        let f = run("fn rec(frags: &[Fragment]) { let first = frags.first()?; \
+             let len = first.total_len as usize; let v: Vec<u8> = Vec::with_capacity(len); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::TaintAlloc);
+    }
+
+    #[test]
+    fn short_circuit_guard_protects_later_conjuncts() {
+        let f = run("fn d(r: &mut R, seen: &[bool]) { let i = r.u32()? as usize; \
+             if i < seen.len() && !seen[i] { g(); } }");
+        assert!(f.is_empty(), "{f:?}");
+        // The guard only protects conjuncts *after* it.
+        let f = run("fn d(r: &mut R, seen: &[bool]) { let i = r.u32()? as usize; \
+             if !seen[i] && i < seen.len() { g(); } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn min_and_mod_clean() {
+        let f = run("fn d(r: &mut R) { let n = (r.u32()? as usize).min(64); let v: Vec<u8> = Vec::with_capacity(n); }");
+        assert!(f.is_empty(), "{f:?}");
+        let f = run(
+            "fn d(r: &mut R, xs: &[u8]) { let i = r.u32()? as usize % xs.len(); let b = xs[i]; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,1274 @@
+//! A lightweight statement/expression parser over the masking lexer.
+//!
+//! This is deliberately *not* a full Rust grammar: it recovers enough
+//! structure — functions, statements, let-bindings, calls, operators,
+//! ranges, closures — for the intra-procedural taint engine in
+//! [`crate::dataflow`] to follow wire-decoded values from source to
+//! sink. Anything it cannot parse degrades to [`ExprKind::Opaque`]
+//! (never a panic): unknown constructs are conservatively treated as
+//! clean, which keeps the analyzer dependency-free and total.
+
+use crate::lexer::{Tok, Token};
+
+/// One parsed `fn` item (free function or method).
+#[derive(Debug)]
+pub struct Function {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Parameters as `(name, type text)`; `self` has type `"Self"`.
+    pub params: Vec<(String, String)>,
+    /// The body statements.
+    pub body: Vec<Stmt>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+/// A match arm: bound pattern names plus the arm body.
+#[derive(Debug)]
+pub struct Arm {
+    /// Lowercase identifiers bound by the arm pattern.
+    pub binds: Vec<String>,
+    /// The arm body (a block's statements, or one expression statement).
+    pub body: Vec<Stmt>,
+}
+
+/// A statement, as much of it as the analyzer needs.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> = <init>;` — `names` are the bound lowercase idents.
+    /// `destructured` is true when the pattern unpacks a struct/tuple.
+    Let { names: Vec<String>, destructured: bool, init: Option<Expr>, els: Option<Vec<Stmt>> },
+    /// `x = v;` / `x += v;` (`op` is the compound operator, if any).
+    Assign { target: Expr, op: Option<String>, value: Expr, line: usize, col: usize },
+    /// A bare expression statement.
+    Expr(Expr),
+    /// `if` / `if let` with optional else; `binds` come from `if let`.
+    If { binds: Vec<String>, cond: Expr, then: Vec<Stmt>, els: Option<Vec<Stmt>> },
+    /// `while` / `while let`.
+    While { binds: Vec<String>, cond: Expr, body: Vec<Stmt>, line: usize, col: usize },
+    /// `for <pat> in <iter> { .. }`.
+    For { vars: Vec<String>, iter: Expr, body: Vec<Stmt> },
+    /// `loop { .. }`.
+    Loop { body: Vec<Stmt> },
+    /// `match` used as a statement.
+    Match { scrutinee: Expr, arms: Vec<Arm> },
+    /// `return <expr>?;`.
+    Return { value: Option<Expr> },
+    /// `break` (any labels/values skipped).
+    Break,
+    /// `continue`.
+    Continue,
+    /// A bare `{ .. }` block.
+    Block(Vec<Stmt>),
+    /// Anything unrecognized (nested items, attributes, recovery).
+    Other,
+}
+
+/// An expression with its source position.
+#[derive(Debug)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Expression kinds the taint engine distinguishes.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int,
+    /// A (possibly qualified) path: `x`, `self.x` is Field, `a::b::c`.
+    Path(Vec<String>),
+    /// Field access `base.name` (tuple fields use the digit as name).
+    Field { base: Box<Expr>, name: String },
+    /// Method call `base.name(args)`.
+    MethodCall { base: Box<Expr>, name: String, args: Vec<Expr> },
+    /// Call `callee(args)` — callee is usually a `Path`.
+    Call { callee: Box<Expr>, args: Vec<Expr> },
+    /// Macro invocation `name!(args)`; `repeat_len` holds `n` for
+    /// `vec![elem; n]` / `[elem; n]` repeat forms.
+    Macro { name: String, args: Vec<Expr>, repeat_len: Option<Box<Expr>> },
+    /// Indexing `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// Unary `-x`, `!x`, `*x`, `&x`.
+    Unary { expr: Box<Expr> },
+    /// Binary operator application.
+    Binary { op: String, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Range `lo..hi` / `lo..=hi` (either bound optional).
+    Range { lo: Option<Box<Expr>>, hi: Option<Box<Expr>> },
+    /// `expr as T`.
+    Cast { expr: Box<Expr> },
+    /// `expr?`.
+    Try { expr: Box<Expr> },
+    /// Tuple `(a, b)` (1-tuples collapse to the inner expression).
+    Tuple(Vec<Expr>),
+    /// Closure `|params| body` — params shadow outer bindings.
+    Closure { params: Vec<String>, body: Vec<Stmt> },
+    /// `if` in expression position.
+    IfExpr { cond: Box<Expr>, then: Vec<Stmt>, els: Option<Vec<Stmt>> },
+    /// `match` in expression position.
+    MatchExpr { scrutinee: Box<Expr>, arms: Vec<Arm> },
+    /// Struct literal `Path { field: expr, .. }` — field values only.
+    StructLit { fields: Vec<Expr> },
+    /// Block in expression position (`{ .. }`, `unsafe { .. }`, `loop`).
+    BlockExpr(Vec<Stmt>),
+    /// `return`/`break`/`continue` in expression position.
+    Diverge { value: Option<Box<Expr>> },
+    /// Anything unmodeled.
+    Opaque,
+}
+
+/// Parses every `fn` item (any nesting depth) out of a token stream.
+pub fn parse_functions(tokens: &[Token]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn")
+            && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Ident(_)))
+        {
+            if let Some((func, body_open)) = parse_fn_header(tokens, i) {
+                out.push(func);
+                // Continue *inside* the body so nested fns are found too.
+                i = body_open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses one fn starting at the `fn` keyword; returns the function and
+/// the index of its body-opening `{`. `None` for bodyless trait decls.
+fn parse_fn_header(tokens: &[Token], at: usize) -> Option<(Function, usize)> {
+    let line = tokens[at].line;
+    let Tok::Ident(name) = &tokens[at + 1].tok else { return None };
+    let mut j = at + 2;
+    // Generic parameters.
+    if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(tokens, j);
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    let params_start = j + 1;
+    let params_end = matching_close(tokens, j, "(", ")")?;
+    let params = parse_params(&tokens[params_start..params_end]);
+    // Scan to the body `{` or a `;` (trait method without a body).
+    let mut k = params_end + 1;
+    while k < tokens.len() {
+        if tokens[k].is_punct(";") {
+            return None;
+        }
+        if tokens[k].is_punct("{") {
+            break;
+        }
+        k += 1;
+    }
+    if k >= tokens.len() {
+        return None;
+    }
+    let body_end = matching_close(tokens, k, "{", "}")?;
+    let body = Parser::new(&tokens[k + 1..body_end]).parse_stmts();
+    Some((Function { name: name.clone(), params, body, line }, k))
+}
+
+/// Index of the token closing the group opened at `open_at`.
+fn matching_close(tokens: &[Token], open_at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Skips a balanced `<...>` group starting at `i` (which is `<`);
+/// `>>` closes two levels. Returns the index after the group.
+fn skip_angles(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct(p) if p == "<" => depth += 1,
+            Tok::Punct(p) if p == ">" => depth -= 1,
+            Tok::Punct(p) if p == ">>" => depth -= 2,
+            Tok::Punct(p) if p == "->" => {}
+            Tok::Punct(p) if p == ";" || p == "{" => break,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// Splits a parameter token slice at top-level commas into
+/// `(name, type text)` pairs.
+fn parse_params(tokens: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for part in split_top_level(tokens, ",") {
+        if part.is_empty() {
+            continue;
+        }
+        if part.iter().any(|t| t.is_ident("self")) && !part.iter().any(|t| t.is_punct(":")) {
+            out.push(("self".to_string(), "Self".to_string()));
+            continue;
+        }
+        let colon = part.iter().position(|t| t.is_punct(":"));
+        let Some(c) = colon else { continue };
+        let name = part[..c]
+            .iter()
+            .rev()
+            .find_map(|t| match &t.tok {
+                Tok::Ident(s) if s != "mut" && s != "ref" => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let ty = render_tokens(&part[c + 1..]);
+        if !name.is_empty() {
+            out.push((name, ty));
+        }
+    }
+    out
+}
+
+/// Splits a token slice at top-level occurrences of `sep` (depth-aware
+/// for parens, brackets, braces and angle brackets).
+fn split_top_level<'a>(tokens: &'a [Token], sep: &str) -> Vec<&'a [Token]> {
+    let mut parts = Vec::new();
+    let (mut depth, mut angle) = (0i32, 0i32);
+    let mut start = 0usize;
+    for (k, t) in tokens.iter().enumerate() {
+        if let Tok::Punct(p) = &t.tok {
+            match p.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" => angle += 1,
+                ">" if angle > 0 => angle -= 1,
+                ">>" if angle > 1 => angle -= 2,
+                s if s == sep && depth == 0 && angle == 0 => {
+                    parts.push(&tokens[start..k]);
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    parts.push(&tokens[start..]);
+    parts
+}
+
+/// Renders tokens back to a spaced text form (for type matching).
+fn render_tokens(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        match &t.tok {
+            Tok::Ident(i) => s.push_str(i),
+            Tok::Int(Some(v)) => s.push_str(&v.to_string()),
+            Tok::Int(None) => s.push('0'),
+            Tok::Punct(p) => s.push_str(p),
+        }
+    }
+    s
+}
+
+/// Collects the lowercase identifiers a pattern binds (skips keywords,
+/// uppercase constructors and path segments).
+fn pattern_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (k, t) in tokens.iter().enumerate() {
+        let Tok::Ident(s) = &t.tok else { continue };
+        if matches!(s.as_str(), "mut" | "ref" | "box" | "_") {
+            continue;
+        }
+        if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+            continue;
+        }
+        // Skip path segments (`a::b`) — only the binding position counts.
+        if tokens.get(k + 1).is_some_and(|t| t.is_punct("::"))
+            || (k > 0 && tokens[k - 1].is_punct("::"))
+        {
+            continue;
+        }
+        // `field: bound` struct patterns bind the *right* side.
+        if tokens.get(k + 1).is_some_and(|t| t.is_punct(":")) {
+            continue;
+        }
+        if !names.contains(s) {
+            names.push(s.clone());
+        }
+    }
+    names
+}
+
+/// Whether a pattern token slice destructures (unpacks fields/elements).
+fn pattern_destructures(tokens: &[Token]) -> bool {
+    tokens.iter().any(|t| t.is_punct("(") || t.is_punct("{") || t.is_punct("[") || t.is_punct(","))
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(toks: &'a [Token]) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + off)
+    }
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pos_of(&self, t: Option<&Token>) -> (usize, usize) {
+        t.map(|t| (t.line, t.col)).unwrap_or((0, 0))
+    }
+
+    /// Parses statements until the end of the slice.
+    fn parse_stmts(&mut self) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        while self.pos < self.toks.len() {
+            let before = self.pos;
+            if let Some(s) = self.parse_stmt() {
+                out.push(s);
+            }
+            if self.pos == before {
+                self.pos += 1; // guaranteed progress
+            }
+        }
+        out
+    }
+
+    /// Parses a `{ .. }` group into statements (consumes both braces).
+    fn parse_block(&mut self) -> Vec<Stmt> {
+        if !self.at_punct("{") {
+            return Vec::new();
+        }
+        let Some(close) = matching_close(self.toks, self.pos, "{", "}") else {
+            self.pos = self.toks.len();
+            return Vec::new();
+        };
+        let body = Parser::new(&self.toks[self.pos + 1..close]).parse_stmts();
+        self.pos = close + 1;
+        body
+    }
+
+    fn skip_attribute(&mut self) {
+        // `#[ .. ]` or `#![ .. ]`.
+        self.pos += 1;
+        if self.at_punct("!") {
+            self.pos += 1;
+        }
+        if self.at_punct("[") {
+            if let Some(close) = matching_close(self.toks, self.pos, "[", "]") {
+                self.pos = close + 1;
+            } else {
+                self.pos = self.toks.len();
+            }
+        }
+    }
+
+    /// Skips a nested item (fn/struct/impl/…): everything through the
+    /// first top-level `{ .. }` group or `;`.
+    fn skip_item(&mut self) {
+        while self.pos < self.toks.len() {
+            if self.at_punct(";") {
+                self.pos += 1;
+                return;
+            }
+            if self.at_punct("{") {
+                if let Some(close) = matching_close(self.toks, self.pos, "{", "}") {
+                    self.pos = close + 1;
+                } else {
+                    self.pos = self.toks.len();
+                }
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        let t = self.peek()?;
+        match &t.tok {
+            Tok::Punct(p) if p == ";" => {
+                self.pos += 1;
+                None
+            }
+            Tok::Punct(p) if p == "#" => {
+                self.skip_attribute();
+                None
+            }
+            Tok::Punct(p) if p == "{" => Some(Stmt::Block(self.parse_block())),
+            Tok::Ident(kw) => match kw.as_str() {
+                "let" => Some(self.parse_let()),
+                "if" => Some(self.parse_if()),
+                "while" => Some(self.parse_while()),
+                "for" => Some(self.parse_for()),
+                "loop" => {
+                    self.pos += 1;
+                    Some(Stmt::Loop { body: self.parse_block() })
+                }
+                "match" => {
+                    self.pos += 1;
+                    let scrutinee = self.parse_expr_no_struct();
+                    let arms = self.parse_arms();
+                    Some(Stmt::Match { scrutinee, arms })
+                }
+                "return" => {
+                    self.pos += 1;
+                    let value = if self.at_punct(";") || self.peek().is_none() {
+                        None
+                    } else {
+                        Some(self.parse_expr())
+                    };
+                    self.eat_punct(";");
+                    Some(Stmt::Return { value })
+                }
+                "break" => {
+                    self.skip_to_semi();
+                    Some(Stmt::Break)
+                }
+                "continue" => {
+                    self.skip_to_semi();
+                    Some(Stmt::Continue)
+                }
+                "unsafe" if self.peek_at(1).is_some_and(|t| t.is_punct("{")) => {
+                    self.pos += 1;
+                    Some(Stmt::Block(self.parse_block()))
+                }
+                "fn" | "struct" | "enum" | "impl" | "mod" | "use" | "const" | "static" | "type"
+                | "trait" | "pub" | "extern" | "macro_rules" => {
+                    self.skip_item();
+                    Some(Stmt::Other)
+                }
+                _ => Some(self.parse_expr_stmt()),
+            },
+            _ => Some(self.parse_expr_stmt()),
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while self.pos < self.toks.len() {
+            match &self.toks[self.pos].tok {
+                Tok::Punct(p) if p == "(" || p == "[" || p == "{" => depth += 1,
+                Tok::Punct(p) if p == ")" || p == "]" || p == "}" => depth -= 1,
+                Tok::Punct(p) if p == ";" && depth <= 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        self.pos += 1; // `let`
+                       // Pattern: tokens until a top-level `:` (type) or `=`.
+        let pat_start = self.pos;
+        let mut depth = 0i32;
+        while self.pos < self.toks.len() {
+            match &self.toks[self.pos].tok {
+                Tok::Punct(p) if p == "(" || p == "[" || p == "{" => depth += 1,
+                Tok::Punct(p) if p == ")" || p == "]" || p == "}" => depth -= 1,
+                Tok::Punct(p) if (p == ":" || p == "=" || p == ";") && depth <= 0 => break,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let pat = &self.toks[pat_start..self.pos];
+        let names = pattern_names(pat);
+        let destructured = pattern_destructures(pat);
+        // Optional `: Type`.
+        if self.eat_punct(":") {
+            let mut angle = 0i32;
+            while self.pos < self.toks.len() {
+                match &self.toks[self.pos].tok {
+                    Tok::Punct(p) if p == "<" => angle += 1,
+                    Tok::Punct(p) if p == ">" => angle -= 1,
+                    Tok::Punct(p) if p == ">>" => angle -= 2,
+                    Tok::Punct(p) if (p == "=" || p == ";") && angle <= 0 => break,
+                    _ => {}
+                }
+                self.pos += 1;
+            }
+        }
+        let mut init = None;
+        let mut els = None;
+        if self.eat_punct("=") {
+            init = Some(self.parse_expr());
+            if self.at_ident("else") {
+                self.pos += 1;
+                els = Some(self.parse_block());
+            }
+        }
+        self.eat_punct(";");
+        Stmt::Let { names, destructured, init, els }
+    }
+
+    /// Parses the `<pat> = <expr>` part of `if let` / `while let`;
+    /// assumes the `let` keyword is current.
+    fn parse_let_cond(&mut self) -> (Vec<String>, Expr) {
+        self.pos += 1; // `let`
+        let pat_start = self.pos;
+        let mut depth = 0i32;
+        while self.pos < self.toks.len() {
+            match &self.toks[self.pos].tok {
+                Tok::Punct(p) if p == "(" || p == "[" || p == "{" => depth += 1,
+                Tok::Punct(p) if p == ")" || p == "]" || p == "}" => depth -= 1,
+                Tok::Punct(p) if p == "=" && depth <= 0 => break,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let names = pattern_names(&self.toks[pat_start..self.pos]);
+        self.eat_punct("=");
+        (names, self.parse_expr_no_struct())
+    }
+
+    fn parse_if(&mut self) -> Stmt {
+        self.pos += 1; // `if`
+        let (binds, cond) = if self.at_ident("let") {
+            self.parse_let_cond()
+        } else {
+            (Vec::new(), self.parse_expr_no_struct())
+        };
+        let then = self.parse_block();
+        let els = if self.at_ident("else") {
+            self.pos += 1;
+            if self.at_ident("if") {
+                Some(vec![self.parse_if()])
+            } else {
+                Some(self.parse_block())
+            }
+        } else {
+            None
+        };
+        Stmt::If { binds, cond, then, els }
+    }
+
+    fn parse_while(&mut self) -> Stmt {
+        let (line, col) = self.pos_of(self.peek());
+        self.pos += 1; // `while`
+        let (binds, cond) = if self.at_ident("let") {
+            self.parse_let_cond()
+        } else {
+            (Vec::new(), self.parse_expr_no_struct())
+        };
+        let body = self.parse_block();
+        Stmt::While { binds, cond, body, line, col }
+    }
+
+    fn parse_for(&mut self) -> Stmt {
+        self.pos += 1; // `for`
+        let pat_start = self.pos;
+        while self.pos < self.toks.len() && !self.toks[self.pos].is_ident("in") {
+            self.pos += 1;
+        }
+        let vars = pattern_names(&self.toks[pat_start..self.pos]);
+        self.pos += 1; // `in`
+        let iter = self.parse_expr_no_struct();
+        let body = self.parse_block();
+        Stmt::For { vars, iter, body }
+    }
+
+    fn parse_arms(&mut self) -> Vec<Arm> {
+        if !self.at_punct("{") {
+            return Vec::new();
+        }
+        let Some(close) = matching_close(self.toks, self.pos, "{", "}") else {
+            self.pos = self.toks.len();
+            return Vec::new();
+        };
+        let mut inner = Parser::new(&self.toks[self.pos + 1..close]);
+        self.pos = close + 1;
+        let mut arms = Vec::new();
+        while inner.pos < inner.toks.len() {
+            let before = inner.pos;
+            while inner.at_punct("#") {
+                inner.skip_attribute();
+            }
+            // Pattern tokens until a top-level `=>`.
+            let pat_start = inner.pos;
+            let mut depth = 0i32;
+            while inner.pos < inner.toks.len() {
+                match &inner.toks[inner.pos].tok {
+                    Tok::Punct(p) if p == "(" || p == "[" || p == "{" => depth += 1,
+                    Tok::Punct(p) if p == ")" || p == "]" || p == "}" => depth -= 1,
+                    Tok::Punct(p) if p == "=>" && depth <= 0 => break,
+                    _ => {}
+                }
+                inner.pos += 1;
+            }
+            let mut pat = &inner.toks[pat_start..inner.pos];
+            // A pattern guard binds nothing new past the `if`.
+            if let Some(g) = pat.iter().position(|t| t.is_ident("if")) {
+                pat = &pat[..g];
+            }
+            let binds = pattern_names(pat);
+            if !inner.eat_punct("=>") {
+                break;
+            }
+            let body = if inner.at_punct("{") {
+                inner.parse_block()
+            } else {
+                let e = inner.parse_expr();
+                vec![Stmt::Expr(e)]
+            };
+            inner.eat_punct(",");
+            arms.push(Arm { binds, body });
+            if inner.pos == before {
+                inner.pos += 1;
+            }
+        }
+        arms
+    }
+
+    fn parse_expr_stmt(&mut self) -> Stmt {
+        let (line, col) = self.pos_of(self.peek());
+        let target = self.parse_expr();
+        // Assignment / compound assignment?
+        if self.at_punct("=") {
+            self.pos += 1;
+            let value = self.parse_expr();
+            self.eat_punct(";");
+            return Stmt::Assign { target, op: None, value, line, col };
+        }
+        if let Some(Tok::Punct(p)) = self.peek().map(|t| &t.tok) {
+            let compound =
+                matches!(p.as_str(), "+" | "-" | "*" | "/" | "%" | "^" | "&" | "|" | "<<" | ">>")
+                    && self.peek_at(1).is_some_and(|t| t.is_punct("="));
+            if compound {
+                let op = p.clone();
+                self.pos += 2;
+                let value = self.parse_expr();
+                self.eat_punct(";");
+                return Stmt::Assign { target, op: Some(op), value, line, col };
+            }
+        }
+        self.eat_punct(";");
+        Stmt::Expr(target)
+    }
+
+    fn parse_expr(&mut self) -> Expr {
+        self.parse_bp(0, false)
+    }
+
+    fn parse_expr_no_struct(&mut self) -> Expr {
+        self.parse_bp(0, true)
+    }
+
+    fn opaque(&self, line: usize, col: usize) -> Expr {
+        Expr { kind: ExprKind::Opaque, line, col }
+    }
+
+    /// Pratt loop: parse a primary then fold infix/postfix operators of
+    /// binding power above `min_bp`. `no_struct` suppresses struct
+    /// literals (condition position, where `{` opens the block).
+    fn parse_bp(&mut self, min_bp: u8, no_struct: bool) -> Expr {
+        let mut lhs = self.parse_primary(no_struct);
+        while let Some(t) = self.peek() {
+            let (line, col) = (t.line, t.col);
+            match &t.tok {
+                Tok::Punct(p) => match p.as_str() {
+                    "." => {
+                        let Some(next) = self.peek_at(1) else { break };
+                        match &next.tok {
+                            Tok::Ident(name) => {
+                                let name = name.clone();
+                                self.pos += 2;
+                                // Turbofish on methods: `.collect::<..>`.
+                                if self.at_punct("::") {
+                                    self.pos += 1;
+                                    if self.at_punct("<") {
+                                        self.pos = skip_angles(self.toks, self.pos);
+                                    }
+                                }
+                                if self.at_punct("(") {
+                                    let args = self.parse_call_args();
+                                    lhs = Expr {
+                                        kind: ExprKind::MethodCall {
+                                            base: Box::new(lhs),
+                                            name,
+                                            args,
+                                        },
+                                        line,
+                                        col,
+                                    };
+                                } else {
+                                    lhs = Expr {
+                                        kind: ExprKind::Field { base: Box::new(lhs), name },
+                                        line,
+                                        col,
+                                    };
+                                }
+                            }
+                            Tok::Int(v) => {
+                                let name = v.map(|v| v.to_string()).unwrap_or_default();
+                                self.pos += 2;
+                                lhs = Expr {
+                                    kind: ExprKind::Field { base: Box::new(lhs), name },
+                                    line,
+                                    col,
+                                };
+                            }
+                            _ => break,
+                        }
+                    }
+                    "?" => {
+                        self.pos += 1;
+                        lhs = Expr { kind: ExprKind::Try { expr: Box::new(lhs) }, line, col };
+                    }
+                    "(" => {
+                        let args = self.parse_call_args();
+                        lhs = Expr {
+                            kind: ExprKind::Call { callee: Box::new(lhs), args },
+                            line,
+                            col,
+                        };
+                    }
+                    "[" => {
+                        let Some(close) = matching_close(self.toks, self.pos, "[", "]") else {
+                            self.pos = self.toks.len();
+                            break;
+                        };
+                        let mut inner = Parser::new(&self.toks[self.pos + 1..close]);
+                        let index = inner.parse_expr();
+                        self.pos = close + 1;
+                        lhs = Expr {
+                            kind: ExprKind::Index { base: Box::new(lhs), index: Box::new(index) },
+                            line,
+                            col,
+                        };
+                    }
+                    ".." => {
+                        if min_bp > 1 {
+                            break;
+                        }
+                        self.pos += 1;
+                        self.eat_punct("="); // `..=` lexes as `..` `=`
+                        let hi = if self.range_bound_follows(no_struct) {
+                            Some(Box::new(self.parse_bp(2, no_struct)))
+                        } else {
+                            None
+                        };
+                        lhs = Expr {
+                            kind: ExprKind::Range { lo: Some(Box::new(lhs)), hi },
+                            line,
+                            col,
+                        };
+                    }
+                    op => {
+                        let Some(bp) = infix_bp(op) else { break };
+                        if bp <= min_bp {
+                            break;
+                        }
+                        // Compound assignment belongs to the statement.
+                        if self.peek_at(1).is_some_and(|t| t.is_punct("=")) && bp >= 4 {
+                            break;
+                        }
+                        let op = op.to_string();
+                        self.pos += 1;
+                        let rhs = self.parse_bp(bp, no_struct);
+                        lhs = Expr {
+                            kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                            line,
+                            col,
+                        };
+                    }
+                },
+                Tok::Ident(kw) if kw == "as" => {
+                    self.pos += 1;
+                    self.skip_type();
+                    lhs = Expr { kind: ExprKind::Cast { expr: Box::new(lhs) }, line, col };
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    /// Whether a range bound expression follows (vs `..` ending at a
+    /// closing delimiter, as in `&xs[1..]`).
+    fn range_bound_follows(&self, no_struct: bool) -> bool {
+        match self.peek().map(|t| &t.tok) {
+            None => false,
+            Some(Tok::Punct(p)) => {
+                !(matches!(p.as_str(), ")" | "]" | "}" | "," | ";") || no_struct && p == "{")
+            }
+            Some(_) => true,
+        }
+    }
+
+    /// Consumes a type after `as` (path, generics, primitive).
+    fn skip_type(&mut self) {
+        while self.pos < self.toks.len() {
+            match &self.toks[self.pos].tok {
+                Tok::Ident(_) => {
+                    self.pos += 1;
+                    if self.at_punct("::") {
+                        self.pos += 1;
+                        continue;
+                    }
+                    if self.at_punct("<") {
+                        self.pos = skip_angles(self.toks, self.pos);
+                    }
+                    return;
+                }
+                Tok::Punct(p) if p == "*" || p == "&" => self.pos += 1,
+                _ => return,
+            }
+        }
+    }
+
+    /// Parses `( a, b, c )` call arguments (consumes both parens).
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let Some(close) = matching_close(self.toks, self.pos, "(", ")") else {
+            self.pos = self.toks.len();
+            return Vec::new();
+        };
+        let inner = &self.toks[self.pos + 1..close];
+        self.pos = close + 1;
+        split_top_level(inner, ",")
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| Parser::new(p).parse_expr())
+            .collect()
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let Some(t) = self.peek() else {
+            return self.opaque(0, 0);
+        };
+        let (line, col) = (t.line, t.col);
+        match &t.tok {
+            Tok::Int(_) => {
+                self.pos += 1;
+                Expr { kind: ExprKind::Int, line, col }
+            }
+            Tok::Punct(p) => match p.as_str() {
+                "(" => {
+                    let Some(close) = matching_close(self.toks, self.pos, "(", ")") else {
+                        self.pos = self.toks.len();
+                        return self.opaque(line, col);
+                    };
+                    let inner = &self.toks[self.pos + 1..close];
+                    self.pos = close + 1;
+                    let mut elems: Vec<Expr> = split_top_level(inner, ",")
+                        .into_iter()
+                        .filter(|p| !p.is_empty())
+                        .map(|p| Parser::new(p).parse_expr())
+                        .collect();
+                    if elems.len() == 1 {
+                        elems.pop().unwrap_or_else(|| self.opaque(line, col))
+                    } else {
+                        Expr { kind: ExprKind::Tuple(elems), line, col }
+                    }
+                }
+                "[" => self.parse_bracket_group(line, col),
+                "&" => {
+                    self.pos += 1;
+                    if self.at_ident("mut") {
+                        self.pos += 1;
+                    }
+                    let e = self.parse_bp(10, no_struct);
+                    Expr { kind: ExprKind::Unary { expr: Box::new(e) }, line, col }
+                }
+                "*" | "!" | "-" => {
+                    self.pos += 1;
+                    let e = self.parse_bp(10, no_struct);
+                    Expr { kind: ExprKind::Unary { expr: Box::new(e) }, line, col }
+                }
+                "|" | "||" => self.parse_closure(line, col),
+                ".." => {
+                    self.pos += 1;
+                    self.eat_punct("=");
+                    let hi = if self.range_bound_follows(no_struct) {
+                        Some(Box::new(self.parse_bp(2, no_struct)))
+                    } else {
+                        None
+                    };
+                    Expr { kind: ExprKind::Range { lo: None, hi }, line, col }
+                }
+                "{" => Expr { kind: ExprKind::BlockExpr(self.parse_block()), line, col },
+                _ => {
+                    self.pos += 1;
+                    self.opaque(line, col)
+                }
+            },
+            Tok::Ident(kw) => match kw.as_str() {
+                "if" => {
+                    self.pos += 1;
+                    let cond = if self.at_ident("let") {
+                        self.parse_let_cond().1
+                    } else {
+                        self.parse_expr_no_struct()
+                    };
+                    let then = self.parse_block();
+                    let els = if self.at_ident("else") {
+                        self.pos += 1;
+                        if self.at_ident("if") {
+                            Some(vec![self.parse_if()])
+                        } else {
+                            Some(self.parse_block())
+                        }
+                    } else {
+                        None
+                    };
+                    Expr { kind: ExprKind::IfExpr { cond: Box::new(cond), then, els }, line, col }
+                }
+                "match" => {
+                    self.pos += 1;
+                    let scrutinee = self.parse_expr_no_struct();
+                    let arms = self.parse_arms();
+                    Expr {
+                        kind: ExprKind::MatchExpr { scrutinee: Box::new(scrutinee), arms },
+                        line,
+                        col,
+                    }
+                }
+                "loop" => {
+                    self.pos += 1;
+                    Expr { kind: ExprKind::BlockExpr(self.parse_block()), line, col }
+                }
+                "unsafe" => {
+                    self.pos += 1;
+                    Expr { kind: ExprKind::BlockExpr(self.parse_block()), line, col }
+                }
+                "move" => {
+                    self.pos += 1;
+                    let (l2, c2) = self.pos_of(self.peek());
+                    if self.at_punct("|") || self.at_punct("||") {
+                        self.parse_closure(l2, c2)
+                    } else {
+                        self.opaque(line, col)
+                    }
+                }
+                "return" | "break" | "continue" => {
+                    let is_bare = kw == "continue";
+                    self.pos += 1;
+                    let value = if !is_bare && self.range_bound_follows(no_struct) {
+                        Some(Box::new(self.parse_bp(0, no_struct)))
+                    } else {
+                        None
+                    };
+                    Expr { kind: ExprKind::Diverge { value }, line, col }
+                }
+                _ => self.parse_path_primary(no_struct, line, col),
+            },
+        }
+    }
+
+    /// `[a, b]` array literal or `[elem; n]` repeat.
+    fn parse_bracket_group(&mut self, line: usize, col: usize) -> Expr {
+        let Some(close) = matching_close(self.toks, self.pos, "[", "]") else {
+            self.pos = self.toks.len();
+            return self.opaque(line, col);
+        };
+        let inner = &self.toks[self.pos + 1..close];
+        self.pos = close + 1;
+        let semi = split_top_level(inner, ";");
+        if semi.len() == 2 {
+            let elem = Parser::new(semi[0]).parse_expr();
+            let len = Parser::new(semi[1]).parse_expr();
+            return Expr {
+                kind: ExprKind::Macro {
+                    name: "array".to_string(),
+                    args: vec![elem],
+                    repeat_len: Some(Box::new(len)),
+                },
+                line,
+                col,
+            };
+        }
+        let elems = split_top_level(inner, ",")
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| Parser::new(p).parse_expr())
+            .collect();
+        Expr { kind: ExprKind::Tuple(elems), line, col }
+    }
+
+    fn parse_closure(&mut self, line: usize, col: usize) -> Expr {
+        let mut params = Vec::new();
+        if self.at_punct("||") {
+            self.pos += 1;
+        } else {
+            self.pos += 1; // opening `|`
+                           // Parameter names; skip `: Type` segments until the closing `|`.
+            let mut expect_name = true;
+            while self.pos < self.toks.len() {
+                match &self.toks[self.pos].tok {
+                    Tok::Punct(p) if p == "|" => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Tok::Punct(p) if p == "," => {
+                        expect_name = true;
+                        self.pos += 1;
+                    }
+                    Tok::Punct(p) if p == ":" => {
+                        expect_name = false;
+                        self.pos += 1;
+                    }
+                    Tok::Ident(s) if expect_name && s != "mut" && s != "ref" => {
+                        params.push(s.clone());
+                        self.pos += 1;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+        }
+        let body = if self.at_punct("{") {
+            self.parse_block()
+        } else {
+            let e = self.parse_bp(0, false);
+            vec![Stmt::Expr(e)]
+        };
+        Expr { kind: ExprKind::Closure { params, body }, line, col }
+    }
+
+    /// Path, path call, macro, or struct literal.
+    fn parse_path_primary(&mut self, no_struct: bool, line: usize, col: usize) -> Expr {
+        let mut segs = Vec::new();
+        while let Some(Tok::Ident(s)) = self.peek().map(|t| &t.tok) {
+            segs.push(s.clone());
+            self.pos += 1;
+            if self.at_punct("::") {
+                self.pos += 1;
+                if self.at_punct("<") {
+                    self.pos = skip_angles(self.toks, self.pos);
+                    if self.at_punct("::") {
+                        self.pos += 1;
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.pos += 1;
+            return self.opaque(line, col);
+        }
+        // Macro invocation.
+        if self.at_punct("!") && !self.peek_at(1).is_some_and(|t| t.is_punct("=")) {
+            self.pos += 1;
+            let name = segs.last().cloned().unwrap_or_default();
+            return self.parse_macro_args(name, line, col);
+        }
+        // Call.
+        if self.at_punct("(") {
+            let args = self.parse_call_args();
+            let callee = Expr { kind: ExprKind::Path(segs), line, col };
+            return Expr { kind: ExprKind::Call { callee: Box::new(callee), args }, line, col };
+        }
+        // Struct literal: uppercase-initial last segment + `{ field ... }`.
+        let upper = segs.last().and_then(|s| s.chars().next()).is_some_and(|c| c.is_uppercase());
+        if upper && !no_struct && self.at_punct("{") {
+            if let Some(close) = matching_close(self.toks, self.pos, "{", "}") {
+                let inner = &self.toks[self.pos + 1..close];
+                self.pos = close + 1;
+                let fields = split_top_level(inner, ",")
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .map(|p| {
+                        // `name: expr` → expr; shorthand `name` → path.
+                        let val = p
+                            .iter()
+                            .position(|t| t.is_punct(":"))
+                            .map(|c| &p[c + 1..])
+                            .unwrap_or(p);
+                        Parser::new(val).parse_expr()
+                    })
+                    .collect();
+                return Expr { kind: ExprKind::StructLit { fields }, line, col };
+            }
+        }
+        Expr { kind: ExprKind::Path(segs), line, col }
+    }
+
+    /// Macro arguments in any delimiter; `vec![e; n]` keeps the repeat.
+    fn parse_macro_args(&mut self, name: String, line: usize, col: usize) -> Expr {
+        let (open, close) = match self.peek().map(|t| &t.tok) {
+            Some(Tok::Punct(p)) if p == "(" => ("(", ")"),
+            Some(Tok::Punct(p)) if p == "[" => ("[", "]"),
+            Some(Tok::Punct(p)) if p == "{" => ("{", "}"),
+            _ => {
+                return Expr {
+                    kind: ExprKind::Macro { name, args: Vec::new(), repeat_len: None },
+                    line,
+                    col,
+                }
+            }
+        };
+        let Some(end) = matching_close(self.toks, self.pos, open, close) else {
+            self.pos = self.toks.len();
+            return Expr {
+                kind: ExprKind::Macro { name, args: Vec::new(), repeat_len: None },
+                line,
+                col,
+            };
+        };
+        let inner = &self.toks[self.pos + 1..end];
+        self.pos = end + 1;
+        let semi = split_top_level(inner, ";");
+        if semi.len() == 2 {
+            let elem = Parser::new(semi[0]).parse_expr();
+            let len = Parser::new(semi[1]).parse_expr();
+            return Expr {
+                kind: ExprKind::Macro { name, args: vec![elem], repeat_len: Some(Box::new(len)) },
+                line,
+                col,
+            };
+        }
+        let args = split_top_level(inner, ",")
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| Parser::new(p).parse_expr())
+            .collect();
+        Expr { kind: ExprKind::Macro { name, args, repeat_len: None }, line, col }
+    }
+}
+
+/// Infix binding power (higher binds tighter); `None` = not an operator.
+fn infix_bp(op: &str) -> Option<u8> {
+    Some(match op {
+        "||" => 2,
+        "&&" => 3,
+        "==" | "!=" | "<" | ">" | "<=" | ">=" => 4,
+        "|" => 5,
+        "^" => 6,
+        "&" => 7,
+        "<<" | ">>" => 8,
+        "+" | "-" => 9,
+        "*" | "/" | "%" => 10,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask_source, tokenize};
+
+    fn parse(src: &str) -> Vec<Function> {
+        parse_functions(&tokenize(&mask_source(src).code_lines))
+    }
+
+    #[test]
+    fn finds_functions_and_params() {
+        let fs = parse("fn a(x: u32, ys: &[Fragment]) -> u32 { x }\nfn b() {}\n");
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].name, "a");
+        assert_eq!(fs[0].params.len(), 2);
+        assert_eq!(fs[0].params[1].0, "ys");
+        assert!(fs[0].params[1].1.contains("Fragment"));
+    }
+
+    #[test]
+    fn parses_let_and_method_chain() {
+        let fs = parse("fn f(r: R) { let n = r.u32()?; }");
+        let Stmt::Let { names, init, .. } = &fs[0].body[0] else { panic!("not a let") };
+        assert_eq!(names, &["n"]);
+        let Some(Expr { kind: ExprKind::Try { expr }, .. }) = init.as_ref() else {
+            panic!("not a try")
+        };
+        let ExprKind::MethodCall { name, .. } = &expr.kind else { panic!("not a method") };
+        assert_eq!(name, "u32");
+    }
+
+    #[test]
+    fn parses_if_guard_and_return() {
+        let fs = parse("fn f(n: usize) { if n > MAX { return; } let v = n + 1; }");
+        assert!(matches!(&fs[0].body[0], Stmt::If { .. }));
+        let Stmt::If { then, .. } = &fs[0].body[0] else { unreachable!() };
+        assert!(matches!(then[0], Stmt::Return { .. }));
+    }
+
+    #[test]
+    fn parses_for_range_and_vec_macro() {
+        let fs = parse("fn f(n: usize) { for i in 0..n { } let v = vec![0u8; n]; }");
+        let Stmt::For { vars, iter, .. } = &fs[0].body[0] else { panic!("not a for") };
+        assert_eq!(vars, &["i"]);
+        assert!(matches!(iter.kind, ExprKind::Range { .. }));
+        let Stmt::Let { init: Some(e), .. } = &fs[0].body[1] else { panic!("not a let") };
+        let ExprKind::Macro { name, repeat_len, .. } = &e.kind else { panic!("not a macro") };
+        assert_eq!(name, "vec");
+        assert!(repeat_len.is_some());
+    }
+
+    #[test]
+    fn parses_struct_literal_without_consuming_condition_blocks() {
+        let fs = parse(
+            "fn f(x: u32) { if x > 0 { g(); } let s = Foo { a: x, b: 1 }; match x { 0 => h(), _ => {} } }",
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(matches!(&fs[0].body[0], Stmt::If { .. }));
+        let Stmt::Let { init: Some(e), .. } = &fs[0].body[1] else { panic!("not a let") };
+        assert!(matches!(e.kind, ExprKind::StructLit { .. }));
+        assert!(matches!(&fs[0].body[2], Stmt::Match { .. }));
+    }
+
+    #[test]
+    fn parses_closures_and_compound_assign() {
+        let fs = parse("fn f(xs: &[u8], mut n: usize) { xs.iter().map(|x| x + 1); n += 2; }");
+        assert!(matches!(&fs[0].body[1], Stmt::Assign { op: Some(op), .. } if op == "+"));
+    }
+
+    #[test]
+    fn nested_fn_found_and_outer_body_survives() {
+        let fs = parse("fn outer() { fn inner(k: u8) { } let x = 1; }");
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[1].name, "inner");
+    }
+
+    #[test]
+    fn let_else_and_if_let_bind_names() {
+        let fs =
+            parse("fn f(o: O) { let Some(x) = o.get() else { return; }; if let Ok(y) = x { } }");
+        let Stmt::Let { names, els, .. } = &fs[0].body[0] else { panic!("not a let") };
+        assert_eq!(names, &["x"]);
+        assert!(els.is_some());
+        let Stmt::If { binds, .. } = &fs[0].body[1] else { panic!("not an if") };
+        assert_eq!(binds, &["y"]);
+    }
+}

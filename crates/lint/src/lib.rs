@@ -23,8 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dataflow;
+mod expr;
 pub mod lexer;
 pub mod rules;
+mod wire_rules;
 
 use bft_obs::json::JsonValue;
 use rules::{Rule, ScanOptions};
@@ -40,6 +43,10 @@ pub const PROTOCOL_CRATES: &[&str] =
 /// Crates holding pure protocol state machines: these must be RNG-free
 /// (randomness enters only through the injected `CoinScheme`).
 pub const STATE_MACHINE_CRATES: &[&str] = &["types", "core", "rbc", "ec"];
+
+/// Crates whose structs hold long-lived per-peer/per-epoch protocol
+/// state: the `unbounded-map` (W2) rule applies to their fields.
+pub const LONG_LIVED_STATE_CRATES: &[&str] = &["core", "rbc", "ec", "coin", "net", "order"];
 
 /// Files where quorum arithmetic is *defined* rather than used — the
 /// `types::Config` accessors — and therefore exempt from `quorum-arith`.
@@ -63,6 +70,8 @@ pub struct Finding {
     pub snippet: String,
     /// Human-readable description.
     pub message: String,
+    /// For taint findings (W1/W4): the source → sink propagation path.
+    pub trace: Vec<String>,
     /// Stable identity for baselining: hash of rule, file, snippet and
     /// same-snippet ordinal — survives unrelated line-number churn.
     pub fingerprint: String,
@@ -74,7 +83,11 @@ impl fmt::Display for Finding {
             f,
             "{}:{}:{}: [{}] {}\n    {}",
             self.file, self.line, self.col, self.rule, self.message, self.snippet
-        )
+        )?;
+        if !self.trace.is_empty() {
+            write!(f, "\n    taint: {}", self.trace.join(" → "))?;
+        }
+        Ok(())
     }
 }
 
@@ -135,7 +148,16 @@ pub fn analyze_source(
     let tokens = lexer::tokenize(&masked.code_lines);
     let test_regions = find_test_regions(&tokens);
     let mut allows = parse_allows(&masked.comment_lines);
-    let raw = rules::scan(&tokens, opts);
+    let mut raw = rules::scan(&tokens, opts);
+    // Wire-safety families: expression-level taint (W1/W4) and
+    // structural map/lock rules (W2/W3).
+    let functions = expr::parse_functions(&tokens);
+    dataflow::check(&functions, &mut raw);
+    wire_rules::scan_lock_discipline(&tokens, &mut raw);
+    if opts.long_lived_state {
+        wire_rules::scan_unbounded_maps(&tokens, &mut raw);
+    }
+    raw.sort_by_key(|f| (f.line, f.col));
     let src_lines: Vec<&str> = src.lines().collect();
 
     let in_tests = |line: usize| test_regions.iter().any(|&(s, e)| line >= s && line <= e);
@@ -171,6 +193,7 @@ pub fn analyze_source(
             col: f.col,
             snippet,
             message: f.message,
+            trace: f.trace,
             fingerprint: String::new(), // filled below, needs ordinals
         });
     }
@@ -185,7 +208,8 @@ pub fn analyze_source(
             Err(name) => (
                 format!(
                     "`lint: allow({name})` names an unknown rule (expected quorum-arith, \
-                     determinism, or panic)"
+                     determinism, panic, taint-alloc, unbounded-map, lock-discipline, or \
+                     wire-overflow)"
                 ),
                 true,
             ),
@@ -211,6 +235,7 @@ pub fn analyze_source(
                 col: 1,
                 snippet,
                 message,
+                trace: Vec::new(),
                 fingerprint: String::new(),
             });
         }
@@ -349,6 +374,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
         let opts = ScanOptions {
             quorum_exempt: QUORUM_EXEMPT_FILES.contains(&rel.as_str()),
             state_machine_crate: STATE_MACHINE_CRATES.contains(&krate),
+            long_lived_state: LONG_LIVED_STATE_CRATES.contains(&krate),
         };
         let (findings, allowed) = analyze_source(&rel, &src, opts);
         report.findings.extend(findings);
@@ -439,11 +465,13 @@ pub fn render_json(report: &Report, baseline: &BTreeSet<String>) -> String {
     let finding_json = |f: &Finding, baselined: bool| {
         JsonValue::Obj(vec![
             ("rule".into(), JsonValue::str(f.rule.name())),
+            ("rule_family".into(), JsonValue::str(f.rule.family())),
             ("file".into(), JsonValue::str(&f.file)),
             ("line".into(), JsonValue::U64(f.line as u64)),
             ("col".into(), JsonValue::U64(f.col as u64)),
             ("message".into(), JsonValue::str(&f.message)),
             ("snippet".into(), JsonValue::str(&f.snippet)),
+            ("taint_trace".into(), JsonValue::Arr(f.trace.iter().map(JsonValue::str).collect())),
             ("fingerprint".into(), JsonValue::str(&f.fingerprint)),
             ("baselined".into(), JsonValue::Bool(baselined)),
         ])
@@ -464,12 +492,7 @@ pub fn render_json(report: &Report, baseline: &BTreeSet<String>) -> String {
         ("version".into(), JsonValue::str(TOOL_VERSION)),
         (
             "rules".into(),
-            JsonValue::Arr(
-                [Rule::QuorumArith, Rule::Determinism, Rule::Panic, Rule::Annotation]
-                    .iter()
-                    .map(|r| JsonValue::str(r.name()))
-                    .collect(),
-            ),
+            JsonValue::Arr(Rule::ALL.iter().map(|r| JsonValue::str(r.name())).collect()),
         ),
         ("files_scanned".into(), JsonValue::U64(report.files_scanned as u64)),
         (
@@ -490,7 +513,8 @@ pub fn render_json(report: &Report, baseline: &BTreeSet<String>) -> String {
 mod tests {
     use super::*;
 
-    const OPTS: ScanOptions = ScanOptions { quorum_exempt: false, state_machine_crate: true };
+    const OPTS: ScanOptions =
+        ScanOptions { quorum_exempt: false, state_machine_crate: true, long_lived_state: true };
 
     #[test]
     fn test_modules_are_exempt() {

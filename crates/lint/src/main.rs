@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bft-lint [--root <dir>] [--format text|json] [--baseline <file>]
-//!          [--write-baseline] [--out <file>]
+//!          [--write-baseline] [--out <file>] [--family core|W1|W2|W3|W4]
 //! ```
 //!
 //! Exit codes: `0` clean (or all findings baselined), `1` new findings,
@@ -18,6 +18,7 @@ struct Args {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     out: Option<PathBuf>,
+    family: Option<String>,
 }
 
 #[derive(PartialEq)]
@@ -27,7 +28,8 @@ enum Format {
 }
 
 const USAGE: &str = "usage: bft-lint [--root <dir>] [--format text|json] \
-                     [--baseline <file>] [--write-baseline] [--out <file>]";
+                     [--baseline <file>] [--write-baseline] [--out <file>] \
+                     [--family core|W1|W2|W3|W4]";
 
 fn parse_args() -> Result<Args, String> {
     // Default root: the workspace this binary was built from.
@@ -37,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         write_baseline: false,
         out: None,
+        family: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,6 +56,13 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--write-baseline" => args.write_baseline = true,
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--family" => {
+                let fam = value("--family")?;
+                if !bft_lint::rules::Rule::ALL.iter().any(|r| r.family() == fam) {
+                    return Err(format!("unknown rule family `{fam}`\n{USAGE}"));
+                }
+                args.family = Some(fam);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -69,13 +79,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match bft_lint::analyze_workspace(&args.root) {
+    let mut report = match bft_lint::analyze_workspace(&args.root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bft-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(fam) = &args.family {
+        report.findings.retain(|f| f.rule.family() == fam);
+    }
 
     let baseline_path = args.baseline.clone().unwrap_or_else(|| args.root.join("lint.baseline"));
 

@@ -26,6 +26,17 @@ pub enum Rule {
     Panic,
     /// Hygiene of the `lint: allow` annotations themselves.
     Annotation,
+    /// **W1** — a wire-tainted quantity reaches an allocation, index,
+    /// range bound or loop limit without a cap guard.
+    TaintAlloc,
+    /// **W2** — a peer/epoch/instance-keyed collection field with no
+    /// in-file GC path.
+    UnboundedMap,
+    /// **W3** — `.lock().unwrap()` or nested lock acquisitions without
+    /// a declared order.
+    LockDiscipline,
+    /// **W4** — unchecked `+`/`*`/`<<` on a wire-tainted value.
+    WireOverflow,
 }
 
 impl Rule {
@@ -36,8 +47,37 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::Panic => "panic",
             Rule::Annotation => "annotation",
+            Rule::TaintAlloc => "taint-alloc",
+            Rule::UnboundedMap => "unbounded-map",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::WireOverflow => "wire-overflow",
         }
     }
+
+    /// The rule family: `"core"` for the original token rules, `"W1"`…
+    /// `"W4"` for the wire-safety families (reported in JSON and gated
+    /// separately in CI).
+    pub const fn family(self) -> &'static str {
+        match self {
+            Rule::QuorumArith | Rule::Determinism | Rule::Panic | Rule::Annotation => "core",
+            Rule::TaintAlloc => "W1",
+            Rule::UnboundedMap => "W2",
+            Rule::LockDiscipline => "W3",
+            Rule::WireOverflow => "W4",
+        }
+    }
+
+    /// Every rule, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::QuorumArith,
+        Rule::Determinism,
+        Rule::Panic,
+        Rule::Annotation,
+        Rule::TaintAlloc,
+        Rule::UnboundedMap,
+        Rule::LockDiscipline,
+        Rule::WireOverflow,
+    ];
 
     /// Parses an allow-annotation rule name. The `annotation` pseudo-rule
     /// is deliberately not allowable.
@@ -46,6 +86,10 @@ impl Rule {
             "quorum-arith" => Some(Rule::QuorumArith),
             "determinism" => Some(Rule::Determinism),
             "panic" => Some(Rule::Panic),
+            "taint-alloc" => Some(Rule::TaintAlloc),
+            "unbounded-map" => Some(Rule::UnboundedMap),
+            "lock-discipline" => Some(Rule::LockDiscipline),
+            "wire-overflow" => Some(Rule::WireOverflow),
             _ => None,
         }
     }
@@ -68,6 +112,8 @@ pub struct RawFinding {
     pub col: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For taint findings: the source → sink propagation path.
+    pub trace: Vec<String>,
 }
 
 /// Per-file scan configuration.
@@ -79,6 +125,9 @@ pub struct ScanOptions {
     /// The file belongs to a protocol state-machine crate (`types`,
     /// `core`, `rbc`): any `rand` path at all is a determinism violation.
     pub state_machine_crate: bool,
+    /// The file belongs to a crate holding long-lived per-peer/per-epoch
+    /// state: the `unbounded-map` (W2) rule applies to its struct fields.
+    pub long_lived_state: bool,
 }
 
 /// Scans a token stream and returns every raw rule match, in source
@@ -151,6 +200,7 @@ fn quorum_finding(at: &Token, pattern: &str, hint: &str) -> RawFinding {
         message: format!(
             "bare quorum arithmetic `{pattern}`: call the named Config accessor ({hint}) instead"
         ),
+        trace: Vec::new(),
     }
 }
 
@@ -250,6 +300,7 @@ fn det_finding(at: &Token, what: &str, why: &str) -> RawFinding {
         line: at.line,
         col: at.col,
         message: format!("{what} in protocol code: {why}"),
+        trace: Vec::new(),
     }
 }
 
@@ -299,6 +350,7 @@ fn panic_finding(at: &Token, what: &str) -> RawFinding {
             "{what} in message-handling code: return a typed error (surface it through the obs \
              Invariant sink) or annotate why it is infallible"
         ),
+        trace: Vec::new(),
     }
 }
 
@@ -342,7 +394,8 @@ mod tests {
     use super::*;
     use crate::lexer::tokenize;
 
-    const DEFAULT: ScanOptions = ScanOptions { quorum_exempt: false, state_machine_crate: true };
+    const DEFAULT: ScanOptions =
+        ScanOptions { quorum_exempt: false, state_machine_crate: true, long_lived_state: true };
 
     fn scan_src(src: &str) -> Vec<RawFinding> {
         let masked = crate::lexer::mask_source(src);
@@ -394,7 +447,11 @@ mod tests {
     #[test]
     fn rand_allowed_outside_state_machines() {
         let masked = crate::lexer::mask_source("use rand::Rng;");
-        let opts = ScanOptions { quorum_exempt: false, state_machine_crate: false };
+        let opts = ScanOptions {
+            quorum_exempt: false,
+            state_machine_crate: false,
+            long_lived_state: false,
+        };
         assert!(scan(&tokenize(&masked.code_lines), opts).is_empty());
     }
 
@@ -420,7 +477,8 @@ mod tests {
     #[test]
     fn quorum_exempt_file_skips_quorum_only() {
         let masked = crate::lexer::mask_source("let x = 2 * f + 1; let y = z.unwrap();");
-        let opts = ScanOptions { quorum_exempt: true, state_machine_crate: true };
+        let opts =
+            ScanOptions { quorum_exempt: true, state_machine_crate: true, long_lived_state: false };
         let f = scan(&tokenize(&masked.code_lines), opts);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::Panic);

@@ -1,0 +1,458 @@
+//! Structural wire-safety rules: **W2** (`unbounded-map`) and **W3**
+//! (`lock-discipline`).
+//!
+//! - **W2** — a `BTreeMap`/`BTreeSet` struct field in a long-lived
+//!   protocol crate whose key is *not* `NodeId` (so the key space is
+//!   attacker-extensible: epochs, instance ids, roots, raw indices)
+//!   must be reachable from an in-file GC path — `retain`, `remove`,
+//!   `clear`, `drain`, `split_off`, `pop_first`/`pop_last`,
+//!   `mem::take`/`replace`, or a wholesale reset. `NodeId`-keyed
+//!   state is bounded by `n` and exempt.
+//! - **W3** — no `.lock().unwrap()`/`.lock().expect(..)` (poison must
+//!   be ridden or surfaced as a typed error), and no overlapping lock
+//!   acquisitions (a second `.lock()`/`locked(..)` while a let-bound
+//!   guard is live) without a `lint: allow(lock-discipline)` site
+//!   declaring the acquisition order.
+
+use crate::lexer::{Tok, Token};
+use crate::rules::{RawFinding, Rule};
+
+const GC_METHODS: &[&str] =
+    &["retain", "remove", "clear", "drain", "split_off", "pop_first", "pop_last"];
+
+/// Scans struct fields for unbounded peer/epoch-keyed collections.
+pub fn scan_unbounded_maps(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    let fields = collect_map_fields(tokens);
+    for (name, key, line, col) in fields {
+        if key.starts_with("NodeId") {
+            continue;
+        }
+        if has_gc_evidence(tokens, &name) {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: Rule::UnboundedMap,
+            line,
+            col,
+            message: format!(
+                "collection field `{name}` is keyed by `{key}` (attacker-extensible) with no \
+                 in-file GC path (retain/remove/clear/drain/split_off/mem::take): wire it into \
+                 the epoch GC horizon or annotate why it is bounded"
+            ),
+            trace: vec![format!("field `{name}: …<{key}, _>`")],
+        });
+    }
+}
+
+/// Finds `(field_name, key_type_text, line, col)` for every
+/// `BTreeMap`/`BTreeSet`-typed named struct field.
+fn collect_map_fields(tokens: &[Token]) -> Vec<(String, String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        let Some(Tok::Ident(_)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        // Skip generics/where to the struct body; `;`/`(` = not a
+        // brace struct (unit/tuple) — skip it.
+        let mut j = i + 2;
+        let mut body = None;
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                Tok::Punct(p) if p == "{" => {
+                    body = Some(j);
+                    break;
+                }
+                Tok::Punct(p) if p == ";" || p == "(" => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = body else {
+            i = j + 1;
+            continue;
+        };
+        let Some(close) = matching_brace(tokens, open) else {
+            break;
+        };
+        parse_fields(&tokens[open + 1..close], &mut out);
+        i = close + 1;
+    }
+    out
+}
+
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Parses `name: Type,` fields inside a struct body token slice.
+fn parse_fields(tokens: &[Token], out: &mut Vec<(String, String, usize, usize)>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        if tokens[i].is_punct("#") {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct("[")) {
+                let mut depth = 0usize;
+                while i < tokens.len() {
+                    if tokens[i].is_punct("[") {
+                        depth += 1;
+                    } else if tokens[i].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if tokens[i].is_ident("pub") {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct("(")) {
+                while i < tokens.len() && !tokens[i].is_punct(")") {
+                    i += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Field: `name : type-tokens (, | end)`.
+        let (Some(Tok::Ident(fname)), true) =
+            (tokens.get(i).map(|t| &t.tok), tokens.get(i + 1).is_some_and(|t| t.is_punct(":")))
+        else {
+            i += 1;
+            continue;
+        };
+        let fname = fname.clone();
+        let (line, col) = (tokens[i].line, tokens[i].col);
+        let ty_start = i + 2;
+        let mut j = ty_start;
+        let (mut depth, mut angle) = (0i32, 0i32);
+        while j < tokens.len() {
+            if let Tok::Punct(p) = &tokens[j].tok {
+                match p.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "," if depth == 0 && angle <= 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if let Some(key) = map_key_type(&tokens[ty_start..j]) {
+            out.push((fname, key, line, col));
+        }
+        i = j + 1;
+    }
+}
+
+/// If the type tokens contain `BTreeMap<K, ..>` / `BTreeSet<K>`,
+/// returns the rendered key type `K`.
+fn map_key_type(ty: &[Token]) -> Option<String> {
+    let at = ty.iter().position(|t| t.is_ident("BTreeMap") || t.is_ident("BTreeSet"))?;
+    if !ty.get(at + 1).is_some_and(|t| t.is_punct("<")) {
+        return None;
+    }
+    let mut angle = 0i32;
+    let mut key = String::new();
+    for t in &ty[at + 1..] {
+        match &t.tok {
+            Tok::Punct(p) if p == "<" => {
+                angle += 1;
+                if angle == 1 {
+                    continue;
+                }
+            }
+            Tok::Punct(p) if p == ">" => angle -= 1,
+            Tok::Punct(p) if p == ">>" => angle -= 2,
+            Tok::Punct(p) if p == "," && angle == 1 => break,
+            _ => {}
+        }
+        if angle <= 0 {
+            break;
+        }
+        if !key.is_empty() {
+            key.push(' ');
+        }
+        match &t.tok {
+            Tok::Ident(s) => key.push_str(s),
+            Tok::Int(Some(v)) => key.push_str(&v.to_string()),
+            Tok::Int(None) => key.push('0'),
+            Tok::Punct(p) => key.push_str(p),
+        }
+    }
+    Some(key)
+}
+
+/// Whether the file shows a GC call on `field` anywhere
+/// (`field.retain(..)`, `mem::take(&mut self.field)`, reset…).
+fn has_gc_evidence(tokens: &[Token], field: &str) -> bool {
+    for (k, t) in tokens.iter().enumerate() {
+        // `field . gc_method (`
+        if t.is_ident(field)
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct("."))
+            && tokens.get(k + 2).is_some_and(|t| GC_METHODS.iter().any(|m| t.is_ident(m)))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct("("))
+        {
+            return true;
+        }
+        // `take(&mut self.field)` / `replace(&mut self.field, ..)`
+        if (t.is_ident("take") || t.is_ident("replace"))
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct("("))
+            && tokens.get(k + 2).is_some_and(|t| t.is_punct("&"))
+            && tokens.get(k + 3).is_some_and(|t| t.is_ident("mut"))
+            && tokens.get(k + 4).is_some_and(|t| t.is_ident("self"))
+            && tokens.get(k + 5).is_some_and(|t| t.is_punct("."))
+            && tokens.get(k + 6).is_some_and(|t| t.is_ident(field))
+        {
+            return true;
+        }
+        // Wholesale reset: `self . field = BTreeMap :: new` / Default.
+        if t.is_ident("self")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct("."))
+            && tokens.get(k + 2).is_some_and(|t| t.is_ident(field))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct("="))
+            && tokens.get(k + 4).is_some_and(|t| {
+                t.is_ident("BTreeMap") || t.is_ident("BTreeSet") || t.is_ident("Default")
+            })
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans for lock-discipline violations.
+pub fn scan_lock_discipline(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    scan_lock_unwrap(tokens, out);
+    scan_nested_locks(tokens, out);
+}
+
+/// `.lock().unwrap()` / `.lock().expect(..)` — poison must be ridden
+/// (`unwrap_or_else(PoisonError::into_inner)`) or surfaced typed.
+fn scan_lock_unwrap(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    for (k, t) in tokens.iter().enumerate() {
+        if t.is_punct(".")
+            && tokens.get(k + 1).is_some_and(|t| t.is_ident("lock"))
+            && tokens.get(k + 2).is_some_and(|t| t.is_punct("("))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct(")"))
+            && tokens.get(k + 4).is_some_and(|t| t.is_punct("."))
+            && tokens.get(k + 5).is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && tokens.get(k + 6).is_some_and(|t| t.is_punct("("))
+        {
+            let at = &tokens[k + 1];
+            out.push(RawFinding {
+                rule: Rule::LockDiscipline,
+                line: at.line,
+                col: at.col,
+                message: "`.lock().unwrap()` panics the thread on poison: ride the poison \
+                          (`unwrap_or_else(PoisonError::into_inner)`) or surface a typed error"
+                    .to_string(),
+                trace: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Whether a lock acquisition starts at `k` (`.lock(` on a `Mutex`, or
+/// a call to the `locked(..)` poison-riding helper). Returns the token
+/// carrying the position.
+fn lock_acquisition_at(tokens: &[Token], k: usize) -> Option<&Token> {
+    let t = tokens.get(k)?;
+    if t.is_punct(".")
+        && tokens.get(k + 1).is_some_and(|t| t.is_ident("lock"))
+        && tokens.get(k + 2).is_some_and(|t| t.is_punct("("))
+    {
+        return tokens.get(k + 1);
+    }
+    if t.is_ident("locked")
+        && tokens.get(k + 1).is_some_and(|t| t.is_punct("("))
+        && !(k > 0 && (tokens[k - 1].is_punct(".") || tokens[k - 1].is_ident("fn")))
+    {
+        return Some(t);
+    }
+    None
+}
+
+/// Flags a lock acquisition while a let-bound guard from an enclosing
+/// statement is still live (nested locking deadlock risk).
+fn scan_nested_locks(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    let mut depth = 0i32;
+    // Live let-bound guards: (brace depth, guard name).
+    let mut guards: Vec<(i32, String)> = Vec::new();
+    // Current-statement state.
+    let mut stmt_locks = 0usize;
+    let mut stmt_is_let = false;
+    let mut stmt_let_name = String::new();
+    let mut paren = 0i32;
+
+    let mut k = 0;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match &t.tok {
+            Tok::Punct(p) => match p.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" => {
+                    // Statement header ends: transient guards die here.
+                    depth += 1;
+                    stmt_locks = 0;
+                    stmt_is_let = false;
+                }
+                "}" => {
+                    guards.retain(|(d, _)| *d < depth);
+                    depth -= 1;
+                    stmt_locks = 0;
+                    stmt_is_let = false;
+                }
+                ";" if paren <= 0 => {
+                    if stmt_is_let && stmt_locks == 1 && !stmt_let_name.is_empty() {
+                        guards.push((depth, stmt_let_name.clone()));
+                    }
+                    stmt_locks = 0;
+                    stmt_is_let = false;
+                    stmt_let_name.clear();
+                }
+                _ => {}
+            },
+            Tok::Ident(s) => match s.as_str() {
+                "let" if paren <= 0 => {
+                    stmt_is_let = true;
+                    stmt_locks = 0;
+                    stmt_let_name = match tokens.get(k + 1).map(|t| &t.tok) {
+                        Some(Tok::Ident(n)) if n == "mut" => {
+                            match tokens.get(k + 2).map(|t| &t.tok) {
+                                Some(Tok::Ident(n)) => n.clone(),
+                                _ => String::new(),
+                            }
+                        }
+                        Some(Tok::Ident(n)) => n.clone(),
+                        _ => String::new(),
+                    };
+                }
+                "drop" if tokens.get(k + 1).is_some_and(|t| t.is_punct("(")) => {
+                    if let Some(Tok::Ident(n)) = tokens.get(k + 2).map(|t| &t.tok) {
+                        guards.retain(|(_, g)| g != n);
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        if let Some(at) = lock_acquisition_at(tokens, k) {
+            if !guards.is_empty() || stmt_locks >= 1 {
+                let held = guards
+                    .last()
+                    .map(|(_, g)| format!("guard `{g}`"))
+                    .unwrap_or_else(|| "an earlier acquisition in this statement".to_string());
+                out.push(RawFinding {
+                    rule: Rule::LockDiscipline,
+                    line: at.line,
+                    col: at.col,
+                    message: format!(
+                        "nested lock acquisition while {held} is still held: a second thread \
+                         taking them in the other order deadlocks — scope the first guard out, \
+                         or annotate the declared order"
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+            stmt_locks += 1;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask_source, tokenize};
+
+    fn run_maps(src: &str) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        scan_unbounded_maps(&tokenize(&mask_source(src).code_lines), &mut out);
+        out
+    }
+
+    fn run_locks(src: &str) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        scan_lock_discipline(&tokenize(&mask_source(src).code_lines), &mut out);
+        out
+    }
+
+    #[test]
+    fn epoch_keyed_map_without_gc_fires() {
+        let f = run_maps("struct S { epochs: BTreeMap<u64, State> }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::UnboundedMap);
+        assert!(f[0].message.contains("epochs"));
+    }
+
+    #[test]
+    fn retain_evidence_clears() {
+        let f = run_maps(
+            "struct S { epochs: BTreeMap<u64, State> }\n\
+             impl S { fn gc(&mut self, h: u64) { self.epochs.retain(|e, _| *e >= h); } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn node_id_keyed_is_exempt() {
+        assert!(run_maps("struct S { votes: BTreeMap<NodeId, Value> }").is_empty());
+        assert!(run_maps("struct S { seen: BTreeSet<NodeId> }").is_empty());
+    }
+
+    #[test]
+    fn mem_take_is_evidence() {
+        let f = run_maps(
+            "struct S { buf: BTreeMap<u64, V> }\n\
+             impl S { fn flush(&mut self) -> BTreeMap<u64, V> { std::mem::take(&mut self.buf) } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lock_unwrap_fires() {
+        let f = run_locks("fn f(m: &Mutex<u8>) { let g = m.lock().unwrap(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::LockDiscipline);
+    }
+
+    #[test]
+    fn nested_lock_fires_and_scoped_does_not() {
+        let nested = "fn f(a: &M, b: &M) { let ga = locked(a); let gb = locked(b); }";
+        assert_eq!(run_locks(nested).len(), 1, "{:?}", run_locks(nested));
+        let scoped = "fn f(a: &M, b: &M) { { let ga = locked(a); } { let gb = locked(b); } }";
+        assert!(run_locks(scoped).is_empty(), "{:?}", run_locks(scoped));
+    }
+
+    #[test]
+    fn transient_and_dropped_guards_do_not_fire() {
+        let transient = "fn f(a: &M, b: &M) { locked(a).push(1); locked(b).push(2); }";
+        assert!(run_locks(transient).is_empty(), "{:?}", run_locks(transient));
+        let dropped = "fn f(a: &M, b: &M) { let ga = locked(a); drop(ga); let gb = locked(b); }";
+        assert!(run_locks(dropped).is_empty(), "{:?}", run_locks(dropped));
+    }
+}

@@ -5,7 +5,8 @@ use bft_lint::rules::{Rule, ScanOptions};
 use bft_lint::{analyze_source, AllowedSite, Finding};
 use std::path::Path;
 
-const OPTS: ScanOptions = ScanOptions { quorum_exempt: false, state_machine_crate: true };
+const OPTS: ScanOptions =
+    ScanOptions { quorum_exempt: false, state_machine_crate: true, long_lived_state: true };
 
 fn analyze_fixture(name: &str) -> (Vec<Finding>, Vec<AllowedSite>) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -70,7 +71,8 @@ fn determinism_rand_exemption_outside_state_machines() {
     let path =
         Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism_violations.rs");
     let src = std::fs::read_to_string(path).unwrap();
-    let opts = ScanOptions { quorum_exempt: false, state_machine_crate: false };
+    let opts =
+        ScanOptions { quorum_exempt: false, state_machine_crate: false, long_lived_state: false };
     let (findings, _) = analyze_source("determinism_violations.rs", &src, opts);
     // The bare `rand` path is legal outside `types`/`core`/`rbc`; the
     // entropy-seeded `thread_rng` stays banned everywhere.
@@ -99,4 +101,78 @@ fn panic_fixture_diagnostics() {
     assert_eq!(allowed.len(), 1);
     assert_eq!(allowed[0].rule, Rule::Panic);
     assert_eq!(allowed[0].reason, "fixture demonstrates a reasoned escape hatch");
+}
+
+#[test]
+fn taint_alloc_fixture_diagnostics() {
+    let (findings, allowed) = analyze_fixture("taint_alloc_violations.rs");
+    assert_diagnostics(
+        &findings,
+        &[
+            (7, Rule::TaintAlloc, "`with_capacity`"),
+            (13, Rule::TaintAlloc, "`.to_vec()` of a tainted-length slice"),
+            (19, Rule::TaintAlloc, "a range bound"),
+        ],
+    );
+    assert!(allowed.is_empty());
+    // Every W1 finding carries a source → sink taint trace.
+    for f in &findings {
+        assert!(!f.trace.is_empty(), "missing taint trace on {f}");
+        assert!(f.trace[0].contains("wire read"), "trace of {f} must start at the source");
+    }
+}
+
+#[test]
+fn wire_overflow_fixture_diagnostics() {
+    let (findings, allowed) = analyze_fixture("wire_overflow_violations.rs");
+    assert_diagnostics(
+        &findings,
+        &[(7, Rule::WireOverflow, "unchecked `*`"), (13, Rule::WireOverflow, "unchecked `+`")],
+    );
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn unbounded_map_fixture_diagnostics() {
+    let (findings, allowed) = analyze_fixture("unbounded_map_violations.rs");
+    assert_diagnostics(&findings, &[(6, Rule::UnboundedMap, "collection field `rounds`")]);
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn lock_discipline_fixture_diagnostics() {
+    let (findings, allowed) = analyze_fixture("lock_discipline_violations.rs");
+    assert_diagnostics(
+        &findings,
+        &[
+            (6, Rule::LockDiscipline, "`.lock().unwrap()`"),
+            (6, Rule::Panic, "`.unwrap()`"),
+            (12, Rule::LockDiscipline, "nested lock acquisition"),
+        ],
+    );
+    assert!(allowed.is_empty());
+}
+
+/// Rule families are stable strings, and fingerprints do not move when
+/// the findings shift lines (they hash rule, file, snippet, ordinal —
+/// the `rule_family` JSON field rides along without entering the hash).
+#[test]
+fn wire_rule_families_and_fingerprint_stability() {
+    assert_eq!(Rule::TaintAlloc.family(), "W1");
+    assert_eq!(Rule::UnboundedMap.family(), "W2");
+    assert_eq!(Rule::LockDiscipline.family(), "W3");
+    assert_eq!(Rule::WireOverflow.family(), "W4");
+    assert_eq!(Rule::Panic.family(), "core");
+
+    let name = "taint_alloc_violations.rs";
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = std::fs::read_to_string(path).unwrap();
+    let (original, _) = analyze_source(name, &src, OPTS);
+    let shifted_src = format!("// shifted by one line\n{src}");
+    let (shifted, _) = analyze_source(name, &shifted_src, OPTS);
+    assert_eq!(original.len(), shifted.len());
+    for (a, b) in original.iter().zip(&shifted) {
+        assert_eq!(a.fingerprint, b.fingerprint, "fingerprint moved under a line shift");
+        assert_eq!(a.line + 1, b.line);
+    }
 }

@@ -1,0 +1,24 @@
+//! Seeded W3 violations: poison-panicking lock use and nested
+//! acquisitions, plus a scoped negative that must stay clean.
+
+/// Positive: panics on poison instead of riding it.
+fn lock_unwrap(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+/// Positive: acquires `b` while the guard on `a` is still live.
+fn nested(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = locked(a);
+    let gb = locked(b);
+    *ga + *gb
+}
+
+/// Negative: the first guard is scoped out before the second lock.
+fn scoped(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let x = {
+        let ga = locked(a);
+        *ga
+    };
+    let gb = locked(b);
+    x + *gb
+}

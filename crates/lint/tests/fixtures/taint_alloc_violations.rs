@@ -1,0 +1,38 @@
+//! Seeded W1 violations: wire-derived quantities reaching allocation
+//! and indexing sinks, plus sanitized negatives that must stay clean.
+
+/// Positive: a decoded length sizes an allocation with no cap guard.
+fn alloc_from_wire(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = r.u32()? as usize;
+    Ok(Vec::with_capacity(len))
+}
+
+/// Positive: a tainted-length slice is copied to the heap.
+fn copy_from_wire(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = r.u32()? as usize;
+    Ok(r.take(len)?.to_vec())
+}
+
+/// Positive: a decoded count bounds a decode loop.
+fn loop_from_wire(r: &mut Reader<'_>) -> Result<(), DecodeError> {
+    let count = r.u32()? as usize;
+    for _ in 0..count {
+        r.u8()?;
+    }
+    Ok(())
+}
+
+/// Negative: the cap guard with a typed early return sanitizes.
+fn capped(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = r.u32()? as usize;
+    if len > MAX_PAYLOAD as usize {
+        return Err(DecodeError::Oversize(len as u32));
+    }
+    Ok(r.take(len)?.to_vec())
+}
+
+/// Negative: `.min()` clamps the quantity before the allocation.
+fn clamped(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = (r.u32()? as usize).min(64);
+    Ok(Vec::with_capacity(len))
+}

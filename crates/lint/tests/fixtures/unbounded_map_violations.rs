@@ -1,0 +1,24 @@
+//! Seeded W2 violations: attacker-extensible collection fields with no
+//! in-file GC path, plus GC'd and node-keyed negatives.
+
+/// Positive: an epoch-keyed map that nothing in this file ever trims.
+struct LeakyState {
+    rounds: BTreeMap<u64, Vec<u8>>,
+    done: bool,
+}
+
+/// Negative: a NodeId-keyed map is bounded by the membership set.
+struct PerPeer {
+    counters: BTreeMap<NodeId, u64>,
+}
+
+/// Negative: this set has an in-file GC path (`retain` below).
+struct Pruned {
+    seen: BTreeSet<u64>,
+}
+
+impl Pruned {
+    fn gc(&mut self, horizon: u64) {
+        self.seen.retain(|s| *s >= horizon);
+    }
+}

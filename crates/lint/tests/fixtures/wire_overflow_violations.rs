@@ -1,0 +1,29 @@
+//! Seeded W4 violations: unchecked arithmetic on wire-derived values,
+//! plus checked/saturating negatives that must stay clean.
+
+/// Positive: multiplying a decoded count can overflow before any cap.
+fn mul_overflow(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    let count = r.u32()? as usize;
+    Ok(count * 8)
+}
+
+/// Positive: raw addition on a wire-decoded value.
+fn add_overflow(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let base = r.u64()?;
+    Ok(base + 16)
+}
+
+/// Negative: saturating arithmetic cannot overflow.
+fn saturating(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    let count = r.u32()? as usize;
+    Ok(count.saturating_mul(8))
+}
+
+/// Negative: a cap guard clears the taint before the arithmetic.
+fn capped(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    let count = r.u32()? as usize;
+    if count > MAX_BATCH {
+        return Err(DecodeError::Oversize(count as u32));
+    }
+    Ok(count * 8)
+}

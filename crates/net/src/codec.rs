@@ -258,12 +258,22 @@ impl Codec for () {
     }
 }
 
+/// Upper bound on a wire-decoded node index, far above any supported
+/// `n`. Downstream structures size per-node state by index
+/// (`NodeBitset` panics past its capacity), so an unchecked 32-bit
+/// index is a remote crash/allocation vector.
+pub const MAX_WIRE_NODE_INDEX: usize = 4096;
+
 impl Codec for NodeId {
     fn encode(&self, out: &mut Vec<u8>) {
         put_u32(out, self.index() as u32);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(NodeId::new(r.u32()? as usize))
+        let index = r.u32()? as usize;
+        if index > MAX_WIRE_NODE_INDEX {
+            return Err(DecodeError::Invalid { what: "node index", got: index as u64 });
+        }
+        Ok(NodeId::new(index))
     }
 }
 
@@ -370,6 +380,9 @@ impl Codec for bft_ec::Fragment {
         let index = r.u16()?;
         let total_len = r.u32()?;
         let shard_len = r.u32()? as usize;
+        if shard_len > crate::frame::MAX_PAYLOAD as usize {
+            return Err(DecodeError::Oversize(shard_len as u32));
+        }
         let shard = r.take(shard_len)?.to_vec();
         let proof_len = r.u16()? as usize;
         if proof_len > 64 {
@@ -461,6 +474,9 @@ impl Codec for Vec<u8> {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let len = r.u32()? as usize;
+        if len > crate::frame::MAX_PAYLOAD as usize {
+            return Err(DecodeError::Oversize(len as u32));
+        }
         Ok(r.take(len)?.to_vec())
     }
 }
@@ -472,6 +488,9 @@ impl Codec for String {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let len = r.u32()? as usize;
+        if len > crate::frame::MAX_PAYLOAD as usize {
+            return Err(DecodeError::Oversize(len as u32));
+        }
         let bytes = r.take(len)?;
         match std::str::from_utf8(bytes) {
             Ok(s) => Ok(s.to_string()),

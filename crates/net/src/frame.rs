@@ -60,6 +60,10 @@ pub enum FrameKind {
     Auth,
     /// An authenticated protocol message.
     Msg,
+    /// A cumulative receive acknowledgement, flowing receiver → sender on
+    /// the same connection: `seq` is the highest contiguously processed
+    /// frame, and lets the sender trim its replay log.
+    Ack,
 }
 
 impl FrameKind {
@@ -70,6 +74,7 @@ impl FrameKind {
             FrameKind::Challenge => 2,
             FrameKind::Auth => 3,
             FrameKind::Msg => 4,
+            FrameKind::Ack => 5,
         }
     }
 
@@ -80,6 +85,7 @@ impl FrameKind {
             2 => Ok(FrameKind::Challenge),
             3 => Ok(FrameKind::Auth),
             4 => Ok(FrameKind::Msg),
+            5 => Ok(FrameKind::Ack),
             other => Err(DecodeError::BadKind(other)),
         }
     }
@@ -343,6 +349,16 @@ mod tests {
         let mut cursor = io::Cursor::new(bytes);
         let read = read_frame(&mut cursor).map_err(|e| e.to_string());
         assert_eq!(read, Ok(f));
+    }
+
+    #[test]
+    fn ack_frame_round_trips_at_fixed_size() {
+        let f = Frame::new(FrameKind::Ack, 48, Vec::new());
+        let bytes = f.encode().unwrap_or_default();
+        // Empty payload ⇒ an ack is exactly the framing overhead, which
+        // is what the writer's nonblocking drain peeks for.
+        assert_eq!(bytes.len(), FRAME_OVERHEAD);
+        assert_eq!(Frame::decode(&bytes), Ok(f));
     }
 
     #[test]

@@ -16,15 +16,18 @@
 //!
 //! * every frame on link `u → v` carries a contiguous sequence number
 //!   starting at 1;
-//! * the writer keeps the full per-link frame log; after a reconnect it
-//!   replays the log from the start (bodies are `Arc`-shared with the
-//!   broadcast fan-out, so the log stores pointers, not copies);
+//! * the writer keeps a per-link frame log for replay (bodies are
+//!   `Arc`-shared with the broadcast fan-out, so the log stores
+//!   pointers, not copies); after a reconnect it replays the log from
+//!   its trimmed base;
 //! * the receiver keeps a per-peer `next expected` counter that survives
 //!   connections, so replayed and duplicated frames are discarded and
-//!   exactly-once, in-order delivery holds end-to-end.
-//!
-//! Log trimming by cumulative acks is future work; for the bounded runs
-//! this harness drives, retaining the log is the simpler correct choice.
+//!   exactly-once, in-order delivery holds end-to-end;
+//! * the receiver acks every [`ACK_EVERY`]-th processed frame back on
+//!   the same connection (a cumulative [`FrameKind::Ack`]), and the
+//!   writer drains acks while idle and drops acked prefixes from the
+//!   log — so resident log size is bounded by the ack cadence plus the
+//!   in-flight window instead of growing with the run length.
 //!
 //! # Shutdown
 //!
@@ -469,6 +472,7 @@ struct ReaderShared<M> {
     n: usize,
     secret: Secret,
     inbox: Option<Sender<Ctrl<M>>>,
+    // lint: allow(unbounded-map) — keys are handshake-authenticated peer indices < n; the next-seq dedup floor must never be GC'd
     expected: Arc<Mutex<BTreeMap<usize, u64>>>,
     shutdown: Arc<AtomicBool>,
     obs: Obs,
@@ -555,6 +559,15 @@ fn reader_session<M: Codec + Clone + fmt::Debug>(stream: &mut TcpStream, ctx: Re
                     }
                     *next += 1;
                 }
+                // Cumulative ack back to the writer, on the same
+                // connection, so it can trim its replay log. Write
+                // failures are ignored: link death surfaces on the next
+                // read, and the writer falls back to retaining its log.
+                if frame.seq % ACK_EVERY == 0 {
+                    if let Ok(ack) = encode_frame(FrameKind::Ack, frame.seq, 0, &[]) {
+                        let _ = stream.write_all(&ack);
+                    }
+                }
                 match M::from_bytes(&frame.payload) {
                     Ok(msg) => {
                         let env = Envelope::new(peer, ctx.me, msg);
@@ -614,6 +627,10 @@ struct WriterCtx {
 
 /// How long the writer waits on its queue before re-checking shutdown.
 const WRITER_POLL_MS: u64 = 10;
+/// The receiver acks every `ACK_EVERY`-th processed frame (cumulative),
+/// letting the writer trim its replay log. Small enough to bound the
+/// log, large enough that ack traffic stays negligible.
+const ACK_EVERY: u64 = 16;
 /// Retransmission timeout after a chaos-dropped attempt.
 const RETRANSMIT_RTO_MS: u64 = 2;
 /// Cap on chaos retransmissions of a single frame: the chaos layer sits
@@ -645,6 +662,36 @@ fn conn_dead(stream: &TcpStream) -> bool {
     dead
 }
 
+/// Nonblockingly consumes any *complete* ack frames buffered on the
+/// writer's stream and returns the highest cumulative ack seen (`None`
+/// if none arrived). A partial frame is left buffered for next time; a
+/// non-ack frame or transport error is surfaced as `Err` so the caller
+/// treats the connection as dead.
+fn drain_acks(stream: &mut TcpStream) -> io::Result<Option<u64>> {
+    // An ack is an empty-payload frame: header + trace hint + trailer.
+    let mut best = None;
+    loop {
+        stream.set_nonblocking(true)?;
+        let mut probe = [0u8; FRAME_OVERHEAD];
+        let peeked = stream.peek(&mut probe);
+        let _ = stream.set_nonblocking(false);
+        match peeked {
+            // A whole ack is buffered: this read cannot block.
+            Ok(n) if n >= FRAME_OVERHEAD => match read_frame(stream) {
+                Ok(f) if f.kind == FrameKind::Ack => {
+                    best = Some(best.unwrap_or(0).max(f.seq));
+                }
+                _ => return Err(io::Error::from(io::ErrorKind::InvalidData)),
+            },
+            // EOF (0) or a partial frame: nothing (more) to consume now.
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(best)
+}
+
 fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
     let me = ctx.me;
     let peer = ctx.peer;
@@ -659,6 +706,12 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
     // with the broadcast fan-out (Arc), so this stores pointers (plus
     // each body's trace hint for the frame header).
     let mut log: Vec<FrameBody> = Vec::new();
+    // Sequence numbers already acked and dropped from the log's front:
+    // `log[i]` carries seq `log_base + i + 1`, and replay after a
+    // reconnect starts at `log_base + 1` (the receiver acked everything
+    // at or below `log_base`, so nothing earlier can be needed).
+    let mut log_base: u64 = 0;
+    let mut peak: usize = 0;
     let mut conn: Option<TcpStream> = None;
     let mut sent = 0usize;
     let mut ever_connected = false;
@@ -674,12 +727,37 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
                     while let Ok(more) = rx.try_recv() {
                         log.push(more);
                     }
+                    peak = peak.max(log.len());
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => draining = true,
             }
         }
         if sent == log.len() {
+            // Consume cumulative acks first (they share the stream, so
+            // buffered ack bytes must not be mistaken for peer liveness
+            // data by the probe below) and drop the acked prefix.
+            if let Some(stream) = conn.as_mut() {
+                match drain_acks(stream) {
+                    Ok(Some(acked)) if acked > log_base => {
+                        let k = ((acked - log_base) as usize).min(sent);
+                        log.drain(..k);
+                        sent -= k;
+                        log_base += k as u64;
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        conn = None;
+                        sent = 0;
+                        if !ctx.shutdown.load(Ordering::Relaxed) {
+                            ctx.obs.emit_at(ctx.clock.now_us(), me, || {
+                                ObsEvent::PeerDisconnected { peer, reason: "ack_failed" }
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
             // An idle link can die silently: a receiver that detected a
             // sequence gap (or was severed) closes its end, but with no
             // pending frames the writer would never hit a write error and
@@ -765,7 +843,35 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
             }
         }
 
-        let seq = sent as u64 + 1;
+        // Drain acks during sustained sends too, not just when idle: a
+        // receiver blocked writing an ack into a full socket buffer
+        // would stop reading and stall the link — and the log would
+        // never trim under a one-way flood.
+        if sent.is_multiple_of(ACK_EVERY as usize) {
+            if let Some(stream) = conn.as_mut() {
+                match drain_acks(stream) {
+                    Ok(Some(acked)) if acked > log_base => {
+                        let k = ((acked - log_base) as usize).min(sent);
+                        log.drain(..k);
+                        sent -= k;
+                        log_base += k as u64;
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        conn = None;
+                        sent = 0;
+                        if !ctx.shutdown.load(Ordering::Relaxed) {
+                            ctx.obs.emit_at(ctx.clock.now_us(), me, || {
+                                ObsEvent::PeerDisconnected { peer, reason: "ack_failed" }
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+
+        let seq = log_base + sent as u64 + 1;
 
         // Partition window: frames wait out the outage (they are not
         // lost — the reliable-link contract still holds).
@@ -823,6 +929,8 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
             }
         }
     }
+    let frames = peak as u64;
+    ctx.obs.emit_at(ctx.clock.now_us(), me, || ObsEvent::LinkLogPeak { peer, frames });
 }
 
 /// The body of one actor thread (mirrors `bft-runtime`'s actor loop;

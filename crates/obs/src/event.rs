@@ -139,6 +139,16 @@ pub enum Event {
         /// The encoded body length in bytes.
         len: u64,
     },
+    /// High-water mark of one directed link's replay log (frames resident
+    /// at once), emitted by the writer thread at link teardown. With
+    /// ack-based trimming this stays bounded by the ack cadence instead of
+    /// growing with the run length.
+    LinkLogPeak {
+        /// The link's destination peer.
+        peer: NodeId,
+        /// Peak number of frames held in the log.
+        frames: u64,
+    },
 
     /// The observing node started an ordering epoch (proposed its batch
     /// and opened the epoch's ACS instance).
@@ -359,6 +369,7 @@ impl Event {
             Event::FrameDropped { .. } => "frame_dropped",
             Event::FrameSequenceGap { .. } => "frame_sequence_gap",
             Event::PayloadRejected { .. } => "payload_rejected",
+            Event::LinkLogPeak { .. } => "link_log_peak",
             Event::EpochStarted { .. } => "epoch_started",
             Event::EpochCommitted { .. } => "epoch_committed",
             Event::BatchSubmitted { .. } => "batch_submitted",
@@ -437,6 +448,10 @@ impl Event {
             }
             Event::PayloadRejected { len } => {
                 field("len", JsonValue::U64(*len));
+            }
+            Event::LinkLogPeak { peer, frames } => {
+                field("peer", JsonValue::U64(peer.index() as u64));
+                field("frames", JsonValue::U64(*frames));
             }
             Event::EpochStarted { epoch } => {
                 field("epoch", JsonValue::U64(*epoch));
@@ -566,6 +581,7 @@ mod tests {
             Event::Decided { round: 1, value: Value::One },
             Event::FrameSequenceGap { from: NodeId::new(0), expected: 1, got: 3 },
             Event::PayloadRejected { len: 9 },
+            Event::LinkLogPeak { peer: NodeId::new(0), frames: 17 },
             Event::EpochStarted { epoch: 0 },
             Event::EpochCommitted { epoch: 0, slots: 3, txs: 12 },
             Event::BatchSubmitted { epoch: 0, txs: 4, bytes: 64 },

@@ -44,6 +44,7 @@ pub struct MetricsSink {
     frame_decode_errors: u64,
     frame_sequence_gaps: u64,
     payloads_rejected: u64,
+    peak_link_log: u64,
     chaos_frames_dropped: u64,
     epochs_started: u64,
     epochs_committed: u64,
@@ -169,6 +170,11 @@ impl MetricsSink {
         self.payloads_rejected
     }
 
+    /// High-water mark of any directed link's replay log, in frames.
+    pub fn peak_link_log(&self) -> u64 {
+        self.peak_link_log
+    }
+
     /// Outbound frame transmissions dropped by the chaos layer.
     pub fn chaos_frames_dropped(&self) -> u64 {
         self.chaos_frames_dropped
@@ -276,6 +282,7 @@ impl MetricsSink {
         self.frame_decode_errors += other.frame_decode_errors;
         self.frame_sequence_gaps += other.frame_sequence_gaps;
         self.payloads_rejected += other.payloads_rejected;
+        self.peak_link_log = self.peak_link_log.max(other.peak_link_log);
         self.chaos_frames_dropped += other.chaos_frames_dropped;
         self.epochs_started += other.epochs_started;
         self.epochs_committed += other.epochs_committed;
@@ -384,6 +391,7 @@ impl MetricsSink {
                 ("frame_decode_errors".into(), JsonValue::U64(self.frame_decode_errors)),
                 ("frame_sequence_gaps".into(), JsonValue::U64(self.frame_sequence_gaps)),
                 ("payloads_rejected".into(), JsonValue::U64(self.payloads_rejected)),
+                ("peak_link_log".into(), JsonValue::U64(self.peak_link_log)),
                 ("chaos_frames_dropped".into(), JsonValue::U64(self.chaos_frames_dropped)),
             ]),
         ));
@@ -487,6 +495,12 @@ impl MetricsSink {
             "bft_payloads_rejected_total",
             "Oversize outbound bodies rejected",
             self.payloads_rejected,
+        );
+        prom_gauge(
+            &mut out,
+            "bft_peak_link_log_frames",
+            "Peak frames resident in one link's replay log",
+            self.peak_link_log,
         );
         prom_counter(
             &mut out,
@@ -657,6 +671,9 @@ impl Sink for MetricsSink {
             Event::FrameDecodeError { .. } => self.frame_decode_errors += 1,
             Event::FrameSequenceGap { .. } => self.frame_sequence_gaps += 1,
             Event::PayloadRejected { .. } => self.payloads_rejected += 1,
+            Event::LinkLogPeak { frames, .. } => {
+                self.peak_link_log = self.peak_link_log.max(*frames)
+            }
             Event::FrameDropped { .. } => self.chaos_frames_dropped += 1,
             Event::EpochStarted { epoch } => {
                 self.epochs_started += 1;

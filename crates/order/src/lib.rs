@@ -208,10 +208,19 @@ pub fn encode_batch(txs: &[Vec<u8>]) -> Vec<u8> {
 pub fn decode_batch(bytes: &[u8]) -> Vec<Vec<u8>> {
     fn parse(bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
         let mut r = Reader::new(bytes);
-        let count = r.u32().ok()?;
+        let count = r.u32().ok()? as usize;
+        // Each entry costs at least its 4-byte length prefix, so a count
+        // the remaining bytes cannot possibly hold is malformed — reject
+        // before looping (a hostile count must not drive the loop).
+        if count > r.remaining() / 4 {
+            return None;
+        }
         let mut txs = Vec::new();
         for _ in 0..count {
             let len = r.u32().ok()? as usize;
+            if len > r.remaining() {
+                return None;
+            }
             txs.push(r.take(len).ok()?.to_vec());
         }
         r.finish().ok()?;

@@ -89,6 +89,7 @@ pub struct CodedInstance<P> {
     sent_ready: bool,
     /// Verified echo fragments, grouped by commitment root then keyed by
     /// fragment index (≡ echoing peer). BTree for replay-stable order.
+    // lint: allow(unbounded-map) — one echo per peer (≤ n roots of ≤ n fragments); RbcMux::retain drops the instance at the GC horizon
     echoes: BTreeMap<u64, BTreeMap<u16, Fragment>>,
     /// Peers whose (first) echo has been counted, any root.
     echoed_peers: NodeBitset,

@@ -30,6 +30,7 @@ pub struct EchoBroadcast<P> {
     sender: NodeId,
     payload: Option<P>,
     echoed: bool,
+    // lint: allow(unbounded-map) — one echo per peer (≤ n keys) and the instance is dropped on delivery
     echoes: BTreeMap<P, BTreeSet<NodeId>>,
     echoed_peers: BTreeSet<NodeId>,
     delivered: Option<P>,

@@ -198,6 +198,113 @@ fn coded_rbc_delivers_identical_log_on_sim_and_tcp() {
     assert_eq!(tcp_log, payload, "delivered log must be the broadcast payload");
 }
 
+/// A two-node ping-pong process: the message carries a counter, each
+/// delivery replies with `counter + 1` until `limit`, and both nodes
+/// surface an output near the end so the runtime can tear down. Each
+/// directed link carries `limit / 2` frames — a knob for how much
+/// traffic crosses one link.
+struct PingPong {
+    id: NodeId,
+    limit: u64,
+    seen: Option<u64>,
+    halted: bool,
+}
+
+impl PingPong {
+    fn new(id: NodeId, limit: u64) -> Self {
+        PingPong { id, limit, seen: None, halted: false }
+    }
+}
+
+impl async_bft::types::Process for PingPong {
+    type Msg = Vec<u8>;
+    type Output = u64;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_start(&mut self) -> Vec<async_bft::types::Effect<Vec<u8>, u64>> {
+        use async_bft::types::Effect;
+        if self.id == NodeId::new(0) {
+            vec![Effect::Send { to: NodeId::new(1), msg: 1u64.to_le_bytes().to_vec() }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: &Vec<u8>,
+    ) -> Vec<async_bft::types::Effect<Vec<u8>, u64>> {
+        use async_bft::types::Effect;
+        let c = u64::from_le_bytes(msg[..8].try_into().unwrap());
+        self.seen = Some(c);
+        if c >= self.limit {
+            self.halted = true;
+            return vec![Effect::Output(c), Effect::Halt];
+        }
+        let mut effects = vec![Effect::Send { to: from, msg: (c + 1).to_le_bytes().to_vec() }];
+        if c >= self.limit - 1 {
+            effects.push(Effect::Output(c));
+        }
+        effects
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.seen.filter(|c| *c >= self.limit - 1)
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+}
+
+/// Runs a two-node ping-pong of `round_trips` frames per directed link
+/// and returns the largest `LinkLogPeak` any writer reported.
+fn peak_link_log(round_trips: u64) -> u64 {
+    let (obs, shared) = Obs::new(VecSink::new());
+    let mut rt: NetRuntime<Vec<u8>, u64> =
+        NetRuntime::new(2).timeout(TIMEOUT).observer(obs.clone());
+    for i in 0..2 {
+        rt.add_process(Box::new(PingPong::new(NodeId::new(i), round_trips * 2)));
+    }
+    let report = rt.run();
+    drop(obs);
+    assert!(!report.timed_out, "ping-pong of {round_trips} round trips stalled");
+    let events = shared.lock().take();
+    events
+        .iter()
+        .filter_map(|(_, _, ev)| match ev {
+            Event::LinkLogPeak { frames, .. } => Some(*frames),
+            _ => None,
+        })
+        .max()
+        .expect("writer threads must report LinkLogPeak at teardown")
+}
+
+/// Ack-based log trimming keeps each writer's replay log bounded by the
+/// ack cadence, not the run length: doubling the traffic horizon must
+/// not move the resident peak, where the untrimmed log's peak would
+/// equal the per-link frame count (96 vs 192 here).
+#[test]
+fn writer_log_peak_is_bounded_by_ack_horizon() {
+    let short = peak_link_log(96);
+    let long = peak_link_log(192);
+    assert!(short >= 1, "a ping-pong run must log at least one frame");
+    // Absolute bound: a handful of ack windows, far under the 96-frame
+    // untrimmed short-run peak.
+    assert!(short <= 64, "short-run peak {short} suggests the log never trimmed");
+    assert!(long <= 64, "long-run peak {long} suggests the log never trimmed");
+    // Horizon doubling: the peak tracks the ack window, not the total
+    // frame count (which doubled).
+    assert!(
+        long <= short + 32,
+        "doubling the horizon moved the peak from {short} to {long}: log growth tracks run length"
+    );
+}
+
 /// Reliable broadcast with a variable-length string payload crosses the
 /// wire intact (exercises the length-prefixed string codec end to end).
 #[test]
