@@ -529,6 +529,96 @@ pub fn rbc_bytes_section() -> JsonValue {
     ])
 }
 
+/// One deterministic replicated-state-machine run over the sim
+/// substrate: n=4/f=1, seed 7, seeded KV workload, checkpoint interval
+/// 2, pipeline depth 2 — with the highest-indexed node crashed early
+/// and restarted late, so rejoining goes through erasure-coded peer
+/// state transfer from a certified checkpoint. Returns the merged sink,
+/// the unanimous output, the simulated ticks to completion, and whether
+/// every correct node (the recovered victim included) finished.
+fn smr_run(epochs: u64) -> (MetricsSink, Option<async_bft::smr::SmrOutput>, u64, bool) {
+    use async_bft::coin::CommonCoin;
+    use async_bft::order::OrderOptions;
+    use async_bft::sim::{SimTime, UniformDelay, World, WorldConfig};
+    use async_bft::smr::{seeded_workload, SmrOptions, SmrProcess};
+    use async_bft::types::{Config, NodeId};
+
+    let cfg = Config::new(4, 1).expect("4 >= 3f + 1");
+    let seed = 7u64;
+    let opts = SmrOptions {
+        order: OrderOptions {
+            batch_max: THROUGHPUT_BATCH_MAX,
+            pipeline_depth: 2,
+            epochs,
+            ..OrderOptions::default()
+        },
+        checkpoint_interval: 2,
+    };
+    let (obs, shared) = Obs::new(MetricsSink::new());
+    let mut world = World::new(WorldConfig::new(cfg.n()), UniformDelay::new(1, 20, seed));
+    world.set_observer(obs.clone());
+    let count = (epochs * THROUGHPUT_BATCH_MAX as u64) as usize;
+    let make = move |id: NodeId, obs: Obs| {
+        SmrProcess::new(cfg, id, opts, seeded_workload(seed, id, count), move |inst| {
+            CommonCoin::new(seed, inst)
+        })
+        .with_obs(obs)
+    };
+    for id in cfg.nodes() {
+        world.add_process(Box::new(make(id, obs.clone())));
+    }
+    let victim = NodeId::new(cfg.n() - 1);
+    world.schedule_crash(victim, SimTime::from_ticks(120));
+    let obs_replacement = obs.clone();
+    world.schedule_restart(
+        victim,
+        SimTime::from_ticks(1_500),
+        Box::new(move || Box::new(make(victim, obs_replacement).recovering(true))),
+    );
+    let report = world.run();
+    drop(obs);
+    let sink = shared.try_into_inner().expect("observer handles dropped with the world");
+    let ticks = report.end_time.ticks().max(1);
+    (sink, report.unanimous_output(), ticks, report.all_correct_decided())
+}
+
+/// The `"state_machine"` section: applied-transaction throughput,
+/// checkpoint certification latency, and crash-recovery catch-up bytes
+/// from one deterministic replicated-KV run with a mid-run crash and
+/// state-transfer rejoin. All figures are simulated ticks via the
+/// observer clock, so the section is covered by the determinism
+/// guarantee.
+pub fn state_machine_section(epochs: u64) -> JsonValue {
+    let (sink, out, ticks, decided) = smr_run(epochs);
+    let latency = sink.checkpoint_latency();
+    let applied = sink.slots_applied();
+    JsonValue::Obj(vec![
+        ("protocol".into(), JsonValue::str("bracha-smr-kv")),
+        ("substrate".into(), JsonValue::str("sim")),
+        ("n".into(), JsonValue::U64(4)),
+        ("f".into(), JsonValue::U64(1)),
+        ("epochs".into(), JsonValue::U64(epochs)),
+        ("checkpoint_interval".into(), JsonValue::U64(2)),
+        ("decided".into(), JsonValue::U64(u64::from(decided))),
+        ("state_hash".into(), JsonValue::str(format!("{:016x}", out.map_or(0, |o| o.state_hash)))),
+        ("sim_ticks".into(), JsonValue::U64(ticks)),
+        ("slots_applied".into(), JsonValue::U64(applied)),
+        ("applied_bytes".into(), JsonValue::U64(sink.applied_bytes())),
+        ("applied_tx_per_kilotick".into(), JsonValue::F64(applied as f64 * 1000.0 / ticks as f64)),
+        ("checkpoints_proposed".into(), JsonValue::U64(sink.checkpoints_proposed())),
+        ("checkpoints_certified".into(), JsonValue::U64(sink.checkpoints_certified())),
+        (
+            "checkpoint_latency_ticks".into(),
+            JsonValue::Obj(vec![
+                ("mean".into(), JsonValue::F64(latency.mean())),
+                ("max".into(), JsonValue::F64(latency.max().unwrap_or(0.0))),
+            ]),
+        ),
+        ("state_transfers_completed".into(), JsonValue::U64(sink.state_transfers_completed())),
+        ("catch_up_bytes".into(), JsonValue::U64(sink.state_transfer_bytes())),
+    ])
+}
+
 /// Epoch count for the throughput section by report mode: smoke stays
 /// small enough for a cold CI runner, full gets a longer pipeline.
 fn throughput_epochs(mode_label: &str) -> u64 {
@@ -552,6 +642,7 @@ pub fn report_for(configs: &[BenchConfig], mode_label: &str, jobs: usize) -> Jso
         ("throughput".into(), throughput_section(throughput_epochs(mode_label))),
         ("rbc_bytes".into(), rbc_bytes_section()),
         ("tracing".into(), tracing_section(throughput_epochs(mode_label))),
+        ("state_machine".into(), state_machine_section(throughput_epochs(mode_label))),
     ])
 }
 
@@ -667,6 +758,27 @@ mod tests {
             ratios.windows(2).all(|w| w[1] < w[0]),
             "byte ratio must shrink with payload size: {ratios:?}"
         );
+    }
+
+    /// The state-machine section exercises the full recovery path — a
+    /// certified checkpoint, a crash, and a completed state transfer
+    /// with nonzero catch-up bytes — and is deterministic.
+    #[test]
+    fn state_machine_section_recovers_and_is_deterministic() {
+        let (sink, out, _, decided) = smr_run(4);
+        assert!(decided, "every correct node, the restarted one included, must finish");
+        let out = out.expect("unanimous state across incarnations");
+        assert_eq!(out.epochs, 4);
+        assert!(sink.checkpoints_certified() >= 1, "interval 2 over 4 epochs certifies");
+        assert_eq!(sink.state_transfers_completed(), 1, "the victim rejoins via transfer");
+        assert!(sink.state_transfer_bytes() > 0, "catch-up must ship state bytes");
+        assert!(sink.slots_applied() > 0);
+        let rendered = state_machine_section(4).to_string();
+        assert_eq!(rendered, state_machine_section(4).to_string(), "same seed, same bytes");
+        assert!(rendered.contains("\"protocol\":\"bracha-smr-kv\""));
+        assert!(rendered.contains("\"applied_tx_per_kilotick\""));
+        assert!(rendered.contains("\"checkpoint_latency_ticks\""));
+        assert!(rendered.contains("\"catch_up_bytes\""));
     }
 
     /// The acceptance gate for the parallel driver: byte-identical

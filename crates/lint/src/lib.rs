@@ -37,8 +37,20 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// The crates the analyzer walks (each crate's `src/` tree).
-pub const PROTOCOL_CRATES: &[&str] =
-    &["types", "core", "rbc", "ec", "coin", "sim", "runtime", "adversary", "net", "order", "obs"];
+pub const PROTOCOL_CRATES: &[&str] = &[
+    "types",
+    "core",
+    "rbc",
+    "ec",
+    "coin",
+    "sim",
+    "runtime",
+    "adversary",
+    "net",
+    "order",
+    "smr",
+    "obs",
+];
 
 /// Crates holding pure protocol state machines: these must be RNG-free
 /// (randomness enters only through the injected `CoinScheme`).
@@ -46,7 +58,7 @@ pub const STATE_MACHINE_CRATES: &[&str] = &["types", "core", "rbc", "ec"];
 
 /// Crates whose structs hold long-lived per-peer/per-epoch protocol
 /// state: the `unbounded-map` (W2) rule applies to their fields.
-pub const LONG_LIVED_STATE_CRATES: &[&str] = &["core", "rbc", "ec", "coin", "net", "order"];
+pub const LONG_LIVED_STATE_CRATES: &[&str] = &["core", "rbc", "ec", "coin", "net", "order", "smr"];
 
 /// Files where quorum arithmetic is *defined* rather than used — the
 /// `types::Config` accessors — and therefore exempt from `quorum-arith`.

@@ -69,4 +69,4 @@ pub use frame::{
 };
 pub use handshake::{accept_handshake, dial_handshake, HandshakeError, Secret};
 pub use hash::fnv1a64;
-pub use runtime::{BackoffPolicy, ListenerBounce, NetRuntime};
+pub use runtime::{BackoffPolicy, ListenerBounce, NetRuntime, RestartFactory};

@@ -76,6 +76,22 @@ type WriterSpec = (usize, usize, Receiver<FrameBody>);
 /// The paired send/receive halves of every node's actor inbox.
 type InboxChannels<M> = (Vec<Sender<Ctrl<M>>>, Vec<Receiver<Ctrl<M>>>);
 
+/// Builds the replacement process for a scheduled node restart.
+pub type RestartFactory<M, O> = Box<dyn FnOnce() -> BoxedProcess<M, O> + Send>;
+
+/// A scheduled crash-and-restart of one node: at `crash_at_ms` the
+/// node's actor drops its process state and discards deliveries (the
+/// host is dead; its TCP links stay up, which loopback cannot avoid
+/// without severing the whole cluster); at `restart_at_ms` the factory
+/// builds a replacement that starts from scratch and must recover
+/// through the protocol itself.
+struct RestartSpec<M, O> {
+    node: NodeId,
+    crash_at_ms: u64,
+    restart_at_ms: u64,
+    factory: RestartFactory<M, O>,
+}
+
 /// Capped exponential backoff with deterministic jitter for redials.
 #[derive(Clone, Copy, Debug)]
 pub struct BackoffPolicy {
@@ -154,6 +170,7 @@ pub struct NetRuntime<M, O> {
     chaos: ChaosConfig,
     backoff: BackoffPolicy,
     bounces: Vec<ListenerBounce>,
+    restarts: Vec<RestartSpec<M, O>>,
 }
 
 impl<M, O> fmt::Debug for NetRuntime<M, O> {
@@ -184,6 +201,7 @@ where
             chaos: ChaosConfig::default(),
             backoff: BackoffPolicy::default(),
             bounces: Vec::new(),
+            restarts: Vec::new(),
         }
     }
 
@@ -221,6 +239,30 @@ where
     /// Schedules a mid-run listener bounce (reconnect-path testing).
     pub fn bounce_listener(mut self, bounce: ListenerBounce) -> Self {
         self.bounces.push(bounce);
+        self
+    }
+
+    /// Schedules a crash-and-restart: at `crash_at_ms` (ms since run
+    /// start) the node discards its process state and drops every
+    /// delivery, as a dead host would; at `restart_at_ms` the `factory`
+    /// builds a replacement that starts fresh — any recorded output is
+    /// cleared and must be re-earned, typically by catching up from the
+    /// peers via the protocol's own state-transfer path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the restart precedes the
+    /// crash.
+    pub fn restart_node(
+        mut self,
+        node: NodeId,
+        crash_at_ms: u64,
+        restart_at_ms: u64,
+        factory: RestartFactory<M, O>,
+    ) -> Self {
+        assert!(node.index() < self.n, "node {node} out of range");
+        assert!(crash_at_ms <= restart_at_ms, "restart must not precede the crash");
+        self.restarts.push(RestartSpec { node, crash_at_ms, restart_at_ms, factory });
         self
     }
 
@@ -317,6 +359,11 @@ where
             .map(|(i, _)| NodeId::new(i))
             .collect();
 
+        let mut restart_specs: BTreeMap<usize, RestartSpec<M, O>> = BTreeMap::new();
+        for spec in self.restarts.drain(..) {
+            restart_specs.insert(spec.node.index(), spec);
+        }
+
         let mut timed_out = false;
         std::thread::scope(|scope| {
             // Listener threads (each spawns one reader per accepted
@@ -389,9 +436,12 @@ where
                 let links = link_txs.get_mut(idx).map(std::mem::take).unwrap_or_default();
                 let outputs = Arc::clone(&outputs);
                 let obs = obs.clone();
+                let restart = restart_specs.remove(&idx);
                 scope.spawn(move || {
                     if let Some(self_tx) = self_tx {
-                        actor_loop(&mut proc_, rx, &self_tx, &links, &outputs, &obs, clock);
+                        actor_loop(
+                            &mut proc_, rx, &self_tx, &links, &outputs, &obs, clock, restart,
+                        );
                     }
                 });
             }
@@ -935,6 +985,7 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
 
 /// The body of one actor thread (mirrors `bft-runtime`'s actor loop;
 /// the only difference is where effects go — the net fan-out).
+#[allow(clippy::too_many_arguments)]
 fn actor_loop<M, O>(
     proc_: &mut BoxedProcess<M, O>,
     rx: Receiver<Ctrl<M>>,
@@ -943,12 +994,14 @@ fn actor_loop<M, O>(
     outputs: &Mutex<BTreeMap<NodeId, O>>,
     obs: &Obs,
     clock: Clock,
+    mut restart: Option<RestartSpec<M, O>>,
 ) where
     M: Codec + Clone + fmt::Debug + Send + Sync + 'static,
     O: Clone + fmt::Debug + PartialEq + Send + 'static,
 {
     let me = proc_.id();
     let mut halted = false;
+    let mut crashed = false;
     // Refresh the shared stamp before every protocol step so events
     // emitted from inside the process (spans included) carry the time
     // of *this* step, not whatever the monitor loop last wrote.
@@ -956,15 +1009,53 @@ fn actor_loop<M, O>(
     let effects = proc_.on_start();
     apply(me, effects, self_tx, links, outputs, &mut halted, obs);
 
-    // One loop until Stop: live deliveries are processed, post-halt
-    // deliveries are drained and dropped (same discipline as
-    // bft-runtime).
-    #[allow(clippy::while_let_loop)]
+    // One loop until Stop: live deliveries are processed, post-halt and
+    // post-crash deliveries are drained and dropped (same discipline as
+    // bft-runtime), and a scheduled crash/restart fires by deadline.
     loop {
-        match rx.recv() {
-            Ok(Ctrl::Deliver(env)) => {
+        if let Some(spec) = restart.as_ref() {
+            let now = clock.now_ms();
+            if !crashed && now >= spec.crash_at_ms {
+                // The host dies: from here every delivery is dropped and
+                // the process state is as good as gone.
+                crashed = true;
                 obs.set_now(clock.now_us());
-                if halted || proc_.is_halted() {
+                obs.emit(me, || ObsEvent::NodeHalted);
+            }
+            if crashed && now >= spec.restart_at_ms {
+                if let Some(spec) = restart.take() {
+                    *proc_ = (spec.factory)();
+                    crashed = false;
+                    halted = false;
+                    // Any pre-crash output no longer reflects this
+                    // node's state; the replacement must re-earn it.
+                    locked(outputs).remove(&me);
+                    obs.set_now(clock.now_us());
+                    let effects = proc_.on_start();
+                    apply(me, effects, self_tx, links, outputs, &mut halted, obs);
+                }
+            }
+        }
+        let ctrl = if let Some(spec) = restart.as_ref() {
+            // A crash or restart deadline is pending: wake for it even
+            // if no delivery arrives.
+            let deadline = if crashed { spec.restart_at_ms } else { spec.crash_at_ms };
+            let wait = deadline.saturating_sub(clock.now_ms()).clamp(1, 50);
+            match rx.recv_timeout(Duration::from_millis(wait)) {
+                Ok(c) => c,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(c) => c,
+                Err(_) => break,
+            }
+        };
+        match ctrl {
+            Ctrl::Deliver(env) => {
+                obs.set_now(clock.now_us());
+                if crashed || halted || proc_.is_halted() {
                     obs.emit(me, || ObsEvent::MessageDropped { from: env.from });
                     continue;
                 }
@@ -972,7 +1063,7 @@ fn actor_loop<M, O>(
                 let effects = proc_.on_message(env.from, &env.msg);
                 apply(me, effects, self_tx, links, outputs, &mut halted, obs);
             }
-            Ok(Ctrl::Stop) | Err(_) => break,
+            Ctrl::Stop => break,
         }
     }
 }

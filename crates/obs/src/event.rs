@@ -186,6 +186,50 @@ pub enum Event {
         total: u64,
     },
 
+    /// The observing node's state machine applied one committed log slot
+    /// (one `(epoch, proposer)` log entry).
+    SlotApplied {
+        /// The epoch the slot was committed in.
+        epoch: u64,
+        /// The node that proposed the batch carrying the slot.
+        proposer: NodeId,
+        /// Payload bytes of the applied transaction.
+        bytes: u64,
+    },
+    /// The observing node reached a checkpoint boundary and RBC-broadcast
+    /// its state hash for agreement.
+    CheckpointProposed {
+        /// The checkpoint epoch (state covers epochs `0..epoch`).
+        epoch: u64,
+        /// The FNV state hash over the canonical snapshot.
+        hash: u64,
+    },
+    /// The observing node collected a `2f + 1`-matching checkpoint
+    /// certificate: that many distinct nodes RBC-delivered the same state
+    /// hash for the epoch, so history below it can be truncated.
+    CheckpointCertified {
+        /// The certified checkpoint epoch.
+        epoch: u64,
+        /// The agreed state hash.
+        hash: u64,
+        /// Distinct nodes whose delivered hash matched.
+        support: u64,
+    },
+    /// The observing node fell behind a certified checkpoint and began
+    /// fetching the snapshot from its peers in erasure-coded chunks.
+    StateTransferStarted {
+        /// The checkpoint epoch being fetched.
+        epoch: u64,
+    },
+    /// The observing node reconstructed a peer snapshot, verified it
+    /// against the checkpoint certificate, and installed it.
+    StateTransferCompleted {
+        /// The checkpoint epoch now installed.
+        epoch: u64,
+        /// Size of the reconstructed snapshot in bytes.
+        bytes: u64,
+    },
+
     /// An RBC instance entered a phase at the observing node.
     RbcPhaseEntered {
         /// Designated sender of the instance.
@@ -374,6 +418,11 @@ impl Event {
             Event::EpochCommitted { .. } => "epoch_committed",
             Event::BatchSubmitted { .. } => "batch_submitted",
             Event::LogDelivered { .. } => "log_delivered",
+            Event::SlotApplied { .. } => "slot_applied",
+            Event::CheckpointProposed { .. } => "checkpoint_proposed",
+            Event::CheckpointCertified { .. } => "checkpoint_certified",
+            Event::StateTransferStarted { .. } => "state_transfer_started",
+            Event::StateTransferCompleted { .. } => "state_transfer_completed",
             Event::RbcPhaseEntered { .. } => "rbc_phase_entered",
             Event::RbcQuorumReached { .. } => "rbc_quorum_reached",
             Event::RbcDelivered { .. } => "rbc_delivered",
@@ -470,6 +519,27 @@ impl Event {
                 field("epoch", JsonValue::U64(*epoch));
                 field("entries", JsonValue::U64(*entries));
                 field("total", JsonValue::U64(*total));
+            }
+            Event::SlotApplied { epoch, proposer, bytes } => {
+                field("epoch", JsonValue::U64(*epoch));
+                field("proposer", JsonValue::U64(proposer.index() as u64));
+                field("bytes", JsonValue::U64(*bytes));
+            }
+            Event::CheckpointProposed { epoch, hash } => {
+                field("epoch", JsonValue::U64(*epoch));
+                field("hash", JsonValue::U64(*hash));
+            }
+            Event::CheckpointCertified { epoch, hash, support } => {
+                field("epoch", JsonValue::U64(*epoch));
+                field("hash", JsonValue::U64(*hash));
+                field("support", JsonValue::U64(*support));
+            }
+            Event::StateTransferStarted { epoch } => {
+                field("epoch", JsonValue::U64(*epoch));
+            }
+            Event::StateTransferCompleted { epoch, bytes } => {
+                field("epoch", JsonValue::U64(*epoch));
+                field("bytes", JsonValue::U64(*bytes));
             }
             Event::RbcPhaseEntered { origin, tag, phase } => {
                 field("origin", JsonValue::U64(origin.index() as u64));
@@ -586,6 +656,11 @@ mod tests {
             Event::EpochCommitted { epoch: 0, slots: 3, txs: 12 },
             Event::BatchSubmitted { epoch: 0, txs: 4, bytes: 64 },
             Event::LogDelivered { epoch: 0, entries: 12, total: 12 },
+            Event::SlotApplied { epoch: 0, proposer: NodeId::new(1), bytes: 16 },
+            Event::CheckpointProposed { epoch: 4, hash: 7 },
+            Event::CheckpointCertified { epoch: 4, hash: 7, support: 3 },
+            Event::StateTransferStarted { epoch: 4 },
+            Event::StateTransferCompleted { epoch: 4, bytes: 128 },
             Event::RbcFragment {
                 origin: NodeId::new(0),
                 tag: String::new(),

@@ -121,13 +121,16 @@ struct ObsInner {
 /// enabled it stamps the shared clock's current time on every event and
 /// forwards it to the sink. Clones share the sink and the clock.
 #[derive(Clone, Default)]
-pub struct Obs(Option<Arc<ObsInner>>);
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+    spans_off: bool,
+}
 
 impl Obs {
     /// The disabled handle: every `emit` is a no-op and the event closure
     /// is never evaluated.
     pub fn disabled() -> Self {
-        Obs(None)
+        Obs { inner: None, spans_off: false }
     }
 
     /// Creates an enabled handle feeding `sink`, returning the handle and
@@ -140,24 +143,41 @@ impl Obs {
     /// Creates an enabled handle feeding an existing shared sink.
     pub fn to<S: Sink + Send + 'static>(shared: &SharedSink<S>) -> Self {
         let sink: Arc<Mutex<dyn Sink + Send>> = Arc::clone(&shared.0) as _;
-        Obs(Some(Arc::new(ObsInner { clock: AtomicU64::new(0), sink })))
+        Obs { inner: Some(Arc::new(ObsInner { clock: AtomicU64::new(0), sink })), spans_off: false }
+    }
+
+    /// A clone of this handle that forwards events but silently drops
+    /// trace spans (`SpanStart` / `SpanEnd`).
+    ///
+    /// Span ids are pure functions of `(trace, node, phase)`, so a
+    /// restarted node's spans would collide with the ones its pre-crash
+    /// incarnation already emitted; recovering replacements observe
+    /// events only.
+    pub fn sans_spans(&self) -> Self {
+        Obs { inner: self.inner.clone(), spans_off: true }
     }
 
     /// Whether events are being recorded.
     pub fn enabled(&self) -> bool {
-        self.0.is_some()
+        self.inner.is_some()
+    }
+
+    /// Whether trace spans are being recorded (enabled and not
+    /// span-suppressed via [`Obs::sans_spans`]).
+    pub fn spans_enabled(&self) -> bool {
+        self.inner.is_some() && !self.spans_off
     }
 
     /// Sets the shared clock (hosts call this as their time advances).
     pub fn set_now(&self, now: u64) {
-        if let Some(inner) = &self.0 {
+        if let Some(inner) = &self.inner {
             inner.clock.store(now, Ordering::Relaxed);
         }
     }
 
     /// The current value of the shared clock (0 when disabled).
     pub fn now(&self) -> u64 {
-        self.0.as_ref().map_or(0, |inner| inner.clock.load(Ordering::Relaxed))
+        self.inner.as_ref().map_or(0, |inner| inner.clock.load(Ordering::Relaxed))
     }
 
     /// Emits one event observed at `node`.
@@ -166,7 +186,7 @@ impl Obs {
     /// emission sites may format labels or clone payloads inside it
     /// without cost on the disabled path.
     pub fn emit(&self, node: NodeId, event: impl FnOnce() -> Event) {
-        if let Some(inner) = &self.0 {
+        if let Some(inner) = &self.inner {
             let at = inner.clock.load(Ordering::Relaxed);
             let event = event();
             let mut sink = inner.sink.lock().unwrap_or_else(|p| p.into_inner());
@@ -183,7 +203,7 @@ impl Obs {
     /// emissions whose logical time predates the current clock (opening
     /// a trace span once its outcome is known).
     pub fn emit_at(&self, at: u64, node: NodeId, event: impl FnOnce() -> Event) {
-        if let Some(inner) = &self.0 {
+        if let Some(inner) = &self.inner {
             let event = event();
             let mut sink = inner.sink.lock().unwrap_or_else(|p| p.into_inner());
             sink.on_event(at, node, &event);

@@ -60,6 +60,15 @@ pub struct MetricsSink {
     inflight_epochs: BTreeMap<NodeId, u64>,
     occupancy: Samples,
     max_pipeline_occupancy: u64,
+    slots_applied: u64,
+    applied_bytes: u64,
+    checkpoints_proposed: u64,
+    checkpoints_certified: u64,
+    checkpoint_latency: Samples,
+    open_checkpoints: BTreeMap<(NodeId, u64), u64>,
+    state_transfers_started: u64,
+    state_transfers_completed: u64,
+    state_transfer_bytes: u64,
 }
 
 impl MetricsSink {
@@ -241,6 +250,49 @@ impl MetricsSink {
         self.max_pipeline_occupancy
     }
 
+    /// Log slots applied by replicated state machines across nodes.
+    pub fn slots_applied(&self) -> u64 {
+        self.slots_applied
+    }
+
+    /// Payload bytes of applied slots across nodes.
+    pub fn applied_bytes(&self) -> u64 {
+        self.applied_bytes
+    }
+
+    /// Checkpoint state hashes proposed (RBC-broadcast) across nodes.
+    pub fn checkpoints_proposed(&self) -> u64 {
+        self.checkpoints_proposed
+    }
+
+    /// Checkpoint certificates collected (`2f + 1` matching hashes)
+    /// across nodes.
+    pub fn checkpoints_certified(&self) -> u64 {
+        self.checkpoints_certified
+    }
+
+    /// `CheckpointCertified − CheckpointProposed` durations, one sample
+    /// per `(node, epoch)` pair that certified.
+    pub fn checkpoint_latency(&self) -> &Samples {
+        &self.checkpoint_latency
+    }
+
+    /// Peer state transfers initiated (catch-up fetches) across nodes.
+    pub fn state_transfers_started(&self) -> u64 {
+        self.state_transfers_started
+    }
+
+    /// Peer state transfers that reconstructed, verified and installed a
+    /// snapshot.
+    pub fn state_transfers_completed(&self) -> u64 {
+        self.state_transfers_completed
+    }
+
+    /// Snapshot bytes installed by completed state transfers.
+    pub fn state_transfer_bytes(&self) -> u64 {
+        self.state_transfer_bytes
+    }
+
     /// Folds another aggregate into this one.
     ///
     /// This is the deterministic multi-run combiner behind the parallel
@@ -296,8 +348,16 @@ impl MetricsSink {
         self.epoch_commit_latency.merge(&other.epoch_commit_latency);
         self.occupancy.merge(&other.occupancy);
         self.max_pipeline_occupancy = self.max_pipeline_occupancy.max(other.max_pipeline_occupancy);
-        // `other`'s still-open epochs are discarded for the same reason as
-        // its still-open rounds (see above).
+        self.slots_applied += other.slots_applied;
+        self.applied_bytes += other.applied_bytes;
+        self.checkpoints_proposed += other.checkpoints_proposed;
+        self.checkpoints_certified += other.checkpoints_certified;
+        self.checkpoint_latency.merge(&other.checkpoint_latency);
+        self.state_transfers_started += other.state_transfers_started;
+        self.state_transfers_completed += other.state_transfers_completed;
+        self.state_transfer_bytes += other.state_transfer_bytes;
+        // `other`'s still-open epochs and checkpoints are discarded for
+        // the same reason as its still-open rounds (see above).
     }
 
     fn close_round(&mut self, at: u64, node: NodeId, round: u64) {
@@ -422,6 +482,32 @@ impl MetricsSink {
                 ("txs_delivered".into(), JsonValue::U64(self.txs_delivered)),
                 ("epoch_commit_latency".into(), JsonValue::Obj(commit_latency)),
                 ("pipeline_occupancy".into(), JsonValue::Obj(occupancy)),
+            ]),
+        ));
+        let mut ckpt_latency = Vec::new();
+        if !self.checkpoint_latency.is_empty() {
+            ckpt_latency.push(("mean".into(), JsonValue::F64(self.checkpoint_latency.mean())));
+            ckpt_latency.push((
+                "p50".into(),
+                JsonValue::F64(self.checkpoint_latency.percentile(50.0).unwrap_or(0.0)),
+            ));
+            ckpt_latency
+                .push(("max".into(), JsonValue::F64(self.checkpoint_latency.max().unwrap_or(0.0))));
+        }
+        obj.push((
+            "state_machine".into(),
+            JsonValue::Obj(vec![
+                ("slots_applied".into(), JsonValue::U64(self.slots_applied)),
+                ("applied_bytes".into(), JsonValue::U64(self.applied_bytes)),
+                ("checkpoints_proposed".into(), JsonValue::U64(self.checkpoints_proposed)),
+                ("checkpoints_certified".into(), JsonValue::U64(self.checkpoints_certified)),
+                ("checkpoint_latency".into(), JsonValue::Obj(ckpt_latency)),
+                ("state_transfers_started".into(), JsonValue::U64(self.state_transfers_started)),
+                (
+                    "state_transfers_completed".into(),
+                    JsonValue::U64(self.state_transfers_completed),
+                ),
+                ("state_transfer_bytes".into(), JsonValue::U64(self.state_transfer_bytes)),
             ]),
         ));
         JsonValue::Obj(obj)
@@ -553,6 +639,48 @@ impl MetricsSink {
             "Peak concurrently in-flight epochs",
             self.max_pipeline_occupancy,
         );
+        prom_counter(
+            &mut out,
+            "bft_slots_applied_total",
+            "State-machine slots applied",
+            self.slots_applied,
+        );
+        prom_counter(
+            &mut out,
+            "bft_applied_bytes_total",
+            "Payload bytes applied",
+            self.applied_bytes,
+        );
+        prom_counter(
+            &mut out,
+            "bft_checkpoints_proposed_total",
+            "Checkpoint hashes proposed",
+            self.checkpoints_proposed,
+        );
+        prom_counter(
+            &mut out,
+            "bft_checkpoints_certified_total",
+            "Checkpoint certificates collected",
+            self.checkpoints_certified,
+        );
+        prom_counter(
+            &mut out,
+            "bft_state_transfers_started_total",
+            "Peer state transfers started",
+            self.state_transfers_started,
+        );
+        prom_counter(
+            &mut out,
+            "bft_state_transfers_completed_total",
+            "Peer state transfers completed",
+            self.state_transfers_completed,
+        );
+        prom_counter(
+            &mut out,
+            "bft_state_transfer_bytes_total",
+            "Snapshot bytes installed by state transfer",
+            self.state_transfer_bytes,
+        );
 
         prom_summary(
             &mut out,
@@ -565,6 +693,12 @@ impl MetricsSink {
             "bft_epoch_commit_latency",
             "Epoch start-to-commit durations",
             &mut self.epoch_commit_latency,
+        );
+        prom_summary(
+            &mut out,
+            "bft_checkpoint_latency",
+            "Checkpoint propose-to-certify durations",
+            &mut self.checkpoint_latency,
         );
         prom_summary(
             &mut out,
@@ -697,6 +831,25 @@ impl Sink for MetricsSink {
                 self.txs_submitted += txs;
             }
             Event::LogDelivered { entries, .. } => self.txs_delivered += entries,
+            Event::SlotApplied { bytes, .. } => {
+                self.slots_applied += 1;
+                self.applied_bytes += bytes;
+            }
+            Event::CheckpointProposed { epoch, .. } => {
+                self.checkpoints_proposed += 1;
+                self.open_checkpoints.insert((node, *epoch), at);
+            }
+            Event::CheckpointCertified { epoch, .. } => {
+                self.checkpoints_certified += 1;
+                if let Some(start) = self.open_checkpoints.remove(&(node, *epoch)) {
+                    self.checkpoint_latency.add(at.saturating_sub(start) as f64);
+                }
+            }
+            Event::StateTransferStarted { .. } => self.state_transfers_started += 1,
+            Event::StateTransferCompleted { bytes, .. } => {
+                self.state_transfers_completed += 1;
+                self.state_transfer_bytes += bytes;
+            }
             Event::RbcFragment { verified, .. } => {
                 if *verified {
                     self.rbc_fragments_ok += 1;

@@ -24,6 +24,7 @@
 //! | `aba_round` | ABA round started | ABA round completed |
 //! | `coin_wait` | node entered the Ready step | the shared/local coin flipped |
 //! | `commit` | epoch's ACS decided | epoch appended to the ordered log |
+//! | `apply` | slot handed to the state machine | slot applied |
 //!
 //! `submit` is the **root** span: its duration is the transaction's
 //! end-to-end latency at the proposer, and the critical-path report
@@ -60,12 +61,16 @@ pub enum TracePhase {
     CoinWait(u64),
     /// Epoch ACS decided → epoch appended to the ordered log.
     Commit,
+    /// Slot handed to the replicated state machine → slot applied, per
+    /// node. Instantaneous today (apply is synchronous with the log
+    /// append) but anchors where the slot landed in application state.
+    Apply,
 }
 
 impl TracePhase {
     /// Every phase kind in causal (and report) order, with round 0 for
     /// the per-round phases.
-    pub const ALL: [TracePhase; 8] = [
+    pub const ALL: [TracePhase; 9] = [
         TracePhase::Submit,
         TracePhase::BatchWait,
         TracePhase::RbcEcho,
@@ -74,6 +79,7 @@ impl TracePhase {
         TracePhase::AbaRound(0),
         TracePhase::CoinWait(0),
         TracePhase::Commit,
+        TracePhase::Apply,
     ];
 
     /// A stable snake_case label (the `phase` field of the JSONL schema).
@@ -87,6 +93,7 @@ impl TracePhase {
             TracePhase::AbaRound(_) => "aba_round",
             TracePhase::CoinWait(_) => "coin_wait",
             TracePhase::Commit => "commit",
+            TracePhase::Apply => "apply",
         }
     }
 
@@ -105,6 +112,9 @@ impl TracePhase {
             TracePhase::AbaRound(_) => 4,
             TracePhase::CoinWait(_) => 5,
             TracePhase::Commit => 6,
+            // Appended after RbcReconstruct for the same stability
+            // reason; causally it follows Commit.
+            TracePhase::Apply => 8,
         }
     }
 
@@ -128,6 +138,7 @@ impl TracePhase {
             "aba_round" => Some(TracePhase::AbaRound(round)),
             "coin_wait" => Some(TracePhase::CoinWait(round)),
             "commit" => Some(TracePhase::Commit),
+            "apply" => Some(TracePhase::Apply),
             _ => None,
         }
     }
@@ -202,6 +213,9 @@ impl Obs {
     /// is the enclosing span (the trace root for direct children, 0 for
     /// the root itself).
     pub fn span_start(&self, node: NodeId, ctx: TraceCtx, phase: TracePhase, parent: u64) {
+        if !self.spans_enabled() {
+            return;
+        }
         self.emit(node, || Event::SpanStart {
             trace: ctx.trace,
             span: ctx.span(node, phase),
@@ -221,6 +235,9 @@ impl Obs {
         phase: TracePhase,
         parent: u64,
     ) {
+        if !self.spans_enabled() {
+            return;
+        }
         self.emit_at(at, node, || Event::SpanStart {
             trace: ctx.trace,
             span: ctx.span(node, phase),
@@ -231,6 +248,9 @@ impl Obs {
 
     /// Emits the `SpanEnd` matching [`Obs::span_start`].
     pub fn span_end(&self, node: NodeId, ctx: TraceCtx, phase: TracePhase) {
+        if !self.spans_enabled() {
+            return;
+        }
         self.emit(node, || Event::SpanEnd { trace: ctx.trace, span: ctx.span(node, phase) });
     }
 }

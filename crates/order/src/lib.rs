@@ -412,6 +412,66 @@ impl<C: CoinScheme> OrderProcess<C> {
         self.epochs.values().map(|s| s.abas.len()).sum()
     }
 
+    /// Forgets log entries below `epoch`, returning how many were
+    /// dropped. The append cursor is untouched: epochs below it stay
+    /// appended, their *payloads* are simply no longer retained. This is
+    /// the checkpoint-truncation hook — once a state machine holds a
+    /// certified snapshot at `epoch`, the prefix below it is dead weight
+    /// (any peer that needs it catches up by state transfer, not
+    /// replay).
+    pub fn truncate_below(&mut self, epoch: u64) -> usize {
+        let before = self.log.len();
+        self.log.retain(|entry| entry.epoch >= epoch);
+        before - self.log.len()
+    }
+
+    /// Jumps the append cursor forward to `epoch` (clamped to the
+    /// configured horizon) without committing the skipped epochs — the
+    /// state-transfer hook: a node that installed a certified snapshot
+    /// at `epoch` must never replay the prefix, and peers have already
+    /// garbage-collected it anyway. Skipped epochs' protocol state (RBC
+    /// instances, agreement gadgets, retained log entries) is dropped,
+    /// open trace spans for them are closed, and the pipeline resumes
+    /// proposing from the cursor. Returns the effects of the resumed
+    /// pipeline; a no-op (empty vec) when `epoch` is at or below the
+    /// cursor.
+    pub fn fast_forward(&mut self, epoch: u64) -> Vec<OrderEffect> {
+        let mut out = Vec::new();
+        if epoch <= self.log_next {
+            return out;
+        }
+        let target = epoch.min(self.opts.epochs);
+        self.log.retain(|entry| entry.epoch >= target);
+        self.log_next = target;
+        self.next_epoch = self.next_epoch.max(target);
+        self.rbc.retain(move |_, tag| *tag >= target);
+        let dropped: Vec<u64> = self.epochs.range(..target).map(|(&e, _)| e).collect();
+        for e in dropped {
+            if self.trace_on {
+                if let Some(set) = self.epochs.get(&e).and_then(|s| s.committed.as_ref()) {
+                    // Committed-but-unappended epochs hold one open
+                    // commit span per accepted slot; close them so the
+                    // exported trace stays balanced.
+                    for (id, _) in set {
+                        let ctx = TraceCtx::derive(*id, e, e);
+                        self.obs.span_end(self.me, ctx, TracePhase::Commit);
+                    }
+                }
+            }
+            self.epochs.remove(&e);
+        }
+        if self.trace_on {
+            let stale: Vec<u64> = self.open_roots.range(..target).copied().collect();
+            for e in stale {
+                self.open_roots.remove(&e);
+                let ctx = TraceCtx::derive(self.me, e, e);
+                self.obs.span_end(self.me, ctx, TracePhase::Submit);
+            }
+        }
+        self.progress(&mut out);
+        out
+    }
+
     /// Whether epoch `e` is one this node still accepts messages for:
     /// not yet appended (appended epochs are garbage-collected — RBC
     /// totality and the agreement halting gadget let the others finish
@@ -818,6 +878,53 @@ mod tests {
                 assert_eq!(total, end - root.start, "path must sum to root duration");
             }
         }
+    }
+
+    #[test]
+    fn fast_forward_jumps_the_cursor_and_resumes_the_pipeline_ahead() {
+        let Ok(cfg) = Config::new(4, 1) else { return };
+        let opts =
+            OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 6, ..OrderOptions::default() };
+        let workload = (0..8u8).map(|i| vec![i]).collect();
+        let mut p = OrderProcess::new(cfg, NodeId::new(0), opts, workload, |i| {
+            bft_coin::CommonCoin::new(1, i)
+        });
+        let _ = p.on_start(); // proposes epochs 0 and 1, filling the pipeline
+        assert_eq!(p.in_flight(), 2);
+        let effects = p.fast_forward(3);
+        assert_eq!(p.committed_epochs(), 3);
+        // The skipped epochs' RBC state is gone and the pipeline resumed
+        // proposing from the new cursor.
+        let proposed: Vec<u64> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Broadcast { msg: OrderMessage::Batch(m) } if m.sender == NodeId::new(0) => {
+                    Some(m.tag)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(proposed.iter().all(|&t| t >= 3), "only post-cursor proposals: {proposed:?}");
+        assert!(!proposed.is_empty(), "pipeline must resume after the jump");
+        // Re-entrant and backward jumps are no-ops.
+        assert!(p.fast_forward(3).is_empty());
+        assert!(p.fast_forward(1).is_empty());
+    }
+
+    #[test]
+    fn fast_forward_past_the_horizon_clamps_and_emits_the_truncated_log() {
+        let Ok(cfg) = Config::new(4, 1) else { return };
+        let opts =
+            OrderOptions { batch_max: 2, pipeline_depth: 2, epochs: 4, ..OrderOptions::default() };
+        let mut p = OrderProcess::new(cfg, NodeId::new(0), opts, vec![vec![1]], |i| {
+            bft_coin::CommonCoin::new(1, i)
+        });
+        let _ = p.on_start();
+        let effects = p.fast_forward(9);
+        assert_eq!(p.committed_epochs(), 4);
+        assert!(effects.iter().any(|e| matches!(e, Effect::Output(log) if log.is_empty())));
+        assert!(p.is_halted());
+        assert_eq!(p.truncate_below(4), 0);
     }
 
     #[test]

@@ -11,6 +11,12 @@ pub(crate) enum EventKind<M> {
     Start(NodeId),
     /// A message is delivered.
     Deliver(Envelope<M>),
+    /// A process crashes: its state is dropped and deliveries to it are
+    /// discarded until (unless) a restart is scheduled.
+    Crash(NodeId),
+    /// A crashed process is replaced by a fresh instance (from the
+    /// factory registered with `World::schedule_restart`) and started.
+    Restart(NodeId),
 }
 
 /// A scheduled event. Ordered by `(time, seq)` so that the run order is a

@@ -80,4 +80,4 @@ pub use scheduler::{
     UniformDelay,
 };
 pub use time::SimTime;
-pub use world::{StopPolicy, World, WorldConfig, DEFAULT_TRACE_CAPACITY};
+pub use world::{ProcessFactory, StopPolicy, World, WorldConfig, DEFAULT_TRACE_CAPACITY};

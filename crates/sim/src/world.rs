@@ -130,9 +130,15 @@ pub struct World<M, O, S> {
     outputs: BTreeMap<NodeId, O>,
     output_times: BTreeMap<NodeId, SimTime>,
     output_rounds: BTreeMap<NodeId, u64>,
+    /// Replacement factories for scheduled restarts, consumed when the
+    /// matching `Restart` event fires.
+    restarts: BTreeMap<NodeId, ProcessFactory<M, O>>,
     trace: VecDeque<TraceEntry>,
     now: SimTime,
 }
+
+/// Builds a replacement process for a scheduled restart.
+pub type ProcessFactory<M, O> = Box<dyn FnOnce() -> Box<dyn Process<Msg = M, Output = O>>>;
 
 impl<M, O, S> World<M, O, S>
 where
@@ -159,6 +165,7 @@ where
             outputs: BTreeMap::new(),
             output_times: BTreeMap::new(),
             output_rounds: BTreeMap::new(),
+            restarts: BTreeMap::new(),
             trace: VecDeque::new(),
             now: SimTime::ZERO,
         }
@@ -190,6 +197,31 @@ where
         assert!(self.procs[idx].is_none(), "slot {idx} already occupied");
         self.faulty[idx] = faulty;
         self.procs[idx] = Some(proc_);
+    }
+
+    /// Schedules a crash: at time `at` the node is marked halted, so
+    /// every later delivery to it is dropped — exactly as if the host
+    /// died. Pair with [`World::schedule_restart`] to model a node that
+    /// comes back with empty state and must catch up from its peers.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        assert!(node.index() < self.config.n, "node {node} out of range");
+        self.push_event(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a restart: at time `at` the node's slot is replaced by
+    /// a fresh process from `factory`, its halted flag and any recorded
+    /// output are cleared, and the replacement's `on_start` runs. The
+    /// replacement starts with whatever state the factory builds —
+    /// typically empty, forcing recovery through the protocol itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, or (at fire time) if the
+    /// factory builds a process with a different id.
+    pub fn schedule_restart(&mut self, node: NodeId, at: SimTime, factory: ProcessFactory<M, O>) {
+        assert!(node.index() < self.config.n, "node {node} out of range");
+        self.restarts.insert(node, factory);
+        self.push_event(at, EventKind::Restart(node));
     }
 
     /// Installs a message classifier used for per-kind and byte
@@ -389,6 +421,35 @@ where
                     if self.procs[to.index()].as_ref().expect("slot populated").is_halted() {
                         self.mark_halted(to);
                     }
+                }
+                EventKind::Crash(id) => {
+                    if self.config.capture_trace {
+                        self.record_trace(id, "crash".into());
+                    }
+                    // Halted nodes drop all deliveries — the same
+                    // observable behaviour as a dead host.
+                    self.mark_halted(id);
+                }
+                EventKind::Restart(id) => {
+                    let Some(factory) = self.restarts.remove(&id) else {
+                        continue;
+                    };
+                    let replacement = factory();
+                    assert_eq!(replacement.id(), id, "restart factory changed the node id");
+                    self.procs[id.index()] = Some(replacement);
+                    self.halted[id.index()] = false;
+                    // Any pre-crash output no longer reflects this
+                    // node's state; the replacement must re-earn it.
+                    self.outputs.remove(&id);
+                    self.output_times.remove(&id);
+                    self.output_rounds.remove(&id);
+                    if self.config.capture_trace {
+                        self.record_trace(id, "restart".into());
+                    }
+                    let effects =
+                        // lint: allow(panic) — the slot was just populated with the replacement
+                        self.procs[id.index()].as_mut().expect("slot populated").on_start();
+                    self.apply_effects(id, effects);
                 }
             }
         };

@@ -1,0 +1,1246 @@
+//! `bft-smr` — a replicated key-value state machine over atomic
+//! broadcast, with RBC-agreed checkpoints, log truncation and peer
+//! state transfer.
+//!
+//! [`bft_order::OrderProcess`] gives every correct node the same totally
+//! ordered log; this crate makes the log *useful* and keeps it *finite*:
+//!
+//! * **Deterministic apply** — each committed `(epoch, proposer)` slot
+//!   carries a canonically-encoded [`KvOp`] (put / del / cas). Every
+//!   correct node folds the slot into a [`KvState`] the same way, so the
+//!   FNV-chained state hash is identical cluster-wide. Malformed
+//!   payloads (a Byzantine proposer controls those bytes) are folded
+//!   into the hash chain but applied as no-ops, keeping all correct
+//!   nodes byte-identical without trusting the payload.
+//! * **Checkpoints** — every `checkpoint_interval` epochs (and at the
+//!   run horizon) a node snapshots its state, RBC-broadcasts the
+//!   snapshot hash, and waits for `2f + 1` *matching* delivered hashes —
+//!   a checkpoint certificate. Certified history is dead: the ordered
+//!   log below the checkpoint is truncated
+//!   ([`OrderProcess::truncate_below`]), bounding retained state by the
+//!   checkpoint interval instead of the run length.
+//! * **State transfer** — a node that restarts (or falls behind a
+//!   certified checkpoint it can no longer replay to, because its peers
+//!   truncated that history) fetches the snapshot from its peers in
+//!   erasure-coded chunks: each peer sends its own Reed–Solomon fragment
+//!   of the snapshot, `k = n − 2f` verified fragments reconstruct it,
+//!   and the FNV hash is checked against the certificate before the
+//!   state is installed and the order cursor fast-forwarded
+//!   ([`OrderProcess::fast_forward`]). Catch-up therefore costs
+//!   `O(n · B)` bytes for a `B`-byte snapshot — the coded-RBC
+//!   dissemination bound, not full-log replay.
+//!
+//! The whole machine is a sans-io [`Process`], so it runs unmodified on
+//! the deterministic simulator, the threaded runtime and the TCP
+//! transport; [`SmrMessage`] carries the wire arms through the v2 codec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bft_coin::CoinScheme;
+use bft_ec::{encode as ec_encode, reconstruct as ec_reconstruct, verify as ec_verify, Fragment};
+use bft_net::codec::{put_u32, put_u64, Codec, DecodeError, Reader};
+use bft_obs::{Event, Obs, TraceCtx, TracePhase};
+use bft_order::{Backpressure, LogEntry, OrderLog, OrderMessage, OrderOptions, OrderProcess};
+use bft_rbc::{RbcMux, RbcMuxAction, RbcMuxMessage};
+use bft_types::{Config, Effect, NodeId, Process};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The FNV-1a hash of a canonical snapshot — the quantity checkpoint
+/// certificates agree on and state transfer verifies against.
+pub fn snapshot_hash(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+/// One operation of the replicated key-value service, with a canonical
+/// binary encoding (discriminant byte, then `u32`-length-prefixed
+/// fields).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Bind `key` to `value`.
+    Put {
+        /// The key to bind.
+        key: Vec<u8>,
+        /// The value to store.
+        value: Vec<u8>,
+    },
+    /// Remove `key` if present.
+    Del {
+        /// The key to remove.
+        key: Vec<u8>,
+    },
+    /// Compare-and-swap: bind `key` to `value` only if it is currently
+    /// bound to `expect`.
+    Cas {
+        /// The key to conditionally rebind.
+        key: Vec<u8>,
+        /// The value the key must currently hold.
+        expect: Vec<u8>,
+        /// The replacement value.
+        value: Vec<u8>,
+    },
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn take_bytes(r: &mut Reader<'_>) -> Option<Vec<u8>> {
+    let len = r.u32().ok()? as usize;
+    // A hostile length prefix must not drive an allocation: cap it by
+    // what the buffer can actually hold before taking.
+    if len > r.remaining() {
+        return None;
+    }
+    Some(r.take(len).ok()?.to_vec())
+}
+
+impl KvOp {
+    /// Canonical encoding (the transaction payload submitted for
+    /// ordering).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            KvOp::Put { key, value } => {
+                out.push(0);
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+            }
+            KvOp::Del { key } => {
+                out.push(1);
+                put_bytes(&mut out, key);
+            }
+            KvOp::Cas { key, expect, value } => {
+                out.push(2);
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, expect);
+                put_bytes(&mut out, value);
+            }
+        }
+        out
+    }
+
+    /// Total decoder: any malformed payload — hostile discriminant, bad
+    /// length prefix, trailing bytes — is `None`, which the state
+    /// machine applies as a deterministic no-op.
+    pub fn decode(bytes: &[u8]) -> Option<KvOp> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8().ok()? {
+            0 => KvOp::Put { key: take_bytes(&mut r)?, value: take_bytes(&mut r)? },
+            1 => KvOp::Del { key: take_bytes(&mut r)? },
+            2 => KvOp::Cas {
+                key: take_bytes(&mut r)?,
+                expect: take_bytes(&mut r)?,
+                value: take_bytes(&mut r)?,
+            },
+            _ => return None,
+        };
+        r.finish().ok()?;
+        Some(op)
+    }
+}
+
+/// A deterministic seeded KV workload for one node: a put/cas/del mix
+/// over a small shared key space, encoded with [`KvOp::encode`]. The
+/// same `(seed, node, count)` always yields the same payloads, so runs
+/// on different substrates submit byte-identical transactions — the
+/// basis of the sim-vs-TCP differential tests and the `--kv-workload`
+/// mode of the binaries.
+pub fn seeded_workload(seed: u64, node: NodeId, count: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            let mut x = fnv1a(FNV_OFFSET, &seed.to_le_bytes());
+            x = fnv1a(x, &(node.index() as u64).to_le_bytes());
+            x = fnv1a(x, &(i as u64).to_le_bytes());
+            let key = format!("k{}", x % 16).into_bytes();
+            let value = x.to_le_bytes().to_vec();
+            match x % 4 {
+                0 | 1 => KvOp::Put { key, value },
+                2 => KvOp::Cas { key, expect: value.clone(), value: vec![b'c'] },
+                _ => KvOp::Del { key },
+            }
+            .encode()
+        })
+        .collect()
+}
+
+/// The deterministic key-value state: the map, an FNV hash chain folded
+/// over every applied slot (well-formed or not), and the apply cursor.
+///
+/// Two correct nodes that applied the same log prefix are byte-identical
+/// here — the property the checkpoint certificates rest on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvState {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    chain: u64,
+    applied_epoch: u64,
+    applied_slots: u64,
+}
+
+impl KvState {
+    /// The empty state at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next epoch to apply (epochs `0..applied_epoch` are folded in).
+    pub fn applied_epoch(&self) -> u64 {
+        self.applied_epoch
+    }
+
+    /// Total log slots folded into the chain.
+    pub fn applied_slots(&self) -> u64 {
+        self.applied_slots
+    }
+
+    /// The running FNV hash chain over applied slots.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The value currently bound to `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Folds one committed log slot into the state. The hash chain
+    /// covers the raw `(epoch, proposer, tx)` bytes regardless of
+    /// whether the payload parses, so Byzantine garbage cannot make
+    /// correct nodes diverge — it just wastes a slot.
+    ///
+    /// Slots must arrive in log order within `applied_epoch`; the caller
+    /// ([`SmrProcess`]) seals epochs with [`KvState::seal_epoch`].
+    pub fn apply_slot(&mut self, entry: &LogEntry) {
+        let mut h = fnv1a(self.chain, &entry.epoch.to_le_bytes());
+        h = fnv1a(h, &(entry.proposer.index() as u64).to_le_bytes());
+        h = fnv1a(h, &entry.tx);
+        self.chain = h;
+        self.applied_slots += 1;
+        match KvOp::decode(&entry.tx) {
+            Some(KvOp::Put { key, value }) => {
+                self.map.insert(key, value);
+            }
+            Some(KvOp::Del { key }) => {
+                self.map.remove(&key);
+            }
+            Some(KvOp::Cas { key, expect, value })
+                if self.map.get(&key).is_some_and(|cur| *cur == expect) =>
+            {
+                self.map.insert(key, value);
+            }
+            Some(KvOp::Cas { .. }) => {}
+            None => {}
+        }
+    }
+
+    /// Marks the current epoch fully applied and advances the cursor.
+    pub fn seal_epoch(&mut self) {
+        self.applied_epoch += 1;
+    }
+
+    /// The canonical snapshot: cursor, slot count, hash chain, then the
+    /// sorted key-value pairs with `u32` length prefixes. Identical
+    /// states serialize byte-identically (the map iterates in key
+    /// order), so the snapshot hash is a state fingerprint.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.applied_epoch);
+        put_u64(&mut out, self.applied_slots);
+        put_u64(&mut out, self.chain);
+        put_u32(&mut out, self.map.len() as u32);
+        for (k, v) in &self.map {
+            put_bytes(&mut out, k);
+            put_bytes(&mut out, v);
+        }
+        out
+    }
+
+    /// Total decoder for [`KvState::snapshot`] bytes. State transfer
+    /// verifies the snapshot hash against the checkpoint certificate
+    /// *before* restoring, so a `None` here means a corrupt
+    /// reconstruction, not a protocol fault.
+    pub fn restore(bytes: &[u8]) -> Option<KvState> {
+        let mut r = Reader::new(bytes);
+        let applied_epoch = r.u64().ok()?;
+        let applied_slots = r.u64().ok()?;
+        let chain = r.u64().ok()?;
+        let count = r.u32().ok()? as usize;
+        // Each entry costs at least its two 4-byte length prefixes, so a
+        // count the remaining bytes cannot hold is malformed — reject
+        // before looping.
+        if count > r.remaining() / 8 {
+            return None;
+        }
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let k = take_bytes(&mut r)?;
+            let v = take_bytes(&mut r)?;
+            map.insert(k, v);
+        }
+        r.finish().ok()?;
+        Some(KvState { map, chain, applied_epoch, applied_slots })
+    }
+
+    /// The state fingerprint: the snapshot hash of the current state.
+    pub fn state_hash(&self) -> u64 {
+        snapshot_hash(&self.snapshot())
+    }
+}
+
+/// Tuning knobs for the replicated state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmrOptions {
+    /// The underlying atomic-broadcast options (epoch horizon, batch
+    /// size, pipeline depth, RBC kind).
+    pub order: OrderOptions,
+    /// Checkpoint every this many epochs. A checkpoint is also always
+    /// taken at the run horizon, so a restarting node can always catch
+    /// up to the final state by fetching certified snapshots.
+    pub checkpoint_interval: u64,
+}
+
+impl Default for SmrOptions {
+    fn default() -> Self {
+        SmrOptions { order: OrderOptions::default(), checkpoint_interval: 4 }
+    }
+}
+
+/// A wire message of the replicated-service layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmrMessage {
+    /// An atomic-broadcast message (batch RBC or slot agreement).
+    Order(OrderMessage),
+    /// A checkpoint-hash RBC message; the tag is the checkpoint epoch,
+    /// the payload the 8-byte state hash.
+    Ckpt(RbcMuxMessage<u64, Vec<u8>>),
+    /// "What is the latest certified checkpoint?" — sent by a
+    /// recovering node; receivers reply with [`SmrMessage::CkptInfo`]
+    /// now and after every future certification.
+    CkptQuery,
+    /// A peer's view of the latest certified checkpoint.
+    CkptInfo {
+        /// The certified checkpoint epoch.
+        epoch: u64,
+        /// The certified state hash.
+        hash: u64,
+    },
+    /// "Send me your erasure-coded fragment of the snapshot at `epoch`."
+    ChunkReq {
+        /// The certified checkpoint epoch being fetched.
+        epoch: u64,
+    },
+    /// One peer's Reed–Solomon fragment of a certified snapshot (the
+    /// fragment at the peer's own codeword index).
+    Chunk {
+        /// The checkpoint epoch the snapshot covers.
+        epoch: u64,
+        /// The Merkle commitment the fragment verifies under.
+        root: u64,
+        /// The fragment itself (index, shard, inclusion proof).
+        fragment: Fragment,
+    },
+}
+
+impl fmt::Display for SmrMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmrMessage::Order(m) => write!(f, "order/{m}"),
+            SmrMessage::Ckpt(m) => write!(f, "ckpt[e{}] from {}", m.tag, m.sender),
+            SmrMessage::CkptQuery => f.write_str("ckpt-query"),
+            SmrMessage::CkptInfo { epoch, hash } => write!(f, "ckpt-info[e{epoch}] {hash:016x}"),
+            SmrMessage::ChunkReq { epoch } => write!(f, "chunk-req[e{epoch}]"),
+            SmrMessage::Chunk { epoch, fragment, .. } => {
+                write!(f, "chunk[e{epoch}]#{}", fragment.index)
+            }
+        }
+    }
+}
+
+impl Codec for SmrMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SmrMessage::Order(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            SmrMessage::Ckpt(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+            SmrMessage::CkptQuery => out.push(2),
+            SmrMessage::CkptInfo { epoch, hash } => {
+                out.push(3);
+                put_u64(out, *epoch);
+                put_u64(out, *hash);
+            }
+            SmrMessage::ChunkReq { epoch } => {
+                out.push(4);
+                put_u64(out, *epoch);
+            }
+            SmrMessage::Chunk { epoch, root, fragment } => {
+                out.push(5);
+                put_u64(out, *epoch);
+                put_u64(out, *root);
+                fragment.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(SmrMessage::Order(OrderMessage::decode(r)?)),
+            1 => Ok(SmrMessage::Ckpt(RbcMuxMessage::decode(r)?)),
+            2 => Ok(SmrMessage::CkptQuery),
+            3 => Ok(SmrMessage::CkptInfo { epoch: r.u64()?, hash: r.u64()? }),
+            4 => Ok(SmrMessage::ChunkReq { epoch: r.u64()? }),
+            5 => Ok(SmrMessage::Chunk {
+                epoch: r.u64()?,
+                root: r.u64()?,
+                fragment: Fragment::decode(r)?,
+            }),
+            got => Err(DecodeError::Invalid { what: "smr message discriminant", got: got as u64 }),
+        }
+    }
+
+    fn trace_hint(&self) -> u64 {
+        match self {
+            SmrMessage::Order(m) => m.trace_hint(),
+            _ => 0,
+        }
+    }
+}
+
+/// The terminal result of one node's run: the state fingerprint after
+/// every epoch up to the horizon is folded in. Identical at all correct
+/// nodes — whether they applied every slot live or installed certified
+/// snapshots along the way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmrOutput {
+    /// The final snapshot hash.
+    pub state_hash: u64,
+    /// Epochs folded into the state (the run horizon).
+    pub epochs: u64,
+    /// Live keys in the final map.
+    pub keys: u64,
+}
+
+/// An in-progress snapshot fetch: the certified target and the per-peer
+/// fragments collected so far (at most one per peer, keyed by sender).
+struct FetchState {
+    epoch: u64,
+    hash: u64,
+    frags: BTreeMap<NodeId, (u64, Fragment)>,
+}
+
+type SmrEffect = Effect<SmrMessage, SmrOutput>;
+
+/// One node of the replicated key-value service, packaged as a
+/// [`Process`] so it runs unmodified on all three substrates.
+///
+/// A fresh node starts applying from epoch 0. A *recovering* replacement
+/// (see [`SmrProcess::recovering`]) instead suppresses live apply,
+/// queries its peers for the latest certified checkpoint, installs it by
+/// erasure-coded state transfer, and only then resumes applying — it
+/// never replays epochs below the checkpoint it installed.
+pub struct SmrProcess<C> {
+    config: Config,
+    me: NodeId,
+    opts: SmrOptions,
+    order: OrderProcess<C>,
+    state: KvState,
+    ckpt: RbcMux<u64, Vec<u8>>,
+    /// Own snapshots by checkpoint epoch; pruned below the latest
+    /// certificate once one exists.
+    snapshots: BTreeMap<u64, Vec<u8>>,
+    /// The highest boundary already proposed (or skipped by a restore).
+    ckpt_cursor: u64,
+    /// The latest checkpoint certificate `(epoch, hash)` this node
+    /// holds, from `2f + 1` matching RBC deliveries or `f + 1` matching
+    /// peer reports.
+    cert: Option<(u64, u64)>,
+    /// Latest `CkptInfo` per peer (for `f + 1` bootstrap certification).
+    peer_info: BTreeMap<NodeId, (u64, u64)>,
+    /// Peers that asked to be notified of future certifications.
+    subscribers: BTreeSet<NodeId>,
+    recovering: bool,
+    fetch: Option<FetchState>,
+    output_emitted: bool,
+    obs: Obs,
+    trace_on: bool,
+}
+
+impl<C: CoinScheme> SmrProcess<C> {
+    /// Creates a participant whose mempool holds `workload` encoded
+    /// [`KvOp`] payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_interval` is zero (the order layer asserts
+    /// its own knobs).
+    pub fn new(
+        config: Config,
+        me: NodeId,
+        opts: SmrOptions,
+        workload: Vec<Vec<u8>>,
+        coin_for: impl FnMut(u64) -> C + Send + 'static,
+    ) -> Self {
+        assert!(opts.checkpoint_interval >= 1, "checkpoint_interval must be at least 1");
+        let order = OrderProcess::new(config, me, opts.order, workload, coin_for);
+        SmrProcess {
+            config,
+            me,
+            opts,
+            order,
+            state: KvState::new(),
+            ckpt: RbcMux::new(config, me),
+            snapshots: BTreeMap::new(),
+            ckpt_cursor: 0,
+            cert: None,
+            peer_info: BTreeMap::new(),
+            subscribers: BTreeSet::new(),
+            recovering: false,
+            fetch: None,
+            output_emitted: false,
+            obs: Obs::disabled(),
+            trace_on: false,
+        }
+    }
+
+    /// Marks this node a recovering replacement: it will not apply any
+    /// slot until it has installed a certified checkpoint from its
+    /// peers, so it provably never replays truncated history. Because a
+    /// checkpoint is always taken at the run horizon, recovery always
+    /// terminates.
+    pub fn recovering(mut self, on: bool) -> Self {
+        self.recovering = on;
+        if on {
+            // Span ids are deterministic in (trace, node, phase), so a
+            // replacement's spans would collide with whatever its
+            // pre-crash incarnation already emitted: observe events
+            // only. Works in either builder order w.r.t. `with_obs`.
+            self.trace_on = false;
+            if self.obs.enabled() {
+                self.order = self.order.with_obs(self.obs.sans_spans());
+            }
+        }
+        self
+    }
+
+    /// Attaches an observer: state-machine lifecycle events are emitted
+    /// here and ordering/RBC events at the wrapped layers. The
+    /// checkpoint-hash RBC is deliberately *not* observed — its spans
+    /// would collide with the batch RBC's (both derive from
+    /// `(proposer, epoch)`), and its metrics would double-count the
+    /// broadcast layer.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        let order_obs = if self.recovering { obs.sans_spans() } else { obs.clone() };
+        self.order = self.order.with_obs(order_obs);
+        self.trace_on = obs.enabled() && !self.recovering;
+        self.obs = obs;
+        self
+    }
+
+    /// Queues an encoded operation for ordering (see
+    /// [`OrderProcess::submit`]).
+    pub fn submit(&mut self, tx: Vec<u8>) -> Result<(), Backpressure> {
+        self.order.submit(tx)
+    }
+
+    /// The replicated state as applied so far.
+    pub fn state(&self) -> &KvState {
+        &self.state
+    }
+
+    /// The latest checkpoint certificate this node holds.
+    pub fn certificate(&self) -> Option<(u64, u64)> {
+        self.cert
+    }
+
+    /// Epochs the order layer has fully appended.
+    pub fn committed_epochs(&self) -> u64 {
+        self.order.committed_epochs()
+    }
+
+    /// Ordered-log slots currently retained (bounded by the checkpoint
+    /// interval once certificates flow).
+    pub fn retained_log_slots(&self) -> usize {
+        self.order.log().len()
+    }
+
+    /// Live RBC instances across the batch and checkpoint muxes.
+    pub fn rbc_instance_count(&self) -> usize {
+        self.order.rbc_instance_count() + self.ckpt.instance_count()
+    }
+
+    /// Bytes of erasure-coded fragments buffered across live RBC
+    /// instances.
+    pub fn rbc_fragment_bytes(&self) -> usize {
+        self.order.rbc_fragment_bytes()
+    }
+
+    /// Epochs whose ACS state the order layer still retains.
+    pub fn live_epochs(&self) -> usize {
+        self.order.live_epochs()
+    }
+
+    /// Retained agreement-instance state across all live epochs.
+    pub fn retained_aba_count(&self) -> usize {
+        self.order.retained_aba_count()
+    }
+
+    /// Whether `e` is a checkpoint boundary (a positive multiple of the
+    /// interval within the horizon, or the horizon itself).
+    fn is_boundary(&self, e: u64) -> bool {
+        let horizon = self.opts.order.epochs;
+        e > 0 && e <= horizon && (e == horizon || e.is_multiple_of(self.opts.checkpoint_interval))
+    }
+
+    /// The smallest checkpoint boundary strictly above `after`.
+    fn next_boundary_after(&self, after: u64) -> Option<u64> {
+        let horizon = self.opts.order.epochs;
+        if after >= horizon {
+            return None;
+        }
+        let next_multiple = (after / self.opts.checkpoint_interval + 1)
+            .saturating_mul(self.opts.checkpoint_interval);
+        Some(next_multiple.min(horizon))
+    }
+
+    fn lift_order(
+        &mut self,
+        effects: Vec<Effect<OrderMessage, OrderLog>>,
+        out: &mut Vec<SmrEffect>,
+    ) {
+        for e in effects {
+            match e {
+                Effect::Send { to, msg } => {
+                    out.push(Effect::Send { to, msg: SmrMessage::Order(msg) });
+                }
+                Effect::Broadcast { msg } => {
+                    out.push(Effect::Broadcast { msg: SmrMessage::Order(msg) });
+                }
+                // The service layer owns both the terminal output and
+                // liveness: peers must stay responsive after their own
+                // horizon to serve checkpoint queries and chunks.
+                Effect::Output(_) | Effect::Halt => {}
+            }
+        }
+    }
+
+    fn lift_ckpt(&mut self, actions: Vec<RbcMuxAction<u64, Vec<u8>>>, out: &mut Vec<SmrEffect>) {
+        for a in actions {
+            match a {
+                RbcMuxAction::Broadcast(m) => {
+                    out.push(Effect::Broadcast { msg: SmrMessage::Ckpt(m) });
+                }
+                RbcMuxAction::Send { to, msg } => {
+                    out.push(Effect::Send { to, msg: SmrMessage::Ckpt(msg) });
+                }
+                // Deliveries are read back from the mux when counting
+                // certificates.
+                RbcMuxAction::Deliver { .. } => {}
+            }
+        }
+    }
+
+    /// Applies every epoch the order layer has appended, sealing epochs
+    /// in order and snapshotting at checkpoint boundaries.
+    fn apply_committed(&mut self) {
+        if self.recovering {
+            return;
+        }
+        while self.state.applied_epoch() < self.order.committed_epochs() {
+            let e = self.state.applied_epoch();
+            let slots: Vec<LogEntry> =
+                self.order.log().iter().filter(|s| s.epoch == e).cloned().collect();
+            let mut spanned: BTreeSet<NodeId> = BTreeSet::new();
+            for slot in &slots {
+                self.state.apply_slot(slot);
+                let (proposer, bytes) = (slot.proposer, slot.tx.len() as u64);
+                self.obs.emit(self.me, || Event::SlotApplied { epoch: e, proposer, bytes });
+                if self.trace_on && spanned.insert(proposer) {
+                    // One instantaneous apply span per (epoch, proposer)
+                    // slot group, anchored in the batch's causal trace.
+                    let ctx = TraceCtx::derive(proposer, e, e);
+                    self.obs.span_start(self.me, ctx, TracePhase::Apply, ctx.root);
+                    self.obs.span_end(self.me, ctx, TracePhase::Apply);
+                }
+            }
+            self.state.seal_epoch();
+            let sealed = self.state.applied_epoch();
+            if self.is_boundary(sealed) {
+                self.snapshots.insert(sealed, self.state.snapshot());
+            }
+        }
+    }
+
+    /// RBC-broadcasts the state hash for every boundary the apply cursor
+    /// has crossed.
+    fn maybe_checkpoint(&mut self, out: &mut Vec<SmrEffect>) {
+        while let Some(c) = self.next_boundary_after(self.ckpt_cursor) {
+            if c > self.state.applied_epoch() {
+                break;
+            }
+            self.ckpt_cursor = c;
+            let Some(snap) = self.snapshots.get(&c) else { continue };
+            let hash = snapshot_hash(snap);
+            self.obs.emit(self.me, || Event::CheckpointProposed { epoch: c, hash });
+            let actions = self.ckpt.broadcast(c, hash.to_le_bytes().to_vec());
+            self.lift_ckpt(actions, out);
+        }
+    }
+
+    /// Counts matching checkpoint-hash deliveries and adopts a
+    /// certificate once `2f + 1` agree on one hash for a boundary newer
+    /// than the current certificate.
+    fn maybe_certify(&mut self, out: &mut Vec<SmrEffect>) {
+        let need = self.config.decide_threshold();
+        let floor = self.cert.map_or(0, |(e, _)| e);
+        let mut counts: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        for (_, &tag, payload) in self.ckpt.deliveries() {
+            if tag <= floor {
+                continue;
+            }
+            let Ok(bytes) = <[u8; 8]>::try_from(payload.as_slice()) else { continue };
+            *counts.entry((tag, u64::from_le_bytes(bytes))).or_insert(0) += 1;
+        }
+        let Some(((epoch, hash), support)) =
+            counts.into_iter().filter(|&(_, c)| c >= need).max_by_key(|&((e, _), _)| e)
+        else {
+            return;
+        };
+        self.adopt_certificate(epoch, hash, support as u64, out);
+    }
+
+    fn adopt_certificate(&mut self, epoch: u64, hash: u64, support: u64, out: &mut Vec<SmrEffect>) {
+        self.cert = Some((epoch, hash));
+        self.obs.emit(self.me, || Event::CheckpointCertified { epoch, hash, support });
+        if let Some(own) = self.snapshots.get(&epoch) {
+            if snapshot_hash(own) != hash {
+                // The cluster certified a state this node does not hold
+                // — with a deterministic apply this is unreachable for a
+                // correct node, so surface it instead of serving a
+                // snapshot that contradicts the certificate.
+                self.obs.emit(self.me, || Event::InvariantViolated {
+                    round: 0,
+                    detail: format!("own snapshot at epoch {epoch} contradicts certificate"),
+                });
+                self.snapshots.remove(&epoch);
+            }
+        }
+        // Certified history is dead: prune snapshots and checkpoint RBC
+        // state below the certificate, truncate the ordered log below
+        // whatever both the certificate and the apply cursor cover.
+        self.snapshots.retain(|&b, _| b >= epoch);
+        self.ckpt.retain(move |_, tag| *tag >= epoch);
+        for peer in self.subscribers.iter().copied().filter(|&p| p != self.me) {
+            out.push(Effect::Send { to: peer, msg: SmrMessage::CkptInfo { epoch, hash } });
+        }
+    }
+
+    /// Truncates the ordered log below everything both certified and
+    /// applied.
+    fn maybe_truncate(&mut self) {
+        if let Some((epoch, _)) = self.cert {
+            self.order.truncate_below(epoch.min(self.state.applied_epoch()));
+        }
+    }
+
+    /// Starts (or retargets) a snapshot fetch when a certificate covers
+    /// epochs this node can no longer commit live.
+    fn maybe_fetch(&mut self, out: &mut Vec<SmrEffect>) {
+        let Some((target, hash)) = self.best_target() else { return };
+        if target <= self.state.applied_epoch() {
+            return;
+        }
+        if !self.recovering && self.order.committed_epochs() >= target {
+            // The gap is already committed locally; live apply covers it.
+            return;
+        }
+        if self.fetch.as_ref().is_some_and(|f| f.epoch >= target) {
+            return;
+        }
+        self.fetch = Some(FetchState { epoch: target, hash, frags: BTreeMap::new() });
+        self.obs.emit(self.me, || Event::StateTransferStarted { epoch: target });
+        out.push(Effect::Broadcast { msg: SmrMessage::ChunkReq { epoch: target } });
+    }
+
+    /// The newest checkpoint this node can trust: its own `2f + 1`
+    /// certificate, or a boundary `f + 1` distinct peers report
+    /// identically (at least one of them is correct).
+    fn best_target(&self) -> Option<(u64, u64)> {
+        let amplify = self.config.bv_amplify_threshold();
+        let mut counts: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        for &(e, h) in self.peer_info.values() {
+            *counts.entry((e, h)).or_insert(0) += 1;
+        }
+        let peer_best = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= amplify)
+            .map(|(eh, _)| eh)
+            .max_by_key(|&(e, _)| e);
+        [self.cert, peer_best].into_iter().flatten().max_by_key(|&(e, _)| e)
+    }
+
+    fn on_query(&mut self, from: NodeId, out: &mut Vec<SmrEffect>) {
+        if from == self.me {
+            return;
+        }
+        self.subscribers.insert(from);
+        if let Some((epoch, hash)) = self.cert {
+            out.push(Effect::Send { to: from, msg: SmrMessage::CkptInfo { epoch, hash } });
+        }
+    }
+
+    fn on_info(&mut self, from: NodeId, epoch: u64, hash: u64) {
+        if from == self.me || !self.is_boundary(epoch) {
+            return;
+        }
+        let entry = self.peer_info.entry(from).or_insert((epoch, hash));
+        if epoch >= entry.0 {
+            *entry = (epoch, hash);
+        }
+    }
+
+    fn on_chunk_req(&mut self, from: NodeId, epoch: u64, out: &mut Vec<SmrEffect>) {
+        if from == self.me {
+            return;
+        }
+        self.subscribers.insert(from);
+        let Some((ce, ch)) = self.cert else { return };
+        if epoch != ce {
+            // Stale target — point the requester at the newest
+            // certificate instead.
+            out.push(Effect::Send { to: from, msg: SmrMessage::CkptInfo { epoch: ce, hash: ch } });
+            return;
+        }
+        let Some(snap) = self.snapshots.get(&ce) else { return };
+        let (n, k) = (self.config.n(), self.config.reconstruct_threshold());
+        let Ok(coded) = ec_encode(snap, n, k) else { return };
+        let Some(fragment) = coded.fragments.into_iter().nth(self.me.index()) else { return };
+        out.push(Effect::Send {
+            to: from,
+            msg: SmrMessage::Chunk { epoch, root: coded.root, fragment },
+        });
+    }
+
+    fn on_chunk(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        root: u64,
+        fragment: &Fragment,
+        out: &mut Vec<SmrEffect>,
+    ) {
+        let (n, k) = (self.config.n(), self.config.reconstruct_threshold());
+        let installed = {
+            let Some(fetch) = self.fetch.as_mut() else { return };
+            if fetch.epoch != epoch
+                || fragment.index as usize != from.index()
+                || !ec_verify(root, n, k, fragment)
+            {
+                return;
+            }
+            fetch.frags.insert(from, (root, fragment.clone()));
+            // Group collected fragments by claimed root; the first root
+            // with k fragments whose reconstruction matches the
+            // certified hash wins. A Byzantine peer lying about the root
+            // only isolates its own fragment in a group that can never
+            // both reconstruct and match the certificate.
+            let roots: BTreeSet<u64> = fetch.frags.values().map(|&(r, _)| r).collect();
+            let mut found = None;
+            for r in roots {
+                let frags: Vec<Fragment> = fetch
+                    .frags
+                    .values()
+                    .filter(|&&(fr, _)| fr == r)
+                    .map(|(_, f)| f.clone())
+                    .collect();
+                if frags.len() < k {
+                    continue;
+                }
+                let Ok(bytes) = ec_reconstruct(r, n, k, &frags) else { continue };
+                if snapshot_hash(&bytes) != fetch.hash {
+                    continue;
+                }
+                let Some(state) = KvState::restore(&bytes) else { continue };
+                if state.applied_epoch() != fetch.epoch {
+                    continue;
+                }
+                found = Some((state, bytes));
+                break;
+            }
+            found
+        };
+        let Some((state, bytes)) = installed else { return };
+        let target = epoch;
+        let size = bytes.len() as u64;
+        self.fetch = None;
+        self.state = state;
+        self.recovering = false;
+        self.snapshots.insert(target, bytes);
+        self.ckpt_cursor = self.ckpt_cursor.max(target);
+        let effects = self.order.fast_forward(target);
+        self.lift_order(effects, out);
+        self.obs.emit(self.me, || Event::StateTransferCompleted { epoch: target, bytes: size });
+    }
+
+    fn maybe_output(&mut self, out: &mut Vec<SmrEffect>) {
+        if !self.output_emitted && self.state.applied_epoch() >= self.opts.order.epochs {
+            self.output_emitted = true;
+            out.push(Effect::Output(self.snapshot_output()));
+        }
+    }
+
+    fn snapshot_output(&self) -> SmrOutput {
+        SmrOutput {
+            state_hash: self.state.state_hash(),
+            epochs: self.state.applied_epoch(),
+            keys: self.state.len() as u64,
+        }
+    }
+
+    /// Drives apply, checkpointing, certification, fetch and truncation
+    /// after any batch of order effects or service messages.
+    fn advance(&mut self, out: &mut Vec<SmrEffect>) {
+        self.apply_committed();
+        self.maybe_checkpoint(out);
+        self.maybe_certify(out);
+        self.maybe_fetch(out);
+        self.maybe_truncate();
+        self.maybe_output(out);
+    }
+}
+
+impl<C> fmt::Debug for SmrProcess<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmrProcess")
+            .field("me", &self.me)
+            .field("applied_epoch", &self.state.applied_epoch())
+            .field("applied_slots", &self.state.applied_slots())
+            .field("cert", &self.cert)
+            .field("recovering", &self.recovering)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: CoinScheme> Process for SmrProcess<C> {
+    type Msg = SmrMessage;
+    type Output = SmrOutput;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self) -> Vec<SmrEffect> {
+        let mut out = Vec::new();
+        if self.recovering {
+            out.push(Effect::Broadcast { msg: SmrMessage::CkptQuery });
+        }
+        let effects = self.order.on_start();
+        self.lift_order(effects, &mut out);
+        self.advance(&mut out);
+        out
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: &SmrMessage) -> Vec<SmrEffect> {
+        let mut out = Vec::new();
+        match msg {
+            SmrMessage::Order(m) => {
+                let effects = self.order.on_message(from, m);
+                self.lift_order(effects, &mut out);
+            }
+            SmrMessage::Ckpt(m) => {
+                // Only valid boundaries may allocate checkpoint-RBC
+                // state — a Byzantine tag must not grow the mux.
+                if self.is_boundary(m.tag) {
+                    let actions = self.ckpt.on_message(from, m);
+                    self.lift_ckpt(actions, &mut out);
+                }
+            }
+            SmrMessage::CkptQuery => self.on_query(from, &mut out),
+            SmrMessage::CkptInfo { epoch, hash } => self.on_info(from, *epoch, *hash),
+            SmrMessage::ChunkReq { epoch } => self.on_chunk_req(from, *epoch, &mut out),
+            SmrMessage::Chunk { epoch, root, fragment } => {
+                self.on_chunk(from, *epoch, *root, fragment, &mut out);
+            }
+        }
+        self.advance(&mut out);
+        out
+    }
+
+    fn output(&self) -> Option<SmrOutput> {
+        if self.output_emitted {
+            Some(self.snapshot_output())
+        } else {
+            None
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        // Never: a node that halted could not serve checkpoint queries
+        // or snapshot chunks to a recovering peer. Substrates end runs
+        // on output completion, not halts.
+        false
+    }
+
+    fn round(&self) -> u64 {
+        self.order.round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_coin::CommonCoin;
+    use bft_sim::{UniformDelay, World, WorldConfig};
+
+    fn entry(epoch: u64, proposer: usize, tx: Vec<u8>) -> LogEntry {
+        LogEntry { epoch, proposer: NodeId::new(proposer), tx }
+    }
+
+    #[test]
+    fn kv_op_codec_round_trips_and_rejects_garbage() {
+        let ops = [
+            KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            KvOp::Del { key: Vec::new() },
+            KvOp::Cas { key: b"k".to_vec(), expect: b"v".to_vec(), value: vec![0; 300] },
+        ];
+        for op in ops {
+            assert_eq!(KvOp::decode(&op.encode()), Some(op));
+        }
+        assert_eq!(KvOp::decode(&[]), None);
+        assert_eq!(KvOp::decode(&[9]), None);
+        // Hostile length prefix far beyond the buffer.
+        let mut bad = vec![1];
+        put_u32(&mut bad, u32::MAX);
+        assert_eq!(KvOp::decode(&bad), None);
+        // Trailing garbage after a well-formed op.
+        let mut trailing = KvOp::Del { key: b"k".to_vec() }.encode();
+        trailing.push(0);
+        assert_eq!(KvOp::decode(&trailing), None);
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_malformed_slots_are_hash_only_noops() {
+        let slots = vec![
+            entry(0, 0, KvOp::Put { key: b"a".to_vec(), value: b"1".to_vec() }.encode()),
+            entry(0, 1, vec![0xff, 0xee]), // malformed: must not diverge
+            entry(
+                0,
+                2,
+                KvOp::Cas { key: b"a".to_vec(), expect: b"1".to_vec(), value: b"2".to_vec() }
+                    .encode(),
+            ),
+            entry(
+                0,
+                3,
+                KvOp::Cas { key: b"a".to_vec(), expect: b"9".to_vec(), value: b"3".to_vec() }
+                    .encode(),
+            ),
+            entry(0, 3, KvOp::Del { key: b"gone".to_vec() }.encode()),
+        ];
+        let mut a = KvState::new();
+        let mut b = KvState::new();
+        for s in &slots {
+            a.apply_slot(s);
+            b.apply_slot(s);
+        }
+        a.seal_epoch();
+        b.seal_epoch();
+        assert_eq!(a, b);
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(a.get(b"a"), Some(b"2".as_slice()), "cas applies only on match");
+        assert_eq!(a.applied_slots(), 5, "malformed slots still consume the chain");
+        // Dropping the malformed slot changes the chain: the hash covers
+        // raw bytes, not just well-formed ops.
+        let mut c = KvState::new();
+        for s in slots.iter().filter(|s| KvOp::decode(&s.tx).is_some()) {
+            c.apply_slot(s);
+        }
+        c.seal_epoch();
+        assert_ne!(a.state_hash(), c.state_hash());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_rejects_corruption() {
+        let mut s = KvState::new();
+        for i in 0..10u8 {
+            s.apply_slot(&entry(0, 0, KvOp::Put { key: vec![i], value: vec![i, i] }.encode()));
+        }
+        s.seal_epoch();
+        let snap = s.snapshot();
+        assert_eq!(KvState::restore(&snap), Some(s.clone()));
+        assert_eq!(snapshot_hash(&snap), s.state_hash());
+        assert_eq!(KvState::restore(&snap[..snap.len() - 1]), None, "truncated");
+        let mut trailing = snap.clone();
+        trailing.push(0);
+        assert_eq!(KvState::restore(&trailing), None, "trailing bytes");
+        // Hostile entry count.
+        let mut hostile = Vec::new();
+        put_u64(&mut hostile, 1);
+        put_u64(&mut hostile, 1);
+        put_u64(&mut hostile, 7);
+        put_u32(&mut hostile, u32::MAX);
+        assert_eq!(KvState::restore(&hostile), None);
+    }
+
+    #[test]
+    fn smr_message_codec_round_trips_and_rejects_bad_discriminants() {
+        let msgs = [
+            SmrMessage::CkptQuery,
+            SmrMessage::CkptInfo { epoch: 8, hash: 0xdead_beef },
+            SmrMessage::ChunkReq { epoch: 4 },
+            SmrMessage::Chunk {
+                epoch: 4,
+                root: 99,
+                fragment: Fragment {
+                    index: 2,
+                    total_len: 32,
+                    shard: vec![1, 2, 3],
+                    proof: vec![5, 6],
+                },
+            },
+        ];
+        for m in msgs {
+            assert_eq!(SmrMessage::from_bytes(&m.to_bytes()), Ok(m));
+        }
+        assert!(matches!(
+            SmrMessage::from_bytes(&[9]),
+            Err(DecodeError::Invalid { what: "smr message discriminant", .. })
+        ));
+    }
+
+    fn kv_workload(id: NodeId, count: usize) -> Vec<Vec<u8>> {
+        (0..count)
+            .map(|i| {
+                let key = vec![b'k', (i % 5) as u8];
+                match (id.index() + i) % 3 {
+                    0 => KvOp::Put { key, value: vec![id.index() as u8, i as u8] }.encode(),
+                    1 => KvOp::Cas { key, expect: vec![id.index() as u8, i as u8], value: vec![7] }
+                        .encode(),
+                    _ => KvOp::Del { key }.encode(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sim_cluster_agrees_on_state_and_certifies_checkpoints() {
+        let Ok(cfg) = Config::new(4, 1) else { return };
+        let opts = SmrOptions {
+            order: OrderOptions {
+                batch_max: 2,
+                pipeline_depth: 2,
+                epochs: 6,
+                ..OrderOptions::default()
+            },
+            checkpoint_interval: 2,
+        };
+        let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 9, 11));
+        for id in cfg.nodes() {
+            world.add_process(Box::new(SmrProcess::new(cfg, id, opts, kv_workload(id, 12), |i| {
+                CommonCoin::new(3, i)
+            })));
+        }
+        let report = world.run();
+        assert!(report.all_correct_decided(), "all nodes must output");
+        assert!(report.agreement_holds(), "state hashes must match");
+        let output = report.unanimous_output().expect("unanimous output");
+        assert_eq!(output.epochs, 6);
+    }
+
+    #[test]
+    fn crashed_node_recovers_by_state_transfer_without_replaying_truncated_history() {
+        use bft_obs::VecSink;
+        use bft_sim::SimTime;
+
+        let Ok(cfg) = Config::new(4, 1) else { return };
+        let opts = SmrOptions {
+            order: OrderOptions {
+                batch_max: 2,
+                pipeline_depth: 2,
+                epochs: 8,
+                ..OrderOptions::default()
+            },
+            checkpoint_interval: 2,
+        };
+        let crash_at = 30;
+        let restart_at = 400;
+        let victim = NodeId::new(3);
+        let (obs, sink) = Obs::new(VecSink::new());
+        let mut world = World::new(WorldConfig::new(4), UniformDelay::new(1, 9, 21));
+        for id in cfg.nodes() {
+            world.add_process(Box::new(
+                SmrProcess::new(cfg, id, opts, kv_workload(id, 16), |i| CommonCoin::new(3, i))
+                    .with_obs(obs.clone()),
+            ));
+        }
+        world.schedule_crash(victim, SimTime::from_ticks(crash_at));
+        let obs_replacement = obs.clone();
+        world.schedule_restart(
+            victim,
+            SimTime::from_ticks(restart_at),
+            Box::new(move || {
+                Box::new(
+                    SmrProcess::new(cfg, victim, opts, kv_workload(victim, 16), |i| {
+                        CommonCoin::new(3, i)
+                    })
+                    .recovering(true)
+                    .with_obs(obs_replacement),
+                )
+            }),
+        );
+        let report = world.run();
+        assert!(report.all_correct_decided(), "the restarted node must catch up and output");
+        assert!(report.agreement_holds(), "recovered state must match the cluster");
+
+        let events = sink.lock().take();
+        let transfers: Vec<u64> = events
+            .iter()
+            .filter(|(_, node, _)| *node == victim)
+            .filter_map(|(_, _, e)| match e {
+                Event::StateTransferCompleted { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        assert!(!transfers.is_empty(), "recovery must go through peer state transfer");
+        let first_fetched = transfers[0];
+        assert!(first_fetched >= opts.checkpoint_interval, "must land on a certified boundary");
+        // The replacement never replays epochs below the checkpoint it
+        // installed: every slot it applies is at or above it.
+        let replayed: Vec<u64> = events
+            .iter()
+            .filter(|(at, node, _)| *node == victim && *at >= restart_at)
+            .filter_map(|(_, _, e)| match e {
+                Event::SlotApplied { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .filter(|&e| e < first_fetched)
+            .collect();
+        assert!(replayed.is_empty(), "replayed truncated epochs: {replayed:?}");
+    }
+}

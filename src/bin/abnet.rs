@@ -28,12 +28,22 @@
 //! up to B payloads (`--batch`). Chaos flags compose with it;
 //! `--fault`/`--ones` apply to the consensus mode only.
 //!
+//! With `--kv-workload` the binary runs the **replicated KV state
+//! machine** (`bft-smr`) over TCP: every node orders a seeded operation
+//! stream, applies it deterministically, and certifies an RBC-agreed
+//! checkpoint every `--checkpoint-interval` epochs (truncating the
+//! ordered log below it). `--restart-node` additionally crashes the
+//! highest-indexed node early in the run and restarts it once the
+//! survivors are done, forcing recovery through erasure-coded peer
+//! state transfer from the latest certified checkpoint.
+//!
 //! Examples:
 //!
 //! ```text
 //! abnet --n 4 --fault flip-value
 //! abnet --n 7 --ones 3 --drop 100 --dup 50 --runs 5
 //! abnet --n 4 --epochs 5 --batch 4 --pipeline 3 --drop 50
+//! abnet --n 4 --kv-workload --checkpoint-interval 4 --restart-node
 //! ```
 
 use async_bft::adversary::{make_bracha_adversary, FaultKind};
@@ -61,6 +71,9 @@ struct Options {
     batch: usize,
     pipeline: usize,
     rbc: RbcKind,
+    kv_workload: bool,
+    checkpoint_interval: u64,
+    restart_node: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -132,6 +145,9 @@ fn parse_args() -> Result<Options, String> {
         batch: 4,
         pipeline: 2,
         rbc: RbcKind::Bracha,
+        kv_workload: false,
+        checkpoint_interval: 4,
+        restart_node: false,
         trace_out: None,
         metrics_out: None,
     };
@@ -180,6 +196,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.rbc = RbcKind::parse(&v)
                     .ok_or_else(|| format!("--rbc: expected bracha or coded, got {v}"))?;
             }
+            "--kv-workload" => opts.kv_workload = true,
+            "--checkpoint-interval" => {
+                opts.checkpoint_interval = value("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?
+            }
+            "--restart-node" => opts.restart_node = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
@@ -188,6 +211,7 @@ fn parse_args() -> Result<Options, String> {
                      [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE] \
                      [--max-delay-ms MS] [--timeout-secs T] [--runs R] \
                      [--epochs E] [--batch B] [--pipeline D] [--rbc bracha|coded] \
+                     [--kv-workload] [--checkpoint-interval C] [--restart-node] \
                      [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(0);
@@ -280,6 +304,118 @@ fn run_ordering(opts: &Options, chaos: &ChaosConfig) {
     }
 }
 
+/// The replicated-state-machine mode: `--kv-workload` runs the KV state
+/// machine over the ordered log on real loopback TCP — deterministic
+/// apply, RBC-agreed checkpoints with log truncation, and (with
+/// `--restart-node`) a crash plus state-transfer recovery of the
+/// highest-indexed node.
+fn run_smr(opts: &Options, chaos: &ChaosConfig) {
+    use async_bft::coin::CommonCoin;
+    use async_bft::net::RestartFactory;
+    use async_bft::order::OrderOptions;
+    use async_bft::smr::{seeded_workload, SmrMessage, SmrOptions, SmrOutput, SmrProcess};
+    use async_bft::types::NodeId;
+
+    if !opts.faults.is_empty() || opts.ones.is_some() {
+        eprintln!("error: --fault/--ones apply to consensus mode, not --kv-workload mode");
+        std::process::exit(2);
+    }
+    let f_max = opts.n.saturating_sub(1) / 3;
+    let cfg = match Config::new(opts.n, f_max) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let epochs = if opts.epochs > 0 { opts.epochs } else { 8 };
+    let smr = SmrOptions {
+        order: OrderOptions {
+            batch_max: opts.batch.max(1),
+            pipeline_depth: opts.pipeline.max(1),
+            epochs,
+            rbc: opts.rbc,
+        },
+        checkpoint_interval: opts.checkpoint_interval.max(1),
+    };
+    println!(
+        "state-machine mode: n = {}, f = {f_max}, epochs = {epochs}, checkpoint interval = {}, \
+         rbc = {}, restart = {}",
+        opts.n,
+        smr.checkpoint_interval,
+        smr.order.rbc,
+        if opts.restart_node { "yes" } else { "no" },
+    );
+
+    // The victim crashes almost immediately (long before it can output)
+    // and restarts only after the survivors have had time to certify
+    // the final checkpoint, so recovery must go through erasure-coded
+    // peer state transfer rather than live replay.
+    let crash_at_ms = 30;
+    let restart_at_ms = 1500;
+    let mut completed = 0u64;
+    let mut agreed = 0u64;
+    let mut total = MetricsSink::new();
+    for run in 0..opts.runs {
+        let seed = opts.seed + run;
+        let (obs, metrics) = export_obs(opts, run);
+        let mut rt: NetRuntime<SmrMessage, SmrOutput> = NetRuntime::new(opts.n)
+            .timeout(Duration::from_secs(opts.timeout_secs))
+            .observer(obs.clone())
+            .chaos(chaos.clone());
+        let count = (epochs * smr.order.batch_max as u64) as usize;
+        let make = move |id: NodeId, obs: Obs| {
+            SmrProcess::new(cfg, id, smr, seeded_workload(seed, id, count), move |inst| {
+                CommonCoin::new(seed, inst)
+            })
+            .with_obs(obs)
+        };
+        if opts.restart_node {
+            let victim = NodeId::new(opts.n - 1);
+            let obs_replacement = obs.clone();
+            let factory: RestartFactory<SmrMessage, SmrOutput> =
+                Box::new(move || Box::new(make(victim, obs_replacement).recovering(true)));
+            rt = rt.restart_node(victim, crash_at_ms, restart_at_ms, factory);
+        }
+        for id in cfg.nodes() {
+            rt.add_process(Box::new(make(id, obs.clone())));
+        }
+        let report = rt.run();
+        drop(obs);
+        if report.all_correct_decided() {
+            completed += 1;
+        }
+        if report.agreement_holds() {
+            agreed += 1;
+        }
+        let mut m = metrics.lock();
+        total.merge(&m.0);
+        if let Some(jsonl) = m.1.as_mut() {
+            jsonl.flush();
+        }
+        match report.unanimous_output() {
+            Some(out) => println!(
+                "run {run:>3} (seed {seed}): state hash = {:016x}, epochs = {}, keys = {}, \
+                 elapsed = {:?}, connects = {}",
+                out.state_hash,
+                out.epochs,
+                out.keys,
+                report.elapsed,
+                m.0.peer_connects(),
+            ),
+            None => println!(
+                "run {run:>3} (seed {seed}): NO unanimous state, elapsed = {:?}",
+                report.elapsed,
+            ),
+        }
+    }
+    write_metrics_out(opts, &mut total);
+    println!("\nsummary: {}/{} completed, {}/{} agreed", completed, opts.runs, agreed, opts.runs);
+    if completed < opts.runs || agreed < opts.runs {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -289,6 +425,18 @@ fn main() {
         }
     };
 
+    if opts.kv_workload {
+        let chaos = ChaosConfig {
+            seed: opts.seed,
+            drop_per_mille: opts.drop_per_mille,
+            dup_per_mille: opts.dup_per_mille,
+            delay_per_mille: opts.delay_per_mille,
+            max_delay_ms: opts.max_delay_ms,
+            ..ChaosConfig::default()
+        };
+        run_smr(&opts, &chaos);
+        return;
+    }
     if opts.epochs > 0 {
         let chaos = ChaosConfig {
             seed: opts.seed,

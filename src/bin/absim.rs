@@ -6,6 +6,7 @@
 //!       [--schedule fixed|uniform|split|partition|favor]
 //!       [--fault KIND]... [--runs R]
 //!       [--epochs E] [--batch B] [--pipeline D] [--rbc bracha|coded]
+//!       [--kv-workload] [--checkpoint-interval C] [--restart-node]
 //!       [--trace-out FILE] [--metrics-out FILE]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
@@ -23,12 +24,21 @@
 //! up to B payloads (`--batch`), over the uniform 1–20 tick schedule.
 //! `--fault`/`--ones`/`--schedule` apply to the consensus mode only.
 //!
+//! With `--kv-workload` the ordered log feeds the **replicated key-value
+//! state machine** (`bft-smr`): nodes apply a seeded put/cas/del
+//! workload, RBC-agree on checkpoint hashes every
+//! `--checkpoint-interval` epochs and truncate the log below the
+//! certificate. `--restart-node` crashes the highest-indexed node early
+//! and restarts it with empty state, exercising erasure-coded peer state
+//! transfer.
+//!
 //! Examples:
 //!
 //! ```text
 //! absim --n 7 --ones 3 --fault flip-value --fault seesaw --runs 10
 //! absim --n 10 --coin common --schedule split
 //! absim --n 4 --epochs 8 --batch 4 --pipeline 3
+//! absim --kv-workload --checkpoint-interval 4 --restart-node
 //! ```
 
 use async_bft::obs::{JsonlSink, MetricsSink, Obs, SharedSink, Tee};
@@ -48,6 +58,9 @@ struct Options {
     batch: usize,
     pipeline: usize,
     rbc: RbcKind,
+    kv_workload: bool,
+    checkpoint_interval: u64,
+    restart_node: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -144,6 +157,9 @@ fn parse_args() -> Result<Options, String> {
         batch: 4,
         pipeline: 2,
         rbc: RbcKind::Bracha,
+        kv_workload: false,
+        checkpoint_interval: 4,
+        restart_node: false,
         trace_out: None,
         metrics_out: None,
     };
@@ -181,6 +197,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.rbc = RbcKind::parse(&v)
                     .ok_or_else(|| format!("--rbc: expected bracha or coded, got {v}"))?;
             }
+            "--kv-workload" => opts.kv_workload = true,
+            "--checkpoint-interval" => {
+                opts.checkpoint_interval = value("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?
+            }
+            "--restart-node" => opts.restart_node = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
@@ -188,7 +211,8 @@ fn parse_args() -> Result<Options, String> {
                     "usage: absim [--n N] [--seed S] [--ones K] [--coin local|common] \
                      [--schedule fixed|uniform|split|partition|favor] [--fault KIND]... \
                      [--runs R] [--epochs E] [--batch B] [--pipeline D] \
-                     [--rbc bracha|coded] [--trace-out FILE] [--metrics-out FILE]"
+                     [--rbc bracha|coded] [--kv-workload] [--checkpoint-interval C] \
+                     [--restart-node] [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -284,6 +308,121 @@ fn run_ordering(opts: &Options) {
     }
 }
 
+/// The replicated-service mode: `--kv-workload` runs the bft-smr state
+/// machine over the ordering engine, with RBC-agreed checkpoints every
+/// `--checkpoint-interval` epochs; `--restart-node` crashes the
+/// highest-indexed node mid-run and restarts it empty, forcing recovery
+/// through peer state transfer.
+fn run_smr(opts: &Options) {
+    use async_bft::coin::{CommonCoin, LocalCoin};
+    use async_bft::order::OrderOptions;
+    use async_bft::sim::{SimTime, StopReason, UniformDelay, World, WorldConfig};
+    use async_bft::smr::{seeded_workload, SmrOptions, SmrProcess};
+    use async_bft::types::{Config, NodeId};
+
+    if !opts.faults.is_empty() || opts.ones.is_some() {
+        eprintln!("error: --fault/--ones apply to consensus mode, not --kv-workload mode");
+        std::process::exit(2);
+    }
+    let f_max = (opts.n.saturating_sub(1)) / 3;
+    let cfg = match Config::new(opts.n, f_max) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let epochs = if opts.epochs > 0 { opts.epochs } else { 8 };
+    let smr = SmrOptions {
+        order: OrderOptions {
+            batch_max: opts.batch.max(1),
+            pipeline_depth: opts.pipeline.max(1),
+            epochs,
+            rbc: opts.rbc,
+        },
+        checkpoint_interval: opts.checkpoint_interval.max(1),
+    };
+    println!(
+        "state-machine mode: n = {}, f = {f_max}, epochs = {epochs}, checkpoint interval = {}, \
+         rbc = {}, restart = {}",
+        opts.n,
+        smr.checkpoint_interval,
+        smr.order.rbc,
+        if opts.restart_node { "yes" } else { "no" },
+    );
+
+    // The victim crashes early (before it can output) and restarts much
+    // later with empty state, so recovery must go through a certified
+    // checkpoint fetched from the peers.
+    let crash_tick = 120;
+    let restart_tick = 2500;
+    let mut completed = 0u64;
+    let mut agreed = 0u64;
+    let mut total = MetricsSink::new();
+    for run in 0..opts.runs {
+        let seed = opts.seed + run;
+        let (obs, export) = export_obs(opts, run);
+        let mut world = World::new(WorldConfig::new(opts.n), UniformDelay::new(1, 20, seed));
+        world.set_observer(obs.clone());
+        let common = matches!(opts.coin, CoinChoice::Common);
+        let count = (epochs * smr.order.batch_max as u64) as usize;
+        let make = move |id: NodeId, obs: Obs| {
+            SmrProcess::new(
+                cfg,
+                id,
+                smr,
+                seeded_workload(seed, id, count),
+                move |inst| -> Box<dyn async_bft::coin::CoinScheme + Send> {
+                    if common {
+                        Box::new(CommonCoin::new(seed, inst))
+                    } else {
+                        Box::new(LocalCoin::for_instance(seed, id, inst))
+                    }
+                },
+            )
+            .with_obs(obs)
+        };
+        for id in cfg.nodes() {
+            world.add_process(Box::new(make(id, obs.clone())));
+        }
+        if opts.restart_node {
+            let victim = NodeId::new(opts.n - 1);
+            world.schedule_crash(victim, SimTime::from_ticks(crash_tick));
+            let obs_replacement = obs.clone();
+            world.schedule_restart(
+                victim,
+                SimTime::from_ticks(restart_tick),
+                Box::new(move || Box::new(make(victim, obs_replacement).recovering(true))),
+            );
+        }
+        let report = world.run();
+        fold_export(&mut total, &export);
+        let ticks = report.end_time.ticks().max(1);
+        if report.stop == StopReason::Completed && report.all_correct_decided() {
+            completed += 1;
+        }
+        if report.agreement_holds() {
+            agreed += 1;
+        }
+        match report.unanimous_output() {
+            Some(out) => println!(
+                "run {run:>3} (seed {seed}): state hash = {:016x}, epochs = {}, keys = {}, \
+                 ticks = {ticks}, msgs = {}",
+                out.state_hash, out.epochs, out.keys, report.metrics.sent,
+            ),
+            None => println!(
+                "run {run:>3} (seed {seed}): NO unanimous state (stop = {:?}), ticks = {ticks}",
+                report.stop,
+            ),
+        }
+    }
+    write_metrics_out(opts, &mut total);
+    println!("\nsummary: {}/{} completed, {}/{} agreed", completed, opts.runs, agreed, opts.runs);
+    if completed < opts.runs || agreed < opts.runs {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -293,6 +432,10 @@ fn main() {
         }
     };
 
+    if opts.kv_workload {
+        run_smr(&opts);
+        return;
+    }
     if opts.epochs > 0 {
         run_ordering(&opts);
         return;

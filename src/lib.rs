@@ -22,6 +22,10 @@
 //! * [`bft_adversary`] — a zoo of Byzantine behaviours and content-aware
 //!   adversarial schedulers.
 //! * [`bft_coin`] — local and (dealer-model) common coins.
+//! * [`bft_smr`] — a **replicated key-value state machine** over the
+//!   ordered log: deterministic apply, RBC-agreed checkpoints with log
+//!   truncation, and erasure-coded peer state transfer for crash
+//!   recovery.
 //! * [`bft_obs`] — zero-cost-when-disabled **observability**: a protocol
 //!   event taxonomy with pluggable sinks (metrics aggregation, JSONL
 //!   export, online invariant checking).
@@ -118,6 +122,11 @@ pub mod net {
 /// Re-export of the atomic-broadcast (ordering) crate.
 pub mod order {
     pub use bft_order::*;
+}
+
+/// Re-export of the replicated state machine crate.
+pub mod smr {
+    pub use bft_smr::*;
 }
 
 /// Re-export of the statistics crate.

@@ -225,6 +225,120 @@ fn ordering_state_is_bounded_by_pipeline_depth() {
     assert!(max_rbc <= n * slack, "live RBC instances {max_rbc} exceed n·(2·depth+2)");
 }
 
+/// Pumps a full replicated-state-machine run synchronously and returns
+/// the peak retained state at any node: (ordered-log slots, live
+/// epochs, ABA instances, RBC instances across batch + checkpoint
+/// muxes). Asserts completion, byte-identical state hashes, and a
+/// certified final checkpoint everywhere.
+fn pump_smr(epochs: u64, interval: u64) -> (usize, usize, usize, usize) {
+    use async_bft::order::OrderOptions;
+    use async_bft::smr::{seeded_workload, SmrOptions, SmrProcess};
+    use async_bft::types::{Effect, Process};
+    use std::collections::VecDeque;
+
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    let opts = SmrOptions {
+        order: OrderOptions {
+            batch_max: 2,
+            pipeline_depth: 2,
+            epochs,
+            rbc: async_bft::rbc::RbcKind::Bracha,
+        },
+        checkpoint_interval: interval,
+    };
+    let mut nodes: Vec<SmrProcess<CommonCoin>> = (0..n)
+        .map(|i| {
+            let id = NodeId::new(i);
+            let workload = seeded_workload(7, id, 2 * epochs as usize);
+            SmrProcess::new(cfg, id, opts, workload, |inst| CommonCoin::new(5, inst))
+        })
+        .collect();
+
+    let mut queue = VecDeque::new();
+    for node in nodes.iter_mut() {
+        let me = node.id();
+        for e in node.on_start() {
+            match e {
+                Effect::Broadcast { msg } => {
+                    for to in 0..n {
+                        queue.push_back((me, NodeId::new(to), msg.clone()));
+                    }
+                }
+                Effect::Send { to, msg } => queue.push_back((me, to, msg)),
+                _ => {}
+            }
+        }
+    }
+    let (mut max_slots, mut max_epochs, mut max_abas, mut max_rbc) =
+        (0usize, 0usize, 0usize, 0usize);
+    let mut steps = 0usize;
+    while let Some((from, to, msg)) = queue.pop_front() {
+        steps += 1;
+        assert!(steps < 3_000_000, "pump did not quiesce");
+        let node = &mut nodes[to.index()];
+        let me = node.id();
+        for e in node.on_message(from, &msg) {
+            match e {
+                Effect::Broadcast { msg } => {
+                    for t in 0..n {
+                        queue.push_back((me, NodeId::new(t), msg.clone()));
+                    }
+                }
+                Effect::Send { to, msg } => queue.push_back((me, to, msg)),
+                _ => {}
+            }
+        }
+        max_slots = max_slots.max(node.retained_log_slots());
+        max_epochs = max_epochs.max(node.live_epochs());
+        max_abas = max_abas.max(node.retained_aba_count());
+        max_rbc = max_rbc.max(node.rbc_instance_count());
+    }
+
+    // The run completed: every node applied every epoch, holds the
+    // final-boundary certificate, and computes the same state hash.
+    let hash = nodes[0].state().state_hash();
+    for node in &nodes {
+        assert_eq!(node.committed_epochs(), epochs);
+        assert_eq!(node.state().applied_epoch(), epochs);
+        assert_eq!(node.state().state_hash(), hash, "state diverged at {}", node.id());
+        let (cert_epoch, cert_hash) = node.certificate().expect("final checkpoint certified");
+        assert_eq!(cert_epoch, epochs);
+        assert_eq!(cert_hash, hash);
+        assert_eq!(node.live_epochs(), 0, "wind-down must collect every epoch");
+    }
+    (max_slots, max_epochs, max_abas, max_rbc)
+}
+
+/// The state-machine tentpole memory property: checkpoint certification
+/// truncates the ordered log and collects per-epoch buffers, so over
+/// ≥ 4 checkpoint cycles the peak retained state is *flat* as the
+/// horizon doubles — nothing accretes per epoch beyond the window the
+/// checkpoint interval and pipeline depth define.
+#[test]
+fn checkpointed_smr_state_is_bounded_by_the_interval() {
+    let interval = 2u64;
+    let short = pump_smr(8, interval); // 4 checkpoint cycles
+    let long = pump_smr(16, interval); // 8 checkpoint cycles
+    println!("peak retained state: 8 epochs -> {short:?}, 16 epochs -> {long:?}");
+    assert_eq!(short, long, "retained state grew with the epoch horizon: a per-epoch leak");
+
+    // The peak itself is a small window, nowhere near the horizon:
+    // slots from the un-truncated epochs (≤ (interval + depth + 1)
+    // epochs × n batches × 2 txs), and the usual pipeline-bounded
+    // protocol state.
+    let (max_slots, max_epochs, max_abas, max_rbc) = long;
+    let n = 4usize;
+    let window = (interval as usize + 2 + 1) * n * 2;
+    assert!(max_slots <= window, "retained log slots {max_slots} exceed the window {window}");
+    let slack = 2 * 2 + 2;
+    assert!(max_epochs <= slack, "retained epochs {max_epochs} exceed 2·depth+2 = {slack}");
+    assert!(max_abas <= n * slack, "retained ABA state {max_abas} exceeds n·(2·depth+2)");
+    // RBC instances span the batch mux plus the checkpoint mux (one
+    // instance per node per in-window boundary).
+    assert!(max_rbc <= 2 * n * slack, "live RBC instances {max_rbc} exceed 2n·(2·depth+2)");
+}
+
 /// The coded-RBC memory property: per-epoch GC (`RbcMux::retain`) drops
 /// fragment buffers along with their instances — peak buffered fragment
 /// bytes stay flat as the epoch horizon doubles, and the coded engine

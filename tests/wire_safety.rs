@@ -9,6 +9,7 @@ use async_bft::ec::{self, EcError, Fragment, MAX_TOTAL_LEN};
 use async_bft::net::codec::MAX_WIRE_NODE_INDEX;
 use async_bft::net::{Codec, DecodeError, Reader, MAX_PAYLOAD};
 use async_bft::order::{decode_batch, encode_batch};
+use async_bft::smr::{KvOp, SmrMessage};
 use async_bft::types::NodeId;
 use proptest::prelude::*;
 
@@ -145,6 +146,48 @@ proptest! {
         let _ = from_bytes::<Vec<u8>>(&bytes);
         let _ = from_bytes::<String>(&bytes);
         let _ = decode_batch(&bytes);
+        let _ = from_bytes::<SmrMessage>(&bytes);
+        let _ = KvOp::decode(&bytes);
+    }
+
+    /// A hostile state-machine message discriminant is a typed
+    /// `Invalid` error, never a panic, whatever bytes follow it.
+    #[test]
+    fn hostile_smr_discriminant_is_invalid(
+        disc in 6u8..=u8::MAX,
+        tail in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut bytes = vec![disc];
+        bytes.extend_from_slice(&tail);
+        prop_assert!(matches!(
+            from_bytes::<SmrMessage>(&bytes),
+            Err(DecodeError::Invalid { what: "smr message discriminant", .. })
+        ));
+    }
+
+    /// Hostile length prefixes inside a `CkptInfo`/`ChunkReq` body (the
+    /// fixed-width state-transfer arms) and truncations of any SMR
+    /// message are typed errors; intact encodings round-trip.
+    #[test]
+    fn smr_message_truncation_is_typed(
+        epoch in 0u64..=u64::MAX,
+        hash in 0u64..=u64::MAX,
+        cut in 0usize..17,
+    ) {
+        let msg = SmrMessage::CkptInfo { epoch, hash };
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(from_bytes::<SmrMessage>(&bytes).as_ref(), Ok(&msg));
+        let cut = cut.min(bytes.len() - 1);
+        if cut > 0 {
+            prop_assert!(matches!(
+                from_bytes::<SmrMessage>(&bytes[..bytes.len() - cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+
+        let msg = SmrMessage::ChunkReq { epoch };
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(from_bytes::<SmrMessage>(&bytes), Ok(msg));
     }
 }
 
