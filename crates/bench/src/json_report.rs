@@ -250,6 +250,171 @@ pub fn net_loopback_section(runs: u64) -> JsonValue {
     ])
 }
 
+/// One gateway load point: a loopback TCP cluster under the reactor
+/// driver with an open-loop client load generator in front.
+#[derive(Clone, Copy)]
+struct GatewayPoint {
+    n: usize,
+    epochs: u64,
+    pipeline_depth: usize,
+    batch_max: usize,
+    clients: u64,
+    rate_tx_per_s: u64,
+    duration_ms: u64,
+    timeout_s: u64,
+}
+
+/// The gateway sweep by report mode. Epoch wall time grows as O(n⁴)
+/// messages per epoch (every ABA step message rides a full O(n²) RBC —
+/// see DESIGN.md "The n⁴ wall"), so the larger geometries run the
+/// minimal committing configuration: pipeline depth 1 and two epochs,
+/// of which the first is proposed empty before clients connect and the
+/// second carries the client payload.
+fn gateway_points(mode_label: &str) -> Vec<GatewayPoint> {
+    let base = GatewayPoint {
+        n: 16,
+        epochs: 4,
+        pipeline_depth: 2,
+        batch_max: 8,
+        clients: 64,
+        rate_tx_per_s: 2_000,
+        duration_ms: 10_000,
+        timeout_s: 300,
+    };
+    if mode_label == "smoke" {
+        // One small point that a cold CI runner finishes in seconds.
+        return vec![GatewayPoint { epochs: 3, duration_ms: 3_000, timeout_s: 120, ..base }];
+    }
+    vec![
+        base,
+        GatewayPoint {
+            n: 32,
+            epochs: 2,
+            pipeline_depth: 1,
+            batch_max: 4,
+            clients: 128,
+            duration_ms: 20_000,
+            timeout_s: 900,
+            ..base
+        },
+        GatewayPoint {
+            n: 64,
+            epochs: 2,
+            pipeline_depth: 1,
+            batch_max: 4,
+            clients: 256,
+            duration_ms: 30_000,
+            timeout_s: 3_600,
+            ..base
+        },
+    ]
+}
+
+/// Client-gateway saturation throughput and submit→commit latency over
+/// real loopback TCP under the reactor driver: an open-loop generator
+/// submits from hundreds of simulated clients against every node's
+/// gateway listener, and each row reports how many submissions came back
+/// committed, at what latency, and with how many OS threads. Wall-clock
+/// — excluded from the determinism guarantee, like `net_loopback`.
+pub fn gateway_section(mode_label: &str) -> JsonValue {
+    use async_bft::net::LoadGenConfig;
+    use async_bft::order::OrderOptions;
+    use async_bft::{run_gateway_load, GatewayLoadOptions};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let rows: Vec<JsonValue> = gateway_points(mode_label)
+        .into_iter()
+        .map(|p| {
+            let opts = GatewayLoadOptions {
+                n: p.n,
+                seed: 7,
+                order: OrderOptions {
+                    batch_max: p.batch_max,
+                    pipeline_depth: p.pipeline_depth,
+                    epochs: p.epochs,
+                    ..OrderOptions::default()
+                },
+                load: LoadGenConfig {
+                    clients: p.clients,
+                    rate_tx_per_s: p.rate_tx_per_s,
+                    tx_bytes: 32,
+                    duration_ms: p.duration_ms,
+                    drain_ms: 2_000,
+                    ..LoadGenConfig::default()
+                },
+                timeout: Duration::from_secs(p.timeout_s),
+            };
+
+            // Sample the process's peak thread count while the cluster
+            // is up: the reactor acceptance figure (< 8 threads per
+            // node) lands in the artifact instead of only in test logs.
+            let stop = Arc::new(AtomicBool::new(false));
+            let peak = Arc::new(AtomicU64::new(0));
+            let sampler = {
+                let (stop, peak) = (stop.clone(), peak.clone());
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(t) = current_thread_count() {
+                            peak.fetch_max(t, Ordering::Relaxed);
+                        }
+                        std::thread::sleep(Duration::from_millis(200));
+                    }
+                })
+            };
+            let out = run_gateway_load(&opts, Obs::disabled()).expect("gateway bench setup");
+            stop.store(true, Ordering::Relaxed);
+            let _ = sampler.join();
+
+            let elapsed_s = out.report.elapsed.as_secs_f64().max(1e-9);
+            let peak_threads = peak.load(Ordering::Relaxed);
+            JsonValue::Obj(vec![
+                ("n".into(), JsonValue::U64(p.n as u64)),
+                ("epochs".into(), JsonValue::U64(p.epochs)),
+                ("pipeline_depth".into(), JsonValue::U64(p.pipeline_depth as u64)),
+                ("batch_max".into(), JsonValue::U64(p.batch_max as u64)),
+                ("clients".into(), JsonValue::U64(p.clients)),
+                ("offered_tx_per_s".into(), JsonValue::U64(p.rate_tx_per_s)),
+                ("submitted".into(), JsonValue::U64(out.load.submitted)),
+                ("committed".into(), JsonValue::U64(out.load.committed)),
+                ("backpressure_nacks".into(), JsonValue::U64(out.load.nacked)),
+                ("ordered_txs".into(), JsonValue::U64(out.ordered_txs.unwrap_or(0) as u64)),
+                ("anomalies".into(), JsonValue::U64(out.anomalies())),
+                ("elapsed_ms".into(), JsonValue::U64(out.report.elapsed.as_millis() as u64)),
+                (
+                    "saturation_committed_tx_per_s".into(),
+                    JsonValue::F64(out.load.committed as f64 / elapsed_s),
+                ),
+                (
+                    "submit_commit_latency_us".into(),
+                    JsonValue::Obj(vec![
+                        ("p50".into(), JsonValue::U64(out.load.p50_us)),
+                        ("p99".into(), JsonValue::U64(out.load.p99_us)),
+                    ]),
+                ),
+                ("peak_process_threads".into(), JsonValue::U64(peak_threads)),
+                ("threads_per_node".into(), JsonValue::F64(peak_threads as f64 / p.n as f64)),
+            ])
+        })
+        .collect();
+
+    JsonValue::Obj(vec![
+        ("protocol".into(), JsonValue::str("bracha-acs-order")),
+        ("transport".into(), JsonValue::str("tcp-loopback-reactor")),
+        ("generator".into(), JsonValue::str("open-loop")),
+        ("points".into(), JsonValue::Arr(rows)),
+    ])
+}
+
+/// Current thread count of this process (Linux `/proc`); `None` where
+/// the proc filesystem is unavailable.
+fn current_thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("Threads:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// The fixed batch cap of the throughput section's workloads.
 const THROUGHPUT_BATCH_MAX: usize = 4;
 
@@ -639,6 +804,7 @@ pub fn report_for(configs: &[BenchConfig], mode_label: &str, jobs: usize) -> Jso
         ("configs".into(), JsonValue::Arr(fragments)),
         ("microbench".into(), microbench_section()),
         ("net_loopback".into(), net_loopback_section(3)),
+        ("gateway".into(), gateway_section(mode_label)),
         ("throughput".into(), throughput_section(throughput_epochs(mode_label))),
         ("rbc_bytes".into(), rbc_bytes_section()),
         ("tracing".into(), tracing_section(throughput_epochs(mode_label))),
@@ -658,7 +824,11 @@ mod tests {
 
     #[test]
     fn report_contains_both_headline_configs() {
-        let report = bracha_report(Mode::Quick, 2);
+        // The headline configs at smoke-sized wall-clock sections: the
+        // quick/full gateway sweep climbs to n=64 (minutes per point in
+        // release, far worse in a debug test binary), so the shape check
+        // runs the same assembly path with the small smoke points.
+        let report = report_for(&headline_configs(Mode::Quick), "smoke", 2);
         let rendered = report.to_string();
         assert!(rendered.contains("\"suite\":\"bracha\""));
         assert!(rendered.contains("\"n\":4"));
@@ -670,6 +840,8 @@ mod tests {
         assert!(rendered.contains("\"microbench\""));
         assert!(rendered.contains("\"net_loopback\""));
         assert!(rendered.contains("\"transport\":\"tcp-loopback\""));
+        assert!(rendered.contains("\"transport\":\"tcp-loopback-reactor\""));
+        assert!(rendered.contains("\"saturation_committed_tx_per_s\""));
     }
 
     #[test]

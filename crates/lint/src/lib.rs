@@ -50,6 +50,7 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "order",
     "smr",
     "obs",
+    "shim-poll",
 ];
 
 /// Crates holding pure protocol state machines: these must be RNG-free

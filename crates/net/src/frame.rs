@@ -6,7 +6,8 @@
 //! offset  size  field
 //! 0       2     magic     0xAB84 ("Asynchronous Byzantine, 1984")
 //! 2       1     version   codec version, currently 2 (1 still decoded)
-//! 3       1     kind      1=Hello 2=Challenge 3=Auth 4=Msg
+//! 3       1     kind      1=Hello 2=Challenge 3=Auth 4=Msg 5=Ack
+//!                         6=Submit 7=SubmitOk 8=SubmitNack
 //! 4       8     seq       per-link sequence number (0 for handshake)
 //! 12      4     len       body length in bytes
 //! 16      8     trace     causal-trace hint (version ≥ 2 only; 0 = untraced)
@@ -64,6 +65,17 @@ pub enum FrameKind {
     /// the same connection: `seq` is the highest contiguously processed
     /// frame, and lets the sender trim its replay log.
     Ack,
+    /// Gateway: a client submits a transaction. `seq` is the client's own
+    /// per-client sequence number (starting at 1); the body is the
+    /// gateway submit payload (client id + transaction bytes).
+    Submit,
+    /// Gateway: the submitted transaction **committed** in the total
+    /// order. `seq` echoes the client sequence number being acked.
+    SubmitOk,
+    /// Gateway: the submission was rejected (backpressure, sequence gap,
+    /// oversize); the body carries a typed reason. `seq` echoes the
+    /// client sequence number being nacked.
+    SubmitNack,
 }
 
 impl FrameKind {
@@ -75,6 +87,9 @@ impl FrameKind {
             FrameKind::Auth => 3,
             FrameKind::Msg => 4,
             FrameKind::Ack => 5,
+            FrameKind::Submit => 6,
+            FrameKind::SubmitOk => 7,
+            FrameKind::SubmitNack => 8,
         }
     }
 
@@ -86,6 +101,9 @@ impl FrameKind {
             3 => Ok(FrameKind::Auth),
             4 => Ok(FrameKind::Msg),
             5 => Ok(FrameKind::Ack),
+            6 => Ok(FrameKind::Submit),
+            7 => Ok(FrameKind::SubmitOk),
+            8 => Ok(FrameKind::SubmitNack),
             other => Err(DecodeError::BadKind(other)),
         }
     }
@@ -305,6 +323,50 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&bytes)
 }
 
+/// Attempts to decode one frame from the **front** of an accumulation
+/// buffer, without blocking.
+///
+/// This is the reactor driver's entry point: nonblocking reads append
+/// raw bytes to a per-connection buffer, and this peels complete frames
+/// off the front.
+///
+/// * `Ok(Some((frame, consumed)))` — a complete frame; the caller must
+///   drain `consumed` bytes from the front of the buffer.
+/// * `Ok(None)` — the buffer holds only a frame prefix; read more.
+/// * `Err(..)` — the stream is corrupt (bad magic/version/kind, oversize
+///   length, checksum mismatch); the caller should drop the connection.
+///
+/// Header validation runs as soon as `HEADER_LEN` bytes are present, so
+/// a corrupt or oversize header is rejected before any body buffering.
+pub fn decode_prefix(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let header = {
+        let mut hr = Reader::new(&buf[..HEADER_LEN]);
+        parse_header(&mut hr)?
+    };
+    // `len` is capped at MAX_PAYLOAD + TRACE_HINT_LEN by parse_header,
+    // so this sum is far from usize overflow.
+    let total = HEADER_LEN + header.len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let trailer_at = HEADER_LEN + header.len as usize;
+    let mut trailer = [0u8; TRAILER_LEN];
+    trailer.copy_from_slice(&buf[trailer_at..total]);
+    let got = u64::from_le_bytes(trailer);
+    let mut h = Fnv64::new();
+    h.write(&buf[..trailer_at]);
+    let expected = h.finish();
+    if expected != got {
+        return Err(DecodeError::Checksum { expected, got });
+    }
+    let body = buf[HEADER_LEN..trailer_at].to_vec();
+    let (trace, payload) = split_body(header.version, body);
+    Ok(Some((Frame { kind: header.kind, seq: header.seq, trace, payload }, total)))
+}
+
 /// Reads one frame from the stream, blocking until it is complete.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let mut header_bytes = [0u8; HEADER_LEN];
@@ -441,6 +503,59 @@ mod tests {
         let over = MAX_PAYLOAD + TRACE_HINT_LEN as u32 + 1;
         bytes[12..16].copy_from_slice(&over.to_le_bytes());
         assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Oversize(_))));
+    }
+
+    #[test]
+    fn prefix_decode_peels_frames_incrementally() {
+        let a = Frame::new(FrameKind::Msg, 1, vec![1, 2, 3]);
+        let b = Frame::traced(FrameKind::Submit, 2, 0xAB, vec![4; 40]);
+        let mut stream = a.encode().unwrap_or_default();
+        stream.extend_from_slice(&b.encode().unwrap_or_default());
+
+        // Byte-by-byte arrival: no prefix shorter than the first frame
+        // decodes, and nothing errors.
+        let first_len = FRAME_OVERHEAD + 3;
+        for cut in 0..first_len {
+            assert_eq!(decode_prefix(&stream[..cut]), Ok(None), "cut={cut}");
+        }
+        let (got_a, used_a) = decode_prefix(&stream[..first_len])
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| panic!("first frame must decode"));
+        assert_eq!(got_a, a);
+        assert_eq!(used_a, first_len);
+
+        // The second frame decodes off the remaining buffer.
+        let rest = &stream[used_a..];
+        let (got_b, used_b) = decode_prefix(rest)
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| panic!("second frame must decode"));
+        assert_eq!(got_b, b);
+        assert_eq!(used_b, rest.len());
+    }
+
+    #[test]
+    fn prefix_decode_rejects_corruption_eagerly() {
+        let mut bytes = Frame::new(FrameKind::Msg, 1, vec![9; 8]).encode().unwrap_or_default();
+        // A bad header fails as soon as the header is buffered, before
+        // the body arrives.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = 0;
+        assert!(matches!(decode_prefix(&bad_magic[..HEADER_LEN]), Err(DecodeError::BadMagic(_))));
+        // A flipped body byte fails the checksum once complete.
+        bytes[20] ^= 0xff;
+        assert!(matches!(decode_prefix(&bytes), Err(DecodeError::Checksum { .. })));
+    }
+
+    #[test]
+    fn gateway_kinds_round_trip() {
+        for kind in [FrameKind::Submit, FrameKind::SubmitOk, FrameKind::SubmitNack] {
+            let f = Frame::new(kind, 42, vec![1, 2]);
+            let bytes = f.encode().unwrap_or_default();
+            assert_eq!(Frame::decode(&bytes), Ok(f));
+            assert_eq!(FrameKind::from_wire_byte(kind.wire_byte()), Ok(kind));
+        }
     }
 
     #[test]

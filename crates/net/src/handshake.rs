@@ -60,7 +60,7 @@ impl Default for Secret {
 /// needs (see module docs).
 static NONCE: AtomicU64 = AtomicU64::new(1);
 
-fn next_nonce() -> u64 {
+pub(crate) fn next_nonce() -> u64 {
     // Spread the counter so consecutive nonces don't share prefixes.
     let n = NONCE.fetch_add(1, Ordering::Relaxed);
     n.wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -122,9 +122,101 @@ impl From<DecodeError> for HandshakeError {
     }
 }
 
-fn expect_kind(frame: &Frame, kind: FrameKind) -> Result<(), HandshakeError> {
+pub(crate) fn expect_kind(frame: &Frame, kind: FrameKind) -> Result<(), HandshakeError> {
     if frame.kind != kind {
         return Err(HandshakeError::UnexpectedKind(frame.kind));
+    }
+    Ok(())
+}
+
+// ---- pure handshake steps -------------------------------------------------
+//
+// The blocking entry points below and the reactor driver's nonblocking
+// handshake state machine share these payload builders/parsers, so both
+// paths speak byte-identical handshakes by construction.
+
+/// Builds the Hello body: `me ‖ nonce_me`.
+pub(crate) fn hello_payload(me: NodeId, nonce_me: u64) -> Vec<u8> {
+    let mut hello = Vec::new();
+    me.encode(&mut hello);
+    crate::codec::put_u64(&mut hello, nonce_me);
+    hello
+}
+
+/// Parses a Hello body into `(peer, nonce_peer)`, enforcing cluster
+/// membership for an accepter at node `me` in an `n`-node cluster.
+pub(crate) fn parse_hello(
+    payload: &[u8],
+    me: NodeId,
+    n: usize,
+) -> Result<(NodeId, u64), HandshakeError> {
+    let mut r = Reader::new(payload);
+    let peer = NodeId::decode(&mut r)?;
+    let nonce = r.u64()?;
+    r.finish()?;
+    if peer.index() >= n || peer == me {
+        return Err(HandshakeError::BadPeer(peer.index() as u32));
+    }
+    Ok((peer, nonce))
+}
+
+/// Builds the Challenge body: `me ‖ nonce_me ‖ tag(K, "s->c", nonce_peer, me)`.
+pub(crate) fn challenge_payload(
+    secret: Secret,
+    me: NodeId,
+    nonce_me: u64,
+    nonce_peer: u64,
+) -> Vec<u8> {
+    let mut challenge = Vec::new();
+    me.encode(&mut challenge);
+    crate::codec::put_u64(&mut challenge, nonce_me);
+    crate::codec::put_u64(&mut challenge, tag(secret, DIR_ACCEPTER, nonce_peer, me));
+    challenge
+}
+
+/// Parses and verifies a Challenge body for a dialer that sent
+/// `nonce_me` and expects to be talking to `expect`; returns the
+/// accepter's nonce.
+pub(crate) fn parse_challenge(
+    payload: &[u8],
+    secret: Secret,
+    expect: NodeId,
+    nonce_me: u64,
+) -> Result<u64, HandshakeError> {
+    let mut r = Reader::new(payload);
+    let peer = NodeId::decode(&mut r)?;
+    let nonce_peer = r.u64()?;
+    let tag_peer = r.u64()?;
+    r.finish()?;
+    if peer != expect {
+        return Err(HandshakeError::BadPeer(peer.index() as u32));
+    }
+    if tag_peer != tag(secret, DIR_ACCEPTER, nonce_me, peer) {
+        return Err(HandshakeError::BadTag);
+    }
+    Ok(nonce_peer)
+}
+
+/// Builds the Auth body: `tag(K, "c->s", nonce_peer, me)`.
+pub(crate) fn auth_payload(secret: Secret, nonce_peer: u64, me: NodeId) -> Vec<u8> {
+    let mut auth = Vec::new();
+    crate::codec::put_u64(&mut auth, tag(secret, DIR_DIALER, nonce_peer, me));
+    auth
+}
+
+/// Parses and verifies an Auth body for an accepter that sent `nonce_me`
+/// to a dialer claiming to be `peer`.
+pub(crate) fn parse_auth(
+    payload: &[u8],
+    secret: Secret,
+    peer: NodeId,
+    nonce_me: u64,
+) -> Result<(), HandshakeError> {
+    let mut r = Reader::new(payload);
+    let tag_peer = r.u64()?;
+    r.finish()?;
+    if tag_peer != tag(secret, DIR_DIALER, nonce_me, peer) {
+        return Err(HandshakeError::BadTag);
     }
     Ok(())
 }
@@ -138,30 +230,14 @@ pub fn dial_handshake(
     secret: Secret,
 ) -> Result<(), HandshakeError> {
     let nonce_me = next_nonce();
-    let mut hello = Vec::new();
-    me.encode(&mut hello);
-    crate::codec::put_u64(&mut hello, nonce_me);
+    let hello = hello_payload(me, nonce_me);
     write_frame(stream, &Frame::new(FrameKind::Hello, 0, hello)).map_err(FrameError::Io)?;
 
     let challenge = read_frame(stream)?;
     expect_kind(&challenge, FrameKind::Challenge)?;
-    let (peer, nonce_peer, tag_peer) = {
-        let mut r = Reader::new(&challenge.payload);
-        let peer = NodeId::decode(&mut r)?;
-        let nonce = r.u64()?;
-        let t = r.u64()?;
-        r.finish()?;
-        (peer, nonce, t)
-    };
-    if peer != expect {
-        return Err(HandshakeError::BadPeer(peer.index() as u32));
-    }
-    if tag_peer != tag(secret, DIR_ACCEPTER, nonce_me, peer) {
-        return Err(HandshakeError::BadTag);
-    }
+    let nonce_peer = parse_challenge(&challenge.payload, secret, expect, nonce_me)?;
 
-    let mut auth = Vec::new();
-    crate::codec::put_u64(&mut auth, tag(secret, DIR_DIALER, nonce_peer, me));
+    let auth = auth_payload(secret, nonce_peer, me);
     write_frame(stream, &Frame::new(FrameKind::Auth, 0, auth)).map_err(FrameError::Io)?;
     Ok(())
 }
@@ -176,35 +252,15 @@ pub fn accept_handshake(
 ) -> Result<NodeId, HandshakeError> {
     let hello = read_frame(stream)?;
     expect_kind(&hello, FrameKind::Hello)?;
-    let (peer, nonce_peer) = {
-        let mut r = Reader::new(&hello.payload);
-        let peer = NodeId::decode(&mut r)?;
-        let nonce = r.u64()?;
-        r.finish()?;
-        (peer, nonce)
-    };
-    if peer.index() >= n || peer == me {
-        return Err(HandshakeError::BadPeer(peer.index() as u32));
-    }
+    let (peer, nonce_peer) = parse_hello(&hello.payload, me, n)?;
 
     let nonce_me = next_nonce();
-    let mut challenge = Vec::new();
-    me.encode(&mut challenge);
-    crate::codec::put_u64(&mut challenge, nonce_me);
-    crate::codec::put_u64(&mut challenge, tag(secret, DIR_ACCEPTER, nonce_peer, me));
+    let challenge = challenge_payload(secret, me, nonce_me, nonce_peer);
     write_frame(stream, &Frame::new(FrameKind::Challenge, 0, challenge)).map_err(FrameError::Io)?;
 
     let auth = read_frame(stream)?;
     expect_kind(&auth, FrameKind::Auth)?;
-    let tag_peer = {
-        let mut r = Reader::new(&auth.payload);
-        let t = r.u64()?;
-        r.finish()?;
-        t
-    };
-    if tag_peer != tag(secret, DIR_DIALER, nonce_me, peer) {
-        return Err(HandshakeError::BadTag);
-    }
+    parse_auth(&auth.payload, secret, peer, nonce_me)?;
     Ok(peer)
 }
 

@@ -24,7 +24,14 @@
 //! * [`runtime`] — [`NetRuntime`], mirroring `bft_runtime::Runtime`'s
 //!   builder API: full-mesh peer manager, reconnect with capped
 //!   exponential backoff, cross-connection replay/dedup, and the same
-//!   `RuntimeReport` output.
+//!   `RuntimeReport` output. The thread-per-link engine lives here.
+//! * [`reactor`] — the default I/O engine behind [`NetRuntime`]: one
+//!   nonblocking `poll(2)` loop per node drives every socket the node
+//!   touches, so the per-node thread count is a small constant instead
+//!   of growing with the cluster (select with [`NetDriver`]).
+//! * [`gateway`] — the client-facing submit/ack protocol served by the
+//!   reactor (typed backpressure NACKs, per-client sequencing) plus an
+//!   open-loop load generator for driving a cluster externally.
 //!
 //! # Example
 //!
@@ -57,8 +64,10 @@ pub mod chaos;
 mod clock;
 pub mod codec;
 pub mod frame;
+pub mod gateway;
 pub mod handshake;
 mod hash;
+pub mod reactor;
 pub mod runtime;
 
 pub use chaos::{ChaosConfig, LinkChaos, LinkOutage};
@@ -67,6 +76,11 @@ pub use frame::{
     encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind, PayloadTooLarge,
     FRAME_OVERHEAD, HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN, VERSION,
 };
+pub use gateway::{
+    run_load, ClientSubmit, GatewayNotice, GatewayPipe, LoadGenConfig, LoadGenReport, NackReason,
+};
 pub use handshake::{accept_handshake, dial_handshake, HandshakeError, Secret};
 pub use hash::fnv1a64;
-pub use runtime::{BackoffPolicy, ListenerBounce, NetRuntime, RestartFactory};
+pub use runtime::{
+    BackoffPolicy, ListenerBounce, NetDriver, NetRuntime, RestartFactory, SetupError,
+};

@@ -41,40 +41,131 @@ use crate::chaos::{ChaosConfig, LinkChaos, XorShift};
 use crate::clock::{sleep_ms, Clock};
 use crate::codec::Codec;
 use crate::frame::{encode_frame, read_frame, FrameError, FrameKind, FRAME_OVERHEAD};
+use crate::gateway::GatewayPipe;
 use crate::handshake::{accept_handshake, dial_handshake, Secret};
+use crate::reactor::ReactorWaker;
 use bft_obs::{Event as ObsEvent, Obs};
 use bft_runtime::{BoxedProcess, RuntimeReport};
 use bft_types::{Effect, Envelope, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Locks a std mutex, riding through poisoning (a panicked peer thread
-/// must not cascade; the supervisor still needs the outputs).
-fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+/// must not cascade; the supervisor still needs the outputs). Riding
+/// through must not *mask* the panic, though: every runtime thread runs
+/// under [`supervised`], so the crash is recorded in the [`PanicLedger`]
+/// and surfaces as `RuntimeReport::poisoned` plus a `PoisonDetected`
+/// event.
+pub(crate) fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Records which runtime thread panicked first, so a poisoned run is
+/// reported instead of silently ridden through. Clones share one ledger.
+#[derive(Clone, Default)]
+pub(crate) struct PanicLedger(Arc<LedgerInner>);
+
+#[derive(Default)]
+struct LedgerInner {
+    hit: AtomicBool,
+    context: Mutex<Option<&'static str>>,
+}
+
+impl PanicLedger {
+    /// Marks the ledger poisoned; the first recorded context wins.
+    fn record(&self, context: &'static str) {
+        self.0.hit.store(true, Ordering::Relaxed);
+        let mut slot = locked(&self.0.context);
+        if slot.is_none() {
+            *slot = Some(context);
+        }
+    }
+
+    /// Emits `PoisonDetected` if any supervised thread panicked and
+    /// returns whether one did. The emission itself is panic-proofed:
+    /// when the *observer sink* is what panicked, reporting through it
+    /// again must not take the supervisor down too.
+    pub(crate) fn finish(&self, obs: &Obs) -> bool {
+        if !self.0.hit.load(Ordering::Relaxed) {
+            return false;
+        }
+        let context = locked(&self.0.context).unwrap_or("thread");
+        let obs = obs.clone();
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            obs.emit(NodeId::new(0), || ObsEvent::PoisonDetected { context });
+        }));
+        true
+    }
+}
+
+/// Runs a runtime thread's body under `catch_unwind`, recording a panic
+/// in the ledger instead of letting it tear silently through the scope.
+pub(crate) fn supervised<F: FnOnce()>(ledger: &PanicLedger, context: &'static str, f: F) {
+    if std::panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
+        ledger.record(context);
+    }
+}
+
+/// Sleeps in short slices until `wake_at_ms` on the runtime clock,
+/// returning early (with `false`) the moment the shutdown flag flips —
+/// chaos delays and retransmission timeouts must never stall teardown.
+pub(crate) fn wait_until(clock: Clock, shutdown: &AtomicBool, wake_at_ms: u64) -> bool {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        let now = clock.now_ms();
+        if now >= wake_at_ms {
+            return true;
+        }
+        sleep_ms((wake_at_ms - now).clamp(1, 2));
+    }
+}
+
 /// Control messages on a node's actor inbox.
-enum Ctrl<M> {
+pub(crate) enum Ctrl<M> {
+    /// Deliver one authenticated protocol message.
     Deliver(Envelope<M>),
+    /// Out-of-band input is queued (gateway intake): run `on_tick`.
+    Tick,
+    /// Tear the actor down.
     Stop,
 }
 
 /// An encoded frame body (shared between the links of one broadcast)
 /// plus the causal-trace hint stamped into its frame header.
-type FrameBody = (Arc<Vec<u8>>, u64);
+pub(crate) type FrameBody = (Arc<Vec<u8>>, u64);
+
+/// A node's outbound fan-out: one frame queue per directed link, plus —
+/// under the reactor driver — the waker that nudges the poll loop after
+/// frames are enqueued (the thread driver's writers block on the queues
+/// themselves and need no wakeup).
+pub(crate) struct LinkFanout {
+    /// `txs[i]` feeds the link to node `i`; `None` on the self slot.
+    pub(crate) txs: Vec<Option<Sender<FrameBody>>>,
+    /// The owning node's reactor waker, if one is attached.
+    pub(crate) waker: Option<ReactorWaker>,
+}
+
+impl LinkFanout {
+    /// Fan-out for the thread driver (no wakeups needed).
+    fn local(txs: Vec<Option<Sender<FrameBody>>>) -> Self {
+        LinkFanout { txs, waker: None }
+    }
+}
 
 /// One directed link's writer input: `(from, to, queue of frame bodies)`.
 type WriterSpec = (usize, usize, Receiver<FrameBody>);
 
 /// The paired send/receive halves of every node's actor inbox.
-type InboxChannels<M> = (Vec<Sender<Ctrl<M>>>, Vec<Receiver<Ctrl<M>>>);
+pub(crate) type InboxChannels<M> = (Vec<Sender<Ctrl<M>>>, Vec<Receiver<Ctrl<M>>>);
 
 /// Builds the replacement process for a scheduled node restart.
 pub type RestartFactory<M, O> = Box<dyn FnOnce() -> BoxedProcess<M, O> + Send>;
@@ -85,11 +176,11 @@ pub type RestartFactory<M, O> = Box<dyn FnOnce() -> BoxedProcess<M, O> + Send>;
 /// without severing the whole cluster); at `restart_at_ms` the factory
 /// builds a replacement that starts from scratch and must recover
 /// through the protocol itself.
-struct RestartSpec<M, O> {
-    node: NodeId,
-    crash_at_ms: u64,
-    restart_at_ms: u64,
-    factory: RestartFactory<M, O>,
+pub(crate) struct RestartSpec<M, O> {
+    pub(crate) node: NodeId,
+    pub(crate) crash_at_ms: u64,
+    pub(crate) restart_at_ms: u64,
+    pub(crate) factory: RestartFactory<M, O>,
 }
 
 /// Capped exponential backoff with deterministic jitter for redials.
@@ -111,7 +202,7 @@ impl Default for BackoffPolicy {
 
 impl BackoffPolicy {
     /// The delay before redial `attempt` (1-based).
-    fn delay_ms(&self, attempt: u64, rng: &mut XorShift) -> u64 {
+    pub(crate) fn delay_ms(&self, attempt: u64, rng: &mut XorShift) -> u64 {
         let shift = attempt.saturating_sub(1).min(16) as u32;
         let exp = self.base_ms.saturating_mul(1u64 << shift).min(self.cap_ms.max(1));
         let jitter = if self.jitter_ms > 0 { rng.below(self.jitter_ms + 1) } else { 0 };
@@ -131,6 +222,78 @@ pub struct ListenerBounce {
     pub at_ms: u64,
     /// How long it stays down, in milliseconds.
     pub down_ms: u64,
+}
+
+/// Which I/O engine drives the TCP cluster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NetDriver {
+    /// The original thread-per-link engine: one blocking reader and one
+    /// blocking writer thread per *directed link* (`2n(n-1)` threads for
+    /// `n` nodes), plus one listener and one actor thread per node.
+    /// Simple, but the thread count grows quadratically with the
+    /// cluster size.
+    Threads,
+    /// The event-driven engine ([`crate::reactor`]): one `poll(2)` loop
+    /// per node owning every socket the node touches, so the thread
+    /// count per node is a small constant regardless of `n`. The only
+    /// engine that serves client gateways.
+    #[default]
+    Reactor,
+}
+
+/// A socket-setup failure surfaced by [`NetRuntime::try_run`] before any
+/// cluster thread starts. The runtime holds no protocol state at this
+/// point, so callers can retry, rebind elsewhere, or skip.
+#[derive(Debug)]
+pub enum SetupError {
+    /// A node's peer listener could not bind its configured address
+    /// (e.g. the port is already claimed by another socket).
+    Bind {
+        /// The node whose listener failed to bind.
+        node: usize,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+    /// A freshly bound listener did not report a local address.
+    LocalAddr {
+        /// The node whose listener failed.
+        node: usize,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+    /// A node's client-gateway listener could not be set up.
+    GatewayBind {
+        /// The node whose gateway listener failed.
+        node: usize,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupError::Bind { node, source } => {
+                write!(f, "node {node}: cannot bind peer listener: {source}")
+            }
+            SetupError::LocalAddr { node, source } => {
+                write!(f, "node {node}: bound listener has no local address: {source}")
+            }
+            SetupError::GatewayBind { node, source } => {
+                write!(f, "node {node}: cannot bind gateway listener: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SetupError::Bind { source, .. }
+            | SetupError::LocalAddr { source, .. }
+            | SetupError::GatewayBind { source, .. } => Some(source),
+        }
+    }
 }
 
 /// Registered socket clones for a shutdown domain; severing them
@@ -162,15 +325,18 @@ impl StreamRegistry {
 /// produced an output (or the timeout fires) and then tears the cluster
 /// down.
 pub struct NetRuntime<M, O> {
-    n: usize,
-    procs: Vec<Option<(BoxedProcess<M, O>, bool)>>,
-    timeout: Duration,
-    obs: Obs,
-    secret: Secret,
-    chaos: ChaosConfig,
-    backoff: BackoffPolicy,
-    bounces: Vec<ListenerBounce>,
-    restarts: Vec<RestartSpec<M, O>>,
+    pub(crate) n: usize,
+    pub(crate) procs: Vec<Option<(BoxedProcess<M, O>, bool)>>,
+    pub(crate) timeout: Duration,
+    pub(crate) obs: Obs,
+    pub(crate) secret: Secret,
+    pub(crate) chaos: ChaosConfig,
+    pub(crate) backoff: BackoffPolicy,
+    pub(crate) bounces: Vec<ListenerBounce>,
+    pub(crate) restarts: Vec<RestartSpec<M, O>>,
+    driver: NetDriver,
+    bind_addr: SocketAddr,
+    gateways: Vec<Option<GatewayPipe>>,
 }
 
 impl<M, O> fmt::Debug for NetRuntime<M, O> {
@@ -202,7 +368,43 @@ where
             backoff: BackoffPolicy::default(),
             bounces: Vec::new(),
             restarts: Vec::new(),
+            driver: NetDriver::default(),
+            bind_addr: SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0),
+            gateways: (0..n).map(|_| None).collect(),
         }
+    }
+
+    /// Selects the I/O engine (default: [`NetDriver::Reactor`]).
+    pub fn driver(mut self, driver: NetDriver) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// Sets the address every node's peer listener binds (default
+    /// `127.0.0.1:0`, i.e. a fresh ephemeral port per node). Mostly a
+    /// test seam: pointing all nodes at one concrete port makes bind
+    /// failures (an already-claimed port) observable via
+    /// [`NetRuntime::try_run`].
+    pub fn bind_addr(mut self, addr: SocketAddr) -> Self {
+        self.bind_addr = addr;
+        self
+    }
+
+    /// Attaches a client gateway to `node`: the reactor driver binds a
+    /// gateway listener for it and serves the framed submit/ack protocol
+    /// over the pipe (see [`crate::gateway`]). The bound address is
+    /// published via [`GatewayPipe::addr`] once [`NetRuntime::try_run`]
+    /// has set the cluster up. Ignored by [`NetDriver::Threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn gateway(mut self, node: NodeId, pipe: GatewayPipe) -> Self {
+        assert!(node.index() < self.n, "node {node} out of range");
+        if let Some(slot) = self.gateways.get_mut(node.index()) {
+            *slot = Some(pipe);
+        }
+        self
     }
 
     /// Attaches an observer; the runtime emits transport events through
@@ -296,31 +498,82 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if some node slot was never populated or a loopback
-    /// listener cannot be bound.
-    pub fn run(mut self) -> RuntimeReport<O> {
+    /// Panics if some node slot was never populated or socket setup
+    /// fails ([`NetRuntime::try_run`] is the non-panicking form).
+    pub fn run(self) -> RuntimeReport<O> {
+        match self.try_run() {
+            Ok(report) => report,
+            // lint: allow(panic) — convenience wrapper: callers that want to handle socket setup failures use try_run
+            Err(err) => panic!("net runtime setup failed: {err}"),
+        }
+    }
+
+    /// Binds every socket the run needs, then drives the cluster to
+    /// completion under the configured [`NetDriver`].
+    ///
+    /// Socket setup failures (a listener that cannot bind because its
+    /// port is already claimed, a gateway listener without a local
+    /// address, …) surface as a typed [`SetupError`] instead of a panic,
+    /// so embedding callers (benches, long-lived harnesses) can retry or
+    /// report. No cluster thread has started when an error is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node slot was never populated — a programming
+    /// error, unlike an environment failure.
+    pub fn try_run(mut self) -> Result<RuntimeReport<O>, SetupError> {
         for (i, p) in self.procs.iter().enumerate() {
             assert!(p.is_some(), "node slot {i} was never populated");
         }
         let n = self.n;
-        let clock = Clock::new();
-        let obs = self.obs.clone();
-        let secret = self.secret;
-        let backoff = self.backoff;
 
         // Bind every listener before any thread starts, so the address
         // table is complete when the first dialer consults it.
         let mut bound = Vec::with_capacity(n);
         let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
-        for _ in 0..n {
-            // lint: allow(panic) — host setup: failing to bind a loopback listener is unrecoverable and happens before any protocol state exists
-            let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
-            // lint: allow(panic) — a freshly bound listener always has a local address
-            let addr = listener.local_addr().expect("listener local address");
+        for node in 0..n {
+            let listener = TcpListener::bind(self.bind_addr)
+                .map_err(|source| SetupError::Bind { node, source })?;
+            let addr =
+                listener.local_addr().map_err(|source| SetupError::LocalAddr { node, source })?;
             let _ = listener.set_nonblocking(true);
             bound.push(listener);
             addrs.push(addr);
         }
+
+        match self.driver {
+            NetDriver::Threads => Ok(self.run_threads(bound, addrs)),
+            NetDriver::Reactor => {
+                let gateway_bind = SocketAddr::new(self.bind_addr.ip(), 0);
+                let pipes = std::mem::take(&mut self.gateways);
+                let mut fronts = Vec::with_capacity(n);
+                for (node, pipe) in pipes.into_iter().enumerate() {
+                    match pipe {
+                        Some(pipe) => {
+                            let listener = TcpListener::bind(gateway_bind)
+                                .map_err(|source| SetupError::GatewayBind { node, source })?;
+                            let addr = listener
+                                .local_addr()
+                                .map_err(|source| SetupError::GatewayBind { node, source })?;
+                            let _ = listener.set_nonblocking(true);
+                            pipe.set_addr(addr);
+                            fronts.push(Some((listener, pipe)));
+                        }
+                        None => fronts.push(None),
+                    }
+                }
+                Ok(crate::reactor::run(self, bound, addrs, fronts))
+            }
+        }
+    }
+
+    /// The thread-per-link engine (see [`NetDriver::Threads`]).
+    fn run_threads(mut self, bound: Vec<TcpListener>, addrs: Vec<SocketAddr>) -> RuntimeReport<O> {
+        let n = self.n;
+        let clock = Clock::new();
+        let obs = self.obs.clone();
+        let secret = self.secret;
+        let backoff = self.backoff;
         let addr_table = Arc::new(Mutex::new(addrs));
 
         // Actor inboxes and per-link writer queues.
@@ -343,6 +596,7 @@ where
 
         let outputs: Arc<Mutex<BTreeMap<NodeId, O>>> = Arc::new(Mutex::new(BTreeMap::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let ledger = PanicLedger::default();
         // Per-receiver `next expected seq` per peer: survives connection
         // churn, so replayed frames dedup exactly-once.
         let expected: Vec<Arc<Mutex<BTreeMap<usize, u64>>>> =
@@ -384,47 +638,56 @@ where
                 };
                 let addr_table = Arc::clone(&addr_table);
                 let shutdown = Arc::clone(&shutdown);
+                let ledger = ledger.clone();
                 scope.spawn(move || {
-                    let mut listener_opt = Some(listener);
-                    let mut pending_bounce = bounce;
-                    loop {
-                        if shutdown.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        if let Some(b) = pending_bounce {
-                            if clock.now_ms() >= b.at_ms {
-                                pending_bounce = None;
-                                drop(listener_opt.take());
-                                inbound_reg.shutdown_all();
-                                let up_at = b.at_ms + b.down_ms;
-                                while clock.now_ms() < up_at {
-                                    if shutdown.load(Ordering::Relaxed) {
-                                        return;
+                    let reader_ledger = ledger.clone();
+                    supervised(&ledger, "listener", move || {
+                        let mut listener_opt = Some(listener);
+                        let mut pending_bounce = bounce;
+                        loop {
+                            if shutdown.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if let Some(b) = pending_bounce {
+                                if clock.now_ms() >= b.at_ms {
+                                    pending_bounce = None;
+                                    drop(listener_opt.take());
+                                    inbound_reg.shutdown_all();
+                                    let up_at = b.at_ms + b.down_ms;
+                                    while clock.now_ms() < up_at {
+                                        if shutdown.load(Ordering::Relaxed) {
+                                            return;
+                                        }
+                                        sleep_ms(2);
                                     }
-                                    sleep_ms(2);
+                                    let Some((l, addr)) = rebind(&shutdown) else { return };
+                                    if let Some(slot) = locked(&addr_table).get_mut(j) {
+                                        *slot = addr;
+                                    }
+                                    listener_opt = Some(l);
                                 }
-                                let Some((l, addr)) = rebind(&shutdown) else { return };
-                                if let Some(slot) = locked(&addr_table).get_mut(j) {
-                                    *slot = addr;
+                            }
+                            let Some(listener) = listener_opt.as_ref() else {
+                                sleep_ms(1);
+                                continue;
+                            };
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    let _ = stream.set_nodelay(true);
+                                    inbound_reg.register(&stream);
+                                    let shared = shared.clone();
+                                    let ledger = reader_ledger.clone();
+                                    scope.spawn(move || {
+                                        supervised(&ledger, "reader", || {
+                                            reader_loop(stream, shared)
+                                        });
+                                    });
                                 }
-                                listener_opt = Some(l);
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep_ms(1),
+                                Err(_) => sleep_ms(1),
                             }
                         }
-                        let Some(listener) = listener_opt.as_ref() else {
-                            sleep_ms(1);
-                            continue;
-                        };
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                let _ = stream.set_nodelay(true);
-                                inbound_reg.register(&stream);
-                                let shared = shared.clone();
-                                scope.spawn(move || reader_loop(stream, shared));
-                            }
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep_ms(1),
-                            Err(_) => sleep_ms(1),
-                        }
-                    }
+                    });
                 });
             }
 
@@ -433,16 +696,21 @@ where
                 // lint: allow(panic) — every slot was asserted populated at the top of run()
                 let (mut proc_, _) = slot.take().expect("slot populated");
                 let self_tx = inbox_txs.get(idx).cloned();
-                let links = link_txs.get_mut(idx).map(std::mem::take).unwrap_or_default();
+                let links = LinkFanout::local(
+                    link_txs.get_mut(idx).map(std::mem::take).unwrap_or_default(),
+                );
                 let outputs = Arc::clone(&outputs);
                 let obs = obs.clone();
                 let restart = restart_specs.remove(&idx);
+                let ledger = ledger.clone();
                 scope.spawn(move || {
-                    if let Some(self_tx) = self_tx {
-                        actor_loop(
-                            &mut proc_, rx, &self_tx, &links, &outputs, &obs, clock, restart,
-                        );
-                    }
+                    supervised(&ledger, "actor", move || {
+                        if let Some(self_tx) = self_tx {
+                            actor_loop(
+                                &mut proc_, rx, &self_tx, &links, &outputs, &obs, clock, restart,
+                            );
+                        }
+                    });
                 });
             }
 
@@ -460,7 +728,8 @@ where
                     backoff,
                     chaos: self.chaos.link(NodeId::new(from), NodeId::new(to)),
                 };
-                scope.spawn(move || writer_loop(rx, ctx));
+                let ledger = ledger.clone();
+                scope.spawn(move || supervised(&ledger, "writer", || writer_loop(rx, ctx)));
             }
 
             // Completion monitor: poll until all correct nodes decided
@@ -494,13 +763,14 @@ where
         let outputs = Arc::try_unwrap(outputs)
             .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .unwrap_or_else(|arc| locked(&arc).clone());
-        RuntimeReport { outputs, correct, timed_out, elapsed: clock.elapsed() }
+        let poisoned = ledger.finish(&obs);
+        RuntimeReport { outputs, correct, timed_out, elapsed: clock.elapsed(), poisoned }
     }
 }
 
 /// Rebinds a bounced listener on a fresh ephemeral port, retrying until
 /// it succeeds or the run shuts down.
-fn rebind(shutdown: &AtomicBool) -> Option<(TcpListener, SocketAddr)> {
+pub(crate) fn rebind(shutdown: &AtomicBool) -> Option<(TcpListener, SocketAddr)> {
     loop {
         if shutdown.load(Ordering::Relaxed) {
             return None;
@@ -680,13 +950,13 @@ const WRITER_POLL_MS: u64 = 10;
 /// The receiver acks every `ACK_EVERY`-th processed frame (cumulative),
 /// letting the writer trim its replay log. Small enough to bound the
 /// log, large enough that ack traffic stays negligible.
-const ACK_EVERY: u64 = 16;
+pub(crate) const ACK_EVERY: u64 = 16;
 /// Retransmission timeout after a chaos-dropped attempt.
-const RETRANSMIT_RTO_MS: u64 = 2;
+pub(crate) const RETRANSMIT_RTO_MS: u64 = 2;
 /// Cap on chaos retransmissions of a single frame: the chaos layer sits
 /// *under* the reliable-link contract, so after the cap the frame is
 /// sent anyway (mirroring a real link-layer giving way to delivery).
-const MAX_RETRANSMIT: u32 = 64;
+pub(crate) const MAX_RETRANSMIT: u32 = 64;
 
 /// One directed link: drain the queue, keep the connection alive
 /// (redialing with capped backoff), apply chaos, and write framed
@@ -880,12 +1150,8 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
                     attempt: shown_attempt,
                     delay_ms,
                 });
-                let wake_at = ctx.clock.now_ms() + delay_ms;
-                while ctx.clock.now_ms() < wake_at {
-                    if ctx.shutdown.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    sleep_ms(2);
+                if !wait_until(ctx.clock, &ctx.shutdown, ctx.clock.now_ms() + delay_ms) {
+                    break None;
                 }
             };
             if conn.is_none() {
@@ -934,9 +1200,11 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
         }
 
         // Injected delay (head-of-line: per-link FIFO is preserved).
+        // Waited out in shutdown-aware slices: a long chaos delay must
+        // not outlive the run's teardown.
         let delay = ctx.chaos.delay_ms();
-        if delay > 0 {
-            sleep_ms(delay);
+        if delay > 0 && !wait_until(ctx.clock, &ctx.shutdown, ctx.clock.now_ms() + delay) {
+            break 'main;
         }
 
         // Wire loss: the attempt is dropped, and the *same* frame is
@@ -945,10 +1213,9 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
         while attempts < MAX_RETRANSMIT && ctx.chaos.attempt_dropped() {
             ctx.obs.emit_at(ctx.clock.now_us(), me, || ObsEvent::FrameDropped { to: peer, seq });
             attempts += 1;
-            if ctx.shutdown.load(Ordering::Relaxed) {
+            if !wait_until(ctx.clock, &ctx.shutdown, ctx.clock.now_ms() + RETRANSMIT_RTO_MS) {
                 break 'main;
             }
-            sleep_ms(RETRANSMIT_RTO_MS);
         }
 
         let Some((body, trace)) = log.get(sent) else { continue };
@@ -984,13 +1251,14 @@ fn writer_loop(rx: Receiver<FrameBody>, mut ctx: WriterCtx) {
 }
 
 /// The body of one actor thread (mirrors `bft-runtime`'s actor loop;
-/// the only difference is where effects go — the net fan-out).
+/// the only difference is where effects go — the net fan-out). Shared
+/// verbatim by both drivers.
 #[allow(clippy::too_many_arguments)]
-fn actor_loop<M, O>(
+pub(crate) fn actor_loop<M, O>(
     proc_: &mut BoxedProcess<M, O>,
     rx: Receiver<Ctrl<M>>,
     self_tx: &Sender<Ctrl<M>>,
-    links: &[Option<Sender<FrameBody>>],
+    links: &LinkFanout,
     outputs: &Mutex<BTreeMap<NodeId, O>>,
     obs: &Obs,
     clock: Clock,
@@ -1063,6 +1331,16 @@ fn actor_loop<M, O>(
                 let effects = proc_.on_message(env.from, &env.msg);
                 apply(me, effects, self_tx, links, outputs, &mut halted, obs);
             }
+            Ctrl::Tick => {
+                // Out-of-band input is queued (gateway intake): give the
+                // process a turn even though no message arrived.
+                obs.set_now(clock.now_us());
+                if crashed || halted || proc_.is_halted() {
+                    continue;
+                }
+                let effects = proc_.on_tick();
+                apply(me, effects, self_tx, links, outputs, &mut halted, obs);
+            }
             Ctrl::Stop => break,
         }
     }
@@ -1086,13 +1364,14 @@ fn apply<M, O>(
     me: NodeId,
     effects: Vec<Effect<M, O>>,
     self_tx: &Sender<Ctrl<M>>,
-    links: &[Option<Sender<FrameBody>>],
+    links: &LinkFanout,
     outputs: &Mutex<BTreeMap<NodeId, O>>,
     halted: &mut bool,
     obs: &Obs,
 ) where
     M: Codec + Clone,
 {
+    let mut queued = false;
     for effect in effects {
         match effect {
             Effect::Send { to, msg } => {
@@ -1103,9 +1382,10 @@ fn apply<M, O>(
                 let trace = msg.trace_hint();
                 let bytes = (body.len() + FRAME_OVERHEAD) as u64;
                 obs.emit(me, || ObsEvent::MessageSent { to, kind: "net", bytes });
-                match links.get(to.index()).and_then(Option::as_ref) {
+                match links.txs.get(to.index()).and_then(Option::as_ref) {
                     Some(tx) => {
                         let _ = tx.send((Arc::new(body), trace));
+                        queued = true;
                     }
                     None if to == me => {
                         // Self-delivery short-circuits in-process (the
@@ -1124,12 +1404,13 @@ fn apply<M, O>(
                 }
                 let trace = msg.trace_hint();
                 let bytes = (body.len() + FRAME_OVERHEAD) as u64;
-                for (i, link) in links.iter().enumerate() {
+                for (i, link) in links.txs.iter().enumerate() {
                     let to = NodeId::new(i);
                     obs.emit(me, || ObsEvent::MessageSent { to, kind: "net", bytes });
                     match link {
                         Some(tx) => {
                             let _ = tx.send((Arc::clone(&body), trace));
+                            queued = true;
                         }
                         None => {
                             let env = Envelope::new(me, to, msg.clone());
@@ -1147,6 +1428,13 @@ fn apply<M, O>(
                     obs.emit(me, || ObsEvent::NodeHalted);
                 }
             }
+        }
+    }
+    // Under the reactor driver the node's poll loop may be parked;
+    // freshly queued frames warrant one nudge.
+    if queued {
+        if let Some(waker) = &links.waker {
+            waker.wake();
         }
     }
 }

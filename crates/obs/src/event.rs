@@ -149,6 +149,42 @@ pub enum Event {
         /// Peak number of frames held in the log.
         frames: u64,
     },
+    /// A transport worker thread panicked and poisoned shared runtime
+    /// state. The runtime rides through the poison to keep the report
+    /// usable, but the panic must not be silent: hung-test triage starts
+    /// here (and at the matching `RuntimeReport::poisoned` flag).
+    PoisonDetected {
+        /// Which runtime component the panic surfaced in.
+        context: &'static str,
+    },
+
+    /// The gateway accepted a client submission into the node's mempool
+    /// (per-client sequence check passed, `submit` succeeded).
+    GatewayAccepted {
+        /// The submitting client's id.
+        client: u64,
+        /// The client's per-client sequence number.
+        seq: u64,
+    },
+    /// The gateway rejected a client submission with a typed NACK.
+    GatewayNacked {
+        /// The submitting client's id.
+        client: u64,
+        /// The client's per-client sequence number.
+        seq: u64,
+        /// Why: `"backpressure"`, `"sequence_gap"`, or `"oversize"`.
+        reason: &'static str,
+    },
+    /// A gateway-accepted transaction committed in the total order and
+    /// the positive ack was queued back to the client.
+    GatewayCommitted {
+        /// The submitting client's id.
+        client: u64,
+        /// The client's per-client sequence number.
+        seq: u64,
+        /// The epoch the transaction committed in.
+        epoch: u64,
+    },
 
     /// The observing node started an ordering epoch (proposed its batch
     /// and opened the epoch's ACS instance).
@@ -414,6 +450,10 @@ impl Event {
             Event::FrameSequenceGap { .. } => "frame_sequence_gap",
             Event::PayloadRejected { .. } => "payload_rejected",
             Event::LinkLogPeak { .. } => "link_log_peak",
+            Event::PoisonDetected { .. } => "poison_detected",
+            Event::GatewayAccepted { .. } => "gateway_accepted",
+            Event::GatewayNacked { .. } => "gateway_nacked",
+            Event::GatewayCommitted { .. } => "gateway_committed",
             Event::EpochStarted { .. } => "epoch_started",
             Event::EpochCommitted { .. } => "epoch_committed",
             Event::BatchSubmitted { .. } => "batch_submitted",
@@ -501,6 +541,23 @@ impl Event {
             Event::LinkLogPeak { peer, frames } => {
                 field("peer", JsonValue::U64(peer.index() as u64));
                 field("frames", JsonValue::U64(*frames));
+            }
+            Event::PoisonDetected { context } => {
+                field("context", JsonValue::str(*context));
+            }
+            Event::GatewayAccepted { client, seq } => {
+                field("client", JsonValue::U64(*client));
+                field("seq", JsonValue::U64(*seq));
+            }
+            Event::GatewayNacked { client, seq, reason } => {
+                field("client", JsonValue::U64(*client));
+                field("seq", JsonValue::U64(*seq));
+                field("reason", JsonValue::str(*reason));
+            }
+            Event::GatewayCommitted { client, seq, epoch } => {
+                field("client", JsonValue::U64(*client));
+                field("seq", JsonValue::U64(*seq));
+                field("epoch", JsonValue::U64(*epoch));
             }
             Event::EpochStarted { epoch } => {
                 field("epoch", JsonValue::U64(*epoch));
@@ -652,6 +709,10 @@ mod tests {
             Event::FrameSequenceGap { from: NodeId::new(0), expected: 1, got: 3 },
             Event::PayloadRejected { len: 9 },
             Event::LinkLogPeak { peer: NodeId::new(0), frames: 17 },
+            Event::PoisonDetected { context: "writer" },
+            Event::GatewayAccepted { client: 7, seq: 1 },
+            Event::GatewayNacked { client: 7, seq: 2, reason: "backpressure" },
+            Event::GatewayCommitted { client: 7, seq: 1, epoch: 0 },
             Event::EpochStarted { epoch: 0 },
             Event::EpochCommitted { epoch: 0, slots: 3, txs: 12 },
             Event::BatchSubmitted { epoch: 0, txs: 4, bytes: 64 },

@@ -69,6 +69,10 @@ pub struct MetricsSink {
     state_transfers_started: u64,
     state_transfers_completed: u64,
     state_transfer_bytes: u64,
+    poison_detections: u64,
+    gateway_accepted: u64,
+    gateway_nacked: u64,
+    gateway_committed: u64,
 }
 
 impl MetricsSink {
@@ -293,6 +297,27 @@ impl MetricsSink {
         self.state_transfer_bytes
     }
 
+    /// Transport worker panics detected by the runtime's supervision
+    /// (each also sets `RuntimeReport::poisoned`).
+    pub fn poison_detections(&self) -> u64 {
+        self.poison_detections
+    }
+
+    /// Client submissions the gateway accepted into mempools.
+    pub fn gateway_accepted(&self) -> u64 {
+        self.gateway_accepted
+    }
+
+    /// Client submissions the gateway rejected with a typed NACK.
+    pub fn gateway_nacked(&self) -> u64 {
+        self.gateway_nacked
+    }
+
+    /// Gateway-accepted transactions that committed and were acked.
+    pub fn gateway_committed(&self) -> u64 {
+        self.gateway_committed
+    }
+
     /// Folds another aggregate into this one.
     ///
     /// This is the deterministic multi-run combiner behind the parallel
@@ -356,6 +381,10 @@ impl MetricsSink {
         self.state_transfers_started += other.state_transfers_started;
         self.state_transfers_completed += other.state_transfers_completed;
         self.state_transfer_bytes += other.state_transfer_bytes;
+        self.poison_detections += other.poison_detections;
+        self.gateway_accepted += other.gateway_accepted;
+        self.gateway_nacked += other.gateway_nacked;
+        self.gateway_committed += other.gateway_committed;
         // `other`'s still-open epochs and checkpoints are discarded for
         // the same reason as its still-open rounds (see above).
     }
@@ -863,6 +892,10 @@ impl Sink for MetricsSink {
                     self.rbc_reconstruct_bytes += bytes;
                 }
             }
+            Event::PoisonDetected { .. } => self.poison_detections += 1,
+            Event::GatewayAccepted { .. } => self.gateway_accepted += 1,
+            Event::GatewayNacked { .. } => self.gateway_nacked += 1,
+            Event::GatewayCommitted { .. } => self.gateway_committed += 1,
             _ => {}
         }
     }

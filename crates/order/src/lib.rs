@@ -53,6 +53,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gateway;
+
 use bft_coin::CoinScheme;
 use bft_net::codec::{put_u32, put_u64, Codec, DecodeError, Reader};
 use bft_obs::{Event, Obs, TraceCtx, TracePhase};
@@ -367,6 +369,29 @@ impl<C: CoinScheme> OrderProcess<C> {
         }
         self.pending.push_back(tx);
         Ok(())
+    }
+
+    /// Drives the proposal/commit pipeline outside a message delivery
+    /// and returns the resulting effects — the hook host transports use
+    /// after out-of-band mempool activity ([`Process::on_tick`]
+    /// submissions via [`gateway::GatewayProcess`]). A no-op after the
+    /// process halts.
+    pub fn poke(&mut self) -> Vec<OrderEffect> {
+        let mut out = Vec::new();
+        if !self.halted {
+            self.progress(&mut out);
+        }
+        out
+    }
+
+    /// The configured per-epoch batch bound.
+    pub fn batch_max(&self) -> usize {
+        self.opts.batch_max
+    }
+
+    /// The configured pipeline depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.opts.pipeline_depth
     }
 
     /// The ordered log as appended so far.

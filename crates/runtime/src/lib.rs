@@ -82,6 +82,13 @@ pub struct RuntimeReport<O> {
     pub timed_out: bool,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Whether a runtime worker thread panicked during the run (shared
+    /// state may have been poisoned and ridden through). Always `false`
+    /// for this in-process runtime, whose workers only run the installed
+    /// processes; the TCP runtime's supervised transport threads set it,
+    /// paired with a `poison_detected` obs event, so a hung or
+    /// short-delivering run can be triaged instead of silently masked.
+    pub poisoned: bool,
 }
 
 impl<O: Clone + PartialEq> RuntimeReport<O> {
@@ -282,7 +289,7 @@ where
         let outputs = Arc::try_unwrap(outputs)
             .map(|m| m.into_inner())
             .unwrap_or_else(|arc| arc.lock().clone());
-        RuntimeReport { outputs, correct, timed_out, elapsed: started.elapsed() }
+        RuntimeReport { outputs, correct, timed_out, elapsed: started.elapsed(), poisoned: false }
     }
 }
 

@@ -169,6 +169,16 @@ pub trait Process {
     fn on_message(&mut self, from: NodeId, msg: &Self::Msg)
         -> Vec<Effect<Self::Msg, Self::Output>>;
 
+    /// Invoked by host transports that have out-of-band input for the
+    /// process — e.g. the TCP runtime's client gateway draining external
+    /// submissions into the mempool between deliveries. Never invoked by
+    /// the deterministic simulator, so protocol state machines that rely
+    /// on it are host-level adapters by construction; pure protocols
+    /// keep the default no-op.
+    fn on_tick(&mut self) -> Vec<Effect<Self::Msg, Self::Output>> {
+        Vec::new()
+    }
+
     /// The most recent output of this process (e.g. its decision), if any.
     fn output(&self) -> Option<Self::Output> {
         None

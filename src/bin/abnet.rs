@@ -11,6 +11,7 @@
 //!       [--drop PER_MILLE] [--dup PER_MILLE] [--delay PER_MILLE]
 //!       [--max-delay-ms MS] [--timeout-secs T] [--runs R]
 //!       [--epochs E] [--batch B] [--pipeline D] [--rbc bracha|coded]
+//!       [--clients C] [--rate TX_PER_S] [--load-ms MS] [--tx-bytes B]
 //!       [--trace-out FILE] [--metrics-out FILE]
 //!
 //! KIND ∈ crash, mute, flip-value, random-value, always-flag, seesaw
@@ -37,6 +38,15 @@
 //! survivors are done, forcing recovery through erasure-coded peer
 //! state transfer from the latest certified checkpoint.
 //!
+//! With `--clients C` (C > 0) the binary runs the **client gateway**
+//! scenario: a reactor-driver cluster of gateway-wrapped ordering
+//! processes, each with a real client-facing listener, driven by the
+//! open-loop load generator (C simulated clients at `--rate`
+//! submissions/s aggregate for `--load-ms`). The final line is a JSON
+//! summary (`committed`, `nacked`, latency percentiles, `anomalies`)
+//! for the CI smoke job; the exit code is nonzero when nothing
+//! committed or an anomaly surfaced.
+//!
 //! Examples:
 //!
 //! ```text
@@ -44,12 +54,13 @@
 //! abnet --n 7 --ones 3 --drop 100 --dup 50 --runs 5
 //! abnet --n 4 --epochs 5 --batch 4 --pipeline 3 --drop 50
 //! abnet --n 4 --kv-workload --checkpoint-interval 4 --restart-node
+//! abnet --n 16 --clients 200 --rate 2000 --load-ms 2000
 //! ```
 
 use async_bft::adversary::{make_bracha_adversary, FaultKind};
 use async_bft::coin::LocalCoin;
 use async_bft::consensus::{BrachaOptions, BrachaProcess, Wire};
-use async_bft::net::{ChaosConfig, NetRuntime};
+use async_bft::net::{ChaosConfig, NetDriver, NetRuntime};
 use async_bft::obs::{JsonlSink, MetricsSink, Obs, SharedSink, Tee};
 use async_bft::rbc::RbcKind;
 use async_bft::types::{Config, Value};
@@ -74,6 +85,11 @@ struct Options {
     kv_workload: bool,
     checkpoint_interval: u64,
     restart_node: bool,
+    driver: NetDriver,
+    clients: u64,
+    rate: u64,
+    load_ms: u64,
+    tx_bytes: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -148,6 +164,11 @@ fn parse_args() -> Result<Options, String> {
         kv_workload: false,
         checkpoint_interval: 4,
         restart_node: false,
+        driver: NetDriver::default(),
+        clients: 0,
+        rate: 2000,
+        load_ms: 2000,
+        tx_bytes: 32,
         trace_out: None,
         metrics_out: None,
     };
@@ -203,6 +224,27 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--checkpoint-interval: {e}"))?
             }
             "--restart-node" => opts.restart_node = true,
+            "--driver" => {
+                let v = value("--driver")?;
+                opts.driver = match v.as_str() {
+                    "threads" => NetDriver::Threads,
+                    "reactor" => NetDriver::Reactor,
+                    other => {
+                        return Err(format!("--driver: expected threads or reactor, got {other}"))
+                    }
+                };
+            }
+            "--clients" => {
+                opts.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--rate" => opts.rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--load-ms" => {
+                opts.load_ms = value("--load-ms")?.parse().map_err(|e| format!("--load-ms: {e}"))?
+            }
+            "--tx-bytes" => {
+                opts.tx_bytes =
+                    value("--tx-bytes")?.parse().map_err(|e| format!("--tx-bytes: {e}"))?
+            }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--help" | "-h" => {
@@ -212,6 +254,7 @@ fn parse_args() -> Result<Options, String> {
                      [--max-delay-ms MS] [--timeout-secs T] [--runs R] \
                      [--epochs E] [--batch B] [--pipeline D] [--rbc bracha|coded] \
                      [--kv-workload] [--checkpoint-interval C] [--restart-node] \
+                     [--driver threads|reactor] [--clients C] [--rate TX_PER_S] [--load-ms MS] [--tx-bytes B] \
                      [--trace-out FILE] [--metrics-out FILE]"
                 );
                 std::process::exit(0);
@@ -220,6 +263,84 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// The client-gateway mode: `--clients C` simulated clients submit
+/// through real gateway sockets into a reactor cluster of
+/// gateway-wrapped ordering processes; prints a machine-readable JSON
+/// summary line for the CI smoke job.
+fn run_gateway(opts: &Options) {
+    use async_bft::net::LoadGenConfig;
+    use async_bft::order::OrderOptions;
+    use async_bft::{run_gateway_load, GatewayLoadOptions};
+
+    if !opts.faults.is_empty() || opts.ones.is_some() || opts.kv_workload {
+        eprintln!("error: --clients gateway mode composes only with ordering flags");
+        std::process::exit(2);
+    }
+    let epochs = if opts.epochs > 0 { opts.epochs } else { 24 };
+    let gl = GatewayLoadOptions {
+        n: opts.n,
+        seed: opts.seed,
+        order: OrderOptions {
+            batch_max: opts.batch.max(1),
+            pipeline_depth: opts.pipeline.max(1),
+            epochs,
+            rbc: opts.rbc,
+        },
+        load: LoadGenConfig {
+            clients: opts.clients,
+            rate_tx_per_s: opts.rate.max(1),
+            tx_bytes: opts.tx_bytes,
+            duration_ms: opts.load_ms,
+            ..LoadGenConfig::default()
+        },
+        timeout: Duration::from_secs(opts.timeout_secs),
+    };
+    println!(
+        "gateway mode: n = {}, clients = {}, rate = {}/s for {} ms, epochs = {epochs}, \
+         batch = {}, pipeline depth = {}",
+        gl.n,
+        gl.load.clients,
+        gl.load.rate_tx_per_s,
+        gl.load.duration_ms,
+        gl.order.batch_max,
+        gl.order.pipeline_depth,
+    );
+    let (obs, metrics) = export_obs(opts, 0);
+    let outcome = match run_gateway_load(&gl, obs.clone()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: gateway setup: {e}");
+            std::process::exit(2);
+        }
+    };
+    drop(obs);
+    let mut m = metrics.lock();
+    if let Some(jsonl) = m.1.as_mut() {
+        jsonl.flush();
+    }
+    write_metrics_out(opts, &mut m.0);
+    let anomalies = outcome.anomalies();
+    println!(
+        "{{\"mode\":\"gateway\",\"n\":{},\"clients\":{},\"submitted\":{},\"committed\":{},\
+         \"nacked\":{},\"rejected\":{},\"throttled\":{},\"p50_us\":{},\"p99_us\":{},\
+         \"ordered_txs\":{},\"epochs\":{epochs},\"anomalies\":{anomalies},\"elapsed_ms\":{}}}",
+        gl.n,
+        gl.load.clients,
+        outcome.load.submitted,
+        outcome.load.committed,
+        outcome.load.nacked,
+        outcome.load.rejected,
+        outcome.load.throttled,
+        outcome.load.p50_us,
+        outcome.load.p99_us,
+        outcome.ordered_txs.map_or(-1i64, |t| t as i64),
+        outcome.report.elapsed.as_millis(),
+    );
+    if anomalies > 0 || outcome.load.committed == 0 {
+        std::process::exit(1);
+    }
 }
 
 /// The atomic-broadcast mode: `--epochs E` epochs of batched ACS over
@@ -261,6 +382,7 @@ fn run_ordering(opts: &Options, chaos: &ChaosConfig) {
         let mut rt: NetRuntime<OrderMessage, OrderLog> = NetRuntime::new(opts.n)
             .timeout(Duration::from_secs(opts.timeout_secs))
             .observer(obs.clone())
+            .driver(opts.driver)
             .chaos(chaos.clone());
         for id in cfg.nodes() {
             let workload: Vec<Vec<u8>> = (0..order.epochs * order.batch_max as u64)
@@ -362,6 +484,7 @@ fn run_smr(opts: &Options, chaos: &ChaosConfig) {
         let mut rt: NetRuntime<SmrMessage, SmrOutput> = NetRuntime::new(opts.n)
             .timeout(Duration::from_secs(opts.timeout_secs))
             .observer(obs.clone())
+            .driver(opts.driver)
             .chaos(chaos.clone());
         let count = (epochs * smr.order.batch_max as u64) as usize;
         let make = move |id: NodeId, obs: Obs| {
@@ -425,6 +548,10 @@ fn main() {
         }
     };
 
+    if opts.clients > 0 {
+        run_gateway(&opts);
+        return;
+    }
     if opts.kv_workload {
         let chaos = ChaosConfig {
             seed: opts.seed,
@@ -502,6 +629,7 @@ fn main() {
         let mut rt: NetRuntime<Wire, Value> = NetRuntime::new(opts.n)
             .timeout(Duration::from_secs(opts.timeout_secs))
             .observer(obs.clone())
+            .driver(opts.driver)
             .chaos(chaos.clone());
         // Faults corrupt the lowest-indexed nodes, matching absim.
         for id in cfg.nodes() {

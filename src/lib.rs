@@ -69,8 +69,10 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod gateway_load;
 
 pub use cluster::{Cluster, CoinChoice, Schedule};
+pub use gateway_load::{run_gateway_load, GatewayLoadOptions, GatewayLoadOutcome};
 
 pub use bft_adversary::FaultKind;
 
